@@ -1,0 +1,76 @@
+(* End-to-end smoke test: a tiny hand-built app in the style of the
+   paper's Figure 3 (Diode) — StringBuilder URI construction with
+   branches, an Apache HttpClient demarcation point, and JSON response
+   parsing — must yield a transaction with the right URI regex, body
+   signature, and pairing. *)
+
+module Ir = Extr_ir.Types
+module B = Extr_ir.Builder
+module Api = Extr_semantics.Api
+module Apk = Extr_apk.Apk
+module Pipeline = Extr_extractocol.Pipeline
+module Report = Extr_extractocol.Report
+module Msgsig = Extr_siglang.Msgsig
+module Strsig = Extr_siglang.Strsig
+module Regex = Extr_siglang.Regex
+
+let cls = "com.example.Main"
+
+(* onCreate: builds a URI with a branch, fires the request, parses JSON. *)
+let on_create =
+  B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+      let sb = B.new_obj b Api.string_builder [ B.vstr "http://api.example.com/items" ] in
+      let cond = B.define b Ir.Bool (Ir.Val (B.vbool true)) in
+      B.ite b (B.vl cond)
+        (fun b ->
+          B.call b
+            (B.virtual_call ~ret:(Ir.Obj Api.string_builder) sb Api.string_builder
+               "append"
+               [ B.vstr "/popular.json?limit=" ]))
+        (fun b ->
+          B.call b
+            (B.virtual_call ~ret:(Ir.Obj Api.string_builder) sb Api.string_builder
+               "append"
+               [ B.vstr "/new.json?limit=" ]));
+      let count = B.define b Ir.Int (Ir.Val (B.vint 25)) in
+      let count_str =
+        B.call_ret b Ir.Str
+          (B.static_call ~ret:Ir.Str Api.java_string "valueOf" [ B.vl count ])
+      in
+      B.call b
+        (B.virtual_call ~ret:(Ir.Obj Api.string_builder) sb Api.string_builder "append"
+           [ B.vl count_str ]);
+      let url =
+        B.call_ret b Ir.Str
+          (B.virtual_call ~ret:Ir.Str sb Api.string_builder "toString" [])
+      in
+      let req = B.new_obj b Api.http_get [ B.vl url ] in
+      let client = B.new_obj b Api.default_http_client [] in
+      let resp =
+        B.call_ret b (Ir.Obj Api.http_response)
+          (B.virtual_call ~ret:(Ir.Obj Api.http_response) client Api.http_client
+             "execute" [ B.vl req ])
+      in
+      let entity =
+        B.call_ret b (Ir.Obj Api.http_entity)
+          (B.virtual_call ~ret:(Ir.Obj Api.http_entity) resp Api.http_response
+             "getEntity" [])
+      in
+      let body =
+        B.call_ret b Ir.Str
+          (B.static_call ~ret:Ir.Str Api.entity_utils "toString" [ B.vl entity ])
+      in
+      let json = B.new_obj b Api.json_object [ B.vl body ] in
+      let title =
+        B.call_ret b Ir.Str
+          (B.virtual_call ~ret:Ir.Str json Api.json_object "getString"
+             [ B.vstr "title" ])
+      in
+      ignore title;
+      B.return_void b)
+
+let apk =
+  let main = B.mk_cls ~super:Api.activity cls [ on_create ] in
+  let program = { Ir.p_classes = [ main ]; p_entries = [] } in
+  Apk.make ~package:"com.example" ~activities:[ cls ] program
+
