@@ -1,0 +1,197 @@
+(* The Extractocol command-line interface: analyze a corpus app (or a
+   textual Limple program) and print the reconstructed HTTP transactions,
+   signatures, pairings and dependency graph. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Apk = Extr_apk.Apk
+module Report = Extr_extractocol.Report
+module Pipeline = Extr_extractocol.Pipeline
+module Corpus = Extr_corpus.Corpus
+module Spec = Extr_corpus.Spec
+module Obfuscator = Extr_apk.Obfuscator
+
+open Cmdliner
+
+let all_entries () = Corpus.case_studies () @ Corpus.table1 ()
+
+let list_apps () =
+  Fmt.pr "available corpus apps:@.";
+  List.iter
+    (fun (e : Corpus.entry) ->
+      Fmt.pr "  %-28s (%s, %d endpoints)@." e.Corpus.c_app.Spec.a_name
+        (if e.Corpus.c_app.Spec.a_closed then "closed-source" else "open-source")
+        (List.length e.Corpus.c_app.Spec.a_endpoints))
+    (all_entries ());
+  0
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+(* §5.1 signature validity: match every archived request against the
+   extracted signatures and report coverage. *)
+let validate_trace (report : Report.t) path =
+  let src = In_channel.with_open_text path In_channel.input_all in
+  match Extr_httpmodel.Har.of_string src with
+  | None ->
+      Fmt.epr "could not parse trace archive %s@." path;
+      2
+  | Some trace ->
+      let requests = Extr_httpmodel.Http.trace_requests trace in
+      let matched, unmatched =
+        List.partition
+          (fun req ->
+            List.exists
+              (fun tr ->
+                Extr_siglang.Msgsig.request_matches tr.Report.tr_request req)
+              report.Report.rp_transactions)
+          requests
+      in
+      Fmt.pr "trace %s: %d/%d requests match a signature@." trace.Extr_httpmodel.Http.tr_app
+        (List.length matched)
+        (List.length requests);
+      List.iter
+        (fun (req : Extr_httpmodel.Http.request) ->
+          Fmt.pr "  unmatched: %a@." Extr_httpmodel.Http.pp_request req)
+        unmatched;
+      if unmatched = [] then 0 else 1
+
+let analyze_app name scope async intents obfuscate obf_libs limple_file json dot trace =
+  let apk =
+    match limple_file with
+    | Some path ->
+        let src = In_channel.with_open_text path In_channel.input_all in
+        let program = Extr_ir.Parser.parse_program src in
+        (* No manifest on the textual path: treat every Activity subclass
+           as a launchable activity so lifecycle entries exist. *)
+        let activities =
+          List.filter_map
+            (fun (c : Ir.cls) ->
+              match c.Ir.c_super with
+              | Some s
+                when (not c.Ir.c_library)
+                     && s = Extr_semantics.Api.activity ->
+                  Some c.Ir.c_name
+              | Some _ | None -> None)
+            program.Ir.p_classes
+        in
+        Apk.make ~package:"cli.input" ~activities program
+    | None -> (
+        match Corpus.find (all_entries ()) name with
+        | Some e -> Lazy.force e.Corpus.c_apk
+        | None ->
+            Fmt.epr "app %S not found; use --list to enumerate@." name;
+            exit 2)
+  in
+  let apk = if obfuscate then fst (Obfuscator.obfuscate apk) else apk in
+  let apk =
+    if obf_libs then begin
+      (* Adversarial case: obfuscate the library surface, then recover it
+         with the §3.4 signature-similarity de-obfuscation. *)
+      let obf, _ = Obfuscator.obfuscate_libraries apk in
+      let restored, mapping = Extr_apk.Deobfuscator.deobfuscate obf in
+      Fmt.pr "library de-obfuscation recovered %d classes, %d methods@."
+        (List.length mapping.Extr_apk.Deobfuscator.dm_classes)
+        (List.length mapping.Extr_apk.Deobfuscator.dm_methods);
+      restored
+    end
+    else apk
+  in
+  let options =
+    {
+      Pipeline.default_options with
+      Pipeline.op_scope = scope;
+      op_async_heuristic = async;
+      op_intents = intents;
+    }
+  in
+  let analysis = Pipeline.analyze ~options apk in
+  match trace with
+  | Some path -> validate_trace analysis.Pipeline.an_report path
+  | None ->
+      if json then
+        Fmt.pr "%s@."
+          (Extr_httpmodel.Json.to_string
+             (Report.to_json analysis.Pipeline.an_report))
+      else if dot then Fmt.pr "%s" (Report.to_dot analysis.Pipeline.an_report)
+      else Fmt.pr "%a@." Report.pp analysis.Pipeline.an_report;
+      0
+
+let name_arg =
+  let doc = "Corpus app to analyze (see --list)." in
+  Arg.(value & pos 0 string "radio reddit" & info [] ~docv:"APP" ~doc)
+
+let list_flag =
+  let doc = "List the corpus apps and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let scope_arg =
+  let doc = "Restrict analysis to classes with this prefix (e.g. com.kayak)." in
+  Arg.(value & opt (some string) None & info [ "scope" ] ~docv:"PREFIX" ~doc)
+
+let async_flag =
+  let doc = "Enable the asynchronous-event heuristic (default: on)." in
+  Arg.(value & opt bool true & info [ "async-heuristic" ] ~doc)
+
+let intents_flag =
+  let doc =
+    "Resolve intent-service dispatch with constant actions (extension:\n\
+     lifts the paper's §4 limitation; off by default)."
+  in
+  Arg.(value & flag & info [ "intents" ] ~doc)
+
+let obfuscate_flag =
+  let doc = "ProGuard-style obfuscate the APK before analysis." in
+  Arg.(value & flag & info [ "obfuscate" ] ~doc)
+
+let obf_libs_flag =
+  let doc =
+    "Obfuscate the library surface, then recover it with the signature-\
+     similarity de-obfuscation before analyzing (the adversarial §3.4 case)."
+  in
+  Arg.(value & flag & info [ "obfuscate-libraries" ] ~doc)
+
+let json_flag =
+  let doc = "Emit the report as JSON instead of the textual form." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let verbose_flag =
+  let doc = "Log pipeline stages (statement counts, slice sizes, raw\n\
+             transaction counts) to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let dot_flag =
+  let doc = "Emit the transaction dependency graph in Graphviz DOT form." in
+  Arg.(value & flag & info [ "dot" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Validate an archived traffic trace (fuzz_trace JSON) against the\n\
+     extracted signatures instead of printing the report."
+  in
+  Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let limple_arg =
+  let doc = "Analyze a textual Limple program instead of a corpus app." in
+  Arg.(value & opt (some file) None & info [ "limple" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "reconstruct HTTP transactions from an Android app binary" in
+  let info = Cmd.info "extractocol" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      const
+        (fun verbose list name scope async intents obf obf_libs limple json
+             dot trace ->
+          setup_logs verbose;
+          if list then list_apps ()
+          else
+            analyze_app name scope async intents obf obf_libs limple json dot
+              trace)
+      $ verbose_flag $ list_flag $ name_arg $ scope_arg $ async_flag
+      $ intents_flag $ obfuscate_flag $ obf_libs_flag $ limple_arg $ json_flag
+      $ dot_flag $ trace_arg)
+
+let () = exit (Cmd.eval' cmd)

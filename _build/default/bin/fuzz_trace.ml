@@ -1,0 +1,61 @@
+(* Run a dynamic UI-fuzzing baseline (§5.1) against a corpus app and dump
+   the captured traffic trace as JSON (the mitmproxy-dump analogue).
+
+   Usage: fuzz_trace APP [--policy auto|manual|full] *)
+
+module Http = Extr_httpmodel.Http
+module Har = Extr_httpmodel.Har
+module Corpus = Extr_corpus.Corpus
+module Fuzz = Extr_fuzz.Fuzz
+
+open Cmdliner
+
+let run_fuzz name policy summary =
+  let entries = Corpus.case_studies () @ Corpus.table1 () in
+  match Corpus.find entries name with
+  | None ->
+      Fmt.epr "app %S not found@." name;
+      2
+  | Some e ->
+      let apk = Lazy.force e.Corpus.c_apk in
+      let trace = Fuzz.run e.Corpus.c_app apk ~policy in
+      if summary then begin
+        Fmt.pr "%s: %s policy, %d transactions, endpoints:@." name
+          (Fuzz.policy_name policy)
+          (List.length trace.Http.tr_entries);
+        List.iter (Fmt.pr "  %s@.") (Fuzz.observed_endpoints trace);
+        0
+      end
+      else begin
+        print_endline (Har.to_string trace);
+        0
+      end
+
+let policy_conv =
+  let parse = function
+    | "auto" -> Ok `Auto
+    | "manual" -> Ok `Manual
+    | "full" -> Ok `Full
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  let print fmt p = Fmt.string fmt (Fuzz.policy_name p) in
+  Arg.conv (parse, print)
+
+let name_arg =
+  let doc = "Corpus app to fuzz." in
+  Arg.(value & pos 0 string "radio reddit" & info [] ~docv:"APP" ~doc)
+
+let policy_arg =
+  let doc = "Fuzzing policy: auto (PUMA analogue), manual, or full." in
+  Arg.(value & opt policy_conv `Manual & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let summary_flag =
+  let doc = "Print a summary instead of the JSON dump." in
+  Arg.(value & flag & info [ "summary" ] ~doc)
+
+let cmd =
+  let doc = "capture an app's traffic under a UI-fuzzing policy" in
+  let info = Cmd.info "fuzz_trace" ~version:"1.0" ~doc in
+  Cmd.v info Term.(const run_fuzz $ name_arg $ policy_arg $ summary_flag)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/api_reverse_engineering.ml: Extr_corpus Extr_eval Extr_extractocol Extr_httpmodel Extr_server Extr_siglang Fmt Lazy List Option

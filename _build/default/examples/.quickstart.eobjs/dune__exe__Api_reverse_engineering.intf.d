@@ -1,0 +1,1 @@
+examples/api_reverse_engineering.mli:

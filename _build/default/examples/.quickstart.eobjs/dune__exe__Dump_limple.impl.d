@@ -1,0 +1,1 @@
+examples/dump_limple.ml: Array Extr_apk Extr_corpus Extr_ir Fmt Lazy Sys

@@ -1,0 +1,1 @@
+examples/dump_limple.mli:

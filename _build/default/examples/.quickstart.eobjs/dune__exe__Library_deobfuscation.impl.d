@@ -1,0 +1,1 @@
+examples/library_deobfuscation.ml: Extr_apk Extr_corpus Extr_extractocol Extr_siglang Fmt Lazy List Option

@@ -1,0 +1,1 @@
+examples/protocol_testing.ml: Extr_corpus Extr_eval Extr_extractocol Extr_httpmodel Extr_server Extr_siglang Fmt Hashtbl Lazy List Option String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Extr_apk Extr_extractocol Extr_ir Extr_semantics Extr_siglang Fmt List String

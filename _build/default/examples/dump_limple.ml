@@ -1,0 +1,15 @@
+(* Dump the textual Limple of a corpus app (also a quick way to eyeball
+   what the code generator emits).  Usage: dump_limple "<app name>". *)
+module Corpus = Extr_corpus.Corpus
+module Apk = Extr_apk.Apk
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "SharedDP" in
+  let entries = Corpus.case_studies () @ Corpus.table1 () in
+  match Corpus.find entries name with
+  | None ->
+      Fmt.epr "app %S not found@." name;
+      exit 2
+  | Some e ->
+      let apk = Lazy.force e.Corpus.c_apk in
+      print_string (Extr_ir.Pp.program_to_string apk.Apk.program)

@@ -1,0 +1,86 @@
+(* Quickstart: build a tiny app with the Limple builder, analyze it with
+   the Extractocol pipeline, and read the reconstructed transaction.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Ir = Extr_ir.Types
+module B = Extr_ir.Builder
+module Api = Extr_semantics.Api
+module Apk = Extr_apk.Apk
+module Pipeline = Extr_extractocol.Pipeline
+module Report = Extr_extractocol.Report
+module Msgsig = Extr_siglang.Msgsig
+module Strsig = Extr_siglang.Strsig
+
+(* 1. Write an Android-shaped program in the Limple IR: an activity whose
+   onCreate fetches a JSON document and reads one field of it. *)
+let apk =
+  let cls = "com.example.quickstart.Main" in
+  let on_create =
+    B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+        (* url = "https://api.example.com/v1/greeting?lang=" + <user input> *)
+        let sb =
+          B.new_obj b Api.string_builder
+            [ B.vstr "https://api.example.com/v1/greeting?lang=" ]
+        in
+        let input = B.new_obj b Api.edit_text [] in
+        let lang =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str input Api.edit_text "getText" [])
+        in
+        B.call b
+          (B.virtual_call ~ret:(Ir.Obj Api.string_builder) sb Api.string_builder
+             "append" [ B.vl lang ]);
+        let url =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str sb Api.string_builder "toString" [])
+        in
+        (* resp = new DefaultHttpClient().execute(new HttpGet(url)) *)
+        let req = B.new_obj b Api.http_get [ B.vl url ] in
+        let client = B.new_obj b Api.default_http_client [] in
+        let resp =
+          B.call_ret b (Ir.Obj Api.http_response)
+            (B.virtual_call ~ret:(Ir.Obj Api.http_response) client Api.http_client
+               "execute" [ B.vl req ])
+        in
+        (* message = new JSONObject(body).getString("message") *)
+        let entity =
+          B.call_ret b (Ir.Obj Api.http_entity)
+            (B.virtual_call ~ret:(Ir.Obj Api.http_entity) resp Api.http_response
+               "getEntity" [])
+        in
+        let body =
+          B.call_ret b Ir.Str
+            (B.static_call ~ret:Ir.Str Api.entity_utils "toString" [ B.vl entity ])
+        in
+        let json = B.new_obj b Api.json_object [ B.vl body ] in
+        let message =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str json Api.json_object "getString"
+               [ B.vstr "message" ])
+        in
+        (* show it *)
+        let tv = B.new_obj b Api.text_view [] in
+        B.call b (B.virtual_call tv Api.text_view "setText" [ B.vl message ]))
+  in
+  let main = B.mk_cls ~super:Api.activity cls [ on_create ] in
+  Apk.make ~package:"com.example.quickstart" ~activities:[ cls ]
+    { Ir.p_classes = [ main ]; p_entries = [] }
+
+(* 2. Analyze it: the pipeline slices the program from its demarcation
+   points, interprets the slices into signatures, and pairs request with
+   response. *)
+let () =
+  let analysis = Pipeline.analyze apk in
+  let report = analysis.Pipeline.an_report in
+  Fmt.pr "Extractocol quickstart@.";
+  Fmt.pr "%a@." Report.pp report;
+  (* 3. Use the signatures programmatically. *)
+  List.iter
+    (fun tr ->
+      Fmt.pr "URI regex: %s@."
+        (Strsig.to_regex tr.Report.tr_request.Msgsig.rs_uri);
+      Fmt.pr "response keys the app reads: %s@."
+        (String.concat ", "
+           (Msgsig.body_keywords tr.Report.tr_response.Msgsig.ps_body)))
+    report.Report.rp_transactions

@@ -1,0 +1,1 @@
+lib/apk/apk.ml: Extr_ir List

@@ -1,0 +1,1 @@
+lib/apk/apk.mli: Extr_ir

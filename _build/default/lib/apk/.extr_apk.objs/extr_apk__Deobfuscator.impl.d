@@ -1,0 +1,1 @@
+lib/apk/deobfuscator.ml: Apk Array Extr_ir Extr_semantics Hashtbl List Option

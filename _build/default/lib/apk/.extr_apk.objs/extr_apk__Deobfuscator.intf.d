@@ -1,0 +1,1 @@
+lib/apk/deobfuscator.mli: Apk Extr_ir Hashtbl

@@ -1,0 +1,1 @@
+lib/apk/obfuscator.ml: Apk Array Char Extr_ir Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/apk/obfuscator.mli: Apk Extr_ir

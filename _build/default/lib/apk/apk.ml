@@ -1,0 +1,57 @@
+(* The APK container: what Extractocol takes as its only input.  Bundles the
+   Limple program (the Dalvik bytecode analogue), the manifest (package name
+   and entry components) and the resource table (the analogue of
+   res/values/strings.xml, referenced by Android resource ids). *)
+
+module Ir = Extr_ir.Types
+
+type manifest = {
+  mf_package : string;
+  mf_label : string;
+  mf_activities : string list;  (** activity classes; lifecycle methods are entries *)
+}
+
+(** Resource table: integer resource ids to constant strings, as stored in
+    user-defined files in the APK (§3.1 "we handle references to resource
+    objects, such as Android.R, whose values are stored in user-defined
+    files in the APK"). *)
+type resources = (int * string) list
+
+type t = {
+  manifest : manifest;
+  resources : resources;
+  program : Ir.program;
+}
+
+let make ~package ?(label = package) ?(activities = []) ?(resources = []) program =
+  {
+    manifest = { mf_package = package; mf_label = label; mf_activities = activities };
+    resources;
+    program;
+  }
+
+let resource_string apk id = List.assoc_opt id apk.resources
+
+(** Entry-point method references: the program's declared entries plus the
+    lifecycle methods of manifest activities. *)
+let entry_points apk =
+  let lifecycle = [ "onCreate"; "onResume"; "onStart" ] in
+  let activity_entries =
+    List.concat_map
+      (fun cls ->
+        List.filter_map
+          (fun mname ->
+            let exists =
+              List.exists
+                (fun c ->
+                  c.Ir.c_name = cls
+                  && List.exists (fun m -> m.Ir.m_name = mname) c.Ir.c_methods)
+                apk.program.Ir.p_classes
+            in
+            if exists then
+              Some { Ir.mcls = cls; mname; mret = Ir.Void; nargs = 0 }
+            else None)
+          lifecycle)
+      apk.manifest.mf_activities
+  in
+  apk.program.Ir.p_entries @ activity_entries

@@ -1,0 +1,35 @@
+(** The APK container: Extractocol's only input.  Bundles the Limple
+    program (the Dalvik bytecode analogue), the manifest, and the resource
+    table (the analogue of res/values/strings.xml, referenced by resource
+    ids — §3.1). *)
+
+module Ir = Extr_ir.Types
+
+type manifest = {
+  mf_package : string;
+  mf_label : string;
+  mf_activities : string list;  (** activity classes; lifecycle methods are entries *)
+}
+
+type resources = (int * string) list
+(** Resource table: integer resource ids to constant strings. *)
+
+type t = {
+  manifest : manifest;
+  resources : resources;
+  program : Ir.program;
+}
+
+val make :
+  package:string ->
+  ?label:string ->
+  ?activities:string list ->
+  ?resources:resources ->
+  Ir.program ->
+  t
+
+val resource_string : t -> int -> string option
+
+val entry_points : t -> Ir.method_ref list
+(** The program's declared entries plus the lifecycle methods
+    (onCreate/onResume/onStart) of manifest activities. *)

@@ -1,0 +1,875 @@
+(* Library de-obfuscation (§3.4): "when library code included in our
+   semantic model is obfuscated ... we pre-process the code to generate a
+   map between the obfuscated identifier and the original one.  For this,
+   we compare the signatures of the method contained in our semantic model
+   to identify the class and method that has the most similar signature
+   patterns."
+
+   Identifier names are gone, so matching works on name-free signals: how
+   the app *uses* each library class — the multiset of (arity, argument
+   shapes, return shape) of its calls — plus two relational signals that
+   link identities through the program: the concrete class a call returns,
+   and the superclass edges among library classes.  A catalog of the known
+   API surface provides the reference profiles; assignment is an iterated
+   greedy search whose relational bonuses make each round less ambiguous. *)
+
+module Ir = Extr_ir.Types
+module Api = Extr_semantics.Api
+
+(** Name-free shape of a type. *)
+type shape = Svoid | Sint | Sbool | Sstr | Sobj | Sarr
+
+let shape_of_ty = function
+  | Ir.Void -> Svoid
+  | Ir.Int -> Sint
+  | Ir.Bool -> Sbool
+  | Ir.Str -> Sstr
+  | Ir.Obj _ -> Sobj
+  | Ir.Arr _ -> Sarr
+
+let shape_of_value = function
+  | Ir.Const (Ir.Cint _) -> Sint
+  | Ir.Const (Ir.Cbool _) -> Sbool
+  | Ir.Const (Ir.Cstr _) -> Sstr
+  | Ir.Const Ir.Cnull -> Sobj
+  | Ir.Local v -> shape_of_ty v.Ir.vty
+
+(** Expected relationship between an object argument and the library:
+    either an application subclass of a known framework class (listener /
+    task patterns) or a direct instance of a known library class. *)
+type arg_rel =
+  | App_subclass_of of string  (** exactly this framework superclass *)
+  | Lib_instance_of of string  (** exactly this library class *)
+  | Lib_subclass_of of string
+      (** this library class or any library subclass (no identity
+          propagation — the argument could be any of several classes) *)
+
+type msig = {
+  ms_name : string;
+  ms_static : bool;
+  ms_nargs : int;
+  ms_args : shape list option;  (** [None]: polymorphic, don't match on args *)
+  ms_arg_rel : (int * arg_rel) list;  (** argument-class relations *)
+  ms_ret : shape;
+  ms_ret_cls : string option;
+      (** known class of an [Sobj] return — the relational dataflow signal *)
+}
+
+(** The known API surface: per library class, the method signatures apps
+    call on it (names kept — they are the recovery targets). *)
+let catalog : (string * msig list) list =
+  let m ?args ?ret_cls ?(arg_rel = []) ?(static = false) name nargs ret =
+    {
+      ms_name = name;
+      ms_static = static;
+      ms_nargs = nargs;
+      ms_args = args;
+      ms_arg_rel = arg_rel;
+      ms_ret = ret;
+      ms_ret_cls = ret_cls;
+    }
+  in
+  let open Api in
+  [
+    ( string_builder,
+      [
+        m ~args:[] "<init>" 0 Svoid; m ~args:[ Sstr ] "<init>" 1 Svoid;
+        (* append's real overloads: the exact argument shapes let the
+           builder profile outrank string-keyed container lookups. *)
+        m ~args:[ Sstr ] ~ret_cls:string_builder "append" 1 Sobj;
+        m ~args:[ Sint ] ~ret_cls:string_builder "append" 1 Sobj;
+        m ~args:[ Sobj ] ~ret_cls:string_builder "append" 1 Sobj;
+        m ~ret_cls:string_builder "append" 1 Sobj; m ~args:[] "toString" 0 Sstr;
+      ] );
+    ( java_string,
+      [
+        m ~static:true ~args:[ Sstr ] "valueOf" 1 Sstr;
+        m ~static:true ~args:[ Sint ] "valueOf" 1 Sstr;
+        m ~static:true ~args:[ Sobj ] "valueOf" 1 Sstr;
+        m ~static:true "valueOf" 1 Sstr; m ~args:[ Sstr ] "concat" 1 Sstr;
+        m ~args:[] "trim" 0 Sstr; m ~args:[ Sstr ] "equals" 1 Sbool;
+        m ~args:[] "length" 0 Sint;
+      ] );
+    ( java_integer,
+      [ m ~static:true ~args:[ Sstr ] "parseInt" 1 Sint; m ~static:true ~args:[ Sint ] "toString" 1 Sstr ] );
+    (url_encoder, [ m ~static:true ~args:[ Sstr; Sstr ] "encode" 2 Sstr ]);
+    (http_get, [ m ~args:[ Sstr ] "<init>" 1 Svoid ]);
+    (http_post, [ m ~args:[ Sstr ] "<init>" 1 Svoid ]);
+    (http_put, [ m ~args:[ Sstr ] "<init>" 1 Svoid ]);
+    (http_delete, [ m ~args:[ Sstr ] "<init>" 1 Svoid ]);
+    ( http_request_base,
+      [
+        m ~args:[ Sstr; Sstr ] "setHeader" 2 Svoid;
+        m ~args:[ Sstr; Sstr ] "addHeader" 2 Svoid;
+        m ~args:[ Sobj ] ~arg_rel:[ (0, Lib_subclass_of http_entity) ] "setEntity" 1 Svoid;
+      ] );
+    (default_http_client, [ m ~args:[] "<init>" 0 Svoid ]);
+    (http_client, [ m ~args:[ Sobj ] ~arg_rel:[ (0, Lib_subclass_of http_request_base) ] ~ret_cls:http_response "execute" 1 Sobj ]);
+    (http_response, [ m ~args:[] ~ret_cls:http_entity "getEntity" 0 Sobj ]);
+    (http_entity, [ m ~args:[] ~ret_cls:input_stream "getContent" 0 Sobj ]);
+    (entity_utils, [ m ~static:true ~args:[ Sobj ] ~arg_rel:[ (0, Lib_instance_of http_entity) ] "toString" 1 Sstr ]);
+    (string_entity, [ m ~args:[ Sstr ] "<init>" 1 Svoid ]);
+    (form_entity, [ m ~args:[ Sobj ] ~arg_rel:[ (0, Lib_instance_of array_list) ] "<init>" 1 Svoid ]);
+    (name_value_pair, [ m ~args:[ Sstr; Sstr ] "<init>" 2 Svoid ]);
+    ( array_list,
+      [
+        m ~args:[] "<init>" 0 Svoid; m "add" 1 Sbool;
+        (* Apps routinely ignore add's boolean result; references written
+           with a void return must still match. *)
+        m ~args:[ Sobj ] "add" 1 Svoid;
+        m "add" 1 Svoid;
+        m ~args:[ Sint ] "get" 1 Sobj; m ~args:[] "size" 0 Sint;
+      ] );
+    (hash_map, [ m ~args:[] "<init>" 0 Svoid; m "put" 2 Svoid; m "get" 1 Sobj ]);
+    (* EditText precedes the JSON trees: an (init, 0-arg string getter)
+       profile is a widget read; JSON classes in real use carry keyed
+       accessors that EditText cannot explain. *)
+    (edit_text, [ m ~args:[] "<init>" 0 Svoid; m ~args:[] "getText" 0 Sstr ]);
+    ( json_object,
+      [
+        m ~args:[] "<init>" 0 Svoid; m ~args:[ Sstr ] "<init>" 1 Svoid;
+        m ~ret_cls:json_object "put" 2 Sobj;
+        m ~args:[ Sstr ] "getString" 1 Sstr; m ~args:[ Sstr ] "optString" 1 Sstr;
+        m ~args:[ Sstr ] "getInt" 1 Sint; m ~args:[ Sstr ] "getBoolean" 1 Sbool;
+        m ~args:[ Sstr ] ~ret_cls:json_object "getJSONObject" 1 Sobj;
+        m ~args:[ Sstr ] ~ret_cls:json_array "getJSONArray" 1 Sobj;
+        m ~args:[ Sstr ] "has" 1 Sbool; m ~args:[] "toString" 0 Sstr;
+      ] );
+    ( json_array,
+      [
+        m ~args:[] "<init>" 0 Svoid; m ~args:[ Sstr ] "<init>" 1 Svoid;
+        m ~ret_cls:json_array "put" 1 Sobj; m ~args:[] "length" 0 Sint;
+        m ~args:[ Sint ] ~ret_cls:json_object "getJSONObject" 1 Sobj;
+        m ~args:[ Sint ] "getString" 1 Sstr; m ~args:[] "toString" 0 Sstr;
+      ] );
+    ( gson,
+      [
+        m ~args:[] "<init>" 0 Svoid; m ~args:[ Sobj ] "toJson" 1 Sstr;
+        m ~args:[ Sstr; Sstr ] "fromJson" 2 Sobj;
+      ] );
+    (xml_parser, [ m ~static:true ~args:[ Sstr ] ~ret_cls:xml_element "parse" 1 Sobj ]);
+    ( xml_element,
+      [
+        m ~args:[ Sstr ] ~ret_cls:xml_element "getChild" 1 Sobj;
+        m ~args:[ Sstr ] ~ret_cls:array_list "getChildren" 1 Sobj;
+        m ~args:[ Sstr ] "getAttribute" 1 Sstr; m ~args:[] "getText" 0 Sstr;
+      ] );
+    ( activity,
+      [
+        m ~args:[] ~ret_cls:resources "getResources" 0 Sobj;
+        m ~args:[ Sint ] ~ret_cls:view "findViewById" 1 Sobj;
+      ] );
+    (resources, [ m ~args:[ Sint ] "getString" 1 Sstr ]);
+    (view, [ m ~args:[ Sobj ] ~arg_rel:[ (0, App_subclass_of on_click_listener) ] "setOnClickListener" 1 Svoid ]);
+    (async_task, [ m "execute" 1 Svoid ]);
+    ( sqlite_database,
+      [
+        m ~args:[] "<init>" 0 Svoid; m ~args:[ Sstr; Sobj ] ~arg_rel:[ (1, Lib_instance_of content_values) ] "insert" 2 Svoid;
+        m ~args:[ Sstr; Sobj ] ~arg_rel:[ (1, Lib_instance_of content_values) ] "update" 2 Svoid;
+        m ~args:[ Sstr ] ~ret_cls:cursor "query" 1 Sobj;
+      ] );
+    (content_values, [ m ~args:[] "<init>" 0 Svoid; m "put" 2 Svoid ]);
+    (cursor, [ m ~args:[ Sstr ] "getString" 1 Sstr; m ~args:[] "moveToNext" 0 Sbool ]);
+    (* A bare (write, close) profile reads as a stream before a media
+       sink; real MediaPlayer usage also shows prepare/start. *)
+    (output_stream, [ m ~args:[ Sstr ] "write" 1 Svoid; m ~args:[] "close" 0 Svoid ]);
+    (* TextView precedes MediaPlayer: for an (init, one string setter)
+       profile the UI widget is the likelier reading. *)
+    (text_view, [ m ~args:[] "<init>" 0 Svoid; m ~args:[ Sstr ] "setText" 1 Svoid ]);
+    ( media_player,
+      [
+        m ~args:[] "<init>" 0 Svoid; m ~args:[ Sstr ] "setDataSource" 1 Svoid;
+        m ~args:[] "prepare" 0 Svoid; m ~args:[] "start" 0 Svoid;
+      ] );
+    ( location_manager,
+      [ m ~args:[] "<init>" 0 Svoid; m ~args:[ Sobj ] ~arg_rel:[ (0, App_subclass_of location_listener) ] "requestLocationUpdates" 1 Svoid ] );
+    (location, [ m ~args:[] "getLat" 0 Sstr; m ~args:[] "getLon" 0 Sstr ]);
+    (android_log, [ m ~static:true ~args:[ Sstr; Sstr ] "d" 2 Svoid; m ~static:true ~args:[ Sstr; Sstr ] "e" 2 Svoid ]);
+    ( intent,
+      [
+        m ~args:[ Sstr ] "<init>" 1 Svoid; m "putExtra" 2 Svoid;
+        m ~args:[ Sstr ] "getExtra" 1 Sstr;
+      ] );
+    (context, [ m ~args:[ Sobj ] ~arg_rel:[ (0, Lib_instance_of intent) ] "startService" 1 Svoid ]);
+    (timer, [ m ~args:[] "<init>" 0 Svoid; m ~args:[ Sobj; Sint ] ~arg_rel:[ (0, App_subclass_of timer_task) ] "schedule" 2 Svoid ]);
+    (firebase_messaging, [ m ~static:true ~args:[ Sobj ] ~arg_rel:[ (0, App_subclass_of messaging_service) ] "subscribe" 1 Svoid ]);
+    (request_queue, [ m ~args:[] "<init>" 0 Svoid; m ~args:[ Sobj ] ~arg_rel:[ (0, Lib_instance_of string_request) ] "add" 1 Svoid ]);
+    (string_request, [ m ~args:[ Sstr; Sstr; Sobj ] "<init>" 3 Svoid ]);
+    ( okhttp_client,
+      [
+        m ~args:[] "<init>" 0 Svoid;
+        m ~args:[ Sobj ] ~arg_rel:[ (0, Lib_instance_of okhttp_request) ]
+          ~ret_cls:okhttp_call "newCall" 1 Sobj;
+      ] );
+    ( okhttp_builder,
+      [
+        m ~args:[] "<init>" 0 Svoid;
+        m ~args:[ Sstr ] ~ret_cls:okhttp_builder "url" 1 Sobj;
+        m ~args:[ Sstr; Sstr ] ~ret_cls:okhttp_builder "header" 2 Sobj;
+        m ~args:[ Sobj ] ~arg_rel:[ (0, Lib_instance_of okhttp_body) ]
+          ~ret_cls:okhttp_builder "post" 1 Sobj;
+        m ~args:[ Sobj ] ~arg_rel:[ (0, Lib_instance_of okhttp_body) ]
+          ~ret_cls:okhttp_builder "put" 1 Sobj;
+        m ~args:[ Sobj ] ~arg_rel:[ (0, Lib_instance_of okhttp_body) ]
+          ~ret_cls:okhttp_builder "delete" 1 Sobj;
+        m ~args:[] ~ret_cls:okhttp_request "build" 0 Sobj;
+      ] );
+    (okhttp_body, [ m ~static:true ~args:[ Sstr ] ~ret_cls:okhttp_body "create" 1 Sobj ]);
+    (okhttp_call, [ m ~args:[] ~ret_cls:okhttp_response "execute" 0 Sobj ]);
+    (okhttp_response, [ m ~args:[] ~ret_cls:okhttp_response_body "body" 0 Sobj ]);
+    (okhttp_response_body, [ m ~args:[] "string" 0 Sstr ]);
+    (* Reflection ranks below the HTTP stacks: a lone static (str)->self
+       factory profile reads as RequestBody.create first; a genuinely
+       reflective profile also shows newInstance/getMethod. *)
+    ( java_class,
+      [
+        m ~static:true ~args:[ Sstr ] ~ret_cls:java_class "forName" 1 Sobj;
+        m ~args:[] "newInstance" 0 Sobj;
+        m ~args:[ Sstr ] ~ret_cls:reflect_method "getMethod" 1 Sobj;
+      ] );
+    (reflect_method, [ m "invoke" 1 Sobj; m "invoke" 2 Sobj ]);
+    ( java_url,
+      [
+        m ~args:[ Sstr ] "<init>" 1 Svoid;
+        m ~args:[] ~ret_cls:http_url_connection "openConnection" 0 Sobj;
+      ] );
+    ( http_url_connection,
+      [
+        m ~args:[ Sstr ] "setRequestMethod" 1 Svoid;
+        m ~args:[ Sstr; Sstr ] "setRequestProperty" 2 Svoid;
+        m ~args:[] ~ret_cls:output_stream "getOutputStream" 0 Sobj;
+        m ~args:[] ~ret_cls:input_stream "getInputStream" 0 Sobj;
+        m ~args:[] "getResponseCode" 0 Sint;
+      ] );
+    (io_utils, [ m ~static:true ~args:[ Sobj ] ~arg_rel:[ (0, Lib_instance_of input_stream) ] "toString" 1 Sstr ]);
+    ( java_socket,
+      [
+        m ~args:[ Sstr; Sint ] "<init>" 2 Svoid;
+        m ~args:[] ~ret_cls:output_stream "getOutputStream" 0 Sobj;
+        m ~args:[] ~ret_cls:input_stream "getInputStream" 0 Sobj;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Usage profiles of the obfuscated program                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Observed class relationship of an object argument. *)
+type arg_obs =
+  | Obs_app_subclass of string  (** app class extending this obf lib class *)
+  | Obs_lib of string  (** direct instance of this obf lib class *)
+  | Obs_other
+
+type usage = {
+  u_name : string;  (** possibly-obfuscated method name *)
+  u_static : bool;  (** static call (no receiver) *)
+  u_args : shape list;
+  u_arg_obs : arg_obs list;  (** per-argument class observations *)
+  u_ret : shape;
+  u_ret_cls : string option;  (** obfuscated class of an [Sobj] return *)
+}
+
+(** For each (possibly renamed) library class: the usages observed on it.
+    Calls are attributed to the receiver's static class when it is a
+    library class — this distinguishes e.g. the HttpGet/HttpPost
+    subclasses of a shared request base. *)
+let usage_profiles (prog : Ir.program) : (string, usage list) Hashtbl.t =
+  let lib_names = Hashtbl.create 32 in
+  List.iter
+    (fun c -> if c.Ir.c_library then Hashtbl.replace lib_names c.Ir.c_name ())
+    prog.Ir.p_classes;
+  (* Superclass of application classes, for listener-pattern detection. *)
+  let app_supers = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      if not c.Ir.c_library then
+        match c.Ir.c_super with
+        | Some s -> Hashtbl.replace app_supers c.Ir.c_name s
+        | None -> ())
+    prog.Ir.p_classes;
+  let observe_arg v =
+    match v with
+    | Ir.Local { Ir.vty = Ir.Obj c; _ } when Hashtbl.mem lib_names c -> Obs_lib c
+    | Ir.Local { Ir.vty = Ir.Obj c; _ } -> (
+        match Hashtbl.find_opt app_supers c with
+        | Some s when Hashtbl.mem lib_names s -> Obs_app_subclass s
+        | Some _ | None -> Obs_other)
+    | Ir.Const _ | Ir.Local _ -> Obs_other
+  in
+  let profiles = Hashtbl.create 32 in
+  let add cls u =
+    let cur = Option.value (Hashtbl.find_opt profiles cls) ~default:[] in
+    if not (List.mem u cur) then Hashtbl.replace profiles cls (u :: cur)
+  in
+  List.iter
+    (fun c ->
+      if not c.Ir.c_library then
+        List.iter
+          (fun (m : Ir.meth) ->
+            Array.iter
+              (fun stmt ->
+                match Ir.stmt_invoke stmt with
+                | Some i when Hashtbl.mem lib_names i.Ir.iref.Ir.mcls ->
+                    let owner =
+                      match i.Ir.ibase with
+                      | Some { Ir.vty = Ir.Obj c; _ } when Hashtbl.mem lib_names c
+                        ->
+                          c
+                      | Some _ | None -> i.Ir.iref.Ir.mcls
+                    in
+                    add owner
+                      {
+                        u_name = i.Ir.iref.Ir.mname;
+                        u_static = i.Ir.ikind = Ir.Static;
+                        u_args = List.map shape_of_value i.Ir.iargs;
+                        u_arg_obs = List.map observe_arg i.Ir.iargs;
+                        u_ret = shape_of_ty i.Ir.iref.Ir.mret;
+                        u_ret_cls =
+                          (match i.Ir.iref.Ir.mret with
+                          | Ir.Obj rc when Hashtbl.mem lib_names rc -> Some rc
+                          | Ir.Obj _ | Ir.Void | Ir.Int | Ir.Bool | Ir.Str
+                          | Ir.Arr _ ->
+                              None);
+                      }
+                | Some _ | None -> ())
+              m.Ir.m_body)
+          c.Ir.c_methods)
+    prog.Ir.p_classes;
+  profiles
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Signature-defining methods: a profile that never once uses the
+    class's core operation (a StringBuilder that never appends, a
+    MediaPlayer that never sets a data source) is probably not that
+    class, however well its incidental constructors and toString match. *)
+let core_methods : (string * string) list =
+  let open Api in
+  [
+    (string_builder, "append");
+    (media_player, "setDataSource");
+  ]
+
+(** Framework-callback names survive obfuscation (dispatch needs them), so
+    the methods an application subclass overrides fingerprint its library
+    superclass: a renamed class extended by an app class defining
+    [onCreate] can only be Activity. *)
+let subclass_fingerprints : (string * string list) list =
+  let open Api in
+  [
+    (activity, [ "onCreate"; "onResume"; "onStart"; "onDestroy" ]);
+    (async_task, [ "doInBackground"; "onPostExecute"; "onPreExecute" ]);
+    (on_click_listener, [ "onClick" ]);
+    (intent_service, [ "onHandleIntent" ]);
+    (timer_task, [ "run" ]);
+    (messaging_service, [ "onMessageReceived" ]);
+    (location_listener, [ "onLocationChanged" ]);
+    (volley_listener, [ "onResponse"; "onErrorResponse" ]);
+  ]
+
+(** Catalog entry of a class including methods inherited from its library
+    superclasses (profiles attribute calls to the receiver's class). *)
+let entry_with_inherited known_cls : msig list =
+  let rec up cls acc =
+    let acc = acc @ Option.value (List.assoc_opt cls catalog) ~default:[] in
+    match Api.library_super cls with Some s -> up s acc | None -> acc
+  in
+  let entry = up known_cls [] in
+  (* Only entity-enclosing requests (POST/PUT) carry setEntity; GET and
+     DELETE inherit the rest of HttpRequestBase but not the body setter.
+     This is the discriminator that separates the otherwise constructor-
+     identical request classes. *)
+  if known_cls = Api.http_get || known_cls = Api.http_delete then
+    List.filter (fun s -> s.ms_name <> "setEntity") entry
+  else entry
+
+let sig_compatible (u : usage) (s : msig) =
+  (* Constructors keep the <init> token under obfuscation, so they only
+     match each other; static calls only match static catalog methods. *)
+  (u.u_name = "<init>") = (s.ms_name = "<init>")
+  && u.u_static = s.ms_static
+  && List.length u.u_args = s.ms_nargs
+  && u.u_ret = s.ms_ret
+  && match s.ms_args with None -> true | Some args -> args = u.u_args
+
+(** Score a candidate (obfuscated class, known class) pair under a partial
+    assignment: compatible usages score positively, unexplained ones
+    penalize, and relational consistency — the observed return class
+    already assigned to the catalog's return class, the obfuscated
+    superclass assigned to the catalog superclass — earns large bonuses
+    (and inconsistency large penalties). *)
+let arg_rel_score ~assigned (u : usage) (s : msig) =
+  List.fold_left
+    (fun acc (i, rel) ->
+      match (rel, List.nth_opt u.u_arg_obs i) with
+      | App_subclass_of c, Some (Obs_app_subclass a)
+      | Lib_instance_of c, Some (Obs_lib a) -> (
+          match Hashtbl.find_opt assigned a with
+          | Some c' when c' = c -> acc + 8
+          | Some _ -> acc - 8
+          | None -> acc + 1 (* kinds agree; identity still open *))
+      | Lib_subclass_of c, Some (Obs_lib a) -> (
+          match Hashtbl.find_opt assigned a with
+          | Some c' when Api.library_subclass ~sub:c' ~super:c -> acc + 8
+          | Some _ -> acc - 8
+          | None -> acc + 1)
+      | (App_subclass_of _ | Lib_instance_of _ | Lib_subclass_of _), _ -> acc - 4)
+    0 s.ms_arg_rel
+
+let score ~assigned ~obf_supers ~constraints ~app_overrides obf_cls
+    (usages : usage list) known_cls : int =
+  let entry = entry_with_inherited known_cls in
+  (* Subtype constraints harvested from committed callers: a class passed
+     where the catalog demands a subclass of C must itself resolve inside
+     C's subtree. *)
+  let constraint_bonus =
+    List.fold_left
+      (fun acc super ->
+        if Api.library_subclass ~sub:known_cls ~super then acc + 8 else acc - 8)
+      0
+      (Hashtbl.find_all constraints obf_cls)
+  in
+  let base =
+    List.fold_left
+      (fun acc u ->
+        let compatible = List.filter (sig_compatible u) entry in
+        if compatible = [] then acc - 4
+        else
+          (* Interpret the usage as the best-scoring compatible catalog
+             signature. *)
+          let best =
+            List.fold_left
+              (fun best s ->
+                let ret_rel =
+                  match u.u_ret_cls with
+                  | None -> 0
+                  | Some b when b = obf_cls ->
+                      (* Self-returning call: the builder-pattern
+                         fingerprint (StringBuilder.append, okhttp
+                         Request.Builder chains) verifies against the
+                         candidate itself. *)
+                      if s.ms_ret_cls = Some known_cls then 8
+                      else if s.ms_ret_cls <> None then -8
+                      else 0
+                  | Some b -> (
+                      match Hashtbl.find_opt assigned b with
+                      | None ->
+                          (* A self-returning signature (append, builder
+                             chains) cannot produce a class other than the
+                             receiver's own. *)
+                          if s.ms_ret_cls = Some known_cls then -8
+                          else if s.ms_ret_cls <> None then 1
+                          else 0
+                      | Some c ->
+                          if s.ms_ret_cls = Some c then 8
+                          else if s.ms_ret_cls <> None then -8
+                          else 0)
+                in
+                (* Exact argument-shape signatures outrank polymorphic
+                   ones, so e.g. setText(String) beats the type-generic
+                   ArrayList.add for a (string) usage. *)
+                let precision = if s.ms_args <> None then 1 else 0 in
+                max best (2 + precision + ret_rel + arg_rel_score ~assigned u s))
+              min_int compatible
+          in
+          acc + best)
+      0 usages
+  in
+  let super_bonus =
+    match (Hashtbl.find_opt obf_supers obf_cls, Api.library_super known_cls) with
+    | Some obf_super, Some known_super -> (
+        match Hashtbl.find_opt assigned obf_super with
+        | Some c when c = known_super -> 6
+        | Some _ -> -10
+        | None -> 0)
+    | Some _, None | None, Some _ -> -3
+    | None, None -> 1
+  in
+  let core_penalty =
+    match List.assoc_opt known_cls core_methods with
+    | None -> 0
+    | Some core -> (
+        let core_sigs = List.filter (fun m -> m.ms_name = core) entry in
+        match core_sigs with
+        | [] -> 0
+        | _ :: _ ->
+            if
+              List.exists
+                (fun u -> List.exists (sig_compatible u) core_sigs)
+                usages
+            then 0
+            else -3)
+  in
+  let fingerprint_bonus =
+    match Hashtbl.find_opt app_overrides obf_cls with
+    | None -> 0
+    | Some overrides -> (
+        match List.assoc_opt known_cls subclass_fingerprints with
+        | Some names when List.exists (fun n -> List.mem n names) overrides ->
+            8
+        | Some _ -> -4
+        | None -> -6 (* apps do not subclass this library class *))
+  in
+  base + super_bonus + constraint_bonus + fingerprint_bonus + core_penalty
+
+type mapping = {
+  dm_classes : (string * string) list;  (** obfuscated class → known class *)
+  dm_methods : ((string * string) * string) list;
+      (** (obfuscated class, obfuscated method) → known method *)
+}
+
+(** Recover the obfuscated-library map: iterated greedy assignment with
+    constraint propagation.  Each round scores every unassigned pair under
+    the current partial assignment and commits the best one; superclass
+    edges then pull in classes without usages of their own (interfaces the
+    app only names in method references).  Method names are matched within
+    each class by signature; residual ambiguities fall to the first unused
+    candidate — the paper resolves those by inspecting decompiled code. *)
+let recover (prog : Ir.program) : mapping =
+  let profiles = usage_profiles prog in
+  let obf_supers = Hashtbl.create 32 in
+  let obf_lib_classes = ref [] in
+  List.iter
+    (fun c ->
+      if c.Ir.c_library then begin
+        obf_lib_classes := c.Ir.c_name :: !obf_lib_classes;
+        match c.Ir.c_super with
+        | Some s -> Hashtbl.replace obf_supers c.Ir.c_name s
+        | None -> ()
+      end)
+    prog.Ir.p_classes;
+  (* Methods that application classes define on each (obfuscated) library
+     superclass they extend. *)
+  let app_overrides : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Ir.cls) ->
+      if not c.Ir.c_library then
+        match c.Ir.c_super with
+        | Some s when Hashtbl.mem obf_supers s || List.mem s !obf_lib_classes
+          ->
+            let names = List.map (fun m -> m.Ir.m_name) c.Ir.c_methods in
+            let prev = Option.value (Hashtbl.find_opt app_overrides s) ~default:[] in
+            Hashtbl.replace app_overrides s (names @ prev)
+        | Some _ | None -> ())
+    prog.Ir.p_classes;
+  let assigned = Hashtbl.create 32 in
+  let used_known = Hashtbl.create 32 in
+  let constraints : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let constrain obf super =
+    if not (List.mem super (Hashtbl.find_all constraints obf)) then
+      Hashtbl.add constraints obf super
+  in
+  let commit obf known =
+    if (not (Hashtbl.mem assigned obf)) && not (Hashtbl.mem used_known known)
+    then begin
+      Hashtbl.replace assigned obf known;
+      Hashtbl.replace used_known known ()
+    end
+  in
+  (* Propagate assignments through argument relations: a committed class
+     whose catalog signature constrains an argument's class identifies
+     that argument's (obfuscated) class too. *)
+  let propagate_args () =
+    Hashtbl.iter
+      (fun obf_cls usages ->
+        match Hashtbl.find_opt assigned obf_cls with
+        | None -> ()
+        | Some known_cls ->
+            let entry = entry_with_inherited known_cls in
+            List.iter
+              (fun (u : usage) ->
+                List.iter
+                  (fun s ->
+                    if sig_compatible u s then
+                      List.iter
+                        (fun (i, rel) ->
+                          match (rel, List.nth_opt u.u_arg_obs i) with
+                          | App_subclass_of c, Some (Obs_app_subclass a)
+                          | Lib_instance_of c, Some (Obs_lib a) ->
+                              commit a c
+                          | Lib_subclass_of c, Some (Obs_lib a) ->
+                              constrain a c
+                          | ( (App_subclass_of _ | Lib_instance_of _
+                              | Lib_subclass_of _),
+                              _ ) ->
+                              ())
+                        s.ms_arg_rel)
+                  entry)
+              usages)
+      profiles
+  in
+  (* Propagate assignments through return classes: once a receiver is
+     identified, an obfuscated class that one of its calls returns is
+     identified by the catalog's declared return class — provided every
+     compatible catalog signature agrees on it. *)
+  let propagate_rets () =
+    Hashtbl.iter
+      (fun obf_cls usages ->
+        match Hashtbl.find_opt assigned obf_cls with
+        | None -> ()
+        | Some known_cls ->
+            let entry = entry_with_inherited known_cls in
+            List.iter
+              (fun (u : usage) ->
+                match u.u_ret_cls with
+                | Some b when not (Hashtbl.mem assigned b) -> (
+                    let rets =
+                      List.filter_map
+                        (fun s -> if sig_compatible u s then Some s.ms_ret_cls else None)
+                        entry
+                    in
+                    match List.sort_uniq compare rets with
+                    | [ Some c ] -> commit b c
+                    | [] | [ None ] | _ :: _ :: _ -> ())
+                | Some _ | None -> ())
+              usages)
+      profiles
+  in
+  (* Propagate assignments along superclass edges in both directions. *)
+  let propagate_supers () =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Hashtbl.iter
+        (fun obf obf_super ->
+          match (Hashtbl.find_opt assigned obf, Hashtbl.find_opt assigned obf_super) with
+          | Some known, None -> (
+              match Api.library_super known with
+              | Some known_super when not (Hashtbl.mem used_known known_super) ->
+                  commit obf_super known_super;
+                  changed := true
+              | Some _ | None -> ())
+          | (Some _ | None), _ -> ())
+        obf_supers
+    done
+  in
+  (* A sorted snapshot keeps the greedy search fully deterministic
+     (ties broken by class names, independent of hash-table order). *)
+  let profile_list =
+    Hashtbl.fold (fun k v acc -> (k, List.sort compare v) :: acc) profiles []
+    |> List.sort compare
+  in
+  (* Ties prefer earlier catalog entries: the catalog lists the more
+     common API first (e.g. HttpPost before HttpPut). *)
+  let rank = Hashtbl.create 64 in
+  List.iteri (fun i (known, _) -> Hashtbl.replace rank known i) catalog;
+  (* Unambiguous classes commit eagerly: an obfuscated class with exactly
+     one positive candidate cannot be stolen by a higher-scoring ambiguous
+     competitor. *)
+  let commit_unique () =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (obf_cls, usages) ->
+          if not (Hashtbl.mem assigned obf_cls) then begin
+            let candidates =
+              List.filter
+                (fun (known, _) ->
+                  (not (Hashtbl.mem used_known known))
+                  && score ~assigned ~obf_supers ~constraints ~app_overrides obf_cls usages known > 0)
+                catalog
+            in
+            match candidates with
+            | [ (known, _) ] ->
+                commit obf_cls known;
+                changed := true
+            | [] | _ :: _ :: _ -> ()
+          end)
+        profile_list
+    done
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    (* Propagate to fixpoint: chains like client -> call -> response ->
+       body resolve fully before the next (less certain) greedy pick. *)
+    let stable = ref false in
+    while not !stable do
+      let before = Hashtbl.length assigned in
+      commit_unique ();
+      propagate_supers ();
+      propagate_args ();
+      propagate_rets ();
+      stable := Hashtbl.length assigned = before
+    done;
+    let best = ref None in
+    List.iter
+      (fun (obf_cls, usages) ->
+        if not (Hashtbl.mem assigned obf_cls) then
+          List.iter
+            (fun (known, _) ->
+              if not (Hashtbl.mem used_known known) then begin
+                let sc = score ~assigned ~obf_supers ~constraints ~app_overrides obf_cls usages known in
+                let cand =
+                  (sc, -Option.value (Hashtbl.find_opt rank known) ~default:0,
+                   obf_cls, known)
+                in
+                match !best with
+                | Some b when compare b cand >= 0 -> ()
+                | Some _ | None -> if sc > 0 then best := Some cand
+              end)
+            catalog)
+      profile_list;
+    (match !best with
+    | Some (_, _, obf, known) -> commit obf known
+    | None -> continue_ := false);
+    propagate_supers ();
+    propagate_args ()
+  done;
+  let dm_classes = Hashtbl.fold (fun o k acc -> (o, k) :: acc) assigned [] in
+  (* Method recovery inside matched classes; a usage of an inherited
+     method is also mapped under the declaring class's obfuscated name so
+     method-reference rewriting works regardless of attribution. *)
+  let dm_methods = ref [] in
+  let add_method key known_name =
+    if not (List.mem_assoc key !dm_methods) then
+      dm_methods := (key, known_name) :: !dm_methods
+  in
+  List.iter
+    (fun (obf_cls, usages) ->
+      match Hashtbl.find_opt assigned obf_cls with
+      | None -> ()
+      | Some known_cls ->
+          let entry = entry_with_inherited known_cls in
+          let taken = Hashtbl.create 8 in
+          List.iter
+            (fun (u : usage) ->
+              if u.u_name <> "<init>" then begin
+                let candidates =
+                  List.filter
+                    (fun s ->
+                      sig_compatible u s
+                      && (not (Hashtbl.mem taken s.ms_name))
+                      && s.ms_name <> "<init>")
+                    entry
+                in
+                let preferred =
+                  match u.u_ret_cls with
+                  | Some b -> (
+                      match Hashtbl.find_opt assigned b with
+                      | Some c ->
+                          List.find_opt (fun s -> s.ms_ret_cls = Some c) candidates
+                      | None -> None)
+                  | None -> None
+                in
+                match (preferred, candidates) with
+                | Some s, _ | None, s :: _ ->
+                    Hashtbl.replace taken s.ms_name ();
+                    add_method (obf_cls, u.u_name) s.ms_name
+                | None, [] -> ()
+              end)
+            (List.sort compare usages))
+    profile_list;
+  { dm_classes = List.sort compare dm_classes; dm_methods = !dm_methods }
+
+(* ------------------------------------------------------------------ *)
+(* Applying the recovered map                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_class (m : mapping) name =
+  Option.value (List.assoc_opt name m.dm_classes) ~default:name
+
+let rec restore_ty m = function
+  | Ir.Obj c -> Ir.Obj (lookup_class m c)
+  | Ir.Arr t -> Ir.Arr (restore_ty m t)
+  | (Ir.Void | Ir.Int | Ir.Bool | Ir.Str) as t -> t
+
+let restore_var m (v : Ir.var) = { v with Ir.vty = restore_ty m v.Ir.vty }
+
+let restore_value m = function
+  | Ir.Local v -> Ir.Local (restore_var m v)
+  | Ir.Const _ as c -> c
+
+(** Restore a method name: the mapping may be keyed by the reference class
+    or by the receiver's class (whichever carried the usage profile). *)
+let restore_mname (m : mapping) (i : Ir.invoke) =
+  let key1 = (i.Ir.iref.Ir.mcls, i.Ir.iref.Ir.mname) in
+  match List.assoc_opt key1 m.dm_methods with
+  | Some known -> known
+  | None -> (
+      match i.Ir.ibase with
+      | Some { Ir.vty = Ir.Obj recv; _ } -> (
+          match List.assoc_opt (recv, i.Ir.iref.Ir.mname) m.dm_methods with
+          | Some known -> known
+          | None -> i.Ir.iref.Ir.mname)
+      | Some _ | None -> i.Ir.iref.Ir.mname)
+
+let restore_invoke m (i : Ir.invoke) =
+  {
+    i with
+    Ir.iref =
+      {
+        i.Ir.iref with
+        Ir.mcls = lookup_class m i.Ir.iref.Ir.mcls;
+        mname = restore_mname m i;
+        mret = restore_ty m i.Ir.iref.Ir.mret;
+      };
+    ibase = Option.map (restore_var m) i.Ir.ibase;
+    iargs = List.map (restore_value m) i.Ir.iargs;
+  }
+
+let restore_expr m = function
+  | Ir.Val v -> Ir.Val (restore_value m v)
+  | Ir.Binop (op, a, b) -> Ir.Binop (op, restore_value m a, restore_value m b)
+  | Ir.New c -> Ir.New (lookup_class m c)
+  | Ir.NewArr (t, n) -> Ir.NewArr (restore_ty m t, restore_value m n)
+  | Ir.IField (x, f) -> Ir.IField (restore_var m x, f)
+  | Ir.SField f -> Ir.SField f
+  | Ir.AElem (a, i) -> Ir.AElem (restore_var m a, restore_value m i)
+  | Ir.ALen a -> Ir.ALen (restore_var m a)
+  | Ir.Invoke i -> Ir.Invoke (restore_invoke m i)
+  | Ir.Cast (t, v) -> Ir.Cast (restore_ty m t, restore_value m v)
+
+let restore_stmt m = function
+  | Ir.Assign (l, e) ->
+      let l' =
+        match l with
+        | Ir.Lvar v -> Ir.Lvar (restore_var m v)
+        | Ir.Lfield (x, f) -> Ir.Lfield (restore_var m x, f)
+        | Ir.Lsfield f -> Ir.Lsfield f
+        | Ir.Lelem (a, i) -> Ir.Lelem (restore_var m a, restore_value m i)
+      in
+      Ir.Assign (l', restore_expr m e)
+  | Ir.InvokeStmt i -> Ir.InvokeStmt (restore_invoke m i)
+  | Ir.If (v, l) -> Ir.If (restore_value m v, l)
+  | (Ir.Goto _ | Ir.Lab _ | Ir.Nop) as s -> s
+  | Ir.Return v -> Ir.Return (Option.map (restore_value m) v)
+
+(** Rewrite the program with the recovered identifiers so demarcation
+    points and semantic models match again. *)
+let apply (m : mapping) (prog : Ir.program) : Ir.program =
+  {
+    Ir.p_classes =
+      List.map
+        (fun c ->
+          if c.Ir.c_library then
+            {
+              c with
+              Ir.c_name = lookup_class m c.Ir.c_name;
+              c_super = Option.map (lookup_class m) c.Ir.c_super;
+            }
+          else
+            {
+              c with
+              Ir.c_super = Option.map (lookup_class m) c.Ir.c_super;
+              c_methods =
+                List.map
+                  (fun (meth : Ir.meth) ->
+                    {
+                      meth with
+                      Ir.m_params = List.map (restore_var m) meth.Ir.m_params;
+                      m_ret = restore_ty m meth.Ir.m_ret;
+                      m_body = Array.map (restore_stmt m) meth.Ir.m_body;
+                    })
+                  c.Ir.c_methods;
+            })
+        prog.Ir.p_classes;
+    p_entries = prog.Ir.p_entries;
+  }
+
+(** Convenience: recover and apply on an APK. *)
+let deobfuscate (apk : Apk.t) : Apk.t * mapping =
+  let m = recover apk.Apk.program in
+  ({ apk with Apk.program = apply m apk.Apk.program }, m)

@@ -1,0 +1,53 @@
+(** Library de-obfuscation (§3.4): recover the identities of renamed
+    library classes and methods by comparing the program's usage patterns
+    against a catalog of the known API surface — "the class and method that
+    has the most similar signature patterns".
+
+    Matching signals are name-free: per-class multisets of (arity,
+    argument shapes, return shape, static/instance) usages, the concrete
+    classes calls return (dataflow linkage), and superclass edges among
+    library classes.  Assignment is an iterated greedy search whose
+    relational bonuses disambiguate successive rounds; superclass edges
+    then pull in classes with no direct usages (interfaces). *)
+
+module Ir = Extr_ir.Types
+
+(** Name-free shape of a type. *)
+type shape = Svoid | Sint | Sbool | Sstr | Sobj | Sarr
+
+(** Observed class relationship of an object argument. *)
+type arg_obs =
+  | Obs_app_subclass of string  (** app class extending this obf lib class *)
+  | Obs_lib of string  (** direct instance of this obf lib class *)
+  | Obs_other
+
+(** One observed use of a library method (exposed for diagnostics). *)
+type usage = {
+  u_name : string;
+  u_static : bool;
+  u_args : shape list;
+  u_arg_obs : arg_obs list;
+  u_ret : shape;
+  u_ret_cls : string option;
+}
+
+val usage_profiles : Ir.program -> (string, usage list) Hashtbl.t
+(** Per library class, the usages the application makes of it. *)
+
+type mapping = {
+  dm_classes : (string * string) list;  (** obfuscated class → known class *)
+  dm_methods : ((string * string) * string) list;
+      (** (obfuscated class, obfuscated method) → known method *)
+}
+
+val recover : Ir.program -> mapping
+(** Infer the map from usage profiles.  Residual ambiguities (e.g. HttpPut
+    vs HttpPost when both only construct) fall to the first candidate; the
+    paper resolves those by inspecting decompiled code. *)
+
+val apply : mapping -> Ir.program -> Ir.program
+(** Rewrite the program with the recovered identifiers so demarcation
+    points and semantic models match again. *)
+
+val deobfuscate : Apk.t -> Apk.t * mapping
+(** Recover and apply in one step. *)

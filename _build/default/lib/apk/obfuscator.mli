@@ -1,0 +1,25 @@
+(** ProGuard-style identifier renaming (§3.4).  Application classes,
+    methods and fields get semantically obscure names; library classes and
+    framework-callback overrides keep theirs (dispatch must still work).
+    Extractocol is insensitive to this renaming because its demarcation
+    points and semantic models key on library signatures (verified in §5
+    by re-analyzing obfuscated APKs). *)
+
+module Ir = Extr_ir.Types
+
+type mapping
+(** The renaming map, kept only for ground-truth comparison in tests. *)
+
+val preserved_method_names : string list
+(** Constructors and framework callbacks that survive obfuscation. *)
+
+val rename_class : mapping -> string -> string
+val rename_method : mapping -> string -> string -> string
+val rename_field : mapping -> string -> string -> string
+
+val obfuscate : Apk.t -> Apk.t * mapping
+
+val obfuscate_libraries : Apk.t -> Apk.t * mapping
+(** The adversarial §3.4 case: rename the library classes and the library
+    methods the app calls, throughout the program.  Semantic models stop
+    matching until {!Deobfuscator} recovers the map. *)

@@ -1,0 +1,1 @@
+lib/cfg/callgraph.ml: Array Extr_ir List Option

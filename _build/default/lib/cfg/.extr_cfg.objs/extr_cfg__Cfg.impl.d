@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Extr_ir Fun Hashtbl List

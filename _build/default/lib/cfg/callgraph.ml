@@ -1,0 +1,102 @@
+(* Call graph over application methods, built with class-hierarchy analysis
+   plus pluggable implicit-callback resolution.  Implicit call flows through
+   thread/HTTP libraries (AsyncTask, Volley, Retrofit — §3.4) are injected
+   by the semantics layer through [callback_resolver], mirroring how the
+   paper adds EDGEMINER-style callback edges that FlowDroid misses. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+
+type callsite = {
+  cs_stmt : Ir.stmt_id;
+  cs_invoke : Ir.invoke;
+  cs_callees : Ir.method_id list;  (** resolved application-method targets *)
+  cs_implicit : bool;  (** true when the edge comes from a callback model *)
+}
+
+type t = {
+  prog : Prog.t;
+  sites_by_caller : callsite list Ir.Method_map.t;
+  callers_of : Ir.stmt_id list Ir.Method_map.t;  (** callee → call sites *)
+}
+
+(** [callback_resolver prog invoke] returns the application methods that
+    the library call [invoke] will eventually invoke (e.g. [task.execute()]
+    → [C.doInBackground] and [C.onPostExecute]). *)
+type callback_resolver = Prog.t -> Ir.invoke -> Ir.method_id list
+
+let no_callbacks : callback_resolver = fun _ _ -> []
+
+let build ?(callback_resolver = no_callbacks) (prog : Prog.t) : t =
+  let sites_by_caller = ref Ir.Method_map.empty in
+  let callers_of = ref Ir.Method_map.empty in
+  let add_caller callee sid =
+    callers_of :=
+      Ir.Method_map.update callee
+        (function None -> Some [ sid ] | Some l -> Some (sid :: l))
+        !callers_of
+  in
+  List.iter
+    (fun (m : Ir.meth) ->
+      let mid = Ir.method_id_of_meth m in
+      let sites = ref [] in
+      Array.iteri
+        (fun idx stmt ->
+          match Ir.stmt_invoke stmt with
+          | None -> ()
+          | Some invoke ->
+              let sid = { Ir.sid_meth = mid; sid_idx = idx } in
+              let direct =
+                Prog.callees prog invoke |> List.map Ir.method_id_of_meth
+              in
+              let implicit = callback_resolver prog invoke in
+              (* Keep only callbacks that exist as application methods. *)
+              let implicit =
+                List.filter
+                  (fun id ->
+                    match Prog.find_method prog id with
+                    | Some _ -> not (List.mem id direct)
+                    | None -> false)
+                  implicit
+              in
+              if direct <> [] then begin
+                sites :=
+                  { cs_stmt = sid; cs_invoke = invoke; cs_callees = direct; cs_implicit = false }
+                  :: !sites;
+                List.iter (fun c -> add_caller c sid) direct
+              end;
+              if implicit <> [] then begin
+                sites :=
+                  { cs_stmt = sid; cs_invoke = invoke; cs_callees = implicit; cs_implicit = true }
+                  :: !sites;
+                List.iter (fun c -> add_caller c sid) implicit
+              end)
+        m.Ir.m_body;
+      sites_by_caller := Ir.Method_map.add mid (List.rev !sites) !sites_by_caller)
+    (Prog.app_methods prog);
+  { prog; sites_by_caller = !sites_by_caller; callers_of = !callers_of }
+
+let callsites t mid =
+  Option.value (Ir.Method_map.find_opt mid t.sites_by_caller) ~default:[]
+
+let callsite_at t (sid : Ir.stmt_id) =
+  callsites t sid.Ir.sid_meth
+  |> List.filter (fun cs -> cs.cs_stmt.Ir.sid_idx = sid.Ir.sid_idx)
+
+let callers t callee =
+  Option.value (Ir.Method_map.find_opt callee t.callers_of) ~default:[]
+
+(** All application methods transitively reachable from the entry points,
+    following both explicit and implicit edges. *)
+let reachable_from t (entries : Ir.method_id list) =
+  let seen = ref Ir.Method_set.empty in
+  let rec visit mid =
+    if not (Ir.Method_set.mem mid !seen) then begin
+      seen := Ir.Method_set.add mid !seen;
+      List.iter
+        (fun cs -> List.iter visit cs.cs_callees)
+        (callsites t mid)
+    end
+  in
+  List.iter visit entries;
+  !seen

@@ -1,0 +1,38 @@
+(** Call graph over application methods, built with class-hierarchy
+    analysis plus pluggable implicit-callback resolution.  Implicit call
+    flows through thread/HTTP libraries (AsyncTask, Volley — §3.4) are
+    injected by the semantics layer through the resolver hook. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+
+type callsite = {
+  cs_stmt : Ir.stmt_id;
+  cs_invoke : Ir.invoke;
+  cs_callees : Ir.method_id list;  (** resolved application-method targets *)
+  cs_implicit : bool;  (** true when the edge comes from a callback model *)
+}
+
+type t
+
+type callback_resolver = Prog.t -> Ir.invoke -> Ir.method_id list
+(** [resolver prog invoke] returns the application methods a library call
+    will eventually invoke (e.g. [task.execute()] → [doInBackground]). *)
+
+val no_callbacks : callback_resolver
+
+val build : ?callback_resolver:callback_resolver -> Prog.t -> t
+
+val callsites : t -> Ir.method_id -> callsite list
+(** Call sites inside a method. *)
+
+val callsite_at : t -> Ir.stmt_id -> callsite list
+(** Call-site records anchored at one statement (possibly one explicit and
+    one implicit). *)
+
+val callers : t -> Ir.method_id -> Ir.stmt_id list
+(** Statements that may call the given method. *)
+
+val reachable_from : t -> Ir.method_id list -> Ir.Method_set.t
+(** Application methods transitively reachable from the entries, following
+    both explicit and implicit edges. *)

@@ -1,0 +1,1 @@
+lib/corpus/case_studies.ml: Extr_httpmodel List Printf Spec

@@ -1,0 +1,1 @@
+lib/corpus/case_studies.mli: Spec

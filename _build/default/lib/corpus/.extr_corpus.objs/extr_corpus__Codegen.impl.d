@@ -1,0 +1,1 @@
+lib/corpus/codegen.ml: Extr_apk Extr_httpmodel Extr_ir Extr_semantics Hashtbl List Option Printf Spec String

@@ -1,0 +1,1 @@
+lib/corpus/codegen.mli: Extr_apk Extr_ir Spec

@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Case_studies Codegen Extr_apk Lazy List Spec Synth

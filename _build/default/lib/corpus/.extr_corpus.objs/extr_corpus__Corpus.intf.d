@@ -1,0 +1,1 @@
+lib/corpus/corpus.mli: Extr_apk Lazy Spec Synth

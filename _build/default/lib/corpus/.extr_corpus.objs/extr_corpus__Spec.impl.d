@@ -1,0 +1,1 @@
+lib/corpus/spec.ml: Extr_httpmodel List String

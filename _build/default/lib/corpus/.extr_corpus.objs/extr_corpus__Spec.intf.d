@@ -1,0 +1,1 @@
+lib/corpus/spec.mli: Extr_httpmodel

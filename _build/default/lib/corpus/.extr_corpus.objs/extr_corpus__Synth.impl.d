@@ -1,0 +1,1 @@
+lib/corpus/synth.ml: Extr_httpmodel Hashtbl List Printf Spec

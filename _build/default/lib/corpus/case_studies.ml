@@ -1,0 +1,543 @@
+(* Hand-authored case-study apps reproducing the paper's in-depth
+   analyses: radio reddit (Table 3), TED (Table 4 and Figure 1), Kayak
+   (Tables 5 and 6, §5.3) and Diode (Figure 3). *)
+
+module Http = Extr_httpmodel.Http
+open Spec
+
+(* ------------------------------------------------------------------ *)
+(* radio reddit — Table 3                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Six transactions: info, station status (whose relay URI feeds the
+    media player), login (modhash/cookie reused by save and vote), save,
+    vote, and the relay stream. *)
+let radio_reddit : app =
+  let host_www = "www.reddit.com" in
+  let host_radio = "www.radioreddit.com" in
+  let host_ssl = "ssl.reddit.com" in
+  let info =
+    endpoint ~id:"info" ~meth:Http.GET ~scheme:"http" ~host:host_www
+      [ Lit "/api/info.json" ]
+      ~query:[ ("id", Suser) ]
+      ~trigger:Tentry ~stack:Apache
+  in
+  let status =
+    endpoint ~id:"status" ~meth:Http.GET ~scheme:"http" ~host:host_radio
+      [ Lit "/api/"; Var Suser; Lit "/status.json" ]
+      ~trigger:Tclick ~stack:Apache
+      ~resp:
+        (Rjson
+           [
+             Rleaf { key = "relay"; kind = Kstr; read = true; use = Some (Ufollow "stream") };
+             Rleaf { key = "listeners"; kind = Knum; read = true; use = Some Uui };
+             Rleaf { key = "all_listeners"; kind = Knum; read = true; use = None };
+             Rleaf { key = "online"; kind = Kstr; read = true; use = None };
+             Rleaf { key = "playlist"; kind = Kstr; read = true; use = Some Uui };
+             Robj
+               {
+                 key = "songs";
+                 read = true;
+                 fields =
+                   [
+                     Rarr
+                       {
+                         key = "song";
+                         read = true;
+                         loop = true;
+                         elem =
+                           [
+                             (* The app does not inspect "album" and
+                                "score" (§5.2: 16 of 18 keywords). *)
+                             Rleaf { key = "album"; kind = Kstr; read = false; use = None };
+                             Rleaf { key = "artist"; kind = Kstr; read = true; use = Some Uui };
+                             Rleaf { key = "download_url"; kind = Kstr; read = true; use = None };
+                             Rleaf { key = "genre"; kind = Kstr; read = true; use = None };
+                             Rleaf { key = "id"; kind = Kstr; read = true; use = Some Uheap };
+                             Rleaf { key = "preview_url"; kind = Kstr; read = true; use = None };
+                             Rleaf { key = "reddit_title"; kind = Kstr; read = true; use = Some Uui };
+                             Rleaf { key = "reddit_url"; kind = Kstr; read = true; use = None };
+                             Rleaf { key = "redditor"; kind = Kstr; read = true; use = None };
+                             Rleaf { key = "score"; kind = Knum; read = false; use = None };
+                             Rleaf { key = "title"; kind = Kstr; read = true; use = Some Uui };
+                           ];
+                       };
+                   ];
+               };
+           ])
+  in
+  let login =
+    endpoint ~id:"login" ~meth:Http.POST ~scheme:"https" ~host:host_ssl
+      [ Lit "/api/login" ]
+      ~body:
+        (Bquery [ ("user", Suser); ("passwd", Suser); ("api_type", Sconst "json") ])
+      ~trigger:Tcustom ~stack:Apache
+      ~resp:
+        (Rjson
+           [
+             Rleaf { key = "modhash"; kind = Kstr; read = true; use = Some Uheap };
+             Rleaf { key = "cookie"; kind = Kstr; read = true; use = Some Uheap };
+             Rleaf { key = "need_https"; kind = Kbool; read = true; use = None };
+           ])
+  in
+  let save =
+    endpoint ~id:"save" ~meth:Http.POST ~scheme:"http" ~host:host_www
+      [ Lit "/api/"; Salt [ [ Lit "unsave" ]; [ Lit "save" ] ] ]
+      ~headers:[ ("Cookie", Sresp ("login", [ "cookie" ])) ]
+      ~body:
+        (Bquery
+           [
+             ("id", Sresp ("status", [ "songs"; "song"; "[]"; "id" ]));
+             ("uh", Sresp ("login", [ "modhash" ]));
+           ])
+      ~trigger:Tclick ~stack:Apache
+      ~resp:
+        (* The reddit API answers save/vote with a jquery-style status
+           object the app checks for errors — these are the other two
+           request/response pairs of the paper's #Pair = 4. *)
+        (Rjson [ Rleaf { key = "errors"; kind = Kstr; read = true; use = None } ])
+  in
+  let vote =
+    endpoint ~id:"vote" ~meth:Http.POST ~scheme:"http" ~host:host_www
+      [ Lit "/api/vote" ]
+      ~headers:[ ("Cookie", Sresp ("login", [ "cookie" ])) ]
+      ~body:
+        (Bquery
+           [
+             ("id", Sresp ("status", [ "songs"; "song"; "[]"; "id" ]));
+             ("dir", Suser);
+             ("uh", Sresp ("login", [ "modhash" ]));
+           ])
+      ~trigger:Tclick ~stack:Apache
+      ~resp:
+        (Rjson [ Rleaf { key = "errors"; kind = Kstr; read = true; use = None } ])
+  in
+  let stream =
+    endpoint ~id:"stream" ~meth:Http.GET ~scheme:"http" ~host:"cdn.audiopump.co"
+      [ Lit "/radioreddit/hiphop_mp3_128k" ]
+      ~trigger:(Tinternal "status") ~stack:Mediaplayer ~resp:Rmedia
+  in
+  {
+    a_name = "radio reddit";
+    a_package = "com.radioreddit.android";
+    a_closed = false;
+    a_auto_blocked = false;
+    a_shared_fetch = false;
+    a_filler = 2;
+    a_endpoints = [ info; status; login; save; vote; stream ];
+    a_resources = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* TED — Table 4 and Figure 1                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ted_api_key_res = 7801
+
+(** Eight notable transactions: speakers (DB insert), facebook sharing,
+    the ad-query chain (talk → ad query → ad video → media player), the
+    talk catalog (thumbnail/video URIs into the DB), and the DB-driven
+    thumbnail/video fetches. *)
+let ted : app =
+  let host = "app-api.ted.com" in
+  let speakers =
+    endpoint ~id:"speakers" ~meth:Http.GET ~scheme:"https" ~host
+      [ Lit "/v1/speakers.json" ]
+      ~query:
+        [
+          ("limit", Sconst "2000");
+          ("api-key", Sres ted_api_key_res);
+          ("filter", Scounter);
+        ]
+      ~trigger:Tentry ~stack:Apache
+      ~resp:
+        (Rjson
+           [
+             Rarr
+               {
+                 key = "speakers";
+                 read = true;
+                 loop = true;
+                 elem =
+                   [
+                     Rleaf { key = "name"; kind = Kstr; read = true; use = Some (Udb "speakers") };
+                     Rleaf { key = "description"; kind = Kstr; read = true; use = Some (Udb "speakers") };
+                     Rleaf { key = "whotheyare"; kind = Kstr; read = false; use = None };
+                   ];
+               };
+           ])
+  in
+  let facebook =
+    endpoint ~id:"facebook" ~meth:Http.GET ~scheme:"https"
+      ~host:"graph.facebook.com"
+      [ Lit "/me/photos" ]
+      ~trigger:Tclick ~stack:Okhttp ~resp:Rtext
+  in
+  let ad_query =
+    endpoint ~id:"ad_query" ~meth:Http.GET ~scheme:"https" ~host
+      [ Lit "/v1/talks/"; Var Scounter; Lit "/android_ad.json" ]
+      ~query:[ ("api-key", Sres ted_api_key_res) ]
+      ~trigger:Tclick ~stack:Apache
+      ~resp:
+        (Rjson
+           [
+             Robj
+               {
+                 key = "companions";
+                 read = true;
+                 fields =
+                   [
+                     Robj
+                       {
+                         key = "on_page";
+                         read = true;
+                         fields =
+                           [
+                             Rleaf { key = "height"; kind = Knum; read = true; use = None };
+                             Rleaf { key = "width"; kind = Knum; read = true; use = None };
+                           ];
+                       };
+                     Robj
+                       {
+                         key = "preroll";
+                         read = true;
+                         fields =
+                           [
+                             Rleaf { key = "height"; kind = Knum; read = true; use = None };
+                             Rleaf { key = "width"; kind = Knum; read = true; use = None };
+                           ];
+                       };
+                   ];
+               };
+             Rleaf { key = "url"; kind = Kstr; read = true; use = Some (Ufollow "ad_resource") };
+           ])
+  in
+  let ad_resource =
+    endpoint ~id:"ad_resource" ~meth:Http.GET ~scheme:"https" ~host:"ads.example.net"
+      [ Lit "/vast/preroll" ]
+      ~trigger:(Tinternal "ad_query") ~stack:Apache
+      ~resp:
+        (Rxml
+           ( "vast",
+             [
+               Robj
+                 {
+                   key = "creative";
+                   read = true;
+                   fields =
+                     [
+                       Rleaf { key = "mediafile"; kind = Kstr; read = true; use = Some (Ufollow "ad_video") };
+                       Rleaf { key = "@duration"; kind = Kstr; read = true; use = None };
+                     ];
+                 };
+             ] ))
+  in
+  let ad_video =
+    endpoint ~id:"ad_video" ~meth:Http.GET ~scheme:"https" ~host:"cdn.ads.example.net"
+      [ Lit "/media/preroll.mp4" ]
+      ~trigger:(Tinternal "ad_resource") ~stack:Mediaplayer ~resp:Rmedia
+  in
+  let catalog =
+    endpoint ~id:"catalog" ~meth:Http.GET ~scheme:"https" ~host
+      [ Lit "/v1/talk_catalogs/android_v1.json" ]
+      ~query:
+        [
+          ("api-key", Sres ted_api_key_res);
+          ("fields", Sconst "duration_in_seconds");
+          ("filter", Scounter);
+        ]
+      ~trigger:Tentry ~stack:Apache
+      ~resp:
+        (Rjson
+           [
+             Rarr
+               {
+                 key = "talks";
+                 read = true;
+                 loop = true;
+                 elem =
+                   [
+                     Rleaf { key = "thumb_uri"; kind = Kstr; read = true; use = Some (Udb "talks") };
+                     Rleaf { key = "video_uri"; kind = Kstr; read = true; use = Some (Udb "talks") };
+                     Rleaf { key = "duration_in_seconds"; kind = Knum; read = true; use = None };
+                   ];
+               };
+           ])
+  in
+  let thumbnail =
+    endpoint ~id:"thumbnail" ~meth:Http.GET ~scheme:"https" ~host:"img.ted.com"
+      [ Var (Sdb ("talks", "thumb_uri")) ]
+      ~trigger:Tclick ~stack:Urlconn ~resp:Rmedia
+  in
+  let video =
+    endpoint ~id:"video" ~meth:Http.GET ~scheme:"https" ~host:"media.ted.com"
+      [ Var (Sdb ("talks", "video_uri")) ]
+      ~trigger:Tclick ~stack:Mediaplayer ~resp:Rmedia
+  in
+  {
+    a_name = "TED (case study)";
+    a_package = "com.ted.android.case_study";
+    a_closed = true;
+    a_auto_blocked = false;
+    a_shared_fetch = false;
+    a_filler = 2;
+    a_endpoints =
+      [ speakers; facebook; ad_query; ad_resource; ad_video; catalog; thumbnail; video ];
+    a_resources = [ (ted_api_key_res, "ted-api-key-77aa21") ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Kayak — Tables 5 and 6, §5.3                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** The private REST API: eight URI-prefix categories; the authajax /
+    flight-start / flight-poll signatures of Table 6; the app-specific
+    User-Agent header used for access control. *)
+let kayak : app =
+  let host = "www.kayak.com" in
+  let ua = ("User-Agent", Sconst "kayakandroidphone/8.1") in
+  let auth =
+    endpoint ~id:"authajax" ~meth:Http.POST ~scheme:"https" ~host
+      [ Lit "/k/authajax" ]
+      ~headers:[ ua ]
+      ~body:
+        (Bquery
+           [
+             ("action", Sconst "registerandroid");
+             ("uuid", Suser);
+             ("hash", Suser);
+             ("model", Suser);
+             ("platform", Sconst "android");
+             ("os", Suser);
+             ("locale", Suser);
+             ("tz", Suser);
+           ])
+      ~trigger:Tentry ~stack:Apache
+      ~resp:
+        (Rjson
+           [ Rleaf { key = "sid"; kind = Kstr; read = true; use = Some Uheap } ])
+  in
+  let flight_start =
+    endpoint ~id:"flight_start" ~meth:Http.GET ~scheme:"https" ~host
+      [ Lit "/api/search/V8/flight/start" ]
+      ~headers:[ ua ]
+      ~query:
+        [
+          ("cabin", Suser);
+          ("travelers", Scounter);
+          ("origin", Suser);
+          ("nearbyO", Sconst "false");
+          ("destination", Suser);
+          ("nearbyD", Sconst "false");
+          ("depart_date", Suser);
+          ("depart_time", Suser);
+          ("depart_date_flex", Sconst "exact");
+          ("_sid_", Sresp ("authajax", [ "sid" ]));
+        ]
+      ~trigger:Tclick ~stack:Apache
+      ~resp:
+        (Rjson
+           [
+             Rleaf { key = "searchid"; kind = Kstr; read = true; use = Some Uheap };
+           ])
+  in
+  let flight_poll =
+    endpoint ~id:"flight_poll" ~meth:Http.GET ~scheme:"https" ~host
+      [ Lit "/api/search/V8/flight/poll" ]
+      ~headers:[ ua ]
+      ~query:
+        [
+          ("searchid", Sresp ("flight_start", [ "searchid" ]));
+          ("nc", Scounter);
+          ("c", Scounter);
+          ("s", Suser);
+          ("d", Sconst "up");
+          ("currency", Suser);
+          ("includeopaques", Sconst "true");
+          ("includeSplit", Sconst "false");
+        ]
+      ~trigger:Tclick ~stack:Apache
+      ~resp:
+        (Rjson
+           [
+             Rarr
+               {
+                 key = "fares";
+                 read = true;
+                 loop = false;
+                 elem =
+                   [
+                     Rleaf { key = "price"; kind = Knum; read = true; use = Some Uui };
+                     Rleaf { key = "airline"; kind = Kstr; read = true; use = None };
+                   ];
+               };
+           ])
+  in
+  (* Category fillers reproduce Table 5's API counts per URI prefix. *)
+  let filler ~prefix ~category ~meth ~count ~trigger ~resp_json =
+    List.init count (fun i ->
+        endpoint
+          ~id:(Printf.sprintf "%s%d" category i)
+          ~meth ~scheme:"https" ~host
+          [ Lit (Printf.sprintf "%s/%s%d" prefix category i) ]
+          ~headers:[ ua ] ~trigger ~stack:Apache
+          ~resp:
+            (if resp_json && i = 0 then
+               Rjson
+                 [ Rleaf { key = "result"; kind = Kstr; read = true; use = None } ]
+             else Rnone))
+  in
+  let endpoints =
+    [ auth; flight_start; flight_poll ]
+    @ filler ~prefix:"/trips/v2" ~category:"trip" ~meth:Http.GET ~count:11
+        ~trigger:Tclick ~resp_json:false
+    @ filler ~prefix:"/k/authajax" ~category:"authx" ~meth:Http.POST ~count:3
+        ~trigger:Tcustom ~resp_json:false
+    @ filler ~prefix:"/k/run/fbauth" ~category:"fbauth" ~meth:Http.POST ~count:2
+        ~trigger:Tcustom ~resp_json:false
+    @ filler ~prefix:"/api/search/V8/flight" ~category:"flight" ~meth:Http.GET
+        ~count:4 ~trigger:Tclick ~resp_json:true
+    @ filler ~prefix:"/api/search/V8/hotel" ~category:"hotel" ~meth:Http.GET
+        ~count:2 ~trigger:Tclick ~resp_json:true
+    @ filler ~prefix:"/api/search/V8/car" ~category:"car" ~meth:Http.GET ~count:1
+        ~trigger:Tclick ~resp_json:true
+    @ filler ~prefix:"/h/mobileapis" ~category:"mobile" ~meth:Http.GET ~count:12
+        ~trigger:Tentry ~resp_json:true
+    @ filler ~prefix:"/s/mobileads" ~category:"ads" ~meth:Http.GET ~count:1
+        ~trigger:Ttimer ~resp_json:true
+    @ filler ~prefix:"/k" ~category:"etc" ~meth:Http.POST ~count:4
+        ~trigger:Taction ~resp_json:false
+  in
+  {
+    a_name = "Kayak (case study)";
+    a_package = "com.kayak";
+    a_closed = true;
+    a_auto_blocked = false;
+    a_shared_fetch = false;
+    a_filler = 2;
+    a_endpoints = endpoints;
+    a_resources = [];
+  }
+
+(** Table 5's category definitions: (category, method, URI prefix,
+    expected API count) used by the bench to group transactions. *)
+let kayak_categories =
+  [
+    ("Travel Planner", "GET", "/trips/v2", 11);
+    ("Authentication", "POST", "/k/authajax", 4);
+    ("Facebook Auth", "POST", "/k/run/fbauth", 2);
+    ("Flight", "GET", "/api/search/V8/flight", 6);
+    ("Hotel", "GET", "/api/search/V8/hotel", 2);
+    ("Car", "GET", "/api/search/V8/car", 1);
+    ("Mobile Specific", "GET", "/h/mobileapis", 12);
+    ("Advertising", "GET", "/s/mobileads", 1);
+    ("Etc.", "POST", "/k", 4);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Diode — Figure 3                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** The reddit client whose listing request combines nine URI patterns
+    (three listing modes × three paging suffixes) behind one demarcation
+    point; slicing covers ≈6 % of the code. *)
+let diode : app =
+  let host = "www.reddit.com" in
+  let listing =
+    endpoint ~id:"listing" ~meth:Http.GET ~scheme:"http" ~host
+      [
+        Salt
+          [
+            [ Lit "/"; Var Suser; Lit ".json?"; Var Suser; Lit "&" ];
+            [ Lit "/search/.json?q="; Var Suser; Lit "&sort="; Var Suser ];
+            [ Lit "/r/"; Var Suser; Lit "/"; Var Suser; Lit ".json?&" ];
+          ];
+        Salt
+          [
+            [ Lit "count="; Var Scounter; Lit "&after="; Var Suser; Lit "&" ];
+            [ Lit "count="; Var Scounter; Lit "&before="; Var Suser; Lit "&" ];
+            [];
+          ];
+      ]
+      ~trigger:Tentry ~stack:Apache
+      ~resp:
+        (Rjson
+           [
+             Robj
+               {
+                 key = "data";
+                 read = true;
+                 fields =
+                   [
+                     Rarr
+                       {
+                         key = "children";
+                         read = true;
+                         loop = true;
+                         elem =
+                           [
+                             Rleaf { key = "title"; kind = Kstr; read = true; use = Some Uui };
+                             Rleaf { key = "permalink"; kind = Kstr; read = true; use = None };
+                             Rleaf { key = "ups"; kind = Knum; read = false; use = None };
+                           ];
+                       };
+                   ];
+               };
+           ])
+  in
+  (* The remaining Diode requests (Table 1: 24 GETs, 2 JSON shapes,
+     5 pairs). *)
+  let others =
+    List.init 23 (fun i ->
+        let id = Printf.sprintf "g%d" i in
+        endpoint ~id ~meth:Http.GET ~scheme:(if i mod 2 = 0 then "http" else "https")
+          ~host
+          [ Lit (Printf.sprintf "/api/diode/%s%d.json" (if i mod 2 = 0 then "comments" else "user") i) ]
+          ~query:(if i mod 3 = 0 then [ ("limit", Scounter) ] else [])
+          ~trigger:Tclick ~stack:(if i mod 2 = 0 then Apache else Urlconn)
+          ~resp:
+            (if i < 4 then
+               Rjson
+                 [
+                   Rleaf { key = "kind"; kind = Kstr; read = true; use = None };
+                   Rleaf { key = (if i mod 2 = 0 then "body" else "author"); kind = Kstr; read = true; use = Some Uui };
+                 ]
+             else Rnone))
+  in
+  {
+    a_name = "Diode";
+    a_package = "in.shick.diode";
+    a_closed = false;
+    a_auto_blocked = false;
+    a_shared_fetch = false;
+    a_filler = 14;
+    a_endpoints = listing :: others;
+    a_resources = [];
+  }
+
+(** The Figure-5 shared-demarcation-point app: two requests and two
+    response handlers sharing a common helper that contains the only
+    demarcation point; disjoint-segment pairing must keep A and B apart. *)
+let shared_dp : app =
+  let host = "api.shared.example" in
+  let mk id path resp_key trigger =
+    endpoint ~id ~meth:Http.GET ~scheme:"http" ~host
+      [ Lit path ]
+      ~trigger ~stack:Apache
+      ~resp:
+        (Rjson [ Rleaf { key = resp_key; kind = Kstr; read = true; use = Some Uui } ])
+  in
+  {
+    a_name = "SharedDP";
+    a_package = "com.example.shareddp";
+    a_closed = false;
+    a_auto_blocked = false;
+    a_shared_fetch = true;
+    a_filler = 2;
+    a_endpoints =
+      [ mk "reqA" "/alpha/list" "alpha_items" Tclick;
+        mk "reqB" "/beta/list" "beta_items" Tclick ];
+    a_resources = [];
+  }
+
+let all = [ radio_reddit; ted; kayak; diode; shared_dp ]

@@ -1,0 +1,40 @@
+(** Hand-authored corpus apps for the paper's case studies.
+
+    Unlike the synthesized Table-1 apps, these specs replicate the
+    structure the paper describes in detail: radio reddit's
+    login/save/vote dependency chain (§5.2, Table 3), TED's
+    SQLite-mediated prefetching pipeline (Fig. 1, Table 4), Kayak's API
+    categories and replayable flight search (§5.3, Tables 5/6), Diode's
+    9-branch URI alternation (Fig. 3), and a small shared-demarcation
+    app exercising Figure 5's disjoint-slice pairing. *)
+
+val radio_reddit : Spec.app
+(** §5.2 / Table 3: login stores modhash + cookie to the heap; save and
+    vote POST them with item ids parsed from the front-page listing. *)
+
+val ted_api_key_res : int
+(** Resource id holding TED's API key (looked up via [getResources]). *)
+
+val ted : Spec.app
+(** Fig. 1 / Table 4: talk list → SQLite `talks` table → per-talk detail,
+    thumbnail and media fetches driven by stored columns. *)
+
+val kayak : Spec.app
+(** §5.3: session, flight search/poll, hotel search, registration, plus
+    the app-specific User-Agent the server's access control checks. *)
+
+val kayak_categories : (string * string * string * int) list
+(** Table 5 rows: (category, method, URI prefix, paper's #APIs). *)
+
+val diode : Spec.app
+(** Fig. 3: one GET whose path is a 9-way alternation over front page /
+    search / subreddit listings, plus 22 further endpoints and enough
+    filler that slices stay a small fraction of the app. *)
+
+val shared_dp : Spec.app
+(** Figure 5's code-reuse shape: every request flows through one shared
+    fetch helper, so all transactions share a single demarcation point
+    and must be separated by disjoint sub-slices (call-string
+    contexts). *)
+
+val all : Spec.app list

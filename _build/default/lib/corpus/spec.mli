@@ -1,0 +1,175 @@
+(** Application specifications: the single source of truth each corpus
+    app is generated from.
+
+    One spec drives (1) the Limple code generator — the bytecode
+    Extractocol analyzes, (2) the simulated origin server, (3) the
+    dynamic fuzzers' knowledge of which UI events exist, and (4) the
+    ground truth the evaluation compares against.  The endpoint mix per
+    app mirrors Table 1 of the paper. *)
+
+module Http = Extr_httpmodel.Http
+
+(** Where a request value comes from. *)
+type vsrc =
+  | Sconst of string  (** string literal in the code *)
+  | Sres of int  (** Android resource (strings.xml) lookup *)
+  | Suser  (** user input through an EditText *)
+  | Scounter  (** an integer field (paging counters etc.) *)
+  | Sgps  (** latitude stored by a location callback — the §3.4 example *)
+  | Sresp of string * string list
+      (** value stored from endpoint [id]'s response at the given
+          JSON/XML path (token, uri, ...) — an inter-transaction
+          dependency *)
+  | Sdb of string * string  (** read back from SQLite [table], [column] *)
+
+(** URI path template segments. *)
+type seg =
+  | Lit of string
+  | Var of vsrc
+  | Salt of seg list list
+      (** alternation: the code takes one of several branches (Diode's
+          front-page / search / subreddit URI construction, Figure 3) *)
+
+(** Request bodies. *)
+type body =
+  | Bnone
+  | Bquery of (string * vsrc) list  (** form-encoded (UrlEncodedFormEntity) *)
+  | Bjson of (string * vsrc) list  (** org.json builder *)
+  | Bgson of (string * vsrc) list  (** reflection-serialized data class *)
+
+type rkind = Kstr | Knum | Kbool
+
+(** What the app does with a parsed response value. *)
+type ruse =
+  | Udb of string  (** insert into the named SQLite table *)
+  | Uheap  (** store into an activity field for later requests *)
+  | Ufollow of string  (** immediately fetch the URL (child endpoint id) *)
+  | Uui  (** display via TextView *)
+
+(** Response body shape: both what the server sends and which parts the
+    app parses ([read]).  Unread fields reproduce the paper's finding
+    that signatures cover only inspected keywords. *)
+type rfield =
+  | Rleaf of { key : string; kind : rkind; read : bool; use : ruse option }
+  | Robj of { key : string; fields : rfield list; read : bool }
+  | Rarr of { key : string; elem : rfield list; read : bool; loop : bool }
+      (** [loop]: the app iterates the array (exercises rep widening) *)
+
+type resp =
+  | Rnone
+  | Rjson of rfield list
+  | Rxml of string * rfield list  (** root tag, children *)
+  | Rtext
+  | Rmedia  (** opaque binary payload (ads, thumbnails, streams) *)
+
+(** How the request is triggered at runtime — determines which dynamic
+    baselines can observe it (§5.1). *)
+type trigger =
+  | Tentry  (** fired during activity startup *)
+  | Tclick  (** plain clickable element: both fuzzers reach it *)
+  | Tcustom  (** custom UI widget: manual only (PUMA fails, §5.1) *)
+  | Tobscure
+      (** clickable only reached by exhaustive automatic exploration —
+          the human session skipped it *)
+  | Taction  (** side-effect action (purchase/payment): no fuzzer fires it *)
+  | Ttimer  (** timer-triggered (APK update checks) *)
+  | Tpush  (** server push *)
+  | Tinternal of string  (** fired by the parent endpoint's response handler *)
+
+(** Which HTTP stack the generated code uses for the endpoint. *)
+type stack =
+  | Apache
+  | Urlconn
+  | Volley
+  | Okhttp
+  | Mediaplayer
+      (** fetched by feeding the URI to MediaPlayer.setDataSource — only
+          meaningful for [Tinternal] media children (opaque responses) *)
+
+type endpoint = {
+  e_id : string;
+  e_meth : Http.meth;
+  e_scheme : string;
+  e_host : string;
+  e_path : seg list;  (** path template, starting with '/' literal *)
+  e_query : (string * vsrc) list;  (** URI query string *)
+  e_headers : (string * vsrc) list;
+  e_body : body;
+  e_resp : resp;
+  e_trigger : trigger;
+  e_stack : stack;
+  e_async : bool;  (** wrap the HTTP call in an AsyncTask (implicit flow) *)
+  e_supported : bool;
+      (** [false]: emitted through an Android intent service — outside
+          Extractocol's scope (§4), so a deliberate static miss *)
+}
+
+type app = {
+  a_name : string;
+  a_package : string;
+  a_closed : bool;  (** closed-source app (async heuristic enabled, §5) *)
+  a_auto_blocked : bool;
+      (** the app's custom UI defeats the automatic fuzzer entirely *)
+  a_shared_fetch : bool;
+      (** route all Apache requests through one shared helper method, so
+          every transaction shares a single demarcation point (the
+          code-reuse situation of Figure 5) *)
+  a_filler : int;
+      (** non-protocol filler methods generated per endpoint (UI plumbing
+          and utilities): real apps are mostly not protocol code, which
+          is what makes slicing worthwhile (Figure 3: slices are 6.3 % of
+          Diode) *)
+  a_endpoints : endpoint list;
+  a_resources : (int * string) list;
+}
+
+val endpoint :
+  ?scheme:string ->
+  ?query:(string * vsrc) list ->
+  ?headers:(string * vsrc) list ->
+  ?body:body ->
+  ?resp:resp ->
+  ?trigger:trigger ->
+  ?stack:stack ->
+  ?async:bool ->
+  ?supported:bool ->
+  id:string ->
+  meth:Http.meth ->
+  host:string ->
+  seg list ->
+  endpoint
+(** Endpoint constructor with the common defaults (https, Apache stack,
+    click trigger, no body/response). *)
+
+(** {1 Spec queries (ground truth)} *)
+
+val find_endpoint : app -> string -> endpoint option
+
+val statically_visible : app -> endpoint list
+(** Endpoints Extractocol should reconstruct statically. *)
+
+val trigger_visible : app -> policy:[ `Auto | `Manual | `Full ] -> endpoint -> bool
+(** Can the endpoint's trigger chain fire under a fuzzing policy?  The
+    policies mirror §5.1: automatic fuzzing fires plain clicks (unless
+    the app's custom UI blocks it); manual fuzzing also drives custom UI;
+    neither performs side-effect actions, waits for timers, or receives
+    server pushes.  Internal endpoints inherit their parent's
+    visibility. *)
+
+val dynamically_visible : app -> policy:[ `Auto | `Manual | `Full ] -> endpoint list
+
+val request_keywords : endpoint -> string list
+(** Request-side constant keywords of an endpoint: query keys and body
+    keys (Figure 7 ground truth), sorted and deduplicated. *)
+
+val rfield_keys : only_read:bool -> rfield list -> string list
+(** Keys of a response-field tree; with [only_read], only fields the app
+    inspects (parents of read fields are kept as structural context). *)
+
+val response_keywords : ?only_read:bool -> endpoint -> string list
+(** Response keys, split into read (inspected by the app, the default)
+    and all (present on the wire).  The XML root tag is structural, not a
+    parsed keyword. *)
+
+val has_processed_response : endpoint -> bool
+(** Does the endpoint's response carry a body the app processes? *)

@@ -1,0 +1,483 @@
+(* Synthetic generation of the Table-1 corpus.  For every app in the
+   paper's evaluation, the table gives per-method counts of unique request
+   signatures seen by (Extractocol / manual UI fuzzing / source-truth or
+   automatic fuzzing).  This module allocates endpoints with triggers and
+   supported-flags so the three coverage sets have exactly those sizes:
+
+     - static ∩ manual ∩ auto            → plain clickables
+     - static ∩ manual (auto misses)     → custom-UI clickables
+     - static ∩ auto (manual skipped)    → obscure clickables
+     - static only                       → timers / pushes / side-effect
+                                           actions (the §5.1 examples)
+     - dynamic only (static misses)      → intent-carried requests (§4)
+
+   Body kinds and response shapes are distributed to approximate the
+   query/JSON/XML and #Pair columns; the signature-collision structure the
+   paper observed cannot be recovered from the table, so those columns are
+   approximate by construction (recorded in EXPERIMENTS.md). *)
+
+module Http = Extr_httpmodel.Http
+open Spec
+
+(** One row of Table 1: per-method (extractocol, manual, auto-or-source)
+    triples, body-kind counts (extractocol column) and the pair count. *)
+type row = {
+  t_name : string;
+  t_package : string;
+  t_https : bool;
+  t_closed : bool;
+  t_get : int * int * int;
+  t_post : int * int * int;
+  t_put : int * int * int;
+  t_delete : int * int * int;
+  t_query : int;
+  t_json : int;
+  t_xml : int;
+  t_pairs : int;
+}
+
+let row ?(put = (0, 0, 0)) ?(delete = (0, 0, 0)) ?(query = 0) ?(json = 0)
+    ?(xml = 0) ~https ~closed ~get ~post ~pairs name package =
+  {
+    t_name = name;
+    t_package = package;
+    t_https = https;
+    t_closed = closed;
+    t_get = get;
+    t_post = post;
+    t_put = put;
+    t_delete = delete;
+    t_query = query;
+    t_json = json;
+    t_xml = xml;
+    t_pairs = pairs;
+  }
+
+(** Table 1, open-source block (Extractocol / manual fuzzing / source). *)
+let open_source_rows =
+  [
+    row "Adblock Plus" "org.adblockplus" ~https:true ~closed:false ~get:(2, 2, 2)
+      ~post:(1, 1, 1) ~query:1 ~xml:1 ~pairs:1;
+    row "AnarXiv" "org.anarxiv" ~https:false ~closed:false ~get:(2, 2, 2)
+      ~post:(0, 0, 0) ~xml:2 ~pairs:2;
+    row "blippex" "com.blippex.app" ~https:true ~closed:false ~get:(1, 1, 1)
+      ~post:(0, 0, 0) ~json:1 ~pairs:1;
+    row "Diaspora WebClient" "de.baumann.diaspora" ~https:false ~closed:false
+      ~get:(1, 1, 1) ~post:(0, 0, 0) ~json:1 ~pairs:1;
+    (* Diode is hand-authored in Case_studies (Figure 3); the row is
+       reference data for the Table-1 comparison only. *)
+    row "Diode" "in.shick.diode" ~https:false ~closed:false ~get:(24, 24, 24)
+      ~post:(0, 0, 0) ~query:24 ~json:5 ~pairs:5;
+    row "qBittorrent" "com.qbittorrent.client" ~https:false ~closed:false
+      ~get:(3, 3, 3) ~post:(13, 13, 13) ~query:13 ~json:3 ~pairs:3;
+    row "Lightning" "acr.browser.lightning" ~https:false ~closed:false
+      ~get:(2, 2, 2) ~post:(0, 0, 0) ~xml:1 ~pairs:1;
+    row "iFixIt" "com.dozuki.ifixit" ~https:false ~closed:false ~get:(15, 15, 15)
+      ~post:(7, 7, 7) ~query:3 ~json:14 ~pairs:14;
+    (* radio reddit is hand-authored in Case_studies (Table 3); the row is
+       reference data for the Table-1 comparison only. *)
+    row "radio reddit" "com.radioreddit.android" ~https:true ~closed:false
+      ~get:(3, 3, 3) ~post:(3, 3, 3) ~query:3 ~json:4 ~pairs:4;
+    row "Reddinator" "au.com.wallaceit.reddinator" ~https:true ~closed:false
+      ~get:(3, 3, 3) ~post:(3, 3, 3) ~json:6 ~pairs:6;
+    row "Twister" "com.twister" ~https:false ~closed:false ~get:(0, 0, 0)
+      ~post:(11, 11, 11) ~query:11 ~json:8 ~pairs:8;
+    row "TZM" "org.tzm" ~https:true ~closed:false ~get:(2, 2, 2) ~post:(0, 0, 0)
+      ~json:1 ~pairs:1;
+    row "Wallabag" "fr.gaulupeau.apps.InThePoche" ~https:false ~closed:false
+      ~get:(1, 1, 1) ~post:(0, 0, 0) ~xml:1 ~pairs:1;
+    row "Weather Notification" "ru.gelin.android.weather.notification"
+      ~https:false ~closed:false ~get:(2, 2, 2) ~post:(0, 0, 0) ~xml:2 ~pairs:2;
+  ]
+
+(** Table 1, closed-source block (Extractocol / manual / automatic). *)
+let closed_source_rows =
+  [
+    row "5miles" "com.thirdrock.fivemiles" ~https:true ~closed:true
+      ~get:(24, 25, 0) ~post:(51, 12, 0) ~query:16 ~json:16 ~pairs:71;
+    row "AC App for Android" "com.acapp.android" ~https:false ~closed:true
+      ~get:(9, 9, 7) ~post:(15, 15, 5) ~query:15 ~json:23 ~pairs:23;
+    row "AOL: Mail, News & Video" "com.aol.mobile.aolapp" ~https:false
+      ~closed:true ~get:(9, 9, 6) ~post:(0, 0, 0) ~json:9 ~pairs:9;
+    row "AccuWeather" "com.accuweather.android" ~https:false ~closed:true
+      ~get:(15, 15, 0) ~post:(3, 3, 0) ~query:3 ~json:16 ~pairs:16;
+    row "Buzzfeed" "com.buzzfeed.android" ~https:false ~closed:true
+      ~get:(16, 5, 5) ~post:(12, 5, 1) ~query:28 ~json:6 ~pairs:27;
+    row "Flipboard" "flipboard.app" ~https:true ~closed:true ~get:(23, 24, 0)
+      ~post:(41, 13, 0) ~query:28 ~json:8 ~pairs:63;
+    row "GEEK" "com.contextlogic.geek" ~https:true ~closed:true ~get:(0, 1, 0)
+      ~post:(97, 48, 18) ~query:41 ~json:11 ~pairs:97;
+    row "KAYAK" "com.kayak.android" ~https:true ~closed:true ~get:(39, 39, 15)
+      ~post:(7, 7, 5) ~query:7 ~json:6 ~pairs:6;
+    row "Letgo" "com.abtnprojects.ambatana" ~https:true ~closed:true
+      ~get:(38, 32, 10) ~post:(10, 14, 2) ~put:(2, 2, 0) ~delete:(3, 0, 0)
+      ~query:20 ~json:18 ~pairs:40;
+    row "LinkedIn" "com.linkedin.android" ~https:true ~closed:true
+      ~get:(38, 42, 16) ~post:(49, 17, 8) ~put:(0, 3, 0) ~query:46 ~json:47
+      ~pairs:85;
+    row "Lucktastic" "com.lucktastic.scratch" ~https:true ~closed:true
+      ~get:(16, 2, 0) ~post:(9, 15, 0) ~put:(2, 0, 0) ~delete:(4, 0, 0) ~query:5
+      ~json:19 ~pairs:31;
+    row "MusicDownloader" "com.musicdownloader" ~https:true ~closed:true
+      ~get:(3, 10, 0) ~post:(0, 1, 0) ~json:4 ~pairs:2;
+    row "Offerup" "com.offerup" ~https:true ~closed:true ~get:(33, 20, 0)
+      ~post:(23, 21, 0) ~put:(8, 1, 0) ~delete:(3, 0, 0) ~query:12 ~json:25
+      ~pairs:63;
+    row "Pandora Radio" "com.pandora.android" ~https:false ~closed:true
+      ~get:(7, 0, 0) ~post:(53, 20, 2) ~query:53 ~json:26 ~pairs:60;
+    row "Pinterest" "com.pinterest" ~https:true ~closed:true ~get:(60, 62, 26)
+      ~post:(36, 19, 16) ~put:(32, 8, 3) ~delete:(20, 10, 2) ~query:88 ~json:236
+      ~pairs:148;
+    (* TED and KAYAK also exist as hand-authored case studies; the rows here
+       drive the Table-1 coverage reproduction. *)
+    row "TED" "com.ted.android" ~https:false ~closed:true ~get:(16, 16, 10)
+      ~post:(2, 2, 1) ~query:2 ~json:10 ~pairs:10;
+    row "Tophatter" "com.tophatter" ~https:true ~closed:true ~get:(33, 24, 0)
+      ~post:(32, 14, 0) ~put:(1, 0, 0) ~delete:(4, 1, 0) ~query:18 ~json:32
+      ~pairs:62;
+    row "Tumblr" "com.tumblr" ~https:true ~closed:true ~get:(12, 13, 15)
+      ~post:(8, 5, 5) ~delete:(1, 1, 0) ~query:5 ~json:14 ~pairs:20;
+    row "WatchESPN" "com.espn.watchespn" ~https:false ~closed:true
+      ~get:(33, 33, 17) ~post:(0, 0, 0) ~json:32 ~pairs:32;
+    row "Wish Local" "com.contextlogic.wishlocal" ~https:true ~closed:true
+      ~get:(0, 1, 0) ~post:(106, 48, 21) ~query:15 ~json:28 ~pairs:106;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic pseudo-randomness                                    *)
+(* ------------------------------------------------------------------ *)
+
+type rng = { mutable state : int }
+
+let rng_of_string s = { state = (Hashtbl.hash s lor 1) land 0x3FFFFFFF }
+
+let next rng n =
+  rng.state <- (rng.state * 1103515245 + 12345) land 0x3FFFFFFF;
+  rng.state mod max 1 n
+
+let pick rng l = List.nth l (next rng (List.length l))
+
+let word_pool =
+  [
+    "items"; "detail"; "feed"; "search"; "user"; "profile"; "cart"; "order";
+    "message"; "notify"; "catalog"; "review"; "media"; "track"; "config";
+    "session"; "friend"; "photo"; "story"; "board"; "offer"; "deal"; "price";
+    "ship"; "event";
+  ]
+
+let key_pool =
+  [
+    "id"; "name"; "title"; "url"; "count"; "status"; "token"; "user"; "price";
+    "lang"; "page"; "limit"; "sort"; "category"; "device"; "version"; "ts";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Visibility allocation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Endpoint visibility classes derived from an (E, M, A) triple. *)
+type alloc = {
+  al_all : int;  (** static + manual + auto *)
+  al_sm : int;  (** static + manual *)
+  al_sa : int;  (** static + auto *)
+  al_s : int;  (** static only *)
+  al_ma : int;  (** dynamic only, both fuzzers (unsupported) *)
+  al_m : int;  (** manual only (unsupported) *)
+  al_a : int;  (** auto only (unsupported) *)
+}
+
+let allocate (e, m, a) =
+  let all = min e (min m a) in
+  let sm = min (e - all) (m - all) in
+  let sa = min (e - all - sm) (a - all) in
+  let s = e - all - sm - sa in
+  let m_rem = m - all - sm in
+  let a_rem = a - all - sa in
+  let ma = min m_rem a_rem in
+  {
+    al_all = all;
+    al_sm = sm;
+    al_sa = sa;
+    al_s = s;
+    al_ma = ma;
+    al_m = m_rem - ma;
+    al_a = a_rem - ma;
+  }
+
+(** Trigger+supported assignments for one method's allocation.  [rot]
+    rotates the static-only causes (timer / push / action). *)
+let expand_alloc rng alloc : (trigger * bool) list =
+  let static_only () =
+    pick rng [ Ttimer; Tpush; Taction; Taction ]
+  in
+  List.concat
+    [
+      List.init alloc.al_all (fun _ -> (Tclick, true));
+      List.init alloc.al_sm (fun _ -> (Tcustom, true));
+      List.init alloc.al_sa (fun _ -> (Tobscure, true));
+      List.init alloc.al_s (fun _ -> (static_only (), true));
+      List.init alloc.al_ma (fun _ -> (Tclick, false));
+      List.init alloc.al_m (fun _ -> (Tcustom, false));
+      List.init alloc.al_a (fun _ -> (Tobscure, false));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Response shapes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Build the [i]-th JSON response shape of an app: a few leaves (some
+    unread), occasionally nested.  The token field of shape 0 is stored to
+    the heap so later endpoints can depend on it. *)
+let json_shape rng ~shape_id ~store_token ~ep_id =
+  ignore ep_id;
+  let k1 = pick rng key_pool and k2 = pick rng key_pool in
+  let base =
+    [
+      Rleaf { key = "status"; kind = Kstr; read = true; use = None };
+      Rleaf { key = k1; kind = Knum; read = true; use = Some (Uui : ruse) };
+      Rleaf { key = k2 ^ "_extra"; kind = Kstr; read = false; use = None };
+    ]
+  in
+  let nested =
+    if shape_id mod 3 = 0 then
+      [
+        Robj
+          {
+            key = "data";
+            read = true;
+            fields =
+              [
+                Rleaf { key = pick rng key_pool; kind = Kstr; read = true; use = None };
+                Rleaf { key = "hidden"; kind = Kstr; read = false; use = None };
+              ];
+          };
+      ]
+    else if shape_id mod 3 = 1 then
+      [
+        Rarr
+          {
+            key = "results";
+            read = true;
+            loop = shape_id mod 2 = 0;
+            elem =
+              [
+                Rleaf { key = "id"; kind = Knum; read = true; use = None };
+                Rleaf { key = pick rng key_pool; kind = Kstr; read = true; use = None };
+              ];
+          };
+      ]
+    else []
+  in
+  let token =
+    if store_token then
+      [ Rleaf { key = "token"; kind = Kstr; read = true; use = Some Uheap } ]
+    else []
+  in
+  Rjson (base @ nested @ token)
+
+let xml_shape rng ~shape_id =
+  ignore shape_id;
+  let tag = pick rng word_pool in
+  Rxml
+    ( "rss",
+      [
+        Robj
+          {
+            key = "channel";
+            read = true;
+            fields =
+              [
+                Rleaf { key = tag; kind = Kstr; read = true; use = None };
+                Rleaf { key = "@version"; kind = Kstr; read = true; use = None };
+                Rleaf { key = "skipped"; kind = Kstr; read = false; use = None };
+              ];
+          };
+      ] )
+
+(* ------------------------------------------------------------------ *)
+(* App synthesis                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let synthesize_app (r : row) : app =
+  let rng = rng_of_string r.t_name in
+  let scheme = if r.t_https then "https" else "http" in
+  let host = "api." ^ r.t_package ^ ".com" in
+  (* Expand per-method allocations into (meth, trigger, supported). *)
+  let meth_plan =
+    List.concat_map
+      (fun (m, triple) ->
+        List.map (fun (tr, sup) -> (m, tr, sup)) (expand_alloc rng (allocate triple)))
+      [
+        (Http.GET, r.t_get);
+        (Http.POST, r.t_post);
+        (Http.PUT, r.t_put);
+        (Http.DELETE, r.t_delete);
+      ]
+  in
+  let n = List.length meth_plan in
+  (* Response allocation: the first [pairs] supported endpoints carry
+     processed bodies.  XML responses go first (open-source apps), the rest
+     share a bounded pool of JSON shapes. *)
+  let supported_count = List.length (List.filter (fun (_, _, s) -> s) meth_plan) in
+  let pair_budget = min r.t_pairs supported_count in
+  let n_xml = min r.t_xml pair_budget in
+  let n_json_shapes = max 1 (min (max 1 (r.t_json / 2)) 6) in
+  (* Request-body allocation over non-GET endpoints. *)
+  let resources = ref [] in
+  let res_count = ref 0 in
+  let fresh_res value =
+    incr res_count;
+    let id = 7000 + !res_count in
+    resources := (id, value) :: !resources;
+    id
+  in
+  let api_key_res = fresh_res ("key-" ^ string_of_int (Hashtbl.hash r.t_name land 0xffff)) in
+  let value_source rng i : vsrc =
+    match i mod 5 with
+    | 0 -> Sconst (pick rng [ "1"; "true"; "android"; "v2"; "full" ])
+    | 1 -> Suser
+    | 2 -> Scounter
+    | 3 -> Sres api_key_res
+    | _ -> Sconst (string_of_int (next rng 100))
+  in
+  (* Rank supported endpoints separately: the pair budget must not be
+     consumed by dynamic-only endpoints interleaved in the plan. *)
+  let supported_ranks =
+    let r = ref 0 in
+    List.map
+      (fun (_, _, sup) ->
+        if sup then begin
+          let k = !r in
+          incr r;
+          k
+        end
+        else -1)
+      meth_plan
+  in
+  let mk_endpoint idx (meth, tr, supported) : endpoint =
+    let srank = List.nth supported_ranks idx in
+    let id = Printf.sprintf "e%d" idx in
+    let w1 = pick rng word_pool and w2 = pick rng word_pool in
+    let path =
+      (* Paths embed the endpoint index so templates never collide. *)
+      if idx mod 3 = 0 then
+        [
+          Lit (Printf.sprintf "/api/v1/%s%d/" w1 idx);
+          Var (value_source rng (idx + 2));
+          Lit ("/" ^ w2);
+        ]
+      else [ Lit (Printf.sprintf "/api/v1/%s/%s%d" w1 w2 idx) ]
+    in
+    let query =
+      if meth = Http.GET && idx mod 2 = 0 then
+        [
+          (pick rng [ "page"; "limit"; "lang"; "sort" ], value_source rng idx);
+          ("api_key", (Sres api_key_res : vsrc));
+        ]
+      else []
+    in
+    let body =
+      match meth with
+      | Http.GET -> Bnone
+      | Http.POST | Http.PUT | Http.DELETE ->
+          let kvs =
+            [
+              (pick rng key_pool, value_source rng idx);
+              (pick rng key_pool ^ "_p", value_source rng (idx + 1));
+            ]
+          in
+          (* Rotate body kinds: query-string, org.json, gson. *)
+          if idx mod 3 = 0 && r.t_query > 0 then Bquery kvs
+          else if idx mod 7 = 6 then Bgson kvs
+          else if r.t_json > 0 then Bjson kvs
+          else Bquery kvs
+    in
+    let resp =
+      if not supported then
+        (* Dynamic-only endpoints still answer with JSON so fuzzers see
+           bodies. *)
+        json_shape rng ~shape_id:(idx mod n_json_shapes) ~store_token:false ~ep_id:id
+      else if srank < n_xml then xml_shape rng ~shape_id:idx
+      else if srank < pair_budget then
+        json_shape rng ~shape_id:(idx mod n_json_shapes)
+          ~store_token:(srank = n_xml) (* one token-bearing login-ish endpoint *)
+          ~ep_id:id
+      else Rnone
+    in
+    let stack =
+      if not supported then Apache
+      else
+        match idx mod 4 with
+        | 0 -> Apache
+        | 1 -> Urlconn
+        | 2 -> if meth = Http.GET && body = Bnone then Volley else Okhttp
+        | _ -> Okhttp
+    in
+    let async = supported && stack = Apache && idx mod 5 = 4 && resp <> Rnone in
+    let headers =
+      if idx mod 6 = 5 then [ ("User-Agent", Sconst (r.t_package ^ "/8.1")) ]
+      else []
+    in
+    endpoint ~id ~meth ~scheme ~host ~query ~headers ~body ~resp ~trigger:tr
+      ~stack ~async ~supported path
+  in
+  let endpoints = List.mapi mk_endpoint meth_plan in
+  (* Thread the token dependency: endpoints after the token-bearing one may
+     reference it. *)
+  let token_ep =
+    List.find_opt
+      (fun e ->
+        match e.e_resp with
+        | Rjson fields ->
+            List.exists
+              (function
+                | Rleaf { key = "token"; use = Some Uheap; _ } -> true
+                | _ -> false)
+              fields
+        | _ -> false)
+      endpoints
+  in
+  let endpoints =
+    match token_ep with
+    | None -> endpoints
+    | Some tok ->
+        List.mapi
+          (fun i e ->
+            if
+              e.e_id <> tok.e_id && e.e_supported && i mod 4 = 1
+              && e.e_meth <> Http.GET
+            then
+              {
+                e with
+                e_headers = ("Authorization", Sresp (tok.e_id, [ "token" ])) :: e.e_headers;
+              }
+            else e)
+          endpoints
+  in
+  ignore n;
+  {
+    a_name = r.t_name;
+    a_package = r.t_package;
+    a_closed = r.t_closed;
+    a_auto_blocked = false;
+    a_shared_fetch = false;
+    a_filler = 2;
+    a_endpoints = endpoints;
+    a_resources = List.rev !resources;
+  }
+
+(** Rows realized by hand-authored case-study apps rather than synthesis. *)
+let hand_authored = [ "radio reddit"; "Diode" ]
+
+(** The synthetic portion of the corpus (case studies are hand-authored in
+    {!Case_studies}). *)
+let apps () =
+  open_source_rows @ closed_source_rows
+  |> List.filter (fun r -> not (List.mem r.t_name hand_authored))
+  |> List.map synthesize_app
+
+(** The Table-1 row for an app name, if it is part of the synthetic set. *)
+let row_of_app name =
+  List.find_opt
+    (fun r -> r.t_name = name)
+    (open_source_rows @ closed_source_rows)

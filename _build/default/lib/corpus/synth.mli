@@ -1,0 +1,92 @@
+(** Synthetic generation of the Table-1 corpus.
+
+    For every app in the paper's evaluation, Table 1 gives per-method
+    counts of unique request signatures seen by (Extractocol / manual UI
+    fuzzing / source-truth or automatic fuzzing).  This module allocates
+    endpoints with triggers and supported-flags so the three coverage
+    sets have exactly those sizes:
+
+    - static ∩ manual ∩ auto — plain clickables
+    - static ∩ manual (auto misses) — custom-UI clickables
+    - static ∩ auto (manual skipped) — obscure clickables
+    - static only — timers / pushes / side-effect actions (§5.1)
+    - dynamic only (static misses) — intent-carried requests (§4)
+
+    Body kinds and response shapes are distributed to approximate the
+    query/JSON/XML and #Pair columns; the signature-collision structure
+    the paper observed cannot be recovered from the table, so those
+    columns are approximate by construction (recorded in
+    EXPERIMENTS.md). *)
+
+(** One row of Table 1: per-method (extractocol, manual, auto-or-source)
+    triples, body-kind counts (extractocol column) and the pair count. *)
+type row = {
+  t_name : string;
+  t_package : string;
+  t_https : bool;
+  t_closed : bool;
+  t_get : int * int * int;
+  t_post : int * int * int;
+  t_put : int * int * int;
+  t_delete : int * int * int;
+  t_query : int;
+  t_json : int;
+  t_xml : int;
+  t_pairs : int;
+}
+
+val row :
+  ?put:int * int * int ->
+  ?delete:int * int * int ->
+  ?query:int ->
+  ?json:int ->
+  ?xml:int ->
+  https:bool ->
+  closed:bool ->
+  get:int * int * int ->
+  post:int * int * int ->
+  pairs:int ->
+  string ->
+  string ->
+  row
+(** Row constructor with zero defaults for the optional columns (also
+    used to synthesize out-of-corpus apps, e.g. the scalability sweep). *)
+
+val open_source_rows : row list
+(** Table 1, open-source block (Extractocol / manual fuzzing / source). *)
+
+val closed_source_rows : row list
+(** Table 1, closed-source block (Extractocol / manual / automatic). *)
+
+(** Visibility-class allocation of one method's (E, M, A) triple: how
+    many endpoints fall into each intersection of the static and dynamic
+    coverage sets. *)
+type alloc = {
+  al_all : int;  (** static + manual + auto *)
+  al_sm : int;  (** static + manual *)
+  al_sa : int;  (** static + auto *)
+  al_s : int;  (** static only *)
+  al_ma : int;  (** dynamic only, both fuzzers (unsupported) *)
+  al_m : int;  (** manual only (unsupported) *)
+  al_a : int;  (** auto only (unsupported) *)
+}
+
+val allocate : int * int * int -> alloc
+(** Decompose an (E, M, A) triple into visibility classes whose unions
+    reproduce the three counts exactly. *)
+
+val synthesize_app : row -> Spec.app
+(** Deterministically expand a row into a full app spec (seeded by the
+    app name): endpoint ids, URI templates, value sources, body and
+    response shapes, triggers and stacks. *)
+
+val hand_authored : string list
+(** Rows realized by hand-authored case-study apps rather than
+    synthesis. *)
+
+val apps : unit -> Spec.app list
+(** The synthetic portion of the corpus (case studies are hand-authored
+    in {!Case_studies}). *)
+
+val row_of_app : string -> row option
+(** The Table-1 row for an app name, if the paper lists one. *)

@@ -1,0 +1,1 @@
+lib/eval/eval.ml: Extr_corpus Extr_extractocol Extr_fuzz Extr_httpmodel Extr_ir Extr_siglang Fmt Lazy List

@@ -1,0 +1,1 @@
+lib/eval/eval.mli: Extr_corpus Extr_extractocol Extr_httpmodel

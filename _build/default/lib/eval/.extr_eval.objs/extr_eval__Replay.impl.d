@@ -1,0 +1,1 @@
+lib/eval/replay.ml: Buffer Extr_corpus Extr_extractocol Extr_httpmodel Extr_server Extr_siglang List Option String Tables

@@ -1,0 +1,1 @@
+lib/eval/replay.mli: Extr_corpus Extr_extractocol Extr_httpmodel Extr_siglang

@@ -1,0 +1,1 @@
+lib/eval/tables.ml: Eval Extr_corpus Extr_extractocol Extr_httpmodel Extr_siglang Fmt Hashtbl List Option String

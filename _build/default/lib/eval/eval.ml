@@ -1,0 +1,354 @@
+(* Evaluation metrics (§5): coverage per method and baseline, signature
+   counts, constant-keyword counts, matched-byte accounting, and signature
+   validity against captured traffic. *)
+
+module Ir = Extr_ir.Types
+module Http = Extr_httpmodel.Http
+module Json = Extr_httpmodel.Json
+module Xml = Extr_httpmodel.Xml
+module Uri = Extr_httpmodel.Uri
+module Msgsig = Extr_siglang.Msgsig
+module Strsig = Extr_siglang.Strsig
+module Report = Extr_extractocol.Report
+module Pipeline = Extr_extractocol.Pipeline
+module Spec = Extr_corpus.Spec
+module Corpus = Extr_corpus.Corpus
+module Fuzz = Extr_fuzz.Fuzz
+
+(** One fully evaluated app: the static report plus the three dynamic
+    baselines' traces. *)
+type app_eval = {
+  ae_app : Spec.app;
+  ae_report : Report.t;
+  ae_auto : Http.trace;
+  ae_manual : Http.trace;
+  ae_full : Http.trace;
+  ae_row : Extr_corpus.Synth.row option;
+}
+
+(** Run the full evaluation for one corpus entry: static analysis with the
+    §5.1 configuration (async heuristic off for open-source apps, on for
+    closed-source) and the three fuzzing baselines. *)
+let evaluate (entry : Corpus.entry) : app_eval =
+  let app = entry.Corpus.c_app in
+  let apk = Lazy.force entry.Corpus.c_apk in
+  let options =
+    if app.Spec.a_closed then Pipeline.default_options
+    else Pipeline.open_source_options
+  in
+  let analysis = Pipeline.analyze ~options apk in
+  {
+    ae_app = app;
+    ae_report = analysis.Pipeline.an_report;
+    ae_auto = Fuzz.run app apk ~policy:`Auto;
+    ae_manual = Fuzz.run app apk ~policy:`Manual;
+    ae_full = Fuzz.run app apk ~policy:`Full;
+    ae_row = entry.Corpus.c_row;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Coverage per method (Table 1)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let static_method_count (ae : app_eval) (m : Http.meth) =
+  List.length (Report.requests_by_method ae.ae_report m)
+
+(** Unique endpoints of a given method observed in a trace. *)
+let trace_method_count (ae : app_eval) (trace : Http.trace) (m : Http.meth) =
+  Fuzz.observed_endpoints trace
+  |> List.filter (fun id ->
+         match Spec.find_endpoint ae.ae_app id with
+         | Some e -> e.Spec.e_meth = m
+         | None -> false)
+  |> List.length
+
+(** Source-truth counts per method: every endpoint present in the code,
+    the third Table-1 series for open-source apps. *)
+let source_method_count (ae : app_eval) (m : Http.meth) =
+  List.length
+    (List.filter (fun (e : Spec.endpoint) -> e.Spec.e_meth = m)
+       ae.ae_app.Spec.a_endpoints)
+
+type coverage_row = {
+  cr_app : string;
+  cr_static : int * int * int * int;  (** GET POST PUT DELETE *)
+  cr_manual : int * int * int * int;
+  cr_auto : int * int * int * int;
+  cr_pairs : int;
+}
+
+let coverage (ae : app_eval) : coverage_row =
+  let counts f = (f Http.GET, f Http.POST, f Http.PUT, f Http.DELETE) in
+  {
+    cr_app = ae.ae_app.Spec.a_name;
+    cr_static = counts (static_method_count ae);
+    cr_manual = counts (trace_method_count ae ae.ae_manual);
+    cr_auto =
+      (* Closed-source apps have no source: the paper's third series is
+         automatic fuzzing there, source truth on the open block. *)
+      (if ae.ae_app.Spec.a_closed then
+         counts (trace_method_count ae ae.ae_auto)
+       else counts (source_method_count ae));
+    cr_pairs = List.length (Report.paired ae.ae_report);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Signature counts (Figure 6)                                        *)
+(* ------------------------------------------------------------------ *)
+
+type sig_counts = { sc_uri : int; sc_request : int; sc_response : int }
+
+(** Unique signature counts in the static report: URIs, request
+    bodies/query strings, and response bodies. *)
+let static_sig_counts (ae : app_eval) : sig_counts =
+  let txs = ae.ae_report.Report.rp_transactions in
+  let uris =
+    List.map (fun tr -> Strsig.to_regex tr.Report.tr_request.Msgsig.rs_uri) txs
+    |> List.sort_uniq compare
+  in
+  let reqs =
+    List.filter_map
+      (fun tr ->
+        match Report.request_body_kind tr with
+        | Some _ ->
+            Some
+              (Fmt.str "%a|%s" Msgsig.pp_body_sig tr.Report.tr_request.Msgsig.rs_body
+                 (Strsig.to_regex tr.Report.tr_request.Msgsig.rs_uri))
+        | None -> None)
+      txs
+    |> List.sort_uniq compare
+  in
+  let resps =
+    List.filter_map
+      (fun tr ->
+        match Report.response_body_kind tr with
+        | Some _ -> Some (Fmt.str "%a" Msgsig.pp_body_sig tr.Report.tr_response.Msgsig.ps_body)
+        | None -> None)
+      txs
+    |> List.sort_uniq compare
+  in
+  { sc_uri = List.length uris; sc_request = List.length reqs; sc_response = List.length resps }
+
+(** Unique message counts observed in a trace. *)
+let trace_sig_counts (ae : app_eval) (trace : Http.trace) : sig_counts =
+  let eps = Fuzz.observed_endpoints trace in
+  let find id = Spec.find_endpoint ae.ae_app id in
+  let with_req =
+    List.filter
+      (fun id ->
+        match find id with
+        | Some e -> e.Spec.e_body <> Spec.Bnone || e.Spec.e_query <> []
+        | None -> false)
+      eps
+  in
+  let with_resp =
+    (* Traffic-derived signatures cluster by shape, like the other two
+       series: wire bodies carrying the same key structure collapse. *)
+    List.filter_map
+      (fun id ->
+        match find id with
+        | Some e when Spec.has_processed_response e ->
+            let kind =
+              match e.Spec.e_resp with
+              | Spec.Rjson _ -> "json"
+              | Spec.Rxml (root, _) -> "xml:" ^ root
+              | Spec.Rtext -> "text"
+              | Spec.Rnone | Spec.Rmedia -> "none"
+            in
+            (* On the wire every field is visible, read or not. *)
+            Some (kind, Spec.response_keywords ~only_read:false e)
+        | Some _ | None -> None)
+      eps
+    |> List.sort_uniq compare
+  in
+  {
+    sc_uri = List.length eps;
+    sc_request = List.length with_req;
+    sc_response = List.length with_resp;
+  }
+
+(** Ground-truth counts from the spec (the "source code" bar of Figure 6,
+    open-source apps). *)
+let source_sig_counts (ae : app_eval) : sig_counts =
+  let eps = Spec.statically_visible ae.ae_app in
+  {
+    sc_uri = List.length eps;
+    sc_request =
+      List.length
+        (List.filter (fun e -> e.Spec.e_body <> Spec.Bnone || e.Spec.e_query <> []) eps);
+    sc_response =
+      (* Unique shapes, as the static and traffic series count them:
+         endpoints answering with the same parsed structure (radio
+         reddit's save and vote, Diode's listing variants) share one
+         response signature. *)
+      List.filter Spec.has_processed_response eps
+      |> List.map (fun (e : Spec.endpoint) ->
+             let kind =
+               match e.Spec.e_resp with
+               | Spec.Rjson _ -> "json"
+               | Spec.Rxml (root, _) -> "xml:" ^ root
+               | Spec.Rtext -> "text"
+               | Spec.Rnone | Spec.Rmedia -> "none"
+             in
+             (kind, Spec.response_keywords ~only_read:true e))
+      |> List.sort_uniq compare |> List.length;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Keyword counts (Figure 7)                                          *)
+(* ------------------------------------------------------------------ *)
+
+type keyword_counts = { kc_request : int; kc_response : int }
+
+(** Constant keywords in the static signatures (request bodies/query
+    strings and response bodies), counted per app as distinct keyword
+    occurrences per transaction — the paper counts keywords identified,
+    summed over apps. *)
+let static_keywords (ae : app_eval) : keyword_counts =
+  let txs = ae.ae_report.Report.rp_transactions in
+  let req =
+    List.concat_map
+      (fun tr -> Msgsig.request_body_keywords tr.Report.tr_request)
+      txs
+    |> List.sort_uniq compare
+  in
+  let resp =
+    List.concat_map
+      (fun tr -> Msgsig.body_keywords tr.Report.tr_response.Msgsig.ps_body)
+      txs
+    |> List.sort_uniq compare
+  in
+  { kc_request = List.length req; kc_response = List.length resp }
+
+let body_keywords (b : Http.body) =
+  match b with
+  | Http.Query kvs -> List.map fst kvs
+  | Http.Json j -> Json.distinct_keys j
+  | Http.Xml e -> Xml.distinct_keywords e
+  | Http.No_body | Http.Text _ | Http.Binary _ -> []
+
+(** Keywords actually appearing in captured traffic. *)
+let trace_keywords (trace : Http.trace) : keyword_counts =
+  let entries = trace.Http.tr_entries in
+  let req =
+    List.concat_map
+      (fun (te : Http.trace_entry) ->
+        let r = te.Http.te_tx.Http.tx_request in
+        List.map fst r.Http.req_uri.Uri.query @ body_keywords r.Http.req_body)
+      entries
+    |> List.sort_uniq compare
+  in
+  let resp =
+    List.concat_map
+      (fun (te : Http.trace_entry) ->
+        body_keywords te.Http.te_tx.Http.tx_response.Http.resp_body)
+      entries
+    |> List.sort_uniq compare
+  in
+  { kc_request = List.length req; kc_response = List.length resp }
+
+(** Ground-truth keywords from the spec. *)
+let source_keywords (ae : app_eval) : keyword_counts =
+  let eps = Spec.statically_visible ae.ae_app in
+  let req = List.concat_map Spec.request_keywords eps |> List.sort_uniq compare in
+  let resp =
+    List.concat_map (Spec.response_keywords ~only_read:true) eps
+    |> List.sort_uniq compare
+  in
+  { kc_request = List.length req; kc_response = List.length resp }
+
+(* ------------------------------------------------------------------ *)
+(* Signature validity and byte accounting (§5.1, Table 2)              *)
+(* ------------------------------------------------------------------ *)
+
+(** Find the static transaction whose request signature matches a captured
+    request. *)
+let match_request (ae : app_eval) (req : Http.request) : Report.transaction option =
+  List.find_opt
+    (fun tr -> Msgsig.request_matches tr.Report.tr_request req)
+    ae.ae_report.Report.rp_transactions
+
+(** Fraction of captured transactions (from endpoints the analysis
+    supports) whose requests match a static signature. *)
+let signature_validity (ae : app_eval) (trace : Http.trace) : int * int =
+  let supported (te : Http.trace_entry) =
+    match
+      Http.header "x-endpoint" te.Http.te_tx.Http.tx_response.Http.resp_headers
+    with
+    | Some id -> (
+        match Spec.find_endpoint ae.ae_app id with
+        | Some e -> e.Spec.e_supported
+        | None -> false)
+    | None -> false
+  in
+  let entries = List.filter supported trace.Http.tr_entries in
+  let matched =
+    List.filter
+      (fun (te : Http.trace_entry) ->
+        match_request ae te.Http.te_tx.Http.tx_request <> None)
+      entries
+  in
+  (List.length matched, List.length entries)
+
+type byte_account = { ba_k : int; ba_v : int; ba_n : int }
+
+let zero_account = { ba_k = 0; ba_v = 0; ba_n = 0 }
+
+let add_account a (k, v, n) = { ba_k = a.ba_k + k; ba_v = a.ba_v + v; ba_n = a.ba_n + n }
+
+(** Accumulate Table-2 byte accounting over a trace: request body/query
+    bytes and response body bytes classified as constant-matched (R_k),
+    value-of-known-key (R_v) or fully unknown (R_n). *)
+let byte_accounting (ae : app_eval) (trace : Http.trace) :
+    byte_account * byte_account =
+  List.fold_left
+    (fun (req_acc, resp_acc) (te : Http.trace_entry) ->
+      match match_request ae te.Http.te_tx.Http.tx_request with
+      | None -> (req_acc, resp_acc)
+      | Some tr ->
+          let req = te.Http.te_tx.Http.tx_request in
+          let resp = te.Http.te_tx.Http.tx_response in
+          let req_acc =
+            match req.Http.req_body with
+            | Http.No_body -> (
+                (* Query strings in the URI count as the request's
+                   query-string content. *)
+                match req.Http.req_uri.Uri.query with
+                | [] -> req_acc
+                | q ->
+                    add_account req_acc
+                      (Msgsig.body_byte_account
+                         (Msgsig.Bquery
+                            (match tr.Report.tr_request.Msgsig.rs_body with
+                            | Msgsig.Bquery pairs -> pairs
+                            | _ ->
+                                (* derive pairs from the URI signature *)
+                                List.map (fun (k, _) -> (k, Strsig.unknown))
+                                  (List.filter
+                                     (fun (k, _) ->
+                                       List.mem k
+                                         (Msgsig.uri_query_keywords
+                                            tr.Report.tr_request.Msgsig.rs_uri))
+                                     q)))
+                         (Http.Query q)))
+            | body ->
+                add_account req_acc
+                  (Msgsig.body_byte_account tr.Report.tr_request.Msgsig.rs_body body)
+          in
+          let resp_acc =
+            match resp.Http.resp_body with
+            | Http.No_body | Http.Binary _ -> resp_acc
+            | body ->
+                add_account resp_acc
+                  (Msgsig.body_byte_account tr.Report.tr_response.Msgsig.ps_body body)
+          in
+          (req_acc, resp_acc))
+    (zero_account, zero_account) trace.Http.tr_entries
+
+let account_percentages (a : byte_account) =
+  let total = a.ba_k + a.ba_v + a.ba_n in
+  if total = 0 then (0., 0., 0.)
+  else
+    ( 100. *. float_of_int a.ba_k /. float_of_int total,
+      100. *. float_of_int a.ba_v /. float_of_int total,
+      100. *. float_of_int a.ba_n /. float_of_int total )

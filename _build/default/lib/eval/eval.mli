@@ -1,0 +1,76 @@
+(** Evaluation metrics (§5): coverage per method and baseline, signature
+    counts, constant-keyword counts, matched-byte accounting, and
+    signature validity against captured traffic. *)
+
+module Http = Extr_httpmodel.Http
+module Report = Extr_extractocol.Report
+module Spec = Extr_corpus.Spec
+module Corpus = Extr_corpus.Corpus
+
+(** One fully evaluated app: the static report plus the three dynamic
+    baselines' traces. *)
+type app_eval = {
+  ae_app : Spec.app;
+  ae_report : Report.t;
+  ae_auto : Http.trace;
+  ae_manual : Http.trace;
+  ae_full : Http.trace;
+  ae_row : Extr_corpus.Synth.row option;
+}
+
+val evaluate : Corpus.entry -> app_eval
+(** Static analysis under the §5.1 configuration (async heuristic off for
+    open-source apps) plus the three fuzzing runs. *)
+
+(** {1 Coverage (Table 1)} *)
+
+val static_method_count : app_eval -> Http.meth -> int
+val trace_method_count : app_eval -> Http.trace -> Http.meth -> int
+
+val source_method_count : app_eval -> Http.meth -> int
+(** Source-truth endpoints per method (the third Table-1 series for
+    open-source apps; closed-source apps use the automatic-fuzzing
+    trace instead). *)
+
+type coverage_row = {
+  cr_app : string;
+  cr_static : int * int * int * int;  (** GET, POST, PUT, DELETE *)
+  cr_manual : int * int * int * int;
+  cr_auto : int * int * int * int;
+  cr_pairs : int;
+}
+
+val coverage : app_eval -> coverage_row
+
+(** {1 Signature counts (Figure 6)} *)
+
+type sig_counts = { sc_uri : int; sc_request : int; sc_response : int }
+
+val static_sig_counts : app_eval -> sig_counts
+val trace_sig_counts : app_eval -> Http.trace -> sig_counts
+val source_sig_counts : app_eval -> sig_counts
+
+(** {1 Keyword counts (Figure 7)} *)
+
+type keyword_counts = { kc_request : int; kc_response : int }
+
+val static_keywords : app_eval -> keyword_counts
+val trace_keywords : Http.trace -> keyword_counts
+val source_keywords : app_eval -> keyword_counts
+
+(** {1 Signature validity and byte accounting (§5.1, Table 2)} *)
+
+val match_request : app_eval -> Http.request -> Report.transaction option
+
+val signature_validity : app_eval -> Http.trace -> int * int
+(** [(matched, total)] over trace entries from supported endpoints. *)
+
+type byte_account = { ba_k : int; ba_v : int; ba_n : int }
+
+val zero_account : byte_account
+val add_account : byte_account -> int * int * int -> byte_account
+
+val byte_accounting : app_eval -> Http.trace -> byte_account * byte_account
+(** Request-side and response-side accumulations over a trace. *)
+
+val account_percentages : byte_account -> float * float * float

@@ -1,0 +1,133 @@
+(* §5.3 API replay: generate concrete HTTPS requests from the extracted
+   Kayak signatures (the paper's 73-line Python script) and verify that
+   flight fares can be retrieved: a /k/authajax session, then
+   /flight/start, then /flight/poll — including the app-specific
+   User-Agent header the server uses for access control. *)
+
+module Http = Extr_httpmodel.Http
+module Uri = Extr_httpmodel.Uri
+module Json = Extr_httpmodel.Json
+module Strsig = Extr_siglang.Strsig
+module Msgsig = Extr_siglang.Msgsig
+module Report = Extr_extractocol.Report
+module Spec = Extr_corpus.Spec
+module Server = Extr_server.Server
+
+(** Instantiate a string signature with concrete placeholder values (and
+    substitutions for named query keys). *)
+let rec concretize ?(subst = []) (sg : Strsig.t) : string =
+  match sg with
+  | Strsig.Lit s -> s
+  | Strsig.Unknown Strsig.Hnum -> "7"
+  | Strsig.Unknown Strsig.Hbool -> "true"
+  | Strsig.Unknown Strsig.Hany -> "x"
+  | Strsig.Concat parts ->
+      (* Substitute query values by their preceding "k=" literal. *)
+      let buf = Buffer.create 64 in
+      let pending_key = ref None in
+      List.iter
+        (fun p ->
+          (match p with
+          | Strsig.Lit s ->
+              (* Remember the trailing key of "...&key=" literals. *)
+              let key =
+                match String.rindex_opt s '=' with
+                | Some i when i = String.length s - 1 -> (
+                    let before = String.sub s 0 i in
+                    match
+                      (String.rindex_opt before '&', String.rindex_opt before '?')
+                    with
+                    | Some j, Some k ->
+                        let j = max j k in
+                        Some (String.sub before (j + 1) (i - j - 1))
+                    | Some j, None | None, Some j ->
+                        Some (String.sub before (j + 1) (i - j - 1))
+                    | None, None -> Some before)
+                | _ -> None
+              in
+              pending_key := key
+          | _ -> ());
+          match p with
+          | Strsig.Lit s -> Buffer.add_string buf s
+          | other -> (
+              match !pending_key with
+              | Some k when List.mem_assoc k subst ->
+                  Buffer.add_string buf (List.assoc k subst)
+              | _ -> Buffer.add_string buf (concretize ~subst other)))
+        parts;
+      Buffer.contents buf
+  | Strsig.Alt (b :: _) -> concretize ~subst b
+  | Strsig.Alt [] -> ""
+  | Strsig.Rep _ -> ""
+
+(** Build a concrete request from an extracted request signature. *)
+let request_of_sig ?(subst = []) (rs : Msgsig.request_sig) : Http.request option =
+  let uri_s = concretize ~subst rs.Msgsig.rs_uri in
+  match Uri.of_string_opt uri_s with
+  | None -> None
+  | Some uri ->
+      let headers =
+        List.map (fun (k, v) -> (k, concretize ~subst v)) rs.Msgsig.rs_headers
+      in
+      let body =
+        match rs.Msgsig.rs_body with
+        | Msgsig.Bnone | Msgsig.Bopaque -> Http.No_body
+        | Msgsig.Bquery pairs ->
+            Http.Query
+              (List.map
+                 (fun (k, v) ->
+                   ( k,
+                     match List.assoc_opt k subst with
+                     | Some s -> s
+                     | None -> concretize ~subst v ))
+                 pairs)
+        | Msgsig.Bjson _ -> Http.Json (Json.Obj [])
+        | Msgsig.Bxml _ -> Http.Text "<x/>"
+        | Msgsig.Btext sg -> Http.Text (concretize ~subst sg)
+      in
+      Some (Http.request ~headers ~body rs.Msgsig.rs_meth uri)
+
+let find_tx (report : Report.t) fragment : Report.transaction option =
+  List.find_opt
+    (fun tr ->
+      Tables.Str_replace.contains
+        (Strsig.to_regex tr.Report.tr_request.Msgsig.rs_uri)
+        fragment)
+    report.Report.rp_transactions
+
+(** The full §5.3 replay: session, search start, poll.  Returns true when
+    fares come back. *)
+let flight_search (app : Spec.app) (report : Report.t) : bool =
+  let net = Server.make app in
+  let send req = net req in
+  let json_of (resp : Http.response) =
+    match resp.Http.resp_body with Http.Json j -> Some j | _ -> None
+  in
+  let ( let* ) = Option.bind in
+  let result =
+    let* auth_tx = find_tx report "kauthajax" in
+    let* auth_req = request_of_sig auth_tx.Report.tr_request in
+    let auth_resp = send auth_req in
+    let* auth_json = json_of auth_resp in
+    let* sid = Json.member "sid" auth_json in
+    let sid = match sid with Json.Str s -> s | v -> Json.to_string v in
+    let* start_tx = find_tx report "flightstart" in
+    let* start_req =
+      request_of_sig ~subst:[ ("_sid_", sid) ] start_tx.Report.tr_request
+    in
+    let start_resp = send start_req in
+    let* start_json = json_of start_resp in
+    let* searchid = Json.member "searchid" start_json in
+    let searchid =
+      match searchid with Json.Str s -> s | v -> Json.to_string v
+    in
+    let* poll_tx = find_tx report "flightpoll" in
+    let* poll_req =
+      request_of_sig ~subst:[ ("searchid", searchid) ] poll_tx.Report.tr_request
+    in
+    let poll_resp = send poll_req in
+    let* poll_json = json_of poll_resp in
+    let* fares = Json.member "fares" poll_json in
+    match fares with Json.List (_ :: _) -> Some true | _ -> Some false
+  in
+  Option.value result ~default:false

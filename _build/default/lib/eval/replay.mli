@@ -1,0 +1,31 @@
+(** §5.3 API replay: generate concrete HTTPS requests from extracted
+    signatures (the paper's 73-line Python script) and drive the origin
+    server with them — no app code involved. *)
+
+module Http = Extr_httpmodel.Http
+module Strsig = Extr_siglang.Strsig
+module Msgsig = Extr_siglang.Msgsig
+module Report = Extr_extractocol.Report
+module Spec = Extr_corpus.Spec
+
+val concretize : ?subst:(string * string) list -> Strsig.t -> string
+(** Instantiate a string signature with concrete placeholder values:
+    [Unknown Hnum] becomes ["7"], [Hbool] ["true"], [Hany] ["x"]; the
+    first branch of an alternation is taken; repetitions collapse to the
+    empty string.  [subst] overrides the value of query parameters by
+    their key (recognized from the preceding ["...key="] literal). *)
+
+val request_of_sig :
+  ?subst:(string * string) list -> Msgsig.request_sig -> Http.request option
+(** Build a concrete request from an extracted request signature; [None]
+    when the concretized URI does not parse. *)
+
+val find_tx : Report.t -> string -> Report.transaction option
+(** First transaction whose request-URI regex contains the fragment
+    (keyword matching as in Table 6). *)
+
+val flight_search : Spec.app -> Report.t -> bool
+(** The full §5.3 replay against the app's origin server: a [/k/authajax]
+    session request, then [/flight/start], then [/flight/poll], threading
+    the live [sid] and [searchid] values between them.  True when fares
+    come back. *)

@@ -1,0 +1,270 @@
+(* Renderers for every table and figure of the paper's evaluation,
+   printing measured values next to the paper's reported ones.  Absolute
+   equality is not expected everywhere (the substrate is synthetic); the
+   shape — who covers more, by roughly what factor — is the reproduction
+   target (see EXPERIMENTS.md). *)
+
+module Http = Extr_httpmodel.Http
+module Spec = Extr_corpus.Spec
+module Synth = Extr_corpus.Synth
+module Report = Extr_extractocol.Report
+module Txn = Extr_extractocol.Txn
+module Msgsig = Extr_siglang.Msgsig
+module Strsig = Extr_siglang.Strsig
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_triple fmt (a, b, c) = Fmt.pf fmt "%3d/%3d/%3d" a b c
+
+(** Per-app coverage row: measured Extractocol / manual / auto counts per
+    method next to the paper's triples. *)
+let render_table1 fmt (evals : Eval.app_eval list) =
+  Fmt.pf fmt
+    "Table 1 — unique request signatures (measured E/M/A  vs  paper E/M/A)@\n";
+  Fmt.pf fmt "%-24s %-13s %-13s %-13s %-13s %-13s %-13s %5s %5s@\n" "app"
+    "GET meas" "GET paper" "POST meas" "POST paper" "PUT meas" "DEL meas"
+    "pairs" "paper";
+  List.iter
+    (fun (ae : Eval.app_eval) ->
+      let c = Eval.coverage ae in
+      let sg, sp, su, sd = c.Eval.cr_static in
+      let mg, mp, mu, md = c.Eval.cr_manual in
+      let ag, ap, au, ad = c.Eval.cr_auto in
+      let paper_get, paper_post, paper_pairs =
+        match ae.Eval.ae_row with
+        | Some r -> (r.Synth.t_get, r.Synth.t_post, r.Synth.t_pairs)
+        | None -> ((0, 0, 0), (0, 0, 0), 0)
+      in
+      Fmt.pf fmt "%-24s %a %a %a %a %a %a %5d %5d@\n" c.Eval.cr_app pp_triple
+        (sg, mg, ag) pp_triple paper_get pp_triple (sp, mp, ap) pp_triple
+        paper_post pp_triple (su, mu, au) pp_triple (sd, md, ad) c.Eval.cr_pairs
+        paper_pairs)
+    evals;
+  let total f =
+    List.fold_left
+      (fun acc ae ->
+        let c = Eval.coverage ae in
+        let a, b, cc, d = f c in
+        acc + a + b + cc + d)
+      0 evals
+  in
+  Fmt.pf fmt
+    "totals: extractocol %d requests, manual fuzzing %d, automatic fuzzing %d@\n"
+    (total (fun c -> c.Eval.cr_static))
+    (total (fun c -> c.Eval.cr_manual))
+    (total (fun c -> c.Eval.cr_auto))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Paper's Figure 6 values (digitized): per series, (URI, request
+    body/query, response body) signature totals. *)
+let fig6_paper_open = [ ("extractocol", (98, 92, 48)); ("manual", (95, 91, 48)); ("source", (98, 92, 48)) ]
+
+let fig6_paper_closed =
+  [ ("extractocol", (1058, 402, 586)); ("manual", (732, 240, 314)); ("auto", (216, 141, 222)) ]
+
+let sum_counts f evals =
+  List.fold_left
+    (fun (u, r, p) ae ->
+      let c = f ae in
+      (u + c.Eval.sc_uri, r + c.Eval.sc_request, p + c.Eval.sc_response))
+    (0, 0, 0) evals
+
+let render_fig6 fmt (evals : Eval.app_eval list) =
+  let opens = List.filter (fun ae -> not ae.Eval.ae_app.Spec.a_closed) evals in
+  let closed = List.filter (fun ae -> ae.Eval.ae_app.Spec.a_closed) evals in
+  let line fmt' name (u, r, p) paper =
+    let pu, pr, pp_ = match paper with Some (a, b, c) -> (a, b, c) | None -> (0, 0, 0) in
+    Fmt.pf fmt' "  %-12s URI %4d (paper %4d)  req-body %4d (paper %4d)  resp-body %4d (paper %4d)@\n"
+      name u pu r pr p pp_
+  in
+  Fmt.pf fmt "Figure 6 — unique signature totals@\n";
+  Fmt.pf fmt " open-source apps:@\n";
+  line fmt "extractocol" (sum_counts Eval.static_sig_counts opens)
+    (List.assoc_opt "extractocol" fig6_paper_open);
+  line fmt "manual" (sum_counts (fun ae -> Eval.trace_sig_counts ae ae.Eval.ae_manual) opens)
+    (List.assoc_opt "manual" fig6_paper_open);
+  line fmt "source" (sum_counts Eval.source_sig_counts opens)
+    (List.assoc_opt "source" fig6_paper_open);
+  Fmt.pf fmt " closed-source apps:@\n";
+  line fmt "extractocol" (sum_counts Eval.static_sig_counts closed)
+    (List.assoc_opt "extractocol" fig6_paper_closed);
+  line fmt "manual" (sum_counts (fun ae -> Eval.trace_sig_counts ae ae.Eval.ae_manual) closed)
+    (List.assoc_opt "manual" fig6_paper_closed);
+  line fmt "auto" (sum_counts (fun ae -> Eval.trace_sig_counts ae ae.Eval.ae_auto) closed)
+    (List.assoc_opt "auto" fig6_paper_closed)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Paper's Figure 7 values: (request body/query keywords, response body
+    keywords) per series. *)
+let fig7_paper_open = [ ("extractocol", (144, 372)); ("manual", (145, 616)); ("source", (145, 372)) ]
+
+let fig7_paper_closed =
+  [ ("extractocol", (7793, 14120)); ("manual", (3507, 13554)); ("auto", (505, 2912)) ]
+
+let sum_keywords f evals =
+  List.fold_left
+    (fun (r, p) ae ->
+      let c = f ae in
+      (r + c.Eval.kc_request, p + c.Eval.kc_response))
+    (0, 0) evals
+
+let render_fig7 fmt (evals : Eval.app_eval list) =
+  let opens = List.filter (fun ae -> not ae.Eval.ae_app.Spec.a_closed) evals in
+  let closed = List.filter (fun ae -> ae.Eval.ae_app.Spec.a_closed) evals in
+  let line fmt' name (r, p) paper =
+    let pr, pp_ = match paper with Some (a, b) -> (a, b) | None -> (0, 0) in
+    Fmt.pf fmt' "  %-12s request keywords %5d (paper %5d)   response keywords %5d (paper %5d)@\n"
+      name r pr p pp_
+  in
+  Fmt.pf fmt "Figure 7 — constant keyword totals@\n";
+  Fmt.pf fmt " open-source apps:@\n";
+  line fmt "extractocol" (sum_keywords Eval.static_keywords opens)
+    (List.assoc_opt "extractocol" fig7_paper_open);
+  line fmt "manual" (sum_keywords (fun ae -> Eval.trace_keywords ae.Eval.ae_manual) opens)
+    (List.assoc_opt "manual" fig7_paper_open);
+  line fmt "source" (sum_keywords Eval.source_keywords opens)
+    (List.assoc_opt "source" fig7_paper_open);
+  Fmt.pf fmt " closed-source apps:@\n";
+  line fmt "extractocol" (sum_keywords Eval.static_keywords closed)
+    (List.assoc_opt "extractocol" fig7_paper_closed);
+  line fmt "manual" (sum_keywords (fun ae -> Eval.trace_keywords ae.Eval.ae_manual) closed)
+    (List.assoc_opt "manual" fig7_paper_closed);
+  line fmt "auto" (sum_keywords (fun ae -> Eval.trace_keywords ae.Eval.ae_auto) closed)
+    (List.assoc_opt "auto" fig7_paper_closed)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Paper Table 2: matched byte count % (R_k / R_v / R_n). *)
+let table2_paper =
+  [
+    ("open request body/query", (47., 52., 1.));
+    ("open response body", (7., 48., 45.));
+    ("closed request body/query", (48., 31., 21.));
+    ("closed response body", (16., 35., 49.));
+  ]
+
+let render_table2 fmt (evals : Eval.app_eval list) =
+  let opens = List.filter (fun ae -> not ae.Eval.ae_app.Spec.a_closed) evals in
+  let closed = List.filter (fun ae -> ae.Eval.ae_app.Spec.a_closed) evals in
+  let accumulate group =
+    List.fold_left
+      (fun (req, resp) ae ->
+        let r, p = Eval.byte_accounting ae ae.Eval.ae_full in
+        ( Eval.add_account req (r.Eval.ba_k, r.Eval.ba_v, r.Eval.ba_n),
+          Eval.add_account resp (p.Eval.ba_k, p.Eval.ba_v, p.Eval.ba_n) ))
+      (Eval.zero_account, Eval.zero_account)
+      group
+  in
+  let line fmt' name acc paper_key =
+    let k, v, n = Eval.account_percentages acc in
+    let pk, pv, pn =
+      Option.value (List.assoc_opt paper_key table2_paper) ~default:(0., 0., 0.)
+    in
+    Fmt.pf fmt'
+      "  %-28s Rk %4.0f%% Rv %4.0f%% Rn %4.0f%%   (paper %2.0f/%2.0f/%2.0f)@\n"
+      name k v n pk pv pn
+  in
+  Fmt.pf fmt "Table 2 — matched byte count %% on actual traffic@\n";
+  let oreq, oresp = accumulate opens in
+  let creq, cresp = accumulate closed in
+  line fmt "open request body/query" oreq "open request body/query";
+  line fmt "open response body" oresp "open response body";
+  line fmt "closed request body/query" creq "closed request body/query";
+  line fmt "closed response body" cresp "closed response body"
+
+(* ------------------------------------------------------------------ *)
+(* Case-study tables (3, 4, 5, 6)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let render_transactions fmt title (report : Report.t) =
+  Fmt.pf fmt "%s@\n%a@\n" title Report.pp report
+
+(** Table 5: group Kayak transactions by URI prefix category.  Longer
+    prefixes claim transactions first so "/k" does not swallow
+    "/k/authajax". *)
+let render_table5 fmt (report : Report.t) =
+  Fmt.pf fmt "Table 5 — Kayak API categories (measured vs paper #APIs)@\n";
+  let txs = report.Report.rp_transactions in
+  let has_prefix tr prefix meth =
+    Http.meth_to_string tr.Report.tr_request.Msgsig.rs_meth = meth
+    &&
+    let lits =
+      String.concat "" (Strsig.literals tr.Report.tr_request.Msgsig.rs_uri)
+    in
+    let host = "https://www.kayak.com" in
+    String.length lits >= String.length host + String.length prefix
+    && String.sub lits (String.length host) (String.length prefix) = prefix
+  in
+  let claimed = Hashtbl.create 16 in
+  let by_length =
+    List.sort
+      (fun (_, _, p1, _) (_, _, p2, _) ->
+        compare (String.length p2) (String.length p1))
+      Extr_corpus.Case_studies.kayak_categories
+  in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (cat, meth, prefix, _) ->
+      let n =
+        List.length
+          (List.filter
+             (fun tr ->
+               (not (Hashtbl.mem claimed tr.Report.tr_id))
+               && has_prefix tr prefix meth
+               &&
+               (Hashtbl.replace claimed tr.Report.tr_id ();
+                true))
+             txs)
+      in
+      Hashtbl.replace counts cat n)
+    by_length;
+  List.iter
+    (fun (cat, meth, prefix, paper_count) ->
+      Fmt.pf fmt "  %-16s %-5s %-24s measured %3d  paper %3d@\n" cat meth prefix
+        (Option.value (Hashtbl.find_opt counts cat) ~default:0)
+        paper_count)
+    Extr_corpus.Case_studies.kayak_categories;
+  let ua =
+    List.exists
+      (fun tr ->
+        List.exists
+          (fun (k, v) ->
+            k = "User-Agent" && Strsig.to_regex v = "kayakandroidphone/8\\.1")
+          tr.Report.tr_request.Msgsig.rs_headers)
+      txs
+  in
+  Fmt.pf fmt "  app-specific header identified: User-Agent: kayakandroidphone/8.1 = %b@\n" ua
+
+(* Tiny substring helpers (avoiding a Str dependency). *)
+module Str_replace = struct
+  let global frag = String.concat "" (String.split_on_char '/' frag)
+
+  let contains haystack needle =
+    let flat = String.concat "" (String.split_on_char '\\' haystack) in
+    let flat = String.concat "" (String.split_on_char '/' flat) in
+    let n = String.length needle and h = String.length flat in
+    let rec go i = i + n <= h && (String.sub flat i n = needle || go (i + 1)) in
+    n = 0 || go 0
+end
+
+(** Table 6: the three selected Kayak request signatures. *)
+let render_table6 fmt (report : Report.t) =
+  Fmt.pf fmt "Table 6 — selected Kayak request signatures@\n";
+  let interesting = [ "authajax body"; "flightstart"; "flightpoll" ] in
+  List.iter
+    (fun tr ->
+      let text = Fmt.str "%a" Msgsig.pp_request_sig tr.Report.tr_request in
+      if List.exists (fun frag -> Str_replace.contains text frag) interesting
+      then Fmt.pf fmt "  %s@\n" text)
+    report.Report.rp_transactions
+

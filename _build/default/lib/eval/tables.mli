@@ -1,0 +1,50 @@
+(** Renderers for every table and figure of the paper's evaluation,
+    printing measured values next to the paper's reported ones.
+
+    Absolute equality is not expected everywhere (the substrate is
+    synthetic); the shape — who covers more, by roughly what factor — is
+    the reproduction target (see EXPERIMENTS.md). *)
+
+module Report = Extr_extractocol.Report
+
+val render_table1 : Format.formatter -> Eval.app_eval list -> unit
+(** Per-app unique request signatures: measured Extractocol / manual-fuzz
+    / auto-fuzz triples per HTTP method next to the paper's, plus
+    request/response pairs and grand totals. *)
+
+val render_fig6 : Format.formatter -> Eval.app_eval list -> unit
+(** Unique signature totals (URI, request body/query, response body) for
+    the open- and closed-source groups against each comparator series. *)
+
+val render_fig7 : Format.formatter -> Eval.app_eval list -> unit
+(** Constant-keyword totals for the same groups and series. *)
+
+val render_table2 : Format.formatter -> Eval.app_eval list -> unit
+(** Matched byte count % — how much of each concrete message the
+    signatures attribute to keywords (R_k), values (R_v) or nothing
+    (R_n). *)
+
+val render_transactions : Format.formatter -> string -> Report.t -> unit
+(** Generic case-study dump (Tables 3 and 4): titled transaction report
+    with pairings and dependencies. *)
+
+val render_table5 : Format.formatter -> Report.t -> unit
+(** Kayak API categories: group transactions by URI prefix (longer
+    prefixes claim transactions first so ["/k"] does not swallow
+    ["/k/authajax"]) and check the app-specific User-Agent header. *)
+
+(** Substring helpers over regex-ish signature text (avoiding a [Str]
+    dependency). *)
+module Str_replace : sig
+  val global : string -> string
+  (** The fragment with [/] separators removed — the form used to match
+      against flattened signature text. *)
+
+  val contains : string -> string -> bool
+  (** Does the haystack contain the needle once backslashes and slashes
+      are stripped from the haystack? *)
+end
+
+val render_table6 : Format.formatter -> Report.t -> unit
+(** The three selected Kayak request signatures (session, flight search,
+    poll) in the paper's Table 6 notation. *)

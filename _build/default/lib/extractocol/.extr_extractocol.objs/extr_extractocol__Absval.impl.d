@@ -1,0 +1,1 @@
+lib/extractocol/absval.ml: Extr_siglang Hashtbl Int List Map Option String

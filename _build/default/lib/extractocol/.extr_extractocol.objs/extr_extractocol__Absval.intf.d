@@ -1,0 +1,1 @@
+lib/extractocol/absval.mli: Extr_siglang Map

@@ -1,0 +1,1 @@
+lib/extractocol/api_sem.ml: Absval Extr_httpmodel Extr_ir Extr_semantics Extr_siglang Hashtbl List Option Respacc SMap String Txn

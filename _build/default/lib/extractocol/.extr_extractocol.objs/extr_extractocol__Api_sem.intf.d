@@ -1,0 +1,1 @@
+lib/extractocol/api_sem.mli: Absval Extr_httpmodel Extr_ir Extr_siglang Hashtbl Txn

@@ -1,0 +1,1 @@
+lib/extractocol/interp.ml: Absval Api_sem Array Extr_apk Extr_cfg Extr_httpmodel Extr_ir Extr_semantics Extr_siglang Extr_slicing Fun Hashtbl List Map Option Printf Respacc String Txn

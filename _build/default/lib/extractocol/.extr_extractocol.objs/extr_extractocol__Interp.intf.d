@@ -1,0 +1,1 @@
+lib/extractocol/interp.mli: Extr_apk Extr_cfg Extr_ir Extr_slicing Txn

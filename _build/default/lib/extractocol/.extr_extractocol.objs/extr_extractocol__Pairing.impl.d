@@ -1,0 +1,1 @@
+lib/extractocol/pairing.ml: Extr_cfg Extr_ir Extr_semantics Extr_slicing List

@@ -1,0 +1,1 @@
+lib/extractocol/pairing.mli: Extr_cfg Extr_ir Extr_slicing

@@ -1,0 +1,1 @@
+lib/extractocol/pipeline.ml: Extr_apk Extr_cfg Extr_ir Extr_semantics Extr_slicing Interp List Logs Pairing Report String Txn Unix

@@ -1,0 +1,1 @@
+lib/extractocol/pipeline.mli: Extr_apk Extr_cfg Extr_ir Extr_slicing Pairing Report Txn

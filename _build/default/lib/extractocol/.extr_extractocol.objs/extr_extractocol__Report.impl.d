@@ -1,0 +1,1 @@
+lib/extractocol/report.ml: Buffer Extr_httpmodel Extr_ir Extr_siglang Fmt Hashtbl List Printf Respacc String Txn

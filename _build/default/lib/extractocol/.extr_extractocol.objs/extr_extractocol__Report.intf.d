@@ -1,0 +1,1 @@
+lib/extractocol/report.mli: Extr_httpmodel Extr_ir Extr_siglang Format Hashtbl Txn

@@ -1,0 +1,1 @@
+lib/extractocol/respacc.ml: Absval Extr_siglang List

@@ -1,0 +1,1 @@
+lib/extractocol/respacc.mli: Absval Extr_siglang

@@ -1,0 +1,1 @@
+lib/extractocol/txn.ml: Extr_httpmodel Extr_ir Extr_siglang Fmt List Respacc String

@@ -1,0 +1,1 @@
+lib/extractocol/txn.mli: Extr_httpmodel Extr_ir Extr_siglang Format Respacc

@@ -1,0 +1,434 @@
+(* Abstract values for the signature-building interpretation (§3.2).  The
+   signature builder "maintains data structures to reconstruct data
+   operations encoded in the slice": strings carry their signature in the
+   intermediate language, JSON/XML builders carry trees, and response-
+   derived values carry provenance (which transaction, which field) so
+   inter-transaction dependencies can be inferred (§3.3).
+
+   Objects live in a functional heap carried by each execution state:
+   aliases share an object id, branch states fork the heap and merge at
+   confluence points — value merging is disjunction (§3.2), loop-header
+   merging is widening with [rep]. *)
+
+module Strsig = Extr_siglang.Strsig
+module Jsonsig = Extr_siglang.Jsonsig
+
+(** Provenance of a response-derived value: transaction id, the path of
+    fields under which the value sat in the response body, and an optional
+    mediator (e.g. a database table) the value travelled through. *)
+type prov = { p_tx : int; p_path : string list; p_via : string option }
+
+(** String abstraction: the signature, response provenance, privacy
+    sources (gps/microphone), the structured signature when the string was
+    serialized from a JSON builder, and per-key provenance for dependency
+    recording. *)
+type strinfo = {
+  sg : Strsig.t;
+  prov : prov list;
+  srcs : string list;
+  structured : Jsonsig.t option;
+  kprov : (string * prov list) list;
+}
+
+(** Steps of a response cursor: how parsing code navigated into the body. *)
+type step =
+  | Sfield of string  (** JSON object field *)
+  | Sindex  (** JSON array element *)
+  | Schild of string  (** XML child element *)
+  | Sattr of string  (** XML attribute *)
+  | Stext  (** XML text content *)
+
+type cursor = { cu_tx : int; cu_path : step list }
+
+(** Object reference: identity plus class; slots live in the heap. *)
+type obj = { o_id : int; o_cls : string }
+
+type t =
+  | Vtop
+  | Vnull
+  | Vbool of bool option
+  | Vint of int option
+  | Vstr of strinfo
+  | Vobj of obj
+  | Vlist of t list  (** immutable list snapshot stored inside object slots *)
+  | Vpair of t * t
+  | Vcursor of cursor  (** a position inside some response body *)
+
+module SMap = Map.Make (String)
+module IMap = Map.Make (Int)
+
+type slots = t SMap.t
+
+(** The functional heap: object id → slots. *)
+type heap = slots IMap.t
+
+let empty_heap : heap = IMap.empty
+
+let next_obj_id = ref 0
+
+(** Allocate an object in a heap ref; ids are globally unique. *)
+let halloc (href : heap ref) cls : obj =
+  incr next_obj_id;
+  let o = { o_id = !next_obj_id; o_cls = cls } in
+  href := IMap.add o.o_id SMap.empty !href;
+  o
+
+let obj_slots (h : heap) (o : obj) : slots =
+  Option.value (IMap.find_opt o.o_id h) ~default:SMap.empty
+
+let hslot (href : heap ref) (o : obj) name : t option =
+  SMap.find_opt name (obj_slots !href o)
+
+let hset (href : heap ref) (o : obj) name (v : t) : unit =
+  href := IMap.add o.o_id (SMap.add name v (obj_slots !href o)) !href
+
+(* ------------------------------------------------------------------ *)
+(* String helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let str_of_sig ?(prov = []) ?(srcs = []) ?structured sg =
+  Vstr { sg; prov; srcs; structured; kprov = [] }
+
+let str_lit s = str_of_sig (Strsig.lit s)
+let str_unknown = str_of_sig Strsig.unknown
+
+let path_of_steps steps =
+  List.map
+    (function
+      | Sfield f -> f
+      | Sindex -> "[]"
+      | Schild c -> c
+      | Sattr a -> "@" ^ a
+      | Stext -> "#text")
+    steps
+
+let prov_of_cursor cu =
+  { p_tx = cu.cu_tx; p_path = path_of_steps cu.cu_path; p_via = None }
+
+let plain_strinfo sg = { sg; prov = []; srcs = []; structured = None; kprov = [] }
+
+let strinfo_of = function
+  | Vstr si -> si
+  | Vint (Some n) -> plain_strinfo (Strsig.lit (string_of_int n))
+  | Vint None -> plain_strinfo Strsig.num
+  | Vbool (Some b) -> plain_strinfo (Strsig.lit (string_of_bool b))
+  | Vbool None -> plain_strinfo (Strsig.Unknown Strsig.Hbool)
+  | Vnull -> plain_strinfo (Strsig.lit "null")
+  | Vcursor cu ->
+      (* Stringified response subtree: unknown content, full provenance. *)
+      { (plain_strinfo Strsig.unknown) with prov = [ prov_of_cursor cu ] }
+  | Vtop | Vobj _ | Vlist _ | Vpair _ -> plain_strinfo Strsig.unknown
+
+(** Concatenate two values as strings (StringBuilder.append semantics):
+    signatures concatenate, provenance and sources union. *)
+let str_concat a b =
+  let ia = strinfo_of a and ib = strinfo_of b in
+  Vstr
+    {
+      sg = Strsig.append ia.sg ib.sg;
+      prov = ia.prov @ ib.prov;
+      srcs = List.sort_uniq String.compare (ia.srcs @ ib.srcs);
+      structured = None;
+      kprov = [];
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Heap-aware traversals                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** All provenance records reachable inside a value (bounded depth). *)
+let collect_prov (h : heap) (v : t) : prov list =
+  let acc = ref [] in
+  let seen = Hashtbl.create 8 in
+  let rec go depth v =
+    if depth < 12 then
+      match v with
+      | Vstr si -> acc := si.prov @ !acc
+      | Vcursor cu -> acc := prov_of_cursor cu :: !acc
+      | Vobj o ->
+          if not (Hashtbl.mem seen o.o_id) then begin
+            Hashtbl.replace seen o.o_id ();
+            SMap.iter (fun _ v' -> go (depth + 1) v') (obj_slots h o)
+          end
+      | Vlist items -> List.iter (go (depth + 1)) items
+      | Vpair (a, b) ->
+          go (depth + 1) a;
+          go (depth + 1) b
+      | Vtop | Vnull | Vbool _ | Vint _ -> ()
+  in
+  go 0 v;
+  !acc
+
+(** All privacy-source tags reachable inside a value. *)
+let collect_srcs (h : heap) (v : t) : string list =
+  let acc = ref [] in
+  let seen = Hashtbl.create 8 in
+  let rec go depth v =
+    if depth < 12 then
+      match v with
+      | Vstr si -> acc := si.srcs @ !acc
+      | Vobj o ->
+          if not (Hashtbl.mem seen o.o_id) then begin
+            Hashtbl.replace seen o.o_id ();
+            SMap.iter (fun _ v' -> go (depth + 1) v') (obj_slots h o)
+          end
+      | Vlist items -> List.iter (go (depth + 1)) items
+      | Vpair (a, b) ->
+          go (depth + 1) a;
+          go (depth + 1) b
+      | Vtop | Vnull | Vbool _ | Vint _ | Vcursor _ -> ()
+  in
+  go 0 v;
+  List.sort_uniq String.compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Structural equality modulo object identity: two objects are equal when
+    their classes and reachable slots agree (fresh allocation ids from
+    separate interpretation passes must not defeat fixed-point checks). *)
+let equal_val (ha : heap) (hb : heap) a b =
+  let rec go depth a b =
+    depth < 10
+    &&
+    match (a, b) with
+    | Vtop, Vtop | Vnull, Vnull -> true
+    | Vbool x, Vbool y -> x = y
+    | Vint x, Vint y -> x = y
+    | Vstr x, Vstr y ->
+        Strsig.equal x.sg y.sg && x.prov = y.prov && x.srcs = y.srcs
+    | Vcursor x, Vcursor y -> x = y
+    | Vobj x, Vobj y ->
+        x.o_cls = y.o_cls
+        &&
+        let sx = obj_slots ha x and sy = obj_slots hb y in
+        SMap.cardinal sx = SMap.cardinal sy
+        && SMap.for_all
+             (fun k v ->
+               match SMap.find_opt k sy with
+               | Some v' -> go (depth + 1) v v'
+               | None -> false)
+             sx
+    | Vlist xs, Vlist ys ->
+        List.length xs = List.length ys
+        && List.for_all2 (fun x y -> go (depth + 1) x y) xs ys
+    | Vpair (a1, b1), Vpair (a2, b2) -> go (depth + 1) a1 a2 && go (depth + 1) b1 b2
+    | ( (Vtop | Vnull | Vbool _ | Vint _ | Vstr _ | Vobj _ | Vlist _ | Vpair _ | Vcursor _),
+        _ ) ->
+        false
+  in
+  go 0 a b
+
+(* ------------------------------------------------------------------ *)
+(* Merge (confluence) and widening (loop headers)                      *)
+(* ------------------------------------------------------------------ *)
+
+let merge_strinfo combine_sig (a : strinfo) (b : strinfo) =
+  {
+    sg = combine_sig a.sg b.sg;
+    prov = a.prov @ List.filter (fun p -> not (List.mem p a.prov)) b.prov;
+    srcs = List.sort_uniq String.compare (a.srcs @ b.srcs);
+    structured = (match (a.structured, b.structured) with
+      | Some x, Some y when x = y -> Some x
+      | _, _ -> None);
+    kprov = a.kprov @ List.filter (fun (k, _) -> not (List.mem_assoc k a.kprov)) b.kprov;
+  }
+
+(** Merge two values from two states into a result heap (mutated through
+    [href]).  [combine_sig] is [Strsig.alt] at plain confluence points and
+    the rep-widening combinator at loop headers. *)
+let merge_val ~combine_sig (ha : heap) (hb : heap) (href : heap ref) a b =
+  let rec go depth a b =
+    if depth > 10 then Vtop
+    else
+      match (a, b) with
+      | _ when equal_val ha hb a b -> a
+      | Vtop, _ | _, Vtop -> Vtop
+      | Vnull, v | v, Vnull -> v
+      | Vint (Some x), Vint (Some y) when x = y -> Vint (Some x)
+      | Vint _, Vint _ -> Vint None
+      | Vbool _, Vbool _ -> Vbool None
+      | ( (Vstr _ | Vint _ | Vbool _ | Vcursor _),
+          (Vstr _ | Vint _ | Vbool _ | Vcursor _) ) ->
+          Vstr (merge_strinfo combine_sig (strinfo_of a) (strinfo_of b))
+      | Vobj x, Vobj y when x.o_cls = y.o_cls ->
+          let sx = obj_slots ha x and sy = obj_slots hb y in
+          let merged =
+            SMap.merge
+              (fun _ u v ->
+                match (u, v) with
+                | Some u, Some v -> Some (go (depth + 1) u v)
+                | Some u, None -> Some u
+                | None, Some v -> Some v
+                | None, None -> None)
+              sx sy
+          in
+          href := IMap.add x.o_id merged !href;
+          Vobj x
+      | Vlist xs, Vlist ys when List.length xs = List.length ys ->
+          Vlist (List.map2 (fun x y -> go (depth + 1) x y) xs ys)
+      | Vlist xs, Vlist ys ->
+          (* Builder-style growth: keep the longer list. *)
+          if List.length xs >= List.length ys then Vlist xs else Vlist ys
+      | Vpair (a1, b1), Vpair (a2, b2) ->
+          Vpair (go (depth + 1) a1 a2, go (depth + 1) b1 b2)
+      | (Vobj _ | Vlist _ | Vpair _ | Vstr _ | Vint _ | Vbool _ | Vcursor _), _ ->
+          Vtop
+  in
+  go 0 a b
+
+(** A stateful merger for joining two execution states (variable maps +
+    heaps) at a confluence point.  Returns a value-merge function and a
+    final-heap accessor; object graphs are merged id-wise with cycle
+    protection.  The result heap starts from [h1] with [h2]-only ids
+    union-ed in, and every object reached through merged values gets
+    slot-wise merged contents. *)
+let state_merger ~combine_sig (h1 : heap) (h2 : heap) =
+  let href = ref (IMap.union (fun _ a _ -> Some a) h1 h2) in
+  let visited = Hashtbl.create 16 in
+  let rec mval depth a b =
+    if depth > 10 then Vtop
+    else
+      match (a, b) with
+      | Vtop, _ | _, Vtop -> Vtop
+      | Vnull, Vnull -> Vnull
+      | Vnull, v | v, Vnull -> v
+      | Vint (Some x), Vint (Some y) when x = y -> Vint (Some x)
+      | Vint _, Vint _ -> Vint None
+      | Vbool (Some x), Vbool (Some y) when x = y -> Vbool (Some x)
+      | Vbool _, Vbool _ -> Vbool None
+      | Vcursor x, Vcursor y when x = y -> Vcursor x
+      | Vstr x, Vstr y when Strsig.equal x.sg y.sg && x.prov = y.prov ->
+          Vstr (merge_strinfo combine_sig x y)
+      | ( (Vstr _ | Vint _ | Vbool _ | Vcursor _),
+          (Vstr _ | Vint _ | Vbool _ | Vcursor _) ) ->
+          Vstr (merge_strinfo combine_sig (strinfo_of a) (strinfo_of b))
+      | Vobj x, Vobj y when x.o_cls = y.o_cls ->
+          if not (Hashtbl.mem visited (x.o_id, y.o_id)) then begin
+            Hashtbl.replace visited (x.o_id, y.o_id) ();
+            let sx = obj_slots h1 x and sy = obj_slots h2 y in
+            let merged =
+              SMap.merge
+                (fun _ u v ->
+                  match (u, v) with
+                  | Some u, Some v -> Some (mval (depth + 1) u v)
+                  | Some u, None -> Some u
+                  | None, Some v -> Some v
+                  | None, None -> None)
+                sx sy
+            in
+            href := IMap.add x.o_id merged !href
+          end;
+          Vobj x
+      | Vlist xs, Vlist ys when List.length xs = List.length ys ->
+          Vlist (List.map2 (fun x y -> mval (depth + 1) x y) xs ys)
+      | Vlist xs, Vlist ys ->
+          if List.length xs >= List.length ys then Vlist xs else Vlist ys
+      | Vpair (a1, b1), Vpair (a2, b2) ->
+          Vpair (mval (depth + 1) a1 a2, mval (depth + 1) b1 b2)
+      | (Vobj _ | Vlist _ | Vpair _ | Vstr _ | Vint _ | Vbool _ | Vcursor _), _ ->
+          Vtop
+  in
+  (mval 0, fun () -> !href)
+
+(* ------------------------------------------------------------------ *)
+(* Loop widening of string signatures                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sig_parts = function Strsig.Concat ps -> ps | s -> [ s ]
+
+(** Strip [prefix] from the front of [s]'s concat parts; returns the
+    remainder when [s] textually extends [prefix]. *)
+let strip_prefix prefix s =
+  let rec go pre parts =
+    match (pre, parts) with
+    | [], rest -> Some (Strsig.concat rest)
+    | p :: pre', q :: parts' when Strsig.equal p q -> go pre' parts'
+    | Strsig.Lit a :: pre', Strsig.Lit b :: parts'
+      when String.length b > String.length a
+           && String.sub b 0 (String.length a) = a ->
+        go pre'
+          (Strsig.Lit
+             (String.sub b (String.length a) (String.length b - String.length a))
+          :: parts')
+    | Strsig.Rep (Strsig.Lit d) :: pre', Strsig.Lit b :: parts' when d <> "" ->
+        (* A literal repetition absorbs any number of copies of itself. *)
+        let dl = String.length d in
+        let rec chomp s =
+          if String.length s >= dl && String.sub s 0 dl = d then
+            chomp (String.sub s dl (String.length s - dl))
+          else s
+        in
+        let rest = chomp b in
+        go pre' (if rest = "" then parts' else Strsig.Lit rest :: parts')
+    | Strsig.Rep _ :: pre', parts ->
+        (* Zero iterations of a non-literal repetition. *)
+        go pre' parts
+    | _, _ -> None
+  in
+  go (sig_parts prefix) (sig_parts s)
+
+(** Widen a string signature at a loop header (§3.2: "If the confluence
+    point is a loop header or latch, Extractocol identifies the loop
+    variant part of string objects and uses rep to mark the part can be
+    repeated"). *)
+let widen_sig old_sig new_sig =
+  if Strsig.equal old_sig new_sig then old_sig
+  else
+    match strip_prefix old_sig new_sig with
+    | Some delta -> (
+        (* If the old signature already ends with rep{delta}, the loop has
+           stabilized. *)
+        match List.rev (sig_parts old_sig) with
+        | Strsig.Rep d :: _ when Strsig.equal d delta -> old_sig
+        | _ -> Strsig.concat [ old_sig; Strsig.rep delta ])
+    | None -> (
+        match Strsig.alt [ old_sig; new_sig ] with
+        | Strsig.Alt branches when List.length branches > 8 -> Strsig.unknown
+        | s -> s)
+
+(* ------------------------------------------------------------------ *)
+(* Conversion to JSON signatures                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Convert an abstract value to a JSON-signature leaf/tree (used when a
+    JSON builder is serialized into a request body). *)
+let to_jsonsig (h : heap) (v : t) : Jsonsig.t =
+  let rec go depth v =
+    if depth > 10 then Jsonsig.Jany
+    else
+      match v with
+      | Vtop | Vnull -> Jsonsig.Jany
+      | Vbool _ -> Jsonsig.Jbool
+      | Vint (Some n) -> Jsonsig.Jconst_num n
+      | Vint None -> Jsonsig.Jnum
+      | Vstr si -> (
+          match si.structured with Some js -> js | None -> Jsonsig.Jstr si.sg)
+      | Vcursor _ -> Jsonsig.Jany
+      | Vpair (_, b) -> go (depth + 1) b
+      | Vlist items -> (
+          match items with
+          | [] -> Jsonsig.Jarr Jsonsig.Jany
+          | x :: rest ->
+              Jsonsig.Jarr
+                (List.fold_left
+                   (fun acc y -> Jsonsig.merge acc (go (depth + 1) y))
+                   (go (depth + 1) x) rest))
+      | Vobj o -> (
+          let slots = obj_slots h o in
+          match (SMap.find_opt "fields" slots, SMap.find_opt "items" slots) with
+          | Some (Vlist fields), _ ->
+              Jsonsig.Jobj
+                (List.filter_map
+                   (function
+                     | Vpair (Vstr { sg = Strsig.Lit key; _ }, v') ->
+                         Some (key, go (depth + 1) v')
+                     | Vpair _ | Vtop | Vnull | Vbool _ | Vint _ | Vstr _
+                     | Vobj _ | Vlist _ | Vcursor _ ->
+                         None)
+                   fields)
+          | _, Some (Vlist items) -> go (depth + 1) (Vlist items)
+          | _, _ -> Jsonsig.Jany)
+  in
+  go 0 v

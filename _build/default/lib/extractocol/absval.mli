@@ -1,0 +1,161 @@
+(** Abstract values for the signature-building interpretation (§3.2).
+
+    The signature builder "maintains data structures to reconstruct data
+    operations encoded in the slice": strings carry their signature in
+    the intermediate language, JSON/XML builders carry trees, and
+    response-derived values carry provenance (which transaction, which
+    field) so inter-transaction dependencies can be inferred (§3.3).
+
+    Objects live in a functional heap carried by each execution state:
+    aliases share an object id, branch states fork the heap and merge at
+    confluence points — value merging is disjunction (§3.2), loop-header
+    merging is widening with [rep]. *)
+
+module Strsig = Extr_siglang.Strsig
+module Jsonsig = Extr_siglang.Jsonsig
+
+(** Provenance of a response-derived value: transaction id, the path of
+    fields under which the value sat in the response body, and an
+    optional mediator (e.g. a database table) the value travelled
+    through. *)
+type prov = { p_tx : int; p_path : string list; p_via : string option }
+
+(** String abstraction: the signature, response provenance, privacy
+    sources (gps/microphone), the structured signature when the string
+    was serialized from a JSON builder, and per-key provenance for
+    dependency recording. *)
+type strinfo = {
+  sg : Strsig.t;
+  prov : prov list;
+  srcs : string list;
+  structured : Jsonsig.t option;
+  kprov : (string * prov list) list;
+}
+
+(** Steps of a response cursor: how parsing code navigated into the
+    body. *)
+type step =
+  | Sfield of string  (** JSON object field *)
+  | Sindex  (** JSON array element *)
+  | Schild of string  (** XML child element *)
+  | Sattr of string  (** XML attribute *)
+  | Stext  (** XML text content *)
+
+type cursor = { cu_tx : int; cu_path : step list }
+
+(** Object reference: identity plus class; slots live in the heap. *)
+type obj = { o_id : int; o_cls : string }
+
+type t =
+  | Vtop
+  | Vnull
+  | Vbool of bool option
+  | Vint of int option
+  | Vstr of strinfo
+  | Vobj of obj
+  | Vlist of t list  (** immutable list snapshot stored inside object slots *)
+  | Vpair of t * t
+  | Vcursor of cursor  (** a position inside some response body *)
+
+module SMap : Map.S with type key = string
+module IMap : Map.S with type key = int
+
+type slots = t SMap.t
+
+type heap = slots IMap.t
+(** The functional heap: object id → slots. *)
+
+val empty_heap : heap
+
+val halloc : heap ref -> string -> obj
+(** Allocate an object in a heap ref; ids are globally unique. *)
+
+val obj_slots : heap -> obj -> slots
+val hslot : heap ref -> obj -> string -> t option
+val hset : heap ref -> obj -> string -> t -> unit
+
+(** {1 String helpers} *)
+
+val str_of_sig :
+  ?prov:prov list -> ?srcs:string list -> ?structured:Jsonsig.t -> Strsig.t -> t
+
+val str_lit : string -> t
+val str_unknown : t
+
+val path_of_steps : step list -> string list
+(** Render cursor steps as field names ([Sindex] is ["[]"], attributes
+    are ["@name"], text content ["#text"]). *)
+
+val prov_of_cursor : cursor -> prov
+val plain_strinfo : Strsig.t -> strinfo
+
+val strinfo_of : t -> strinfo
+(** View any value as a string (the implicit [toString]): known ints and
+    bools become literals, unknown ones hinted unknowns, cursors carry
+    their provenance. *)
+
+val str_concat : t -> t -> t
+(** Abstract string concatenation: signatures append, provenance and
+    privacy sources union. *)
+
+(** {1 Heap-aware traversals} *)
+
+val collect_prov : heap -> t -> prov list
+(** All provenance records reachable inside a value (bounded depth). *)
+
+val collect_srcs : heap -> t -> string list
+(** All privacy-source tags reachable inside a value. *)
+
+val equal_val : heap -> heap -> t -> t -> bool
+(** Structural equality modulo object identity: two objects are equal
+    when their classes and reachable slots agree (fresh allocation ids
+    from separate interpretation passes must not defeat fixed-point
+    checks). *)
+
+(** {1 State merging} *)
+
+val merge_strinfo : (Strsig.t -> Strsig.t -> Strsig.t) -> strinfo -> strinfo -> strinfo
+
+val merge_val :
+  combine_sig:(Strsig.t -> Strsig.t -> Strsig.t) ->
+  heap ->
+  heap ->
+  heap ref ->
+  t ->
+  t ->
+  t
+(** Merge two values from two states into a result heap (mutated through
+    the ref).  [combine_sig] is [Strsig.alt] at plain confluence points
+    and the rep-widening combinator at loop headers. *)
+
+val state_merger :
+  combine_sig:(Strsig.t -> Strsig.t -> Strsig.t) ->
+  heap ->
+  heap ->
+  (t -> t -> t) * (unit -> heap)
+(** A stateful merger for joining two execution states (variable maps +
+    heaps) at a confluence point.  Returns a value-merge function and a
+    final-heap accessor; object graphs are merged id-wise with cycle
+    protection.  The result heap starts from the first heap with
+    second-heap-only ids union-ed in, and every object reached through
+    merged values gets slot-wise merged contents. *)
+
+(** {1 Loop widening of string signatures} *)
+
+val sig_parts : Strsig.t -> Strsig.t list
+(** The concat parts of a signature ([s] itself when not a concat). *)
+
+val strip_prefix : Strsig.t -> Strsig.t -> Strsig.t option
+(** [strip_prefix prefix s] strips [prefix] from the front of [s]'s
+    concat parts; returns the remainder when [s] textually extends
+    [prefix].  An existing literal repetition absorbs any number of
+    copies of itself. *)
+
+val widen_sig : Strsig.t -> Strsig.t -> Strsig.t
+(** Widen a string signature at a loop header (§3.2: the loop-variant
+    part is marked repeatable with [rep]; alternation explosion falls
+    back to unknown). *)
+
+val to_jsonsig : heap -> t -> Jsonsig.t
+(** Convert an abstract value to a JSON-signature leaf/tree (used when a
+    JSON builder is serialized into a request body). *)

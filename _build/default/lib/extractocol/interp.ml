@@ -1,0 +1,725 @@
+(* The flow-sensitive signature-building interpretation (§3.2).  Starting
+   from each event origin (activity lifecycle methods, registered UI/timer/
+   push callbacks), the interpreter executes the application abstractly:
+   basic blocks are processed in topological order of the intra-procedural
+   control-flow graph, signature databases (variable → abstract value, plus
+   a functional heap) merge at confluence points with disjunction, and
+   loop-variant string parts are widened with [rep].  Demarcation-point
+   calls finalize transactions; each call-string context yields its own
+   transaction, which is how request/response pairs stay disjoint under
+   code reuse (§3.3, Figure 5). *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Cfg = Extr_cfg.Cfg
+module Callgraph = Extr_cfg.Callgraph
+module Api = Extr_semantics.Api
+module Strsig = Extr_siglang.Strsig
+module Slicer = Extr_slicing.Slicer
+module Apk = Extr_apk.Apk
+open Absval
+
+type options = {
+  io_max_depth : int;  (** call-inlining depth bound *)
+  io_loop_passes : int;  (** maximum sweeps when the CFG has loops *)
+  io_event_heap : bool;
+      (** persist receiver heap state from registration into callbacks —
+          the behavioural analogue of the §3.4 asynchronous-event
+          heuristic.  Off: callbacks run on fresh objects (FlowDroid's
+          arbitrary-ordering assumption) and heap-carried request parts
+          are lost. *)
+  io_restrict_to_slices : bool;
+      (** only follow calls into methods relevant to some slice *)
+  io_context_sensitive : bool;
+      (** distinct transaction per call string; off = one transaction per
+          demarcation statement (the Figure-5 failure mode, for the
+          pairing ablation) *)
+  io_intents : bool;
+      (** resolve constant-action intent-service dispatch (extension;
+          off reproduces the paper's §4 limitation) *)
+  io_naive_order : bool;
+      (** process blocks in reverse topological order and iterate to a
+          fixpoint — the slow worklist-style baseline of §3.2's
+          scalability argument (ablation only) *)
+}
+
+let default_options =
+  {
+    io_max_depth = 24;
+    io_loop_passes = 3;
+    io_event_heap = true;
+    io_restrict_to_slices = true;
+    io_context_sensitive = true;
+    io_intents = false;
+    io_naive_order = false;
+  }
+
+type pending = {
+  pe_meth : Ir.method_id;
+  pe_this : Absval.t;
+  pe_kind : string;  (** click / timer / push / location *)
+  mutable pe_heap : heap option;  (** heap at the end of the registering run *)
+}
+
+type t = {
+  prog : Prog.t;
+  cg : Callgraph.t;
+  apk : Apk.t;
+  opts : options;
+  relevant : Ir.Method_set.t option;  (** method filter from slices *)
+  txs : (int, Txn.t) Hashtbl.t;
+  mutable tx_count : int;
+  tx_cache : (string, int) Hashtbl.t;  (** context key → transaction id *)
+  db : (string, prov list) Hashtbl.t;
+  statics : (string * string, Absval.t) Hashtbl.t;
+  mutable pending : pending list;
+  mutable fired : (Ir.method_id * string) list;  (** callbacks already run *)
+  mutable origin : Ir.method_id;
+  mutable origin_kind : string;
+  mutable callstack : Ir.stmt_id list;
+  mutable active : Ir.Method_set.t;  (** recursion guard *)
+  mutable steps : int;  (** fuel *)
+  cfg_cache : (Ir.method_id, Cfg.t) Hashtbl.t;
+}
+
+(* Environments: the per-block signature database of §3.2 mapping each
+   variable to its abstract value; paired with the functional heap. *)
+module Env = Map.Make (String)
+
+type state = { vars : Absval.t Env.t; sheap : heap }
+
+let max_steps = 3_000_000
+
+(** Methods relevant to slicing: methods containing slice statements plus
+    everything that can reach them in the call graph. *)
+let relevant_methods ?(intents = false) prog (cg : Callgraph.t)
+    (slices : Slicer.result) =
+  let base =
+    List.fold_left
+      (fun acc (sl : Slicer.slice) ->
+        Ir.Stmt_set.fold
+          (fun sid acc -> Ir.Method_set.add sid.Ir.sid_meth acc)
+          sl.Slicer.sl_stmts acc)
+      Ir.Method_set.empty
+      (slices.Slicer.r_request @ slices.Slicer.r_response)
+  in
+  let result = ref base in
+  let rec pull mid =
+    List.iter
+      (fun (sid : Ir.stmt_id) ->
+        if not (Ir.Method_set.mem sid.Ir.sid_meth !result) then begin
+          result := Ir.Method_set.add sid.Ir.sid_meth !result;
+          pull sid.Ir.sid_meth
+        end)
+      (Callgraph.callers cg mid)
+  in
+  Ir.Method_set.iter pull base;
+  (* Intent extension: startService is implicit control flow the call
+     graph does not carry; when a relevant intent service exists, the
+     dispatching methods (and their callers) become relevant too. *)
+  if intents then begin
+    let service_relevant =
+      Ir.Method_set.exists
+        (fun mid -> mid.Ir.id_name = "onHandleIntent")
+        !result
+    in
+    if service_relevant then
+      List.iter
+        (fun (m : Ir.meth) ->
+          let dispatches =
+            Array.exists
+              (fun stmt ->
+                match Ir.stmt_invoke stmt with
+                | Some i ->
+                    Api.invoke_is i ~cls:Api.context ~name:"startService"
+                | None -> false)
+              m.Ir.m_body
+          in
+          if dispatches then begin
+            let mid = Ir.method_id_of_meth m in
+            if not (Ir.Method_set.mem mid !result) then begin
+              result := Ir.Method_set.add mid !result;
+              pull mid
+            end
+          end)
+        (Prog.app_methods prog)
+  end;
+  !result
+
+let create ?(options = default_options) ?slices prog cg (apk : Apk.t) : t =
+  let relevant =
+    match (options.io_restrict_to_slices, slices) with
+    | true, Some s ->
+        Some (relevant_methods ~intents:options.io_intents prog cg s)
+    | _, _ -> None
+  in
+  {
+    prog;
+    cg;
+    apk;
+    opts = options;
+    relevant;
+    txs = Hashtbl.create 32;
+    tx_count = 0;
+    tx_cache = Hashtbl.create 32;
+    db = Hashtbl.create 8;
+    statics = Hashtbl.create 16;
+    pending = [];
+    fired = [];
+    origin = { Ir.id_cls = "?"; id_name = "?" };
+    origin_kind = "entry";
+    callstack = [];
+    active = Ir.Method_set.empty;
+    steps = 0;
+    cfg_cache = Hashtbl.create 32;
+  }
+
+let cfg_of t mid =
+  match Hashtbl.find_opt t.cfg_cache mid with
+  | Some c -> Some c
+  | None -> (
+      match Prog.find_method t.prog mid with
+      | Some m ->
+          let c = Cfg.build m in
+          Hashtbl.replace t.cfg_cache mid c;
+          Some c
+      | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Transaction anchoring                                              *)
+(* ------------------------------------------------------------------ *)
+
+let context_key t (sid : Ir.stmt_id) =
+  let stack =
+    if t.opts.io_context_sensitive then
+      String.concat ";" (List.map Ir.Stmt_id.to_string t.callstack)
+    else ""
+  in
+  let origin =
+    if t.opts.io_context_sensitive then Ir.Method_id.to_string t.origin else ""
+  in
+  Printf.sprintf "%s|%s|%s" origin stack (Ir.Stmt_id.to_string sid)
+
+let new_tx t ~dp : Txn.t =
+  let key = context_key t dp in
+  match Hashtbl.find_opt t.tx_cache key with
+  | Some id ->
+      (* Re-execution (later pass / loop iteration): reset the request
+         side, keep the id and the monotone response accumulator. *)
+      let tx = Hashtbl.find t.txs id in
+      tx.Txn.tx_meth <- Extr_httpmodel.Http.GET;
+      tx.Txn.tx_uri <- Strsig.unknown;
+      tx.Txn.tx_headers <- [];
+      tx.Txn.tx_body <- Extr_siglang.Msgsig.Bnone;
+      tx.Txn.tx_deps <- [];
+      tx.Txn.tx_dynamic_uri <- false;
+      tx
+  | None ->
+      let id = t.tx_count in
+      t.tx_count <- id + 1;
+      let tx = Txn.create ~id ~dp ~origin:t.origin in
+      Hashtbl.replace t.txs id tx;
+      Hashtbl.replace t.tx_cache key id;
+      tx
+
+(* ------------------------------------------------------------------ *)
+(* State merging                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let alt_sig a b = Strsig.alt [ a; b ]
+
+let merge_states ?(combine_sig = alt_sig) (s1 : state) (s2 : state) : state =
+  let mval, final_heap = state_merger ~combine_sig s1.sheap s2.sheap in
+  let vars = Env.union (fun _ a b -> Some (mval a b)) s1.vars s2.vars in
+  { vars; sheap = final_heap () }
+
+let widen_states (old_s : state) (new_s : state) : state =
+  merge_states ~combine_sig:widen_sig old_s new_s
+
+let states_equal (s1 : state) (s2 : state) =
+  Env.equal (fun a b -> equal_val s1.sheap s2.sheap a b) s1.vars s2.vars
+
+(* ------------------------------------------------------------------ *)
+(* Abstract evaluation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eval_const = function
+  | Ir.Cint n -> Vint (Some n)
+  | Ir.Cbool b -> Vbool (Some b)
+  | Ir.Cstr s -> str_lit s
+  | Ir.Cnull -> Vnull
+
+let eval_value vars = function
+  | Ir.Const c -> eval_const c
+  | Ir.Local v -> (
+      match Env.find_opt v.Ir.vname vars with Some x -> x | None -> Vtop)
+
+let eval_binop op a b =
+  match (op, a, b) with
+  | Ir.Add, Vint (Some x), Vint (Some y) -> Vint (Some (x + y))
+  | Ir.Sub, Vint (Some x), Vint (Some y) -> Vint (Some (x - y))
+  | Ir.Mul, Vint (Some x), Vint (Some y) -> Vint (Some (x * y))
+  | Ir.Div, Vint (Some x), Vint (Some y) when y <> 0 -> Vint (Some (x / y))
+  | (Ir.Add | Ir.Sub | Ir.Mul | Ir.Div), _, _ -> Vint None
+  | (Ir.Eq | Ir.Ne | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge | Ir.And | Ir.Or), _, _ ->
+      Vbool None
+
+(** Read an instance field abstractly; reflection-deserialized objects
+    (gson) turn field reads into response-cursor accesses. *)
+let read_field t (href : heap ref) (objval : Absval.t) (f : Ir.field_ref) :
+    Absval.t =
+  let typed_default () =
+    match f.Ir.fty with
+    | Ir.Int -> Vint None
+    | Ir.Bool -> Vbool None
+    | Ir.Void | Ir.Str | Ir.Obj _ | Ir.Arr _ -> Vtop
+  in
+  match objval with
+  | Vobj o -> (
+      match hslot href o "__gson_cursor" with
+      | Some (Vcursor cu) ->
+          let cu' = { cu with cu_path = cu.cu_path @ [ Sfield f.Ir.fname ] } in
+          (match Hashtbl.find_opt t.txs cu.cu_tx with
+          | Some tx -> (
+              match f.Ir.fty with
+              | Ir.Obj _ | Ir.Arr _ -> Respacc.record_nav tx.Txn.tx_resp cu'
+              | Ir.Int -> Respacc.record_leaf tx.Txn.tx_resp cu' Respacc.Knum
+              | Ir.Bool -> Respacc.record_leaf tx.Txn.tx_resp cu' Respacc.Kbool
+              | Ir.Str | Ir.Void ->
+                  Respacc.record_leaf tx.Txn.tx_resp cu' Respacc.Kstr)
+          | None -> ());
+          (match f.Ir.fty with
+          | Ir.Int -> Vint None
+          | Ir.Bool -> Vbool None
+          | Ir.Obj cls when not (Api.is_library_class cls) ->
+              let nested = halloc href cls in
+              hset href nested "__gson_cursor" (Vcursor cu');
+              Vobj nested
+          | Ir.Str | Ir.Void | Ir.Obj _ | Ir.Arr _ ->
+              str_of_sig ~prov:[ prov_of_cursor cu' ] Strsig.unknown)
+      | _ -> (
+          match hslot href o f.Ir.fname with
+          | Some v -> v
+          | None -> typed_default ()))
+  | Vcursor cu ->
+      (* Direct field access into a parsed response value. *)
+      let cu' = { cu with cu_path = cu.cu_path @ [ Sfield f.Ir.fname ] } in
+      (match Hashtbl.find_opt t.txs cu.cu_tx with
+      | Some tx -> Respacc.record_leaf tx.Txn.tx_resp cu' Respacc.Kstr
+      | None -> ());
+      str_of_sig ~prov:[ prov_of_cursor cu' ] Strsig.unknown
+  | Vtop | Vnull | Vbool _ | Vint _ | Vstr _ | Vlist _ | Vpair _ ->
+      typed_default ()
+
+(* ------------------------------------------------------------------ *)
+(* Method execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Execute a method abstractly from the given heap; returns the merged
+    return value and the heap at exit. *)
+let rec exec_method t ~depth ~(heap : heap) (mid : Ir.method_id)
+    ~(this : Absval.t option) ~(args : Absval.t list) : Absval.t * heap =
+  if depth > t.opts.io_max_depth || Ir.Method_set.mem mid t.active then
+    (Vtop, heap)
+  else
+    match (Prog.find_method t.prog mid, cfg_of t mid) with
+    | Some meth, Some cfg ->
+        t.active <- Ir.Method_set.add mid t.active;
+        let initial =
+          let vars = ref Env.empty in
+          List.iteri
+            (fun k (p : Ir.var) ->
+              let v = Option.value (List.nth_opt args k) ~default:Vtop in
+              vars := Env.add p.Ir.vname v !vars)
+            meth.Ir.m_params;
+          (match this with Some v -> vars := Env.add "this" v !vars | None -> ());
+          { vars = !vars; sheap = heap }
+        in
+        let order = Cfg.topological_order cfg in
+        let order = if t.opts.io_naive_order then List.rev order else order in
+        let { Cfg.headers; _ } = Cfg.loops cfg in
+        let has_loops = headers <> [] || t.opts.io_naive_order in
+        let nb = Cfg.n_blocks cfg in
+        let block_out : state option array = Array.make nb None in
+        let header_in : state option array = Array.make nb None in
+        let rets : (Absval.t * heap) list ref = ref [] in
+        let passes =
+          if t.opts.io_naive_order then max 20 t.opts.io_loop_passes
+          else if has_loops then t.opts.io_loop_passes
+          else 1
+        in
+        let changed = ref true in
+        let pass = ref 0 in
+        while !changed && !pass < passes do
+          changed := false;
+          incr pass;
+          rets := [];
+          List.iter
+            (fun b ->
+              let pred_states =
+                List.filter_map (fun p -> block_out.(p)) cfg.Cfg.preds.(b)
+              in
+              let state_in =
+                if List.mem b headers then begin
+                  (* Loop headers widen each incoming state against the
+                     previous header state so textual growth becomes rep
+                     instead of an ever-growing disjunction (§3.2). *)
+                  match header_in.(b) with
+                  | Some old_s ->
+                      let widened =
+                        List.fold_left widen_states old_s pred_states
+                      in
+                      let widened =
+                        if b = 0 then widen_states widened initial else widened
+                      in
+                      header_in.(b) <- Some widened;
+                      widened
+                  | None ->
+                      let s0 =
+                        match (b, pred_states) with
+                        | 0, ss -> List.fold_left merge_states initial ss
+                        | _, [] -> { initial with vars = Env.empty }
+                        | _, s :: ss -> List.fold_left merge_states s ss
+                      in
+                      header_in.(b) <- Some s0;
+                      s0
+                end
+                else
+                  match (b, pred_states) with
+                  | 0, [] -> initial
+                  | 0, ss -> List.fold_left merge_states initial ss
+                  | _, [] -> { initial with vars = Env.empty }
+                  | _, s :: ss -> List.fold_left merge_states s ss
+              in
+              let out = exec_block t ~depth mid meth cfg b state_in rets in
+              match block_out.(b) with
+              | Some prev when states_equal prev out -> ()
+              | Some _ | None ->
+                  block_out.(b) <- Some out;
+                  changed := true)
+            order
+        done;
+        t.active <- Ir.Method_set.remove mid t.active;
+        (* Merge the return values and exit heaps. *)
+        let exit_heap =
+          match !rets with
+          | [] -> (
+              match
+                List.rev (List.filter_map Fun.id (Array.to_list block_out))
+              with
+              | last :: _ -> last.sheap
+              | [] -> heap)
+          | (_, h) :: rest ->
+              List.fold_left
+                (fun acc (_, h') ->
+                  let _, final = state_merger ~combine_sig:alt_sig acc h' in
+                  final ())
+                h rest
+        in
+        let ret_val =
+          match !rets with
+          | [] -> Vnull
+          | (r, _) :: rest ->
+              List.fold_left
+                (fun acc (r', h') ->
+                  let mval, _ = state_merger ~combine_sig:alt_sig exit_heap h' in
+                  mval acc r')
+                r rest
+        in
+        (ret_val, exit_heap)
+    | _, _ -> (Vtop, heap)
+
+and exec_block t ~depth mid meth cfg b (state_in : state) rets : state =
+  let body = meth.Ir.m_body in
+  let href = ref state_in.sheap in
+  let vars = ref state_in.vars in
+  List.iter
+    (fun idx ->
+      t.steps <- t.steps + 1;
+      if t.steps <= max_steps then begin
+        let sid = { Ir.sid_meth = mid; sid_idx = idx } in
+        match body.(idx) with
+        | Ir.Assign (lhs, rhs) -> (
+            let v = eval_expr t ~depth href !vars sid rhs in
+            match lhs with
+            | Ir.Lvar x -> vars := Env.add x.Ir.vname v !vars
+            | Ir.Lfield (x, f) -> (
+                match Env.find_opt x.Ir.vname !vars with
+                | Some (Vobj o) -> hset href o f.Ir.fname v
+                | Some _ | None -> ())
+            | Ir.Lsfield f -> Hashtbl.replace t.statics (f.Ir.fcls, f.Ir.fname) v
+            | Ir.Lelem (a, _) -> (
+                match Env.find_opt a.Ir.vname !vars with
+                | Some (Vobj o) ->
+                    let items =
+                      match hslot href o "items" with
+                      | Some (Vlist l) -> l
+                      | _ -> []
+                    in
+                    hset href o "items" (Vlist (items @ [ v ]))
+                | Some _ | None -> ()))
+        | Ir.InvokeStmt i -> ignore (eval_invoke t ~depth href !vars sid i)
+        | Ir.Return v ->
+            (match v with
+            | Some value -> rets := (eval_value !vars value, !href) :: !rets
+            | None -> rets := (Vnull, !href) :: !rets)
+        | Ir.If _ | Ir.Goto _ | Ir.Lab _ | Ir.Nop -> ()
+      end)
+    (Cfg.block_stmts cfg b);
+  { vars = !vars; sheap = !href }
+
+and eval_expr t ~depth href vars sid (e : Ir.expr) : Absval.t =
+  match e with
+  | Ir.Val v -> eval_value vars v
+  | Ir.Binop (op, a, b) -> eval_binop op (eval_value vars a) (eval_value vars b)
+  | Ir.New cls -> Vobj (halloc href cls)
+  | Ir.NewArr (_, _) ->
+      let o = halloc href "array" in
+      hset href o "items" (Vlist []);
+      Vobj o
+  | Ir.IField (x, f) -> read_field t href (eval_value vars (Ir.Local x)) f
+  | Ir.SField f -> (
+      match Hashtbl.find_opt t.statics (f.Ir.fcls, f.Ir.fname) with
+      | Some v -> v
+      | None -> Vtop)
+  | Ir.AElem (a, i) -> (
+      match Env.find_opt a.Ir.vname vars with
+      | Some (Vobj o) -> (
+          match (hslot href o "items", eval_value vars i) with
+          | Some (Vlist l), Vint (Some n) when n >= 0 && n < List.length l ->
+              List.nth l n
+          | Some (Vlist (x :: rest)), _ ->
+              let mval, final = state_merger ~combine_sig:alt_sig !href !href in
+              let r = List.fold_left mval x rest in
+              href := final ();
+              r
+          | _, _ -> Vtop)
+      | Some _ | None -> Vtop)
+  | Ir.ALen _ -> Vint None
+  | Ir.Cast (_, v) -> eval_value vars v
+  | Ir.Invoke i -> eval_invoke t ~depth href vars sid i
+
+and eval_invoke t ~depth href vars (sid : Ir.stmt_id) (i : Ir.invoke) : Absval.t =
+  let base = Option.map (fun b -> eval_value vars (Ir.Local b)) i.Ir.ibase in
+  let args = List.map (eval_value vars) i.Ir.iargs in
+  (* AsyncTask chaining: execute(args) → doInBackground(args) →
+     onPostExecute(result). *)
+  if Api.invoke_is i ~cls:Api.async_task ~name:"execute" then begin
+    match base with
+    | Some (Vobj o) ->
+        let dib = { Ir.id_cls = o.o_cls; id_name = "doInBackground" } in
+        let ope = { Ir.id_cls = o.o_cls; id_name = "onPostExecute" } in
+        let result = run_app_method t ~depth ~href ~sid dib ~this:base ~args in
+        (if Prog.find_method t.prog ope <> None then
+           ignore
+             (run_app_method t ~depth ~href ~sid ope ~this:base ~args:[ result ]));
+        Vnull
+    | Some _ | None -> Vnull
+  end
+  else begin
+    let sites = Callgraph.callsite_at t.cg sid in
+    let app_callees =
+      List.concat_map
+        (fun cs ->
+          if cs.Callgraph.cs_implicit then [] else cs.Callgraph.cs_callees)
+        sites
+    in
+    match app_callees with
+    | [] -> (
+        match Api_sem.call (api_ctx t ~depth ~href) ~sid i ~base ~args with
+        | Some v -> v
+        | None -> Vtop)
+    | callees ->
+        let results =
+          List.map
+            (fun c -> run_app_method t ~depth ~href ~sid c ~this:base ~args)
+            callees
+        in
+        (match results with
+        | [] -> Vtop
+        | r :: rest ->
+            let mval, final = state_merger ~combine_sig:alt_sig !href !href in
+            let merged = List.fold_left mval r rest in
+            href := final ();
+            merged)
+  end
+
+and run_app_method t ~depth ~href ~sid mid ~this ~args : Absval.t =
+  let skip =
+    match t.relevant with
+    | Some rel ->
+        (* Constructors always run: they establish the object context
+           (listener → activity links) that slices alone may not cover. *)
+        mid.Ir.id_name <> "<init>" && not (Ir.Method_set.mem mid rel)
+    | None -> false
+  in
+  if skip then Vtop
+  else begin
+    t.callstack <- sid :: t.callstack;
+    let r, heap' = exec_method t ~depth:(depth + 1) ~heap:!href mid ~this ~args in
+    t.callstack <- List.tl t.callstack;
+    href := heap';
+    r
+  end
+
+and api_ctx t ~depth ~href : Api_sem.ctx =
+  {
+    Api_sem.cx_prog = t.prog;
+    cx_heap = href;
+    cx_resources = (fun id -> Apk.resource_string t.apk id);
+    cx_new_tx = (fun ~dp -> new_tx t ~dp);
+    cx_tx = (fun id -> Hashtbl.find_opt t.txs id);
+    cx_db = t.db;
+    cx_run_callback =
+      (fun cb this args ->
+        if Prog.find_method t.prog cb <> None then begin
+          let r, heap' =
+            exec_method t ~depth:(depth + 1) ~heap:!href cb ~this ~args
+          in
+          href := heap';
+          r
+        end
+        else Vtop);
+    cx_register =
+      (fun ~kind listener ->
+        match listener with
+        | Vobj o ->
+            let name =
+              match kind with
+              | "click" -> "onClick"
+              | "timer" -> "run"
+              | "push" -> "onMessage"
+              | "location" -> "onLocationChanged"
+              | _ -> "run"
+            in
+            let cb = { Ir.id_cls = o.o_cls; id_name = name } in
+            if
+              Prog.find_method t.prog cb <> None
+              && (not
+                    (List.exists
+                       (fun p -> Ir.Method_id.equal p.pe_meth cb)
+                       t.pending))
+              && not (List.exists (fun (m, _) -> Ir.Method_id.equal m cb) t.fired)
+            then
+              t.pending <-
+                t.pending
+                @ [
+                    { pe_meth = cb; pe_this = Vobj o; pe_kind = kind; pe_heap = None };
+                  ]
+        | Vtop | Vnull | Vbool _ | Vint _ | Vstr _ | Vlist _ | Vpair _ | Vcursor _
+          ->
+            ());
+    cx_intents = t.opts.io_intents;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Driving from origins                                               *)
+(* ------------------------------------------------------------------ *)
+
+let framework_args (href : heap ref) (p : pending) : Absval.t list =
+  match p.pe_kind with
+  | "click" -> [ Vobj (halloc href Api.view) ]
+  | "location" -> [ Vobj (halloc href Api.location) ]
+  | "push" ->
+      (* Server-push payload: opaque server-controlled string. *)
+      [ str_unknown ]
+  | _ -> []
+
+(** Run the whole app: lifecycle entry points first, then registered
+    callbacks (with or without persistent heap state per options). *)
+let run t : Txn.t list =
+  let entries = Apk.entry_points t.apk in
+  (* Activities share one instance across their lifecycle methods so state
+     set in onCreate is visible in onResume. *)
+  let singletons : (string, obj * heap) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (r : Ir.method_ref) ->
+      let mid = Ir.method_id_of_ref r in
+      match Prog.find_method t.prog mid with
+      | None -> ()
+      | Some m ->
+          t.origin <- mid;
+          t.origin_kind <- "entry";
+          t.callstack <- [];
+          let heap0, this =
+            if m.Ir.m_static then (empty_heap, None)
+            else begin
+              match Hashtbl.find_opt singletons mid.Ir.id_cls with
+              | Some (o, h) -> (h, Some (Vobj o))
+              | None ->
+                  let href = ref empty_heap in
+                  let o = halloc href mid.Ir.id_cls in
+                  (!href, Some (Vobj o))
+            end
+          in
+          let _, heap' = exec_method t ~depth:0 ~heap:heap0 mid ~this ~args:[] in
+          (match this with
+          | Some (Vobj o) -> Hashtbl.replace singletons mid.Ir.id_cls (o, heap')
+          | Some _ | None -> ());
+          (* Stamp callbacks registered during this run with its heap. *)
+          List.iter
+            (fun p -> if p.pe_heap = None then p.pe_heap <- Some heap')
+            t.pending)
+    entries;
+  (* Fire registered callbacks on a cumulative event heap: each callback
+     sees the state left behind by earlier events, which is how implicit
+     data flows across asynchronous events become visible (§3.4).  A
+     second sweep re-fires every callback on the settled heap so
+     registration order does not hide dependencies (e.g. a save/vote click
+     registered before the login that produces its token). *)
+  let event_heap =
+    ref
+      (Hashtbl.fold
+         (fun _ (_, h) acc ->
+           let _, final = state_merger ~combine_sig:alt_sig acc h in
+           final ())
+         singletons empty_heap)
+  in
+  let callback_relevant p =
+    (* Events whose handlers touch no slice are skipped, like any other
+       non-slice method (the efficiency argument of §3.1). *)
+    match t.relevant with
+    | Some rel -> Ir.Method_set.mem p.pe_meth rel
+    | None -> true
+  in
+  let fire_callback p =
+    t.origin <- p.pe_meth;
+    t.origin_kind <- p.pe_kind;
+    t.callstack <- [];
+    let heap0, this =
+      if t.opts.io_event_heap then (!event_heap, p.pe_this)
+      else begin
+        let href = ref empty_heap in
+        let o = halloc href p.pe_meth.Ir.id_cls in
+        (!href, Vobj o)
+      end
+    in
+    let href = ref heap0 in
+    let args = framework_args href p in
+    let _, heap' =
+      exec_method t ~depth:0 ~heap:!href p.pe_meth ~this:(Some this) ~args
+    in
+    if t.opts.io_event_heap then event_heap := heap'
+  in
+  let all_fired = ref [] in
+  let rounds = ref 0 in
+  while t.pending <> [] && !rounds < 8 do
+    incr rounds;
+    let batch = t.pending in
+    t.pending <- [];
+    List.iter
+      (fun p ->
+        let key = (p.pe_meth, p.pe_kind) in
+        if not (List.mem key t.fired) then begin
+          t.fired <- key :: t.fired;
+          if callback_relevant p then begin
+            all_fired := !all_fired @ [ p ];
+            fire_callback p
+          end
+        end)
+      batch
+  done;
+  (* Second sweep over the settled heap. *)
+  if t.opts.io_event_heap then List.iter fire_callback !all_fired;
+  Hashtbl.fold (fun _ tx acc -> tx :: acc) t.txs []
+  |> List.sort (fun a b -> compare a.Txn.tx_id b.Txn.tx_id)

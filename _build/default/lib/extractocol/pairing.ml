@@ -1,0 +1,114 @@
+(* Request-response pairing over slices (§3.3, Figure 5).  When multiple
+   requests and responses share a common demarcation point through code
+   reuse, standard information-flow analysis discovers paths from every
+   request to every response.  Extractocol preprocesses the slices into
+   disjoint sub-slices — statement segments reachable from exactly one
+   divergence head — and pairs a request segment with the response segment
+   reachable from the same head. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Callgraph = Extr_cfg.Callgraph
+module Slicer = Extr_slicing.Slicer
+
+type pair = {
+  pr_dp : Slicer.dp_site;
+  pr_head : Ir.method_id;  (** the divergence head owning both segments *)
+  pr_request_segment : Ir.Stmt_set.t;
+  pr_response_segment : Ir.Stmt_set.t;
+}
+
+(** Methods transitively reachable from [root] through the call graph
+    (inclusive). *)
+let reach_down cg root =
+  let seen = ref Ir.Method_set.empty in
+  let rec visit mid =
+    if not (Ir.Method_set.mem mid !seen) then begin
+      seen := Ir.Method_set.add mid !seen;
+      List.iter
+        (fun cs -> List.iter visit cs.Callgraph.cs_callees)
+        (Callgraph.callsites cg mid)
+    end
+  in
+  visit root;
+  !seen
+
+(** Divergence heads for a demarcation point: walk the caller chain upward
+    from the DP's method while it is unique; when a method has several
+    callers, each caller method is a head.  With a single path the DP's own
+    method chain top is the only head. *)
+let divergence_heads cg (dp : Slicer.dp_site) : Ir.method_id list =
+  let rec walk mid visited =
+    if List.mem mid visited then [ mid ]
+    else
+      match Callgraph.callers cg mid with
+      | [] -> [ mid ]
+      | [ single ] -> walk single.Ir.sid_meth (mid :: visited)
+      | many ->
+          List.sort_uniq Ir.Method_id.compare
+            (List.map (fun s -> s.Ir.sid_meth) many)
+  in
+  walk dp.Slicer.dp_stmt.Ir.sid_meth []
+
+let stmts_in_methods (stmts : Ir.Stmt_set.t) (methods : Ir.Method_set.t) =
+  Ir.Stmt_set.filter (fun sid -> Ir.Method_set.mem sid.Ir.sid_meth methods) stmts
+
+(** Disjoint-segment pairing: one pair per divergence head, containing only
+    the statements exclusive to that head's reach. *)
+let pair_disjoint (prog : Prog.t) cg (slices : Slicer.result) : pair list =
+  ignore prog;
+  List.concat_map
+    (fun (dp : Slicer.dp_site) ->
+      let request =
+        List.find_opt
+          (fun (sl : Slicer.slice) -> sl.Slicer.sl_dp.Slicer.dp_stmt = dp.Slicer.dp_stmt)
+          slices.Slicer.r_request
+      in
+      let response =
+        List.find_opt
+          (fun (sl : Slicer.slice) -> sl.Slicer.sl_dp.Slicer.dp_stmt = dp.Slicer.dp_stmt)
+          slices.Slicer.r_response
+      in
+      match (request, response) with
+      | Some req, Some resp ->
+          let heads = divergence_heads cg dp in
+          let reaches = List.map (fun h -> (h, reach_down cg h)) heads in
+          List.map
+            (fun (h, own_reach) ->
+              (* Statements in methods reachable from this head but not
+                 from any other head: the disjoint segments. *)
+              let others =
+                List.fold_left
+                  (fun acc (h', r) ->
+                    if Ir.Method_id.equal h h' then acc else Ir.Method_set.union acc r)
+                  Ir.Method_set.empty reaches
+              in
+              let exclusive = Ir.Method_set.diff own_reach others in
+              {
+                pr_dp = dp;
+                pr_head = h;
+                pr_request_segment = stmts_in_methods req.Slicer.sl_stmts exclusive;
+                pr_response_segment = stmts_in_methods resp.Slicer.sl_stmts exclusive;
+              })
+            reaches
+      | _, _ -> [])
+    slices.Slicer.r_dps
+
+(** Naive pairing (the Figure-5 failure mode): pair every request slice
+    with every response slice that shares a demarcation-point method —
+    information-flow analysis would discover a path between all of them.
+    Returns (request dp, response dp) candidate pairs. *)
+let pair_naive (slices : Slicer.result) : (Slicer.dp_site * Slicer.dp_site) list =
+  List.concat_map
+    (fun (req : Slicer.slice) ->
+      List.filter_map
+        (fun (resp : Slicer.slice) ->
+          let rd = req.Slicer.sl_dp and pd = resp.Slicer.sl_dp in
+          if
+            rd.Slicer.dp_stmt.Ir.sid_meth = pd.Slicer.dp_stmt.Ir.sid_meth
+            && rd.Slicer.dp_info.Extr_semantics.Demarcation.dp_meth
+               = pd.Slicer.dp_info.Extr_semantics.Demarcation.dp_meth
+          then Some (rd, pd)
+          else None)
+        slices.Slicer.r_response)
+    slices.Slicer.r_request

@@ -1,0 +1,29 @@
+(** Request-response pairing over slices (§3.3, Figure 5).  When multiple
+    requests and responses share a demarcation point through code reuse,
+    standard information-flow analysis cross-pairs them; Extractocol
+    preprocesses the slices into disjoint sub-slices and pairs the request
+    segment of each divergence head with its response segment. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Callgraph = Extr_cfg.Callgraph
+module Slicer = Extr_slicing.Slicer
+
+type pair = {
+  pr_dp : Slicer.dp_site;
+  pr_head : Ir.method_id;  (** the divergence head owning both segments *)
+  pr_request_segment : Ir.Stmt_set.t;
+  pr_response_segment : Ir.Stmt_set.t;
+}
+
+val divergence_heads : Callgraph.t -> Slicer.dp_site -> Ir.method_id list
+(** Walk the caller chain upward from the demarcation point's method while
+    it is unique; where several callers exist, each is a head. *)
+
+val pair_disjoint : Prog.t -> Callgraph.t -> Slicer.result -> pair list
+(** One pair per divergence head, containing only the statements exclusive
+    to that head's call-graph reach. *)
+
+val pair_naive : Slicer.result -> (Slicer.dp_site * Slicer.dp_site) list
+(** The Figure-5 failure mode: every request slice paired with every
+    response slice that shares a demarcation-point method. *)

@@ -1,0 +1,42 @@
+(** End-to-end Extractocol pipeline (Figure 2): APK in, reconstructed HTTP
+    transactions out — program + call graph construction, network-aware
+    slicing, signature extraction, pairing and dependency analysis. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Callgraph = Extr_cfg.Callgraph
+module Slicer = Extr_slicing.Slicer
+module Apk = Extr_apk.Apk
+
+type options = {
+  op_async_heuristic : bool;  (** §3.4 heuristic: on for closed-source apps *)
+  op_async_iterations : int;  (** heap-carrier hops (1 = paper default) *)
+  op_augmentation : bool;  (** object-aware slice augmentation *)
+  op_scope : string option;  (** restrict analysis to a class prefix (§5.3) *)
+  op_context_sensitive : bool;  (** disjoint pairing contexts (Figure 5) *)
+  op_restrict_to_slices : bool;  (** interpret only slice-relevant methods *)
+  op_intents : bool;
+      (** resolve intent-service dispatch (extension; off reproduces the
+          paper's §4 limitation and Table 1's deliberate misses) *)
+}
+
+val default_options : options
+
+val open_source_options : options
+(** The §5.1 open-source configuration: asynchronous-event heuristic off. *)
+
+type analysis = {
+  an_apk : Apk.t;
+  an_prog : Prog.t;
+  an_cg : Callgraph.t;
+  an_slices : Slicer.result;
+  an_txs : Txn.t list;  (** raw (pre-dedup) transactions *)
+  an_pairs : Pairing.pair list;
+  an_report : Report.t;
+}
+
+val with_library_classes : Ir.program -> Ir.program
+(** Ensure the modelled library classes are present (needed to resolve
+    framework superclasses). *)
+
+val analyze : ?options:options -> Apk.t -> analysis

@@ -1,0 +1,149 @@
+(* Response-body signature accumulation.  The forward (response) slice
+   encodes which parts of the body the app actually parses; during the
+   signature interpretation every cursor access (JSON getString/
+   getJSONObject/..., XML getChild/getAttribute/...) is recorded here and
+   the access tree is finally rendered as the response body signature.
+   This reproduces the paper's observation that response signatures cover
+   exactly the keywords the app inspects (§5.1). *)
+
+module Strsig = Extr_siglang.Strsig
+module Jsonsig = Extr_siglang.Jsonsig
+module Xmlsig = Extr_siglang.Xmlsig
+module Msgsig = Extr_siglang.Msgsig
+
+type leaf_kind = Kstr | Knum | Kbool
+
+type node = {
+  mutable n_children : (string * node) list;  (** object fields / xml children *)
+  mutable n_attrs : (string * node) list;  (** xml attributes *)
+  mutable n_elem : node option;  (** array-element / repeated-child pattern *)
+  mutable n_kinds : leaf_kind list;
+  mutable n_text : bool;  (** xml text content read *)
+}
+
+let new_node () =
+  { n_children = []; n_attrs = []; n_elem = None; n_kinds = []; n_text = false }
+
+type body_kind = Bk_none | Bk_json | Bk_xml | Bk_text | Bk_opaque
+
+type t = {
+  mutable a_kind : body_kind;
+  a_root : node;
+}
+
+let create () = { a_kind = Bk_none; a_root = new_node () }
+
+let set_kind t k =
+  (* Upgrades only: none → text → json/xml. *)
+  match (t.a_kind, k) with
+  | Bk_none, _ -> t.a_kind <- k
+  | Bk_text, (Bk_json | Bk_xml) -> t.a_kind <- k
+  | _, _ -> ()
+
+(* Unconditional override: a media sink makes the body opaque no matter
+   what other reads suggested. *)
+let force_kind t k = t.a_kind <- k
+
+(** Walk (or create) the node for a cursor path. *)
+let node_at t (path : Absval.step list) : node =
+  let rec go node = function
+    | [] -> node
+    | Absval.Sfield f :: rest | Absval.Schild f :: rest ->
+        let child =
+          match List.assoc_opt f node.n_children with
+          | Some c -> c
+          | None ->
+              let c = new_node () in
+              node.n_children <- node.n_children @ [ (f, c) ];
+              c
+        in
+        go child rest
+    | Absval.Sindex :: rest ->
+        let elem =
+          match node.n_elem with
+          | Some e -> e
+          | None ->
+              let e = new_node () in
+              node.n_elem <- Some e;
+              e
+        in
+        go elem rest
+    | Absval.Sattr a :: rest ->
+        let attr =
+          match List.assoc_opt a node.n_attrs with
+          | Some c -> c
+          | None ->
+              let c = new_node () in
+              node.n_attrs <- node.n_attrs @ [ (a, c) ];
+              c
+        in
+        go attr rest
+    | Absval.Stext :: rest ->
+        node.n_text <- true;
+        go node rest
+  in
+  go t.a_root path
+
+(** Record a leaf read of the given kind at the cursor position. *)
+let record_leaf t (cursor : Absval.cursor) kind =
+  let node = node_at t cursor.Absval.cu_path in
+  if not (List.mem kind node.n_kinds) then node.n_kinds <- kind :: node.n_kinds
+
+(** Record structural navigation (getJSONObject / getChild / array). *)
+let record_nav t (cursor : Absval.cursor) = ignore (node_at t cursor.Absval.cu_path)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec node_to_jsonsig (n : node) : Jsonsig.t =
+  match (n.n_children, n.n_elem, n.n_kinds) with
+  | [], None, [] -> Jsonsig.Jany
+  | [], None, kinds ->
+      let leaves =
+        List.map
+          (function
+            | Kstr -> Jsonsig.Jstr Strsig.unknown
+            | Knum -> Jsonsig.Jnum
+            | Kbool -> Jsonsig.Jbool)
+          kinds
+      in
+      Jsonsig.alt leaves
+  | [], Some elem, _ -> Jsonsig.Jarr (node_to_jsonsig elem)
+  | children, None, _ ->
+      Jsonsig.Jobj (List.map (fun (k, c) -> (k, node_to_jsonsig c)) children)
+  | children, Some elem, _ ->
+      (* Both object fields and array access: disjunction of shapes. *)
+      Jsonsig.alt
+        [
+          Jsonsig.Jobj (List.map (fun (k, c) -> (k, node_to_jsonsig c)) children);
+          Jsonsig.Jarr (node_to_jsonsig elem);
+        ]
+
+let rec node_to_xmlsig tag (n : node) : Xmlsig.t =
+  let attrs = List.map (fun (a, _) -> (a, Strsig.unknown)) n.n_attrs in
+  let children =
+    List.map (fun (c, cn) -> Xmlsig.Celem (node_to_xmlsig c cn)) n.n_children
+  in
+  let children =
+    match n.n_elem with
+    | Some e -> children @ [ Xmlsig.Crep (node_to_xmlsig "item" e) ]
+    | None -> children
+  in
+  let children =
+    if n.n_text then children @ [ Xmlsig.Ctext Strsig.unknown ] else children
+  in
+  { Xmlsig.xtag = tag; xattrs = attrs; xchildren = children }
+
+(** Render the accumulated accesses as a response body signature. *)
+let to_body_sig (t : t) : Msgsig.body_sig =
+  match t.a_kind with
+  | Bk_none -> Msgsig.Bnone
+  | Bk_opaque -> Msgsig.Bopaque
+  | Bk_text -> Msgsig.Btext Strsig.unknown
+  | Bk_json -> Msgsig.Bjson (node_to_jsonsig t.a_root)
+  | Bk_xml -> (
+      (* The root child is the document element. *)
+      match t.a_root.n_children with
+      | [ (tag, n) ] -> Msgsig.Bxml (node_to_xmlsig tag n)
+      | _ -> Msgsig.Bxml (node_to_xmlsig "root" t.a_root))

@@ -1,0 +1,41 @@
+(** Response-body signature accumulation.
+
+    The forward (response) slice encodes which parts of the body the app
+    actually parses; during the signature interpretation every cursor
+    access (JSON getString/getJSONObject/..., XML getChild/getAttribute/
+    ...) is recorded here and the access tree is finally rendered as the
+    response body signature.  This reproduces the paper's observation
+    that response signatures cover exactly the keywords the app inspects
+    (§5.1). *)
+
+module Msgsig = Extr_siglang.Msgsig
+
+type leaf_kind = Kstr | Knum | Kbool
+
+type body_kind = Bk_none | Bk_json | Bk_xml | Bk_text | Bk_opaque
+
+type t
+(** Mutable access tree for one transaction's response. *)
+
+val create : unit -> t
+
+val set_kind : t -> body_kind -> unit
+(** Record what kind of body the parsing code implies.  Upgrades only:
+    none → text → json/xml (a [getEntity]-to-string read must not
+    downgrade a body later parsed as JSON). *)
+
+val force_kind : t -> body_kind -> unit
+(** Unconditional override: a media sink makes the body opaque no matter
+    what other reads suggested. *)
+
+val record_leaf : t -> Absval.cursor -> leaf_kind -> unit
+(** Record a leaf read of the given kind at the cursor position. *)
+
+val record_nav : t -> Absval.cursor -> unit
+(** Record structural navigation (getJSONObject / getChild / array
+    iteration) without a leaf read. *)
+
+val to_body_sig : t -> Msgsig.body_sig
+(** Render the accumulated accesses as a response body signature: a JSON
+    signature tree, an XML signature (DTD-renderable), unknown text, or
+    opaque. *)

@@ -1,0 +1,92 @@
+(* Reconstructed HTTP transactions (§3.3): a paired request/response with
+   the request signature, the response signature accumulated from parsing
+   code, the consumers of response data, and fine-grained dependencies on
+   earlier transactions. *)
+
+module Ir = Extr_ir.Types
+module Http = Extr_httpmodel.Http
+module Msgsig = Extr_siglang.Msgsig
+module Strsig = Extr_siglang.Strsig
+
+(** A fine-grained dependency: the value stored at [dep_from_path] in
+    transaction [dep_from_tx]'s response flows into field [dep_to_field]
+    of this transaction's request. *)
+type dep = {
+  dep_from_tx : int;
+  dep_from_path : string list;  (** JSON/XML path in the earlier response *)
+  dep_to_field : string;  (** "uri" | "header:<h>" | "body:<k>" | "query:<k>" *)
+  dep_via : string option;  (** mediator, e.g. "db:talks" for DB-mediated flows *)
+}
+
+type t = {
+  tx_id : int;
+  tx_dp : Ir.stmt_id;  (** the demarcation point that produced the pair *)
+  tx_origin : Ir.method_id;  (** event handler from which interpretation started *)
+  mutable tx_meth : Http.meth;
+  mutable tx_uri : Strsig.t;
+  mutable tx_headers : (string * Strsig.t) list;
+  mutable tx_body : Msgsig.body_sig;
+  tx_resp : Respacc.t;
+  mutable tx_consumers : Msgsig.consumer list;
+  mutable tx_deps : dep list;
+  mutable tx_srcs : string list;  (** privacy sources feeding the request *)
+  mutable tx_dynamic_uri : bool;
+      (** the URI is (partly) derived from an earlier response — a
+          "dynamically-derived URI" in the TED case study *)
+}
+
+let create ~id ~dp ~origin =
+  {
+    tx_id = id;
+    tx_dp = dp;
+    tx_origin = origin;
+    tx_meth = Http.GET;
+    tx_uri = Strsig.unknown;
+    tx_headers = [];
+    tx_body = Msgsig.Bnone;
+    tx_resp = Respacc.create ();
+    tx_consumers = [];
+    tx_deps = [];
+    tx_srcs = [];
+    tx_dynamic_uri = false;
+  }
+
+let request_sig (t : t) : Msgsig.request_sig =
+  {
+    Msgsig.rs_meth = t.tx_meth;
+    rs_uri = t.tx_uri;
+    rs_headers = t.tx_headers;
+    rs_body = t.tx_body;
+  }
+
+let response_sig (t : t) : Msgsig.response_sig =
+  { Msgsig.ps_body = Respacc.to_body_sig t.tx_resp; ps_consumers = t.tx_consumers }
+
+let add_consumer t c =
+  if not (List.mem c t.tx_consumers) then t.tx_consumers <- c :: t.tx_consumers
+
+let add_dep t d = if not (List.mem d t.tx_deps) then t.tx_deps <- d :: t.tx_deps
+
+let pp fmt t =
+  Fmt.pf fmt "#%d %s %s" t.tx_id
+    (Http.meth_to_string t.tx_meth)
+    (Strsig.to_regex t.tx_uri);
+  (match t.tx_body with
+  | Msgsig.Bnone -> ()
+  | b -> Fmt.pf fmt "@\n  body: %a" Msgsig.pp_body_sig b);
+  (match Respacc.to_body_sig t.tx_resp with
+  | Msgsig.Bnone -> ()
+  | b -> Fmt.pf fmt "@\n  response: %a" Msgsig.pp_body_sig b);
+  (match t.tx_consumers with
+  | [] -> ()
+  | cs ->
+      Fmt.pf fmt "@\n  consumers: %a"
+        (Fmt.list ~sep:Fmt.comma (Fmt.of_to_string Msgsig.consumer_to_string))
+        cs);
+  List.iter
+    (fun d ->
+      Fmt.pf fmt "@\n  dep: tx#%d %s -> %s%s" d.dep_from_tx
+        (String.concat "." d.dep_from_path)
+        d.dep_to_field
+        (match d.dep_via with Some via -> " (via " ^ via ^ ")" | None -> ""))
+    t.tx_deps

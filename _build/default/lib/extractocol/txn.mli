@@ -1,0 +1,46 @@
+(** Reconstructed HTTP transactions (§3.3): a paired request/response with
+    the request signature, the response signature accumulated from parsing
+    code, the consumers of response data, and fine-grained dependencies on
+    earlier transactions. *)
+
+module Ir = Extr_ir.Types
+module Http = Extr_httpmodel.Http
+module Msgsig = Extr_siglang.Msgsig
+module Strsig = Extr_siglang.Strsig
+
+(** A fine-grained dependency: the value at [dep_from_path] in transaction
+    [dep_from_tx]'s response flows into field [dep_to_field] of this
+    transaction's request. *)
+type dep = {
+  dep_from_tx : int;
+  dep_from_path : string list;  (** JSON/XML path in the earlier response *)
+  dep_to_field : string;  (** "uri" | "header:<h>" | "body:<k>" | "query:<k>" *)
+  dep_via : string option;  (** mediator, e.g. "db:talks" for DB-mediated flows *)
+}
+
+type t = {
+  tx_id : int;
+  tx_dp : Ir.stmt_id;  (** the demarcation point that produced the pair *)
+  tx_origin : Ir.method_id;  (** event handler the interpretation started from *)
+  mutable tx_meth : Http.meth;
+  mutable tx_uri : Strsig.t;
+  mutable tx_headers : (string * Strsig.t) list;
+  mutable tx_body : Msgsig.body_sig;
+  tx_resp : Respacc.t;
+  mutable tx_consumers : Msgsig.consumer list;
+  mutable tx_deps : dep list;
+  mutable tx_srcs : string list;  (** privacy sources feeding the request *)
+  mutable tx_dynamic_uri : bool;
+      (** the URI is (partly) derived from an earlier response — a
+          "dynamically-derived URI" in the TED case study *)
+}
+
+val create : id:int -> dp:Ir.stmt_id -> origin:Ir.method_id -> t
+
+val request_sig : t -> Msgsig.request_sig
+val response_sig : t -> Msgsig.response_sig
+
+val add_consumer : t -> Msgsig.consumer -> unit
+val add_dep : t -> dep -> unit
+
+val pp : Format.formatter -> t -> unit

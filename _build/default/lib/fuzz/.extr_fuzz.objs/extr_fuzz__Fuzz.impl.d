@@ -1,0 +1,1 @@
+lib/fuzz/fuzz.ml: Extr_apk Extr_corpus Extr_httpmodel Extr_ir Extr_runtime Extr_server List String

@@ -1,0 +1,1 @@
+lib/fuzz/fuzz.mli: Extr_apk Extr_corpus Extr_httpmodel

@@ -1,0 +1,25 @@
+(** UI fuzzing baselines (§5.1): three policies drive the runtime and
+    capture traffic traces (the mitmproxy analogue).
+
+    - [`Auto] — the PUMA analogue: fires every plain clickable it can
+      recognize; custom UI defeats it, side-effect actions never run,
+      timers/pushes never fire.
+    - [`Manual] — a human session: also drives custom UI (logins,
+      navigation) but skips side-effect actions, timers and pushes, and
+      misses obscure deep links.
+    - [`Full] — ground-truth execution: every trigger fires. *)
+
+module Http = Extr_httpmodel.Http
+module Apk = Extr_apk.Apk
+module Spec = Extr_corpus.Spec
+
+type policy = [ `Auto | `Manual | `Full ]
+
+val policy_name : policy -> string
+
+val run : ?input:(unit -> string) -> Spec.app -> Apk.t -> policy:policy -> Http.trace
+(** Launch the app under a policy and return the captured trace. *)
+
+val observed_endpoints : Http.trace -> string list
+(** Endpoints that appeared in a trace, identified by the server's
+    [x-endpoint] annotation (sorted, deduplicated). *)

@@ -1,0 +1,1 @@
+lib/httpmodel/har.ml: Fun Http Json List Option Uri Xml

@@ -1,0 +1,1 @@
+lib/httpmodel/har.mli: Http Json

@@ -1,0 +1,1 @@
+lib/httpmodel/http.ml: Fmt Json List String Uri Xml

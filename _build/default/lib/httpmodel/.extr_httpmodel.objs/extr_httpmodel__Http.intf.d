@@ -1,0 +1,1 @@
+lib/httpmodel/http.mli: Format Json Uri Xml

@@ -1,0 +1,1 @@
+lib/httpmodel/json.ml: Buffer Char Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/httpmodel/json.mli: Format

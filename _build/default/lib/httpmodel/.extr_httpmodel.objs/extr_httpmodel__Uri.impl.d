@@ -1,0 +1,1 @@
+lib/httpmodel/uri.ml: Buffer Char Fmt List Printf String

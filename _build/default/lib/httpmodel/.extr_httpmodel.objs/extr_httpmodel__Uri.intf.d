@@ -1,0 +1,1 @@
+lib/httpmodel/uri.mli: Format

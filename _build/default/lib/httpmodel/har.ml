@@ -1,0 +1,180 @@
+(* HAR-style serialization of traffic traces.  The paper's dynamic
+   baselines persist captured traffic (mitmproxy dumps) and re-load it for
+   signature-validity checking; this module is that archive format: a
+   JSON encoding of {!Http.trace} that round-trips exactly. *)
+
+let json_of_headers headers =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) headers)
+
+let headers_of_json = function
+  | Json.Obj kvs ->
+      Some
+        (List.filter_map
+           (fun (k, v) ->
+             match v with Json.Str s -> Some (k, s) | _ -> None)
+           kvs)
+  | Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.Str _
+  | Json.List _ ->
+      None
+
+let json_of_body (b : Http.body) : Json.t =
+  let tagged kind payload = Json.Obj (("kind", Json.Str kind) :: payload) in
+  match b with
+  | Http.No_body -> tagged "none" []
+  | Http.Query kvs ->
+      tagged "query"
+        [ ("params", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs)) ]
+  | Http.Json j -> tagged "json" [ ("value", j) ]
+  | Http.Xml e -> tagged "xml" [ ("text", Json.Str (Xml.to_string e)) ]
+  | Http.Text s -> tagged "text" [ ("text", Json.Str s) ]
+  | Http.Binary s -> tagged "binary" [ ("bytes", Json.Str s) ]
+
+let body_of_json (j : Json.t) : Http.body option =
+  match Json.member "kind" j with
+  | Some (Json.Str "none") -> Some Http.No_body
+  | Some (Json.Str "query") -> (
+      match Json.member "params" j with
+      | Some (Json.Obj kvs) ->
+          Some
+            (Http.Query
+               (List.filter_map
+                  (fun (k, v) ->
+                    match v with Json.Str s -> Some (k, s) | _ -> None)
+                  kvs))
+      | Some _ | None -> None)
+  | Some (Json.Str "json") -> (
+      match Json.member "value" j with
+      | Some v -> Some (Http.Json v)
+      | None -> None)
+  | Some (Json.Str "xml") -> (
+      match Json.member "text" j with
+      | Some (Json.Str s) -> Option.map (fun e -> Http.Xml e) (Xml.of_string_opt s)
+      | Some _ | None -> None)
+  | Some (Json.Str "text") -> (
+      match Json.member "text" j with
+      | Some (Json.Str s) -> Some (Http.Text s)
+      | Some _ | None -> None)
+  | Some (Json.Str "binary") -> (
+      match Json.member "bytes" j with
+      | Some (Json.Str s) -> Some (Http.Binary s)
+      | Some _ | None -> None)
+  | Some _ | None -> None
+
+let json_of_trigger (t : Http.trigger) : Json.t =
+  let tag kind label =
+    Json.Obj [ ("kind", Json.Str kind); ("label", Json.Str label) ]
+  in
+  match t with
+  | Http.Ui_click l -> tag "click" l
+  | Http.Ui_custom l -> tag "custom" l
+  | Http.Ui_action l -> tag "action" l
+  | Http.Timer l -> tag "timer" l
+  | Http.Server_push l -> tag "push" l
+  | Http.App_internal l -> tag "internal" l
+
+let trigger_of_json (j : Json.t) : Http.trigger option =
+  match (Json.member "kind" j, Json.member "label" j) with
+  | Some (Json.Str kind), Some (Json.Str label) -> (
+      match kind with
+      | "click" -> Some (Http.Ui_click label)
+      | "custom" -> Some (Http.Ui_custom label)
+      | "action" -> Some (Http.Ui_action label)
+      | "timer" -> Some (Http.Timer label)
+      | "push" -> Some (Http.Server_push label)
+      | "internal" -> Some (Http.App_internal label)
+      | _ -> None)
+  | _, _ -> None
+
+let json_of_entry (e : Http.trace_entry) : Json.t =
+  let req = e.Http.te_tx.Http.tx_request in
+  let resp = e.Http.te_tx.Http.tx_response in
+  Json.Obj
+    [
+      ( "request",
+        Json.Obj
+          [
+            ("method", Json.Str (Http.meth_to_string req.Http.req_meth));
+            ("uri", Json.Str (Uri.to_string req.Http.req_uri));
+            ("headers", json_of_headers req.Http.req_headers);
+            ("body", json_of_body req.Http.req_body);
+          ] );
+      ( "response",
+        Json.Obj
+          [
+            ("status", Json.Int resp.Http.resp_status);
+            ("headers", json_of_headers resp.Http.resp_headers);
+            ("body", json_of_body resp.Http.resp_body);
+          ] );
+      ("trigger", json_of_trigger e.Http.te_trigger);
+    ]
+
+let entry_of_json (j : Json.t) : Http.trace_entry option =
+  let ( let* ) = Option.bind in
+  let* rj = Json.member "request" j in
+  let* pj = Json.member "response" j in
+  let* tj = Json.member "trigger" j in
+  let* meth =
+    match Json.member "method" rj with
+    | Some (Json.Str m) -> Http.meth_of_string m
+    | Some _ | None -> None
+  in
+  let* uri =
+    match Json.member "uri" rj with
+    | Some (Json.Str u) -> Uri.of_string_opt u
+    | Some _ | None -> None
+  in
+  let* req_headers = Option.bind (Json.member "headers" rj) headers_of_json in
+  let* req_body = Option.bind (Json.member "body" rj) body_of_json in
+  let* status =
+    match Json.member "status" pj with
+    | Some (Json.Int s) -> Some s
+    | Some _ | None -> None
+  in
+  let* resp_headers = Option.bind (Json.member "headers" pj) headers_of_json in
+  let* resp_body = Option.bind (Json.member "body" pj) body_of_json in
+  let* trigger = trigger_of_json tj in
+  Some
+    {
+      Http.te_tx =
+        {
+          Http.tx_request =
+            {
+              Http.req_meth = meth;
+              req_uri = uri;
+              req_headers;
+              req_body;
+            };
+          tx_response =
+            {
+              Http.resp_status = status;
+              resp_headers;
+              resp_body;
+            };
+        };
+      te_trigger = trigger;
+    }
+
+let to_json (t : Http.trace) : Json.t =
+  Json.Obj
+    [
+      ("app", Json.Str t.Http.tr_app);
+      ("entries", Json.List (List.map json_of_entry t.Http.tr_entries));
+    ]
+
+let of_json (j : Json.t) : Http.trace option =
+  match (Json.member "app" j, Json.member "entries" j) with
+  | Some (Json.Str app), Some (Json.List entries) ->
+      let parsed = List.map entry_of_json entries in
+      if List.for_all Option.is_some parsed then
+        Some
+          {
+            Http.tr_app = app;
+            tr_entries = List.filter_map Fun.id parsed;
+          }
+      else None
+  | _, _ -> None
+
+let to_string (t : Http.trace) : string = Json.to_string (to_json t)
+
+let of_string (s : string) : Http.trace option =
+  Option.bind (Json.of_string_opt s) of_json

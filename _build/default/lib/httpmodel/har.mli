@@ -1,0 +1,24 @@
+(** HAR-style serialization of traffic traces.
+
+    The paper's dynamic baselines persist captured traffic (mitmproxy
+    dumps) and re-load it for signature-validity checking; this module is
+    that archive format: a JSON encoding of {!Http.trace} that
+    round-trips exactly (checked by property tests). *)
+
+val json_of_body : Http.body -> Json.t
+val body_of_json : Json.t -> Http.body option
+
+val json_of_trigger : Http.trigger -> Json.t
+val trigger_of_json : Json.t -> Http.trigger option
+
+val json_of_entry : Http.trace_entry -> Json.t
+val entry_of_json : Json.t -> Http.trace_entry option
+
+val to_json : Http.trace -> Json.t
+
+val of_json : Json.t -> Http.trace option
+(** [None] when any entry is malformed (no partial loads: a truncated
+    dump should fail loudly, not lose transactions silently). *)
+
+val to_string : Http.trace -> string
+val of_string : string -> Http.trace option

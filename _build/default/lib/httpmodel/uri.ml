@@ -1,0 +1,111 @@
+(* URIs as understood by Extractocol's signature extractor: scheme, host,
+   path and an ordered query string of key/value pairs. *)
+
+type t = {
+  scheme : string;  (** ["http"] or ["https"] *)
+  host : string;
+  path : string;  (** always starts with ['/'] (or is empty) *)
+  query : (string * string) list;
+  raw : string option;
+      (** the exact string the client sent, when parsed from one — kept so
+          signature matching sees the wire bytes (e.g. trailing "?&") *)
+}
+
+let make ?(scheme = "http") ?(query = []) ~host ~path () =
+  { scheme; host; path; query; raw = None }
+
+let percent_encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '~' | '/' | ':' ->
+          Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let percent_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '%' && !i + 2 < n then begin
+       match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+       | Some code ->
+           Buffer.add_char buf (Char.chr code);
+           i := !i + 3
+       | None ->
+           Buffer.add_char buf s.[!i];
+           incr i
+     end
+     else if s.[!i] = '+' then begin
+       Buffer.add_char buf ' ';
+       incr i
+     end
+     else begin
+       Buffer.add_char buf s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents buf
+
+let query_to_string query =
+  String.concat "&"
+    (List.map
+       (fun (k, v) ->
+         if v = "" then k else Printf.sprintf "%s=%s" k (percent_encode v))
+       query)
+
+let query_of_string qs =
+  if qs = "" then []
+  else
+    String.split_on_char '&' qs
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun kv ->
+           match String.index_opt kv '=' with
+           | None -> (kv, "")
+           | Some i ->
+               ( String.sub kv 0 i,
+                 percent_decode (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+let to_string u =
+  match u.raw with
+  | Some raw -> raw
+  | None ->
+      let q = match u.query with [] -> "" | _ -> "?" ^ query_to_string u.query in
+      Printf.sprintf "%s://%s%s%s" u.scheme u.host u.path q
+
+exception Parse_error of string
+
+let of_string s =
+  let scheme, rest =
+    match String.index_opt s ':' with
+    | Some i
+      when i + 2 < String.length s && s.[i + 1] = '/' && s.[i + 2] = '/' ->
+        (String.sub s 0 i, String.sub s (i + 3) (String.length s - i - 3))
+    | Some _ | None -> raise (Parse_error ("missing scheme in " ^ s))
+  in
+  let hostpath, query =
+    match String.index_opt rest '?' with
+    | None -> (rest, [])
+    | Some i ->
+        ( String.sub rest 0 i,
+          query_of_string (String.sub rest (i + 1) (String.length rest - i - 1)) )
+  in
+  let host, path =
+    match String.index_opt hostpath '/' with
+    | None -> (hostpath, "")
+    | Some i ->
+        (String.sub hostpath 0 i, String.sub hostpath i (String.length hostpath - i))
+  in
+  { scheme; host; path; query; raw = Some s }
+
+let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
+
+let pp fmt u = Fmt.string fmt (to_string u)
+
+(** Path split on ['/'] with empty segments removed; used by URI-prefix
+    grouping in the Kayak analysis (Table 5). *)
+let path_segments u =
+  String.split_on_char '/' u.path |> List.filter (fun s -> s <> "")

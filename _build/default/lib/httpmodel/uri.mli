@@ -1,0 +1,41 @@
+(** URIs as understood by Extractocol's signature extractor: scheme, host,
+    path and an ordered query string.  URIs parsed from wire strings keep
+    the raw form so signature matching sees the exact bytes the client
+    sent (including non-canonical shapes like a trailing ["?&"]). *)
+
+type t = {
+  scheme : string;  (** ["http"] or ["https"] *)
+  host : string;
+  path : string;  (** starts with ['/'] (or is empty) *)
+  query : (string * string) list;
+  raw : string option;  (** the exact wire string, when parsed from one *)
+}
+
+exception Parse_error of string
+
+val make : ?scheme:string -> ?query:(string * string) list -> host:string -> path:string -> unit -> t
+
+(** {1 Percent encoding} *)
+
+val percent_encode : string -> string
+val percent_decode : string -> string
+
+(** {1 Query strings} *)
+
+val query_to_string : (string * string) list -> string
+val query_of_string : string -> (string * string) list
+
+(** {1 Conversion} *)
+
+val to_string : t -> string
+(** The raw wire form when available, else the canonical rendering. *)
+
+val of_string : string -> t
+(** @raise Parse_error when the scheme is missing. *)
+
+val of_string_opt : string -> t option
+val pp : Format.formatter -> t -> unit
+
+val path_segments : t -> string list
+(** Path split on ['/'] with empty segments removed (URI-prefix grouping,
+    Table 5). *)

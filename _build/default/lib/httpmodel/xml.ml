@@ -1,0 +1,247 @@
+(* A minimal XML document model (elements, attributes, text) with a parser
+   for the subset emitted by the corpus servers.  XML response bodies and
+   their DTD-style signatures are built on this. *)
+
+type node =
+  | Elem of elem
+  | Text of string
+
+and elem = { tag : string; attrs : (string * string) list; children : node list }
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let element ?(attrs = []) tag children = { tag; attrs; children }
+let text s = Text s
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec node_to_buffer buf = function
+  | Text s -> Buffer.add_string buf (escape s)
+  | Elem e -> elem_to_buffer buf e
+
+and elem_to_buffer buf e =
+  Buffer.add_char buf '<';
+  Buffer.add_string buf e.tag;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape v);
+      Buffer.add_char buf '"')
+    e.attrs;
+  match e.children with
+  | [] -> Buffer.add_string buf "/>"
+  | children ->
+      Buffer.add_char buf '>';
+      List.iter (node_to_buffer buf) children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.tag;
+      Buffer.add_char buf '>'
+
+let to_string e =
+  let buf = Buffer.create 256 in
+  elem_to_buffer buf e;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '-' || ch = ':' || ch = '.'
+
+let parse_name c =
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some ch when is_name_char ch ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  if c.pos = start then fail "expected name at %d" c.pos;
+  String.sub c.src start (c.pos - start)
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      let rest = String.sub s !i (min 6 (n - !i)) in
+      let consume ent ch =
+        let le = String.length ent in
+        if String.length rest >= le && String.sub rest 0 le = ent then begin
+          Buffer.add_char buf ch;
+          i := !i + le;
+          true
+        end
+        else false
+      in
+      if
+        not
+          (consume "&lt;" '<' || consume "&gt;" '>' || consume "&amp;" '&'
+         || consume "&quot;" '"')
+      then begin
+        Buffer.add_char buf '&';
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail "expected %C at %d, got %C" ch c.pos x
+  | None -> fail "expected %C, got eof" ch
+
+let parse_attr c =
+  let name = parse_name c in
+  skip_ws c;
+  expect c '=';
+  skip_ws c;
+  expect c '"';
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some '"' -> ()
+    | Some _ ->
+        advance c;
+        go ()
+    | None -> fail "unterminated attribute"
+  in
+  go ();
+  let v = String.sub c.src start (c.pos - start) in
+  advance c;
+  (name, unescape v)
+
+let rec parse_elem c =
+  expect c '<';
+  let tag = parse_name c in
+  let rec attrs acc =
+    skip_ws c;
+    match peek c with
+    | Some '/' ->
+        advance c;
+        expect c '>';
+        { tag; attrs = List.rev acc; children = [] }
+    | Some '>' ->
+        advance c;
+        let children = parse_children c tag in
+        { tag; attrs = List.rev acc; children }
+    | Some _ -> attrs (parse_attr c :: acc)
+    | None -> fail "unterminated tag %s" tag
+  in
+  attrs []
+
+and parse_children c tag =
+  let children = ref [] in
+  let rec go () =
+    match peek c with
+    | None -> fail "missing close tag for %s" tag
+    | Some '<' ->
+        if c.pos + 1 < String.length c.src && c.src.[c.pos + 1] = '/' then begin
+          c.pos <- c.pos + 2;
+          let close = parse_name c in
+          if close <> tag then fail "mismatched close tag %s for %s" close tag;
+          skip_ws c;
+          expect c '>'
+        end
+        else begin
+          children := Elem (parse_elem c) :: !children;
+          go ()
+        end
+    | Some _ ->
+        let start = c.pos in
+        let rec scan () =
+          match peek c with
+          | Some '<' | None -> ()
+          | Some _ ->
+              advance c;
+              scan ()
+        in
+        scan ();
+        let txt = unescape (String.sub c.src start (c.pos - start)) in
+        if String.trim txt <> "" then children := Text txt :: !children;
+        go ()
+  in
+  go ();
+  List.rev !children
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  skip_ws c;
+  (* Skip an optional XML declaration. *)
+  if
+    c.pos + 1 < String.length s
+    && s.[c.pos] = '<'
+    && s.[c.pos + 1] = '?'
+  then begin
+    let rec skip () =
+      match peek c with
+      | Some '>' -> advance c
+      | Some _ ->
+          advance c;
+          skip ()
+      | None -> fail "unterminated declaration"
+    in
+    skip ();
+    skip_ws c
+  end;
+  let e = parse_elem c in
+  skip_ws c;
+  e
+
+let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
+
+(** Tags and attribute names appearing anywhere in the element, used for
+    keyword counting (Figure 7 counts XML tags and attributes). *)
+let rec all_keywords e =
+  (e.tag :: List.map fst e.attrs)
+  @ List.concat_map
+      (function Elem e' -> all_keywords e' | Text _ -> [])
+      e.children
+
+let distinct_keywords e = List.sort_uniq String.compare (all_keywords e)

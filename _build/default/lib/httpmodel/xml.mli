@@ -1,0 +1,36 @@
+(** A minimal XML document model (elements, attributes, text) with a
+    parser for the subset emitted by the corpus servers. *)
+
+type node =
+  | Elem of elem
+  | Text of string
+
+and elem = { tag : string; attrs : (string * string) list; children : node list }
+
+exception Parse_error of string
+
+val element : ?attrs:(string * string) list -> string -> node list -> elem
+val text : string -> node
+
+(** {1 Printing} *)
+
+val escape : string -> string
+(** Entity-escape text content. *)
+
+val to_string : elem -> string
+
+(** {1 Parsing} *)
+
+val of_string : string -> elem
+(** Parses one element, skipping an optional [<?xml ...?>] declaration.
+    @raise Parse_error on malformed input. *)
+
+val of_string_opt : string -> elem option
+
+(** {1 Keywords} *)
+
+val all_keywords : elem -> string list
+(** Tags and attribute names anywhere in the element, with duplicates. *)
+
+val distinct_keywords : elem -> string list
+(** Sorted, deduplicated tags and attribute names (Figure 7). *)

@@ -1,0 +1,1 @@
+lib/ir/parser.pp.ml: Array Buffer Hashtbl List Option Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/pp.pp.ml: Array Fmt Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/ir/prog.pp.ml: Array Format Hashtbl List Method_id Method_map Printf Types

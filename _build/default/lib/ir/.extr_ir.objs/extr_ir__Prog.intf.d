@@ -1,0 +1,1 @@
+lib/ir/prog.pp.mli: Format Types

@@ -1,0 +1,1 @@
+lib/ir/types.pp.ml: Format List Map Option Ppx_deriving_runtime Set

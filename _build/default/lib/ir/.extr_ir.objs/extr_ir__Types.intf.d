@@ -1,0 +1,1 @@
+lib/ir/types.pp.mli: Format Map Ppx_deriving_runtime Set

@@ -1,0 +1,146 @@
+(* Imperative construction of Limple method bodies.  Used by the corpus code
+   generator and by tests; keeps statement emission, fresh-variable naming and
+   label management in one place. *)
+
+open Types
+
+type t = {
+  mutable rev_stmts : stmt list;
+  mutable n_fresh : int;
+  mutable n_labels : int;
+}
+
+let create () = { rev_stmts = []; n_fresh = 0; n_labels = 0 }
+
+let emit b s = b.rev_stmts <- s :: b.rev_stmts
+
+let fresh_var ?(prefix = "t") b ty =
+  let v = { vname = Printf.sprintf "%s%d" prefix b.n_fresh; vty = ty } in
+  b.n_fresh <- b.n_fresh + 1;
+  v
+
+let fresh_label ?(prefix = "L") b =
+  let l = Printf.sprintf "%s%d" prefix b.n_labels in
+  b.n_labels <- b.n_labels + 1;
+  l
+
+(* Value shorthands. *)
+let vint n = Const (Cint n)
+let vstr s = Const (Cstr s)
+let vbool x = Const (Cbool x)
+let vnull = Const Cnull
+let vl v = Local v
+
+let local name ty = { vname = name; vty = ty }
+
+(* Method references.  Arity counts explicit arguments only (not the
+   receiver). *)
+let mref ?(ret = Void) cls name nargs = { mcls = cls; mname = name; mret = ret; nargs }
+
+let virtual_call ?(ret = Void) base cls name args =
+  {
+    ikind = Virtual;
+    iref = mref ~ret cls name (List.length args);
+    ibase = Some base;
+    iargs = args;
+  }
+
+let special_call ?(ret = Void) base cls name args =
+  {
+    ikind = Special;
+    iref = mref ~ret cls name (List.length args);
+    ibase = Some base;
+    iargs = args;
+  }
+
+let static_call ?(ret = Void) cls name args =
+  {
+    ikind = Static;
+    iref = mref ~ret cls name (List.length args);
+    ibase = None;
+    iargs = args;
+  }
+
+(* Emission helpers; each returns the defined variable where applicable. *)
+
+let assign b v e = emit b (Assign (Lvar v, e))
+
+let define ?prefix b ty e =
+  let v = fresh_var ?prefix b ty in
+  assign b v e;
+  v
+
+(** Allocate an object, run its [<init>] constructor, return the variable. *)
+let new_obj ?prefix b cls args =
+  let v = define ?prefix b (Obj cls) (New cls) in
+  emit b (InvokeStmt (special_call v cls "<init>" args));
+  v
+
+let call b invoke = emit b (InvokeStmt invoke)
+
+let call_ret ?prefix b ty invoke = define ?prefix b ty (Invoke invoke)
+
+let set_field b obj fref v = emit b (Assign (Lfield (obj, fref), Val v))
+let get_field ?prefix b obj fref = define ?prefix b fref.fty (IField (obj, fref))
+let set_static b fref v = emit b (Assign (Lsfield fref, Val v))
+let get_static ?prefix b fref = define ?prefix b fref.fty (SField fref)
+
+let label b l = emit b (Lab l)
+let goto b l = emit b (Goto l)
+let if_goto b v l = emit b (If (v, l))
+let return_value b v = emit b (Return (Some v))
+let return_void b = emit b (Return None)
+
+(** Structured conditional: [ite b cond then_ else_] emits
+    [if cond goto Lthen; else_; goto Lend; Lthen: then_; Lend:]. *)
+let ite b cond then_ else_ =
+  let l_then = fresh_label b and l_end = fresh_label b in
+  if_goto b cond l_then;
+  else_ b;
+  goto b l_end;
+  label b l_then;
+  then_ b;
+  label b l_end
+
+(** Structured loop: [while_ b header body] emits a natural loop whose
+    continuation condition is recomputed by [header] each iteration. *)
+let while_ b header body =
+  let l_head = fresh_label b and l_end = fresh_label b and l_body = fresh_label b in
+  label b l_head;
+  let cond = header b in
+  if_goto b cond l_body;
+  goto b l_end;
+  label b l_body;
+  body b;
+  goto b l_head;
+  label b l_end
+
+let finish b = Array.of_list (List.rev b.rev_stmts)
+
+(** Assemble a method from a build function that receives the builder. *)
+let mk_meth ?(static = false) ~cls ~name ~params ~ret build =
+  let b = create () in
+  build b;
+  (* Guarantee the body is terminated. *)
+  (match b.rev_stmts with
+  | Return _ :: _ -> ()
+  | _ -> if ret = Void then return_void b else return_value b vnull);
+  {
+    m_cls = cls;
+    m_name = name;
+    m_params = params;
+    m_ret = ret;
+    m_static = static;
+    m_body = finish b;
+  }
+
+let mk_field ?(static = false) name ty = { f_name = name; f_ty = ty; f_static = static }
+
+let mk_cls ?super ?(library = false) ?(fields = []) name methods =
+  {
+    c_name = name;
+    c_super = super;
+    c_fields = fields;
+    c_methods = methods;
+    c_library = library;
+  }

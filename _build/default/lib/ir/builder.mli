@@ -1,0 +1,91 @@
+(** Imperative construction of Limple method bodies.
+
+    Used by the corpus code generator and by tests; keeps statement
+    emission, fresh-variable naming and label management in one place.
+    The idiom is [mk_meth ~cls ~name ~params ~ret (fun b -> ...)] with the
+    build function emitting statements through the helpers below. *)
+
+open Types
+
+type t
+(** A method body under construction (mutable). *)
+
+val create : unit -> t
+val emit : t -> stmt -> unit
+
+val fresh_var : ?prefix:string -> t -> ty -> var
+(** A variable named [<prefix><n>] that no other [fresh_var] call on this
+    builder returns again.  Default prefix ["t"]. *)
+
+val fresh_label : ?prefix:string -> t -> string
+(** A label unique within this builder.  Default prefix ["L"]. *)
+
+(** {1 Value shorthands} *)
+
+val vint : int -> value
+val vstr : string -> value
+val vbool : bool -> value
+val vnull : value
+val vl : var -> value
+
+val local : string -> ty -> var
+
+(** {1 Method references and invokes}
+
+    Arity counts explicit arguments only (not the receiver). *)
+
+val mref : ?ret:ty -> string -> string -> int -> method_ref
+val virtual_call : ?ret:ty -> var -> string -> string -> value list -> invoke
+val special_call : ?ret:ty -> var -> string -> string -> value list -> invoke
+val static_call : ?ret:ty -> string -> string -> value list -> invoke
+
+(** {1 Statement emission}
+
+    Each returns the defined variable where applicable. *)
+
+val assign : t -> var -> expr -> unit
+val define : ?prefix:string -> t -> ty -> expr -> var
+
+val new_obj : ?prefix:string -> t -> string -> value list -> var
+(** Allocate an object, run its [<init>] constructor, return the
+    variable. *)
+
+val call : t -> invoke -> unit
+val call_ret : ?prefix:string -> t -> ty -> invoke -> var
+val set_field : t -> var -> field_ref -> value -> unit
+val get_field : ?prefix:string -> t -> var -> field_ref -> var
+val set_static : t -> field_ref -> value -> unit
+val get_static : ?prefix:string -> t -> field_ref -> var
+val label : t -> string -> unit
+val goto : t -> string -> unit
+val if_goto : t -> value -> string -> unit
+val return_value : t -> value -> unit
+val return_void : t -> unit
+
+val ite : t -> value -> (t -> unit) -> (t -> unit) -> unit
+(** Structured conditional: [ite b cond then_ else_] emits
+    [if cond goto Lthen; else_; goto Lend; Lthen: then_; Lend:]. *)
+
+val while_ : t -> (t -> value) -> (t -> unit) -> unit
+(** Structured loop: [while_ b header body] emits a natural loop whose
+    continuation condition is recomputed by [header] each iteration. *)
+
+val finish : t -> stmt array
+(** The statements emitted so far, in program order. *)
+
+(** {1 Assembly} *)
+
+val mk_meth :
+  ?static:bool ->
+  cls:string ->
+  name:string ->
+  params:var list ->
+  ret:ty ->
+  (t -> unit) ->
+  meth
+(** Assemble a method from a build function.  The body is terminated with
+    an implicit [return] (void or [null]) when the build function does not
+    end in one. *)
+
+val mk_field : ?static:bool -> string -> ty -> field
+val mk_cls : ?super:string -> ?library:bool -> ?fields:field list -> string -> meth list -> cls

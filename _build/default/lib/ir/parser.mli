@@ -1,0 +1,18 @@
+(** Recursive-descent parser for textual Limple, the inverse of {!Pp}.
+
+    Intended for tests and hand-written example programs; the corpus code
+    generator builds IR directly via {!Builder}.  [parse_program
+    (Pp.program_to_string p)] reconstructs [p] up to statement-array
+    identity (the round-trip property checked in [test_ir.ml]). *)
+
+exception Parse_error of string
+(** Raised on malformed input; the payload describes the offending token
+    in context. *)
+
+val parse_program : string -> Types.program
+(** Parse a full program: [entry Cls.m;] declarations followed by
+    [class]/[library class] definitions whose method bodies declare every
+    local up front ([local ty name;]).
+
+    @raise Parse_error on syntax errors, unknown types, or references to
+    undeclared variables. *)

@@ -1,0 +1,142 @@
+(* Textual Limple printer.  The output is accepted by {!Parser}, so programs
+   round-trip between in-memory and textual forms.  Method bodies declare
+   every local with its type up front so the parser can reconstruct typed
+   variables without inference. *)
+
+open Types
+
+let rec pp_ty fmt = function
+  | Void -> Fmt.string fmt "void"
+  | Int -> Fmt.string fmt "int"
+  | Bool -> Fmt.string fmt "bool"
+  | Str -> Fmt.string fmt "str"
+  | Obj c -> Fmt.string fmt c
+  | Arr t -> Fmt.pf fmt "%a[]" pp_ty t
+
+let ty_to_string t = Fmt.str "%a" pp_ty t
+
+let pp_const fmt = function
+  | Cint n -> Fmt.int fmt n
+  | Cbool b -> Fmt.bool fmt b
+  | Cstr s -> Fmt.pf fmt "%S" s
+  | Cnull -> Fmt.string fmt "null"
+
+let pp_value fmt = function
+  | Const c -> pp_const fmt c
+  | Local v -> Fmt.string fmt v.vname
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let pp_field_ref fmt (f : field_ref) =
+  Fmt.pf fmt "<%s:%s:%a>" f.fcls f.fname pp_ty f.fty
+
+let pp_invoke fmt { ikind; iref; ibase; iargs } =
+  let kind =
+    match ikind with
+    | Virtual -> "virtual"
+    | Special -> "special"
+    | Static -> "static"
+  in
+  let pp_args = Fmt.list ~sep:(Fmt.any ", ") pp_value in
+  match ibase with
+  | Some b ->
+      Fmt.pf fmt "%s %s.<%s.%s:%a>(%a)" kind b.vname iref.mcls iref.mname
+        pp_ty iref.mret pp_args iargs
+  | None ->
+      Fmt.pf fmt "%s <%s.%s:%a>(%a)" kind iref.mcls iref.mname pp_ty iref.mret
+        pp_args iargs
+
+let pp_expr fmt = function
+  | Val v -> pp_value fmt v
+  | Binop (op, a, b) ->
+      Fmt.pf fmt "%a %s %a" pp_value a (binop_symbol op) pp_value b
+  | New c -> Fmt.pf fmt "new %s" c
+  | NewArr (t, n) -> Fmt.pf fmt "newarray %a[%a]" pp_ty t pp_value n
+  | IField (x, f) -> Fmt.pf fmt "%s.%a" x.vname pp_field_ref f
+  | SField f -> pp_field_ref fmt f
+  | AElem (a, i) -> Fmt.pf fmt "%s[%a]" a.vname pp_value i
+  | ALen a -> Fmt.pf fmt "lengthof %s" a.vname
+  | Invoke i -> pp_invoke fmt i
+  | Cast (t, v) -> Fmt.pf fmt "(%a) %a" pp_ty t pp_value v
+
+let pp_lhs fmt = function
+  | Lvar v -> Fmt.string fmt v.vname
+  | Lfield (x, f) -> Fmt.pf fmt "%s.%a" x.vname pp_field_ref f
+  | Lsfield f -> pp_field_ref fmt f
+  | Lelem (a, i) -> Fmt.pf fmt "%s[%a]" a.vname pp_value i
+
+let pp_stmt fmt = function
+  | Assign (l, e) -> Fmt.pf fmt "%a = %a" pp_lhs l pp_expr e
+  | InvokeStmt i -> pp_invoke fmt i
+  | If (v, l) -> Fmt.pf fmt "if %a goto %s" pp_value v l
+  | Goto l -> Fmt.pf fmt "goto %s" l
+  | Lab l -> Fmt.pf fmt "label %s" l
+  | Return None -> Fmt.string fmt "return"
+  | Return (Some v) -> Fmt.pf fmt "return %a" pp_value v
+  | Nop -> Fmt.string fmt "nop"
+
+(** Locals referenced by a body, excluding parameters and [this]. *)
+let body_locals (m : meth) =
+  let seen = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace seen v.vname ()) m.m_params;
+  if not m.m_static then Hashtbl.replace seen "this" ();
+  let acc = ref [] in
+  let visit v =
+    if not (Hashtbl.mem seen v.vname) then begin
+      Hashtbl.replace seen v.vname ();
+      acc := v :: !acc
+    end
+  in
+  Array.iter
+    (fun s ->
+      (match stmt_def s with Some v -> visit v | None -> ());
+      List.iter visit (stmt_uses s))
+    m.m_body;
+  List.rev !acc
+
+let pp_meth fmt (m : meth) =
+  let pp_param fmt v = Fmt.pf fmt "%a %s" pp_ty v.vty v.vname in
+  Fmt.pf fmt "  %s%a %s(%a) {@\n"
+    (if m.m_static then "static " else "")
+    pp_ty m.m_ret m.m_name
+    (Fmt.list ~sep:(Fmt.any ", ") pp_param)
+    m.m_params;
+  List.iter
+    (fun v -> Fmt.pf fmt "    local %a %s;@\n" pp_ty v.vty v.vname)
+    (body_locals m);
+  Array.iter (fun s -> Fmt.pf fmt "    %a;@\n" pp_stmt s) m.m_body;
+  Fmt.pf fmt "  }@\n"
+
+let pp_field_decl fmt (f : field) =
+  Fmt.pf fmt "  %sfield %a %s;@\n"
+    (if f.f_static then "static " else "")
+    pp_ty f.f_ty f.f_name
+
+let pp_cls fmt (c : cls) =
+  Fmt.pf fmt "%sclass %s%a {@\n"
+    (if c.c_library then "library " else "")
+    c.c_name
+    Fmt.(option (any " extends " ++ string))
+    c.c_super;
+  List.iter (pp_field_decl fmt) c.c_fields;
+  List.iter (pp_meth fmt) c.c_methods;
+  Fmt.pf fmt "}@\n"
+
+let pp_program fmt (p : program) =
+  List.iter (fun e -> Fmt.pf fmt "entry %s.%s;@\n" e.mcls e.mname) p.p_entries;
+  List.iter (pp_cls fmt) p.p_classes
+
+let program_to_string p = Fmt.str "%a" pp_program p
+let stmt_to_string s = Fmt.str "%a" pp_stmt s

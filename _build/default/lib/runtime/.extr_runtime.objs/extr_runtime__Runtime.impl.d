@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Extr_apk Extr_httpmodel Extr_ir Extr_semantics Hashtbl List Option Printf Rvalue String

@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Extr_apk Extr_httpmodel Extr_ir Hashtbl Rvalue

@@ -1,0 +1,1 @@
+lib/runtime/rvalue.ml: Extr_httpmodel Hashtbl Printf

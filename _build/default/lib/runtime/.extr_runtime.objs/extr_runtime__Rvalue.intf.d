@@ -1,0 +1,1 @@
+lib/runtime/rvalue.mli: Extr_httpmodel Hashtbl

@@ -1,0 +1,44 @@
+(* Concrete runtime values for the Limple interpreter. *)
+
+module Json = Extr_httpmodel.Json
+module Xml = Extr_httpmodel.Xml
+
+type t =
+  | Rnull
+  | Rint of int
+  | Rbool of bool
+  | Rstr of string
+  | Rjson of Json.t  (** parsed or under-construction JSON payloads *)
+  | Rxml of Xml.elem  (** parsed XML elements *)
+  | Robj of robj
+
+and robj = {
+  ro_id : int;
+  ro_cls : string;
+  ro_slots : (string, t) Hashtbl.t;  (** mutable — the concrete heap *)
+}
+
+let next_id = ref 0
+
+let new_obj cls =
+  incr next_id;
+  { ro_id = !next_id; ro_cls = cls; ro_slots = Hashtbl.create 4 }
+
+let slot o name = Hashtbl.find_opt o.ro_slots name
+let set_slot o name v = Hashtbl.replace o.ro_slots name v
+
+let to_string = function
+  | Rnull -> "null"
+  | Rint n -> string_of_int n
+  | Rbool b -> string_of_bool b
+  | Rstr s -> s
+  | Rjson j -> Json.to_string j
+  | Rxml e -> Xml.to_string e
+  | Robj o -> Printf.sprintf "<%s#%d>" o.ro_cls o.ro_id
+
+let truthy = function
+  | Rbool b -> b
+  | Rint n -> n <> 0
+  | Rnull -> false
+  | Rstr s -> s <> ""
+  | Rjson _ | Rxml _ | Robj _ -> true

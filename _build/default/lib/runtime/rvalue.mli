@@ -1,0 +1,33 @@
+(** Concrete runtime values for the Limple interpreter. *)
+
+module Json = Extr_httpmodel.Json
+module Xml = Extr_httpmodel.Xml
+
+type t =
+  | Rnull
+  | Rint of int
+  | Rbool of bool
+  | Rstr of string
+  | Rjson of Json.t  (** parsed or under-construction JSON payloads *)
+  | Rxml of Xml.elem  (** parsed XML elements *)
+  | Robj of robj
+
+and robj = {
+  ro_id : int;  (** unique allocation id *)
+  ro_cls : string;
+  ro_slots : (string, t) Hashtbl.t;  (** mutable — the concrete heap *)
+}
+
+val new_obj : string -> robj
+(** Allocate a fresh object of the named class with a unique [ro_id]. *)
+
+val slot : robj -> string -> t option
+val set_slot : robj -> string -> t -> unit
+
+val to_string : t -> string
+(** Human-readable rendering; strings print unquoted (this is the value
+    used when runtime values are spliced into HTTP messages). *)
+
+val truthy : t -> bool
+(** Branch interpretation: null/false/0/"" are false, everything else
+    true. *)

@@ -1,0 +1,1 @@
+lib/semantics/api.ml: Extr_ir List

@@ -1,0 +1,1 @@
+lib/semantics/api.mli: Extr_ir

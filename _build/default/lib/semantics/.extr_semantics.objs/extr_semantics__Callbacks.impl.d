@@ -1,0 +1,1 @@
+lib/semantics/callbacks.ml: Api Array Extr_cfg Extr_ir List

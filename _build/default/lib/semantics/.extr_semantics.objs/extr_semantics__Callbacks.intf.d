@@ -1,0 +1,1 @@
+lib/semantics/callbacks.mli: Extr_cfg Extr_ir

@@ -1,0 +1,1 @@
+lib/semantics/consumers.ml: Api Extr_ir List

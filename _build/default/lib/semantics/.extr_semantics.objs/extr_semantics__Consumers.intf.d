@@ -1,0 +1,1 @@
+lib/semantics/consumers.mli: Extr_ir

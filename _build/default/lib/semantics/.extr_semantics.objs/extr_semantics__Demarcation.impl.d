@@ -1,0 +1,1 @@
+lib/semantics/demarcation.ml: Api Extr_ir List

@@ -1,0 +1,1 @@
+lib/semantics/demarcation.mli: Extr_ir

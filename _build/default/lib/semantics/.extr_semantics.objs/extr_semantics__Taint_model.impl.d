@@ -1,0 +1,1 @@
+lib/semantics/taint_model.ml: Api Extr_ir Fun List

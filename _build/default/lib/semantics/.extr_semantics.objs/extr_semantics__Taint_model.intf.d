@@ -1,0 +1,1 @@
+lib/semantics/taint_model.mli: Extr_ir

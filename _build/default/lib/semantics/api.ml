@@ -1,0 +1,210 @@
+(* The modelled Android/Java API surface (§3.2 "Semantic model"): one
+   vocabulary shared by the semantic models, the corpus code generator and
+   the runtime interpreter.  The paper models org.apache.http,
+   android.net.http, com.android.volley, java.net, okhttp and friends, JSON
+   and XML libraries, containers, and string manipulation APIs; this module
+   declares the same families. *)
+
+module Ir = Extr_ir.Types
+
+(* ---------------- java.lang ---------------- *)
+let string_builder = "java.lang.StringBuilder"
+let java_string = "java.lang.String"
+let java_integer = "java.lang.Integer"
+let java_object = "java.lang.Object"
+
+(* ---------------- java.net ---------------- *)
+let url_encoder = "java.net.URLEncoder"
+let java_url = "java.net.URL"
+let http_url_connection = "java.net.HttpURLConnection"
+let java_socket = "java.net.Socket"
+
+(* ---------------- java.io ---------------- *)
+let input_stream = "java.io.InputStream"
+let output_stream = "java.io.OutputStream"
+let io_utils = "org.apache.commons.io.IOUtils"
+
+(* ---------------- org.apache.http ---------------- *)
+let http_get = "org.apache.http.client.methods.HttpGet"
+let http_post = "org.apache.http.client.methods.HttpPost"
+let http_put = "org.apache.http.client.methods.HttpPut"
+let http_delete = "org.apache.http.client.methods.HttpDelete"
+let http_request_base = "org.apache.http.client.methods.HttpRequestBase"
+let http_client = "org.apache.http.client.HttpClient"
+let default_http_client = "org.apache.http.impl.client.DefaultHttpClient"
+let http_response = "org.apache.http.HttpResponse"
+let http_entity = "org.apache.http.HttpEntity"
+let entity_utils = "org.apache.http.util.EntityUtils"
+let string_entity = "org.apache.http.entity.StringEntity"
+let form_entity = "org.apache.http.client.entity.UrlEncodedFormEntity"
+let name_value_pair = "org.apache.http.message.BasicNameValuePair"
+
+(* ---------------- containers ---------------- *)
+let array_list = "java.util.ArrayList"
+let hash_map = "java.util.HashMap"
+
+(* ---------------- JSON ---------------- *)
+let json_object = "org.json.JSONObject"
+let json_array = "org.json.JSONArray"
+let gson = "com.google.gson.Gson"
+
+(* ---------------- XML ---------------- *)
+let xml_parser = "org.xml.sax.XmlParser"
+let xml_element = "org.w3c.dom.Element"
+
+(* ---------------- android ---------------- *)
+let activity = "android.app.Activity"
+let resources = "android.content.res.Resources"
+let view = "android.view.View"
+let on_click_listener = "android.view.View$OnClickListener"
+let async_task = "android.os.AsyncTask"
+let sqlite_database = "android.database.sqlite.SQLiteDatabase"
+let content_values = "android.content.ContentValues"
+let cursor = "android.database.Cursor"
+let media_player = "android.media.MediaPlayer"
+let text_view = "android.widget.TextView"
+let edit_text = "android.widget.EditText"
+let location_manager = "android.location.LocationManager"
+let location = "android.location.Location"
+let location_listener = "android.location.LocationListener"
+let android_log = "android.util.Log"
+let intent = "android.content.Intent"
+let context = "android.content.Context"
+let intent_service = "android.app.IntentService"
+
+(* ---------------- reflection ---------------- *)
+let java_class = "java.lang.Class"
+let reflect_method = "java.lang.reflect.Method"
+
+(* ---------------- timers / push ---------------- *)
+let timer = "java.util.Timer"
+let timer_task = "java.util.TimerTask"
+let firebase_messaging = "com.google.firebase.messaging.FirebaseMessaging"
+let messaging_service = "com.google.firebase.messaging.MessagingService"
+
+(* ---------------- volley ---------------- *)
+let request_queue = "com.android.volley.RequestQueue"
+let string_request = "com.android.volley.StringRequest"
+let volley_listener = "com.android.volley.Response$Listener"
+
+(* ---------------- okhttp ---------------- *)
+let okhttp_client = "okhttp3.OkHttpClient"
+let okhttp_request = "okhttp3.Request"
+let okhttp_builder = "okhttp3.Request$Builder"
+let okhttp_body = "okhttp3.RequestBody"
+let okhttp_call = "okhttp3.Call"
+let okhttp_response = "okhttp3.Response"
+let okhttp_response_body = "okhttp3.ResponseBody"
+
+(** All modelled library classes, with superclass links where app classes
+    subclass framework classes.  Bodies are empty: library behaviour comes
+    from semantic models, never from analyzing library code. *)
+let library_classes : Ir.cls list =
+  let c ?super name =
+    {
+      Ir.c_name = name;
+      c_super = super;
+      c_fields = [];
+      c_methods = [];
+      c_library = true;
+    }
+  in
+  [
+    c java_object;
+    c string_builder;
+    c java_string;
+    c java_integer;
+    c url_encoder;
+    c java_url;
+    c http_url_connection;
+    c java_socket;
+    c input_stream;
+    c output_stream;
+    c io_utils;
+    c http_request_base;
+    c ~super:http_request_base http_get;
+    c ~super:http_request_base http_post;
+    c ~super:http_request_base http_put;
+    c ~super:http_request_base http_delete;
+    c http_client;
+    c ~super:http_client default_http_client;
+    c http_response;
+    c http_entity;
+    c entity_utils;
+    c ~super:http_entity string_entity;
+    c ~super:http_entity form_entity;
+    c name_value_pair;
+    c array_list;
+    c hash_map;
+    c json_object;
+    c json_array;
+    c gson;
+    c xml_parser;
+    c xml_element;
+    c activity;
+    c resources;
+    c view;
+    c on_click_listener;
+    c async_task;
+    c sqlite_database;
+    c content_values;
+    c cursor;
+    c media_player;
+    c text_view;
+    c edit_text;
+    c location_manager;
+    c location;
+    c location_listener;
+    c android_log;
+    c intent;
+    c context;
+    c intent_service;
+    c java_class;
+    c reflect_method;
+    c timer;
+    c timer_task;
+    c firebase_messaging;
+    c messaging_service;
+    c request_queue;
+    c string_request;
+    c volley_listener;
+    c okhttp_client;
+    c okhttp_request;
+    c okhttp_builder;
+    c okhttp_body;
+    c okhttp_call;
+    c okhttp_response;
+    c okhttp_response_body;
+  ]
+
+let library_class_names =
+  List.map (fun c -> c.Ir.c_name) library_classes
+
+(** Is [name] one of the modelled library classes (by exact name)? *)
+let is_library_class name = List.mem name library_class_names
+
+(** Superclass of a library class inside the static library hierarchy. *)
+let library_super name =
+  List.find_map
+    (fun c -> if c.Ir.c_name = name then c.Ir.c_super else None)
+    library_classes
+
+(** Does library class [sub] equal or extend library class [super]? *)
+let rec library_subclass ~sub ~super =
+  sub = super
+  ||
+  match library_super sub with
+  | Some s -> library_subclass ~sub:s ~super
+  | None -> false
+
+(** Matches an invoke against class + method name.  The class matches when
+    either the method reference's class or the receiver's static class is
+    [cls] or a library subclass of [cls] (e.g. [DefaultHttpClient.execute]
+    matches [HttpClient.execute]). *)
+let invoke_is (i : Ir.invoke) ~cls ~name =
+  i.Ir.iref.Ir.mname = name
+  && (library_subclass ~sub:i.Ir.iref.Ir.mcls ~super:cls
+     ||
+     match i.Ir.ibase with
+     | Some { Ir.vty = Ir.Obj c; _ } -> library_subclass ~sub:c ~super:cls
+     | Some _ | None -> false)

@@ -1,0 +1,36 @@
+(* Consumption sinks: where network-originated data ends up (§2: "it is
+   able to track how the network originated data is consumed within the
+   Android app (e.g., network data is fed into a video player)").  A library
+   call is a consumer when a tainted (response-derived) value reaches one of
+   these APIs. *)
+
+module Ir = Extr_ir.Types
+
+type sink =
+  | Media_player
+  | Database of string  (** table, when statically known *)
+  | Ui_text
+  | File_output
+
+let sink_to_string = function
+  | Media_player -> "media-player"
+  | Database t -> "database:" ^ t
+  | Ui_text -> "ui-text"
+  | File_output -> "file"
+
+(** Which arguments of the invoke flow into which sink.  Returns the sink
+    and the indices of the arguments that must be tainted for the
+    consumption to be response-derived ([None] index set means the receiver). *)
+let find (i : Ir.invoke) : (sink * int list) option =
+  let is = Api.invoke_is i in
+  let const_str idx =
+    match List.nth_opt i.Ir.iargs idx with
+    | Some (Ir.Const (Ir.Cstr s)) -> s
+    | Some _ | None -> "*"
+  in
+  if is ~cls:Api.media_player ~name:"setDataSource" then Some (Media_player, [ 0 ])
+  else if is ~cls:Api.sqlite_database ~name:"insert" || is ~cls:Api.sqlite_database ~name:"update"
+  then Some (Database (const_str 0), [ 1 ])
+  else if is ~cls:Api.text_view ~name:"setText" then Some (Ui_text, [ 0 ])
+  else if is ~cls:Api.output_stream ~name:"write" then Some (File_output, [ 0 ])
+  else None

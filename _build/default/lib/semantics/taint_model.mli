@@ -1,0 +1,26 @@
+(** Taint transfer models for library calls: how taint flows through APIs
+    whose code the analysis never sees — builder/container accumulation,
+    SQLite pseudo-stores (the TED case study's database-mediated
+    dependencies), sanitizers, and privacy sources. *)
+
+module Ir = Extr_ir.Types
+
+(** Effect of a library call on taint state given which inputs are tainted. *)
+type effect = {
+  taint_ret : bool;
+  taint_base : bool;  (** receiver accumulates taint (builders, containers) *)
+  db_write : string option;  (** write tainted data into the named store *)
+  db_read : string option;  (** return taint when the named store is tainted *)
+}
+
+val no_effect : effect
+
+val transfer : Ir.invoke -> base_tainted:bool -> args_tainted:bool list -> effect
+(** The taint effect of a library call; the default is the paper's
+    open-ended propagation (inputs flow to output and receiver), with
+    overrides for sanitizers (logging, predicates, resource lookups) and
+    the SQLite store. *)
+
+val source_tag : Ir.invoke -> string option
+(** Privacy/QoE origination sources (§2): a tag such as ["gps"] when the
+    call's result comes from such a source. *)

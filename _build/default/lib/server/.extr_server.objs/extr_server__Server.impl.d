@@ -1,0 +1,1 @@
+lib/server/server.ml: Buffer Char Extr_corpus Extr_httpmodel Extr_siglang List Option Printf String

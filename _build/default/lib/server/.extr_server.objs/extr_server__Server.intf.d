@@ -1,0 +1,1 @@
+lib/server/server.mli: Extr_corpus Extr_httpmodel Extr_siglang

@@ -1,0 +1,228 @@
+(* Simulated origin servers, derived from the same app specs that drive
+   code generation.  Each app gets a handler that matches incoming requests
+   against its endpoint templates, enforces the access-control rules the
+   paper observed (Kayak's User-Agent gating), and produces responses with
+   both the fields the app reads and the ones it ignores — so traffic
+   keyword counts exceed signature keyword counts exactly as in §5.1. *)
+
+module Http = Extr_httpmodel.Http
+module Uri = Extr_httpmodel.Uri
+module Json = Extr_httpmodel.Json
+module Xml = Extr_httpmodel.Xml
+module Strsig = Extr_siglang.Strsig
+module Spec = Extr_corpus.Spec
+
+(** Deterministic concrete value for a request source (what the runtime
+    will actually send for user input / counters / gps). *)
+let concrete_vsrc (app : Spec.app) (src : Spec.vsrc) : string =
+  match src with
+  | Spec.Sconst s -> s
+  | Spec.Sres id -> Option.value (List.assoc_opt id app.Spec.a_resources) ~default:""
+  | Spec.Suser -> "2024070612345678"
+  | Spec.Scounter -> "2024070612345678"
+  | Spec.Sgps -> "37.5665350"
+  | Spec.Sresp (ep, path) -> Printf.sprintf "tok_%s_%s" ep (String.concat "_" path)
+  | Spec.Sdb (table, col) -> Printf.sprintf "db_%s_%s" table col
+
+(** The token value the server issues for a response leaf — matched by
+    [concrete_vsrc] for [Sresp] so dependency chains round-trip. *)
+let token_value ep_id path = Printf.sprintf "tok_%s_%s" ep_id (String.concat "_" path)
+
+(** The concrete URL of an endpoint, with all variables instantiated —
+    used for [Ufollow] links embedded in responses. *)
+let concrete_uri (app : Spec.app) (e : Spec.endpoint) : string =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (e.Spec.e_scheme ^ "://" ^ e.Spec.e_host);
+  let rec segs = function
+    | [] -> ()
+    | Spec.Lit s :: rest ->
+        Buffer.add_string buf s;
+        segs rest
+    | Spec.Var src :: rest ->
+        Buffer.add_string buf (concrete_vsrc app src);
+        segs rest
+    | Spec.Salt (first :: _) :: rest ->
+        segs first;
+        segs rest
+    | Spec.Salt [] :: rest -> segs rest
+  in
+  segs e.Spec.e_path;
+  List.iteri
+    (fun i (k, src) ->
+      Buffer.add_string buf (if i = 0 then "?" else "&");
+      Buffer.add_string buf (k ^ "=" ^ Uri.percent_encode (concrete_vsrc app src)))
+    e.Spec.e_query;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* URI templates                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Signature of an endpoint's URI as the spec declares it (ground truth
+    and request matching). *)
+let uri_signature (app : Spec.app) (e : Spec.endpoint) : Strsig.t =
+  let rec seg_sig = function
+    | Spec.Lit s -> Strsig.lit s
+    | Spec.Var (Spec.Sconst s) -> Strsig.lit s
+    | Spec.Var (Spec.Sres id) ->
+        Strsig.lit
+          (Option.value (List.assoc_opt id app.Spec.a_resources) ~default:"")
+    | Spec.Var Spec.Scounter -> Strsig.num
+    | Spec.Var (Spec.Suser | Spec.Sgps | Spec.Sresp _ | Spec.Sdb _) ->
+        Strsig.unknown
+    | Spec.Salt branches ->
+        Strsig.alt (List.map (fun b -> Strsig.concat (List.map seg_sig b)) branches)
+  in
+  let path = Strsig.concat (List.map seg_sig e.Spec.e_path) in
+  let query =
+    List.concat
+      (List.mapi
+         (fun i (k, src) ->
+           [
+             Strsig.lit ((if i = 0 then "?" else "&") ^ k ^ "=");
+             seg_sig (Spec.Var src);
+           ])
+         e.Spec.e_query)
+  in
+  Strsig.concat
+    (Strsig.lit (e.Spec.e_scheme ^ "://" ^ e.Spec.e_host) :: path :: query)
+
+(** Does a concrete request match the endpoint template? *)
+let request_matches_endpoint (app : Spec.app) (e : Spec.endpoint)
+    (req : Http.request) =
+  e.Spec.e_meth = req.Http.req_meth
+  && req.Http.req_uri.Uri.host = e.Spec.e_host
+  && Strsig.matches (uri_signature app e) (Uri.to_string req.Http.req_uri)
+
+(* ------------------------------------------------------------------ *)
+(* Response generation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec json_of_fields (app : Spec.app) (e : Spec.endpoint) path
+    (fields : Spec.rfield list) : (string * Json.t) list =
+  List.map
+    (fun f ->
+      match f with
+      | Spec.Rleaf { key; kind; use; _ } ->
+          let path' = path @ [ key ] in
+          let v : Json.t =
+            match use with
+            | Some Spec.Uheap -> Json.Str (token_value e.Spec.e_id path')
+            | Some (Spec.Ufollow child_id) -> (
+                match Spec.find_endpoint app child_id with
+                | Some child -> Json.Str (concrete_uri app child)
+                | None -> Json.Str "")
+            | Some (Spec.Udb _) | Some Spec.Uui | None -> (
+                match kind with
+                | Spec.Kstr ->
+                    (* Realistic payload sizes: values dominate keys. *)
+                    Json.Str
+                      (Printf.sprintf "The quick brown %s jumped over %d lazy dogs"
+                         key
+                         (17 + String.length key))
+                | Spec.Knum -> Json.Int (1700042 + String.length key)
+                | Spec.Kbool -> Json.Bool true)
+          in
+          (key, v)
+      | Spec.Robj { key; fields; _ } ->
+          (key, Json.Obj (json_of_fields app e (path @ [ key ]) fields))
+      | Spec.Rarr { key; elem; _ } ->
+          let item =
+            Json.Obj (json_of_fields app e (path @ [ key; "[]" ]) elem)
+          in
+          (key, Json.List [ item; item ]))
+    fields
+
+let rec xml_of_fields (app : Spec.app) (e : Spec.endpoint) path
+    (fields : Spec.rfield list) : Xml.node list * (string * string) list =
+  List.fold_left
+    (fun (nodes, attrs) f ->
+      match f with
+      | Spec.Rleaf { key; kind; use; _ } ->
+          let path' = path @ [ key ] in
+          let text =
+            match use with
+            | Some Spec.Uheap -> token_value e.Spec.e_id path'
+            | Some (Spec.Ufollow child_id) -> (
+                match Spec.find_endpoint app child_id with
+                | Some child -> concrete_uri app child
+                | None -> "")
+            | Some (Spec.Udb _) | Some Spec.Uui | None -> (
+                match kind with
+                | Spec.Kstr ->
+                    Printf.sprintf "The slow green %s crawled under %d eager cats"
+                      key
+                      (13 + String.length key)
+                | Spec.Knum -> string_of_int (1300042 + String.length key)
+                | Spec.Kbool -> "true")
+          in
+          if String.length key > 0 && key.[0] = '@' then
+            (nodes, attrs @ [ (String.sub key 1 (String.length key - 1), text) ])
+          else (nodes @ [ Xml.Elem (Xml.element key [ Xml.Text text ]) ], attrs)
+      | Spec.Robj { key; fields; _ } ->
+          let children, cattrs = xml_of_fields app e (path @ [ key ]) fields in
+          (nodes @ [ Xml.Elem { Xml.tag = key; attrs = cattrs; children } ], attrs)
+      | Spec.Rarr { key; elem; _ } ->
+          let children, cattrs = xml_of_fields app e (path @ [ key; "[]" ]) elem in
+          let item = { Xml.tag = key; attrs = cattrs; children } in
+          (nodes @ [ Xml.Elem item; Xml.Elem item ], attrs))
+    ([], []) fields
+
+let response_body (app : Spec.app) (e : Spec.endpoint) : Http.body =
+  match e.Spec.e_resp with
+  | Spec.Rnone -> Http.No_body
+  | Spec.Rtext -> Http.Text ("ok:" ^ e.Spec.e_id)
+  | Spec.Rmedia -> Http.Binary (String.init 64 (fun i -> Char.chr (32 + (i mod 64))))
+  | Spec.Rjson fields -> Http.Json (Json.Obj (json_of_fields app e [] fields))
+  | Spec.Rxml (root, fields) ->
+      let children, attrs = xml_of_fields app e [] fields in
+      Http.Xml { Xml.tag = root; attrs; children }
+
+(* ------------------------------------------------------------------ *)
+(* The handler                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Access control: endpoints that declare a constant User-Agent header
+    reject requests without it (Kayak, §5.3). *)
+let access_allowed (app : Spec.app) (e : Spec.endpoint) (req : Http.request) =
+  List.for_all
+    (fun (k, src) ->
+      match src with
+      | Spec.Sconst expected when String.lowercase_ascii k = "user-agent" -> (
+          match Http.header "User-Agent" req.Http.req_headers with
+          | Some got -> got = expected
+          | None -> false)
+      | _ -> true)
+    (app.Spec.a_endpoints
+    |> List.find_opt (fun e' -> e'.Spec.e_id = e.Spec.e_id)
+    |> Option.map (fun e' -> e'.Spec.e_headers)
+    |> Option.value ~default:[])
+
+(** Build the origin server for an app.  The response carries an
+    [x-endpoint] header identifying the matched endpoint — the analogue of
+    knowing, during evaluation, which API a captured flow belongs to. *)
+let literal_weight (app : Spec.app) (e : Spec.endpoint) =
+  String.length (String.concat "" (Strsig.literals (uri_signature app e)))
+
+let make (app : Spec.app) : Http.request -> Http.response =
+  let by_specificity =
+    List.sort
+      (fun a b -> compare (literal_weight app b) (literal_weight app a))
+      app.Spec.a_endpoints
+  in
+  fun req ->
+  match
+    List.find_opt (fun e -> request_matches_endpoint app e req) by_specificity
+  with
+  | None ->
+      Http.response ~status:404 ~headers:[ ("x-endpoint", "?") ]
+        (Http.Text "not found")
+  | Some e ->
+      if not (access_allowed app e req) then
+        Http.response ~status:403
+          ~headers:[ ("x-endpoint", e.Spec.e_id) ]
+          (Http.Text "forbidden")
+      else
+        Http.response ~status:200
+          ~headers:[ ("x-endpoint", e.Spec.e_id) ]
+          (response_body app e)

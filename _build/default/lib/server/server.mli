@@ -1,0 +1,36 @@
+(** Simulated origin servers, derived from the same app specs that drive
+    code generation.  Handlers match requests against endpoint URI
+    templates, enforce the access-control rules the paper observed
+    (Kayak's User-Agent gating), and produce responses carrying both the
+    fields the app reads and the ones it ignores (§5.1). *)
+
+module Http = Extr_httpmodel.Http
+module Strsig = Extr_siglang.Strsig
+module Spec = Extr_corpus.Spec
+
+val concrete_vsrc : Spec.app -> Spec.vsrc -> string
+(** Deterministic concrete value of a request source (what the runtime
+    sends for user input / counters / gps / tokens). *)
+
+val token_value : string -> string list -> string
+(** The token issued for a response leaf; matches [concrete_vsrc] on the
+    corresponding [Sresp] so dependency chains round-trip. *)
+
+val concrete_uri : Spec.app -> Spec.endpoint -> string
+(** The endpoint's URL with all variables instantiated — used for
+    follow-link values embedded in responses. *)
+
+val uri_signature : Spec.app -> Spec.endpoint -> Strsig.t
+(** The endpoint's URI template as a string signature (spec-level ground
+    truth and request matching). *)
+
+val request_matches_endpoint : Spec.app -> Spec.endpoint -> Http.request -> bool
+
+val response_body : Spec.app -> Spec.endpoint -> Http.body
+(** Generate the endpoint's response body from its spec, including fields
+    the app never parses. *)
+
+val make : Spec.app -> Http.request -> Http.response
+(** Build the handler.  Responses carry an [x-endpoint] header naming the
+    matched endpoint (evaluation bookkeeping); unmatched requests get 404,
+    access-control failures 403. *)

@@ -1,0 +1,1 @@
+lib/siglang/jsonsig.ml: Extr_httpmodel Fmt List String Strsig

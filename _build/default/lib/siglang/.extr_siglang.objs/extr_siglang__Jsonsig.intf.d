@@ -1,0 +1,1 @@
+lib/siglang/jsonsig.mli: Extr_httpmodel Format Strsig

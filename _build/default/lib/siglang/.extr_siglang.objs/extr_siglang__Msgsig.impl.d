@@ -1,0 +1,1 @@
+lib/siglang/msgsig.ml: Extr_httpmodel Fmt Jsonsig List Regex String Strsig Xmlsig

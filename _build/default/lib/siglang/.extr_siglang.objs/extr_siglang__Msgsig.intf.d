@@ -1,0 +1,1 @@
+lib/siglang/msgsig.mli: Extr_httpmodel Format Jsonsig Strsig Xmlsig

@@ -1,0 +1,1 @@
+lib/siglang/regex.ml: Array List Printf String

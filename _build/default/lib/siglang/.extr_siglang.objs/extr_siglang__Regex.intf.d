@@ -1,0 +1,1 @@
+lib/siglang/regex.mli:

@@ -1,0 +1,1 @@
+lib/siglang/strsig.ml: Array Buffer Fmt List String

@@ -1,0 +1,1 @@
+lib/siglang/strsig.mli: Format

@@ -1,0 +1,1 @@
+lib/siglang/xmlsig.ml: Buffer Extr_httpmodel Fmt Hashtbl List Printf String Strsig

@@ -1,0 +1,1 @@
+lib/siglang/xmlsig.mli: Extr_httpmodel Format Strsig

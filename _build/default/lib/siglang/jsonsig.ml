@@ -1,0 +1,195 @@
+(* JSON body signatures: the tree-structured fragment of the paper's
+   signature language (Figure 4: struct_str ::= json(obj), obj ::=
+   key_value*, value ::= constant | obj | array).  Extractocol maintains
+   signatures for JSON objects as trees whose leaves are string literals,
+   numbers, or unknowns, and can render them as JSON-schema text. *)
+
+module Json = Extr_httpmodel.Json
+
+type t =
+  | Jany  (** completely unconstrained value *)
+  | Jnum
+  | Jbool
+  | Jstr of Strsig.t  (** string leaf whose content follows a string signature *)
+  | Jconst_num of int
+  | Jobj of (string * t) list  (** constant keys with value signatures *)
+  | Jarr of t  (** homogeneous array (the paper's rep over array values) *)
+  | Jalt of t list
+
+let rec equal a b =
+  match (a, b) with
+  | Jany, Jany | Jnum, Jnum | Jbool, Jbool -> true
+  | Jstr x, Jstr y -> Strsig.equal x y
+  | Jconst_num x, Jconst_num y -> x = y
+  | Jobj xs, Jobj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+           xs ys
+  | Jarr x, Jarr y -> equal x y
+  | Jalt xs, Jalt ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Jany | Jnum | Jbool | Jstr _ | Jconst_num _ | Jobj _ | Jarr _ | Jalt _), _ ->
+      false
+
+let alt branches =
+  let rec flatten acc = function
+    | [] -> List.rev acc
+    | Jalt inner :: rest -> flatten acc (inner @ rest)
+    | b :: rest -> flatten (b :: acc) rest
+  in
+  let branches = flatten [] branches in
+  let dedup =
+    List.fold_left
+      (fun acc b -> if List.exists (equal b) acc then acc else b :: acc)
+      [] branches
+    |> List.rev
+  in
+  match dedup with [] -> Jany | [ b ] -> b | bs -> Jalt bs
+
+(** Merge two object signatures key-wise: shared keys merge recursively,
+    disjoint keys are kept (the slice may set them on different paths). *)
+let rec merge a b =
+  match (a, b) with
+  | Jobj xs, Jobj ys ->
+      let keys =
+        List.map fst xs @ List.filter (fun k -> not (List.mem_assoc k xs)) (List.map fst ys)
+      in
+      Jobj
+        (List.map
+           (fun k ->
+             match (List.assoc_opt k xs, List.assoc_opt k ys) with
+             | Some v1, Some v2 -> (k, merge v1 v2)
+             | Some v, None | None, Some v -> (k, v)
+             | None, None -> assert false)
+           keys)
+  | Jarr x, Jarr y -> Jarr (merge x y)
+  | x, y when equal x y -> x
+  | x, y -> alt [ x; y ]
+
+(* ------------------------------------------------------------------ *)
+(* Printing: JSON-schema-flavoured text                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp fmt = function
+  | Jany -> Fmt.string fmt "?"
+  | Jnum -> Fmt.string fmt "#num"
+  | Jbool -> Fmt.string fmt "#bool"
+  | Jstr (Strsig.Lit s) -> Fmt.pf fmt "%S" s
+  | Jstr s -> Fmt.pf fmt "str<%s>" (Strsig.to_regex s)
+  | Jconst_num n -> Fmt.int fmt n
+  | Jobj fields ->
+      let pp_field fmt (k, v) = Fmt.pf fmt "%S: %a" k pp v in
+      Fmt.pf fmt "{@[%a@]}" (Fmt.list ~sep:Fmt.comma pp_field) fields
+  | Jarr v -> Fmt.pf fmt "[%a*]" pp v
+  | Jalt bs -> Fmt.pf fmt "(@[%a@])" (Fmt.list ~sep:(Fmt.any " | ") pp) bs
+
+let to_string s = Fmt.str "%a" pp s
+
+(* ------------------------------------------------------------------ *)
+(* Keywords (Figure 7: constant keywords = JSON keys in the signature) *)
+(* ------------------------------------------------------------------ *)
+
+let rec keys = function
+  | Jany | Jnum | Jbool | Jconst_num _ -> []
+  | Jstr _ -> []
+  | Jobj fields -> List.concat_map (fun (k, v) -> k :: keys v) fields
+  | Jarr v -> keys v
+  | Jalt bs -> List.concat_map keys bs
+
+let distinct_keys s = List.sort_uniq String.compare (keys s)
+
+(* ------------------------------------------------------------------ *)
+(* Matching with byte attribution (Table 2)                            *)
+(* ------------------------------------------------------------------ *)
+
+(** The paper's Table 2 classifies response/request body bytes into:
+    R_k — bytes matching constant keywords of the signature (keys and
+    literal values), R_v — bytes of values whose key is covered by the
+    signature but whose value is a wildcard, and R_n — bytes where both key
+    and value are unconstrained (subtrees the app never inspects).
+    Structural punctuation of covered containers counts toward R_k;
+    punctuation of uncovered subtrees counts toward R_n. *)
+type byte_account = { mutable bk : int; mutable bv : int; mutable bn : int }
+
+let serialized_size (v : Json.t) = String.length (Json.to_string v)
+
+(** Does the concrete value belong to the signature's language? *)
+let rec admits (s : t) (v : Json.t) =
+  match (s, v) with
+  | Jany, _ -> true
+  | Jnum, (Json.Int _ | Json.Float _) -> true
+  | Jbool, Json.Bool _ -> true
+  | Jconst_num n, Json.Int m -> n = m
+  | Jstr ss, Json.Str text -> Strsig.matches ss text
+  | Jstr ss, Json.Int n -> Strsig.matches ss (string_of_int n)
+  | Jobj fields, Json.Obj concrete ->
+      (* Every signature key must be present with an admissible value;
+         extra concrete keys are allowed (apps ignore unknown fields). *)
+      List.for_all
+        (fun (k, sv) ->
+          match List.assoc_opt k concrete with
+          | Some cv -> admits sv cv
+          | None -> false)
+        fields
+  | Jarr sv, Json.List items -> List.for_all (admits sv) items
+  | Jalt bs, v -> List.exists (fun b -> admits b v) bs
+  | (Jnum | Jbool | Jstr _ | Jconst_num _ | Jobj _ | Jarr _), _ -> false
+
+let rec account (acc : byte_account) (s : t) (v : Json.t) =
+  match (s, v) with
+  | Jalt bs, v -> (
+      match List.find_opt (fun b -> admits b v) bs with
+      | Some b -> account acc b v
+      | None -> acc.bn <- acc.bn + serialized_size v)
+  | Jany, v -> acc.bn <- acc.bn + serialized_size v
+  | Jnum, (Json.Int _ | Json.Float _) -> acc.bv <- acc.bv + serialized_size v
+  | Jbool, Json.Bool _ -> acc.bv <- acc.bv + serialized_size v
+  | Jconst_num _, Json.Int _ -> acc.bk <- acc.bk + serialized_size v
+  | Jstr ss, Json.Str text -> (
+      (* Attribute the quotes to the key side, the content per strsig. *)
+      acc.bk <- acc.bk + 2;
+      match Strsig.byte_counts ss (Json.escape_string text) with
+      | Some (const, wild) ->
+          acc.bk <- acc.bk + const;
+          acc.bv <- acc.bv + wild
+      | None -> acc.bv <- acc.bv + String.length (Json.escape_string text))
+  | Jobj fields, Json.Obj concrete ->
+      (* Braces, colons, commas and covered keys count as constants;
+         uncovered fields count as noise. *)
+      acc.bk <- acc.bk + 2 (* braces *) + max 0 (List.length concrete - 1) (* commas *);
+      List.iter
+        (fun (k, cv) ->
+          match List.assoc_opt k fields with
+          | Some sv ->
+              acc.bk <- acc.bk + String.length k + 3 (* quotes + colon *);
+              account acc sv cv
+          | None ->
+              acc.bn <-
+                acc.bn + String.length k + 3 + serialized_size cv)
+        concrete
+  | Jarr sv, Json.List items ->
+      acc.bk <- acc.bk + 2 + max 0 (List.length items - 1);
+      List.iter (account acc sv) items
+  | (Jnum | Jbool | Jconst_num _ | Jstr _ | Jobj _ | Jarr _), v ->
+      (* Signature mismatch for this subtree: all noise. *)
+      acc.bn <- acc.bn + serialized_size v
+
+(** Byte accounting of a concrete JSON body against a signature. *)
+let byte_account (s : t) (v : Json.t) =
+  let acc = { bk = 0; bv = 0; bn = 0 } in
+  account acc s v;
+  (acc.bk, acc.bv, acc.bn)
+
+(* ------------------------------------------------------------------ *)
+(* Signature inference from concrete values (used by ground truth)     *)
+(* ------------------------------------------------------------------ *)
+
+let rec of_concrete (v : Json.t) : t =
+  match v with
+  | Json.Null -> Jany
+  | Json.Bool _ -> Jbool
+  | Json.Int _ | Json.Float _ -> Jnum
+  | Json.Str _ -> Jstr Strsig.unknown
+  | Json.List [] -> Jarr Jany
+  | Json.List (x :: _) -> Jarr (of_concrete x)
+  | Json.Obj fields -> Jobj (List.map (fun (k, v) -> (k, of_concrete v)) fields)

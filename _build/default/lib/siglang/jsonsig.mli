@@ -1,0 +1,49 @@
+(** JSON body signatures — the tree-structured fragment of the signature
+    language (Figure 4).  A signature is a tree whose leaves are literals,
+    numbers, or typed unknowns; it can be rendered as JSON-schema-style
+    text, matched against concrete bodies, and byte-accounted for
+    Table 2. *)
+
+module Json = Extr_httpmodel.Json
+
+type t =
+  | Jany  (** completely unconstrained value *)
+  | Jnum
+  | Jbool
+  | Jstr of Strsig.t  (** string leaf whose content follows a string signature *)
+  | Jconst_num of int
+  | Jobj of (string * t) list  (** constant keys with value signatures *)
+  | Jarr of t  (** homogeneous array (the paper's rep over array values) *)
+  | Jalt of t list
+
+val equal : t -> t -> bool
+
+val alt : t list -> t
+(** Disjunction with flattening and deduplication. *)
+
+val merge : t -> t -> t
+(** Key-wise merge of two signatures: shared object keys merge
+    recursively, disjoint keys are kept (the slice may set them on
+    different paths); incompatible shapes become a disjunction. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val keys : t -> string list
+(** All object keys appearing in the signature (with duplicates). *)
+
+val distinct_keys : t -> string list
+(** Sorted, deduplicated keys — the Figure-7 constant keywords. *)
+
+val admits : t -> Json.t -> bool
+(** Language membership: every signature key must be present with an
+    admissible value; extra concrete keys are allowed (apps ignore fields
+    they do not parse). *)
+
+val byte_account : t -> Json.t -> int * int * int
+(** [(r_k, r_v, r_n)] byte classification of a concrete body (Table 2):
+    constant keywords and covered structure, wildcard-matched values of
+    known keys, and fully-unknown subtrees. *)
+
+val of_concrete : Json.t -> t
+(** Infer the shape signature of a concrete value (ground-truth helper). *)

@@ -1,0 +1,292 @@
+(* A self-contained regular-expression engine for the signatures Extractocol
+   emits.  Supports literals, escaped metacharacters, [.], character classes
+   ([0-9], [^abc]), grouping, alternation and the * + ? quantifiers.
+   Matching is whole-string (anchored), via Thompson NFA simulation — linear
+   in input size, no catastrophic backtracking on adversarial traces. *)
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Syntax                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type char_class = { negated : bool; ranges : (char * char) list }
+
+type ast =
+  | Empty
+  | Char of char
+  | Any
+  | Class of char_class
+  | Seq of ast * ast
+  | Alt of ast * ast
+  | Star of ast
+  | Plus of ast
+  | Opt of ast
+
+let class_mem cc c =
+  let inside = List.exists (fun (lo, hi) -> c >= lo && c <= hi) cc.ranges in
+  if cc.negated then not inside else inside
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+let advance c = c.pos <- c.pos + 1
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_class c =
+  (* Called just after '['. *)
+  let negated =
+    if peek c = Some '^' then begin
+      advance c;
+      true
+    end
+    else false
+  in
+  let ranges = ref [] in
+  let rec go () =
+    match peek c with
+    | None -> fail "unterminated character class"
+    | Some ']' -> advance c
+    | Some ch -> (
+        advance c;
+        let ch = if ch = '\\' then (
+          match peek c with
+          | Some e ->
+              advance c;
+              e
+          | None -> fail "dangling escape in class")
+          else ch
+        in
+        match peek c with
+        | Some '-' when c.pos + 1 < String.length c.src && c.src.[c.pos + 1] <> ']' ->
+            advance c;
+            (match peek c with
+            | Some hi ->
+                advance c;
+                ranges := (ch, hi) :: !ranges
+            | None -> fail "unterminated range");
+            go ()
+        | _ ->
+            ranges := (ch, ch) :: !ranges;
+            go ())
+  in
+  go ();
+  { negated; ranges = List.rev !ranges }
+
+let rec parse_alt c =
+  let left = parse_seq c in
+  match peek c with
+  | Some '|' ->
+      advance c;
+      Alt (left, parse_alt c)
+  | _ -> left
+
+and parse_seq c =
+  let rec go acc =
+    match peek c with
+    | None | Some ')' | Some '|' -> acc
+    | Some _ ->
+        let atom = parse_postfix c in
+        go (if acc = Empty then atom else Seq (acc, atom))
+  in
+  go Empty
+
+and parse_postfix c =
+  let atom = parse_atom c in
+  let rec quantify a =
+    match peek c with
+    | Some '*' ->
+        advance c;
+        quantify (Star a)
+    | Some '+' ->
+        advance c;
+        quantify (Plus a)
+    | Some '?' ->
+        advance c;
+        quantify (Opt a)
+    | _ -> a
+  in
+  quantify atom
+
+and parse_atom c =
+  match peek c with
+  | None -> fail "expected atom"
+  | Some '(' ->
+      advance c;
+      let inner = parse_alt c in
+      (match peek c with
+      | Some ')' -> advance c
+      | _ -> fail "unbalanced parenthesis");
+      inner
+  | Some '[' ->
+      advance c;
+      Class (parse_class c)
+  | Some '.' ->
+      advance c;
+      Any
+  | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some e ->
+          advance c;
+          (match e with
+          | 'n' -> Char '\n'
+          | 't' -> Char '\t'
+          | 'r' -> Char '\r'
+          | 'd' -> Class { negated = false; ranges = [ ('0', '9') ] }
+          | 'w' ->
+              Class
+                {
+                  negated = false;
+                  ranges = [ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ];
+                }
+          | e -> Char e)
+      | None -> fail "dangling escape")
+  | Some ('*' | '+' | '?') -> fail "dangling quantifier at %d" c.pos
+  | Some ch ->
+      advance c;
+      Char ch
+
+let parse (pattern : string) : ast =
+  let c = { src = pattern; pos = 0 } in
+  let ast = parse_alt c in
+  if c.pos <> String.length pattern then fail "trailing input at %d" c.pos;
+  ast
+
+(* ------------------------------------------------------------------ *)
+(* NFA compilation (Thompson construction)                             *)
+(* ------------------------------------------------------------------ *)
+
+type transition =
+  | Eps of int
+  | Cons of (char -> bool) * int  (** consume one admissible character *)
+
+type nfa = { states : transition list array; start : int; accept : int }
+
+let compile (ast : ast) : nfa =
+  let transitions = ref [] in
+  let n_states = ref 0 in
+  let fresh () =
+    let s = !n_states in
+    incr n_states;
+    s
+  in
+  let add_edge src tr = transitions := (src, tr) :: !transitions in
+  (* Returns (entry, exit) state pair for the fragment. *)
+  let rec build = function
+    | Empty ->
+        let s = fresh () in
+        (s, s)
+    | Char ch ->
+        let s = fresh () and e = fresh () in
+        add_edge s (Cons ((fun c -> c = ch), e));
+        (s, e)
+    | Any ->
+        let s = fresh () and e = fresh () in
+        add_edge s (Cons ((fun _ -> true), e));
+        (s, e)
+    | Class cc ->
+        let s = fresh () and e = fresh () in
+        add_edge s (Cons (class_mem cc, e));
+        (s, e)
+    | Seq (a, b) ->
+        let sa, ea = build a in
+        let sb, eb = build b in
+        add_edge ea (Eps sb);
+        (sa, eb)
+    | Alt (a, b) ->
+        let s = fresh () and e = fresh () in
+        let sa, ea = build a in
+        let sb, eb = build b in
+        add_edge s (Eps sa);
+        add_edge s (Eps sb);
+        add_edge ea (Eps e);
+        add_edge eb (Eps e);
+        (s, e)
+    | Star a ->
+        let s = fresh () and e = fresh () in
+        let sa, ea = build a in
+        add_edge s (Eps sa);
+        add_edge s (Eps e);
+        add_edge ea (Eps sa);
+        add_edge ea (Eps e);
+        (s, e)
+    | Plus a ->
+        let sa, ea = build a in
+        let e = fresh () in
+        add_edge ea (Eps sa);
+        add_edge ea (Eps e);
+        (sa, e)
+    | Opt a ->
+        let s = fresh () and e = fresh () in
+        let sa, ea = build a in
+        add_edge s (Eps sa);
+        add_edge s (Eps e);
+        add_edge ea (Eps e);
+        (s, e)
+  in
+  let start, accept = build ast in
+  let states = Array.make !n_states [] in
+  List.iter (fun (src, tr) -> states.(src) <- tr :: states.(src)) !transitions;
+  { states; start; accept }
+
+(* ------------------------------------------------------------------ *)
+(* Simulation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let epsilon_closure nfa (set : bool array) =
+  let stack = ref [] in
+  Array.iteri (fun i b -> if b then stack := i :: !stack) set;
+  let rec go () =
+    match !stack with
+    | [] -> ()
+    | s :: rest ->
+        stack := rest;
+        List.iter
+          (function
+            | Eps t when not set.(t) ->
+                set.(t) <- true;
+                stack := t :: !stack
+            | Eps _ | Cons _ -> ())
+          nfa.states.(s);
+        go ()
+  in
+  go ()
+
+type t = { nfa : nfa; pattern : string }
+
+let of_pattern pattern = { nfa = compile (parse pattern); pattern }
+
+let pattern t = t.pattern
+
+(** Whole-string (anchored) match. *)
+let matches t s =
+  let nfa = t.nfa in
+  let n = Array.length nfa.states in
+  let initial = Array.make n false in
+  initial.(nfa.start) <- true;
+  epsilon_closure nfa initial;
+  let step cur ch =
+    let next = Array.make n false in
+    Array.iteri
+      (fun i active ->
+        if active then
+          List.iter
+            (function
+              | Cons (admit, t) when admit ch -> next.(t) <- true
+              | Cons _ | Eps _ -> ())
+            nfa.states.(i))
+      cur;
+    epsilon_closure nfa next;
+    next
+  in
+  let final = String.fold_left step initial s in
+  final.(nfa.accept)
+
+(** Convenience: compile-and-match in one step. *)
+let string_matches ~pattern s = matches (of_pattern pattern) s

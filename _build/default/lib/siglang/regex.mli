@@ -1,0 +1,25 @@
+(** A self-contained regular-expression engine for the signatures
+    Extractocol emits.  Supports literals, escaped metacharacters, [.],
+    character classes ([[0-9]], [[^abc]]), grouping, alternation and the
+    [* + ?] quantifiers.  Matching is whole-string (anchored) via Thompson
+    NFA simulation — linear in input size, with no catastrophic
+    backtracking on adversarial traces. *)
+
+exception Parse_error of string
+
+type t
+(** A compiled regular expression. *)
+
+val of_pattern : string -> t
+(** Compile a pattern.
+    @raise Parse_error on malformed syntax (unbalanced groups, dangling
+    quantifiers, unterminated classes). *)
+
+val pattern : t -> string
+(** The source pattern the expression was compiled from. *)
+
+val matches : t -> string -> bool
+(** Anchored (whole-string) match. *)
+
+val string_matches : pattern:string -> string -> bool
+(** Compile-and-match in one step. *)

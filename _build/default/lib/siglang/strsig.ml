@@ -1,0 +1,230 @@
+(* String signatures: the scalar fragment of the paper's intermediate
+   language (Figure 4).  A signature describes the set of strings a program
+   slice can produce: string literals, unknowns (with a type hint used for
+   regex generation: [0-9]+ for integers, .* for strings), concatenation,
+   disjunction (confluence of branches) and repetition (loops). *)
+
+type hint =
+  | Hany  (** arbitrary string: regex [.*] *)
+  | Hnum  (** integer-valued: regex [[0-9]+] *)
+  | Hbool  (** boolean-valued: regex [(true|false)] *)
+
+type t =
+  | Lit of string
+  | Unknown of hint
+  | Concat of t list
+  | Alt of t list
+  | Rep of t
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let empty = Lit ""
+let lit s = Lit s
+let unknown = Unknown Hany
+let num = Unknown Hnum
+
+(** Flatten nested concatenations and merge adjacent literals. *)
+let concat parts =
+  let rec flatten acc = function
+    | [] -> List.rev acc
+    | Concat inner :: rest -> flatten acc (inner @ rest)
+    | Lit "" :: rest -> flatten acc rest
+    | p :: rest -> flatten (p :: acc) rest
+  in
+  let rec merge = function
+    | Lit a :: Lit b :: rest -> merge (Lit (a ^ b) :: rest)
+    | p :: rest -> p :: merge rest
+    | [] -> []
+  in
+  match merge (flatten [] parts) with
+  | [] -> Lit ""
+  | [ p ] -> p
+  | ps -> Concat ps
+
+let append a b = concat [ a; b ]
+
+let rec equal a b =
+  match (a, b) with
+  | Lit x, Lit y -> String.equal x y
+  | Unknown h1, Unknown h2 -> h1 = h2
+  | Concat xs, Concat ys | Alt xs, Alt ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Rep x, Rep y -> equal x y
+  | (Lit _ | Unknown _ | Concat _ | Alt _ | Rep _), _ -> false
+
+(** Disjunction with duplicate-branch elimination; used at confluence
+    points of the control-flow graph (§3.2). *)
+let alt branches =
+  let rec flatten acc = function
+    | [] -> List.rev acc
+    | Alt inner :: rest -> flatten acc (inner @ rest)
+    | b :: rest -> flatten (b :: acc) rest
+  in
+  let branches = flatten [] branches in
+  let dedup =
+    List.fold_left
+      (fun acc b -> if List.exists (equal b) acc then acc else b :: acc)
+      [] branches
+    |> List.rev
+  in
+  match dedup with [] -> Lit "" | [ b ] -> b | bs -> Alt bs
+
+let rep s = match s with Lit "" -> Lit "" | Rep _ -> s | _ -> Rep s
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp fmt = function
+  | Lit s -> Fmt.pf fmt "%S" s
+  | Unknown Hany -> Fmt.string fmt "?str"
+  | Unknown Hnum -> Fmt.string fmt "?num"
+  | Unknown Hbool -> Fmt.string fmt "?bool"
+  | Concat ps -> Fmt.pf fmt "(@[%a@])" (Fmt.list ~sep:(Fmt.any " . ") pp) ps
+  | Alt bs -> Fmt.pf fmt "(@[%a@])" (Fmt.list ~sep:(Fmt.any " | ") pp) bs
+  | Rep s -> Fmt.pf fmt "rep{%a}" pp s
+
+let to_string s = Fmt.str "%a" pp s
+
+(* ------------------------------------------------------------------ *)
+(* Regex compilation (§3.2: repetitions become Kleene stars,           *)
+(* disjunctions become |, unknowns become .* or [0-9]+)                *)
+(* ------------------------------------------------------------------ *)
+
+let regex_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '\\'
+      | '^' | '$' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_regex = function
+  | Lit s -> regex_escape s
+  | Unknown Hany -> "(.*)"
+  | Unknown Hnum -> "([0-9]+)"
+  | Unknown Hbool -> "(true|false)"
+  | Concat ps -> String.concat "" (List.map to_regex ps)
+  | Alt bs -> "(" ^ String.concat "|" (List.map to_regex bs) ^ ")"
+  | Rep s -> "(" ^ to_regex s ^ ")*"
+
+(* ------------------------------------------------------------------ *)
+(* Constant keywords (Figure 7 counts constant keywords in signatures) *)
+(* ------------------------------------------------------------------ *)
+
+(** All literal fragments of the signature. *)
+let rec literals = function
+  | Lit s -> [ s ]
+  | Unknown _ -> []
+  | Concat ps | Alt ps -> List.concat_map literals ps
+  | Rep s -> literals s
+
+(** Constant keywords: maximal alphanumeric words inside literal fragments.
+    Used to quantify signature quality against packet traces (§5.1). *)
+let keywords s =
+  let split_words text =
+    let words = ref [] and buf = Buffer.create 8 in
+    let flush () =
+      if Buffer.length buf > 0 then begin
+        words := Buffer.contents buf :: !words;
+        Buffer.clear buf
+      end
+    in
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> Buffer.add_char buf c
+        | _ -> flush ())
+      text;
+    flush ();
+    List.rev !words
+  in
+  List.concat_map split_words (literals s) |> List.sort_uniq String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Matching with byte attribution (Table 2)                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Byte-level attribution of a concrete string against a signature:
+    [`Const] bytes were matched by literal parts, [`Wild] bytes by
+    unknown/repetition parts.  [None] when the signature does not match. *)
+type attribution = [ `Const | `Wild ] array
+
+let hint_admits hint text =
+  match hint with
+  | Hany -> true
+  | Hnum -> text <> "" && String.for_all (fun c -> c >= '0' && c <= '9') text
+  | Hbool -> text = "true" || text = "false"
+
+(** Backtracking matcher.  [match_attr sig s] returns the attribution of
+    each byte of [s], or [None] when [s] is not in the signature's
+    language.  Wildcards are matched lazily with backtracking, which is
+    sufficient for the signature shapes the extractor emits. *)
+let match_attr (signature : t) (s : string) : attribution option =
+  let n = String.length s in
+  let attr = Array.make n `Wild in
+  (* [go sig pos k] attempts to match [sig] starting at [pos]; on success
+     calls continuation [k] with the end position. *)
+  let rec go sg pos k =
+    match sg with
+    | Lit l ->
+        let ll = String.length l in
+        if pos + ll <= n && String.sub s pos ll = l then begin
+          for i = pos to pos + ll - 1 do
+            attr.(i) <- `Const
+          done;
+          k (pos + ll)
+        end
+        else false
+    | Unknown hint ->
+        (* Try successively longer spans (shortest first keeps constants
+           anchored). *)
+        let rec try_len len =
+          if pos + len > n then false
+          else begin
+            let text = String.sub s pos len in
+            if hint_admits hint text || (len = 0 && hint = Hany) then begin
+              for i = pos to pos + len - 1 do
+                attr.(i) <- `Wild
+              done;
+              if k (pos + len) then true else try_len (len + 1)
+            end
+            else try_len (len + 1)
+          end
+        in
+        try_len 0
+    | Concat ps ->
+        let rec chain parts pos k =
+          match parts with
+          | [] -> k pos
+          | p :: rest -> go p pos (fun pos' -> chain rest pos' k)
+        in
+        chain ps pos k
+    | Alt bs -> List.exists (fun b -> go b pos k) bs
+    | Rep inner ->
+        (* Zero or more repetitions of [inner]. *)
+        let rec iterate pos =
+          if k pos then true
+          else go inner pos (fun pos' -> if pos' > pos then iterate pos' else false)
+        in
+        iterate pos
+  in
+  if go signature 0 (fun pos -> pos = n) then Some attr else None
+
+let matches signature s = match_attr signature s <> None
+
+(** Fraction helpers for Table 2: counts of const-attributed and
+    wild-attributed bytes. *)
+let byte_counts signature s =
+  match match_attr signature s with
+  | None -> None
+  | Some attr ->
+      let const = Array.fold_left (fun acc a -> if a = `Const then acc + 1 else acc) 0 attr in
+      Some (const, Array.length attr - const)

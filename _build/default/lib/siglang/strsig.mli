@@ -1,0 +1,93 @@
+(** String signatures — the scalar fragment of the paper's intermediate
+    language (Figure 4).  A signature describes the set of strings a
+    program slice can produce: literals, unknowns (typed, for regex
+    generation), concatenation, disjunction (branch confluences) and
+    repetition (loops). *)
+
+(** Type hint attached to an unknown, driving its regex form. *)
+type hint =
+  | Hany  (** arbitrary string: [.*] *)
+  | Hnum  (** integer-valued: [[0-9]+] *)
+  | Hbool  (** boolean-valued: [(true|false)] *)
+
+type t =
+  | Lit of string
+  | Unknown of hint
+  | Concat of t list
+  | Alt of t list
+  | Rep of t
+
+(** {1 Smart constructors}
+
+    These normalize as they build: concatenations flatten and merge
+    adjacent literals, disjunctions flatten and deduplicate branches,
+    repetitions absorb nested repetitions. *)
+
+val empty : t
+(** The empty-string literal. *)
+
+val lit : string -> t
+(** A string literal. *)
+
+val unknown : t
+(** An arbitrary unknown ([Hany]). *)
+
+val num : t
+(** A numeric unknown ([Hnum]). *)
+
+val concat : t list -> t
+(** Concatenation with flattening and literal merging. *)
+
+val append : t -> t -> t
+(** [append a b] is [concat [a; b]]. *)
+
+val alt : t list -> t
+(** Disjunction with duplicate elimination; used at confluence points of
+    the control-flow graph (§3.2).  A singleton collapses to its branch. *)
+
+val rep : t -> t
+(** Repetition marker for loop-variant parts (§3.2); idempotent. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Regex compilation (§3.2)} *)
+
+val regex_escape : string -> string
+(** Escape regex metacharacters in a literal. *)
+
+val to_regex : t -> string
+(** Compile to a regular expression: repetitions become Kleene stars,
+    disjunctions become [|], unknowns become [.*] / [[0-9]+] by type. *)
+
+(** {1 Constant keywords (Figure 7)} *)
+
+val literals : t -> string list
+(** All literal fragments of the signature, in order. *)
+
+val keywords : t -> string list
+(** Maximal alphanumeric words inside literal fragments, deduplicated —
+    the constant keywords counted when quantifying signature quality
+    against packet traces (§5.1). *)
+
+(** {1 Matching with byte attribution (Table 2)} *)
+
+type attribution = [ `Const | `Wild ] array
+(** Per-byte classification of a matched string: matched by a literal part
+    ([`Const]) or by an unknown/repetition ([`Wild]). *)
+
+val match_attr : t -> string -> attribution option
+(** Backtracking whole-string match with byte attribution; [None] when the
+    string is not in the signature's language. *)
+
+val matches : t -> string -> bool
+(** Whole-string membership test. *)
+
+val byte_counts : t -> string -> (int * int) option
+(** [(const_bytes, wild_bytes)] of a match; the two always sum to the
+    string length. *)

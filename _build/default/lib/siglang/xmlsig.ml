@@ -1,0 +1,191 @@
+(* XML body signatures.  The paper's tree representation allows rendering a
+   signature as a Document Type Definition (DTD) for XML bodies; this module
+   keeps the tree and provides both the DTD rendering and trace matching. *)
+
+module Xml = Extr_httpmodel.Xml
+
+type t = {
+  xtag : string;
+  xattrs : (string * Strsig.t) list;
+  xchildren : child list;
+}
+
+and child =
+  | Celem of t
+  | Ctext of Strsig.t
+  | Crep of t  (** the element may repeat (lists of items) *)
+
+let rec equal a b =
+  String.equal a.xtag b.xtag
+  && List.length a.xattrs = List.length b.xattrs
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && Strsig.equal v1 v2)
+       a.xattrs b.xattrs
+  && List.length a.xchildren = List.length b.xchildren
+  && List.for_all2 equal_child a.xchildren b.xchildren
+
+and equal_child c1 c2 =
+  match (c1, c2) with
+  | Celem a, Celem b | Crep a, Crep b -> equal a b
+  | Ctext a, Ctext b -> Strsig.equal a b
+  | (Celem _ | Ctext _ | Crep _), _ -> false
+
+let element ?(attrs = []) tag children = { xtag = tag; xattrs = attrs; xchildren = children }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp fmt e =
+  let pp_attr fmt (k, v) = Fmt.pf fmt "%s=%s" k (Strsig.to_regex v) in
+  Fmt.pf fmt "<%s%a>%a</%s>" e.xtag
+    Fmt.(list ~sep:nop (any " " ++ pp_attr))
+    e.xattrs
+    Fmt.(list ~sep:nop pp_child)
+    e.xchildren e.xtag
+
+and pp_child fmt = function
+  | Celem e -> pp fmt e
+  | Ctext s -> Fmt.string fmt (Strsig.to_regex s)
+  | Crep e -> Fmt.pf fmt "(%a)*" pp e
+
+let to_string e = Fmt.str "%a" pp e
+
+(** DTD rendering: one <!ELEMENT> declaration per distinct tag plus
+    <!ATTLIST> for attributes (§1: the tree representation allows
+    representing signatures as DTDs). *)
+let to_dtd root =
+  let buf = Buffer.create 256 in
+  let seen = Hashtbl.create 8 in
+  let rec visit e =
+    if not (Hashtbl.mem seen e.xtag) then begin
+      Hashtbl.replace seen e.xtag ();
+      let content =
+        match e.xchildren with
+        | [] -> "EMPTY"
+        | children ->
+            let parts =
+              List.map
+                (function
+                  | Celem c -> c.xtag
+                  | Crep c -> c.xtag ^ "*"
+                  | Ctext _ -> "#PCDATA")
+                children
+            in
+            "(" ^ String.concat ", " parts ^ ")"
+      in
+      Buffer.add_string buf (Printf.sprintf "<!ELEMENT %s %s>\n" e.xtag content);
+      List.iter
+        (fun (attr, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf "<!ATTLIST %s %s CDATA #REQUIRED>\n" e.xtag attr))
+        e.xattrs;
+      List.iter
+        (function Celem c | Crep c -> visit c | Ctext _ -> ())
+        e.xchildren
+    end
+  in
+  visit root;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Keywords and matching                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Tags and attribute names of the signature (Figure 7 keyword counting). *)
+let rec keywords e =
+  (e.xtag :: List.map fst e.xattrs)
+  @ List.concat_map
+      (function Celem c | Crep c -> keywords c | Ctext _ -> [])
+      e.xchildren
+
+let distinct_keywords e = List.sort_uniq String.compare (keywords e)
+
+(** Does a concrete element belong to the signature's language?  Extra
+    concrete attributes/children are allowed — apps ignore fields they do
+    not parse. *)
+let rec admits (s : t) (e : Xml.elem) =
+  String.equal s.xtag e.tag
+  && List.for_all
+       (fun (k, vs) ->
+         match List.assoc_opt k e.attrs with
+         | Some v -> Strsig.matches vs v
+         | None -> false)
+       s.xattrs
+  && admits_children s.xchildren e.children
+
+and admits_children (spec : child list) (concrete : Xml.node list) =
+  let concrete_elems =
+    List.filter_map (function Xml.Elem e -> Some e | Xml.Text _ -> None) concrete
+  in
+  let concrete_text =
+    List.filter_map (function Xml.Text t -> Some t | Xml.Elem _ -> None) concrete
+  in
+  List.for_all
+    (function
+      | Celem c -> List.exists (admits c) concrete_elems
+      | Crep c ->
+          (* Zero-or-more: all same-tag children must be admissible. *)
+          List.for_all
+            (fun e -> if String.equal e.Xml.tag c.xtag then admits c e else true)
+            concrete_elems
+      | Ctext ts -> List.exists (Strsig.matches ts) concrete_text)
+    spec
+
+(** Byte accounting for Table 2, mirroring {!Jsonsig.byte_account}:
+    covered tags/attrs count to R_k, wildcard-matched values to R_v,
+    uncovered subtrees to R_n. *)
+let byte_account (s : t) (e : Xml.elem) =
+  let bk = ref 0 and bv = ref 0 and bn = ref 0 in
+  let text_bytes t = String.length (Xml.escape t) in
+  let elem_size (e : Xml.elem) = String.length (Xml.to_string e) in
+  let rec visit (s : t) (e : Xml.elem) =
+    if not (String.equal s.xtag e.tag) then bn := !bn + elem_size e
+    else begin
+      (* Tag markup counts as constant. *)
+      bk := !bk + (2 * String.length e.tag) + 5;
+      List.iter
+        (fun (k, v) ->
+          match List.assoc_opt k s.xattrs with
+          | Some vs -> (
+              bk := !bk + String.length k + 4;
+              match Strsig.byte_counts vs (Xml.escape v) with
+              | Some (c, w) ->
+                  bk := !bk + c;
+                  bv := !bv + w
+              | None -> bv := !bv + text_bytes v)
+          | None -> bn := !bn + String.length k + 4 + text_bytes v)
+        e.attrs;
+      List.iter
+        (function
+          | Xml.Text t -> (
+              let covered =
+                List.find_map
+                  (function Ctext ts -> Some ts | Celem _ | Crep _ -> None)
+                  s.xchildren
+              in
+              match covered with
+              | Some ts -> (
+                  match Strsig.byte_counts ts (Xml.escape t) with
+                  | Some (c, w) ->
+                      bk := !bk + c;
+                      bv := !bv + w
+                  | None -> bv := !bv + text_bytes t)
+              | None -> bn := !bn + text_bytes t)
+          | Xml.Elem child -> (
+              let covered =
+                List.find_map
+                  (function
+                    | Celem c when String.equal c.xtag child.tag -> Some c
+                    | Crep c when String.equal c.xtag child.tag -> Some c
+                    | Celem _ | Crep _ | Ctext _ -> None)
+                  s.xchildren
+              in
+              match covered with
+              | Some c -> visit c child
+              | None -> bn := !bn + elem_size child))
+        e.children
+    end
+  in
+  visit s e;
+  (!bk, !bv, !bn)

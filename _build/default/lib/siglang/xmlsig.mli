@@ -1,0 +1,38 @@
+(** XML body signatures.  The tree representation allows rendering a
+    signature as a Document Type Definition (§1); matching and byte
+    accounting mirror {!Jsonsig}. *)
+
+module Xml = Extr_httpmodel.Xml
+
+type t = {
+  xtag : string;
+  xattrs : (string * Strsig.t) list;
+  xchildren : child list;
+}
+
+and child =
+  | Celem of t
+  | Ctext of Strsig.t
+  | Crep of t  (** the element may repeat (lists of items) *)
+
+val equal : t -> t -> bool
+val element : ?attrs:(string * Strsig.t) list -> string -> child list -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_dtd : t -> string
+(** Render as DTD declarations: one [<!ELEMENT>] per distinct tag plus
+    [<!ATTLIST>] for attributes. *)
+
+val keywords : t -> string list
+(** Tags and attribute names (with duplicates). *)
+
+val distinct_keywords : t -> string list
+(** Sorted, deduplicated tags and attribute names (Figure 7). *)
+
+val admits : t -> Xml.elem -> bool
+(** Language membership; extra concrete attributes/children are allowed. *)
+
+val byte_account : t -> Xml.elem -> int * int * int
+(** [(r_k, r_v, r_n)] byte classification of a concrete element (Table 2). *)

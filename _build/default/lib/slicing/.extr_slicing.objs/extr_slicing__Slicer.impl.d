@@ -1,0 +1,1 @@
+lib/slicing/slicer.ml: Array Extr_cfg Extr_ir Extr_semantics Extr_taint Hashtbl List String

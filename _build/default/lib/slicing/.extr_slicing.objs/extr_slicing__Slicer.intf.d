@@ -1,0 +1,1 @@
+lib/slicing/slicer.mli: Extr_cfg Extr_ir Extr_semantics

@@ -1,0 +1,327 @@
+(* Network-aware program slicing (§3.1).  For every demarcation point in
+   the application, compute:
+     - the request slice: backward taint propagation from the request
+       object (URI construction, body construction, headers);
+     - the response slice: forward taint propagation from the response
+       object (parsing, consumption);
+     - object-aware augmentation: initialization context of objects used in
+       forward slices;
+     - the asynchronous-event heuristic (§3.4): backward propagation from
+       setter statements of heap objects that carry request parts.  *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Callgraph = Extr_cfg.Callgraph
+module Api = Extr_semantics.Api
+module Demarcation = Extr_semantics.Demarcation
+module Callbacks = Extr_semantics.Callbacks
+module Fact = Extr_taint.Fact
+module Forward = Extr_taint.Forward
+module Backward = Extr_taint.Backward
+
+type dp_site = {
+  dp_stmt : Ir.stmt_id;
+  dp_invoke : Ir.invoke;
+  dp_info : Demarcation.t;
+}
+
+type slice = {
+  sl_dp : dp_site;
+  sl_stmts : Ir.Stmt_set.t;
+}
+
+type result = {
+  r_dps : dp_site list;
+  r_request : slice list;  (** one request slice per demarcation point *)
+  r_response : slice list;  (** one response slice per demarcation point *)
+  r_stats : stats;
+}
+
+and stats = {
+  st_total_stmts : int;
+  st_slice_stmts : int;  (** statements in the union of all slices *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Demarcation point discovery                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Scan all application methods for demarcation-point invokes.  [scope]
+    optionally restricts discovery to classes with the given prefix (the
+    Kayak analysis scopes to com.kayak classes, §5.3). *)
+let find_demarcation_points ?scope (prog : Prog.t) : dp_site list =
+  let in_scope (m : Ir.meth) =
+    match scope with
+    | None -> true
+    | Some prefix ->
+        String.length m.Ir.m_cls >= String.length prefix
+        && String.sub m.Ir.m_cls 0 (String.length prefix) = prefix
+  in
+  List.concat_map
+    (fun (m : Ir.meth) ->
+      if not (in_scope m) then []
+      else begin
+        let mid = Ir.method_id_of_meth m in
+        let acc = ref [] in
+        Array.iteri
+          (fun idx stmt ->
+            match Ir.stmt_invoke stmt with
+            | Some invoke -> (
+                match Demarcation.find invoke with
+                | Some info ->
+                    acc :=
+                      {
+                        dp_stmt = { Ir.sid_meth = mid; sid_idx = idx };
+                        dp_invoke = invoke;
+                        dp_info = info;
+                      }
+                      :: !acc
+                | None -> ())
+            | None -> ())
+          m.Ir.m_body;
+        List.rev !acc
+      end)
+    (Prog.app_methods prog)
+
+(* ------------------------------------------------------------------ *)
+(* Request (backward) slices                                          *)
+(* ------------------------------------------------------------------ *)
+
+let request_root (dp : dp_site) : Ir.var option =
+  match dp.dp_info.Demarcation.dp_request with
+  | Demarcation.Arg i -> (
+      match List.nth_opt dp.dp_invoke.Ir.iargs i with
+      | Some (Ir.Local v) -> Some v
+      | Some (Ir.Const _) | None -> None)
+  | Demarcation.Recv -> dp.dp_invoke.Ir.ibase
+
+(** Statements storing to one of the given instance fields, anywhere in the
+    program — the setter statements the async heuristic restarts from. *)
+let field_store_sites (prog : Prog.t) (fields : (string * string) list) =
+  List.concat_map
+    (fun (m : Ir.meth) ->
+      let mid = Ir.method_id_of_meth m in
+      let acc = ref [] in
+      Array.iteri
+        (fun idx stmt ->
+          match stmt with
+          | Ir.Assign (Ir.Lfield (x, f), _)
+            when List.mem (f.Ir.fcls, f.Ir.fname) fields ->
+              acc :=
+                ({ Ir.sid_meth = mid; sid_idx = idx }, Fact.local_path mid x f.Ir.fname)
+                :: !acc
+          | _ -> ())
+        m.Ir.m_body;
+      List.rev !acc)
+    (Prog.app_methods prog)
+
+let request_slice ~async_heuristic ~async_iterations prog cg (dp : dp_site) :
+    slice =
+  let run_with_setters setters =
+    let engine = Backward.create prog cg in
+    (match request_root dp with
+    | Some v ->
+        Backward.inject_at engine dp.dp_stmt
+          [ Fact.local dp.dp_stmt.Ir.sid_meth v ]
+    | None -> ());
+    List.iter (fun (sid, fact) -> Backward.inject_at engine sid [ fact ]) setters;
+    Backward.run engine;
+    engine
+  in
+  let engine = run_with_setters [] in
+  let stmts =
+    if not async_heuristic then Backward.touched_stmts engine
+    else begin
+      (* §3.4: for each heap object carrying request parts, restart
+         backward propagation from its setter statements.  The default is
+         one hop; the paper's multiple-iterations variant repeats until no
+         new heap carriers appear (bounded by [async_iterations]). *)
+      let rec iterate k engine known_fields =
+        let fields =
+          List.sort_uniq compare (Fact.field_facts (Backward.all_facts engine))
+        in
+        if k <= 0 || fields = known_fields then Backward.touched_stmts engine
+        else begin
+          let setters = field_store_sites prog fields in
+          let engine' = run_with_setters setters in
+          iterate (k - 1) engine' fields
+        end
+      in
+      iterate (max 1 async_iterations) engine []
+    end
+  in
+  { sl_dp = dp; sl_stmts = Ir.Stmt_set.add dp.dp_stmt stmts }
+
+(* ------------------------------------------------------------------ *)
+(* Response (forward) slices                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** The variable receiving the response at the demarcation point (for
+    [Ret]-style bindings): the definition of the assign statement. *)
+let response_def prog (dp : dp_site) : Ir.var option =
+  match Prog.stmt_at prog dp.dp_stmt with
+  | Some (Ir.Assign (Ir.Lvar v, Ir.Invoke _)) -> Some v
+  | Some _ | None -> None
+
+(** Callback entry points receiving the response for listener-style DPs. *)
+let response_callback_roots prog (dp : dp_site) : (Ir.method_id * Ir.var) list =
+  match dp.dp_info.Demarcation.dp_response with
+  | Demarcation.Listener_callback { arg_idx; callback = _ } -> (
+      match List.nth_opt dp.dp_invoke.Ir.iargs arg_idx with
+      | Some (Ir.Local req_var) -> (
+          match Prog.find_method prog dp.dp_stmt.Ir.sid_meth with
+          | Some meth ->
+              Callbacks.listener_of_request prog meth req_var
+              |> List.filter_map (fun cb_id ->
+                     match Prog.find_method prog cb_id with
+                     | Some cb -> (
+                         match cb.Ir.m_params with
+                         | p :: _ -> Some (cb_id, p)
+                         | [] -> None)
+                     | None -> None)
+          | None -> [])
+      | Some (Ir.Const _) | None -> [])
+  | Demarcation.Ret | Demarcation.Base | Demarcation.Opaque_sink -> []
+
+let response_slice prog cg (dp : dp_site) : slice =
+  let engine = Forward.create prog cg in
+  (match dp.dp_info.Demarcation.dp_response with
+  | Demarcation.Ret | Demarcation.Base -> (
+      match response_def prog dp with
+      | Some v ->
+          Forward.inject_after engine dp.dp_stmt
+            [ Fact.local dp.dp_stmt.Ir.sid_meth v ]
+      | None -> ())
+  | Demarcation.Listener_callback _ ->
+      List.iter
+        (fun (cb_id, param) ->
+          Forward.inject_at_entry engine cb_id [ Fact.local cb_id param ])
+        (response_callback_roots prog dp)
+  | Demarcation.Opaque_sink -> ());
+  Forward.run engine;
+  { sl_dp = dp; sl_stmts = Forward.tainted_stmts engine }
+
+(* ------------------------------------------------------------------ *)
+(* Object-aware slice augmentation (§3.1)                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Augment a forward slice with the complete context of the objects it
+    uses: repeatedly add statements (in the same methods) that define a
+    variable or write a field that an already-included statement reads,
+    until no statements are added. *)
+let augment_response_slice prog (sl : slice) : slice =
+  let methods =
+    Ir.Stmt_set.fold
+      (fun sid acc -> Ir.Method_set.add sid.Ir.sid_meth acc)
+      sl.sl_stmts Ir.Method_set.empty
+  in
+  let included = ref sl.sl_stmts in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Ir.Method_set.iter
+      (fun mid ->
+        match Prog.find_method prog mid with
+        | None -> ()
+        | Some m ->
+            (* Variables and fields read by included statements of m. *)
+            let used_vars = Hashtbl.create 16 in
+            let used_fields = Hashtbl.create 16 in
+            Array.iteri
+              (fun idx stmt ->
+                let sid = { Ir.sid_meth = mid; sid_idx = idx } in
+                if Ir.Stmt_set.mem sid !included then begin
+                  List.iter
+                    (fun (v : Ir.var) -> Hashtbl.replace used_vars v.Ir.vname ())
+                    (Ir.stmt_uses stmt);
+                  match stmt with
+                  | Ir.Assign (_, Ir.IField (_, f)) ->
+                      Hashtbl.replace used_fields (f.Ir.fcls, f.Ir.fname) ()
+                  | _ -> ()
+                end)
+              m.Ir.m_body;
+            (* Add defining statements not yet included. *)
+            Array.iteri
+              (fun idx stmt ->
+                let sid = { Ir.sid_meth = mid; sid_idx = idx } in
+                if not (Ir.Stmt_set.mem sid !included) then begin
+                  let defines_used =
+                    match Ir.stmt_def stmt with
+                    | Some v -> Hashtbl.mem used_vars v.Ir.vname
+                    | None -> (
+                        match stmt with
+                        | Ir.Assign (Ir.Lfield (_, f), _) ->
+                            Hashtbl.mem used_fields (f.Ir.fcls, f.Ir.fname)
+                        | Ir.InvokeStmt { Ir.ibase = Some b; _ } ->
+                            (* Mutating calls on used objects (constructors,
+                               builder appends) complete the object context. *)
+                            Hashtbl.mem used_vars b.Ir.vname
+                        | _ -> false)
+                  in
+                  if defines_used then begin
+                    included := Ir.Stmt_set.add sid !included;
+                    changed := true
+                  end
+                end)
+              m.Ir.m_body)
+      methods
+  done;
+  { sl with sl_stmts = !included }
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end slicing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type options = {
+  opt_async_heuristic : bool;  (** §3.4 heuristic (on for closed-source) *)
+  opt_async_iterations : int;
+      (** heap-carrier hops to follow: 1 = the paper's implementation,
+          higher values are its suggested multi-iteration extension *)
+  opt_augmentation : bool;  (** object-aware augmentation *)
+  opt_scope : string option;  (** class-prefix scope (§5.3) *)
+}
+
+let default_options =
+  {
+    opt_async_heuristic = false;
+    opt_async_iterations = 1;
+    opt_augmentation = true;
+    opt_scope = None;
+  }
+
+let run ?(options = default_options) (prog : Prog.t) (cg : Callgraph.t) : result =
+  let dps = find_demarcation_points ?scope:options.opt_scope prog in
+  let request =
+    List.map
+      (request_slice ~async_heuristic:options.opt_async_heuristic
+         ~async_iterations:options.opt_async_iterations prog cg)
+      dps
+  in
+  let response =
+    List.map
+      (fun dp ->
+        let sl = response_slice prog cg dp in
+        if options.opt_augmentation then augment_response_slice prog sl else sl)
+      dps
+  in
+  let union =
+    List.fold_left
+      (fun acc sl -> Ir.Stmt_set.union acc sl.sl_stmts)
+      Ir.Stmt_set.empty (request @ response)
+  in
+  {
+    r_dps = dps;
+    r_request = request;
+    r_response = response;
+    r_stats =
+      {
+        st_total_stmts = Prog.app_stmt_count prog;
+        st_slice_stmts = Ir.Stmt_set.cardinal union;
+      };
+  }
+
+(** Fraction of application code covered by the slices (Figure 3 reports
+    6.3 % for Diode). *)
+let slice_fraction (r : result) =
+  if r.r_stats.st_total_stmts = 0 then 0.0
+  else float_of_int r.r_stats.st_slice_stmts /. float_of_int r.r_stats.st_total_stmts

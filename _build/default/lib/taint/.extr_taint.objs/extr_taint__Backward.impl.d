@@ -1,0 +1,1 @@
+lib/taint/backward.ml: Array Extr_cfg Extr_ir Extr_semantics Fact List Option Queue

@@ -1,0 +1,1 @@
+lib/taint/backward.mli: Extr_cfg Extr_ir Fact

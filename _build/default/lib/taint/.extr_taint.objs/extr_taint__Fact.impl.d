@@ -1,0 +1,1 @@
+lib/taint/fact.ml: Extr_ir Format Set Stdlib String

@@ -1,0 +1,1 @@
+lib/taint/fact.mli: Extr_ir Format Set

@@ -1,0 +1,1 @@
+lib/taint/forward.ml: Array Extr_cfg Extr_ir Extr_semantics Fact Fun List Option Queue

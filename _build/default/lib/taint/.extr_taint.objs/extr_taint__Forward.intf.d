@@ -1,0 +1,1 @@
+lib/taint/forward.mli: Extr_cfg Extr_ir Fact

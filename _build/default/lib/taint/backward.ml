@@ -1,0 +1,374 @@
+(* Backward taint propagation (§3.1): the edge directions of the control
+   flow graph are flipped and the tainting rules inverted — a tainted
+   left-hand side taints the right-hand side, and the taint information of
+   callee arguments propagates to caller arguments.  Starting from the
+   request object at a demarcation point, this computes the backward
+   (request) slice: all statements contributing to the request. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Callgraph = Extr_cfg.Callgraph
+module Api = Extr_semantics.Api
+
+type t = {
+  prog : Prog.t;
+  cg : Callgraph.t;
+  mutable after : Fact.Set.t array Ir.Method_map.t;
+      (** facts relevant after each statement (reverse-flow entry set) *)
+  mutable param_relevant : (Ir.method_id * string) list;
+      (** callee parameters (or "this") found relevant at method entry *)
+  mutable entry_globals : Fact.Set.t Ir.Method_map.t;
+      (** global facts alive at method entries, flowing back to callers *)
+  mutable touched : Ir.Stmt_set.t;
+  worklist : (Ir.method_id * int) Queue.t;
+  preds : int list array Ir.Method_map.t;
+}
+
+let create prog cg =
+  let preds =
+    List.fold_left
+      (fun acc (m : Ir.meth) ->
+        Ir.Method_map.add (Ir.method_id_of_meth m) (Extr_cfg.Cfg.stmt_predecessors m) acc)
+      Ir.Method_map.empty (Prog.app_methods prog)
+  in
+  {
+    prog;
+    cg;
+    after = Ir.Method_map.empty;
+    param_relevant = [];
+    entry_globals = Ir.Method_map.empty;
+    touched = Ir.Stmt_set.empty;
+    worklist = Queue.create ();
+    preds;
+  }
+
+let body_of t mid =
+  match Prog.find_method t.prog mid with
+  | Some m -> m.Ir.m_body
+  | None -> [||]
+
+let after_array t mid =
+  match Ir.Method_map.find_opt mid t.after with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.make (max 1 (Array.length (body_of t mid))) Fact.Set.empty in
+      t.after <- Ir.Method_map.add mid arr t.after;
+      arr
+
+let merge_at t mid idx facts =
+  let body = body_of t mid in
+  if idx >= 0 && idx < Array.length body && not (Fact.Set.is_empty facts) then begin
+    let arr = after_array t mid in
+    let merged = Fact.Set.union arr.(idx) facts in
+    if not (Fact.Set.equal merged arr.(idx)) then begin
+      arr.(idx) <- merged;
+      Queue.add (mid, idx) t.worklist
+    end
+  end
+
+(** Inject facts as relevant at (i.e. just after) the given statement. *)
+let inject_at t (sid : Ir.stmt_id) facts =
+  merge_at t sid.Ir.sid_meth sid.Ir.sid_idx (Fact.Set.of_list facts)
+
+(** Inject the given facts at every return statement of a method (the
+    reverse-flow entry points). *)
+let inject_at_returns t mid facts =
+  match Prog.find_method t.prog mid with
+  | None -> ()
+  | Some m ->
+      List.iter
+        (fun r -> merge_at t mid r (Fact.Set.of_list facts))
+        (Extr_cfg.Cfg.return_indices m)
+
+let globals_of set =
+  Fact.Set.filter
+    (function Fact.Ffield _ | Fact.Fstatic _ | Fact.Fdb _ -> true | Fact.Flocal _ -> false)
+    set
+
+let value_fact mid = function
+  | Ir.Const _ -> []
+  | Ir.Local v -> [ Fact.local mid v ]
+
+(** Facts generated backward from reading an expression whose result is
+    relevant. *)
+let expr_gen mid (e : Ir.expr) : Fact.t list =
+  match e with
+  | Ir.Val v | Ir.Cast (_, v) -> value_fact mid v
+  | Ir.Binop (_, a, b) -> value_fact mid a @ value_fact mid b
+  | Ir.New _ -> []
+  | Ir.NewArr (_, n) -> value_fact mid n
+  | Ir.IField (x, f) ->
+      [ Fact.local_path mid x f.Ir.fname; Fact.Ffield (f.Ir.fcls, f.Ir.fname) ]
+  | Ir.SField f -> [ Fact.Fstatic (f.Ir.fcls, f.Ir.fname) ]
+  | Ir.AElem (a, i) -> Fact.local mid a :: value_fact mid i
+  | Ir.ALen a -> [ Fact.local mid a ]
+  | Ir.Invoke _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Invoke handling (inverted rules)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let handle_invoke t mid set (sid : Ir.stmt_id) (i : Ir.invoke) ~def_relevant :
+    Fact.Set.t * bool =
+  let base_relevant =
+    match i.Ir.ibase with
+    | Some b -> Fact.local_or_path_tainted set mid b
+    | None -> false
+  in
+  let sites = Callgraph.callsite_at t.cg sid in
+  let app_callees = List.concat_map (fun cs -> cs.Callgraph.cs_callees) sites in
+  let gen = ref Fact.Set.empty in
+  let touched = ref false in
+  if app_callees = [] then begin
+    (* Library call, inverted semantic model: a relevant output makes all
+       inputs relevant. *)
+    let is = Api.invoke_is i in
+    let db_arg idx =
+      match List.nth_opt i.Ir.iargs idx with
+      | Some (Ir.Const (Ir.Cstr s)) -> Some s
+      | Some _ | None -> None
+    in
+    if (is ~cls:Api.sqlite_database ~name:"insert" || is ~cls:Api.sqlite_database ~name:"update")
+       && match db_arg 0 with
+          | Some table -> Fact.Set.mem (Fact.Fdb table) set
+          | None -> false
+    then begin
+      (* A relevant table store makes the inserted values relevant. *)
+      touched := true;
+      List.iter (fun v -> List.iter (fun f -> gen := Fact.Set.add f !gen) (value_fact mid v)) i.Ir.iargs
+    end
+    else if is ~cls:Api.sqlite_database ~name:"query" && def_relevant then begin
+      touched := true;
+      match db_arg 0 with
+      | Some table -> gen := Fact.Set.add (Fact.Fdb table) !gen
+      | None -> ()
+    end
+    else if is ~cls:Api.resources ~name:"getString" then begin
+      (* Resource lookup: the result is an APK constant; keep the statement
+         in the slice (the signature builder resolves the constant) but do
+         not propagate into the integer id. *)
+      if def_relevant then touched := true
+    end
+    else if def_relevant || base_relevant then begin
+      touched := true;
+      (match i.Ir.ibase with
+      | Some b -> gen := Fact.Set.add (Fact.local mid b) !gen
+      | None -> ());
+      List.iter
+        (fun v -> List.iter (fun f -> gen := Fact.Set.add f !gen) (value_fact mid v))
+        i.Ir.iargs
+    end
+  end
+  else begin
+    (* Application callees. *)
+    let globals = globals_of set in
+    List.iter
+      (fun callee_id ->
+        (* A relevant call result pulls the callee's returned values into
+           the backward flow; relevant globals travel with it. *)
+        (if def_relevant then
+           match Prog.find_method t.prog callee_id with
+           | None -> ()
+           | Some callee ->
+               touched := true;
+               List.iter
+                 (fun r ->
+                   match callee.Ir.m_body.(r) with
+                   | Ir.Return (Some (Ir.Local rv)) ->
+                       merge_at t callee_id r
+                         (Fact.Set.add (Fact.local callee_id rv) globals)
+                   | Ir.Return _ -> merge_at t callee_id r globals
+                   | _ -> ())
+                 (Extr_cfg.Cfg.return_indices callee));
+        if (not def_relevant) && not (Fact.Set.is_empty globals) then
+          inject_at_returns t callee_id (Fact.Set.elements globals);
+        (* Parameters already known relevant in the callee make the
+           corresponding caller arguments relevant. *)
+        (match Prog.find_method t.prog callee_id with
+        | None -> ()
+        | Some callee ->
+            List.iteri
+              (fun k (p : Ir.var) ->
+                if List.mem (callee_id, p.Ir.vname) t.param_relevant then begin
+                  touched := true;
+                  match List.nth_opt i.Ir.iargs k with
+                  | Some v ->
+                      List.iter (fun f -> gen := Fact.Set.add f !gen) (value_fact mid v)
+                  | None -> ()
+                end)
+              callee.Ir.m_params;
+            if List.mem (callee_id, "this") t.param_relevant then begin
+              touched := true;
+              match i.Ir.ibase with
+              | Some b -> gen := Fact.Set.add (Fact.local mid b) !gen
+              | None -> ()
+            end);
+        (* Globals alive at the callee entry flow back to before the call. *)
+        match Ir.Method_map.find_opt callee_id t.entry_globals with
+        | Some g -> gen := Fact.Set.union g !gen
+        | None -> ())
+      app_callees
+  end;
+  (!gen, !touched)
+
+(* ------------------------------------------------------------------ *)
+(* Statement transfer (reverse)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
+  let body = body_of t mid in
+  let stmt = body.(idx) in
+  let sid = { Ir.sid_meth = mid; sid_idx = idx } in
+  let touch () = t.touched <- Ir.Stmt_set.add sid t.touched in
+  match stmt with
+  | Ir.Assign (lhs, rhs) -> (
+      match lhs with
+      | Ir.Lvar v ->
+          let def_relevant = Fact.local_or_path_tainted set mid v in
+          let set', gen_from_call =
+            match rhs with
+            | Ir.Invoke i ->
+                let gen, call_touched =
+                  handle_invoke t mid set sid i ~def_relevant
+                in
+                if call_touched then touch ();
+                (* Kill the definition after using it. *)
+                let killed =
+                  if def_relevant then Fact.kill_local set mid v else set
+                in
+                (killed, gen)
+            | e ->
+                if def_relevant then begin
+                  touch ();
+                  (Fact.kill_local set mid v, Fact.Set.of_list (expr_gen mid e))
+                end
+                else (set, Fact.Set.empty)
+          in
+          Fact.Set.union set' gen_from_call
+      | Ir.Lfield (x, f) ->
+          let path = Fact.local_path mid x f.Ir.fname in
+          let global = Fact.Ffield (f.Ir.fcls, f.Ir.fname) in
+          if
+            Fact.Set.mem path set || Fact.Set.mem global set
+            || Fact.local_tainted set mid x
+          then begin
+            touch ();
+            let set = Fact.Set.remove path set in
+            let gen =
+              match rhs with
+              | Ir.Invoke _ -> Fact.Set.empty (* not generated by builder *)
+              | e -> Fact.Set.of_list (expr_gen mid e)
+            in
+            Fact.Set.union set gen
+          end
+          else set
+      | Ir.Lsfield f ->
+          let global = Fact.Fstatic (f.Ir.fcls, f.Ir.fname) in
+          if Fact.Set.mem global set then begin
+            touch ();
+            let gen =
+              match rhs with
+              | Ir.Invoke _ -> Fact.Set.empty
+              | e -> Fact.Set.of_list (expr_gen mid e)
+            in
+            Fact.Set.union (Fact.Set.remove global set) gen
+          end
+          else set
+      | Ir.Lelem (a, _) ->
+          if Fact.local_tainted set mid a then begin
+            touch ();
+            let gen =
+              match rhs with
+              | Ir.Invoke _ -> Fact.Set.empty
+              | e -> Fact.Set.of_list (expr_gen mid e)
+            in
+            Fact.Set.union set gen
+          end
+          else set)
+  | Ir.InvokeStmt i ->
+      let gen, call_touched = handle_invoke t mid set sid i ~def_relevant:false in
+      if call_touched then touch ();
+      Fact.Set.union set gen
+  | Ir.Return _ | Ir.If _ | Ir.Goto _ | Ir.Lab _ | Ir.Nop -> set
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let record_entry t mid (out : Fact.Set.t) =
+  (* Reverse flow reached the method entry: record relevant parameters and
+     globals, notify callers. *)
+  match Prog.find_method t.prog mid with
+  | None -> ()
+  | Some m ->
+      let changed = ref false in
+      let params =
+        (if m.Ir.m_static then [] else [ "this" ])
+        @ List.map (fun (p : Ir.var) -> p.Ir.vname) m.Ir.m_params
+      in
+      List.iter
+        (fun p ->
+          if
+            Fact.Set.exists
+              (function
+                | Fact.Flocal (m', v, _) -> Ir.Method_id.equal m' mid && v = p
+                | Fact.Ffield _ | Fact.Fstatic _ | Fact.Fdb _ -> false)
+              out
+            && not (List.mem (mid, p) t.param_relevant)
+          then begin
+            t.param_relevant <- (mid, p) :: t.param_relevant;
+            changed := true
+          end)
+        params;
+      let globals = globals_of out in
+      let prev =
+        Option.value (Ir.Method_map.find_opt mid t.entry_globals) ~default:Fact.Set.empty
+      in
+      let merged = Fact.Set.union prev globals in
+      if not (Fact.Set.equal merged prev) then begin
+        t.entry_globals <- Ir.Method_map.add mid merged t.entry_globals;
+        changed := true
+      end;
+      if !changed then
+        List.iter
+          (fun sid -> Queue.add (sid.Ir.sid_meth, sid.Ir.sid_idx) t.worklist)
+          (Callgraph.callers t.cg mid)
+
+let run t =
+  let steps = ref 0 in
+  let budget = 2_000_000 in
+  while not (Queue.is_empty t.worklist) && !steps < budget do
+    incr steps;
+    let mid, idx = Queue.pop t.worklist in
+    let body = body_of t mid in
+    if idx < Array.length body then begin
+      let arr = after_array t mid in
+      let out = transfer t mid idx arr.(idx) in
+      match Ir.Method_map.find_opt mid t.preds with
+      | None -> ()
+      | Some pred_arr ->
+          if pred_arr.(idx) = [] || idx = 0 then record_entry t mid out;
+          List.iter (fun p -> merge_at t mid p out) pred_arr.(idx)
+    end
+  done
+
+let touched_stmts t = t.touched
+
+(** Union of all facts seen anywhere — used by the asynchronous-event
+    heuristic to discover the heap objects that carry request parts.
+    Includes the global facts that reached method entries (they have no
+    predecessor statement to live at). *)
+let all_facts t =
+  let in_flows =
+    Ir.Method_map.fold
+      (fun _ arr acc -> Array.fold_left Fact.Set.union acc arr)
+      t.after Fact.Set.empty
+  in
+  Ir.Method_map.fold
+    (fun _ globals acc -> Fact.Set.union acc globals)
+    t.entry_globals in_flows
+
+let facts_at t (sid : Ir.stmt_id) =
+  match Ir.Method_map.find_opt sid.Ir.sid_meth t.after with
+  | Some arr when sid.Ir.sid_idx < Array.length arr -> arr.(sid.Ir.sid_idx)
+  | Some _ | None -> Fact.Set.empty

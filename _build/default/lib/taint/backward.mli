@@ -1,0 +1,33 @@
+(** Backward taint propagation (§3.1): control-flow edges are flipped and
+    the tainting rules inverted — a tainted left-hand side taints the
+    right-hand side, and the taint information of callee arguments
+    propagates to caller arguments.  Starting from the request object at a
+    demarcation point, this computes the backward (request) slice. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Callgraph = Extr_cfg.Callgraph
+
+type t
+
+val create : Prog.t -> Callgraph.t -> t
+
+val inject_at : t -> Ir.stmt_id -> Fact.t list -> unit
+(** Mark facts as relevant at (just after) a statement — the demarcation
+    point's request argument, or a heap-setter site added by the
+    asynchronous-event heuristic. *)
+
+val inject_at_returns : t -> Ir.method_id -> Fact.t list -> unit
+(** Inject at every return statement (the reverse-flow entries). *)
+
+val run : t -> unit
+(** Propagate to a fixed point (bounded by an internal step budget). *)
+
+val touched_stmts : t -> Ir.Stmt_set.t
+(** Statements contributing to the relevant values — the slice. *)
+
+val all_facts : t -> Fact.Set.t
+(** Union of every fact seen anywhere, including globals that reached
+    method entries — the heap carriers the §3.4 heuristic restarts from. *)
+
+val facts_at : t -> Ir.stmt_id -> Fact.Set.t

@@ -1,0 +1,69 @@
+(* Taint facts: the data-flow abstraction tracked by both propagation
+   directions.  Locals are method-scoped access paths of depth ≤ 1 (field
+   sensitivity as in FlowDroid's access paths); instance fields additionally
+   get a field-based global abstraction so heap flows across asynchronous
+   boundaries are representable; SQLite tables are pseudo-stores so
+   database-mediated dependencies (TED case study) can be tracked. *)
+
+module Ir = Extr_ir.Types
+
+type t =
+  | Flocal of Ir.method_id * string * string list
+      (** local access path: method, variable name, field chain (≤1) *)
+  | Ffield of string * string  (** any-receiver instance field: class, field *)
+  | Fstatic of string * string  (** static field *)
+  | Fdb of string  (** SQLite table pseudo-store *)
+
+let compare = Stdlib.compare
+
+let pp fmt = function
+  | Flocal (m, v, []) -> Format.fprintf fmt "%a:%s" Ir.Method_id.pp m v
+  | Flocal (m, v, fs) ->
+      Format.fprintf fmt "%a:%s.%s" Ir.Method_id.pp m v (String.concat "." fs)
+  | Ffield (c, f) -> Format.fprintf fmt "<%s:%s>" c f
+  | Fstatic (c, f) -> Format.fprintf fmt "<static %s:%s>" c f
+  | Fdb t -> Format.fprintf fmt "<db:%s>" t
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let local mid v = Flocal (mid, v.Ir.vname, [])
+let local_path mid v fname = Flocal (mid, v.Ir.vname, [ fname ])
+
+(** Is the plain local [v] (whole object) tainted in [s]? *)
+let local_tainted s mid (v : Ir.var) = Set.mem (local mid v) s
+
+(** Is any access path rooted at local [v] tainted (the object itself or
+    one of its fields)? *)
+let local_or_path_tainted s mid (v : Ir.var) =
+  Set.exists
+    (function
+      | Flocal (m, name, _) -> Ir.Method_id.equal m mid && name = v.Ir.vname
+      | Ffield _ | Fstatic _ | Fdb _ -> false)
+    s
+
+(** Is the value tainted (constants never are)? *)
+let value_tainted s mid = function
+  | Ir.Const _ -> false
+  | Ir.Local v -> local_tainted s mid v
+
+(** All facts rooted at local [v], for kill sets. *)
+let kill_local s mid (v : Ir.var) =
+  Set.filter
+    (function
+      | Flocal (m, name, _) -> not (Ir.Method_id.equal m mid && name = v.Ir.vname)
+      | Ffield _ | Fstatic _ | Fdb _ -> true)
+    s
+
+(** Instance-field facts present in a set (used by the async heuristic to
+    find heap objects that carry request parts). *)
+let field_facts s =
+  Set.fold
+    (fun f acc ->
+      match f with
+      | Ffield (c, n) -> (c, n) :: acc
+      | Fstatic _ | Flocal _ | Fdb _ -> acc)
+    s []

@@ -1,0 +1,331 @@
+(* Forward taint propagation (§3.1): open-ended, flow-sensitive, and
+   inter-procedural.  Starting facts are injected at demarcation points
+   (response objects) and the engine tracks every statement that touches a
+   tainted object — the forward (response) slice.  Handled by FlowDroid's
+   default tainting rules in the paper; reimplemented here over Limple. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Callgraph = Extr_cfg.Callgraph
+module Api = Extr_semantics.Api
+module Taint_model = Extr_semantics.Taint_model
+
+type t = {
+  prog : Prog.t;
+  cg : Callgraph.t;
+  mutable before : Fact.Set.t array Ir.Method_map.t;
+      (** facts holding before each statement *)
+  mutable ret_tainted : Ir.Method_set.t;  (** methods returning tainted data *)
+  mutable exit_globals : Fact.Set.t Ir.Method_map.t;
+      (** global (field/static/db) facts holding at method exits *)
+  mutable touched : Ir.Stmt_set.t;  (** statements touching tainted data *)
+  worklist : (Ir.method_id * int) Queue.t;
+  succs : int list array Ir.Method_map.t;
+}
+
+let create prog cg =
+  let succs =
+    List.fold_left
+      (fun acc (m : Ir.meth) ->
+        Ir.Method_map.add (Ir.method_id_of_meth m) (Extr_cfg.Cfg.stmt_successors m) acc)
+      Ir.Method_map.empty (Prog.app_methods prog)
+  in
+  {
+    prog;
+    cg;
+    before = Ir.Method_map.empty;
+    ret_tainted = Ir.Method_set.empty;
+    exit_globals = Ir.Method_map.empty;
+    touched = Ir.Stmt_set.empty;
+    worklist = Queue.create ();
+    succs;
+  }
+
+let body_of t mid =
+  match Prog.find_method t.prog mid with
+  | Some m -> m.Ir.m_body
+  | None -> [||]
+
+let before_array t mid =
+  match Ir.Method_map.find_opt mid t.before with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.make (max 1 (Array.length (body_of t mid))) Fact.Set.empty in
+      t.before <- Ir.Method_map.add mid arr t.before;
+      arr
+
+(** Merge facts into the before-set of (mid, idx); enqueue on growth. *)
+let merge_at t mid idx facts =
+  let body = body_of t mid in
+  if idx < Array.length body && not (Fact.Set.is_empty facts) then begin
+    let arr = before_array t mid in
+    let merged = Fact.Set.union arr.(idx) facts in
+    if not (Fact.Set.equal merged arr.(idx)) then begin
+      arr.(idx) <- merged;
+      Queue.add (mid, idx) t.worklist
+    end
+  end
+
+let inject_at_entry t mid facts = merge_at t mid 0 (Fact.Set.of_list facts)
+
+let inject_after t (sid : Ir.stmt_id) facts =
+  match Ir.Method_map.find_opt sid.Ir.sid_meth t.succs with
+  | None -> ()
+  | Some succ_arr ->
+      if sid.Ir.sid_idx < Array.length succ_arr then
+        List.iter
+          (fun s -> merge_at t sid.Ir.sid_meth s (Fact.Set.of_list facts))
+          succ_arr.(sid.Ir.sid_idx)
+
+let globals_of set =
+  Fact.Set.filter
+    (function Fact.Ffield _ | Fact.Fstatic _ | Fact.Fdb _ -> true | Fact.Flocal _ -> false)
+    set
+
+(* ------------------------------------------------------------------ *)
+(* Expression taint                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let expr_tainted t mid set (e : Ir.expr) =
+  ignore t;
+  match e with
+  | Ir.Val v -> Fact.value_tainted set mid v
+  | Ir.Binop (_, a, b) ->
+      Fact.value_tainted set mid a || Fact.value_tainted set mid b
+  | Ir.New _ | Ir.NewArr _ -> false
+  | Ir.IField (x, f) ->
+      Fact.local_tainted set mid x
+      || Fact.Set.mem (Fact.local_path mid x f.Ir.fname) set
+      || Fact.Set.mem (Fact.Ffield (f.Ir.fcls, f.Ir.fname)) set
+  | Ir.SField f -> Fact.Set.mem (Fact.Fstatic (f.Ir.fcls, f.Ir.fname)) set
+  | Ir.AElem (a, _) -> Fact.local_tainted set mid a
+  | Ir.ALen a -> Fact.local_tainted set mid a
+  | Ir.Cast (_, v) -> Fact.value_tainted set mid v
+  | Ir.Invoke _ -> false (* calls handled separately *)
+
+(* ------------------------------------------------------------------ *)
+(* Invoke handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Handle an invoke: returns whether the call's return value is tainted,
+    plus extra facts generated at the call site (receiver/db effects). *)
+let handle_invoke t mid set (sid : Ir.stmt_id) (i : Ir.invoke) =
+  let base_tainted =
+    match i.Ir.ibase with Some b -> Fact.local_or_path_tainted set mid b | None -> false
+  in
+  let args_tainted = List.map (Fact.value_tainted set mid) i.Ir.iargs in
+  let any_input = base_tainted || List.exists Fun.id args_tainted in
+  let sites = Callgraph.callsite_at t.cg sid in
+  let app_callees = List.concat_map (fun cs -> cs.Callgraph.cs_callees) sites in
+  if app_callees = [] then begin
+    (* Library call: semantic taint model. *)
+    let effect = Taint_model.transfer i ~base_tainted ~args_tainted in
+    let gen = ref Fact.Set.empty in
+    (match (effect.Taint_model.taint_base, i.Ir.ibase) with
+    | true, Some b -> gen := Fact.Set.add (Fact.local mid b) !gen
+    | _, _ -> ());
+    (match effect.Taint_model.db_write with
+    | Some table -> gen := Fact.Set.add (Fact.Fdb table) !gen
+    | None -> ());
+    let ret_tainted =
+      effect.Taint_model.taint_ret
+      ||
+      match effect.Taint_model.db_read with
+      | Some table -> Fact.Set.mem (Fact.Fdb table) set
+      | None -> false
+    in
+    (ret_tainted, !gen, any_input)
+  end
+  else begin
+    (* Application callees: map arguments to parameters, propagate global
+       facts into the callee, read back the return summary. *)
+    let globals = globals_of set in
+    let implicit_names = List.map (fun c -> c.Ir.id_name) app_callees in
+    List.iter
+      (fun callee_id ->
+        match Prog.find_method t.prog callee_id with
+        | None -> ()
+        | Some callee ->
+            let entry = ref [] in
+            (* this-binding for virtual calls *)
+            (if not callee.Ir.m_static then
+               match i.Ir.ibase with
+               | Some b when Fact.local_or_path_tainted set mid b ->
+                   entry := Fact.Flocal (callee_id, "this", []) :: !entry
+               | Some _ | None -> ());
+            (* Argument → parameter mapping.  For AsyncTask's implicit
+               doInBackground edge the execute() arguments are the
+               callback's parameters; for framework-driven callbacks
+               (onClick, run, onPostExecute) parameters come from the
+               framework, not the call site. *)
+            let maps_args =
+              match callee_id.Ir.id_name with
+              | "onPostExecute" | "onClick" | "run" | "onLocationChanged"
+              | "onMessage" | "onResponse" ->
+                  false
+              | _ -> true
+            in
+            if maps_args then
+              List.iteri
+                (fun k tainted ->
+                  if tainted then
+                    match List.nth_opt callee.Ir.m_params k with
+                    | Some p -> entry := Fact.local callee_id p :: !entry
+                    | None -> ())
+                args_tainted;
+            (* AsyncTask chaining: onPostExecute(result) receives
+               doInBackground's return value. *)
+            (if callee_id.Ir.id_name = "onPostExecute"
+               && List.mem "doInBackground" implicit_names
+            then
+               let dib = { callee_id with Ir.id_name = "doInBackground" } in
+               if Ir.Method_set.mem dib t.ret_tainted then
+                 match callee.Ir.m_params with
+                 | p :: _ -> entry := Fact.local callee_id p :: !entry
+                 | [] -> ());
+            inject_at_entry t callee_id !entry;
+            (* Globals always flow into callees. *)
+            merge_at t callee_id 0 globals)
+      app_callees;
+    (* Return taint and global facts flowing back from callees. *)
+    let ret_tainted =
+      List.exists (fun c -> Ir.Method_set.mem c t.ret_tainted) app_callees
+    in
+    let back_globals =
+      List.fold_left
+        (fun acc c ->
+          match Ir.Method_map.find_opt c t.exit_globals with
+          | Some g -> Fact.Set.union acc g
+          | None -> acc)
+        Fact.Set.empty app_callees
+    in
+    (ret_tainted, back_globals, any_input)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statement transfer                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
+  let body = body_of t mid in
+  let stmt = body.(idx) in
+  let sid = { Ir.sid_meth = mid; sid_idx = idx } in
+  let touch () = t.touched <- Ir.Stmt_set.add sid t.touched in
+  match stmt with
+  | Ir.Assign (lhs, rhs) ->
+      let rhs_tainted, extra =
+        match rhs with
+        | Ir.Invoke i ->
+            let ret, gen, any_input = handle_invoke t mid set sid i in
+            if any_input || ret then touch ();
+            (ret, gen)
+        | e ->
+            let tainted = expr_tainted t mid set e in
+            (tainted, Fact.Set.empty)
+      in
+      let set = Fact.Set.union set extra in
+      let set' =
+        match lhs with
+        | Ir.Lvar v ->
+            if rhs_tainted then begin
+              touch ();
+              Fact.Set.add (Fact.local mid v) (Fact.kill_local set mid v)
+            end
+            else Fact.kill_local set mid v
+        | Ir.Lfield (x, f) ->
+            if rhs_tainted then begin
+              touch ();
+              set
+              |> Fact.Set.add (Fact.local_path mid x f.Ir.fname)
+              |> Fact.Set.add (Fact.Ffield (f.Ir.fcls, f.Ir.fname))
+            end
+            else set
+        | Ir.Lsfield f ->
+            if rhs_tainted then begin
+              touch ();
+              Fact.Set.add (Fact.Fstatic (f.Ir.fcls, f.Ir.fname)) set
+            end
+            else set
+        | Ir.Lelem (a, _) ->
+            if rhs_tainted then begin
+              touch ();
+              Fact.Set.add (Fact.local mid a) set
+            end
+            else set
+      in
+      (* Reading a tainted value puts the statement in the slice even when
+         nothing new is generated. *)
+      if (not rhs_tainted) && List.exists (fun v -> Fact.local_or_path_tainted set mid v) (Ir.stmt_uses stmt)
+      then touch ();
+      set'
+  | Ir.InvokeStmt i ->
+      let _ret, gen, any_input = handle_invoke t mid set sid i in
+      if any_input || not (Fact.Set.is_empty gen) then touch ();
+      Fact.Set.union set gen
+  | Ir.Return v ->
+      (match v with
+      | Some value when Fact.value_tainted set mid value ->
+          touch ();
+          if not (Ir.Method_set.mem mid t.ret_tainted) then begin
+            t.ret_tainted <- Ir.Method_set.add mid t.ret_tainted;
+            (* Re-examine all call sites of this method. *)
+            List.iter
+              (fun sid -> Queue.add (sid.Ir.sid_meth, sid.Ir.sid_idx) t.worklist)
+              (Callgraph.callers t.cg mid)
+          end
+      | Some _ | None -> ());
+      (* Record exiting globals. *)
+      let globals = globals_of set in
+      let prev =
+        Option.value
+          (Ir.Method_map.find_opt mid t.exit_globals)
+          ~default:Fact.Set.empty
+      in
+      let merged = Fact.Set.union prev globals in
+      if not (Fact.Set.equal merged prev) then begin
+        t.exit_globals <- Ir.Method_map.add mid merged t.exit_globals;
+        List.iter
+          (fun sid -> Queue.add (sid.Ir.sid_meth, sid.Ir.sid_idx) t.worklist)
+          (Callgraph.callers t.cg mid)
+      end;
+      set
+  | Ir.If (v, _) ->
+      if Fact.value_tainted set mid v then touch ();
+      set
+  | Ir.Goto _ | Ir.Lab _ | Ir.Nop -> set
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run t =
+  let steps = ref 0 in
+  let budget = 2_000_000 in
+  while not (Queue.is_empty t.worklist) && !steps < budget do
+    incr steps;
+    let mid, idx = Queue.pop t.worklist in
+    let body = body_of t mid in
+    if idx < Array.length body then begin
+      let arr = before_array t mid in
+      let out = transfer t mid idx arr.(idx) in
+      match Ir.Method_map.find_opt mid t.succs with
+      | None -> ()
+      | Some succ_arr ->
+          List.iter (fun s -> merge_at t mid s out) succ_arr.(idx)
+    end
+  done
+
+let tainted_stmts t = t.touched
+
+(** Facts holding before a given statement (empty if never reached). *)
+let facts_before t (sid : Ir.stmt_id) =
+  match Ir.Method_map.find_opt sid.Ir.sid_meth t.before with
+  | Some arr when sid.Ir.sid_idx < Array.length arr -> arr.(sid.Ir.sid_idx)
+  | Some _ | None -> Fact.Set.empty
+
+(** Facts holding after a given statement: the transfer applied once more. *)
+let facts_after t (sid : Ir.stmt_id) =
+  let body = body_of t sid.Ir.sid_meth in
+  if sid.Ir.sid_idx < Array.length body then
+    transfer t sid.Ir.sid_meth sid.Ir.sid_idx (facts_before t sid)
+  else Fact.Set.empty

@@ -1,0 +1,28 @@
+(** Forward taint propagation (§3.1): open-ended, flow-sensitive and
+    inter-procedural.  Starting facts are injected at demarcation points
+    (response objects) and the engine tracks every statement that touches
+    a tainted object — the forward (response) slice. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Callgraph = Extr_cfg.Callgraph
+
+type t
+
+val create : Prog.t -> Callgraph.t -> t
+
+val inject_at_entry : t -> Ir.method_id -> Fact.t list -> unit
+(** Seed facts at a method's entry (callback-parameter response roots). *)
+
+val inject_after : t -> Ir.stmt_id -> Fact.t list -> unit
+(** Seed facts immediately after a statement (the demarcation point's
+    response definition). *)
+
+val run : t -> unit
+(** Propagate to a fixed point (bounded by an internal step budget). *)
+
+val tainted_stmts : t -> Ir.Stmt_set.t
+(** Statements that used or generated tainted data — the slice. *)
+
+val facts_before : t -> Ir.stmt_id -> Fact.Set.t
+val facts_after : t -> Ir.stmt_id -> Fact.Set.t

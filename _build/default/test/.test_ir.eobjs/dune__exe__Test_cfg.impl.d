@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Extr_cfg Extr_ir Extr_semantics Fun Hashtbl List

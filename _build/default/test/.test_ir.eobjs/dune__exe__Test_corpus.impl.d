@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Extr_apk Extr_corpus Extr_extractocol Extr_httpmodel Extr_ir Lazy List Option Printf String

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Extr_apk Extr_corpus Extr_eval Extr_extractocol Extr_fuzz Extr_httpmodel Extr_ir Extr_runtime Extr_semantics Extr_siglang Fmt Lazy List Option String

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Extr_corpus Extr_eval Extr_extractocol Extr_httpmodel Extr_siglang Fmt Lazy List Option String

@@ -1,0 +1,1 @@
+test/test_extractocol.ml: Alcotest Extr_apk Extr_extractocol Extr_httpmodel Extr_ir Extr_semantics Extr_siglang List String

@@ -1,0 +1,1 @@
+test/test_httpmodel.ml: Alcotest Extr_httpmodel List Printf QCheck QCheck_alcotest

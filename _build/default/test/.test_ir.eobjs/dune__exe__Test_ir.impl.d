@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Extr_apk Extr_ir Extr_semantics Hashtbl List Option String

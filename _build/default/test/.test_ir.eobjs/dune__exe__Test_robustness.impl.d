@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Extr_apk Extr_extractocol Extr_httpmodel Extr_ir Extr_runtime Extr_semantics Extr_siglang List Printf String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Extr_apk Extr_corpus Extr_fuzz Extr_httpmodel Extr_ir Extr_runtime Extr_semantics Extr_server Lazy List Option

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array Extr_apk Extr_corpus Extr_ir Extr_semantics Hashtbl Lazy List Option Printf

@@ -1,0 +1,1 @@
+test/test_siglang.ml: Alcotest Char Extr_httpmodel Extr_siglang List QCheck QCheck_alcotest String Unix

@@ -1,0 +1,1 @@
+test/test_slicing.ml: Alcotest Extr_cfg Extr_corpus Extr_extractocol Extr_ir Extr_semantics Extr_slicing Lazy List Option

@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest Array Extr_cfg Extr_ir Extr_semantics Extr_taint List

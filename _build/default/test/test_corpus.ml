@@ -1,0 +1,239 @@
+(* Corpus tests: the Table-1 visibility allocation is exact, every
+   generated APK is structurally valid, ground-truth helpers behave, and
+   the case-study specs carry the structures the paper's tables need. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Http = Extr_httpmodel.Http
+module Apk = Extr_apk.Apk
+module Spec = Extr_corpus.Spec
+module Synth = Extr_corpus.Synth
+module Codegen = Extr_corpus.Codegen
+module Corpus = Extr_corpus.Corpus
+module Case_studies = Extr_corpus.Case_studies
+module Pipeline = Extr_extractocol.Pipeline
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_counts (a : Synth.alloc) =
+  let static = a.Synth.al_all + a.Synth.al_sm + a.Synth.al_sa + a.Synth.al_s in
+  let manual = a.Synth.al_all + a.Synth.al_sm + a.Synth.al_ma + a.Synth.al_m in
+  let auto = a.Synth.al_all + a.Synth.al_sa + a.Synth.al_ma + a.Synth.al_a in
+  (static, manual, auto)
+
+let test_allocation_exact () =
+  (* Every (E, M, A) triple in Table 1 must be reproduced exactly by the
+     visibility allocation. *)
+  List.iter
+    (fun (r : Synth.row) ->
+      List.iter
+        (fun triple ->
+          let got = alloc_counts (Synth.allocate triple) in
+          check
+            Alcotest.(triple int int int)
+            (Printf.sprintf "%s %s" r.Synth.t_name "triple")
+            triple got)
+        [ r.Synth.t_get; r.Synth.t_post; r.Synth.t_put; r.Synth.t_delete ])
+    (Synth.open_source_rows @ Synth.closed_source_rows)
+
+let test_allocation_nonnegative () =
+  List.iter
+    (fun triple ->
+      let a = Synth.allocate triple in
+      List.iter
+        (fun n -> check Alcotest.bool "non-negative" true (n >= 0))
+        [
+          a.Synth.al_all; a.Synth.al_sm; a.Synth.al_sa; a.Synth.al_s;
+          a.Synth.al_ma; a.Synth.al_m; a.Synth.al_a;
+        ])
+    [ (5, 3, 1); (0, 4, 0); (7, 0, 0); (3, 10, 0); (12, 13, 15) ]
+
+(* ------------------------------------------------------------------ *)
+(* Spec-level ground truth per app                                     *)
+(* ------------------------------------------------------------------ *)
+
+let spec_counts app ~policy meth =
+  Spec.dynamically_visible app ~policy
+  |> List.filter (fun e -> e.Spec.e_meth = meth)
+  |> List.length
+
+let static_counts app meth =
+  Spec.statically_visible app
+  |> List.filter (fun e -> e.Spec.e_meth = meth)
+  |> List.length
+
+let test_synth_apps_match_rows () =
+  List.iter
+    (fun (r : Synth.row) ->
+      let app = Synth.synthesize_app r in
+      let eq meth (e, m, a) =
+        check Alcotest.int
+          (r.Synth.t_name ^ " static " ^ Http.meth_to_string meth)
+          e (static_counts app meth);
+        check Alcotest.int
+          (r.Synth.t_name ^ " manual " ^ Http.meth_to_string meth)
+          m
+          (spec_counts app ~policy:`Manual meth);
+        check Alcotest.int
+          (r.Synth.t_name ^ " auto " ^ Http.meth_to_string meth)
+          a
+          (spec_counts app ~policy:`Auto meth)
+      in
+      eq Http.GET r.Synth.t_get;
+      eq Http.POST r.Synth.t_post;
+      eq Http.PUT r.Synth.t_put;
+      eq Http.DELETE r.Synth.t_delete)
+    (Synth.open_source_rows @ Synth.closed_source_rows)
+
+let test_unique_endpoint_ids () =
+  List.iter
+    (fun (entry : Corpus.entry) ->
+      let ids = List.map (fun e -> e.Spec.e_id) entry.Corpus.c_app.Spec.a_endpoints in
+      check Alcotest.int
+        (entry.Corpus.c_app.Spec.a_name ^ " unique ids")
+        (List.length ids)
+        (List.length (List.sort_uniq compare ids)))
+    (Corpus.table1 () @ Corpus.case_studies ())
+
+let test_sresp_references_resolve () =
+  (* Every Sresp dependency must point at an endpoint that stores the
+     referenced path to the heap (otherwise codegen would read a field
+     nobody writes). *)
+  let heap_paths app =
+    List.concat_map
+      (fun e ->
+        let rec walk path fields =
+          List.concat_map
+            (fun f ->
+              match f with
+              | Spec.Rleaf { key; use = Some Spec.Uheap; _ } ->
+                  [ (e.Spec.e_id, path @ [ key ]) ]
+              | Spec.Rleaf _ -> []
+              | Spec.Robj { key; fields; _ } -> walk (path @ [ key ]) fields
+              | Spec.Rarr { key; elem; _ } -> walk (path @ [ key; "[]" ]) elem)
+            fields
+        in
+        match e.Spec.e_resp with
+        | Spec.Rjson fields | Spec.Rxml (_, fields) -> walk [] fields
+        | Spec.Rnone | Spec.Rtext | Spec.Rmedia -> [])
+      app.Spec.a_endpoints
+  in
+  List.iter
+    (fun (entry : Corpus.entry) ->
+      let app = entry.Corpus.c_app in
+      let stored = heap_paths app in
+      let check_src where = function
+        | Spec.Sresp (ep, path) ->
+            check Alcotest.bool
+              (Printf.sprintf "%s: %s references stored %s.%s" app.Spec.a_name
+                 where ep (String.concat "." path))
+              true
+              (List.mem (ep, path) stored)
+        | _ -> ()
+      in
+      List.iter
+        (fun e ->
+          List.iter (fun (k, v) -> check_src ("query " ^ k) v) e.Spec.e_query;
+          List.iter (fun (k, v) -> check_src ("header " ^ k) v) e.Spec.e_headers;
+          (match e.Spec.e_body with
+          | Spec.Bnone -> ()
+          | Spec.Bquery kvs | Spec.Bjson kvs | Spec.Bgson kvs ->
+              List.iter (fun (k, v) -> check_src ("body " ^ k) v) kvs);
+          List.iter
+            (function Spec.Var v -> check_src "path" v | _ -> ())
+            e.Spec.e_path)
+        app.Spec.a_endpoints)
+    (Corpus.table1 () @ Corpus.case_studies ())
+
+(* ------------------------------------------------------------------ *)
+(* Codegen                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_apks_validate () =
+  List.iter
+    (fun (entry : Corpus.entry) ->
+      let apk = Lazy.force entry.Corpus.c_apk in
+      let prog =
+        Prog.of_program (Pipeline.with_library_classes apk.Apk.program)
+      in
+      let errors = Prog.validate prog in
+      check Alcotest.int
+        (entry.Corpus.c_app.Spec.a_name ^ " validates")
+        0 (List.length errors))
+    (Corpus.table1 () @ Corpus.case_studies ())
+
+let test_corpus_size () =
+  (* 14 open-source + 20 closed-source apps in the Table-1 set. *)
+  let entries = Corpus.table1 () in
+  check Alcotest.int "34 apps" 34 (List.length entries);
+  check Alcotest.int "14 open" 14 (List.length (Corpus.open_source entries));
+  check Alcotest.int "20 closed" 20 (List.length (Corpus.closed_source entries))
+
+let test_trigger_visibility_rules () =
+  let app = Case_studies.radio_reddit in
+  let login = Option.get (Spec.find_endpoint app "login") in
+  check Alcotest.bool "custom invisible to auto" false
+    (Spec.trigger_visible app ~policy:`Auto login);
+  check Alcotest.bool "custom visible to manual" true
+    (Spec.trigger_visible app ~policy:`Manual login);
+  let stream = Option.get (Spec.find_endpoint app "stream") in
+  check Alcotest.bool "internal inherits parent" true
+    (Spec.trigger_visible app ~policy:`Auto stream)
+
+let test_keywords_ground_truth () =
+  let app = Case_studies.radio_reddit in
+  let status = Option.get (Spec.find_endpoint app "status") in
+  let read = Spec.response_keywords ~only_read:true status in
+  let all = Spec.response_keywords ~only_read:false status in
+  (* The paper: 16 of 18 keywords are read ("album" and "score" are not). *)
+  check Alcotest.bool "album unread" true
+    ((not (List.mem "album" read)) && List.mem "album" all);
+  check Alcotest.bool "score unread" true
+    ((not (List.mem "score" read)) && List.mem "score" all);
+  check Alcotest.bool "relay read" true (List.mem "relay" read)
+
+let test_corpus_roundtrips_textually () =
+  (* The generated bytecode survives the printer/parser round-trip even at
+     corpus scale (Diode is the largest hand-authored app). *)
+  List.iter
+    (fun name ->
+      let e = Option.get (Corpus.find (Corpus.case_studies ()) name) in
+      let apk = Lazy.force e.Corpus.c_apk in
+      let text = Extr_ir.Pp.program_to_string apk.Apk.program in
+      let p' = Extr_ir.Parser.parse_program text in
+      check Alcotest.string name text (Extr_ir.Pp.program_to_string p'))
+    [ "Diode"; "TED (case study)" ]
+
+let test_case_study_inventory () =
+  check Alcotest.int "five case apps" 5 (List.length (Corpus.case_studies ()));
+  check Alcotest.int "kayak categories" 9 (List.length Case_studies.kayak_categories)
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "allocation",
+        [
+          tc "exact per row" test_allocation_exact;
+          tc "non-negative" test_allocation_nonnegative;
+        ] );
+      ( "specs",
+        [
+          tc "synth apps match rows" test_synth_apps_match_rows;
+          tc "unique endpoint ids" test_unique_endpoint_ids;
+          tc "sresp references resolve" test_sresp_references_resolve;
+          tc "trigger visibility" test_trigger_visibility_rules;
+          tc "keyword ground truth" test_keywords_ground_truth;
+        ] );
+      ( "codegen",
+        [
+          tc "all apks validate" test_all_apks_validate;
+          tc "corpus size" test_corpus_size;
+          tc "case-study inventory" test_case_study_inventory;
+          tc "textual round-trip at scale" test_corpus_roundtrips_textually;
+        ] );
+    ]

@@ -1,0 +1,275 @@
+(* Evaluation-layer tests: signature concretization and replay
+   (§5.3), byte accounting, coverage arithmetic, keyword extraction,
+   validity checking, and the Table-5/6 text helpers. *)
+
+module Http = Extr_httpmodel.Http
+module Uri = Extr_httpmodel.Uri
+module Json = Extr_httpmodel.Json
+module Strsig = Extr_siglang.Strsig
+module Msgsig = Extr_siglang.Msgsig
+module Corpus = Extr_corpus.Corpus
+module Spec = Extr_corpus.Spec
+module Eval = Extr_eval.Eval
+module Tables = Extr_eval.Tables
+module Replay = Extr_eval.Replay
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let kayak_eval : Eval.app_eval Lazy.t =
+  lazy
+    (let entries = Corpus.case_studies () in
+     Eval.evaluate (Option.get (Corpus.find entries "Kayak (case study)")))
+
+let rr_eval : Eval.app_eval Lazy.t =
+  lazy
+    (let entries = Corpus.case_studies () in
+     Eval.evaluate (Option.get (Corpus.find entries "radio reddit")))
+
+(* ------------------------------------------------------------------ *)
+(* Concretization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_concretize_literals () =
+  check Alcotest.string "literal" "abc" (Replay.concretize (Strsig.Lit "abc"));
+  check Alcotest.string "concat"
+    "a7true"
+    (Replay.concretize
+       (Strsig.Concat
+          [
+            Strsig.Lit "a";
+            Strsig.Unknown Strsig.Hnum;
+            Strsig.Unknown Strsig.Hbool;
+          ]))
+
+let test_concretize_alt_rep () =
+  check Alcotest.string "first branch of alternation" "x"
+    (Replay.concretize (Strsig.Alt [ Strsig.Lit "x"; Strsig.Lit "y" ]));
+  check Alcotest.string "rep collapses to zero copies" "ab"
+    (Replay.concretize
+       (Strsig.Concat [ Strsig.Lit "a"; Strsig.Rep (Strsig.Lit "z"); Strsig.Lit "b" ]))
+
+let test_concretize_subst () =
+  (* The value following "sid=" is replaced by key. *)
+  let sg =
+    Strsig.Concat
+      [ Strsig.Lit "https://h/p?sid="; Strsig.Unknown Strsig.Hany ]
+  in
+  check Alcotest.string "query substitution"
+    "https://h/p?sid=S123"
+    (Replay.concretize ~subst:[ ("sid", "S123") ] sg);
+  (* Unrelated keys keep the placeholder. *)
+  check Alcotest.string "no substitution"
+    "https://h/p?sid=x"
+    (Replay.concretize ~subst:[ ("other", "S123") ] sg)
+
+let test_request_of_sig () =
+  let rs =
+    {
+      Msgsig.rs_meth = Http.POST;
+      rs_uri = Strsig.Lit "https://h/api";
+      rs_headers = [ ("User-Agent", Strsig.Lit "ua/1.0") ];
+      rs_body = Msgsig.Bquery [ ("q", Strsig.Unknown Strsig.Hany) ];
+    }
+  in
+  match Replay.request_of_sig ~subst:[ ("q", "milan") ] rs with
+  | None -> Alcotest.fail "request not built"
+  | Some req ->
+      check Alcotest.string "uri" "https://h/api" (Uri.to_string req.Http.req_uri);
+      check Alcotest.(list (pair string string)) "headers"
+        [ ("User-Agent", "ua/1.0") ]
+        req.Http.req_headers;
+      (match req.Http.req_body with
+      | Http.Query [ ("q", v) ] -> check Alcotest.string "body subst" "milan" v
+      | _ -> Alcotest.fail "body shape")
+
+let test_request_of_sig_bad_uri () =
+  let rs =
+    {
+      Msgsig.rs_meth = Http.GET;
+      rs_uri = Strsig.Lit "not a uri";
+      rs_headers = [];
+      rs_body = Msgsig.Bnone;
+    }
+  in
+  check Alcotest.bool "unparseable URI rejected" true
+    (Replay.request_of_sig rs = None)
+
+(* ------------------------------------------------------------------ *)
+(* Replay on the real Kayak report                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_find_tx () =
+  let ae = Lazy.force kayak_eval in
+  check Alcotest.bool "authajax transaction found" true
+    (Replay.find_tx ae.Eval.ae_report "kauthajax" <> None);
+  check Alcotest.bool "nonexistent fragment" true
+    (Replay.find_tx ae.Eval.ae_report "zzznope" = None)
+
+let test_flight_search_replay () =
+  let ae = Lazy.force kayak_eval in
+  check Alcotest.bool "fares retrieved" true
+    (Replay.flight_search ae.Eval.ae_app ae.Eval.ae_report)
+
+(* ------------------------------------------------------------------ *)
+(* Byte accounting                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_account_arithmetic () =
+  let acc = Eval.add_account Eval.zero_account (10, 20, 70) in
+  let acc = Eval.add_account acc (10, 0, 0) in
+  let k, v, n = Eval.account_percentages acc in
+  check (Alcotest.float 0.01) "k%" 18.18 k;
+  check (Alcotest.float 0.01) "v%" 18.18 v;
+  check (Alcotest.float 0.01) "n%" 63.63 n
+
+let test_accounting_covers_all_bytes () =
+  (* Rk + Rv + Rn must classify 100% of each trace's bytes. *)
+  let ae = Lazy.force rr_eval in
+  let req, resp = Eval.byte_accounting ae ae.Eval.ae_full in
+  List.iter
+    (fun (acc : Eval.byte_account) ->
+      let k, v, n = Eval.account_percentages acc in
+      if acc.Eval.ba_k + acc.Eval.ba_v + acc.Eval.ba_n > 0 then
+        check (Alcotest.float 0.01) "percentages sum to 100" 100. (k +. v +. n))
+    [ req; resp ]
+
+(* ------------------------------------------------------------------ *)
+(* Coverage arithmetic                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_coverage_radio_reddit () =
+  let ae = Lazy.force rr_eval in
+  let c = Eval.coverage ae in
+  let g, p, u, d = c.Eval.cr_static in
+  (* Table 1 row: radio reddit 3 GET + 3 POST. *)
+  check Alcotest.(list int) "static row" [ 3; 3; 0; 0 ] [ g; p; u; d ];
+  check Alcotest.bool "manual ≤ static per method" true
+    (let mg, mp, _, _ = c.Eval.cr_manual in
+     mg <= g && mp <= p)
+
+let test_validity_full_trace () =
+  (* Every supported request in the exhaustive trace matches a signature
+     (the §5.1 validity experiment). *)
+  let ae = Lazy.force rr_eval in
+  let matched, total = Eval.signature_validity ae ae.Eval.ae_full in
+  check Alcotest.bool "trace non-empty" true (total > 0);
+  check Alcotest.int "all supported requests match" total matched
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_json_roundtrip () =
+  let ae = Lazy.force rr_eval in
+  let js = Extr_extractocol.Report.to_json ae.Eval.ae_report in
+  let text = Json.to_string js in
+  (* The export must parse back with our own JSON parser. *)
+  let parsed = Json.of_string text in
+  check Alcotest.bool "app name present" true
+    (Json.member "app" parsed = Some (Json.Str "radio reddit"));
+  (match Json.member "transactions" parsed with
+  | Some (Json.List txs) ->
+      check Alcotest.int "all transactions exported"
+        (List.length ae.Eval.ae_report.Extr_extractocol.Report.rp_transactions)
+        (List.length txs);
+      List.iter
+        (fun tx ->
+          check Alcotest.bool "request member" true
+            (Json.member "request" tx <> None);
+          check Alcotest.bool "response member" true
+            (Json.member "response" tx <> None))
+        txs
+  | _ -> Alcotest.fail "transactions missing");
+  (* Dependencies survive: login feeds save in radio reddit. *)
+  check Alcotest.bool "a dependency is exported" true
+    (Tables.Str_replace.contains text "from_tx")
+
+let test_report_dot_export () =
+  let ae = Lazy.force rr_eval in
+  let report = ae.Eval.ae_report in
+  let dot = Extr_extractocol.Report.to_dot report in
+  let count_sub needle =
+    let n = String.length needle and h = String.length dot in
+    let rec go i acc =
+      if i + n > h then acc
+      else go (i + 1) (acc + if String.sub dot i n = needle then 1 else 0)
+    in
+    go 0 0
+  in
+  let txs = List.length report.Extr_extractocol.Report.rp_transactions in
+  let deps =
+    List.fold_left
+      (fun acc tr ->
+        acc + List.length tr.Extr_extractocol.Report.tr_deps)
+      0 report.Extr_extractocol.Report.rp_transactions
+  in
+  check Alcotest.int "one node per transaction" txs (count_sub "[label=\"#");
+  (* label text also contains arrows; edge lines are "tX -> tY" *)
+  check Alcotest.int "one edge per dependency" deps (count_sub " -> t");
+  check Alcotest.bool "closed graph" true
+    (String.length dot > 2 && String.sub dot (String.length dot - 2) 2 = "}\n")
+
+(* ------------------------------------------------------------------ *)
+(* Table helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_str_replace_contains () =
+  check Alcotest.bool "flattens escapes" true
+    (Tables.Str_replace.contains "https://h\\/k\\/authajax" "khauthajax" = false);
+  check Alcotest.bool "match after stripping" true
+    (Tables.Str_replace.contains "\\/k\\/authajax" "kauthajax");
+  check Alcotest.bool "empty needle" true (Tables.Str_replace.contains "x" "");
+  check Alcotest.bool "no match" false (Tables.Str_replace.contains "abc" "zzz")
+
+let test_render_table5_smoke () =
+  let ae = Lazy.force kayak_eval in
+  let out = Fmt.str "%a" Tables.render_table5 ae.Eval.ae_report in
+  check Alcotest.bool "categories printed" true
+    (Tables.Str_replace.contains out "Authentication");
+  check Alcotest.bool "user agent identified" true
+    (Tables.Str_replace.contains out "kayakandroidphone8.1 = true")
+
+let test_render_table6_smoke () =
+  let ae = Lazy.force kayak_eval in
+  let out = Fmt.str "%a" Tables.render_table6 ae.Eval.ae_report in
+  check Alcotest.bool "flight start present" true
+    (Tables.Str_replace.contains out "flightstart");
+  check Alcotest.bool "flight poll present" true
+    (Tables.Str_replace.contains out "flightpoll")
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "concretize",
+        [
+          tc "literals and hints" test_concretize_literals;
+          tc "alternation and repetition" test_concretize_alt_rep;
+          tc "query substitution" test_concretize_subst;
+          tc "request building" test_request_of_sig;
+          tc "bad uri" test_request_of_sig_bad_uri;
+        ] );
+      ( "replay",
+        [
+          tc "find transaction by fragment" test_find_tx;
+          tc "flight search end-to-end" test_flight_search_replay;
+        ] );
+      ( "accounting",
+        [
+          tc "percentage arithmetic" test_account_arithmetic;
+          tc "all bytes classified" test_accounting_covers_all_bytes;
+        ] );
+      ( "coverage",
+        [
+          tc "radio reddit row" test_coverage_radio_reddit;
+          tc "validity on full trace" test_validity_full_trace;
+        ] );
+      ("json", [ tc "report export round-trips" test_report_json_roundtrip ]);
+      ("dot", [ tc "dependency graph export" test_report_dot_export ]);
+      ( "tables",
+        [
+          tc "substring helper" test_str_replace_contains;
+          tc "table 5 renders" test_render_table5_smoke;
+          tc "table 6 renders" test_render_table6_smoke;
+        ] );
+    ]

@@ -1,0 +1,499 @@
+(* Core-pipeline tests: abstract values (merge/widen), signature building
+   through every modelled HTTP stack, loop widening into rep, reflection
+   (gson) and XML parsing, dependency and consumer tracking, pairing, and
+   report deduplication. *)
+
+module Ir = Extr_ir.Types
+module B = Extr_ir.Builder
+module Api = Extr_semantics.Api
+module Apk = Extr_apk.Apk
+module Http = Extr_httpmodel.Http
+module Strsig = Extr_siglang.Strsig
+module Jsonsig = Extr_siglang.Jsonsig
+module Msgsig = Extr_siglang.Msgsig
+module Regex = Extr_siglang.Regex
+module Absval = Extr_extractocol.Absval
+module Pipeline = Extr_extractocol.Pipeline
+module Report = Extr_extractocol.Report
+module Txn = Extr_extractocol.Txn
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Absval                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_strip_prefix () =
+  let a = Strsig.concat [ Strsig.lit "base"; Strsig.unknown ] in
+  let b = Strsig.concat [ Strsig.lit "base"; Strsig.unknown; Strsig.lit "&x=" ] in
+  match Absval.strip_prefix a b with
+  | Some delta -> check Alcotest.bool "delta is suffix" true (Strsig.equal delta (Strsig.lit "&x="))
+  | None -> Alcotest.fail "prefix should strip"
+
+let test_widen_sig_rep () =
+  let base = Strsig.lit "a" in
+  let grown = Strsig.concat [ Strsig.lit "a"; Strsig.lit "X" ] in
+  let w = Absval.widen_sig base grown in
+  (* Widening marks the growing tail as repetition. *)
+  check Alcotest.bool "rep appears" true
+    (match w with
+    | Strsig.Concat parts -> List.exists (function Strsig.Rep _ -> true | _ -> false) parts
+    | Strsig.Rep _ -> true
+    | _ -> false);
+  (* And is stable: widening again with one more X changes nothing. *)
+  let grown2 = Strsig.concat [ Strsig.lit "aX"; Strsig.lit "X" ] in
+  check Alcotest.bool "stable" true (Strsig.equal (Absval.widen_sig w grown2) w)
+
+let test_state_merger_objects () =
+  let href = ref Absval.empty_heap in
+  let o = Absval.halloc href "C" in
+  let h1 = Absval.IMap.add o.Absval.o_id (Absval.SMap.singleton "f" (Absval.str_lit "x")) !href in
+  let h2 = Absval.IMap.add o.Absval.o_id (Absval.SMap.singleton "f" (Absval.str_lit "y")) !href in
+  let mval, final = Absval.state_merger ~combine_sig:(fun a b -> Strsig.alt [ a; b ]) h1 h2 in
+  (match mval (Absval.Vobj o) (Absval.Vobj o) with
+  | Absval.Vobj _ -> ()
+  | _ -> Alcotest.fail "object merge");
+  let merged = final () in
+  match Absval.IMap.find_opt o.Absval.o_id merged with
+  | Some slots -> (
+      match Absval.SMap.find_opt "f" slots with
+      | Some (Absval.Vstr { sg = Strsig.Alt _; _ }) -> ()
+      | _ -> Alcotest.fail "slot should be the disjunction of both branches")
+  | None -> Alcotest.fail "object lost in merge"
+
+let test_collect_prov_through_heap () =
+  let href = ref Absval.empty_heap in
+  let o = Absval.halloc href "C" in
+  let p = { Absval.p_tx = 3; p_path = [ "k" ]; p_via = None } in
+  Absval.hset href o "slot" (Absval.str_of_sig ~prov:[ p ] Strsig.unknown);
+  check Alcotest.int "prov found" 1
+    (List.length (Absval.collect_prov !href (Absval.Vobj o)))
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_activity ?(resources = []) build =
+  let cls = "com.t.Main" in
+  let on_create = B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void build in
+  let program =
+    { Ir.p_classes = [ B.mk_cls ~super:Api.activity cls [ on_create ] ]; p_entries = [] }
+  in
+  let apk = Apk.make ~package:"com.t" ~activities:[ cls ] ~resources program in
+  (Pipeline.analyze apk).Pipeline.an_report
+
+let only_tx report =
+  match report.Report.rp_transactions with
+  | [ tr ] -> tr
+  | txs -> Alcotest.failf "expected one transaction, got %d" (List.length txs)
+
+let uri_regex tr = Strsig.to_regex tr.Report.tr_request.Msgsig.rs_uri
+
+(* Shared snippet: apache GET of a URL variable. *)
+let apache_get b url =
+  let req = B.new_obj b Api.http_get [ B.vl url ] in
+  let client = B.new_obj b Api.default_http_client [] in
+  B.call_ret b (Ir.Obj Api.http_response)
+    (B.virtual_call ~ret:(Ir.Obj Api.http_response) client Api.http_client
+       "execute" [ B.vl req ])
+
+(* ------------------------------------------------------------------ *)
+(* Signature building per feature                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_loop_produces_rep () =
+  let report =
+    analyze_activity (fun b ->
+        let sb = B.new_obj b Api.string_builder [ B.vstr "http://h/ids?" ] in
+        let i = B.define b Ir.Int (Ir.Val (B.vint 0)) in
+        B.while_ b
+          (fun b -> B.vl (B.define b Ir.Bool (Ir.Binop (Ir.Lt, B.vl i, B.vint 3))))
+          (fun b ->
+            B.call b
+              (B.virtual_call ~ret:(Ir.Obj Api.string_builder) sb
+                 Api.string_builder "append" [ B.vstr "id=7&" ]);
+            B.assign b i (Ir.Binop (Ir.Add, B.vl i, B.vint 1)));
+        let url =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str sb Api.string_builder "toString" [])
+        in
+        ignore (apache_get b url))
+  in
+  let tr = only_tx report in
+  let regex = uri_regex tr in
+  (* rep compiles to a Kleene star that matches any number of repetitions. *)
+  check Alcotest.bool "regex has star" true (String.contains regex '*');
+  List.iter
+    (fun s ->
+      check Alcotest.bool ("matches " ^ s) true (Regex.string_matches ~pattern:regex s))
+    [ "http://h/ids?"; "http://h/ids?id=7&"; "http://h/ids?id=7&id=7&id=7&" ]
+
+let test_resource_lookup_in_signature () =
+  let report =
+    analyze_activity ~resources:[ (42, "sekret-key") ] (fun b ->
+        let this = Ir.this_var "com.t.Main" in
+        let res =
+          B.call_ret b (Ir.Obj Api.resources)
+            (B.virtual_call ~ret:(Ir.Obj Api.resources) this Api.activity
+               "getResources" [])
+        in
+        let key =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str res Api.resources "getString" [ B.vint 42 ])
+        in
+        let sb = B.new_obj b Api.string_builder [ B.vstr "http://h/a?k=" ] in
+        B.call b
+          (B.virtual_call ~ret:(Ir.Obj Api.string_builder) sb Api.string_builder
+             "append" [ B.vl key ]);
+        let url =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str sb Api.string_builder "toString" [])
+        in
+        ignore (apache_get b url))
+  in
+  let tr = only_tx report in
+  check Alcotest.string "resource resolved to constant"
+    "http://h/a\\?k=sekret-key" (uri_regex tr)
+
+let test_post_form_body () =
+  let report =
+    analyze_activity (fun b ->
+        let params = B.new_obj b Api.array_list [] in
+        let pair = B.new_obj b Api.name_value_pair [ B.vstr "user"; B.vstr "u1" ] in
+        B.call b (B.virtual_call params Api.array_list "add" [ B.vl pair ]);
+        let entity = B.new_obj b Api.form_entity [ B.vl params ] in
+        let url = B.define b Ir.Str (Ir.Val (B.vstr "https://h/login")) in
+        let req = B.new_obj b Api.http_post [ B.vl url ] in
+        B.call b
+          (B.virtual_call req Api.http_request_base "setEntity" [ B.vl entity ]);
+        let client = B.new_obj b Api.default_http_client [] in
+        B.call b (B.virtual_call client Api.http_client "execute" [ B.vl req ]))
+  in
+  let tr = only_tx report in
+  check Alcotest.bool "POST" true (tr.Report.tr_request.Msgsig.rs_meth = Http.POST);
+  match tr.Report.tr_request.Msgsig.rs_body with
+  | Msgsig.Bquery [ ("user", Strsig.Lit "u1") ] -> ()
+  | b -> Alcotest.failf "unexpected body %a" Msgsig.pp_body_sig b
+
+let test_json_builder_body () =
+  let report =
+    analyze_activity (fun b ->
+        let j = B.new_obj b Api.json_object [] in
+        B.call b
+          (B.virtual_call ~ret:(Ir.Obj Api.json_object) j Api.json_object "put"
+             [ B.vstr "q"; B.vstr "term" ]);
+        B.call b
+          (B.virtual_call ~ret:(Ir.Obj Api.json_object) j Api.json_object "put"
+             [ B.vstr "page"; B.vint 2 ]);
+        let body =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str j Api.json_object "toString" [])
+        in
+        let entity = B.new_obj b Api.string_entity [ B.vl body ] in
+        let url = B.define b Ir.Str (Ir.Val (B.vstr "https://h/search")) in
+        let req = B.new_obj b Api.http_post [ B.vl url ] in
+        B.call b (B.virtual_call req Api.http_request_base "setEntity" [ B.vl entity ]);
+        let client = B.new_obj b Api.default_http_client [] in
+        B.call b (B.virtual_call client Api.http_client "execute" [ B.vl req ]))
+  in
+  let tr = only_tx report in
+  match tr.Report.tr_request.Msgsig.rs_body with
+  | Msgsig.Bjson (Jsonsig.Jobj fields) ->
+      check Alcotest.(list string) "json keys" [ "page"; "q" ]
+        (List.sort compare (List.map fst fields))
+  | b -> Alcotest.failf "unexpected body %a" Msgsig.pp_body_sig b
+
+let test_urlconn_stack () =
+  let report =
+    analyze_activity (fun b ->
+        let url_s = B.define b Ir.Str (Ir.Val (B.vstr "http://h/conn?z=1")) in
+        let u = B.new_obj b Api.java_url [ B.vl url_s ] in
+        let conn =
+          B.call_ret b (Ir.Obj Api.http_url_connection)
+            (B.virtual_call ~ret:(Ir.Obj Api.http_url_connection) u Api.java_url
+               "openConnection" [])
+        in
+        B.call b
+          (B.virtual_call conn Api.http_url_connection "setRequestMethod"
+             [ B.vstr "POST" ]);
+        B.call b
+          (B.virtual_call conn Api.http_url_connection "setRequestProperty"
+             [ B.vstr "X-Token"; B.vstr "abc" ]);
+        let os =
+          B.call_ret b (Ir.Obj Api.output_stream)
+            (B.virtual_call ~ret:(Ir.Obj Api.output_stream) conn
+               Api.http_url_connection "getOutputStream" [])
+        in
+        B.call b (B.virtual_call os Api.output_stream "write" [ B.vstr "a=1&b=2" ]);
+        let input =
+          B.call_ret b (Ir.Obj Api.input_stream)
+            (B.virtual_call ~ret:(Ir.Obj Api.input_stream) conn
+               Api.http_url_connection "getInputStream" [])
+        in
+        ignore input)
+  in
+  let tr = only_tx report in
+  check Alcotest.bool "POST via setRequestMethod" true
+    (tr.Report.tr_request.Msgsig.rs_meth = Http.POST);
+  check Alcotest.bool "header captured" true
+    (List.mem_assoc "X-Token" tr.Report.tr_request.Msgsig.rs_headers);
+  match tr.Report.tr_request.Msgsig.rs_body with
+  | Msgsig.Bquery pairs ->
+      check Alcotest.(list string) "body keys" [ "a"; "b" ]
+        (List.sort compare (List.map fst pairs))
+  | b -> Alcotest.failf "unexpected body %a" Msgsig.pp_body_sig b
+
+let test_okhttp_stack () =
+  let report =
+    analyze_activity (fun b ->
+        let bld = B.new_obj b Api.okhttp_builder [] in
+        B.call b (B.virtual_call bld Api.okhttp_builder "url" [ B.vstr "https://h/ok" ]);
+        let rb =
+          B.call_ret b (Ir.Obj Api.okhttp_body)
+            (B.static_call ~ret:(Ir.Obj Api.okhttp_body) Api.okhttp_body "create"
+               [ B.vstr "k=v" ])
+        in
+        B.call b (B.virtual_call bld Api.okhttp_builder "post" [ B.vl rb ]);
+        let req =
+          B.call_ret b (Ir.Obj Api.okhttp_request)
+            (B.virtual_call ~ret:(Ir.Obj Api.okhttp_request) bld Api.okhttp_builder
+               "build" [])
+        in
+        let client = B.new_obj b Api.okhttp_client [] in
+        let call =
+          B.call_ret b (Ir.Obj Api.okhttp_call)
+            (B.virtual_call ~ret:(Ir.Obj Api.okhttp_call) client Api.okhttp_client
+               "newCall" [ B.vl req ])
+        in
+        let resp =
+          B.call_ret b (Ir.Obj Api.okhttp_response)
+            (B.virtual_call ~ret:(Ir.Obj Api.okhttp_response) call Api.okhttp_call
+               "execute" [])
+        in
+        ignore resp)
+  in
+  let tr = only_tx report in
+  check Alcotest.bool "POST" true (tr.Report.tr_request.Msgsig.rs_meth = Http.POST);
+  check Alcotest.string "uri" "https://h/ok" (uri_regex tr)
+
+let test_gson_response_fields () =
+  let data_cls = "com.t.Resp" in
+  let cls = "com.t.Main" in
+  let on_create =
+    B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+        let url = B.define b Ir.Str (Ir.Val (B.vstr "http://h/g")) in
+        let resp = apache_get b url in
+        let entity =
+          B.call_ret b (Ir.Obj Api.http_entity)
+            (B.virtual_call ~ret:(Ir.Obj Api.http_entity) resp Api.http_response
+               "getEntity" [])
+        in
+        let body =
+          B.call_ret b Ir.Str
+            (B.static_call ~ret:Ir.Str Api.entity_utils "toString" [ B.vl entity ])
+        in
+        let g = B.new_obj b Api.gson [] in
+        let o =
+          B.call_ret b (Ir.Obj data_cls)
+            (B.virtual_call ~ret:(Ir.Obj data_cls) g Api.gson "fromJson"
+               [ B.vl body; B.vstr data_cls ])
+        in
+        (* Reading fields of the deserialized object records JSON keys. *)
+        let name = B.get_field b o { Ir.fcls = data_cls; fname = "name"; fty = Ir.Str } in
+        let age = B.get_field b o { Ir.fcls = data_cls; fname = "age"; fty = Ir.Int } in
+        ignore name;
+        ignore age)
+  in
+  let data =
+    B.mk_cls ~super:Api.java_object
+      ~fields:[ B.mk_field "name" Ir.Str; B.mk_field "age" Ir.Int ]
+      data_cls
+      [ B.mk_meth ~cls:data_cls ~name:"<init>" ~params:[] ~ret:Ir.Void (fun _ -> ()) ]
+  in
+  let program =
+    {
+      Ir.p_classes = [ B.mk_cls ~super:Api.activity cls [ on_create ]; data ];
+      p_entries = [];
+    }
+  in
+  let apk = Apk.make ~package:"com.t" ~activities:[ cls ] program in
+  let report = (Pipeline.analyze apk).Pipeline.an_report in
+  let tr = only_tx report in
+  check Alcotest.(list string) "reflected keys" [ "age"; "name" ]
+    (List.sort compare (Msgsig.body_keywords tr.Report.tr_response.Msgsig.ps_body))
+
+let test_xml_response_signature () =
+  let report =
+    analyze_activity (fun b ->
+        let url = B.define b Ir.Str (Ir.Val (B.vstr "http://h/x")) in
+        let resp = apache_get b url in
+        let entity =
+          B.call_ret b (Ir.Obj Api.http_entity)
+            (B.virtual_call ~ret:(Ir.Obj Api.http_entity) resp Api.http_response
+               "getEntity" [])
+        in
+        let body =
+          B.call_ret b Ir.Str
+            (B.static_call ~ret:Ir.Str Api.entity_utils "toString" [ B.vl entity ])
+        in
+        let root =
+          B.call_ret b (Ir.Obj Api.xml_element)
+            (B.static_call ~ret:(Ir.Obj Api.xml_element) Api.xml_parser "parse"
+               [ B.vl body ])
+        in
+        let child =
+          B.call_ret b (Ir.Obj Api.xml_element)
+            (B.virtual_call ~ret:(Ir.Obj Api.xml_element) root Api.xml_element
+               "getChild" [ B.vstr "item" ])
+        in
+        let txt =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str child Api.xml_element "getText" [])
+        in
+        ignore txt)
+  in
+  let tr = only_tx report in
+  match tr.Report.tr_response.Msgsig.ps_body with
+  | Msgsig.Bxml x ->
+      check Alcotest.bool "item tag recorded" true
+        (List.mem "item" (Extr_siglang.Xmlsig.distinct_keywords x))
+  | b -> Alcotest.failf "expected xml response, got %a" Msgsig.pp_body_sig b
+
+let test_consumer_and_dep_tracking () =
+  let report =
+    analyze_activity (fun b ->
+        let url = B.define b Ir.Str (Ir.Val (B.vstr "http://h/list")) in
+        let resp = apache_get b url in
+        let entity =
+          B.call_ret b (Ir.Obj Api.http_entity)
+            (B.virtual_call ~ret:(Ir.Obj Api.http_entity) resp Api.http_response
+               "getEntity" [])
+        in
+        let body =
+          B.call_ret b Ir.Str
+            (B.static_call ~ret:Ir.Str Api.entity_utils "toString" [ B.vl entity ])
+        in
+        let j = B.new_obj b Api.json_object [ B.vl body ] in
+        let media_url =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str j Api.json_object "getString"
+               [ B.vstr "stream" ])
+        in
+        let mp = B.new_obj b Api.media_player [] in
+        B.call b (B.virtual_call mp Api.media_player "setDataSource" [ B.vl media_url ]))
+  in
+  check Alcotest.int "two transactions" 2 (List.length report.Report.rp_transactions);
+  let media_tx =
+    List.find
+      (fun tr ->
+        List.mem Msgsig.To_media_player tr.Report.tr_response.Msgsig.ps_consumers)
+      report.Report.rp_transactions
+  in
+  check Alcotest.bool "uri dep on stream field" true
+    (List.exists
+       (fun (d : Txn.dep) ->
+         d.Txn.dep_to_field = "uri" && d.Txn.dep_from_path = [ "stream" ])
+       media_tx.Report.tr_deps);
+  check Alcotest.bool "dynamic uri flagged" true media_tx.Report.tr_dynamic_uri
+
+let test_raw_socket_extension () =
+  (* §4 extension: the HTTP request text written through a raw socket is
+     reconstructed like any other text protocol. *)
+  let report =
+    analyze_activity (fun b ->
+        let sock = B.new_obj b Api.java_socket [ B.vstr "h.example"; B.vint 80 ] in
+        let os =
+          B.call_ret b (Ir.Obj Api.output_stream)
+            (B.virtual_call ~ret:(Ir.Obj Api.output_stream) sock Api.java_socket
+               "getOutputStream" [])
+        in
+        B.call b
+          (B.virtual_call os Api.output_stream "write" [ B.vstr "GET /raw/item?id=" ]);
+        let et = B.new_obj b Api.edit_text [] in
+        let id =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str et Api.edit_text "getText" [])
+        in
+        B.call b (B.virtual_call os Api.output_stream "write" [ B.vl id ]);
+        B.call b
+          (B.virtual_call os Api.output_stream "write"
+             [ B.vstr " HTTP/1.1\r\nHost: h.example\r\n\r\n" ]);
+        let input =
+          B.call_ret b (Ir.Obj Api.input_stream)
+            (B.virtual_call ~ret:(Ir.Obj Api.input_stream) sock Api.java_socket
+               "getInputStream" [])
+        in
+        let body =
+          B.call_ret b Ir.Str
+            (B.static_call ~ret:Ir.Str Api.io_utils "toString" [ B.vl input ])
+        in
+        let j = B.new_obj b Api.json_object [ B.vl body ] in
+        let v =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str j Api.json_object "getString"
+               [ B.vstr "item" ])
+        in
+        ignore v)
+  in
+  let tr = only_tx report in
+  check Alcotest.string "socket uri signature" "http://h\\.example/raw/item\\?id=(.*)"
+    (uri_regex tr);
+  check Alcotest.(list string) "socket response keys" [ "item" ]
+    (Msgsig.body_keywords tr.Report.tr_response.Msgsig.ps_body)
+
+let test_report_dedup () =
+  (* The same fetch called from two entry points produces one deduped
+     transaction. *)
+  let cls = "com.t.Main" in
+  let fetch =
+    B.mk_meth ~cls ~name:"fetch" ~params:[] ~ret:Ir.Void (fun b ->
+        let url = B.define b Ir.Str (Ir.Val (B.vstr "http://h/same")) in
+        ignore (apache_get b url))
+  in
+  let on_create =
+    B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+        B.call b (B.virtual_call (Ir.this_var cls) cls "fetch" []))
+  in
+  let on_resume =
+    B.mk_meth ~cls ~name:"onResume" ~params:[] ~ret:Ir.Void (fun b ->
+        B.call b (B.virtual_call (Ir.this_var cls) cls "fetch" []))
+  in
+  let program =
+    {
+      Ir.p_classes = [ B.mk_cls ~super:Api.activity cls [ on_create; on_resume; fetch ] ];
+      p_entries = [];
+    }
+  in
+  let apk = Apk.make ~package:"com.t" ~activities:[ cls ] program in
+  let report = (Pipeline.analyze apk).Pipeline.an_report in
+  check Alcotest.int "deduplicated" 1 (List.length report.Report.rp_transactions)
+
+let () =
+  Alcotest.run "extractocol"
+    [
+      ( "absval",
+        [
+          tc "strip prefix" test_strip_prefix;
+          tc "widen to rep" test_widen_sig_rep;
+          tc "state merger objects" test_state_merger_objects;
+          tc "prov through heap" test_collect_prov_through_heap;
+        ] );
+      ( "signatures",
+        [
+          tc "loop produces rep" test_loop_produces_rep;
+          tc "resource lookup" test_resource_lookup_in_signature;
+          tc "form body" test_post_form_body;
+          tc "json builder body" test_json_builder_body;
+          tc "urlconnection stack" test_urlconn_stack;
+          tc "okhttp stack" test_okhttp_stack;
+          tc "gson reflection" test_gson_response_fields;
+          tc "xml response" test_xml_response_signature;
+        ] );
+      ( "behaviour",
+        [
+          tc "consumers and deps" test_consumer_and_dep_tracking;
+          tc "raw socket extension" test_raw_socket_extension;
+          tc "report dedup" test_report_dedup;
+        ] );
+    ]

@@ -1,0 +1,278 @@
+(* HTTP model tests: JSON and XML parsers/printers, URI handling with raw
+   preservation, HTTP message helpers, and round-trip properties. *)
+
+module Json = Extr_httpmodel.Json
+module Xml = Extr_httpmodel.Xml
+module Uri = Extr_httpmodel.Uri
+module Http = Extr_httpmodel.Http
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_scalars () =
+  check Alcotest.bool "null" true (Json.of_string "null" = Json.Null);
+  check Alcotest.bool "true" true (Json.of_string "true" = Json.Bool true);
+  check Alcotest.bool "int" true (Json.of_string "42" = Json.Int 42);
+  check Alcotest.bool "negative" true (Json.of_string "-7" = Json.Int (-7));
+  check Alcotest.bool "float" true (Json.of_string "1.5" = Json.Float 1.5);
+  check Alcotest.bool "string" true (Json.of_string {|"hi"|} = Json.Str "hi")
+
+let test_json_structures () =
+  match Json.of_string {|{"a":[1,2,{"b":null}],"c":{}}|} with
+  | Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2; Json.Obj [ ("b", Json.Null) ] ]); ("c", Json.Obj []) ]
+    ->
+      ()
+  | _ -> Alcotest.fail "structure mismatch"
+
+let test_json_escapes () =
+  check Alcotest.bool "escaped quote" true
+    (Json.of_string {|"a\"b"|} = Json.Str {|a"b|});
+  check Alcotest.bool "newline" true (Json.of_string {|"a\nb"|} = Json.Str "a\nb");
+  check Alcotest.bool "unicode ascii" true (Json.of_string {|"A"|} = Json.Str "A")
+
+let test_json_errors () =
+  check Alcotest.bool "trailing garbage" true (Json.of_string_opt "1 x" = None);
+  check Alcotest.bool "unterminated" true (Json.of_string_opt "{\"a\":" = None);
+  check Alcotest.bool "bare word" true (Json.of_string_opt "zonk" = None)
+
+let test_json_member_and_path () =
+  let v = Json.of_string {|{"a":{"b":{"c":7}}}|} in
+  check Alcotest.bool "member" true (Json.member "a" v <> None);
+  check Alcotest.bool "find_path" true
+    (Json.find_path [ "a"; "b"; "c" ] v = Some (Json.Int 7));
+  check Alcotest.bool "missing path" true (Json.find_path [ "a"; "z" ] v = None)
+
+let test_json_keys () =
+  let v = Json.of_string {|{"a":1,"b":[{"c":2},{"c":3}]}|} in
+  check Alcotest.(list string) "distinct keys" [ "a"; "b"; "c" ] (Json.distinct_keys v)
+
+let prop_json_roundtrip =
+  let gen =
+    let open QCheck.Gen in
+    let rec gen_v depth =
+      if depth = 0 then
+        oneof
+          [
+            return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun n -> Json.Int n) small_signed_int;
+            map (fun s -> Json.Str s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 8));
+          ]
+      else
+        oneof
+          [
+            gen_v 0;
+            map (fun items -> Json.List items) (list_size (int_range 0 4) (gen_v (depth - 1)));
+            map
+              (fun pairs ->
+                (* distinct keys *)
+                let pairs =
+                  List.mapi (fun i (k, v) -> (Printf.sprintf "%s%d" k i, v)) pairs
+                in
+                Json.Obj pairs)
+              (list_size (int_range 0 4)
+                 (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 5)) (gen_v (depth - 1))));
+          ]
+    in
+    gen_v 2
+  in
+  QCheck.Test.make ~count:300 ~name:"json print/parse round-trip" (QCheck.make gen)
+    (fun v -> Json.equal (Json.of_string (Json.to_string v)) v)
+
+(* ------------------------------------------------------------------ *)
+(* XML                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_xml_basic () =
+  let e = Xml.of_string {|<a x="1"><b>t</b><c/></a>|} in
+  check Alcotest.string "tag" "a" e.Xml.tag;
+  check Alcotest.(list (pair string string)) "attrs" [ ("x", "1") ] e.Xml.attrs;
+  check Alcotest.int "children" 2 (List.length e.Xml.children)
+
+let test_xml_text_and_entities () =
+  let e = Xml.of_string "<a>x &amp; y</a>" in
+  match e.Xml.children with
+  | [ Xml.Text t ] -> check Alcotest.string "unescaped" "x & y" t
+  | _ -> Alcotest.fail "expected one text node"
+
+let test_xml_roundtrip () =
+  let e =
+    Xml.element "root"
+      ~attrs:[ ("v", "a\"b") ]
+      [ Xml.Elem (Xml.element "kid" [ Xml.text "t<>&" ]); Xml.text "tail" ]
+  in
+  let e' = Xml.of_string (Xml.to_string e) in
+  check Alcotest.string "roundtrip" (Xml.to_string e) (Xml.to_string e')
+
+let test_xml_declaration_skipped () =
+  let e = Xml.of_string {|<?xml version="1.0"?><doc/>|} in
+  check Alcotest.string "root after declaration" "doc" e.Xml.tag
+
+let test_xml_errors () =
+  check Alcotest.bool "mismatched close" true (Xml.of_string_opt "<a></b>" = None);
+  check Alcotest.bool "unterminated" true (Xml.of_string_opt "<a>" = None)
+
+let test_xml_keywords () =
+  let e = Xml.of_string {|<a k="1"><b><c/></b></a>|} in
+  check Alcotest.(list string) "keywords" [ "a"; "b"; "c"; "k" ]
+    (Xml.distinct_keywords e)
+
+(* ------------------------------------------------------------------ *)
+(* URI                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_uri_parse () =
+  let u = Uri.of_string "https://h.example/a/b?x=1&y=two" in
+  check Alcotest.string "scheme" "https" u.Uri.scheme;
+  check Alcotest.string "host" "h.example" u.Uri.host;
+  check Alcotest.string "path" "/a/b" u.Uri.path;
+  check Alcotest.(list (pair string string)) "query" [ ("x", "1"); ("y", "two") ]
+    u.Uri.query
+
+let test_uri_raw_preserved () =
+  (* The wire form survives parse→print even when not canonical. *)
+  let raw = "http://h/x.json?&" in
+  check Alcotest.string "raw round-trip" raw (Uri.to_string (Uri.of_string raw))
+
+let test_uri_missing_scheme () =
+  check Alcotest.bool "rejects schemeless" true (Uri.of_string_opt "h/x" = None)
+
+let test_uri_percent () =
+  check Alcotest.string "encode" "a%20b%26c" (Uri.percent_encode "a b&c");
+  check Alcotest.string "decode" "a b&c" (Uri.percent_decode "a%20b%26c");
+  check Alcotest.string "plus decodes to space" "a b" (Uri.percent_decode "a+b")
+
+let test_uri_query_string () =
+  check Alcotest.string "print" "a=1&b=x%26y"
+    (Uri.query_to_string [ ("a", "1"); ("b", "x&y") ]);
+  check Alcotest.(list (pair string string)) "parse" [ ("a", "1"); ("b", "x&y") ]
+    (Uri.query_of_string "a=1&b=x%26y")
+
+let test_uri_path_segments () =
+  let u = Uri.of_string "http://h/a//b/c" in
+  check Alcotest.(list string) "segments" [ "a"; "b"; "c" ] (Uri.path_segments u)
+
+(* ------------------------------------------------------------------ *)
+(* Http                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_http_meth_roundtrip () =
+  List.iter
+    (fun m ->
+      check Alcotest.bool "meth round-trip" true
+        (Http.meth_of_string (Http.meth_to_string m) = Some m))
+    [ Http.GET; Http.POST; Http.PUT; Http.DELETE ];
+  check Alcotest.bool "unknown meth" true (Http.meth_of_string "BREW" = None)
+
+let test_http_header_lookup () =
+  let headers = [ ("User-Agent", "x"); ("Cookie", "y") ] in
+  check Alcotest.(option string) "case-insensitive" (Some "x")
+    (Http.header "user-agent" headers);
+  check Alcotest.(option string) "missing" None (Http.header "etag" headers)
+
+let test_http_body_kinds () =
+  check Alcotest.string "json" "json" (Http.body_kind (Http.Json Json.Null));
+  check Alcotest.string "query" "query" (Http.body_kind (Http.Query []));
+  check Alcotest.string "none" "none" (Http.body_kind Http.No_body)
+
+let test_http_body_to_string () =
+  check Alcotest.string "query body" "a=1&b=2"
+    (Http.body_to_string (Http.Query [ ("a", "1"); ("b", "2") ]));
+  check Alcotest.string "json body" "{\"k\":1}"
+    (Http.body_to_string (Http.Json (Json.Obj [ ("k", Json.Int 1) ])))
+
+let test_trigger_labels () =
+  check Alcotest.string "click" "click:x" (Http.trigger_to_string (Http.Ui_click "x"));
+  check Alcotest.string "push" "push:y" (Http.trigger_to_string (Http.Server_push "y"))
+
+(* ------------------------------------------------------------------ *)
+(* Trace archive (negative cases; round-trip is property-tested)       *)
+(* ------------------------------------------------------------------ *)
+
+module Har = Extr_httpmodel.Har
+
+let test_har_body_tags () =
+  let rt b = Har.body_of_json (Har.json_of_body b) in
+  check Alcotest.bool "none" true (rt Http.No_body = Some Http.No_body);
+  check Alcotest.bool "query" true
+    (rt (Http.Query [ ("a", "1") ]) = Some (Http.Query [ ("a", "1") ]));
+  check Alcotest.bool "binary" true
+    (rt (Http.Binary "xx") = Some (Http.Binary "xx"));
+  check Alcotest.bool "unknown kind rejected" true
+    (Har.body_of_json (Json.Obj [ ("kind", Json.Str "blob") ]) = None);
+  check Alcotest.bool "missing kind rejected" true
+    (Har.body_of_json (Json.Obj []) = None)
+
+let test_har_rejects_truncated () =
+  (* A dump with one malformed entry fails as a whole — no silent loss. *)
+  check Alcotest.bool "bad entry" true
+    (Har.of_string
+       {|{"app":"x","entries":[{"request":{"method":"GET"}}]}|}
+    = None);
+  check Alcotest.bool "not json" true (Har.of_string "%%%" = None);
+  check Alcotest.bool "wrong shape" true (Har.of_string "[1,2]" = None)
+
+let test_har_trigger_tags () =
+  List.iter
+    (fun t ->
+      check Alcotest.bool "trigger round-trips" true
+        (Har.trigger_of_json (Har.json_of_trigger t) = Some t))
+    [
+      Http.Ui_click "a"; Http.Ui_custom "b"; Http.Ui_action "c";
+      Http.Timer "d"; Http.Server_push "e"; Http.App_internal "f";
+    ];
+  check Alcotest.bool "unknown trigger rejected" true
+    (Har.trigger_of_json
+       (Json.Obj [ ("kind", Json.Str "psychic"); ("label", Json.Str "x") ])
+    = None)
+
+let () =
+  Alcotest.run "httpmodel"
+    [
+      ( "json",
+        [
+          tc "scalars" test_json_scalars;
+          tc "structures" test_json_structures;
+          tc "escapes" test_json_escapes;
+          tc "errors" test_json_errors;
+          tc "member/path" test_json_member_and_path;
+          tc "keys" test_json_keys;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
+      ( "xml",
+        [
+          tc "basic" test_xml_basic;
+          tc "text/entities" test_xml_text_and_entities;
+          tc "roundtrip" test_xml_roundtrip;
+          tc "declaration" test_xml_declaration_skipped;
+          tc "errors" test_xml_errors;
+          tc "keywords" test_xml_keywords;
+        ] );
+      ( "uri",
+        [
+          tc "parse" test_uri_parse;
+          tc "raw preserved" test_uri_raw_preserved;
+          tc "missing scheme" test_uri_missing_scheme;
+          tc "percent" test_uri_percent;
+          tc "query string" test_uri_query_string;
+          tc "path segments" test_uri_path_segments;
+        ] );
+      ( "http",
+        [
+          tc "meth roundtrip" test_http_meth_roundtrip;
+          tc "header lookup" test_http_header_lookup;
+          tc "body kinds" test_http_body_kinds;
+          tc "body to string" test_http_body_to_string;
+          tc "trigger labels" test_trigger_labels;
+        ] );
+      ( "trace-archive",
+        [
+          tc "body tags" test_har_body_tags;
+          tc "truncated dumps rejected" test_har_rejects_truncated;
+          tc "trigger tags" test_har_trigger_tags;
+        ] );
+    ]

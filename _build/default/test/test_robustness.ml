@@ -1,0 +1,275 @@
+(* Failure injection and pathological-input robustness: the pipeline must
+   terminate and degrade gracefully on recursion, infinite loops, deep
+   call chains, empty or entry-less apps, and malformed runtime data —
+   real APKs contain all of these. *)
+
+module Ir = Extr_ir.Types
+module B = Extr_ir.Builder
+module Prog = Extr_ir.Prog
+module Api = Extr_semantics.Api
+module Apk = Extr_apk.Apk
+module Pipeline = Extr_extractocol.Pipeline
+module Report = Extr_extractocol.Report
+module Http = Extr_httpmodel.Http
+module Json = Extr_httpmodel.Json
+module Runtime = Extr_runtime.Runtime
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let apk_of ?(entries = []) classes =
+  let activities =
+    List.filter_map
+      (fun (c : Ir.cls) ->
+        match c.Ir.c_super with
+        | Some s when s = Api.activity -> Some c.Ir.c_name
+        | Some _ | None -> None)
+      classes
+  in
+  Apk.make ~package:"com.robust" ~activities
+    { Ir.p_classes = classes @ Api.library_classes; p_entries = entries }
+
+let tx_count apk =
+  List.length (Pipeline.analyze apk).Pipeline.an_report.Report.rp_transactions
+
+(* Fire one GET so every pathological app still has a protocol surface. *)
+let emit_get b uri =
+  let client = B.new_obj b Api.default_http_client [] in
+  let req = B.new_obj b Api.http_get [ uri ] in
+  B.call b
+    (B.virtual_call ~ret:(Ir.Obj Api.http_response) client Api.http_client
+       "execute" [ B.vl req ])
+
+(* ------------------------------------------------------------------ *)
+(* Termination                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_direct_recursion_terminates () =
+  (* onCreate calls a method that recurses unconditionally before firing
+     a request; the recursion guard must cut the cycle, and the request
+     must still be extracted. *)
+  let cls = "com.robust.Rec" in
+  let spin =
+    B.mk_meth ~cls ~name:"spin" ~params:[] ~ret:Ir.Void (fun b ->
+        B.call b (B.virtual_call (Ir.this_var cls) cls "spin" []);
+        emit_get b (B.vstr "https://r/x");
+        B.return_void b)
+  in
+  let on_create =
+    B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+        B.call b (B.virtual_call (Ir.this_var cls) cls "spin" []);
+        B.return_void b)
+  in
+  let apk = apk_of [ B.mk_cls ~super:Api.activity cls [ spin; on_create ] ] in
+  check Alcotest.int "request found despite recursion" 1 (tx_count apk)
+
+let test_mutual_recursion_terminates () =
+  let cls = "com.robust.Mut" in
+  let a =
+    B.mk_meth ~cls ~name:"a" ~params:[] ~ret:Ir.Void (fun b ->
+        B.call b (B.virtual_call (Ir.this_var cls) cls "b" []);
+        B.return_void b)
+  in
+  let b_ =
+    B.mk_meth ~cls ~name:"b" ~params:[] ~ret:Ir.Void (fun b ->
+        B.call b (B.virtual_call (Ir.this_var cls) cls "a" []);
+        emit_get b (B.vstr "https://r/m");
+        B.return_void b)
+  in
+  let on_create =
+    B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+        B.call b (B.virtual_call (Ir.this_var cls) cls "a" []);
+        B.return_void b)
+  in
+  let apk = apk_of [ B.mk_cls ~super:Api.activity cls [ a; b_; on_create ] ] in
+  check Alcotest.int "request found despite mutual recursion" 1 (tx_count apk)
+
+let test_infinite_loop_bounded () =
+  (* while(true) { sb.append(...) }: the interpreter's loop passes are
+     bounded; analysis terminates and the loop-built URI is widened. *)
+  let cls = "com.robust.Loop" in
+  let on_create =
+    B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+        let sb = B.new_obj b Api.string_builder [ B.vstr "https://r/l?" ] in
+        B.while_ b
+          (fun b -> B.vl (B.define b Ir.Bool (Ir.Val (B.vbool true))))
+          (fun b ->
+            ignore
+              (B.call_ret b (Ir.Obj Api.string_builder)
+                 (B.virtual_call
+                    ~ret:(Ir.Obj Api.string_builder)
+                    sb Api.string_builder "append" [ B.vstr "&x=1" ])));
+        let uri =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str sb Api.string_builder "toString" [])
+        in
+        emit_get b (B.vl uri);
+        B.return_void b)
+  in
+  let apk = apk_of [ B.mk_cls ~super:Api.activity cls [ on_create ] ] in
+  let report = (Pipeline.analyze apk).Pipeline.an_report in
+  match report.Report.rp_transactions with
+  | [ tr ] ->
+      let regex =
+        Extr_siglang.Strsig.to_regex tr.Report.tr_request.Extr_siglang.Msgsig.rs_uri
+      in
+      check Alcotest.bool "loop part widened to a repetition" true
+        (let rec contains i =
+           i + 7 <= String.length regex
+           && (String.sub regex i 7 = "(&x=1)*" || contains (i + 1))
+         in
+         contains 0)
+  | txs -> Alcotest.failf "expected 1 transaction, got %d" (List.length txs)
+
+let test_deep_call_chain_bounded () =
+  (* A call chain deeper than io_max_depth: analysis terminates; the
+     request at the bottom is out of reach (bounded inlining), which is a
+     documented under-approximation, not a crash. *)
+  let cls = "com.robust.Deep" in
+  let depth = 40 in
+  let meths =
+    List.init depth (fun i ->
+        B.mk_meth ~cls ~name:(Printf.sprintf "f%d" i) ~params:[] ~ret:Ir.Void
+          (fun b ->
+            (if i + 1 < depth then
+               B.call b
+                 (B.virtual_call (Ir.this_var cls) cls
+                    (Printf.sprintf "f%d" (i + 1))
+                    [])
+             else emit_get b (B.vstr "https://r/deep"));
+            B.return_void b))
+  in
+  let on_create =
+    B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+        B.call b (B.virtual_call (Ir.this_var cls) cls "f0" []);
+        B.return_void b)
+  in
+  let apk = apk_of [ B.mk_cls ~super:Api.activity cls (meths @ [ on_create ]) ] in
+  (* Termination is the assertion; the count depends on the depth bound. *)
+  let n = tx_count apk in
+  check Alcotest.bool "terminates" true (n >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate apps                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_app () =
+  let apk = apk_of [] in
+  check Alcotest.int "no transactions" 0 (tx_count apk)
+
+let test_app_without_entries () =
+  (* A class with a request but no lifecycle entry and no registration:
+     nothing executes, nothing is extracted. *)
+  let cls = "com.robust.Orphan" in
+  let m =
+    B.mk_meth ~cls ~name:"fetch" ~params:[] ~ret:Ir.Void (fun b ->
+        emit_get b (B.vstr "https://r/o");
+        B.return_void b)
+  in
+  let apk = apk_of [ B.mk_cls cls [ m ] ] in
+  check Alcotest.int "unreachable request not extracted" 0 (tx_count apk)
+
+let test_unreachable_code_ignored () =
+  let cls = "com.robust.Dead" in
+  let on_create =
+    B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+        emit_get b (B.vstr "https://r/live");
+        B.return_void b;
+        (* Statements after return are unreachable. *)
+        emit_get b (B.vstr "https://r/dead");
+        B.return_void b)
+  in
+  let apk = apk_of [ B.mk_cls ~super:Api.activity cls [ on_create ] ] in
+  check Alcotest.int "only the live request" 1 (tx_count apk)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime failure injection                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_runtime_error_responses () =
+  (* A network that always answers 500 with garbage: the concrete runtime
+     must finish the launch and record the failing transactions. *)
+  let cls = "com.robust.Err" in
+  let on_create =
+    B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+        let client = B.new_obj b Api.default_http_client [] in
+        let req = B.new_obj b Api.http_get [ B.vstr "https://r/e" ] in
+        let resp =
+          B.call_ret b (Ir.Obj Api.http_response)
+            (B.virtual_call ~ret:(Ir.Obj Api.http_response) client
+               Api.http_client "execute" [ B.vl req ])
+        in
+        let entity =
+          B.call_ret b (Ir.Obj Api.http_entity)
+            (B.virtual_call ~ret:(Ir.Obj Api.http_entity) resp
+               Api.http_response "getEntity" [])
+        in
+        let body =
+          B.call_ret b Ir.Str
+            (B.static_call ~ret:Ir.Str Api.entity_utils "toString"
+               [ B.vl entity ])
+        in
+        (* Parse the garbage as JSON and read a member: must not raise. *)
+        let j = B.new_obj b Api.json_object [ B.vl body ] in
+        let v =
+          B.call_ret b Ir.Str
+            (B.virtual_call ~ret:Ir.Str j Api.json_object "getString"
+               [ B.vstr "missing" ])
+        in
+        ignore v;
+        B.return_void b)
+  in
+  let apk = apk_of [ B.mk_cls ~super:Api.activity cls [ on_create ] ] in
+  let net (_ : Http.request) =
+    Http.response ~status:500 (Http.Text "<<<not json>>>")
+  in
+  let rt = Runtime.create ~net ~input:(fun () -> "") apk in
+  ignore (Runtime.launch rt);
+  let trace = Runtime.captured_trace rt in
+  check Alcotest.int "failing transaction captured" 1
+    (List.length trace.Http.tr_entries);
+  match trace.Http.tr_entries with
+  | [ e ] ->
+      check Alcotest.int "status recorded" 500
+        e.Http.te_tx.Http.tx_response.Http.resp_status
+  | _ -> Alcotest.fail "trace shape"
+
+let test_runtime_malformed_uri () =
+  (* The app builds a URI from user text that is not a URI at all: the
+     runtime skips the request rather than crashing. *)
+  let cls = "com.robust.BadUri" in
+  let on_create =
+    B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+        emit_get b (B.vstr "::this is not a uri::");
+        B.return_void b)
+  in
+  let apk = apk_of [ B.mk_cls ~super:Api.activity cls [ on_create ] ] in
+  let net (_ : Http.request) = Http.response (Http.Text "ok") in
+  let rt = Runtime.create ~net ~input:(fun () -> "") apk in
+  ignore (Runtime.launch rt);
+  let trace = Runtime.captured_trace rt in
+  check Alcotest.int "no transaction for a malformed URI" 0
+    (List.length trace.Http.tr_entries)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "termination",
+        [
+          tc "direct recursion" test_direct_recursion_terminates;
+          tc "mutual recursion" test_mutual_recursion_terminates;
+          tc "infinite loop widened" test_infinite_loop_bounded;
+          tc "deep call chain" test_deep_call_chain_bounded;
+        ] );
+      ( "degenerate apps",
+        [
+          tc "empty app" test_empty_app;
+          tc "no entries" test_app_without_entries;
+          tc "unreachable code" test_unreachable_code_ignored;
+        ] );
+      ( "runtime failures",
+        [
+          tc "error responses" test_runtime_error_responses;
+          tc "malformed uri" test_runtime_malformed_uri;
+        ] );
+    ]

@@ -1,0 +1,444 @@
+(* Signature-language tests: the Figure-4 intermediate language (string
+   signatures), the regex engine, JSON/XML tree signatures, byte
+   accounting, and QCheck properties tying them together. *)
+
+module Strsig = Extr_siglang.Strsig
+module Regex = Extr_siglang.Regex
+module Jsonsig = Extr_siglang.Jsonsig
+module Xmlsig = Extr_siglang.Xmlsig
+module Msgsig = Extr_siglang.Msgsig
+module Json = Extr_httpmodel.Json
+module Xml = Extr_httpmodel.Xml
+module Http = Extr_httpmodel.Http
+module Uri = Extr_httpmodel.Uri
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Strsig construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_concat_merges_literals () =
+  let s = Strsig.concat [ Strsig.lit "a"; Strsig.lit "b"; Strsig.unknown ] in
+  match s with
+  | Strsig.Concat [ Strsig.Lit "ab"; Strsig.Unknown _ ] -> ()
+  | _ -> Alcotest.fail ("unexpected shape " ^ Strsig.to_string s)
+
+let test_concat_flattens () =
+  let inner = Strsig.concat [ Strsig.lit "x"; Strsig.num ] in
+  let s = Strsig.concat [ inner; Strsig.lit "y" ] in
+  match s with
+  | Strsig.Concat [ Strsig.Lit "x"; Strsig.Unknown Strsig.Hnum; Strsig.Lit "y" ] ->
+      ()
+  | _ -> Alcotest.fail "nested concat not flattened"
+
+let test_alt_dedups () =
+  let s = Strsig.alt [ Strsig.lit "a"; Strsig.lit "a"; Strsig.lit "b" ] in
+  match s with
+  | Strsig.Alt [ _; _ ] -> ()
+  | _ -> Alcotest.fail "alt should dedup to two branches"
+
+let test_alt_single_collapses () =
+  check Alcotest.bool "singleton alt collapses" true
+    (Strsig.equal (Strsig.alt [ Strsig.lit "a" ]) (Strsig.lit "a"))
+
+let test_rep_idempotent () =
+  let r = Strsig.rep (Strsig.lit "x") in
+  check Alcotest.bool "rep of rep" true (Strsig.equal (Strsig.rep r) r)
+
+(* ------------------------------------------------------------------ *)
+(* Regex generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_regex_escaping () =
+  check Alcotest.string "metacharacters escaped" "a\\.b\\?c=\\(1\\)"
+    (Strsig.to_regex (Strsig.lit "a.b?c=(1)"))
+
+let test_regex_forms () =
+  check Alcotest.string "unknown" "(.*)" (Strsig.to_regex Strsig.unknown);
+  check Alcotest.string "num" "([0-9]+)" (Strsig.to_regex Strsig.num);
+  check Alcotest.string "alt" "(a|b)"
+    (Strsig.to_regex (Strsig.alt [ Strsig.lit "a"; Strsig.lit "b" ]));
+  check Alcotest.string "rep" "(x)*" (Strsig.to_regex (Strsig.rep (Strsig.lit "x")))
+
+(* ------------------------------------------------------------------ *)
+(* Regex engine                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let m pattern s = Regex.string_matches ~pattern s
+
+let test_regex_literals () =
+  check Alcotest.bool "exact" true (m "abc" "abc");
+  check Alcotest.bool "anchored" false (m "abc" "xabc");
+  check Alcotest.bool "anchored end" false (m "abc" "abcx")
+
+let test_regex_quantifiers () =
+  check Alcotest.bool "star empty" true (m "a*" "");
+  check Alcotest.bool "star many" true (m "a*" "aaaa");
+  check Alcotest.bool "plus requires one" false (m "a+" "");
+  check Alcotest.bool "plus many" true (m "a+" "aaa");
+  check Alcotest.bool "opt zero" true (m "ab?c" "ac");
+  check Alcotest.bool "opt one" true (m "ab?c" "abc");
+  check Alcotest.bool "opt not two" false (m "ab?c" "abbc")
+
+let test_regex_classes () =
+  check Alcotest.bool "digit class" true (m "[0-9]+" "12345");
+  check Alcotest.bool "digit class rejects" false (m "[0-9]+" "12a45");
+  check Alcotest.bool "negated class" true (m "[^/]+" "abc");
+  check Alcotest.bool "negated class rejects" false (m "[^/]+" "a/c");
+  check Alcotest.bool "multi range" true (m "[a-zA-Z0-9_]+" "Az0_9")
+
+let test_regex_alternation () =
+  check Alcotest.bool "first branch" true (m "(save|unsave)" "save");
+  check Alcotest.bool "second branch" true (m "(save|unsave)" "unsave");
+  check Alcotest.bool "neither" false (m "(save|unsave)" "vote")
+
+let test_regex_dot_and_escape () =
+  check Alcotest.bool "dot any" true (m "a.c" "abc");
+  check Alcotest.bool "escaped dot" false (m "a\\.c" "abc");
+  check Alcotest.bool "escaped dot literal" true (m "a\\.c" "a.c");
+  check Alcotest.bool "backslash-d" true (m "\\d+" "42")
+
+let test_regex_wildcard_backtracking () =
+  check Alcotest.bool "middle wildcard" true (m "a(.*)z" "a-lots-of-stuff-z");
+  check Alcotest.bool "two wildcards" true (m "q=(.*)&sort=(.*)" "q=a&b&sort=up");
+  check Alcotest.bool "no terminator" false (m "a(.*)z" "a-unterminated")
+
+let test_regex_paper_example () =
+  let p = "http://www\\.reddit\\.com/search/\\.json\\?q=(.*)&sort=(.*)" in
+  check Alcotest.bool "paper Diode URI" true
+    (m p "http://www.reddit.com/search/.json?q=ocaml&sort=hot")
+
+let test_regex_linear_adversarial () =
+  (* NFA simulation: no catastrophic backtracking on nested-star inputs. *)
+  let pattern = "(a*)*b" in
+  let input = String.make 28 'a' in
+  let t0 = Unix.gettimeofday () in
+  check Alcotest.bool "no match" false (m pattern input);
+  check Alcotest.bool "linear time" true (Unix.gettimeofday () -. t0 < 1.0)
+
+let test_regex_parse_error () =
+  check Alcotest.bool "dangling quantifier rejected" true
+    (try
+       ignore (Regex.of_pattern "*a");
+       false
+     with Regex.Parse_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Matching with byte attribution                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_match_attr_simple () =
+  let s = Strsig.concat [ Strsig.lit "id="; Strsig.unknown ] in
+  match Strsig.byte_counts s "id=42" with
+  | Some (const, wild) ->
+      check Alcotest.int "const bytes" 3 const;
+      check Alcotest.int "wild bytes" 2 wild
+  | None -> Alcotest.fail "should match"
+
+let test_match_attr_alt () =
+  let s = Strsig.alt [ Strsig.lit "aa"; Strsig.lit "bbb" ] in
+  check
+    Alcotest.(option (pair int int))
+    "alt branch" (Some (3, 0))
+    (Strsig.byte_counts s "bbb")
+
+let test_match_attr_num () =
+  check Alcotest.bool "num accepts digits" true (Strsig.matches Strsig.num "123");
+  check Alcotest.bool "num rejects alpha" false (Strsig.matches Strsig.num "12a")
+
+let test_match_attr_rep () =
+  let s = Strsig.concat [ Strsig.lit "x"; Strsig.rep (Strsig.lit "ab") ] in
+  check Alcotest.bool "zero reps" true (Strsig.matches s "x");
+  check Alcotest.bool "two reps" true (Strsig.matches s "xabab");
+  check Alcotest.bool "partial rep" false (Strsig.matches s "xaba")
+
+let test_keywords () =
+  let s =
+    Strsig.concat
+      [ Strsig.lit "http://h/p?count="; Strsig.num; Strsig.lit "&after=" ]
+  in
+  check
+    Alcotest.(list string)
+    "words extracted"
+    [ "after"; "count"; "h"; "http"; "p" ]
+    (Strsig.keywords s)
+
+(* ------------------------------------------------------------------ *)
+(* Jsonsig                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let jsig_fixture =
+  Jsonsig.Jobj
+    [
+      ("status", Jsonsig.Jstr Strsig.unknown);
+      ("count", Jsonsig.Jnum);
+      ("data", Jsonsig.Jobj [ ("token", Jsonsig.Jstr Strsig.unknown) ]);
+      ("items", Jsonsig.Jarr (Jsonsig.Jobj [ ("id", Jsonsig.Jnum) ]));
+    ]
+
+let test_jsonsig_admits () =
+  let v =
+    Json.of_string
+      {|{"status":"ok","count":3,"data":{"token":"t1","extra":1},"items":[{"id":1},{"id":2}]}|}
+  in
+  check Alcotest.bool "admits with extra keys" true (Jsonsig.admits jsig_fixture v)
+
+let test_jsonsig_rejects_missing_key () =
+  let v = Json.of_string {|{"status":"ok"}|} in
+  check Alcotest.bool "missing keys rejected" false (Jsonsig.admits jsig_fixture v)
+
+let test_jsonsig_rejects_wrong_type () =
+  let v =
+    Json.of_string
+      {|{"status":"ok","count":"three","data":{"token":"t"},"items":[]}|}
+  in
+  check Alcotest.bool "type mismatch rejected" false (Jsonsig.admits jsig_fixture v)
+
+let test_jsonsig_keys () =
+  check
+    Alcotest.(list string)
+    "keys"
+    [ "count"; "data"; "id"; "items"; "status"; "token" ]
+    (Jsonsig.distinct_keys jsig_fixture)
+
+let test_jsonsig_merge () =
+  let a = Jsonsig.Jobj [ ("x", Jsonsig.Jnum) ] in
+  let b = Jsonsig.Jobj [ ("y", Jsonsig.Jbool) ] in
+  match Jsonsig.merge a b with
+  | Jsonsig.Jobj fields -> check Alcotest.int "keys merged" 2 (List.length fields)
+  | _ -> Alcotest.fail "merge should stay an object"
+
+let test_jsonsig_byte_account () =
+  let s = Jsonsig.Jobj [ ("k", Jsonsig.Jstr Strsig.unknown) ] in
+  let v = Json.Obj [ ("k", Json.Str "abcd"); ("noise", Json.Int 12345) ] in
+  let bk, bv, bn = Jsonsig.byte_account s v in
+  check Alcotest.bool "constants counted" true (bk > 0);
+  check Alcotest.bool "value bytes counted" true (bv >= 4);
+  check Alcotest.bool "uncovered noise counted" true (bn > 0)
+
+let test_jsonsig_of_concrete () =
+  let v = Json.of_string {|{"a":1,"b":"s","c":[{"d":true}]}|} in
+  let s = Jsonsig.of_concrete v in
+  check Alcotest.bool "inferred admits source" true (Jsonsig.admits s v)
+
+(* ------------------------------------------------------------------ *)
+(* Xmlsig                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let xsig_fixture =
+  Xmlsig.element "channel"
+    ~attrs:[ ("version", Strsig.unknown) ]
+    [
+      Xmlsig.Celem (Xmlsig.element "title" [ Xmlsig.Ctext Strsig.unknown ]);
+      Xmlsig.Crep (Xmlsig.element "item" [ Xmlsig.Ctext Strsig.unknown ]);
+    ]
+
+let test_xmlsig_admits () =
+  let e =
+    Xml.of_string
+      {|<channel version="2.0"><title>t</title><item>a</item><item>b</item><skip/></channel>|}
+  in
+  check Alcotest.bool "admits" true (Xmlsig.admits xsig_fixture e)
+
+let test_xmlsig_rejects_wrong_tag () =
+  let e = Xml.of_string "<feed><title>t</title></feed>" in
+  check Alcotest.bool "wrong root" false (Xmlsig.admits xsig_fixture e)
+
+let test_xmlsig_keywords () =
+  check
+    Alcotest.(list string)
+    "tags and attrs"
+    [ "channel"; "item"; "title"; "version" ]
+    (Xmlsig.distinct_keywords xsig_fixture)
+
+let test_xmlsig_dtd () =
+  let dtd = Xmlsig.to_dtd xsig_fixture in
+  check Alcotest.bool "has element decl" true (contains dtd "<!ELEMENT channel");
+  check Alcotest.bool "has attlist" true (contains dtd "<!ATTLIST channel version")
+
+(* ------------------------------------------------------------------ *)
+(* Msgsig                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let req_sig =
+  {
+    Msgsig.rs_meth = Http.GET;
+    rs_uri = Strsig.concat [ Strsig.lit "https://h.example/api?x="; Strsig.unknown ];
+    rs_headers = [ ("User-Agent", Strsig.lit "app/1.0") ];
+    rs_body = Msgsig.Bnone;
+  }
+
+let test_request_matches () =
+  let req =
+    Http.request
+      ~headers:[ ("User-Agent", "app/1.0") ]
+      Http.GET
+      (Uri.of_string "https://h.example/api?x=42")
+  in
+  check Alcotest.bool "matches" true (Msgsig.request_matches req_sig req)
+
+let test_request_rejects_wrong_method () =
+  let req =
+    Http.request
+      ~headers:[ ("User-Agent", "app/1.0") ]
+      Http.POST
+      (Uri.of_string "https://h.example/api?x=42")
+  in
+  check Alcotest.bool "method mismatch" false (Msgsig.request_matches req_sig req)
+
+let test_request_rejects_missing_header () =
+  let req = Http.request Http.GET (Uri.of_string "https://h.example/api?x=1") in
+  check Alcotest.bool "missing header" false (Msgsig.request_matches req_sig req)
+
+let test_uri_query_keywords () =
+  let sg =
+    Strsig.concat
+      [
+        Strsig.lit "https://h/p?alpha="; Strsig.unknown; Strsig.lit "&beta=";
+        Strsig.num;
+      ]
+  in
+  check
+    Alcotest.(list string)
+    "query keys" [ "alpha"; "beta" ]
+    (Msgsig.uri_query_keywords sg)
+
+let test_body_byte_account_query () =
+  let s = Msgsig.Bquery [ ("id", Strsig.unknown); ("uh", Strsig.unknown) ] in
+  let b = Http.Query [ ("id", "t3_9"); ("uh", "hashhash"); ("junk", "zz") ] in
+  let k, v, n = Msgsig.body_byte_account s b in
+  check Alcotest.bool "keys constant" true (k > 0);
+  check Alcotest.bool "values wild" true (v > 0);
+  check Alcotest.bool "uncovered key noise" true (n > 0)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Generator for random string signatures plus strings in their language. *)
+let gen_sig_and_string =
+  let open QCheck.Gen in
+  let lit_gen = oneofl [ "api"; "/v1/"; "?q="; "&x="; "id"; ".json" ] in
+  let rec gen depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun l -> (Strsig.lit l, l)) lit_gen;
+          map (fun n -> (Strsig.num, string_of_int (abs n + 1))) small_int;
+          return (Strsig.unknown, "anything-goes");
+        ]
+    else
+      oneof
+        [
+          (let* a, sa = gen (depth - 1) in
+           let* b, sb = gen (depth - 1) in
+           return (Strsig.concat [ a; b ], sa ^ sb));
+          (let* a, sa = gen (depth - 1) in
+           let* b, _ = gen (depth - 1) in
+           return (Strsig.alt [ a; b ], sa));
+          gen 0;
+        ]
+  in
+  gen 2
+
+let prop_sig_matches_its_language =
+  QCheck.Test.make ~count:200 ~name:"strsig accepts strings from its language"
+    (QCheck.make gen_sig_and_string)
+    (fun (sg, s) -> Strsig.matches sg s)
+
+let prop_regex_agrees_with_sig =
+  QCheck.Test.make ~count:200
+    ~name:"compiled regex accepts what the signature accepts"
+    (QCheck.make gen_sig_and_string)
+    (fun (sg, s) -> Regex.string_matches ~pattern:(Strsig.to_regex sg) s)
+
+let prop_literal_regex_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"escaped literal matches exactly itself"
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 20))
+    (fun s ->
+      let s = String.map (fun c -> if Char.code c < 32 then 'x' else c) s in
+      Regex.string_matches ~pattern:(Strsig.to_regex (Strsig.lit s)) s)
+
+let prop_byte_counts_total =
+  QCheck.Test.make ~count:200 ~name:"byte attribution covers every byte"
+    (QCheck.make gen_sig_and_string)
+    (fun (sg, s) ->
+      match Strsig.byte_counts sg s with
+      | Some (c, w) -> c + w = String.length s
+      | None -> false)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_sig_matches_its_language;
+      prop_regex_agrees_with_sig;
+      prop_literal_regex_roundtrip;
+      prop_byte_counts_total;
+    ]
+
+let () =
+  Alcotest.run "siglang"
+    [
+      ( "strsig",
+        [
+          tc "concat merges literals" test_concat_merges_literals;
+          tc "concat flattens" test_concat_flattens;
+          tc "alt dedups" test_alt_dedups;
+          tc "alt singleton" test_alt_single_collapses;
+          tc "rep idempotent" test_rep_idempotent;
+          tc "keywords" test_keywords;
+        ] );
+      ("regex-gen", [ tc "escaping" test_regex_escaping; tc "forms" test_regex_forms ]);
+      ( "regex-engine",
+        [
+          tc "literals" test_regex_literals;
+          tc "quantifiers" test_regex_quantifiers;
+          tc "classes" test_regex_classes;
+          tc "alternation" test_regex_alternation;
+          tc "dot and escape" test_regex_dot_and_escape;
+          tc "wildcard backtracking" test_regex_wildcard_backtracking;
+          tc "paper example" test_regex_paper_example;
+          tc "linear on adversarial input" test_regex_linear_adversarial;
+          tc "parse error" test_regex_parse_error;
+        ] );
+      ( "attribution",
+        [
+          tc "simple" test_match_attr_simple;
+          tc "alt" test_match_attr_alt;
+          tc "num" test_match_attr_num;
+          tc "rep" test_match_attr_rep;
+        ] );
+      ( "jsonsig",
+        [
+          tc "admits" test_jsonsig_admits;
+          tc "missing key" test_jsonsig_rejects_missing_key;
+          tc "wrong type" test_jsonsig_rejects_wrong_type;
+          tc "keys" test_jsonsig_keys;
+          tc "merge" test_jsonsig_merge;
+          tc "byte account" test_jsonsig_byte_account;
+          tc "of concrete" test_jsonsig_of_concrete;
+        ] );
+      ( "xmlsig",
+        [
+          tc "admits" test_xmlsig_admits;
+          tc "wrong tag" test_xmlsig_rejects_wrong_tag;
+          tc "keywords" test_xmlsig_keywords;
+          tc "dtd" test_xmlsig_dtd;
+        ] );
+      ( "msgsig",
+        [
+          tc "request matches" test_request_matches;
+          tc "wrong method" test_request_rejects_wrong_method;
+          tc "missing header" test_request_rejects_missing_header;
+          tc "uri query keywords" test_uri_query_keywords;
+          tc "query byte account" test_body_byte_account_query;
+        ] );
+      ("properties", qcheck_tests);
+    ]
