@@ -28,6 +28,9 @@ module Case_studies = Extr_corpus.Case_studies
 module Fuzz = Extr_fuzz.Fuzz
 module Eval = Extr_eval.Eval
 module Tables = Extr_eval.Tables
+module Json = Extr_httpmodel.Json
+module Span = Extr_telemetry.Span
+module Metrics = Extr_telemetry.Metrics
 
 let fmt = Fmt.stdout
 
@@ -184,7 +187,56 @@ let run_fig5 () =
 (* Timing (§5.1)                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_timing () =
+(* Machine-readable bench output: re-analyze every case-study app with
+   the phase spans enabled and dump per-app per-phase wall-clock to a
+   JSON file CI can diff across commits. *)
+let write_phase_timings path =
+  let tracer = Span.default in
+  let entries = Corpus.case_studies () in
+  let apps =
+    List.map
+      (fun (e : Corpus.entry) ->
+        let name = e.Corpus.c_app.Spec.a_name in
+        let apk = Lazy.force e.Corpus.c_apk in
+        let options =
+          match name with
+          | "Kayak (case study)" ->
+              { Pipeline.default_options with Pipeline.op_scope = Some "com.kayak" }
+          | _ -> Pipeline.default_options
+        in
+        let was = Span.is_enabled tracer in
+        Span.reset tracer;
+        Span.set_enabled tracer true;
+        ignore (Pipeline.analyze ~options apk);
+        Span.set_enabled tracer was;
+        let span_s sname =
+          match Span.find tracer sname with
+          | Some sp -> Span.duration_s sp
+          | None -> 0.
+        in
+        let phases =
+          List.map
+            (fun p -> (p, Json.Float (span_s ("pipeline." ^ p))))
+            Pipeline.phase_names
+        in
+        Json.Obj
+          [
+            ("app", Json.Str name);
+            ("total_s", Json.Float (span_s "pipeline.analyze"));
+            ("phases", Json.Obj phases);
+          ])
+      entries
+  in
+  let doc =
+    Json.Obj [ ("bench", Json.Str "pipeline"); ("apps", Json.List apps) ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  Fmt.pf fmt "  per-phase timings for %d apps written to %s@\n@\n"
+    (List.length apps) path
+
+let run_timing ?(json = "BENCH_pipeline.json") () =
   Fmt.pf fmt "Timing — analysis wall-clock per app class (§5.1)@\n";
   let evals = Lazy.force table1_evals in
   let opens = List.filter (fun ae -> not ae.Eval.ae_app.Spec.a_closed) evals in
@@ -217,11 +269,14 @@ let run_timing () =
     static_t
     (List.length analysis.Pipeline.an_report.Report.rp_transactions)
     fuzz_t
-    (List.length trace.Http.tr_entries)
+    (List.length trace.Http.tr_entries);
+  write_phase_timings json
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenches                                              *)
 (* ------------------------------------------------------------------ *)
+
+let bench_counter = Metrics.counter "bench.noop"
 
 let run_micro () =
   let open Bechamel in
@@ -270,6 +325,21 @@ let run_micro () =
       Test.make ~name:"fuzz:radio-reddit"
         (Staged.stage (fun () ->
              ignore (Fuzz.run rr_entry.Corpus.c_app rr_apk ~policy:`Full)));
+      (* Telemetry overhead: the disabled fast paths must be a flag
+         check, and a fully-instrumented pipeline run bounds the
+         enabled cost against pipeline:radio-reddit above. *)
+      Test.make ~name:"telemetry:incr-disabled"
+        (Staged.stage (fun () -> Metrics.incr bench_counter));
+      Test.make ~name:"telemetry:span-disabled"
+        (Staged.stage (fun () -> Span.with_span "bench.noop" (fun () -> ())));
+      Test.make ~name:"pipeline:radio-reddit-telemetry"
+        (Staged.stage (fun () ->
+             Span.reset Span.default;
+             Span.set_enabled Span.default true;
+             Metrics.set_enabled Metrics.default true;
+             ignore (Pipeline.analyze ~options:Pipeline.default_options rr_apk);
+             Span.set_enabled Span.default false;
+             Metrics.set_enabled Metrics.default false));
     ]
   in
   let grouped = Test.make_grouped ~name:"extractocol" ~fmt:"%s %s" tests in
@@ -621,6 +691,7 @@ let () =
   | [| _; "fig3" |] -> run_fig3 ()
   | [| _; "fig5" |] -> run_fig5 ()
   | [| _; "timing" |] -> run_timing ()
+  | [| _; "timing"; "--json"; path |] -> run_timing ~json:path ()
   | [| _; "micro" |] -> run_micro ()
   | [| _; "ablate-aug" |] -> run_ablate_aug ()
   | [| _; "ablate-async" |] -> run_ablate_async ()

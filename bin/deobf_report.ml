@@ -72,6 +72,7 @@ let grade (e : Corpus.entry) : row =
   }
 
 let report details =
+  Extr_telemetry.Log_setup.init ();
   let entries = Corpus.case_studies () @ Corpus.table1 () in
   (* Case studies first, then Table 1 order; skip duplicate names. *)
   let seen = Hashtbl.create 16 in

@@ -10,6 +10,7 @@ module Pipeline = Extr_extractocol.Pipeline
 module Corpus = Extr_corpus.Corpus
 module Spec = Extr_corpus.Spec
 module Obfuscator = Extr_apk.Obfuscator
+module Telemetry = Extr_telemetry
 
 open Cmdliner
 
@@ -26,9 +27,9 @@ let list_apps () =
   0
 
 let setup_logs verbose =
-  Fmt_tty.setup_std_outputs ();
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+  Telemetry.Log_setup.init
+    ~level:(if verbose then Logs.Info else Logs.Warning)
+    ()
 
 (* §5.1 signature validity: match every archived request against the
    extracted signatures and report coverage. *)
@@ -58,7 +59,8 @@ let validate_trace (report : Report.t) path =
         unmatched;
       if unmatched = [] then 0 else 1
 
-let analyze_app name scope async intents obfuscate obf_libs limple_file json dot trace =
+let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
+    trace trace_out metrics_out profile =
   let apk =
     match limple_file with
     | Some path ->
@@ -107,7 +109,30 @@ let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
       op_intents = intents;
     }
   in
+  let telemetry_on = trace_out <> None || metrics_out <> None || profile in
+  if telemetry_on then begin
+    Telemetry.Span.set_enabled Telemetry.Span.default true;
+    Telemetry.Metrics.set_enabled Telemetry.Metrics.default true
+  end;
   let analysis = Pipeline.analyze ~options apk in
+  let try_write write path =
+    try write path
+    with Sys_error msg ->
+      Fmt.epr "cannot write telemetry output: %s@." msg;
+      exit 2
+  in
+  Option.iter
+    (try_write (fun path ->
+         Telemetry.Export.write_chrome_trace path Telemetry.Span.default))
+    trace_out;
+  Option.iter
+    (try_write (fun path ->
+         Telemetry.Export.write_metrics path Telemetry.Metrics.default))
+    metrics_out;
+  if profile then begin
+    Fmt.epr "%a" Telemetry.Export.pp_profile Telemetry.Span.default;
+    Fmt.epr "%a@." Telemetry.Metrics.pp_summary Telemetry.Metrics.default
+  end;
   match trace with
   | Some path -> validate_trace analysis.Pipeline.an_report path
   | None ->
@@ -177,6 +202,25 @@ let limple_arg =
   let doc = "Analyze a textual Limple program instead of a corpus app." in
   Arg.(value & opt (some file) None & info [ "limple" ] ~docv:"FILE" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file of the pipeline phase spans\n\
+     (open it in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write a flat JSON snapshot of the telemetry metrics registry\n\
+     (slicer/taint/interp/pairing counters and histograms)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let profile_flag =
+  let doc = "Print a per-phase profile table (wall clock, allocation,\n\
+             major GCs) and the metrics summary to stderr." in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let cmd =
   let doc = "reconstruct HTTP transactions from an Android app binary" in
   let info = Cmd.info "extractocol" ~version:"1.0" ~doc in
@@ -184,14 +228,14 @@ let cmd =
     Term.(
       const
         (fun verbose list name scope async intents obf obf_libs limple json
-             dot trace ->
+             dot trace trace_out metrics_out profile ->
           setup_logs verbose;
           if list then list_apps ()
           else
             analyze_app name scope async intents obf obf_libs limple json dot
-              trace)
+              trace trace_out metrics_out profile)
       $ verbose_flag $ list_flag $ name_arg $ scope_arg $ async_flag
       $ intents_flag $ obfuscate_flag $ obf_libs_flag $ limple_arg $ json_flag
-      $ dot_flag $ trace_arg)
+      $ dot_flag $ trace_arg $ trace_out_arg $ metrics_out_arg $ profile_flag)
 
 let () = exit (Cmd.eval' cmd)

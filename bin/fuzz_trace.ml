@@ -11,6 +11,7 @@ module Fuzz = Extr_fuzz.Fuzz
 open Cmdliner
 
 let run_fuzz name policy summary =
+  Extr_telemetry.Log_setup.init ();
   let entries = Corpus.case_studies () @ Corpus.table1 () in
   match Corpus.find entries name with
   | None ->

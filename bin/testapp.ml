@@ -74,3 +74,29 @@ let apk =
   let program = { Ir.p_classes = [ main ]; p_entries = [] } in
   Apk.make ~package:"com.example" ~activities:[ cls ] program
 
+(* Analyze the hand-built app and check the expected shape: exactly one
+   GET transaction whose URI regex matches both branch spellings.  Exits
+   non-zero on mismatch so the binary doubles as a smoke test. *)
+let () =
+  Extr_telemetry.Log_setup.init ~level:Logs.Info ();
+  let analysis = Pipeline.analyze apk in
+  let report = analysis.Pipeline.an_report in
+  Fmt.pr "%a@." Report.pp report;
+  match report.Report.rp_transactions with
+  | [ tr ] ->
+      let regex = Strsig.to_regex tr.Report.tr_request.Msgsig.rs_uri in
+      let ok =
+        tr.Report.tr_request.Msgsig.rs_meth = Extr_httpmodel.Http.GET
+        && Regex.string_matches ~pattern:regex
+             "http://api.example.com/items/popular.json?limit=25"
+        && Regex.string_matches ~pattern:regex
+             "http://api.example.com/items/new.json?limit=25"
+      in
+      if not ok then begin
+        Fmt.epr "unexpected transaction shape: %s@." regex;
+        exit 1
+      end
+  | txs ->
+      Fmt.epr "expected exactly one transaction, got %d@." (List.length txs);
+      exit 1
+

@@ -17,7 +17,22 @@ module Api = Extr_semantics.Api
 module Strsig = Extr_siglang.Strsig
 module Slicer = Extr_slicing.Slicer
 module Apk = Extr_apk.Apk
+module Metrics = Extr_telemetry.Metrics
 open Absval
+
+let src =
+  Logs.Src.create "extractocol.interp"
+    ~doc:"Flow-sensitive signature-building interpretation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_stmts =
+  Metrics.counter ~help:"statements interpreted abstractly" "interp.statements"
+
+let m_txs = Metrics.counter ~help:"raw transactions emitted" "interp.transactions"
+
+let m_callbacks =
+  Metrics.counter ~help:"registered callbacks fired" "interp.callbacks_fired"
 
 type options = {
   io_max_depth : int;  (** call-inlining depth bound *)
@@ -683,6 +698,7 @@ let run t : Txn.t list =
     | None -> true
   in
   let fire_callback p =
+    Metrics.incr m_callbacks;
     t.origin <- p.pe_meth;
     t.origin_kind <- p.pe_kind;
     t.callstack <- [];
@@ -721,5 +737,10 @@ let run t : Txn.t list =
   done;
   (* Second sweep over the settled heap. *)
   if t.opts.io_event_heap then List.iter fire_callback !all_fired;
+  Metrics.incr m_stmts ~by:t.steps;
+  Metrics.incr m_txs ~by:t.tx_count;
+  Log.info (fun m ->
+      m "interpretation: %d raw transactions (%d statements interpreted)"
+        t.tx_count t.steps);
   Hashtbl.fold (fun _ tx acc -> tx :: acc) t.txs []
   |> List.sort (fun a b -> compare a.Txn.tx_id b.Txn.tx_id)

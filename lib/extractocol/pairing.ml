@@ -10,6 +10,19 @@ module Ir = Extr_ir.Types
 module Prog = Extr_ir.Prog
 module Callgraph = Extr_cfg.Callgraph
 module Slicer = Extr_slicing.Slicer
+module Metrics = Extr_telemetry.Metrics
+
+let src =
+  Logs.Src.create "extractocol.pairing" ~doc:"Disjoint request/response pairing"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_pairs =
+  Metrics.counter ~help:"disjoint request/response pairs" "pairing.pairs"
+
+let m_contexts =
+  Metrics.histogram ~help:"divergence heads (disjoint contexts) per DP"
+    "pairing.contexts"
 
 type pair = {
   pr_dp : Slicer.dp_site;
@@ -57,8 +70,9 @@ let stmts_in_methods (stmts : Ir.Stmt_set.t) (methods : Ir.Method_set.t) =
     the statements exclusive to that head's reach. *)
 let pair_disjoint (prog : Prog.t) cg (slices : Slicer.result) : pair list =
   ignore prog;
-  List.concat_map
-    (fun (dp : Slicer.dp_site) ->
+  let pairs =
+    List.concat_map
+      (fun (dp : Slicer.dp_site) ->
       let request =
         List.find_opt
           (fun (sl : Slicer.slice) -> sl.Slicer.sl_dp.Slicer.dp_stmt = dp.Slicer.dp_stmt)
@@ -72,6 +86,7 @@ let pair_disjoint (prog : Prog.t) cg (slices : Slicer.result) : pair list =
       match (request, response) with
       | Some req, Some resp ->
           let heads = divergence_heads cg dp in
+          Metrics.observe m_contexts (float_of_int (List.length heads));
           let reaches = List.map (fun h -> (h, reach_down cg h)) heads in
           List.map
             (fun (h, own_reach) ->
@@ -92,7 +107,14 @@ let pair_disjoint (prog : Prog.t) cg (slices : Slicer.result) : pair list =
               })
             reaches
       | _, _ -> [])
-    slices.Slicer.r_dps
+      slices.Slicer.r_dps
+  in
+  Metrics.incr m_pairs ~by:(List.length pairs);
+  Log.info (fun m ->
+      m "pairing: %d disjoint pairs across %d demarcation points"
+        (List.length pairs)
+        (List.length slices.Slicer.r_dps));
+  pairs
 
 (** Naive pairing (the Figure-5 failure mode): pair every request slice
     with every response slice that shares a demarcation-point method —

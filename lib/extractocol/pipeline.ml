@@ -14,10 +14,33 @@ module Api = Extr_semantics.Api
 module Callbacks = Extr_semantics.Callbacks
 module Slicer = Extr_slicing.Slicer
 module Apk = Extr_apk.Apk
+module Span = Extr_telemetry.Span
+module Metrics = Extr_telemetry.Metrics
 
 let src = Logs.Src.create "extractocol.pipeline" ~doc:"Extractocol pipeline stages"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Figure 2 stages, in execution order; each becomes one telemetry span
+   named "pipeline.<phase>" nested under "pipeline.analyze". *)
+let phase_names =
+  [
+    "inject-libraries";
+    "callgraph";
+    "slicing";
+    "interpretation";
+    "scope-filter";
+    "pairing";
+    "report";
+  ]
+
+let m_elapsed =
+  Metrics.gauge ~help:"end-to-end analysis wall-clock seconds (app)"
+    "pipeline.elapsed_seconds"
+
+let m_transactions =
+  Metrics.counter ~help:"deduplicated transactions reported (app)"
+    "pipeline.transactions"
 
 type options = {
   op_async_heuristic : bool;  (** §3.4 heuristic: on for closed-source apps *)
@@ -70,11 +93,22 @@ let with_library_classes (p : Ir.program) : Ir.program =
   { p with Ir.p_classes = p.Ir.p_classes @ missing }
 
 let analyze ?(options = default_options) (apk : Apk.t) : analysis =
-  let start = Unix.gettimeofday () in
-  let program = with_library_classes apk.Apk.program in
-  let apk = { apk with Apk.program } in
-  let prog = Prog.of_program program in
-  let cg = Callgraph.build ~callback_resolver:Callbacks.resolve prog in
+  let app = apk.Apk.manifest.Apk.mf_label in
+  let phase name f =
+    Span.with_span ~args:[ ("app", app) ] ("pipeline." ^ name) f
+  in
+  Span.with_span ~args:[ ("app", app) ] "pipeline.analyze" @@ fun () ->
+  let clock = Span.clock Span.default in
+  let start = clock () in
+  let apk, prog =
+    phase "inject-libraries" @@ fun () ->
+    let program = with_library_classes apk.Apk.program in
+    ({ apk with Apk.program }, Prog.of_program program)
+  in
+  let cg =
+    phase "callgraph" @@ fun () ->
+    Callgraph.build ~callback_resolver:Callbacks.resolve prog
+  in
   let slicer_options =
     {
       Slicer.opt_async_heuristic = options.op_async_heuristic;
@@ -83,15 +117,8 @@ let analyze ?(options = default_options) (apk : Apk.t) : analysis =
       opt_scope = options.op_scope;
     }
   in
-  Log.info (fun m ->
-      m "%s: %d app statements" apk.Apk.manifest.Apk.mf_label
-        (Prog.app_stmt_count prog));
-  let slices = Slicer.run ~options:slicer_options prog cg in
-  Log.info (fun m ->
-      m "slicing: %d demarcation points, %d/%d statements in slices"
-        (List.length slices.Slicer.r_dps)
-        slices.Slicer.r_stats.Slicer.st_slice_stmts
-        slices.Slicer.r_stats.Slicer.st_total_stmts);
+  Log.info (fun m -> m "%s: %d app statements" app (Prog.app_stmt_count prog));
+  let slices = phase "slicing" @@ fun () -> Slicer.run ~options:slicer_options prog cg in
   let interp_options =
     {
       Interp.default_options with
@@ -101,11 +128,14 @@ let analyze ?(options = default_options) (apk : Apk.t) : analysis =
       io_intents = options.op_intents;
     }
   in
-  let interp = Interp.create ~options:interp_options ~slices prog cg apk in
-  let txs = Interp.run interp in
-  Log.info (fun m -> m "interpretation: %d raw transactions" (List.length txs));
+  let txs =
+    phase "interpretation" @@ fun () ->
+    let interp = Interp.create ~options:interp_options ~slices prog cg apk in
+    Interp.run interp
+  in
   (* Scope filter: drop transactions anchored outside the scope. *)
   let txs =
+    phase "scope-filter" @@ fun () ->
     match options.op_scope with
     | None -> txs
     | Some prefix ->
@@ -116,14 +146,20 @@ let analyze ?(options = default_options) (apk : Apk.t) : analysis =
             && String.sub cls 0 (String.length prefix) = prefix)
           txs
   in
-  let pairs = Pairing.pair_disjoint prog cg slices in
-  let elapsed = Unix.gettimeofday () -. start in
+  let pairs = phase "pairing" @@ fun () -> Pairing.pair_disjoint prog cg slices in
+  let elapsed = clock () -. start in
   let report =
-    Report.of_transactions ~app:apk.Apk.manifest.Apk.mf_label
+    phase "report" @@ fun () ->
+    Report.of_transactions ~app
       ~dp_count:(List.length slices.Slicer.r_dps)
       ~slice_stmts:slices.Slicer.r_stats.Slicer.st_slice_stmts
       ~total_stmts:slices.Slicer.r_stats.Slicer.st_total_stmts ~elapsed_s:elapsed txs
   in
+  if Metrics.is_enabled Metrics.default then begin
+    Metrics.set m_elapsed ~labels:[ ("app", app) ] elapsed;
+    Metrics.incr m_transactions ~labels:[ ("app", app) ]
+      ~by:(List.length report.Report.rp_transactions)
+  end;
   Log.info (fun m ->
       m "report: %d transactions after dedup (%.3fs)"
         (List.length report.Report.rp_transactions)

@@ -35,6 +35,11 @@ type analysis = {
   an_report : Report.t;
 }
 
+val phase_names : string list
+(** The Figure 2 stages in execution order.  {!analyze} records one
+    telemetry span named ["pipeline.<phase>"] per stage (nested under
+    ["pipeline.analyze"]) when the default tracer is enabled. *)
+
 val with_library_classes : Ir.program -> Ir.program
 (** Ensure the modelled library classes are present (needed to resolve
     framework superclasses). *)

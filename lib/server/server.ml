@@ -11,6 +11,11 @@ module Json = Extr_httpmodel.Json
 module Xml = Extr_httpmodel.Xml
 module Strsig = Extr_siglang.Strsig
 module Spec = Extr_corpus.Spec
+module Metrics = Extr_telemetry.Metrics
+
+let m_requests =
+  Metrics.counter ~help:"origin-server requests served (app, status)"
+    "server.requests"
 
 (** Deterministic concrete value for a request source (what the runtime
     will actually send for user input / counters / gps). *)
@@ -211,18 +216,29 @@ let make (app : Spec.app) : Http.request -> Http.response =
       app.Spec.a_endpoints
   in
   fun req ->
-  match
-    List.find_opt (fun e -> request_matches_endpoint app e req) by_specificity
-  with
-  | None ->
-      Http.response ~status:404 ~headers:[ ("x-endpoint", "?") ]
-        (Http.Text "not found")
-  | Some e ->
-      if not (access_allowed app e req) then
-        Http.response ~status:403
-          ~headers:[ ("x-endpoint", e.Spec.e_id) ]
-          (Http.Text "forbidden")
-      else
-        Http.response ~status:200
-          ~headers:[ ("x-endpoint", e.Spec.e_id) ]
-          (response_body app e)
+    let resp =
+      match
+        List.find_opt (fun e -> request_matches_endpoint app e req) by_specificity
+      with
+      | None ->
+          Http.response ~status:404 ~headers:[ ("x-endpoint", "?") ]
+            (Http.Text "not found")
+      | Some e ->
+          if not (access_allowed app e req) then
+            Http.response ~status:403
+              ~headers:[ ("x-endpoint", e.Spec.e_id) ]
+              (Http.Text "forbidden")
+          else
+            Http.response ~status:200
+              ~headers:[ ("x-endpoint", e.Spec.e_id) ]
+              (response_body app e)
+    in
+    (* Guarded so the disabled path allocates no label list per request. *)
+    if Metrics.is_enabled Metrics.default then
+      Metrics.incr m_requests
+        ~labels:
+          [
+            ("app", app.Spec.a_name);
+            ("status", string_of_int resp.Http.resp_status);
+          ];
+    resp

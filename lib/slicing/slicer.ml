@@ -18,6 +18,23 @@ module Callbacks = Extr_semantics.Callbacks
 module Fact = Extr_taint.Fact
 module Forward = Extr_taint.Forward
 module Backward = Extr_taint.Backward
+module Metrics = Extr_telemetry.Metrics
+
+let src = Logs.Src.create "extractocol.slicer" ~doc:"Network-aware program slicing"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_dps =
+  Metrics.counter ~help:"demarcation points discovered"
+    "slicer.demarcation_points"
+
+let m_slice_stmts =
+  Metrics.histogram ~help:"per-DP slice sizes in statements (kind=request|response)"
+    "slicer.slice_stmts"
+
+let m_augmented =
+  Metrics.counter ~help:"statements added by object-aware augmentation"
+    "slicer.augmented_stmts"
 
 type dp_site = {
   dp_stmt : Ir.stmt_id;
@@ -290,18 +307,44 @@ let default_options =
   }
 
 let run ?(options = default_options) (prog : Prog.t) (cg : Callgraph.t) : result =
+  let telemetry = Metrics.is_enabled Metrics.default in
   let dps = find_demarcation_points ?scope:options.opt_scope prog in
+  Metrics.incr m_dps ~by:(List.length dps);
+  let observe_size kind sl =
+    if telemetry then
+      Metrics.observe m_slice_stmts
+        ~labels:[ ("kind", kind) ]
+        (float_of_int (Ir.Stmt_set.cardinal sl.sl_stmts))
+  in
   let request =
     List.map
-      (request_slice ~async_heuristic:options.opt_async_heuristic
-         ~async_iterations:options.opt_async_iterations prog cg)
+      (fun dp ->
+        let sl =
+          request_slice ~async_heuristic:options.opt_async_heuristic
+            ~async_iterations:options.opt_async_iterations prog cg dp
+        in
+        observe_size "request" sl;
+        sl)
       dps
   in
   let response =
     List.map
       (fun dp ->
         let sl = response_slice prog cg dp in
-        if options.opt_augmentation then augment_response_slice prog sl else sl)
+        let sl =
+          if options.opt_augmentation then begin
+            let augmented = augment_response_slice prog sl in
+            if telemetry then
+              Metrics.incr m_augmented
+                ~by:
+                  (Ir.Stmt_set.cardinal augmented.sl_stmts
+                  - Ir.Stmt_set.cardinal sl.sl_stmts);
+            augmented
+          end
+          else sl
+        in
+        observe_size "response" sl;
+        sl)
       dps
   in
   let union =
@@ -309,15 +352,16 @@ let run ?(options = default_options) (prog : Prog.t) (cg : Callgraph.t) : result
       (fun acc sl -> Ir.Stmt_set.union acc sl.sl_stmts)
       Ir.Stmt_set.empty (request @ response)
   in
+  let slice_stmts = Ir.Stmt_set.cardinal union in
+  let total_stmts = Prog.app_stmt_count prog in
+  Log.info (fun m ->
+      m "slicing: %d demarcation points, %d/%d statements in slices"
+        (List.length dps) slice_stmts total_stmts);
   {
     r_dps = dps;
     r_request = request;
     r_response = response;
-    r_stats =
-      {
-        st_total_stmts = Prog.app_stmt_count prog;
-        st_slice_stmts = Ir.Stmt_set.cardinal union;
-      };
+    r_stats = { st_total_stmts = total_stmts; st_slice_stmts = slice_stmts };
   }
 
 (** Fraction of application code covered by the slices (Figure 3 reports

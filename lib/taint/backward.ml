@@ -9,6 +9,15 @@ module Ir = Extr_ir.Types
 module Prog = Extr_ir.Prog
 module Callgraph = Extr_cfg.Callgraph
 module Api = Extr_semantics.Api
+module Metrics = Extr_telemetry.Metrics
+
+let m_steps =
+  Metrics.counter ~help:"backward-propagation worklist iterations"
+    "taint.backward.worklist_steps"
+
+let m_facts =
+  Metrics.counter ~help:"distinct facts alive after backward propagation"
+    "taint.backward.facts"
 
 type t = {
   prog : Prog.t;
@@ -334,6 +343,20 @@ let record_entry t mid (out : Fact.Set.t) =
           (fun sid -> Queue.add (sid.Ir.sid_meth, sid.Ir.sid_idx) t.worklist)
           (Callgraph.callers t.cg mid)
 
+(** Union of all facts seen anywhere — used by the asynchronous-event
+    heuristic to discover the heap objects that carry request parts.
+    Includes the global facts that reached method entries (they have no
+    predecessor statement to live at). *)
+let all_facts t =
+  let in_flows =
+    Ir.Method_map.fold
+      (fun _ arr acc -> Array.fold_left Fact.Set.union acc arr)
+      t.after Fact.Set.empty
+  in
+  Ir.Method_map.fold
+    (fun _ globals acc -> Fact.Set.union acc globals)
+    t.entry_globals in_flows
+
 let run t =
   let steps = ref 0 in
   let budget = 2_000_000 in
@@ -350,23 +373,13 @@ let run t =
           if pred_arr.(idx) = [] || idx = 0 then record_entry t mid out;
           List.iter (fun p -> merge_at t mid p out) pred_arr.(idx)
     end
-  done
+  done;
+  Metrics.incr m_steps ~by:!steps;
+  (* The fact union is not free: compute it only when telemetry is on. *)
+  if Metrics.is_enabled Metrics.default then
+    Metrics.incr m_facts ~by:(Fact.Set.cardinal (all_facts t))
 
 let touched_stmts t = t.touched
-
-(** Union of all facts seen anywhere — used by the asynchronous-event
-    heuristic to discover the heap objects that carry request parts.
-    Includes the global facts that reached method entries (they have no
-    predecessor statement to live at). *)
-let all_facts t =
-  let in_flows =
-    Ir.Method_map.fold
-      (fun _ arr acc -> Array.fold_left Fact.Set.union acc arr)
-      t.after Fact.Set.empty
-  in
-  Ir.Method_map.fold
-    (fun _ globals acc -> Fact.Set.union acc globals)
-    t.entry_globals in_flows
 
 let facts_at t (sid : Ir.stmt_id) =
   match Ir.Method_map.find_opt sid.Ir.sid_meth t.after with

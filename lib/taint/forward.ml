@@ -9,6 +9,15 @@ module Prog = Extr_ir.Prog
 module Callgraph = Extr_cfg.Callgraph
 module Api = Extr_semantics.Api
 module Taint_model = Extr_semantics.Taint_model
+module Metrics = Extr_telemetry.Metrics
+
+let m_steps =
+  Metrics.counter ~help:"forward-propagation worklist iterations"
+    "taint.forward.worklist_steps"
+
+let m_facts =
+  Metrics.counter ~help:"distinct facts alive after forward propagation"
+    "taint.forward.facts"
 
 type t = {
   prog : Prog.t;
@@ -313,7 +322,20 @@ let run t =
       | Some succ_arr ->
           List.iter (fun s -> merge_at t mid s out) succ_arr.(idx)
     end
-  done
+  done;
+  Metrics.incr m_steps ~by:!steps;
+  (* The fact union is not free: compute it only when telemetry is on. *)
+  if Metrics.is_enabled Metrics.default then begin
+    let facts =
+      Ir.Method_map.fold
+        (fun _ arr acc -> Array.fold_left Fact.Set.union acc arr)
+        t.before
+        (Ir.Method_map.fold
+           (fun _ globals acc -> Fact.Set.union acc globals)
+           t.exit_globals Fact.Set.empty)
+    in
+    Metrics.incr m_facts ~by:(Fact.Set.cardinal facts)
+  end
 
 let tainted_stmts t = t.touched
 

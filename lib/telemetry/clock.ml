@@ -1,0 +1,16 @@
+(* Injectable time source: the single place the telemetry layer reads
+   time, so deterministic clocks can stand in during tests. *)
+
+type t = unit -> float
+
+let wall : t = Unix.gettimeofday
+
+let fake ?(start = 0.0) ?(step = 1.0) () : t =
+  let now = ref (start -. step) in
+  fun () ->
+    now := !now +. step;
+    !now
+
+let manual ?(start = 0.0) () : t * (float -> unit) =
+  let now = ref start in
+  ((fun () -> !now), fun d -> now := !now +. d)

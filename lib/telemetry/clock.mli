@@ -1,0 +1,17 @@
+(** Injectable time source.  All telemetry timing goes through a [t] so
+    tests can substitute a deterministic clock and the rest of the system
+    never calls [Unix.gettimeofday] directly. *)
+
+type t = unit -> float
+(** Returns a timestamp in seconds.  Only differences are meaningful. *)
+
+val wall : t
+(** The process wall clock ([Unix.gettimeofday]). *)
+
+val fake : ?start:float -> ?step:float -> unit -> t
+(** A deterministic clock: the first read returns [start] (default 0.0)
+    and every subsequent read advances by [step] (default 1.0). *)
+
+val manual : ?start:float -> unit -> t * (float -> unit)
+(** A clock that stands still plus an [advance] function adding the given
+    number of seconds — for tests that control time explicitly. *)

@@ -1,0 +1,160 @@
+(* Exporters.  JSON is emitted by hand: the telemetry layer sits below
+   every other library in the dependency graph, so it cannot reuse
+   lib/httpmodel's JSON values. *)
+
+let buf_add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no infinity; histogram overflow bounds print as a string.
+   Finite values print at the shortest precision that round-trips, so
+   microsecond timestamps near 1e15 keep their low digits. *)
+let buf_add_json_float buf f =
+  if Float.is_integer f && Float.abs f < 1e18 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else if Float.is_finite f then begin
+    let short = Printf.sprintf "%.12g" f in
+    Buffer.add_string buf
+      (if float_of_string short = f then short else Printf.sprintf "%.17g" f)
+  end
+  else buf_add_json_string buf (if f > 0.0 then "+inf" else "-inf")
+
+let buf_add_fields buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, add_v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      buf_add_json_string buf k;
+      Buffer.add_char buf ':';
+      add_v buf)
+    fields;
+  Buffer.add_char buf '}'
+
+let str s buf = buf_add_json_string buf s
+let num f buf = buf_add_json_float buf f
+let int n buf = Buffer.add_string buf (string_of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace events                                                *)
+(* ------------------------------------------------------------------ *)
+
+let us f = Float.round (f *. 1e6)
+
+let chrome_trace ?(pid = 1) (spans : Span.span list) : string =
+  (* Rebase timestamps to the first span so [ts] stays small; absolute
+     epoch microseconds push viewers into float-precision trouble. *)
+  let epoch =
+    List.fold_left
+      (fun acc (sp : Span.span) -> Float.min acc sp.Span.sp_begin_s)
+      infinity spans
+  in
+  let epoch = if Float.is_finite epoch then epoch else 0.0 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i (sp : Span.span) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let args =
+        List.map (fun (k, v) -> (k, str v)) sp.Span.sp_args
+        @ [
+            ("alloc_words", num sp.Span.sp_alloc_words);
+            ("major_collections", int sp.Span.sp_major_collections);
+            ("depth", int sp.Span.sp_depth);
+          ]
+      in
+      buf_add_fields buf
+        [
+          ("name", str sp.Span.sp_name);
+          ("ph", str "X");
+          ("ts", num (us (sp.Span.sp_begin_s -. epoch)));
+          ("dur", num (us (Span.duration_s sp)));
+          ("pid", int pid);
+          ("tid", int 1);
+          ("args", fun buf -> buf_add_fields buf args);
+        ])
+    spans;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)
+
+let write_chrome_trace ?pid path tracer =
+  write_file path (chrome_trace ?pid (Span.spans tracer))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics snapshot                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let kind_name = function
+  | `Counter -> "counter"
+  | `Gauge -> "gauge"
+  | `Histogram -> "histogram"
+
+let metrics_json (registry : Metrics.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"metrics\":[";
+  List.iteri
+    (fun i (s : Metrics.sample) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let fields =
+        [
+          ("name", str s.Metrics.sa_name);
+          ("kind", str (kind_name s.Metrics.sa_kind));
+          ( "labels",
+            fun buf ->
+              buf_add_fields buf
+                (List.map (fun (k, v) -> (k, str v)) s.Metrics.sa_labels) );
+          ("count", int s.Metrics.sa_count);
+          ("sum", num s.Metrics.sa_sum);
+        ]
+        @
+        match s.Metrics.sa_buckets with
+        | [] -> []
+        | buckets ->
+            [
+              ( "buckets",
+                fun buf ->
+                  Buffer.add_char buf '[';
+                  List.iteri
+                    (fun j (bound, count) ->
+                      if j > 0 then Buffer.add_char buf ',';
+                      buf_add_fields buf [ ("le", num bound); ("n", int count) ])
+                    buckets;
+                  Buffer.add_char buf ']' );
+            ]
+      in
+      buf_add_fields buf fields)
+    (Metrics.snapshot registry);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let write_metrics path registry = write_file path (metrics_json registry)
+
+(* ------------------------------------------------------------------ *)
+(* Profile table                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pp_profile fmt tracer =
+  let spans = Span.spans tracer in
+  Fmt.pf fmt "%-40s %12s %14s %7s@\n" "span" "wall (ms)" "alloc (words)" "majgc";
+  List.iter
+    (fun (sp : Span.span) ->
+      let indent = String.make (2 * sp.Span.sp_depth) ' ' in
+      Fmt.pf fmt "%-40s %12.3f %14.0f %7d@\n"
+        (indent ^ sp.Span.sp_name)
+        (1e3 *. Span.duration_s sp)
+        sp.Span.sp_alloc_words sp.Span.sp_major_collections)
+    spans

@@ -1,0 +1,21 @@
+(** Exporters: Chrome trace-event JSON (loadable in Perfetto or
+    chrome://tracing), a flat JSON metrics snapshot, and an Fmt-rendered
+    profile table. *)
+
+val chrome_trace : ?pid:int -> Span.span list -> string
+(** The spans as a [{"traceEvents": [...]}] document of complete ("X")
+    events; timestamps and durations in microseconds, GC deltas in each
+    event's [args]. *)
+
+val write_chrome_trace : ?pid:int -> string -> Span.t -> unit
+(** Write {!chrome_trace} of the tracer's completed spans to a file. *)
+
+val metrics_json : Metrics.t -> string
+(** The registry snapshot as a flat JSON document:
+    [{"metrics": [{"name", "kind", "labels", "count", "sum", "buckets"?}]}]. *)
+
+val write_metrics : string -> Metrics.t -> unit
+
+val pp_profile : Format.formatter -> Span.t -> unit
+(** Per-span profile table: duration, allocation and major-GC deltas,
+    indented by nesting depth, in begin order. *)

@@ -1,0 +1,9 @@
+let installed = ref false
+
+let init ?(level = Logs.Warning) () =
+  if not !installed then begin
+    installed := true;
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_reporter (Logs_fmt.reporter ())
+  end;
+  Logs.set_level (Some level)

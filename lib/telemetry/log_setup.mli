@@ -1,0 +1,8 @@
+(** Shared [Logs] reporter installation for the binaries.  Without a
+    reporter, [Logs] drops every message silently; each executable calls
+    {!init} once at startup. *)
+
+val init : ?level:Logs.level -> unit -> unit
+(** Install a TTY-aware Fmt reporter on stderr and set the global level
+    (default [Logs.Warning]).  Idempotent: later calls only adjust the
+    level. *)

@@ -1,0 +1,81 @@
+(* Hierarchical spans: a stack-shaped recorder around thunks.  GC deltas
+   come from [Gc.minor_words] and [Gc.quick_stat], which read counters
+   without walking the heap, so an enabled span costs two clock reads
+   and two stat reads. *)
+
+type span = {
+  sp_name : string;
+  sp_args : (string * string) list;
+  sp_begin_s : float;
+  sp_end_s : float;
+  sp_depth : int;
+  sp_seq : int;
+  sp_alloc_words : float;
+  sp_major_collections : int;
+}
+
+type t = {
+  mutable enabled : bool;
+  t_clock : Clock.t;
+  mutable depth : int;
+  mutable seq : int;
+  mutable completed : span list;  (* reverse completion order *)
+}
+
+let create ?(clock = Clock.wall) ?(enabled = false) () =
+  { enabled; t_clock = clock; depth = 0; seq = 0; completed = [] }
+
+let default = create ()
+let set_enabled t b = t.enabled <- b
+let is_enabled t = t.enabled
+let clock t = t.t_clock
+
+let reset t =
+  t.depth <- 0;
+  t.seq <- 0;
+  t.completed <- []
+
+(* [Gc.quick_stat]'s word counters only advance at collections; the
+   [Gc.minor_words] primitive also counts words sitting in the current
+   minor heap, so short spans don't read as zero allocation. *)
+let alloc_words minor (st : Gc.stat) =
+  minor +. st.Gc.major_words -. st.Gc.promoted_words
+
+let with_span ?(tracer = default) ?(args = []) name f =
+  if not tracer.enabled then f ()
+  else begin
+    let seq = tracer.seq in
+    tracer.seq <- seq + 1;
+    let depth = tracer.depth in
+    tracer.depth <- depth + 1;
+    let gc0 = Gc.quick_stat () in
+    let m0 = Gc.minor_words () in
+    let t0 = tracer.t_clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = tracer.t_clock () in
+        let m1 = Gc.minor_words () in
+        let gc1 = Gc.quick_stat () in
+        tracer.depth <- depth;
+        tracer.completed <-
+          {
+            sp_name = name;
+            sp_args = args;
+            sp_begin_s = t0;
+            sp_end_s = t1;
+            sp_depth = depth;
+            sp_seq = seq;
+            sp_alloc_words = alloc_words m1 gc1 -. alloc_words m0 gc0;
+            sp_major_collections =
+              gc1.Gc.major_collections - gc0.Gc.major_collections;
+          }
+          :: tracer.completed)
+      f
+  end
+
+let spans t =
+  List.sort (fun a b -> compare a.sp_seq b.sp_seq) (List.rev t.completed)
+
+let duration_s sp = sp.sp_end_s -. sp.sp_begin_s
+
+let find t name = List.find_opt (fun sp -> sp.sp_name = name) (spans t)

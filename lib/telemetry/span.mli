@@ -1,0 +1,49 @@
+(** Hierarchical wall-clock spans with GC deltas.
+
+    A tracer records one {!span} per [with_span] call: begin/end
+    timestamps from its injectable {!Clock.t}, the nesting depth, and the
+    allocation (minor+major words) and major-collection deltas across the
+    span.  Disabled tracers run the thunk directly — the cost is a single
+    [enabled] check. *)
+
+type span = {
+  sp_name : string;
+  sp_args : (string * string) list;
+  sp_begin_s : float;
+  sp_end_s : float;
+  sp_depth : int;  (** 0 = root *)
+  sp_seq : int;  (** begin order, 0-based *)
+  sp_alloc_words : float;  (** minor+major words allocated in the span *)
+  sp_major_collections : int;
+}
+
+type t
+
+val create : ?clock:Clock.t -> ?enabled:bool -> unit -> t
+(** A fresh tracer (default: wall clock, disabled). *)
+
+val default : t
+(** The process-wide tracer the pipeline instrumentation uses. *)
+
+val set_enabled : t -> bool -> unit
+val is_enabled : t -> bool
+
+val clock : t -> Clock.t
+(** The tracer's time source (for non-span elapsed measurements that must
+    stay consistent with the trace). *)
+
+val reset : t -> unit
+(** Drop recorded spans and restart the sequence counter. *)
+
+val with_span : ?tracer:t -> ?args:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** Run the thunk inside a span (default tracer: {!default}).  The span is
+    recorded even when the thunk raises. *)
+
+val spans : t -> span list
+(** Completed spans in begin order. *)
+
+val duration_s : span -> float
+
+val find : t -> string -> span option
+(** First completed span with the given name. *)

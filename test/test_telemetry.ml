@@ -1,0 +1,332 @@
+(* Telemetry subsystem tests: deterministic clocks, span recording,
+   metrics aggregation, exporter output shape, and the end-to-end
+   pipeline instrumentation (one span per phase, expected series). *)
+
+module Clock = Extr_telemetry.Clock
+module Span = Extr_telemetry.Span
+module Metrics = Extr_telemetry.Metrics
+module Export = Extr_telemetry.Export
+module Json = Extr_httpmodel.Json
+module Pipeline = Extr_extractocol.Pipeline
+module Corpus = Extr_corpus.Corpus
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Clocks                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fake_clock () =
+  let c = Clock.fake ~start:10.0 ~step:2.5 () in
+  check (Alcotest.float 0.0) "first read" 10.0 (c ());
+  check (Alcotest.float 0.0) "second read" 12.5 (c ());
+  check (Alcotest.float 0.0) "third read" 15.0 (c ())
+
+let test_manual_clock () =
+  let c, advance = Clock.manual ~start:100.0 () in
+  check (Alcotest.float 0.0) "stands still" 100.0 (c ());
+  check (Alcotest.float 0.0) "still still" 100.0 (c ());
+  advance 3.0;
+  check (Alcotest.float 0.0) "after advance" 103.0 (c ())
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_disabled () =
+  let t = Span.create ~clock:(Clock.fake ()) () in
+  let r = Span.with_span ~tracer:t "outer" (fun () -> 42) in
+  check Alcotest.int "thunk result" 42 r;
+  check Alcotest.int "nothing recorded" 0 (List.length (Span.spans t))
+
+let test_span_nesting () =
+  (* Fake clock ticks once per read: outer reads at t=0, inner at 1/2,
+     outer close at 3 — so inner lasts 1s, outer 3s, and the recorded
+     order is begin order even though inner completes first. *)
+  let t = Span.create ~clock:(Clock.fake ()) ~enabled:true () in
+  Span.with_span ~tracer:t "outer" (fun () ->
+      Span.with_span ~tracer:t ~args:[ ("k", "v") ] "inner" (fun () -> ()));
+  match Span.spans t with
+  | [ outer; inner ] ->
+      check Alcotest.string "outer first" "outer" outer.Span.sp_name;
+      check Alcotest.string "inner second" "inner" inner.Span.sp_name;
+      check Alcotest.int "outer depth" 0 outer.Span.sp_depth;
+      check Alcotest.int "inner depth" 1 inner.Span.sp_depth;
+      check (Alcotest.float 0.0) "inner duration" 1.0 (Span.duration_s inner);
+      check (Alcotest.float 0.0) "outer duration" 3.0 (Span.duration_s outer);
+      check
+        Alcotest.(list (pair string string))
+        "args recorded"
+        [ ("k", "v") ]
+        inner.Span.sp_args
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_records_on_raise () =
+  let t = Span.create ~clock:(Clock.fake ()) ~enabled:true () in
+  (try Span.with_span ~tracer:t "boom" (fun () -> failwith "x") with
+  | Failure _ -> ());
+  check Alcotest.bool "span recorded despite raise" true
+    (Span.find t "boom" <> None);
+  (* Depth must be restored so later siblings are not mis-nested. *)
+  Span.with_span ~tracer:t "after" (fun () -> ());
+  check Alcotest.int "depth restored" 0
+    (Option.get (Span.find t "after")).Span.sp_depth
+
+let test_span_reset () =
+  let t = Span.create ~clock:(Clock.fake ()) ~enabled:true () in
+  Span.with_span ~tracer:t "a" (fun () -> ());
+  Span.reset t;
+  check Alcotest.int "cleared" 0 (List.length (Span.spans t));
+  Span.with_span ~tracer:t "b" (fun () -> ());
+  check Alcotest.int "seq restarts" 0 (Option.get (Span.find t "b")).Span.sp_seq
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_aggregation () =
+  let r = Metrics.create ~enabled:true () in
+  let c = Metrics.counter ~registry:r "reqs" in
+  Metrics.incr c;
+  Metrics.incr c ~by:4;
+  Metrics.incr c ~labels:[ ("app", "ted") ];
+  check (Alcotest.float 0.0) "unlabelled series" 5.0 (Metrics.value r "reqs");
+  check (Alcotest.float 0.0) "labelled series" 1.0
+    (Metrics.value ~labels:[ ("app", "ted") ] r "reqs")
+
+let test_label_order_irrelevant () =
+  let r = Metrics.create ~enabled:true () in
+  let c = Metrics.counter ~registry:r "reqs" in
+  Metrics.incr c ~labels:[ ("a", "1"); ("b", "2") ];
+  Metrics.incr c ~labels:[ ("b", "2"); ("a", "1") ];
+  check (Alcotest.float 0.0) "same series either order" 2.0
+    (Metrics.value ~labels:[ ("b", "2"); ("a", "1") ] r "reqs")
+
+let test_gauge_last_wins () =
+  let r = Metrics.create ~enabled:true () in
+  let g = Metrics.gauge ~registry:r "elapsed" in
+  Metrics.set g 1.5;
+  Metrics.set g 2.5;
+  check (Alcotest.float 0.0) "last value" 2.5 (Metrics.value r "elapsed")
+
+let test_histogram_buckets () =
+  let r = Metrics.create ~enabled:true () in
+  let h = Metrics.histogram ~registry:r ~buckets:[ 1.0; 10.0 ] "sizes" in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 50.0 ];
+  match Metrics.find r "sizes" with
+  | None -> Alcotest.fail "histogram series missing"
+  | Some s ->
+      check Alcotest.int "count" 3 s.Metrics.sa_count;
+      check (Alcotest.float 1e-9) "sum" 55.5 s.Metrics.sa_sum;
+      (* Cumulative: le=1 holds 1, le=10 holds 2, +inf holds all 3. *)
+      let counts = List.map snd s.Metrics.sa_buckets in
+      check Alcotest.(list int) "cumulative buckets" [ 1; 2; 3 ] counts
+
+let test_disabled_registry_noop () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "reqs" in
+  Metrics.incr c ~by:100;
+  check Alcotest.int "no series recorded" 0
+    (List.length (Metrics.snapshot r))
+
+let test_kind_mismatch_rejected () =
+  let r = Metrics.create ~enabled:true () in
+  ignore (Metrics.counter ~registry:r "dual");
+  check Alcotest.bool "re-register as gauge raises" true
+    (try
+       ignore (Metrics.gauge ~registry:r "dual");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_reset () =
+  let r = Metrics.create ~enabled:true () in
+  let c = Metrics.counter ~registry:r "reqs" in
+  Metrics.incr c ~by:7;
+  Metrics.reset r;
+  check (Alcotest.float 0.0) "cleared" 0.0 (Metrics.value r "reqs");
+  Metrics.incr c;
+  check (Alcotest.float 0.0) "handle survives reset" 1.0 (Metrics.value r "reqs")
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_trace_valid_json () =
+  let t = Span.create ~clock:(Clock.fake ()) ~enabled:true () in
+  Span.with_span ~tracer:t ~args:[ ("app", "x\"y") ] "outer" (fun () ->
+      Span.with_span ~tracer:t "inner" (fun () -> ()));
+  let trace = Export.chrome_trace (Span.spans t) in
+  let json = Json.of_string trace in
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  check Alcotest.int "one event per span" 2 (List.length events);
+  let names =
+    List.filter_map
+      (fun ev ->
+        match Json.member "name" ev with Some (Json.Str s) -> Some s | _ -> None)
+      events
+  in
+  check Alcotest.(list string) "names in begin order" [ "outer"; "inner" ] names;
+  List.iter
+    (fun ev ->
+      (match Json.member "ph" ev with
+      | Some (Json.Str "X") -> ()
+      | _ -> Alcotest.fail "not a complete event");
+      match (Json.member "ts" ev, Json.member "dur" ev) with
+      | Some (Json.Int ts), Some (Json.Int dur) ->
+          check Alcotest.bool "non-negative ts/dur" true (ts >= 0 && dur >= 0)
+      | _ -> Alcotest.fail "ts/dur not integers")
+    events;
+  (* The inner span begins 1 (fake-clock) second after the outer one. *)
+  let ts_of ev =
+    match Json.member "ts" ev with Some (Json.Int n) -> n | _ -> -1
+  in
+  check Alcotest.int "outer rebased to 0" 0 (ts_of (List.nth events 0));
+  check Alcotest.int "inner offset 1s" 1_000_000 (ts_of (List.nth events 1))
+
+let test_metrics_json_shape () =
+  let r = Metrics.create ~enabled:true () in
+  let c = Metrics.counter ~registry:r "reqs" in
+  Metrics.incr c ~labels:[ ("app", "ted") ] ~by:3;
+  let h = Metrics.histogram ~registry:r ~buckets:[ 2.0 ] "sizes" in
+  Metrics.observe h 1.0;
+  let json = Json.of_string (Export.metrics_json r) in
+  let series =
+    match Json.member "metrics" json with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no metrics array"
+  in
+  check Alcotest.int "two series" 2 (List.length series);
+  let counter =
+    List.find
+      (fun s -> Json.member "name" s = Some (Json.Str "reqs"))
+      series
+  in
+  check Alcotest.bool "label object" true
+    (Json.member "labels" counter = Some (Json.Obj [ ("app", Json.Str "ted") ]));
+  check Alcotest.bool "count field" true
+    (Json.member "count" counter = Some (Json.Int 3));
+  let histo =
+    List.find
+      (fun s -> Json.member "name" s = Some (Json.Str "sizes"))
+      series
+  in
+  match Json.member "buckets" histo with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "histogram without buckets"
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_default_telemetry f =
+  Span.reset Span.default;
+  Metrics.reset Metrics.default;
+  Span.set_enabled Span.default true;
+  Metrics.set_enabled Metrics.default true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled Span.default false;
+      Metrics.set_enabled Metrics.default false)
+    f
+
+let test_pipeline_spans () =
+  with_default_telemetry @@ fun () ->
+  let e = Option.get (Corpus.find (Corpus.case_studies ()) "SharedDP") in
+  ignore (Pipeline.analyze (Lazy.force e.Corpus.c_apk));
+  let root =
+    match Span.find Span.default "pipeline.analyze" with
+    | Some sp -> sp
+    | None -> Alcotest.fail "no root span"
+  in
+  check Alcotest.bool "root duration non-negative" true
+    (Span.duration_s root >= 0.0);
+  List.iter
+    (fun phase ->
+      let name = "pipeline." ^ phase in
+      let matching =
+        List.filter
+          (fun sp -> sp.Span.sp_name = name)
+          (Span.spans Span.default)
+      in
+      check Alcotest.int (name ^ " appears once") 1 (List.length matching);
+      let sp = List.hd matching in
+      check Alcotest.bool (name ^ " nested under root") true
+        (sp.Span.sp_depth = 1
+        && sp.Span.sp_begin_s >= root.Span.sp_begin_s
+        && sp.Span.sp_end_s <= root.Span.sp_end_s);
+      check Alcotest.bool (name ^ " duration non-negative") true
+        (Span.duration_s sp >= 0.0))
+    Pipeline.phase_names
+
+let test_pipeline_metrics () =
+  with_default_telemetry @@ fun () ->
+  let e = Option.get (Corpus.find (Corpus.case_studies ()) "SharedDP") in
+  ignore (Pipeline.analyze (Lazy.force e.Corpus.c_apk));
+  let positive name =
+    check Alcotest.bool (name ^ " > 0") true (Metrics.value Metrics.default name > 0.0)
+  in
+  positive "slicer.demarcation_points";
+  check Alcotest.bool "slicer.slice_stmts{kind=request} > 0" true
+    (Metrics.value
+       ~labels:[ ("kind", "request") ]
+       Metrics.default "slicer.slice_stmts"
+    > 0.0);
+  positive "taint.backward.worklist_steps";
+  positive "interp.statements";
+  positive "interp.transactions";
+  positive "pairing.pairs";
+  check Alcotest.bool "per-app transaction counter" true
+    (Metrics.value ~labels:[ ("app", "SharedDP") ] Metrics.default
+       "pipeline.transactions"
+    > 0.0)
+
+let test_pipeline_disabled_records_nothing () =
+  Span.reset Span.default;
+  Metrics.reset Metrics.default;
+  let e = Option.get (Corpus.find (Corpus.case_studies ()) "SharedDP") in
+  ignore (Pipeline.analyze (Lazy.force e.Corpus.c_apk));
+  check Alcotest.int "no spans when disabled" 0
+    (List.length (Span.spans Span.default));
+  check Alcotest.int "no series when disabled" 0
+    (List.length (Metrics.snapshot Metrics.default))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "clock",
+        [ tc "fake advances per read" test_fake_clock;
+          tc "manual advances on demand" test_manual_clock ] );
+      ( "span",
+        [
+          tc "disabled tracer records nothing" test_span_disabled;
+          tc "nesting, order, durations" test_span_nesting;
+          tc "recorded on raise, depth restored" test_span_records_on_raise;
+          tc "reset clears and restarts seq" test_span_reset;
+        ] );
+      ( "metrics",
+        [
+          tc "counter aggregation with labels" test_counter_aggregation;
+          tc "label order canonicalized" test_label_order_irrelevant;
+          tc "gauge last-wins" test_gauge_last_wins;
+          tc "histogram cumulative buckets" test_histogram_buckets;
+          tc "disabled registry is a no-op" test_disabled_registry_noop;
+          tc "kind mismatch rejected" test_kind_mismatch_rejected;
+          tc "reset keeps registrations" test_metrics_reset;
+        ] );
+      ( "export",
+        [
+          tc "chrome trace is valid matched JSON" test_chrome_trace_valid_json;
+          tc "metrics snapshot shape" test_metrics_json_shape;
+        ] );
+      ( "pipeline",
+        [
+          tc "one span per phase" test_pipeline_spans;
+          tc "expected series recorded" test_pipeline_metrics;
+          tc "disabled run records nothing" test_pipeline_disabled_records_nothing;
+        ] );
+    ]
