@@ -31,6 +31,7 @@ module Tables = Extr_eval.Tables
 module Json = Extr_httpmodel.Json
 module Span = Extr_telemetry.Span
 module Metrics = Extr_telemetry.Metrics
+module Provenance = Extr_provenance.Provenance
 
 let fmt = Fmt.stdout
 
@@ -230,9 +231,7 @@ let write_phase_timings path =
   let doc =
     Json.Obj [ ("bench", Json.Str "pipeline"); ("apps", Json.List apps) ]
   in
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (Json.to_string doc);
-      Out_channel.output_char oc '\n');
+  Extr_telemetry.Export.write_file path (Json.to_string doc ^ "\n");
   Fmt.pf fmt "  per-phase timings for %d apps written to %s@\n@\n"
     (List.length apps) path
 
@@ -340,6 +339,25 @@ let run_micro () =
              ignore (Pipeline.analyze ~options:Pipeline.default_options rr_apk);
              Span.set_enabled Span.default false;
              Metrics.set_enabled Metrics.default false));
+      (* Provenance overhead: the disabled recorder is one flag check at
+         every instrumentation site (the default configuration), and a
+         provenance-enabled pipeline run bounds the evidence-recording
+         cost against pipeline:radio-reddit above. *)
+      Test.make ~name:"provenance:record-disabled"
+        (Staged.stage (fun () ->
+             Provenance.record_rule Provenance.default
+               ~stmt:
+                 {
+                   Ir.sid_meth = { Ir.id_cls = "bench"; id_name = "noop" };
+                   sid_idx = 0;
+                 }
+               "bench.noop"));
+      Test.make ~name:"pipeline:radio-reddit-provenance"
+        (Staged.stage (fun () ->
+             Provenance.reset Provenance.default;
+             Provenance.set_enabled Provenance.default true;
+             ignore (Pipeline.analyze ~options:Pipeline.default_options rr_apk);
+             Provenance.set_enabled Provenance.default false));
     ]
   in
   let grouped = Test.make_grouped ~name:"extractocol" ~fmt:"%s %s" tests in

@@ -71,8 +71,18 @@ let grade (e : Corpus.entry) : row =
     r_wrong_detail = List.sort compare !wrong_detail;
   }
 
-let report details =
-  Extr_telemetry.Log_setup.init ();
+let setup_logs level =
+  match level with
+  | None -> Extr_telemetry.Log_setup.init ()
+  | Some s -> (
+      match Extr_telemetry.Log_setup.level_of_string s with
+      | Ok lvl -> Extr_telemetry.Log_setup.init_opt lvl
+      | Error msg ->
+          Fmt.epr "%s@." msg;
+          exit 2)
+
+let report log_level details =
+  setup_logs log_level;
   let entries = Corpus.case_studies () @ Corpus.table1 () in
   (* Case studies first, then Table 1 order; skip duplicate names. *)
   let seen = Hashtbl.create 16 in
@@ -113,9 +123,16 @@ let details_flag =
   let doc = "Print each misrecovered class." in
   Arg.(value & flag & info [ "details" ] ~doc)
 
+let log_level_arg =
+  let doc =
+    "Logging level: $(b,quiet), $(b,app), $(b,error), $(b,warning),\n\
+     $(b,info) or $(b,debug) (default warning)."
+  in
+  Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
 let cmd =
   let doc = "grade library de-obfuscation against ground truth" in
   let info = Cmd.info "deobf_report" ~version:"1.0" ~doc in
-  Cmd.v info Term.(const report $ details_flag)
+  Cmd.v info Term.(const report $ log_level_arg $ details_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,6 +11,8 @@ module Corpus = Extr_corpus.Corpus
 module Spec = Extr_corpus.Spec
 module Obfuscator = Extr_apk.Obfuscator
 module Telemetry = Extr_telemetry
+module Provenance = Extr_provenance.Provenance
+module Explain = Extr_extractocol.Explain
 
 open Cmdliner
 
@@ -26,10 +28,15 @@ let list_apps () =
     (all_entries ());
   0
 
-let setup_logs verbose =
-  Telemetry.Log_setup.init
-    ~level:(if verbose then Logs.Info else Logs.Warning)
-    ()
+let setup_logs level =
+  match level with
+  | None -> Telemetry.Log_setup.init ()
+  | Some s -> (
+      match Telemetry.Log_setup.level_of_string s with
+      | Ok lvl -> Telemetry.Log_setup.init_opt lvl
+      | Error msg ->
+          Fmt.epr "%s@." msg;
+          exit 2)
 
 (* §5.1 signature validity: match every archived request against the
    extracted signatures and report coverage. *)
@@ -60,7 +67,7 @@ let validate_trace (report : Report.t) path =
       if unmatched = [] then 0 else 1
 
 let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
-    trace trace_out metrics_out profile =
+    trace trace_out metrics_out profile explain provenance_out =
   let apk =
     match limple_file with
     | Some path ->
@@ -114,7 +121,10 @@ let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
     Telemetry.Span.set_enabled Telemetry.Span.default true;
     Telemetry.Metrics.set_enabled Telemetry.Metrics.default true
   end;
+  let provenance_on = explain <> None || provenance_out <> None in
+  if provenance_on then Provenance.set_enabled Provenance.default true;
   let analysis = Pipeline.analyze ~options apk in
+  let evidence = if provenance_on then Some (Explain.gather analysis) else None in
   let try_write write path =
     try write path
     with Sys_error msg ->
@@ -129,20 +139,54 @@ let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
     (try_write (fun path ->
          Telemetry.Export.write_metrics path Telemetry.Metrics.default))
     metrics_out;
+  Option.iter
+    (try_write (fun path ->
+         Telemetry.Export.write_file path
+           (Extr_httpmodel.Json.to_string
+              (Report.to_json
+                 ?provenance:(Option.map Explain.to_json evidence)
+                 analysis.Pipeline.an_report))))
+    provenance_out;
   if profile then begin
     Fmt.epr "%a" Telemetry.Export.pp_profile Telemetry.Span.default;
     Fmt.epr "%a@." Telemetry.Metrics.pp_summary Telemetry.Metrics.default
   end;
   match trace with
   | Some path -> validate_trace analysis.Pipeline.an_report path
-  | None ->
-      if json then
-        Fmt.pr "%s@."
-          (Extr_httpmodel.Json.to_string
-             (Report.to_json analysis.Pipeline.an_report))
-      else if dot then Fmt.pr "%s" (Report.to_dot analysis.Pipeline.an_report)
-      else Fmt.pr "%a@." Report.pp analysis.Pipeline.an_report;
-      0
+  | None -> (
+      match explain with
+      | Some want ->
+          (* The human-readable evidence tree: statement → rule → fragment
+             per transaction (all of them, or just TX_ID). *)
+          let evs = Option.value evidence ~default:[] in
+          let evs =
+            if want < 0 then evs
+            else
+              List.filter
+                (fun (ev : Explain.tx_evidence) ->
+                  ev.Explain.ev_tx.Report.tr_id = want)
+                evs
+          in
+          if want >= 0 && evs = [] then begin
+            Fmt.epr "no transaction #%d in the report (try --explain)@." want;
+            2
+          end
+          else begin
+            List.iter
+              (Fmt.pr "%a" (Explain.pp_tree analysis.Pipeline.an_prog))
+              evs;
+            0
+          end
+      | None ->
+          if json then
+            Fmt.pr "%s@."
+              (Extr_httpmodel.Json.to_string
+                 (Report.to_json
+                    ?provenance:(Option.map Explain.to_json evidence)
+                    analysis.Pipeline.an_report))
+          else if dot then Fmt.pr "%s" (Report.to_dot analysis.Pipeline.an_report)
+          else Fmt.pr "%a@." Report.pp analysis.Pipeline.an_report;
+          0)
 
 let name_arg =
   let doc = "Corpus app to analyze (see --list)." in
@@ -182,10 +226,13 @@ let json_flag =
   let doc = "Emit the report as JSON instead of the textual form." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let verbose_flag =
-  let doc = "Log pipeline stages (statement counts, slice sizes, raw\n\
-             transaction counts) to stderr." in
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+let log_level_arg =
+  let doc =
+    "Logging level: $(b,quiet), $(b,app), $(b,error), $(b,warning),\n\
+     $(b,info) or $(b,debug) (default warning).  Pipeline stages log\n\
+     statement counts, slice sizes and raw transaction counts at info."
+  in
+  Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
 
 let dot_flag =
   let doc = "Emit the transaction dependency graph in Graphviz DOT form." in
@@ -221,21 +268,42 @@ let profile_flag =
              major GCs) and the metrics summary to stderr." in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
+let explain_arg =
+  let doc =
+    "Print the evidence chain behind every transaction (slice steps,\n\
+     taint facts, api_sem rules, signature fragments, pairing and\n\
+     dependency justifications) instead of the report.  Use\n\
+     $(b,--explain=TX_ID) for a single transaction."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some (-1)) (some int) None
+    & info [ "explain" ] ~docv:"TX_ID" ~doc)
+
+let provenance_out_arg =
+  let doc =
+    "Write the JSON report with the per-transaction evidence chains\n\
+     attached as a \"provenance\" member."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "provenance-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "reconstruct HTTP transactions from an Android app binary" in
   let info = Cmd.info "extractocol" ~version:"1.0" ~doc in
   Cmd.v info
     Term.(
       const
-        (fun verbose list name scope async intents obf obf_libs limple json
-             dot trace trace_out metrics_out profile ->
-          setup_logs verbose;
+        (fun log_level list name scope async intents obf obf_libs limple json
+             dot trace trace_out metrics_out profile explain provenance_out ->
+          setup_logs log_level;
           if list then list_apps ()
           else
             analyze_app name scope async intents obf obf_libs limple json dot
-              trace trace_out metrics_out profile)
-      $ verbose_flag $ list_flag $ name_arg $ scope_arg $ async_flag
+              trace trace_out metrics_out profile explain provenance_out)
+      $ log_level_arg $ list_flag $ name_arg $ scope_arg $ async_flag
       $ intents_flag $ obfuscate_flag $ obf_libs_flag $ limple_arg $ json_flag
-      $ dot_flag $ trace_arg $ trace_out_arg $ metrics_out_arg $ profile_flag)
+      $ dot_flag $ trace_arg $ trace_out_arg $ metrics_out_arg $ profile_flag
+      $ explain_arg $ provenance_out_arg)
 
 let () = exit (Cmd.eval' cmd)

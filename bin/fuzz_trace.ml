@@ -10,8 +10,18 @@ module Fuzz = Extr_fuzz.Fuzz
 
 open Cmdliner
 
-let run_fuzz name policy summary =
-  Extr_telemetry.Log_setup.init ();
+let setup_logs level =
+  match level with
+  | None -> Extr_telemetry.Log_setup.init ()
+  | Some s -> (
+      match Extr_telemetry.Log_setup.level_of_string s with
+      | Ok lvl -> Extr_telemetry.Log_setup.init_opt lvl
+      | Error msg ->
+          Fmt.epr "%s@." msg;
+          exit 2)
+
+let run_fuzz log_level name policy summary =
+  setup_logs log_level;
   let entries = Corpus.case_studies () @ Corpus.table1 () in
   match Corpus.find entries name with
   | None ->
@@ -54,9 +64,17 @@ let summary_flag =
   let doc = "Print a summary instead of the JSON dump." in
   Arg.(value & flag & info [ "summary" ] ~doc)
 
+let log_level_arg =
+  let doc =
+    "Logging level: $(b,quiet), $(b,app), $(b,error), $(b,warning),\n\
+     $(b,info) or $(b,debug) (default warning)."
+  in
+  Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
 let cmd =
   let doc = "capture an app's traffic under a UI-fuzzing policy" in
   let info = Cmd.info "fuzz_trace" ~version:"1.0" ~doc in
-  Cmd.v info Term.(const run_fuzz $ name_arg $ policy_arg $ summary_flag)
+  Cmd.v info
+    Term.(const run_fuzz $ log_level_arg $ name_arg $ policy_arg $ summary_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -78,7 +78,15 @@ let apk =
    GET transaction whose URI regex matches both branch spellings.  Exits
    non-zero on mismatch so the binary doubles as a smoke test. *)
 let () =
-  Extr_telemetry.Log_setup.init ~level:Logs.Info ();
+  (* No cmdliner here; the only option is --log-level LEVEL. *)
+  (match Array.to_list Sys.argv with
+  | _ :: "--log-level" :: lvl :: _ -> (
+      match Extr_telemetry.Log_setup.level_of_string lvl with
+      | Ok l -> Extr_telemetry.Log_setup.init_opt l
+      | Error msg ->
+          Fmt.epr "%s@." msg;
+          exit 2)
+  | _ -> Extr_telemetry.Log_setup.init ~level:Logs.Info ());
   let analysis = Pipeline.analyze apk in
   let report = analysis.Pipeline.an_report in
   Fmt.pr "%a@." Report.pp report;

@@ -13,7 +13,11 @@ module Report = Extr_extractocol.Report
 module Pipeline = Extr_extractocol.Pipeline
 module Spec = Extr_corpus.Spec
 module Corpus = Extr_corpus.Corpus
+module Codegen = Extr_corpus.Codegen
 module Fuzz = Extr_fuzz.Fuzz
+module Slicer = Extr_slicing.Slicer
+module Txn = Extr_extractocol.Txn
+module Metrics = Extr_telemetry.Metrics
 
 (** One fully evaluated app: the static report plus the three dynamic
     baselines' traces. *)
@@ -352,3 +356,170 @@ let account_percentages (a : byte_account) =
     ( 100. *. float_of_int a.ba_k /. float_of_int total,
       100. *. float_of_int a.ba_v /. float_of_int total,
       100. *. float_of_int a.ba_n /. float_of_int total )
+
+(* ------------------------------------------------------------------ *)
+(* Miss diagnosis: which phase lost each uncovered endpoint            *)
+(* ------------------------------------------------------------------ *)
+
+type miss_phase = No_dp_found | Slice_pruned | Interp_bailed | Pairing_failed
+
+let miss_phase_name = function
+  | No_dp_found -> "no-dp-found"
+  | Slice_pruned -> "slice-pruned"
+  | Interp_bailed -> "interp-bailed"
+  | Pairing_failed -> "pairing-failed"
+
+type miss = {
+  ms_endpoint : string;
+  ms_meth : Http.meth;
+  ms_phase : miss_phase;
+  ms_detail : string;
+}
+
+type miss_report = {
+  mr_app : string;
+  mr_total : int;  (** source-truth endpoints *)
+  mr_covered : int;
+  mr_misses : miss list;
+}
+
+let m_missed =
+  Metrics.counter
+    ~help:"source-truth endpoints absent from the static report (app, phase)"
+    "eval.missed_endpoints"
+
+(** The captured request for an endpoint, if it fired during the trace
+    (the synthetic server tags every response with its endpoint id). *)
+let endpoint_request (trace : Http.trace) (e : Spec.endpoint) :
+    Http.request option =
+  List.find_map
+    (fun (te : Http.trace_entry) ->
+      match
+        Http.header "x-endpoint" te.Http.te_tx.Http.tx_response.Http.resp_headers
+      with
+      | Some id when id = e.Spec.e_id -> Some te.Http.te_tx.Http.tx_request
+      | Some _ | None -> None)
+    trace.Http.tr_entries
+
+(** Does the statement sit in code generated for this endpoint — the
+    activity's do_<id> method or one of the endpoint's helper classes? *)
+let stmt_owned (app : Spec.app) (e : Spec.endpoint) (sid : Ir.stmt_id) : bool =
+  let m = sid.Ir.sid_meth in
+  (m.Ir.id_cls = Codegen.activity_cls app && m.Ir.id_name = Codegen.do_meth e)
+  || List.mem m.Ir.id_cls (Codegen.endpoint_classes app e)
+
+(** Walk the pipeline back to front for one missed endpoint and name the
+    first phase whose output no longer carries it. *)
+let diagnose_endpoint (analysis : Pipeline.analysis) (app : Spec.app)
+    (req : Http.request option) (e : Spec.endpoint) : miss_phase * string =
+  let slices = analysis.Pipeline.an_slices in
+  let owned = stmt_owned app e in
+  let touches (sl : Slicer.slice) =
+    owned sl.Slicer.sl_dp.Slicer.dp_stmt
+    || Ir.Stmt_set.exists owned sl.Slicer.sl_stmts
+  in
+  let req_reached = List.exists touches slices.Slicer.r_request in
+  let resp_reached = List.exists touches slices.Slicer.r_response in
+  if (not req_reached) && not resp_reached then
+    ( No_dp_found,
+      Fmt.str "no demarcation point or slice reaches %s.%s"
+        (Codegen.activity_cls app) (Codegen.do_meth e) )
+  else if not req_reached then
+    ( Slice_pruned,
+      "a response slice reaches the endpoint but no backward request slice \
+       covers its URI construction" )
+  else
+    let raw_match =
+      match req with
+      | None -> false
+      | Some r ->
+          List.exists
+            (fun tx -> Msgsig.request_matches (Txn.request_sig tx) r)
+            analysis.Pipeline.an_txs
+    in
+    if raw_match then
+      ( Pairing_failed,
+        "a raw transaction matches the captured request but the paired, \
+         deduplicated report lost it" )
+    else if not e.Spec.e_supported then
+      ( Interp_bailed,
+        Fmt.str
+          "request dispatched through intent service %s: outside the \
+           interpreter's scope (§4)"
+          (List.nth (Codegen.endpoint_classes app e) 5) )
+    else
+      ( Interp_bailed,
+        match req with
+        | None ->
+            "sliced, but the endpoint never fired under full fuzzing so no \
+             captured request can confirm a signature"
+        | Some _ ->
+            "sliced, but no raw transaction's request signature matches the \
+             captured request" )
+
+(** Attribute every source-truth endpoint absent from the static report to
+    the phase that lost it.  Each miss also bumps the
+    ["eval.missed_endpoints"] counter (labels [app] and [phase]) so the
+    per-phase counts flow through the metrics exporters. *)
+let diagnose (analysis : Pipeline.analysis) (trace : Http.trace)
+    (app : Spec.app) : miss_report =
+  let report = analysis.Pipeline.an_report in
+  let covered r =
+    List.exists
+      (fun tr -> Msgsig.request_matches tr.Report.tr_request r)
+      report.Report.rp_transactions
+  in
+  let misses, covered_n =
+    List.fold_left
+      (fun (misses, n) (e : Spec.endpoint) ->
+        let req = endpoint_request trace e in
+        match req with
+        | Some r when covered r -> (misses, n + 1)
+        | _ ->
+            let phase, detail = diagnose_endpoint analysis app req e in
+            if Metrics.is_enabled Metrics.default then
+              Metrics.incr m_missed
+                ~labels:
+                  [
+                    ("app", app.Spec.a_name); ("phase", miss_phase_name phase);
+                  ];
+            ( {
+                ms_endpoint = e.Spec.e_id;
+                ms_meth = e.Spec.e_meth;
+                ms_phase = phase;
+                ms_detail = detail;
+              }
+              :: misses,
+              n ))
+      ([], 0) app.Spec.a_endpoints
+  in
+  {
+    mr_app = app.Spec.a_name;
+    mr_total = List.length app.Spec.a_endpoints;
+    mr_covered = covered_n;
+    mr_misses = List.rev misses;
+  }
+
+(** Analyze a corpus entry under the §5.1 configuration, fuzz it under the
+    full policy, and diagnose every coverage miss. *)
+let diagnose_misses (entry : Corpus.entry) : miss_report =
+  let app = entry.Corpus.c_app in
+  let apk = Lazy.force entry.Corpus.c_apk in
+  let options =
+    if app.Spec.a_closed then Pipeline.default_options
+    else Pipeline.open_source_options
+  in
+  let analysis = Pipeline.analyze ~options apk in
+  let trace = Fuzz.run app apk ~policy:`Full in
+  diagnose analysis trace app
+
+let pp_miss_report fmt (mr : miss_report) =
+  Fmt.pf fmt "%s: %d/%d endpoints covered@." mr.mr_app mr.mr_covered
+    mr.mr_total;
+  List.iter
+    (fun m ->
+      Fmt.pf fmt "  miss %-12s %-6s %-14s %s@." m.ms_endpoint
+        (Http.meth_to_string m.ms_meth)
+        (miss_phase_name m.ms_phase)
+        m.ms_detail)
+    mr.mr_misses

@@ -74,3 +74,45 @@ val byte_accounting : app_eval -> Http.trace -> byte_account * byte_account
 (** Request-side and response-side accumulations over a trace. *)
 
 val account_percentages : byte_account -> float * float * float
+
+(** {1 Miss diagnosis}
+
+    Every source-truth endpoint absent from the static report is walked
+    back through the pipeline and attributed to the first phase whose
+    output no longer carries it, turning Table-1 coverage gaps into
+    actionable per-phase counts. *)
+
+type miss_phase =
+  | No_dp_found  (** no demarcation point or slice reaches the endpoint *)
+  | Slice_pruned  (** backward slicing never covers the URI construction *)
+  | Interp_bailed  (** sliced but no matching raw transaction emerged *)
+  | Pairing_failed  (** a raw transaction matched but the report lost it *)
+
+val miss_phase_name : miss_phase -> string
+(** Stable kebab-case name, used as the metrics [phase] label. *)
+
+type miss = {
+  ms_endpoint : string;
+  ms_meth : Http.meth;
+  ms_phase : miss_phase;
+  ms_detail : string;
+}
+
+type miss_report = {
+  mr_app : string;
+  mr_total : int;  (** source-truth endpoints *)
+  mr_covered : int;
+  mr_misses : miss list;
+}
+
+val diagnose :
+  Extr_extractocol.Pipeline.analysis -> Http.trace -> Spec.app -> miss_report
+(** Diagnose against an existing analysis and captured trace.  Each miss
+    bumps the ["eval.missed_endpoints"] counter (labels [app], [phase]) in
+    the default metrics registry when it is enabled. *)
+
+val diagnose_misses : Corpus.entry -> miss_report
+(** Analyze under the §5.1 configuration, fuzz under the full policy, and
+    {!diagnose}. *)
+
+val pp_miss_report : Format.formatter -> miss_report -> unit

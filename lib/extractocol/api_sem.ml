@@ -14,11 +14,13 @@ module Jsonsig = Extr_siglang.Jsonsig
 module Msgsig = Extr_siglang.Msgsig
 module Http = Extr_httpmodel.Http
 module Uri = Extr_httpmodel.Uri
+module Provenance = Extr_provenance.Provenance
 open Absval
 
 type ctx = {
   cx_prog : Prog.t;
   cx_heap : heap ref;  (** the current execution path's heap *)
+  cx_sid : Ir.stmt_id;  (** the statement being modelled (for provenance) *)
   cx_resources : int -> string option;
   cx_new_tx : dp:Ir.stmt_id -> Txn.t;
   cx_tx : int -> Txn.t option;
@@ -152,17 +154,33 @@ let record_deps (tx : Txn.t) ~field (prov : prov list) =
           dep_from_path = p.p_path;
           dep_to_field = field;
           dep_via = p.p_via;
-        })
+        };
+      (* Evidence chain: why this dependency edge was drawn (§3.3). *)
+      if Provenance.is_enabled Provenance.default then
+        Provenance.record_dep Provenance.default ~tx:tx.Txn.tx_id
+          ~from_tx:p.p_tx ~to_field:field
+          ~reason:
+            (match p.p_via with
+            | Some table -> "db-mediated via " ^ table
+            | None -> "response-value heap flow"))
     prov
 
 (** Finalize a transaction from a request object at a demarcation point. *)
 let finalize ctx ~dp (reqval : Absval.t) : Txn.t =
   let href = ctx.cx_heap in
   let tx = ctx.cx_new_tx ~dp in
+  (* Evidence chain: every signature fragment names the demarcation-point
+     statement it was finalized at and the rule that produced it. *)
+  let frag part rule =
+    if Provenance.is_enabled Provenance.default then
+      Provenance.record_fragment Provenance.default ~tx:tx.Txn.tx_id ~part
+        ~rule ~stmt:dp
+  in
   let set_uri (si : strinfo) =
     tx.Txn.tx_uri <- si.sg;
     tx.Txn.tx_srcs <- List.sort_uniq String.compare (tx.Txn.tx_srcs @ si.srcs);
     if si.prov <> [] then tx.Txn.tx_dynamic_uri <- true;
+    frag "uri" "finalize.uri";
     record_deps tx ~field:"uri" si.prov
   in
   let set_headers headers =
@@ -174,6 +192,7 @@ let finalize ctx ~dp (reqval : Absval.t) : Txn.t =
               match ki.sg with Strsig.Lit s -> s | _ -> Strsig.to_regex ki.sg
             in
             tx.Txn.tx_headers <- tx.Txn.tx_headers @ [ (name, vi.sg) ];
+            frag ("header:" ^ name) "finalize.header";
             record_deps tx ~field:("header:" ^ name) vi.prov
         | _ -> ())
       headers
@@ -181,6 +200,7 @@ let finalize ctx ~dp (reqval : Absval.t) : Txn.t =
   let set_body v =
     let body, kprov = body_of_value ctx v in
     tx.Txn.tx_body <- body;
+    (match body with Msgsig.Bnone -> () | _ -> frag "body" "finalize.body");
     tx.Txn.tx_srcs <-
       List.sort_uniq String.compare (tx.Txn.tx_srcs @ collect_srcs !href v);
     List.iter
@@ -200,6 +220,7 @@ let finalize ctx ~dp (reqval : Absval.t) : Txn.t =
     | Some (Vstr { sg = Strsig.Lit m; _ }) ->
         tx.Txn.tx_meth <- Option.value (Http.meth_of_string m) ~default:Http.GET
     | Some _ | None -> tx.Txn.tx_meth <- meth_of_cls o.o_cls);
+    frag "method" "finalize.method";
     (match hslot href o "uri" with Some u -> set_uri (strinfo_of u) | None -> ());
     (match hslot href o "headers" with
     | Some (Vlist hs) -> set_headers hs
@@ -225,14 +246,26 @@ let finalize ctx ~dp (reqval : Absval.t) : Txn.t =
 
 let cursor_child cu step = { cu_tx = cu.cu_tx; cu_path = cu.cu_path @ [ step ] }
 
+(* Evidence chain: every recorded response access names the reading
+   statement ([cx_sid]) and the accessor rule that modelled it. *)
+let frag_access ctx cu rule =
+  if Provenance.is_enabled Provenance.default then
+    Provenance.record_fragment Provenance.default ~tx:cu.cu_tx
+      ~part:("response:" ^ String.concat "." (path_of_steps cu.cu_path))
+      ~rule ~stmt:ctx.cx_sid
+
 let record_leaf ctx cu kind =
   match ctx.cx_tx cu.cu_tx with
-  | Some tx -> Respacc.record_leaf tx.Txn.tx_resp cu kind
+  | Some tx ->
+      frag_access ctx cu "response-leaf";
+      Respacc.record_leaf tx.Txn.tx_resp cu kind
   | None -> ()
 
 let record_nav ctx cu =
   match ctx.cx_tx cu.cu_tx with
-  | Some tx -> Respacc.record_nav tx.Txn.tx_resp cu
+  | Some tx ->
+      frag_access ctx cu "response-nav";
+      Respacc.record_nav tx.Txn.tx_resp cu
   | None -> ()
 
 let set_resp_kind ctx txid kind =
@@ -753,8 +786,15 @@ let call ctx ~(sid : Ir.stmt_id) (i : Ir.invoke) ~(base : Absval.t option)
                 | Some v -> strinfo_of v
                 | None -> strinfo_of Vtop
               in
+              let wire_frag part =
+                if Provenance.is_enabled Provenance.default then
+                  Provenance.record_fragment Provenance.default
+                    ~tx:tx.Txn.tx_id ~part ~rule:"socket-wire" ~stmt:sid
+              in
+              wire_frag "uri";
               (match parse_http_wire wire.sg with
               | Some (meth, path_sig) ->
+                  wire_frag "method";
                   tx.Txn.tx_meth <- meth;
                   let host =
                     match slot sock "host" with

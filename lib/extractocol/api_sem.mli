@@ -17,6 +17,7 @@ module Http = Extr_httpmodel.Http
 type ctx = {
   cx_prog : Prog.t;
   cx_heap : Absval.heap ref;  (** the current execution path's heap *)
+  cx_sid : Ir.stmt_id;  (** the statement being modelled (for provenance) *)
   cx_resources : int -> string option;
   cx_new_tx : dp:Ir.stmt_id -> Txn.t;
   cx_tx : int -> Txn.t option;

@@ -1,0 +1,242 @@
+(* Evidence trees for reconstructed transactions: joins the provenance
+   recorder's raw records with the finished analysis so a user can ask
+   "why does this signature exist?" and get the chain statement → taint
+   fact → api_sem rule → fragment, plus the pairing and dependency
+   justifications (§3.2, §3.3).  Backs `extractocol --explain` and the
+   optional "provenance" member of the JSON report. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Strsig = Extr_siglang.Strsig
+module Msgsig = Extr_siglang.Msgsig
+module Http = Extr_httpmodel.Http
+module Json = Extr_httpmodel.Json
+module Slicer = Extr_slicing.Slicer
+module Provenance = Extr_provenance.Provenance
+
+type tx_evidence = {
+  ev_tx : Report.transaction;
+  ev_slice : (Ir.stmt_id * Provenance.slice_step) list;
+      (** why each statement entered the DP's request/response slices *)
+  ev_facts : Provenance.fact_edge list;
+      (** taint facts derived at slice statements *)
+  ev_rules : Provenance.rule_app list;
+      (** api_sem rules applied at statements of the DP's slices *)
+  ev_fragments : Provenance.fragment list;
+      (** signature fragments with originating statement and rule *)
+  ev_pairs : Provenance.pair_evidence list;
+  ev_deps : Provenance.dep_evidence list;
+}
+
+let dedup_keep_order xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+(** Statements of the request+response slices of a demarcation point. *)
+let slice_stmts_of (slices : Slicer.result) (dp : Ir.stmt_id) : Ir.Stmt_set.t =
+  List.fold_left
+    (fun acc (sl : Slicer.slice) ->
+      if Ir.Stmt_id.equal sl.Slicer.sl_dp.Slicer.dp_stmt dp then
+        Ir.Stmt_set.union acc sl.Slicer.sl_stmts
+      else acc)
+    Ir.Stmt_set.empty
+    (slices.Slicer.r_request @ slices.Slicer.r_response)
+
+let gather ?(recorder = Provenance.default) (analysis : Pipeline.analysis) :
+    tx_evidence list =
+  let report = analysis.Pipeline.an_report in
+  let aliases = report.Report.rp_tx_aliases in
+  List.map
+    (fun (tr : Report.transaction) ->
+      let dp = tr.Report.tr_dp in
+      let in_slices = slice_stmts_of analysis.Pipeline.an_slices dp in
+      let slice = dedup_keep_order (Provenance.slice_steps recorder ~dp) in
+      let facts =
+        dedup_keep_order
+          (List.concat_map
+             (fun (sid, _) -> Provenance.fact_edges_at recorder sid)
+             slice)
+      in
+      let rules =
+        dedup_keep_order
+          (List.filter
+             (fun (r : Provenance.rule_app) ->
+               Ir.Stmt_set.mem r.Provenance.ru_stmt in_slices)
+             (Provenance.rules recorder))
+      in
+      {
+        ev_tx = tr;
+        ev_slice = slice;
+        ev_facts = facts;
+        ev_rules = rules;
+        ev_fragments =
+          dedup_keep_order
+            (Provenance.fragments_of recorder ~aliases tr.Report.tr_id);
+        ev_pairs = Provenance.pairs_of recorder ~dp;
+        ev_deps =
+          dedup_keep_order
+            (Provenance.deps_of recorder ~aliases tr.Report.tr_id);
+      })
+    report.Report.rp_transactions
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_evidence (ev : tx_evidence) : Json.t =
+  Json.Obj
+    [
+      ("tx", Json.Int ev.ev_tx.Report.tr_id);
+      ("dp", Json.Str (Ir.Stmt_id.to_string ev.ev_tx.Report.tr_dp));
+      ( "slice",
+        Json.List
+          (List.map
+             (fun (sid, step) ->
+               Json.Obj
+                 [
+                   ("stmt", Json.Str (Ir.Stmt_id.to_string sid));
+                   ("step", Json.Str (Provenance.slice_step_name step));
+                 ])
+             ev.ev_slice) );
+      ( "facts",
+        Json.List
+          (List.map
+             (fun (e : Provenance.fact_edge) ->
+               Json.Obj
+                 [
+                   ("stmt", Json.Str (Ir.Stmt_id.to_string e.Provenance.fe_stmt));
+                   ( "direction",
+                     Json.Str
+                       (match e.Provenance.fe_dir with
+                       | `Backward -> "backward"
+                       | `Forward -> "forward") );
+                   ("fact", Json.Str e.Provenance.fe_fact);
+                 ])
+             ev.ev_facts) );
+      ( "rules",
+        Json.List
+          (List.map
+             (fun (r : Provenance.rule_app) ->
+               Json.Obj
+                 [
+                   ("stmt", Json.Str (Ir.Stmt_id.to_string r.Provenance.ru_stmt));
+                   ("rule", Json.Str r.Provenance.ru_rule);
+                 ])
+             ev.ev_rules) );
+      ( "fragments",
+        Json.List
+          (List.map
+             (fun (f : Provenance.fragment) ->
+               Json.Obj
+                 [
+                   ("part", Json.Str f.Provenance.fg_part);
+                   ("rule", Json.Str f.Provenance.fg_rule);
+                   ("stmt", Json.Str (Ir.Stmt_id.to_string f.Provenance.fg_stmt));
+                 ])
+             ev.ev_fragments) );
+      ( "pairing",
+        Json.List
+          (List.map
+             (fun (p : Provenance.pair_evidence) ->
+               Json.Obj
+                 [
+                   ("head", Json.Str (Ir.Method_id.to_string p.Provenance.pe_head));
+                   ("reason", Json.Str p.Provenance.pe_reason);
+                 ])
+             ev.ev_pairs) );
+      ( "dependencies",
+        Json.List
+          (List.map
+             (fun (d : Provenance.dep_evidence) ->
+               Json.Obj
+                 [
+                   ("from_tx", Json.Int d.Provenance.de_from_tx);
+                   ("to_field", Json.Str d.Provenance.de_to_field);
+                   ("reason", Json.Str d.Provenance.de_reason);
+                 ])
+             ev.ev_deps) );
+    ]
+
+let to_json (evs : tx_evidence list) : Json.t =
+  Json.List (List.map json_of_evidence evs)
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable evidence tree                                        *)
+(* ------------------------------------------------------------------ *)
+
+let stmt_text prog (sid : Ir.stmt_id) =
+  match Prog.stmt_at prog sid with
+  | Some stmt -> Extr_ir.Pp.stmt_to_string stmt
+  | None -> "<unresolved>"
+
+let pp_tree prog fmt (ev : tx_evidence) =
+  let tr = ev.ev_tx in
+  Fmt.pf fmt "#%d %s %s@." tr.Report.tr_id
+    (Http.meth_to_string tr.Report.tr_request.Msgsig.rs_meth)
+    (Strsig.to_regex tr.Report.tr_request.Msgsig.rs_uri);
+  Fmt.pf fmt "  demarcation point: %s  %s@."
+    (Ir.Stmt_id.to_string tr.Report.tr_dp)
+    (stmt_text prog tr.Report.tr_dp);
+  if ev.ev_slice <> [] then begin
+    Fmt.pf fmt "  slice (%d steps):@." (List.length ev.ev_slice);
+    List.iter
+      (fun (sid, step) ->
+        Fmt.pf fmt "    %-14s %s  %s@."
+          (Provenance.slice_step_name step)
+          (Ir.Stmt_id.to_string sid) (stmt_text prog sid))
+      ev.ev_slice
+  end;
+  if ev.ev_facts <> [] then begin
+    Fmt.pf fmt "  taint facts:@.";
+    List.iter
+      (fun (e : Provenance.fact_edge) ->
+        Fmt.pf fmt "    %-8s %s  %s@."
+          (match e.Provenance.fe_dir with
+          | `Backward -> "backward"
+          | `Forward -> "forward")
+          (Ir.Stmt_id.to_string e.Provenance.fe_stmt)
+          e.Provenance.fe_fact)
+      ev.ev_facts
+  end;
+  if ev.ev_rules <> [] then begin
+    Fmt.pf fmt "  rules applied:@.";
+    List.iter
+      (fun (r : Provenance.rule_app) ->
+        Fmt.pf fmt "    %s  %s@."
+          (Ir.Stmt_id.to_string r.Provenance.ru_stmt)
+          r.Provenance.ru_rule)
+      ev.ev_rules
+  end;
+  if ev.ev_fragments <> [] then begin
+    Fmt.pf fmt "  signature fragments:@.";
+    List.iter
+      (fun (f : Provenance.fragment) ->
+        Fmt.pf fmt "    %-20s <- %s @@ %s@." f.Provenance.fg_part
+          f.Provenance.fg_rule
+          (Ir.Stmt_id.to_string f.Provenance.fg_stmt))
+      ev.ev_fragments
+  end;
+  if ev.ev_pairs <> [] then begin
+    Fmt.pf fmt "  pairing:@.";
+    List.iter
+      (fun (p : Provenance.pair_evidence) ->
+        Fmt.pf fmt "    head %s (%s)@."
+          (Ir.Method_id.to_string p.Provenance.pe_head)
+          p.Provenance.pe_reason)
+      ev.ev_pairs
+  end;
+  if ev.ev_deps <> [] then begin
+    Fmt.pf fmt "  dependencies:@.";
+    List.iter
+      (fun (d : Provenance.dep_evidence) ->
+        Fmt.pf fmt "    #%d -> %s (%s)@." d.Provenance.de_from_tx
+          d.Provenance.de_to_field d.Provenance.de_reason)
+      ev.ev_deps
+  end

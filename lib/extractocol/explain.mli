@@ -1,0 +1,40 @@
+(** Evidence trees for reconstructed transactions.
+
+    Joins the provenance recorder's raw records with the finished
+    analysis: per report transaction, the slice steps of its demarcation
+    point, the taint facts derived at those statements, the api_sem rules
+    applied inside its slices, the signature fragments with their
+    originating statements, and the pairing/dependency justifications.
+    Backs [extractocol --explain] and the optional "provenance" member of
+    the JSON report. *)
+
+module Ir = Extr_ir.Types
+module Prog = Extr_ir.Prog
+module Provenance = Extr_provenance.Provenance
+
+type tx_evidence = {
+  ev_tx : Report.transaction;
+  ev_slice : (Ir.stmt_id * Provenance.slice_step) list;
+      (** why each statement entered the DP's request/response slices *)
+  ev_facts : Provenance.fact_edge list;
+      (** taint facts derived at slice statements *)
+  ev_rules : Provenance.rule_app list;
+      (** api_sem rules applied at statements of the DP's slices *)
+  ev_fragments : Provenance.fragment list;
+      (** signature fragments with originating statement and rule *)
+  ev_pairs : Provenance.pair_evidence list;
+  ev_deps : Provenance.dep_evidence list;
+}
+
+val gather :
+  ?recorder:Provenance.t -> Pipeline.analysis -> tx_evidence list
+(** One evidence record per report transaction, in report order.
+    [recorder] defaults to {!Provenance.default}; with recording disabled
+    all chains are empty. *)
+
+val json_of_evidence : tx_evidence -> Extr_httpmodel.Json.t
+val to_json : tx_evidence list -> Extr_httpmodel.Json.t
+
+val pp_tree : Prog.t -> Format.formatter -> tx_evidence -> unit
+(** Human-readable evidence tree: statement → fact/rule → fragment, with
+    each statement id resolved to its Limple text. *)

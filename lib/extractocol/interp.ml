@@ -18,6 +18,7 @@ module Strsig = Extr_siglang.Strsig
 module Slicer = Extr_slicing.Slicer
 module Apk = Extr_apk.Apk
 module Metrics = Extr_telemetry.Metrics
+module Provenance = Extr_provenance.Provenance
 open Absval
 
 let src =
@@ -281,13 +282,19 @@ let eval_binop op a b =
 
 (** Read an instance field abstractly; reflection-deserialized objects
     (gson) turn field reads into response-cursor accesses. *)
-let read_field t (href : heap ref) (objval : Absval.t) (f : Ir.field_ref) :
-    Absval.t =
+let read_field t (href : heap ref) ~(sid : Ir.stmt_id) (objval : Absval.t)
+    (f : Ir.field_ref) : Absval.t =
   let typed_default () =
     match f.Ir.fty with
     | Ir.Int -> Vint None
     | Ir.Bool -> Vbool None
     | Ir.Void | Ir.Str | Ir.Obj _ | Ir.Arr _ -> Vtop
+  in
+  let record_access cu' =
+    if Provenance.is_enabled Provenance.default then
+      Provenance.record_fragment Provenance.default ~tx:cu'.cu_tx
+        ~part:("response:" ^ String.concat "." (path_of_steps cu'.cu_path))
+        ~rule:"gson-field" ~stmt:sid
   in
   match objval with
   | Vobj o -> (
@@ -296,6 +303,7 @@ let read_field t (href : heap ref) (objval : Absval.t) (f : Ir.field_ref) :
           let cu' = { cu with cu_path = cu.cu_path @ [ Sfield f.Ir.fname ] } in
           (match Hashtbl.find_opt t.txs cu.cu_tx with
           | Some tx -> (
+              record_access cu';
               match f.Ir.fty with
               | Ir.Obj _ | Ir.Arr _ -> Respacc.record_nav tx.Txn.tx_resp cu'
               | Ir.Int -> Respacc.record_leaf tx.Txn.tx_resp cu' Respacc.Knum
@@ -320,7 +328,9 @@ let read_field t (href : heap ref) (objval : Absval.t) (f : Ir.field_ref) :
       (* Direct field access into a parsed response value. *)
       let cu' = { cu with cu_path = cu.cu_path @ [ Sfield f.Ir.fname ] } in
       (match Hashtbl.find_opt t.txs cu.cu_tx with
-      | Some tx -> Respacc.record_leaf tx.Txn.tx_resp cu' Respacc.Kstr
+      | Some tx ->
+          record_access cu';
+          Respacc.record_leaf tx.Txn.tx_resp cu' Respacc.Kstr
       | None -> ());
       str_of_sig ~prov:[ prov_of_cursor cu' ] Strsig.unknown
   | Vtop | Vnull | Vbool _ | Vint _ | Vstr _ | Vlist _ | Vpair _ ->
@@ -492,7 +502,7 @@ and eval_expr t ~depth href vars sid (e : Ir.expr) : Absval.t =
       let o = halloc href "array" in
       hset href o "items" (Vlist []);
       Vobj o
-  | Ir.IField (x, f) -> read_field t href (eval_value vars (Ir.Local x)) f
+  | Ir.IField (x, f) -> read_field t href ~sid (eval_value vars (Ir.Local x)) f
   | Ir.SField f -> (
       match Hashtbl.find_opt t.statics (f.Ir.fcls, f.Ir.fname) with
       | Some v -> v
@@ -541,8 +551,13 @@ and eval_invoke t ~depth href vars (sid : Ir.stmt_id) (i : Ir.invoke) : Absval.t
     in
     match app_callees with
     | [] -> (
-        match Api_sem.call (api_ctx t ~depth ~href) ~sid i ~base ~args with
-        | Some v -> v
+        match Api_sem.call (api_ctx t ~depth ~href ~sid) ~sid i ~base ~args with
+        | Some v ->
+            (* Evidence chain: a semantic model matched this library call. *)
+            if Provenance.is_enabled Provenance.default then
+              Provenance.record_rule Provenance.default ~stmt:sid
+                (i.Ir.iref.Ir.mcls ^ "." ^ i.Ir.iref.Ir.mname);
+            v
         | None -> Vtop)
     | callees ->
         let results =
@@ -577,10 +592,11 @@ and run_app_method t ~depth ~href ~sid mid ~this ~args : Absval.t =
     r
   end
 
-and api_ctx t ~depth ~href : Api_sem.ctx =
+and api_ctx t ~depth ~href ~sid : Api_sem.ctx =
   {
     Api_sem.cx_prog = t.prog;
     cx_heap = href;
+    cx_sid = sid;
     cx_resources = (fun id -> Apk.resource_string t.apk id);
     cx_new_tx = (fun ~dp -> new_tx t ~dp);
     cx_tx = (fun id -> Hashtbl.find_opt t.txs id);

@@ -11,6 +11,7 @@ module Prog = Extr_ir.Prog
 module Callgraph = Extr_cfg.Callgraph
 module Slicer = Extr_slicing.Slicer
 module Metrics = Extr_telemetry.Metrics
+module Provenance = Extr_provenance.Provenance
 
 let src =
   Logs.Src.create "extractocol.pairing" ~doc:"Disjoint request/response pairing"
@@ -99,6 +100,13 @@ let pair_disjoint (prog : Prog.t) cg (slices : Slicer.result) : pair list =
                   Ir.Method_set.empty reaches
               in
               let exclusive = Ir.Method_set.diff own_reach others in
+              (* Evidence chain: why this pair was drawn (Figure 5). *)
+              if Provenance.is_enabled Provenance.default then
+                Provenance.record_pair Provenance.default
+                  ~dp:dp.Slicer.dp_stmt ~head:h
+                  ~reason:
+                    (if List.length heads = 1 then "sole-head"
+                     else "disjoint-context");
               {
                 pr_dp = dp;
                 pr_head = h;

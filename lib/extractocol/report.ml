@@ -9,6 +9,7 @@ module Strsig = Extr_siglang.Strsig
 
 type transaction = {
   tr_id : int;
+  tr_dp : Ir.stmt_id;  (** the demarcation point that produced the pair *)
   tr_request : Msgsig.request_sig;
   tr_response : Msgsig.response_sig;
   tr_deps : Txn.dep list;
@@ -20,6 +21,10 @@ type transaction = {
 type t = {
   rp_app : string;
   rp_transactions : transaction list;
+  rp_tx_aliases : (int * int) list;
+      (** raw transaction id → representative id after {!dedup}; lets
+          provenance recorded against merged duplicates reach the
+          representative *)
   rp_dp_count : int;
   rp_slice_fraction : float;
   rp_slice_stmts : int;
@@ -77,12 +82,13 @@ let dedup (txs : Txn.t list) : Txn.t list * (int, int) Hashtbl.t =
 
 let of_transactions ~app ~dp_count ~slice_stmts ~total_stmts ~elapsed_s
     (txs : Txn.t list) : t =
-  let reps, _ = dedup txs in
+  let reps, id_map = dedup txs in
   let transactions =
     List.map
       (fun (tx : Txn.t) ->
         {
           tr_id = tx.Txn.tx_id;
+          tr_dp = tx.Txn.tx_dp;
           tr_request = Txn.request_sig tx;
           tr_response = Txn.response_sig tx;
           tr_deps = tx.Txn.tx_deps;
@@ -92,9 +98,16 @@ let of_transactions ~app ~dp_count ~slice_stmts ~total_stmts ~elapsed_s
         })
       reps
   in
+  let aliases =
+    Hashtbl.fold
+      (fun raw rep acc -> if raw <> rep then (raw, rep) :: acc else acc)
+      id_map []
+    |> List.sort compare
+  in
   {
     rp_app = app;
     rp_transactions = transactions;
+    rp_tx_aliases = aliases;
     rp_dp_count = dp_count;
     rp_slice_fraction =
       (if total_stmts = 0 then 0.0
@@ -172,6 +185,7 @@ let json_of_transaction (tr : transaction) : Json.t =
   Json.Obj
     [
       ("id", Json.Int tr.tr_id);
+      ("dp", Json.Str (Ir.Stmt_id.to_string tr.tr_dp));
       ( "request",
         Json.Obj
           [
@@ -215,18 +229,19 @@ let json_of_transaction (tr : transaction) : Json.t =
       ("privacy_sources", Json.List (List.map (fun s -> Json.Str s) tr.tr_srcs));
     ]
 
-let to_json (t : t) : Json.t =
+let to_json ?provenance (t : t) : Json.t =
   Json.Obj
-    [
-      ("app", Json.Str t.rp_app);
-      ("demarcation_points", Json.Int t.rp_dp_count);
-      ("slice_statements", Json.Int t.rp_slice_stmts);
-      ("total_statements", Json.Int t.rp_total_stmts);
-      ("slice_fraction", Json.Float t.rp_slice_fraction);
-      ("elapsed_seconds", Json.Float t.rp_elapsed_s);
-      ( "transactions",
-        Json.List (List.map json_of_transaction t.rp_transactions) );
-    ]
+    ([
+       ("app", Json.Str t.rp_app);
+       ("demarcation_points", Json.Int t.rp_dp_count);
+       ("slice_statements", Json.Int t.rp_slice_stmts);
+       ("total_statements", Json.Int t.rp_total_stmts);
+       ("slice_fraction", Json.Float t.rp_slice_fraction);
+       ("elapsed_seconds", Json.Float t.rp_elapsed_s);
+       ( "transactions",
+         Json.List (List.map json_of_transaction t.rp_transactions) );
+     ]
+    @ match provenance with Some p -> [ ("provenance", p) ] | None -> [])
 
 (* ------------------------------------------------------------------ *)
 (* DOT export                                                         *)

@@ -8,6 +8,7 @@ module Msgsig = Extr_siglang.Msgsig
 
 type transaction = {
   tr_id : int;
+  tr_dp : Ir.stmt_id;  (** the demarcation point that produced the pair *)
   tr_request : Msgsig.request_sig;
   tr_response : Msgsig.response_sig;
   tr_deps : Txn.dep list;
@@ -19,6 +20,8 @@ type transaction = {
 type t = {
   rp_app : string;
   rp_transactions : transaction list;
+  rp_tx_aliases : (int * int) list;
+      (** raw transaction id â representative id after {!dedup} *)
   rp_dp_count : int;
   rp_slice_fraction : float;
   rp_slice_stmts : int;
@@ -55,10 +58,11 @@ val paired : t -> transaction list
 val request_body_kind : transaction -> [ `Query | `Json | `Xml | `Text ] option
 val response_body_kind : transaction -> [ `Json | `Xml | `Text ] option
 
-val to_json : t -> Extr_httpmodel.Json.t
+val to_json : ?provenance:Extr_httpmodel.Json.t -> t -> Extr_httpmodel.Json.t
 (** Machine-readable export of the full report (transactions with
     request/response signatures as anchored regexes and shape strings,
-    dependencies, consumers, slice statistics). *)
+    dependencies, consumers, slice statistics).  [provenance] appends the
+    evidence chains (see {!Explain.to_json}) as a "provenance" member. *)
 
 val to_dot : t -> string
 (** Render the inter-transaction dependency graph (the structure behind

@@ -19,6 +19,7 @@ module Fact = Extr_taint.Fact
 module Forward = Extr_taint.Forward
 module Backward = Extr_taint.Backward
 module Metrics = Extr_telemetry.Metrics
+module Provenance = Extr_provenance.Provenance
 
 let src = Logs.Src.create "extractocol.slicer" ~doc:"Network-aware program slicing"
 
@@ -146,27 +147,46 @@ let request_slice ~async_heuristic ~async_iterations prog cg (dp : dp_site) :
     engine
   in
   let engine = run_with_setters [] in
-  let stmts =
-    if not async_heuristic then Backward.touched_stmts engine
+  let stmts, async_setters =
+    if not async_heuristic then (Backward.touched_stmts engine, [])
     else begin
       (* §3.4: for each heap object carrying request parts, restart
          backward propagation from its setter statements.  The default is
          one hop; the paper's multiple-iterations variant repeats until no
          new heap carriers appear (bounded by [async_iterations]). *)
-      let rec iterate k engine known_fields =
+      let rec iterate k engine setters known_fields =
         let fields =
           List.sort_uniq compare (Fact.field_facts (Backward.all_facts engine))
         in
-        if k <= 0 || fields = known_fields then Backward.touched_stmts engine
+        if k <= 0 || fields = known_fields then
+          (Backward.touched_stmts engine, setters)
         else begin
-          let setters = field_store_sites prog fields in
-          let engine' = run_with_setters setters in
-          iterate (k - 1) engine' fields
+          let setters' = field_store_sites prog fields in
+          let engine' = run_with_setters setters' in
+          iterate (k - 1) engine' setters' fields
         end
       in
-      iterate (max 1 async_iterations) engine []
+      iterate (max 1 async_iterations) engine [] []
     end
   in
+  if Provenance.is_enabled Provenance.default then begin
+    let dp_sid = dp.dp_stmt in
+    Provenance.record_slice_step Provenance.default ~dp:dp_sid ~stmt:dp_sid
+      Provenance.Dp_discovered;
+    let setter_sids = List.map fst async_setters in
+    List.iter
+      (fun sid ->
+        Provenance.record_slice_step Provenance.default ~dp:dp_sid ~stmt:sid
+          Provenance.Async_setter)
+      setter_sids;
+    Ir.Stmt_set.iter
+      (fun sid ->
+        if (not (Ir.Stmt_id.equal sid dp_sid)) && not (List.mem sid setter_sids)
+        then
+          Provenance.record_slice_step Provenance.default ~dp:dp_sid ~stmt:sid
+            Provenance.Backward_taint)
+      stmts
+  end;
   { sl_dp = dp; sl_stmts = Ir.Stmt_set.add dp.dp_stmt stmts }
 
 (* ------------------------------------------------------------------ *)
@@ -216,7 +236,14 @@ let response_slice prog cg (dp : dp_site) : slice =
         (response_callback_roots prog dp)
   | Demarcation.Opaque_sink -> ());
   Forward.run engine;
-  { sl_dp = dp; sl_stmts = Forward.tainted_stmts engine }
+  let stmts = Forward.tainted_stmts engine in
+  if Provenance.is_enabled Provenance.default then
+    Ir.Stmt_set.iter
+      (fun sid ->
+        Provenance.record_slice_step Provenance.default ~dp:dp.dp_stmt ~stmt:sid
+          Provenance.Forward_taint)
+      stmts;
+  { sl_dp = dp; sl_stmts = stmts }
 
 (* ------------------------------------------------------------------ *)
 (* Object-aware slice augmentation (§3.1)                              *)
@@ -283,6 +310,13 @@ let augment_response_slice prog (sl : slice) : slice =
               m.Ir.m_body)
       methods
   done;
+  if Provenance.is_enabled Provenance.default then
+    Ir.Stmt_set.iter
+      (fun sid ->
+        if not (Ir.Stmt_set.mem sid sl.sl_stmts) then
+          Provenance.record_slice_step Provenance.default ~dp:sl.sl_dp.dp_stmt
+            ~stmt:sid Provenance.Augmented)
+      !included;
   { sl with sl_stmts = !included }
 
 (* ------------------------------------------------------------------ *)

@@ -10,6 +10,18 @@ module Prog = Extr_ir.Prog
 module Callgraph = Extr_cfg.Callgraph
 module Api = Extr_semantics.Api
 module Metrics = Extr_telemetry.Metrics
+module Provenance = Extr_provenance.Provenance
+
+(* Evidence chain (provenance): the facts a transfer derived at a
+   statement justify its slice membership.  Rendering a fact allocates,
+   so the enabled flag is read before any formatting happens. *)
+let record_gen sid (gen : Fact.Set.t) =
+  if Provenance.is_enabled Provenance.default then
+    Fact.Set.iter
+      (fun f ->
+        Provenance.record_fact_edge Provenance.default ~dir:`Backward ~stmt:sid
+          (Format.asprintf "%a" Fact.pp f))
+      gen
 
 let m_steps =
   Metrics.counter ~help:"backward-propagation worklist iterations"
@@ -240,7 +252,10 @@ let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
                 let gen, call_touched =
                   handle_invoke t mid set sid i ~def_relevant
                 in
-                if call_touched then touch ();
+                if call_touched then begin
+                  touch ();
+                  record_gen sid gen
+                end;
                 (* Kill the definition after using it. *)
                 let killed =
                   if def_relevant then Fact.kill_local set mid v else set
@@ -249,7 +264,9 @@ let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
             | e ->
                 if def_relevant then begin
                   touch ();
-                  (Fact.kill_local set mid v, Fact.Set.of_list (expr_gen mid e))
+                  let gen = Fact.Set.of_list (expr_gen mid e) in
+                  record_gen sid gen;
+                  (Fact.kill_local set mid v, gen)
                 end
                 else (set, Fact.Set.empty)
           in
@@ -268,6 +285,7 @@ let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
               | Ir.Invoke _ -> Fact.Set.empty (* not generated by builder *)
               | e -> Fact.Set.of_list (expr_gen mid e)
             in
+            record_gen sid gen;
             Fact.Set.union set gen
           end
           else set
@@ -280,6 +298,7 @@ let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
               | Ir.Invoke _ -> Fact.Set.empty
               | e -> Fact.Set.of_list (expr_gen mid e)
             in
+            record_gen sid gen;
             Fact.Set.union (Fact.Set.remove global set) gen
           end
           else set
@@ -291,12 +310,16 @@ let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
               | Ir.Invoke _ -> Fact.Set.empty
               | e -> Fact.Set.of_list (expr_gen mid e)
             in
+            record_gen sid gen;
             Fact.Set.union set gen
           end
           else set)
   | Ir.InvokeStmt i ->
       let gen, call_touched = handle_invoke t mid set sid i ~def_relevant:false in
-      if call_touched then touch ();
+      if call_touched then begin
+        touch ();
+        record_gen sid gen
+      end;
       Fact.Set.union set gen
   | Ir.Return _ | Ir.If _ | Ir.Goto _ | Ir.Lab _ | Ir.Nop -> set
 

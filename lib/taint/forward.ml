@@ -10,6 +10,25 @@ module Callgraph = Extr_cfg.Callgraph
 module Api = Extr_semantics.Api
 module Taint_model = Extr_semantics.Taint_model
 module Metrics = Extr_telemetry.Metrics
+module Provenance = Extr_provenance.Provenance
+
+(* Evidence chain (provenance): facts the transfer derived at a statement.
+   The enabled flag is read before any fact is rendered. *)
+let record_new sid (facts : Fact.t list) =
+  if Provenance.is_enabled Provenance.default then
+    List.iter
+      (fun f ->
+        Provenance.record_fact_edge Provenance.default ~dir:`Forward ~stmt:sid
+          (Format.asprintf "%a" Fact.pp f))
+      facts
+
+let record_new_set sid (facts : Fact.Set.t) =
+  if Provenance.is_enabled Provenance.default then
+    Fact.Set.iter
+      (fun f ->
+        Provenance.record_fact_edge Provenance.default ~dir:`Forward ~stmt:sid
+          (Format.asprintf "%a" Fact.pp f))
+      facts
 
 let m_steps =
   Metrics.counter ~help:"forward-propagation worklist iterations"
@@ -226,7 +245,10 @@ let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
         match rhs with
         | Ir.Invoke i ->
             let ret, gen, any_input = handle_invoke t mid set sid i in
-            if any_input || ret then touch ();
+            if any_input || ret then begin
+              touch ();
+              record_new_set sid gen
+            end;
             (ret, gen)
         | e ->
             let tainted = expr_tainted t mid set e in
@@ -238,12 +260,18 @@ let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
         | Ir.Lvar v ->
             if rhs_tainted then begin
               touch ();
+              record_new sid [ Fact.local mid v ];
               Fact.Set.add (Fact.local mid v) (Fact.kill_local set mid v)
             end
             else Fact.kill_local set mid v
         | Ir.Lfield (x, f) ->
             if rhs_tainted then begin
               touch ();
+              record_new sid
+                [
+                  Fact.local_path mid x f.Ir.fname;
+                  Fact.Ffield (f.Ir.fcls, f.Ir.fname);
+                ];
               set
               |> Fact.Set.add (Fact.local_path mid x f.Ir.fname)
               |> Fact.Set.add (Fact.Ffield (f.Ir.fcls, f.Ir.fname))
@@ -252,12 +280,14 @@ let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
         | Ir.Lsfield f ->
             if rhs_tainted then begin
               touch ();
+              record_new sid [ Fact.Fstatic (f.Ir.fcls, f.Ir.fname) ];
               Fact.Set.add (Fact.Fstatic (f.Ir.fcls, f.Ir.fname)) set
             end
             else set
         | Ir.Lelem (a, _) ->
             if rhs_tainted then begin
               touch ();
+              record_new sid [ Fact.local mid a ];
               Fact.Set.add (Fact.local mid a) set
             end
             else set
@@ -269,7 +299,10 @@ let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
       set'
   | Ir.InvokeStmt i ->
       let _ret, gen, any_input = handle_invoke t mid set sid i in
-      if any_input || not (Fact.Set.is_empty gen) then touch ();
+      if any_input || not (Fact.Set.is_empty gen) then begin
+        touch ();
+        record_new_set sid gen
+      end;
       Fact.Set.union set gen
   | Ir.Return v ->
       (match v with

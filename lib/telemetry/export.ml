@@ -88,8 +88,19 @@ let chrome_trace ?(pid = 1) (spans : Span.span list) : string =
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
 
+(* Atomic write: a crash mid-export must never leave a truncated file
+   behind.  Write to a temp file in the destination directory (rename is
+   only atomic within one filesystem), then rename over the target. *)
 let write_file path contents =
-  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp" in
+  (try
+     Out_channel.with_open_text tmp (fun oc ->
+         Out_channel.output_string oc contents)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let write_chrome_trace ?pid path tracer =
   write_file path (chrome_trace ?pid (Span.spans tracer))

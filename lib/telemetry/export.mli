@@ -2,6 +2,12 @@
     chrome://tracing), a flat JSON metrics snapshot, and an Fmt-rendered
     profile table. *)
 
+val write_file : string -> string -> unit
+(** [write_file path contents] writes atomically: contents go to a temp
+    file in [path]'s directory which is then renamed over [path], so a
+    crash mid-export never leaves a truncated file behind.  Used by every
+    exporter here and by the provenance export. *)
+
 val chrome_trace : ?pid:int -> Span.span list -> string
 (** The spans as a [{"traceEvents": [...]}] document of complete ("X")
     events; timestamps and durations in microseconds, GC deltas in each

@@ -1,9 +1,31 @@
 let installed = ref false
 
-let init ?(level = Logs.Warning) () =
+let install () =
   if not !installed then begin
     installed := true;
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ())
-  end;
+  end
+
+let init ?(level = Logs.Warning) () =
+  install ();
   Logs.set_level (Some level)
+
+let init_opt level =
+  install ();
+  Logs.set_level level
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "quiet" | "off" | "none" -> Ok None
+  | "app" -> Ok (Some Logs.App)
+  | "error" -> Ok (Some Logs.Error)
+  | "warning" | "warn" -> Ok (Some Logs.Warning)
+  | "info" -> Ok (Some Logs.Info)
+  | "debug" -> Ok (Some Logs.Debug)
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown log level %S (expected quiet, app, error, warning, info \
+            or debug)"
+           other)

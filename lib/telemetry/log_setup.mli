@@ -1,8 +1,17 @@
 (** Shared [Logs] reporter installation for the binaries.  Without a
     reporter, [Logs] drops every message silently; each executable calls
-    {!init} once at startup. *)
+    {!init} (or {!init_opt}) once at startup. *)
 
 val init : ?level:Logs.level -> unit -> unit
 (** Install a TTY-aware Fmt reporter on stderr and set the global level
     (default [Logs.Warning]).  Idempotent: later calls only adjust the
     level. *)
+
+val init_opt : Logs.level option -> unit
+(** Like {!init} but accepts [None] to silence logging entirely (the
+    "quiet" level of [--log-level]). *)
+
+val level_of_string : string -> (Logs.level option, string) result
+(** Parse a [--log-level] argument: "quiet"/"off"/"none" mean no logging,
+    otherwise one of "app", "error", "warning" (or "warn"), "info",
+    "debug" (case-insensitive).  The error message names the input. *)

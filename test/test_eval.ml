@@ -157,6 +157,80 @@ let test_validity_full_trace () =
   check Alcotest.int "all supported requests match" total matched
 
 (* ------------------------------------------------------------------ *)
+(* Miss diagnosis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = Extr_telemetry.Metrics
+
+let test_miss_diagnosis_shareddp () =
+  (* SharedDP's two endpoints are both statically reconstructed, so the
+     diagnosis finds nothing to attribute. *)
+  let entries = Corpus.case_studies () in
+  let mr = Eval.diagnose_misses (Option.get (Corpus.find entries "SharedDP")) in
+  check Alcotest.int "all endpoints covered" mr.Eval.mr_total mr.Eval.mr_covered;
+  check Alcotest.int "no misses" 0 (List.length mr.Eval.mr_misses)
+
+let test_miss_diagnosis_unsupported () =
+  (* The synthetic Table-1 apps carry deliberately-unsupported endpoints
+     (intent-service dispatch, §4): each must be attributed to the
+     interpreter, and covered + missed must account for every endpoint. *)
+  let entry =
+    Corpus.table1 ()
+    |> List.filter (fun (e : Corpus.entry) ->
+           List.exists
+             (fun (ep : Spec.endpoint) -> not ep.Spec.e_supported)
+             e.Corpus.c_app.Spec.a_endpoints)
+    |> List.sort (fun (a : Corpus.entry) (b : Corpus.entry) ->
+           compare
+             (List.length a.Corpus.c_app.Spec.a_endpoints)
+             (List.length b.Corpus.c_app.Spec.a_endpoints))
+    |> List.hd
+  in
+  let app = entry.Corpus.c_app in
+  Metrics.reset Metrics.default;
+  Metrics.set_enabled Metrics.default true;
+  let mr = Eval.diagnose_misses entry in
+  Metrics.set_enabled Metrics.default false;
+  check Alcotest.int "covered + missed = total" mr.Eval.mr_total
+    (mr.Eval.mr_covered + List.length mr.Eval.mr_misses);
+  List.iter
+    (fun (ep : Spec.endpoint) ->
+      if not ep.Spec.e_supported then
+        match
+          List.find_opt
+            (fun (m : Eval.miss) -> m.Eval.ms_endpoint = ep.Spec.e_id)
+            mr.Eval.mr_misses
+        with
+        | None ->
+            Alcotest.failf "unsupported endpoint %s not reported missed"
+              ep.Spec.e_id
+        | Some m ->
+            check Alcotest.string "unsupported endpoints bail in the interpreter"
+              "interp-bailed"
+              (Eval.miss_phase_name m.Eval.ms_phase))
+    app.Spec.a_endpoints;
+  (* Per-phase counts flow through the metrics registry. *)
+  let exported =
+    List.fold_left
+      (fun acc (s : Metrics.sample) ->
+        if s.Metrics.sa_name = "eval.missed_endpoints" then
+          acc + s.Metrics.sa_count
+        else acc)
+      0
+      (Metrics.snapshot Metrics.default)
+  in
+  check Alcotest.int "metrics counter matches the miss list"
+    (List.length mr.Eval.mr_misses)
+    exported;
+  (* The rendering names every miss once. *)
+  let out = Fmt.str "%a" Eval.pp_miss_report mr in
+  List.iter
+    (fun (m : Eval.miss) ->
+      check Alcotest.bool "miss rendered" true
+        (Tables.Str_replace.contains out m.Eval.ms_endpoint))
+    mr.Eval.mr_misses
+
+(* ------------------------------------------------------------------ *)
 (* JSON export                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -263,6 +337,11 @@ let () =
         [
           tc "radio reddit row" test_coverage_radio_reddit;
           tc "validity on full trace" test_validity_full_trace;
+        ] );
+      ( "miss-diagnosis",
+        [
+          tc "SharedDP fully covered" test_miss_diagnosis_shareddp;
+          tc "unsupported endpoints attributed" test_miss_diagnosis_unsupported;
         ] );
       ("json", [ tc "report export round-trips" test_report_json_roundtrip ]);
       ("dot", [ tc "dependency graph export" test_report_dot_export ]);

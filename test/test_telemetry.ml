@@ -219,6 +219,97 @@ let test_metrics_json_shape () =
   | Some (Json.List (_ :: _)) -> ()
   | _ -> Alcotest.fail "histogram without buckets"
 
+let test_metrics_json_empty_registry () =
+  (* An empty registry exports a well-formed document with an empty
+     series array — and registration alone records nothing. *)
+  let r = Metrics.create ~enabled:true () in
+  (match Json.member "metrics" (Json.of_string (Export.metrics_json r)) with
+  | Some (Json.List []) -> ()
+  | _ -> Alcotest.fail "empty registry must export an empty metrics array");
+  ignore (Metrics.counter ~registry:r "silent");
+  ignore (Metrics.histogram ~registry:r "sizes");
+  (match Json.member "metrics" (Json.of_string (Export.metrics_json r)) with
+  | Some (Json.List []) -> ()
+  | _ -> Alcotest.fail "registration without observations must not export");
+  (* The human-readable summary also renders. *)
+  check Alcotest.bool "summary renders" true
+    (String.length (Fmt.str "%a" Metrics.pp_summary r) >= 0)
+
+let test_chrome_trace_escapes_args () =
+  (* Span args carrying quotes, backslashes and control characters must
+     still yield parseable JSON with the values intact. *)
+  let t = Span.create ~clock:(Clock.fake ()) ~enabled:true () in
+  let nasty = "a\"b\\c\nd\te" in
+  Span.with_span ~tracer:t ~args:[ ("app", nasty) ] "x" (fun () -> ());
+  let json = Json.of_string (Export.chrome_trace (Span.spans t)) in
+  match Json.member "traceEvents" json with
+  | Some (Json.List [ ev ]) -> (
+      match Json.member "args" ev with
+      | Some args ->
+          check Alcotest.bool "arg value survives escaping" true
+            (Json.member "app" args = Some (Json.Str nasty))
+      | None -> Alcotest.fail "args object missing")
+  | _ -> Alcotest.fail "expected exactly one event"
+
+let test_chrome_trace_raising_span () =
+  (* A span closed by an exception still exports as a complete event. *)
+  let t = Span.create ~clock:(Clock.fake ()) ~enabled:true () in
+  (try Span.with_span ~tracer:t "boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  let json = Json.of_string (Export.chrome_trace (Span.spans t)) in
+  match Json.member "traceEvents" json with
+  | Some (Json.List [ ev ]) ->
+      check Alcotest.bool "name" true
+        (Json.member "name" ev = Some (Json.Str "boom"));
+      (match Json.member "dur" ev with
+      | Some (Json.Int d) -> check Alcotest.bool "dur non-negative" true (d >= 0)
+      | _ -> Alcotest.fail "dur missing")
+  | _ -> Alcotest.fail "raising span not exported"
+
+let test_write_file_atomic () =
+  let path = Filename.temp_file "telemetry" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Export.write_file path "first";
+  Export.write_file path "second";
+  check Alcotest.string "rename replaced the contents" "second"
+    (In_channel.with_open_text path In_channel.input_all);
+  (* No temp droppings left next to the target. *)
+  let dir = Filename.dirname path in
+  let prefix = "." ^ Filename.basename path in
+  let leftovers =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f >= String.length prefix
+           && String.sub f 0 (String.length prefix) = prefix)
+  in
+  check Alcotest.(list string) "no temp files left" [] leftovers
+
+(* ------------------------------------------------------------------ *)
+(* Log setup                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_level_of_string () =
+  let open Extr_telemetry.Log_setup in
+  check Alcotest.bool "debug" true
+    (level_of_string "DEBUG" = Ok (Some Logs.Debug));
+  check Alcotest.bool "info" true
+    (level_of_string "info" = Ok (Some Logs.Info));
+  check Alcotest.bool "warn alias" true
+    (level_of_string "warn" = Ok (Some Logs.Warning));
+  check Alcotest.bool "quiet disables" true (level_of_string "quiet" = Ok None);
+  check Alcotest.bool "off disables" true (level_of_string "off" = Ok None);
+  match level_of_string "bogus" with
+  | Error msg ->
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i =
+          i + n <= h && (String.sub hay i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      check Alcotest.bool "error names the input" true (contains msg "bogus")
+  | Ok _ -> Alcotest.fail "bogus level accepted"
+
 (* ------------------------------------------------------------------ *)
 (* Pipeline integration                                               *)
 (* ------------------------------------------------------------------ *)
@@ -322,7 +413,12 @@ let () =
         [
           tc "chrome trace is valid matched JSON" test_chrome_trace_valid_json;
           tc "metrics snapshot shape" test_metrics_json_shape;
+          tc "empty registry exports cleanly" test_metrics_json_empty_registry;
+          tc "chrome trace escapes arg values" test_chrome_trace_escapes_args;
+          tc "raising span still exported" test_chrome_trace_raising_span;
+          tc "write_file is atomic" test_write_file_atomic;
         ] );
+      ("log-setup", [ tc "level parsing" test_level_of_string ]);
       ( "pipeline",
         [
           tc "one span per phase" test_pipeline_spans;
