@@ -1,0 +1,126 @@
+(* Build-time chaos harness: the crash-free invariant, asserted.
+
+   Two legs, both of which fail the build (exit 1) on violation:
+
+   1. Mutation sweep — [mutants] seeded {!Chaos.mutate} corruptions of
+      corpus apps (dangling references, truncated bodies, superclass
+      cycles, entry-less manifests, hostile strings, scrambled labels)
+      each run through [Pipeline.analyze] behind the exception barrier.
+      Any escaped exception is a bug: the pipeline must degrade, never
+      raise.
+
+   2. Reporting guard — a real app run under a starvation budget must
+      surface its degradations in BOTH the report ledger and the
+      [pipeline.degradations] metric.  A budget that trips silently is
+      exactly the failure mode the resilience layer exists to prevent. *)
+
+module Spec = Extr_corpus.Spec
+module Corpus = Extr_corpus.Corpus
+module Pipeline = Extr_extractocol.Pipeline
+module Report = Extr_extractocol.Report
+module Resilience = Extr_resilience.Resilience
+module Chaos = Extr_resilience.Chaos
+module Metrics = Extr_telemetry.Metrics
+
+let mutants = 60
+
+(* Mutants can manufacture pathological control flow, so each one runs
+   under a tight budget and a per-mutant deadline: the sweep asserts
+   crash-freedom, not completion. *)
+let mutant_limits =
+  {
+    Resilience.Budget.bl_max_steps = 2_000_000;
+    bl_max_depth = 24;
+    bl_deadline_s = Some 10.0;
+  }
+
+let mutant_options =
+  { Pipeline.default_options with op_limits = mutant_limits }
+
+let failures = ref 0
+
+let fail fmt =
+  Fmt.kstr
+    (fun s ->
+      incr failures;
+      Fmt.epr "chaos_check: FAIL %s@." s)
+    fmt
+
+let mutation_sweep () =
+  let pool = Array.of_list (Corpus.case_studies () @ Corpus.table1 ()) in
+  let escaped = ref 0 in
+  for seed = 1 to mutants do
+    let entry = pool.(seed mod Array.length pool) in
+    let name = entry.Corpus.c_app.Spec.a_name in
+    let apk = Lazy.force entry.Corpus.c_apk in
+    let mutant, mutations = Chaos.mutate ~seed apk in
+    let tag =
+      Fmt.str "seed %d on %s [%a]" seed name
+        Fmt.(list ~sep:(any "+") string)
+        (List.map Chaos.mutation_name mutations)
+    in
+    match Resilience.Barrier.protect ~app:name (fun () ->
+        Pipeline.analyze ~options:mutant_options mutant)
+    with
+    | Ok analysis ->
+        (* The ledger the pipeline accumulated must be the one the report
+           carries — a degradation dropped between the two is unreported. *)
+        let in_report = List.length analysis.Pipeline.an_report.Report.rp_degradations in
+        let in_ledger =
+          List.length (Resilience.Degrade.items Resilience.Degrade.default)
+        in
+        if in_report <> in_ledger then
+          fail "%s: %d degradations in ledger but %d in report" tag in_ledger
+            in_report
+    | Error crash ->
+        incr escaped;
+        fail "escaped exception: %s: %a@.%s" tag Resilience.Barrier.pp_crash
+          crash crash.Resilience.Barrier.cr_backtrace
+  done;
+  Fmt.pr "chaos_check: %d mutants analyzed, %d escaped exceptions@." mutants
+    !escaped
+
+let starvation_limits =
+  {
+    Resilience.Budget.bl_max_steps = 500;
+    bl_max_depth = 24;
+    bl_deadline_s = None;
+  }
+
+let reporting_guard () =
+  Metrics.set_enabled Metrics.default true;
+  Metrics.reset Metrics.default;
+  let entry =
+    match Corpus.find (Corpus.table1 ()) "Pinterest" with
+    | Some e -> e
+    | None -> List.hd (Corpus.table1 ())
+  in
+  let options = { Pipeline.default_options with op_limits = starvation_limits } in
+  let analysis =
+    Pipeline.analyze ~options (Lazy.force entry.Corpus.c_apk)
+  in
+  let degradations = analysis.Pipeline.an_report.Report.rp_degradations in
+  if degradations = [] then
+    fail "starved run (%d steps) reported no degradations"
+      starvation_limits.Resilience.Budget.bl_max_steps;
+  let reported_in_metric =
+    List.exists
+      (fun (s : Metrics.sample) ->
+        s.Metrics.sa_name = "pipeline.degradations" && s.Metrics.sa_count > 0)
+      (Metrics.snapshot Metrics.default)
+  in
+  if not reported_in_metric then
+    fail "starved run bumped no pipeline.degradations metric";
+  Metrics.set_enabled Metrics.default false;
+  Fmt.pr "chaos_check: starvation run degraded in %d place(s), metric recorded@."
+    (List.length degradations)
+
+let () =
+  Logs.set_level (Some Logs.Error);
+  mutation_sweep ();
+  reporting_guard ();
+  if !failures > 0 then begin
+    Fmt.epr "chaos_check: %d failure(s)@." !failures;
+    exit 1
+  end;
+  Fmt.pr "chaos_check: ok@."

@@ -13,8 +13,19 @@ module Obfuscator = Extr_apk.Obfuscator
 module Telemetry = Extr_telemetry
 module Provenance = Extr_provenance.Provenance
 module Explain = Extr_extractocol.Explain
+module Resilience = Extr_resilience.Resilience
 
 open Cmdliner
+
+(* Exit codes (documented in the man page):
+     0  analysis completed cleanly
+     1  usage error (unknown app, unreadable input, write failure)
+     2  an app crashed behind the fault barrier (--all)
+     3  analysis completed, but with degradations or unmatched requests *)
+let exit_ok = 0
+let exit_usage = 1
+let exit_crashed = 2
+let exit_degraded = 3
 
 let all_entries () = Corpus.case_studies () @ Corpus.table1 ()
 
@@ -36,7 +47,7 @@ let setup_logs level =
       | Ok lvl -> Telemetry.Log_setup.init_opt lvl
       | Error msg ->
           Fmt.epr "%s@." msg;
-          exit 2)
+          exit exit_usage)
 
 (* §5.1 signature validity: match every archived request against the
    extracted signatures and report coverage. *)
@@ -45,7 +56,7 @@ let validate_trace (report : Report.t) path =
   match Extr_httpmodel.Har.of_string src with
   | None ->
       Fmt.epr "could not parse trace archive %s@." path;
-      2
+      exit_usage
   | Some trace ->
       let requests = Extr_httpmodel.Http.trace_requests trace in
       let matched, unmatched =
@@ -64,10 +75,10 @@ let validate_trace (report : Report.t) path =
         (fun (req : Extr_httpmodel.Http.request) ->
           Fmt.pr "  unmatched: %a@." Extr_httpmodel.Http.pp_request req)
         unmatched;
-      if unmatched = [] then 0 else 1
+      if unmatched = [] then exit_ok else exit_degraded
 
 let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
-    trace trace_out metrics_out profile explain provenance_out =
+    trace trace_out metrics_out profile explain provenance_out limits =
   let apk =
     match limple_file with
     | Some path ->
@@ -92,7 +103,7 @@ let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
         | Some e -> Lazy.force e.Corpus.c_apk
         | None ->
             Fmt.epr "app %S not found; use --list to enumerate@." name;
-            exit 2)
+            exit exit_usage)
   in
   let apk = if obfuscate then fst (Obfuscator.obfuscate apk) else apk in
   let apk =
@@ -114,6 +125,7 @@ let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
       Pipeline.op_scope = scope;
       op_async_heuristic = async;
       op_intents = intents;
+      op_limits = limits;
     }
   in
   let telemetry_on = trace_out <> None || metrics_out <> None || profile in
@@ -129,7 +141,7 @@ let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
     try write path
     with Sys_error msg ->
       Fmt.epr "cannot write telemetry output: %s@." msg;
-      exit 2
+      exit exit_usage
   in
   Option.iter
     (try_write (fun path ->
@@ -169,7 +181,7 @@ let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
           in
           if want >= 0 && evs = [] then begin
             Fmt.epr "no transaction #%d in the report (try --explain)@." want;
-            2
+            exit_usage
           end
           else begin
             List.iter
@@ -186,7 +198,62 @@ let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
                     analysis.Pipeline.an_report))
           else if dot then Fmt.pr "%s" (Report.to_dot analysis.Pipeline.an_report)
           else Fmt.pr "%a@." Report.pp analysis.Pipeline.an_report;
-          0)
+          if analysis.Pipeline.an_report.Report.rp_degradations <> [] then
+            exit_degraded
+          else exit_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Batch mode: the whole corpus behind per-app fault isolation          *)
+(* ------------------------------------------------------------------ *)
+
+let run_all limits force_crash =
+  let entries = all_entries () in
+  let options = { Pipeline.default_options with Pipeline.op_limits = limits } in
+  let results =
+    List.map
+      (fun (e : Corpus.entry) ->
+        let name = e.Corpus.c_app.Spec.a_name in
+        let res =
+          Resilience.Barrier.protect ~app:name (fun () ->
+              if force_crash = Some name then
+                failwith "forced crash (--force-crash test hook)";
+              let apk = Lazy.force e.Corpus.c_apk in
+              Pipeline.analyze ~options apk)
+        in
+        (name, res))
+      entries
+  in
+  Fmt.pr "%-28s %-9s %5s %13s %8s@." "app" "status" "txs" "degradations"
+    "elapsed";
+  let crashed = ref 0 and degraded = ref 0 in
+  List.iter
+    (fun (name, res) ->
+      match res with
+      | Ok (a : Pipeline.analysis) ->
+          let r = a.Pipeline.an_report in
+          let d = List.length r.Report.rp_degradations in
+          if d > 0 then incr degraded;
+          Fmt.pr "%-28s %-9s %5d %13d %7.2fs@." name
+            (if d > 0 then "degraded" else "ok")
+            (List.length r.Report.rp_transactions)
+            d r.Report.rp_elapsed_s;
+          List.iter
+            (fun dg ->
+              Fmt.pr "    %a@." Resilience.Degrade.pp_degradation dg)
+            r.Report.rp_degradations
+      | Error (crash : Resilience.Barrier.crash) ->
+          incr crashed;
+          Fmt.pr "%-28s %-9s %5s %13s %8s@." name "crashed" "-" "-" "-";
+          Fmt.epr "%a@." Resilience.Barrier.pp_crash crash;
+          if crash.Resilience.Barrier.cr_backtrace <> "" then
+            Fmt.epr "%s@." crash.Resilience.Barrier.cr_backtrace)
+    results;
+  Fmt.pr "%d apps: %d ok, %d degraded, %d crashed@." (List.length results)
+    (List.length results - !crashed - !degraded)
+    !degraded !crashed;
+  if !crashed > 0 then exit_crashed
+  else if !degraded > 0 then exit_degraded
+  else exit_ok
 
 let name_arg =
   let doc = "Corpus app to analyze (see --list)." in
@@ -288,22 +355,98 @@ let provenance_out_arg =
   Arg.(
     value & opt (some string) None & info [ "provenance-out" ] ~docv:"FILE" ~doc)
 
+let max_steps_arg =
+  let doc =
+    "Step budget shared by the taint engines and the interpreter:\n\
+     every worklist iteration and interpreted statement spends one step.\n\
+     Exhaustion degrades the analysis (recorded in the report) instead of\n\
+     aborting it."
+  in
+  Arg.(
+    value
+    & opt int Resilience.Budget.default_limits.Resilience.Budget.bl_max_steps
+    & info [ "max-steps" ] ~docv:"N" ~doc)
+
+let max_depth_arg =
+  let doc =
+    "Call-inlining depth bound for the interpreter; calls beyond it are\n\
+     widened to unknown (and reported as a degradation when clipping\n\
+     occurs)."
+  in
+  Arg.(
+    value
+    & opt int Resilience.Budget.default_limits.Resilience.Budget.bl_max_depth
+    & info [ "max-depth" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock deadline in seconds for one app's analysis.  Polled every\n\
+     4096 budget steps; exceeding it degrades the analysis (recorded in\n\
+     the report) instead of aborting it."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let all_flag =
+  let doc =
+    "Analyze every corpus app behind a per-app fault barrier and print a\n\
+     summary table.  A crash in one app never stops the others; exit\n\
+     status 2 if any app crashed, 3 if any degraded, 0 otherwise."
+  in
+  Arg.(value & flag & info [ "all" ] ~doc)
+
+let force_crash_arg =
+  let doc =
+    "Raise an artificial exception while analyzing APP (test hook for the\n\
+     $(b,--all) fault barrier)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "force-crash" ] ~docv:"APP" ~doc)
+
+let exits =
+  [
+    Cmd.Exit.info exit_ok ~doc:"the analysis completed cleanly.";
+    Cmd.Exit.info exit_usage
+      ~doc:
+        "usage error: unknown app, unreadable input file, or a telemetry \
+         output could not be written.";
+    Cmd.Exit.info exit_crashed
+      ~doc:
+        "at least one app crashed behind the $(b,--all) fault barrier (the \
+         crash taxonomy is printed to stderr).";
+    Cmd.Exit.info exit_degraded
+      ~doc:
+        "the analysis completed but degraded: a budget or deadline tripped \
+         (see the report's degradations), or $(b,--trace) left requests \
+         unmatched.";
+  ]
+
 let cmd =
   let doc = "reconstruct HTTP transactions from an Android app binary" in
-  let info = Cmd.info "extractocol" ~version:"1.0" ~doc in
+  let info = Cmd.info "extractocol" ~version:"1.0" ~doc ~exits in
   Cmd.v info
     Term.(
       const
         (fun log_level list name scope async intents obf obf_libs limple json
-             dot trace trace_out metrics_out profile explain provenance_out ->
+             dot trace trace_out metrics_out profile explain provenance_out
+             max_steps max_depth deadline all force_crash ->
           setup_logs log_level;
+          let limits =
+            {
+              Resilience.Budget.bl_max_steps = max_steps;
+              bl_max_depth = max_depth;
+              bl_deadline_s = deadline;
+            }
+          in
           if list then list_apps ()
+          else if all then run_all limits force_crash
           else
             analyze_app name scope async intents obf obf_libs limple json dot
-              trace trace_out metrics_out profile explain provenance_out)
+              trace trace_out metrics_out profile explain provenance_out limits)
       $ log_level_arg $ list_flag $ name_arg $ scope_arg $ async_flag
       $ intents_flag $ obfuscate_flag $ obf_libs_flag $ limple_arg $ json_flag
       $ dot_flag $ trace_arg $ trace_out_arg $ metrics_out_arg $ profile_flag
-      $ explain_arg $ provenance_out_arg)
+      $ explain_arg $ provenance_out_arg $ max_steps_arg $ max_depth_arg
+      $ deadline_arg $ all_flag $ force_crash_arg)
 
 let () = exit (Cmd.eval' cmd)

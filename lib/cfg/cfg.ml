@@ -31,13 +31,20 @@ let label_table (body : Ir.stmt array) =
     body;
   tbl
 
-(** Statement-level successors. *)
+(** Statement-level successors.  A branch whose label does not exist
+    (truncated or corrupt bytecode) is treated as a jump out of the
+    method: no successor, like a return — the graph stays well-formed
+    instead of the build raising. *)
 let stmt_succs body labels i =
   let n = Array.length body in
   let fallthrough = if i + 1 < n then [ i + 1 ] else [] in
   match body.(i) with
-  | Ir.Goto l -> [ Hashtbl.find labels l ]
-  | Ir.If (_, l) -> Hashtbl.find labels l :: fallthrough
+  | Ir.Goto l -> (
+      match Hashtbl.find_opt labels l with Some j -> [ j ] | None -> [])
+  | Ir.If (_, l) -> (
+      match Hashtbl.find_opt labels l with
+      | Some j -> j :: fallthrough
+      | None -> fallthrough)
   | Ir.Return _ -> []
   | Ir.Assign _ | Ir.InvokeStmt _ | Ir.Lab _ | Ir.Nop -> fallthrough
 
@@ -62,7 +69,9 @@ let build (meth : Ir.meth) : t =
       (fun i s ->
         match s with
         | Ir.Goto l | Ir.If (_, l) ->
-            leader.(Hashtbl.find labels l) <- true;
+            (match Hashtbl.find_opt labels l with
+            | Some j -> leader.(j) <- true
+            | None -> () (* dangling label: edge dropped in stmt_succs *));
             if i + 1 < n then leader.(i + 1) <- true
         | Ir.Return _ -> if i + 1 < n then leader.(i + 1) <- true
         | Ir.Assign _ | Ir.InvokeStmt _ | Ir.Lab _ | Ir.Nop -> ())

@@ -18,6 +18,7 @@ module Fuzz = Extr_fuzz.Fuzz
 module Slicer = Extr_slicing.Slicer
 module Txn = Extr_extractocol.Txn
 module Metrics = Extr_telemetry.Metrics
+module Resilience = Extr_resilience.Resilience
 
 (** One fully evaluated app: the static report plus the three dynamic
     baselines' traces. *)
@@ -361,13 +362,19 @@ let account_percentages (a : byte_account) =
 (* Miss diagnosis: which phase lost each uncovered endpoint            *)
 (* ------------------------------------------------------------------ *)
 
-type miss_phase = No_dp_found | Slice_pruned | Interp_bailed | Pairing_failed
+type miss_phase =
+  | No_dp_found
+  | Slice_pruned
+  | Interp_bailed
+  | Pairing_failed
+  | Budget_exhausted
 
 let miss_phase_name = function
   | No_dp_found -> "no-dp-found"
   | Slice_pruned -> "slice-pruned"
   | Interp_bailed -> "interp-bailed"
   | Pairing_failed -> "pairing-failed"
+  | Budget_exhausted -> "budget-exhausted"
 
 type miss = {
   ms_endpoint : string;
@@ -413,6 +420,19 @@ let stmt_owned (app : Spec.app) (e : Spec.endpoint) (sid : Ir.stmt_id) : bool =
 let diagnose_endpoint (analysis : Pipeline.analysis) (app : Spec.app)
     (req : Http.request option) (e : Spec.endpoint) : miss_phase * string =
   let slices = analysis.Pipeline.an_slices in
+  (* Did the named phase bail on a sticky trip (fuel / deadline)?  Depth
+     clipping is excluded: it happens on well-formed apps at the default
+     bound and does not explain a wholesale miss. *)
+  let budget_tripped_in prefix =
+    List.exists
+      (fun (d : Resilience.Degrade.degradation) ->
+        let p = d.Resilience.Degrade.dg_phase in
+        String.length p >= String.length prefix
+        && String.sub p 0 (String.length prefix) = prefix
+        && (d.Resilience.Degrade.dg_reason = "step-budget-exhausted"
+           || d.Resilience.Degrade.dg_reason = "deadline-exceeded"))
+      analysis.Pipeline.an_report.Report.rp_degradations
+  in
   let owned = stmt_owned app e in
   let touches (sl : Slicer.slice) =
     owned sl.Slicer.sl_dp.Slicer.dp_stmt
@@ -421,13 +441,24 @@ let diagnose_endpoint (analysis : Pipeline.analysis) (app : Spec.app)
   let req_reached = List.exists touches slices.Slicer.r_request in
   let resp_reached = List.exists touches slices.Slicer.r_response in
   if (not req_reached) && not resp_reached then
-    ( No_dp_found,
-      Fmt.str "no demarcation point or slice reaches %s.%s"
-        (Codegen.activity_cls app) (Codegen.do_meth e) )
+    if budget_tripped_in "slicing" then
+      ( Budget_exhausted,
+        "no slice reaches the endpoint, and slicing bailed on an exhausted \
+         budget before its worklist drained — the slice is truncated, not \
+         absent by construction" )
+    else
+      ( No_dp_found,
+        Fmt.str "no demarcation point or slice reaches %s.%s"
+          (Codegen.activity_cls app) (Codegen.do_meth e) )
   else if not req_reached then
-    ( Slice_pruned,
-      "a response slice reaches the endpoint but no backward request slice \
-       covers its URI construction" )
+    if budget_tripped_in "slicing.backward" then
+      ( Budget_exhausted,
+        "a response slice reaches the endpoint but backward slicing bailed \
+         on an exhausted budget before covering its URI construction" )
+    else
+      ( Slice_pruned,
+        "a response slice reaches the endpoint but no backward request slice \
+         covers its URI construction" )
   else
     let raw_match =
       match req with
@@ -447,6 +478,11 @@ let diagnose_endpoint (analysis : Pipeline.analysis) (app : Spec.app)
           "request dispatched through intent service %s: outside the \
            interpreter's scope (§4)"
           (List.nth (Codegen.endpoint_classes app e) 5) )
+    else if budget_tripped_in "interpretation" then
+      ( Budget_exhausted,
+        "sliced, but interpretation bailed on an exhausted budget before \
+         emitting a matching transaction — signatures past the trip point \
+         were never built" )
     else
       ( Interp_bailed,
         match req with

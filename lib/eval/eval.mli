@@ -87,6 +87,9 @@ type miss_phase =
   | Slice_pruned  (** backward slicing never covers the URI construction *)
   | Interp_bailed  (** sliced but no matching raw transaction emerged *)
   | Pairing_failed  (** a raw transaction matched but the report lost it *)
+  | Budget_exhausted
+      (** the losing phase bailed on exhausted fuel or deadline: the miss
+          is a resource-governance artifact, not an analysis limitation *)
 
 val miss_phase_name : miss_phase -> string
 (** Stable kebab-case name, used as the metrics [phase] label. *)

@@ -19,6 +19,7 @@ module Slicer = Extr_slicing.Slicer
 module Apk = Extr_apk.Apk
 module Metrics = Extr_telemetry.Metrics
 module Provenance = Extr_provenance.Provenance
+module Resilience = Extr_resilience.Resilience
 open Absval
 
 let src =
@@ -94,7 +95,8 @@ type t = {
   mutable origin_kind : string;
   mutable callstack : Ir.stmt_id list;
   mutable active : Ir.Method_set.t;  (** recursion guard *)
-  mutable steps : int;  (** fuel *)
+  mutable steps : int;  (** statements interpreted (telemetry) *)
+  budget : Resilience.Budget.t;  (** fuel / depth / deadline governance *)
   cfg_cache : (Ir.method_id, Cfg.t) Hashtbl.t;
 }
 
@@ -104,7 +106,17 @@ module Env = Map.Make (String)
 
 type state = { vars : Absval.t Env.t; sheap : heap }
 
-let max_steps = 3_000_000
+(* Standalone interpreters (tests, bench) get a private fuel-only budget
+   matching the historical 3M-statement bound; the pipeline passes its
+   shared per-run budget instead. *)
+let standalone_budget () =
+  Resilience.Budget.create
+    ~limits:
+      {
+        Resilience.Budget.unlimited with
+        Resilience.Budget.bl_max_steps = 3_000_000;
+      }
+    ()
 
 (** Methods relevant to slicing: methods containing slice statements plus
     everything that can reach them in the call graph. *)
@@ -162,12 +174,16 @@ let relevant_methods ?(intents = false) prog (cg : Callgraph.t)
   end;
   !result
 
-let create ?(options = default_options) ?slices prog cg (apk : Apk.t) : t =
+let create ?(options = default_options) ?budget ?slices prog cg (apk : Apk.t) :
+    t =
   let relevant =
     match (options.io_restrict_to_slices, slices) with
     | true, Some s ->
         Some (relevant_methods ~intents:options.io_intents prog cg s)
     | _, _ -> None
+  in
+  let budget =
+    match budget with Some b -> b | None -> standalone_budget ()
   in
   {
     prog;
@@ -187,6 +203,7 @@ let create ?(options = default_options) ?slices prog cg (apk : Apk.t) : t =
     callstack = [];
     active = Ir.Method_set.empty;
     steps = 0;
+    budget;
     cfg_cache = Hashtbl.create 32;
   }
 
@@ -344,8 +361,11 @@ let read_field t (href : heap ref) ~(sid : Ir.stmt_id) (objval : Absval.t)
     return value and the heap at exit. *)
 let rec exec_method t ~depth ~(heap : heap) (mid : Ir.method_id)
     ~(this : Absval.t option) ~(args : Absval.t list) : Absval.t * heap =
-  if depth > t.opts.io_max_depth || Ir.Method_set.mem mid t.active then
-    (Vtop, heap)
+  if
+    (not (Resilience.Budget.depth_ok t.budget ~depth))
+    || depth > t.opts.io_max_depth
+    || Ir.Method_set.mem mid t.active
+  then (Vtop, heap)
   else
     match (Prog.find_method t.prog mid, cfg_of t mid) with
     | Some meth, Some cfg ->
@@ -455,13 +475,20 @@ let rec exec_method t ~depth ~(heap : heap) (mid : Ir.method_id)
     | _, _ -> (Vtop, heap)
 
 and exec_block t ~depth mid meth cfg b (state_in : state) rets : state =
+  (* Budget exhaustion bails at block granularity: a block either runs
+     whole or not at all, so no partially-updated signature database is
+     ever merged downstream.  (The old per-statement fuel guard silently
+     skipped individual statements mid-block, corrupting env/heap state.) *)
+  if not (Resilience.Budget.alive t.budget) then state_in
+  else begin
   let body = meth.Ir.m_body in
   let href = ref state_in.sheap in
   let vars = ref state_in.vars in
   List.iter
     (fun idx ->
+      ignore (Resilience.Budget.spend t.budget : bool);
       t.steps <- t.steps + 1;
-      if t.steps <= max_steps then begin
+      begin
         let sid = { Ir.sid_meth = mid; sid_idx = idx } in
         match body.(idx) with
         | Ir.Assign (lhs, rhs) -> (
@@ -492,6 +519,7 @@ and exec_block t ~depth mid meth cfg b (state_in : state) rets : state =
       end)
     (Cfg.block_stmts cfg b);
   { vars = !vars; sheap = !href }
+  end
 
 and eval_expr t ~depth href vars sid (e : Ir.expr) : Absval.t =
   match e with
@@ -753,6 +781,18 @@ let run t : Txn.t list =
   done;
   (* Second sweep over the settled heap. *)
   if t.opts.io_event_heap then List.iter fire_callback !all_fired;
+  (* If the budget tripped at any point, whole blocks were skipped: every
+     signature built in this run may be missing fragments.  Mark the
+     transactions and record the degradation rather than presenting
+     fragmentary signatures as complete. *)
+  (match Resilience.Budget.exhaustion t.budget with
+  | Some _ ->
+      Hashtbl.iter (fun _ tx -> tx.Txn.tx_degraded <- true) t.txs;
+      Resilience.Degrade.record_exhaustion ~phase:"interpretation"
+        ~work_left:(List.length t.pending) t.budget
+        "abstract interpretation skipped basic blocks after the budget \
+         tripped; transaction signatures may be fragmentary"
+  | None -> ());
   Metrics.incr m_stmts ~by:t.steps;
   Metrics.incr m_txs ~by:t.tx_count;
   Log.info (fun m ->

@@ -15,6 +15,7 @@ module Prog = Extr_ir.Prog
 module Callgraph = Extr_cfg.Callgraph
 module Slicer = Extr_slicing.Slicer
 module Apk = Extr_apk.Apk
+module Resilience = Extr_resilience.Resilience
 
 type options = {
   io_max_depth : int;  (** call-inlining depth bound *)
@@ -47,14 +48,27 @@ type t
     accumulated transaction store. *)
 
 val create :
-  ?options:options -> ?slices:Slicer.result -> Prog.t -> Callgraph.t -> Apk.t -> t
+  ?options:options ->
+  ?budget:Resilience.Budget.t ->
+  ?slices:Slicer.result ->
+  Prog.t ->
+  Callgraph.t ->
+  Apk.t ->
+  t
 (** Build an interpreter.  When [slices] is given (the normal pipeline),
     interpretation is restricted to slice-relevant methods and callbacks;
-    without it the whole program is executed abstractly. *)
+    without it the whole program is executed abstractly.  [budget]
+    governs fuel, call depth and the wall-clock deadline (default: a
+    private 3M-statement budget matching the historical bound). *)
 
 val run : t -> Txn.t list
 (** Run the whole app: lifecycle entry points first, then registered
     callbacks (with or without persistent heap state per options; a
     second sweep over the cumulative event heap lets transactions observe
     state stored by other callbacks).  Returns the finalized
-    transactions in creation order, deduplicated across passes. *)
+    transactions in creation order, deduplicated across passes.
+
+    If the budget trips mid-run, remaining basic blocks are skipped at
+    block granularity (never mid-block), every transaction is marked
+    {!Txn.t.tx_degraded}, and an [interpretation] degradation is
+    recorded on the default ledger — the run still returns normally. *)

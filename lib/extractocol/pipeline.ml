@@ -16,6 +16,7 @@ module Slicer = Extr_slicing.Slicer
 module Apk = Extr_apk.Apk
 module Span = Extr_telemetry.Span
 module Metrics = Extr_telemetry.Metrics
+module Resilience = Extr_resilience.Resilience
 
 let src = Logs.Src.create "extractocol.pipeline" ~doc:"Extractocol pipeline stages"
 
@@ -52,6 +53,9 @@ type options = {
   op_intents : bool;
       (** resolve intent-service dispatch (extension; off reproduces the
           paper's §4 limitation and Table 1's deliberate misses) *)
+  op_limits : Resilience.Budget.limits;
+      (** resource-governance limits for the per-run budget shared by the
+          taint engines and the interpreter *)
 }
 
 let default_options =
@@ -63,6 +67,7 @@ let default_options =
     op_context_sensitive = true;
     op_restrict_to_slices = true;
     op_intents = false;
+    op_limits = Resilience.Budget.default_limits;
   }
 
 (** The open-source evaluation configuration of §5.1 disables the
@@ -95,11 +100,19 @@ let with_library_classes (p : Ir.program) : Ir.program =
 let analyze ?(options = default_options) (apk : Apk.t) : analysis =
   let app = apk.Apk.manifest.Apk.mf_label in
   let phase name f =
+    (* Stamp the phase on the crash barrier so an escaped exception in
+       --all mode is attributed to the stage it came from. *)
+    Resilience.Barrier.set_phase ("pipeline." ^ name);
     Span.with_span ~args:[ ("app", app) ] ("pipeline." ^ name) f
   in
   Span.with_span ~args:[ ("app", app) ] "pipeline.analyze" @@ fun () ->
   let clock = Span.clock Span.default in
   let start = clock () in
+  (* One budget per run: fuel, call depth and the deadline (anchored here)
+     are shared by the taint engines and the interpreter.  Degradations
+     accumulate on a fresh ledger so each app reports only its own. *)
+  let budget = Resilience.Budget.create ~clock ~limits:options.op_limits () in
+  Resilience.Degrade.reset Resilience.Degrade.default;
   let apk, prog =
     phase "inject-libraries" @@ fun () ->
     let program = with_library_classes apk.Apk.program in
@@ -115,6 +128,7 @@ let analyze ?(options = default_options) (apk : Apk.t) : analysis =
       opt_async_iterations = options.op_async_iterations;
       opt_augmentation = options.op_augmentation;
       opt_scope = options.op_scope;
+      opt_budget = Some budget;
     }
   in
   Log.info (fun m -> m "%s: %d app statements" app (Prog.app_stmt_count prog));
@@ -126,11 +140,14 @@ let analyze ?(options = default_options) (apk : Apk.t) : analysis =
       io_context_sensitive = options.op_context_sensitive;
       io_restrict_to_slices = options.op_restrict_to_slices;
       io_intents = options.op_intents;
+      io_max_depth = options.op_limits.Resilience.Budget.bl_max_depth;
     }
   in
   let txs =
     phase "interpretation" @@ fun () ->
-    let interp = Interp.create ~options:interp_options ~slices prog cg apk in
+    let interp =
+      Interp.create ~options:interp_options ~budget ~slices prog cg apk
+    in
     Interp.run interp
   in
   (* Scope filter: drop transactions anchored outside the scope. *)
@@ -147,10 +164,20 @@ let analyze ?(options = default_options) (apk : Apk.t) : analysis =
           txs
   in
   let pairs = phase "pairing" @@ fun () -> Pairing.pair_disjoint prog cg slices in
+  (* Depth clipping is non-sticky (it only widens the clipped calls), but
+     it still means some call chains were not followed to the end. *)
+  if Resilience.Budget.depth_clipped budget then
+    Resilience.Degrade.record ~phase:"interpretation"
+      ~reason:
+        (Resilience.Budget.exhaustion_reason Resilience.Budget.Depth)
+      (Fmt.str "calls beyond depth %d were widened to unknown"
+         options.op_limits.Resilience.Budget.bl_max_depth);
   let elapsed = clock () -. start in
   let report =
     phase "report" @@ fun () ->
-    Report.of_transactions ~app
+    Report.of_transactions
+      ~degradations:(Resilience.Degrade.items Resilience.Degrade.default)
+      ~app
       ~dp_count:(List.length slices.Slicer.r_dps)
       ~slice_stmts:slices.Slicer.r_stats.Slicer.st_slice_stmts
       ~total_stmts:slices.Slicer.r_stats.Slicer.st_total_stmts ~elapsed_s:elapsed txs

@@ -7,6 +7,7 @@ module Prog = Extr_ir.Prog
 module Callgraph = Extr_cfg.Callgraph
 module Slicer = Extr_slicing.Slicer
 module Apk = Extr_apk.Apk
+module Resilience = Extr_resilience.Resilience
 
 type options = {
   op_async_heuristic : bool;  (** §3.4 heuristic: on for closed-source apps *)
@@ -18,6 +19,11 @@ type options = {
   op_intents : bool;
       (** resolve intent-service dispatch (extension; off reproduces the
           paper's §4 limitation and Table 1's deliberate misses) *)
+  op_limits : Resilience.Budget.limits;
+      (** resource-governance limits for the per-run budget shared by the
+          taint engines and the interpreter; {!analyze} resets the default
+          degradation ledger, creates one budget, and surfaces whatever
+          accumulated in the report *)
 }
 
 val default_options : options

@@ -6,6 +6,7 @@ module Ir = Extr_ir.Types
 module Http = Extr_httpmodel.Http
 module Msgsig = Extr_siglang.Msgsig
 module Strsig = Extr_siglang.Strsig
+module Resilience = Extr_resilience.Resilience
 
 type transaction = {
   tr_id : int;
@@ -16,6 +17,8 @@ type transaction = {
   tr_origin : Ir.method_id;
   tr_dynamic_uri : bool;
   tr_srcs : string list;
+  tr_degraded : bool;
+      (** built under an exhausted budget: fragments may be missing *)
 }
 
 type t = {
@@ -30,6 +33,9 @@ type t = {
   rp_slice_stmts : int;
   rp_total_stmts : int;
   rp_elapsed_s : float;
+  rp_degradations : Resilience.Degrade.degradation list;
+      (** phases that bailed before finishing (budget / deadline), in
+          occurrence order; empty = the analysis ran to completion *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -62,7 +68,8 @@ let dedup (txs : Txn.t list) : Txn.t list * (int, int) Hashtbl.t =
           List.iter (Txn.add_dep rep) tx.Txn.tx_deps;
           rep.Txn.tx_srcs <-
             List.sort_uniq String.compare (rep.Txn.tx_srcs @ tx.Txn.tx_srcs);
-          rep.Txn.tx_dynamic_uri <- rep.Txn.tx_dynamic_uri || tx.Txn.tx_dynamic_uri
+          rep.Txn.tx_dynamic_uri <- rep.Txn.tx_dynamic_uri || tx.Txn.tx_dynamic_uri;
+          rep.Txn.tx_degraded <- rep.Txn.tx_degraded || tx.Txn.tx_degraded
       | None ->
           Hashtbl.replace id_map tx.Txn.tx_id tx.Txn.tx_id;
           reps := !reps @ [ tx ])
@@ -80,8 +87,8 @@ let dedup (txs : Txn.t list) : Txn.t list * (int, int) Hashtbl.t =
     !reps;
   (!reps, id_map)
 
-let of_transactions ~app ~dp_count ~slice_stmts ~total_stmts ~elapsed_s
-    (txs : Txn.t list) : t =
+let of_transactions ?(degradations = []) ~app ~dp_count ~slice_stmts
+    ~total_stmts ~elapsed_s (txs : Txn.t list) : t =
   let reps, id_map = dedup txs in
   let transactions =
     List.map
@@ -95,6 +102,7 @@ let of_transactions ~app ~dp_count ~slice_stmts ~total_stmts ~elapsed_s
           tr_origin = tx.Txn.tx_origin;
           tr_dynamic_uri = tx.Txn.tx_dynamic_uri;
           tr_srcs = tx.Txn.tx_srcs;
+          tr_degraded = tx.Txn.tx_degraded;
         })
       reps
   in
@@ -115,6 +123,7 @@ let of_transactions ~app ~dp_count ~slice_stmts ~total_stmts ~elapsed_s
     rp_slice_stmts = slice_stmts;
     rp_total_stmts = total_stmts;
     rp_elapsed_s = elapsed_s;
+    rp_degradations = degradations;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -227,6 +236,16 @@ let json_of_transaction (tr : transaction) : Json.t =
       ("origin", Json.Str (Ir.Method_id.to_string tr.tr_origin));
       ("dynamic_uri", Json.Bool tr.tr_dynamic_uri);
       ("privacy_sources", Json.List (List.map (fun s -> Json.Str s) tr.tr_srcs));
+      ("degraded", Json.Bool tr.tr_degraded);
+    ]
+
+let json_of_degradation (d : Resilience.Degrade.degradation) : Json.t =
+  Json.Obj
+    [
+      ("phase", Json.Str d.Resilience.Degrade.dg_phase);
+      ("reason", Json.Str d.Resilience.Degrade.dg_reason);
+      ("detail", Json.Str d.Resilience.Degrade.dg_detail);
+      ("work_left", Json.Int d.Resilience.Degrade.dg_work_left);
     ]
 
 let to_json ?provenance (t : t) : Json.t =
@@ -238,6 +257,8 @@ let to_json ?provenance (t : t) : Json.t =
        ("total_statements", Json.Int t.rp_total_stmts);
        ("slice_fraction", Json.Float t.rp_slice_fraction);
        ("elapsed_seconds", Json.Float t.rp_elapsed_s);
+       ( "degradations",
+         Json.List (List.map json_of_degradation t.rp_degradations) );
        ( "transactions",
          Json.List (List.map json_of_transaction t.rp_transactions) );
      ]
@@ -301,7 +322,9 @@ let to_dot (t : t) : string =
 (* ------------------------------------------------------------------ *)
 
 let pp_transaction fmt tr =
-  Fmt.pf fmt "#%d %a" tr.tr_id Msgsig.pp_request_sig tr.tr_request;
+  Fmt.pf fmt "#%d%s %a" tr.tr_id
+    (if tr.tr_degraded then " [degraded]" else "")
+    Msgsig.pp_request_sig tr.tr_request;
   (match tr.tr_response.Msgsig.ps_body with
   | Msgsig.Bnone -> ()
   | b -> Fmt.pf fmt "@\n    response: %a" Msgsig.pp_body_sig b);
@@ -324,4 +347,11 @@ let pp fmt t =
     t.rp_app
     (List.length t.rp_transactions)
     t.rp_dp_count (100.0 *. t.rp_slice_fraction) t.rp_total_stmts t.rp_elapsed_s;
-  List.iter (fun tr -> Fmt.pf fmt "  %a@\n" pp_transaction tr) t.rp_transactions
+  List.iter (fun tr -> Fmt.pf fmt "  %a@\n" pp_transaction tr) t.rp_transactions;
+  match t.rp_degradations with
+  | [] -> ()
+  | ds ->
+      Fmt.pf fmt "  degradations:@\n";
+      List.iter
+        (fun d -> Fmt.pf fmt "    %a@\n" Resilience.Degrade.pp_degradation d)
+        ds

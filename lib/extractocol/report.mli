@@ -5,6 +5,7 @@
 module Ir = Extr_ir.Types
 module Http = Extr_httpmodel.Http
 module Msgsig = Extr_siglang.Msgsig
+module Resilience = Extr_resilience.Resilience
 
 type transaction = {
   tr_id : int;
@@ -15,6 +16,8 @@ type transaction = {
   tr_origin : Ir.method_id;
   tr_dynamic_uri : bool;
   tr_srcs : string list;
+  tr_degraded : bool;
+      (** built under an exhausted budget: fragments may be missing *)
 }
 
 type t = {
@@ -27,6 +30,9 @@ type t = {
   rp_slice_stmts : int;
   rp_total_stmts : int;
   rp_elapsed_s : float;
+  rp_degradations : Resilience.Degrade.degradation list;
+      (** phases that bailed before finishing (budget / deadline), in
+          occurrence order; empty = the analysis ran to completion *)
 }
 
 val same_signature : Txn.t -> Txn.t -> bool
@@ -39,6 +45,7 @@ val dedup : Txn.t list -> Txn.t list * (int, int) Hashtbl.t
     remapping dependency sources; returns the id map. *)
 
 val of_transactions :
+  ?degradations:Resilience.Degrade.degradation list ->
   app:string ->
   dp_count:int ->
   slice_stmts:int ->

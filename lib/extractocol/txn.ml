@@ -33,6 +33,9 @@ type t = {
   mutable tx_dynamic_uri : bool;
       (** the URI is (partly) derived from an earlier response — a
           "dynamically-derived URI" in the TED case study *)
+  mutable tx_degraded : bool;
+      (** the interpretation that built this signature ran out of budget:
+          fragments may be missing (request parts, response paths) *)
 }
 
 let create ~id ~dp ~origin =
@@ -49,6 +52,7 @@ let create ~id ~dp ~origin =
     tx_deps = [];
     tx_srcs = [];
     tx_dynamic_uri = false;
+    tx_degraded = false;
   }
 
 let request_sig (t : t) : Msgsig.request_sig =

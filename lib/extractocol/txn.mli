@@ -33,6 +33,9 @@ type t = {
   mutable tx_dynamic_uri : bool;
       (** the URI is (partly) derived from an earlier response — a
           "dynamically-derived URI" in the TED case study *)
+  mutable tx_degraded : bool;
+      (** the interpretation that built this signature ran out of budget:
+          fragments may be missing (request parts, response paths) *)
 }
 
 val create : id:int -> dp:Ir.stmt_id -> origin:Ir.method_id -> t

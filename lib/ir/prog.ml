@@ -28,14 +28,21 @@ let find_method t (id : method_id) = Method_map.find_opt id t.methods
 
 let find_method_ref t (r : method_ref) = find_method t (method_id_of_ref r)
 
-(** Walk the superclass chain from [cls] upward, inclusive. *)
-let rec ancestry t cls =
-  match find_class t cls with
-  | None -> [ cls ]
-  | Some c -> (
-      match c.c_super with
+(** Walk the superclass chain from [cls] upward, inclusive.  Corrupt
+    class data can declare a superclass cycle; the walk cuts it at the
+    first repeated name instead of recursing forever. *)
+let ancestry t cls =
+  let rec go seen cls =
+    if List.mem cls seen then []
+    else
+      match find_class t cls with
       | None -> [ cls ]
-      | Some s -> cls :: ancestry t s)
+      | Some c -> (
+          match c.c_super with
+          | None -> [ cls ]
+          | Some s -> cls :: go (cls :: seen) s)
+  in
+  go [] cls
 
 let is_subclass t ~sub ~super =
   sub = super || List.mem super (ancestry t sub)

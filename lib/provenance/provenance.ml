@@ -67,6 +67,14 @@ type dep_evidence = {
   de_reason : string;  (** "response-value heap flow" or "db-mediated via <t>" *)
 }
 
+(** A phase that bailed before finishing its work: the evidence that a
+    conclusion may be incomplete, not just how it was reached. *)
+type degradation_evidence = {
+  dv_phase : string;
+  dv_reason : string;  (** e.g. "step-budget-exhausted", "deadline-exceeded" *)
+  dv_detail : string;
+}
+
 type t = {
   mutable enabled : bool;
   (* Slice steps are keyed by the owning demarcation-point statement so
@@ -77,6 +85,7 @@ type t = {
   mutable fragments : fragment list;
   mutable pairs : pair_evidence list;
   mutable deps : dep_evidence list;
+  mutable degradations : degradation_evidence list;
 }
 
 let create ?(enabled = false) () =
@@ -88,6 +97,7 @@ let create ?(enabled = false) () =
     fragments = [];
     pairs = [];
     deps = [];
+    degradations = [];
   }
 
 let default = create ()
@@ -100,7 +110,8 @@ let reset t =
   t.rules <- [];
   t.fragments <- [];
   t.pairs <- [];
-  t.deps <- []
+  t.deps <- [];
+  t.degradations <- []
 
 (* ------------------------------------------------------------------ *)
 (* Recording (every function checks [enabled] first)                   *)
@@ -141,6 +152,12 @@ let record_dep t ~tx ~from_tx ~to_field ~reason =
       { de_tx = tx; de_from_tx = from_tx; de_to_field = to_field; de_reason = reason }
       :: t.deps
 
+let record_degradation t ~phase ~reason detail =
+  if t.enabled then
+    t.degradations <-
+      { dv_phase = phase; dv_reason = reason; dv_detail = detail }
+      :: t.degradations
+
 (* ------------------------------------------------------------------ *)
 (* Queries (chronological order restored)                              *)
 (* ------------------------------------------------------------------ *)
@@ -171,3 +188,5 @@ let pairs_of t ~dp =
 let deps_of t ?(aliases = []) tx =
   let ids = tx :: List.filter_map (fun (raw, rep) -> if rep = tx then Some raw else None) aliases in
   List.rev (List.filter (fun d -> List.mem d.de_tx ids) t.deps)
+
+let degradations t = List.rev t.degradations

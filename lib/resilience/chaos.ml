@@ -1,0 +1,182 @@
+(* Fault injection for the analysis pipeline.
+
+   Real APK corpora contain apps that no well-formedness assumption
+   survives: dead branches into nowhere, classes whose hierarchy data is
+   corrupt, half-stripped methods, obfuscated string soup.  This module
+   manufactures those apps deliberately — a seeded mutator that corrupts
+   generated Limple programs in targeted ways — so the crash-free
+   invariant ([Pipeline.analyze] never raises, it only degrades) can be
+   asserted mechanically over a corpus of mutants. *)
+
+module Ir = Extr_ir.Types
+module Apk = Extr_apk.Apk
+
+type mutation =
+  | Dangling_ref  (** invokes retargeted at classes/methods that do not exist *)
+  | Truncate_blocks  (** method bodies chopped mid-block, orphaning labels *)
+  | Cyclic_hierarchy  (** a superclass cycle between two application classes *)
+  | Drop_entries  (** entry-less manifest: no activities, no declared entries *)
+  | Adversarial_strings  (** pathological constant strings *)
+  | Scramble_labels  (** branch targets pointing at labels that do not exist *)
+
+let mutation_name = function
+  | Dangling_ref -> "dangling-ref"
+  | Truncate_blocks -> "truncate-blocks"
+  | Cyclic_hierarchy -> "cyclic-hierarchy"
+  | Drop_entries -> "drop-entries"
+  | Adversarial_strings -> "adversarial-strings"
+  | Scramble_labels -> "scramble-labels"
+
+let all =
+  [
+    Dangling_ref;
+    Truncate_blocks;
+    Cyclic_hierarchy;
+    Drop_entries;
+    Adversarial_strings;
+    Scramble_labels;
+  ]
+
+(* Strings chosen to stress every consumer downstream: the regex
+   compiler (metacharacters), exporters (control bytes, quotes), URI
+   parsing (embedded NULs and schemes), and widening (sheer size). *)
+let hostile_strings =
+  [
+    String.make 4096 'A';
+    "(((((.*+?[]{}|\\^$)))))";
+    "%s%n%x%%";
+    "\x00\xff\xfe\x01 mixed \n\r\t \"quotes\" \\backslash";
+    "https://evil.example/\x00?q=((([^]&=&=&=";
+    "";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-mutation program rewrites                                      *)
+(* ------------------------------------------------------------------ *)
+
+let map_app_classes f (p : Ir.program) =
+  {
+    p with
+    Ir.p_classes =
+      List.map (fun c -> if c.Ir.c_library then c else f c) p.Ir.p_classes;
+  }
+
+let map_methods f (p : Ir.program) =
+  map_app_classes
+    (fun c -> { c with Ir.c_methods = List.map f c.Ir.c_methods })
+    p
+
+let map_stmts f (p : Ir.program) =
+  map_methods (fun m -> { m with Ir.m_body = Array.map f m.Ir.m_body }) p
+
+let dangling_ref rng (p : Ir.program) =
+  let ghost (i : Ir.invoke) =
+    { i with Ir.iref = { i.Ir.iref with Ir.mcls = "chaos.Ghost"; mname = "phantom" } }
+  in
+  map_stmts
+    (fun stmt ->
+      if Random.State.int rng 4 <> 0 then stmt
+      else
+        match stmt with
+        | Ir.InvokeStmt i -> Ir.InvokeStmt (ghost i)
+        | Ir.Assign (l, Ir.Invoke i) -> Ir.Assign (l, Ir.Invoke (ghost i))
+        | s -> s)
+    p
+
+let truncate_blocks rng (p : Ir.program) =
+  map_methods
+    (fun m ->
+      let n = Array.length m.Ir.m_body in
+      if n < 4 || Random.State.int rng 3 <> 0 then m
+      else
+        let keep = 1 + Random.State.int rng (n - 1) in
+        { m with Ir.m_body = Array.sub m.Ir.m_body 0 keep })
+    p
+
+let cyclic_hierarchy rng (p : Ir.program) =
+  let apps =
+    List.filter (fun (c : Ir.cls) -> not c.Ir.c_library) p.Ir.p_classes
+  in
+  match apps with
+  | a :: _ :: _ ->
+      let b = List.nth apps (1 + Random.State.int rng (List.length apps - 1)) in
+      let cycle (c : Ir.cls) =
+        if c.Ir.c_name = a.Ir.c_name then { c with Ir.c_super = Some b.Ir.c_name }
+        else if c.Ir.c_name = b.Ir.c_name then
+          { c with Ir.c_super = Some a.Ir.c_name }
+        else c
+      in
+      map_app_classes cycle p
+  | [ a ] -> map_app_classes (fun c ->
+        if c.Ir.c_name = a.Ir.c_name then { c with Ir.c_super = Some a.Ir.c_name }
+        else c) p
+  | [] -> p
+
+let adversarial_strings rng (p : Ir.program) =
+  let hostile () =
+    List.nth hostile_strings (Random.State.int rng (List.length hostile_strings))
+  in
+  let value = function
+    | Ir.Const (Ir.Cstr _) when Random.State.int rng 3 = 0 ->
+        Ir.Const (Ir.Cstr (hostile ()))
+    | v -> v
+  in
+  let expr = function
+    | Ir.Val v -> Ir.Val (value v)
+    | Ir.Binop (op, a, b) -> Ir.Binop (op, value a, value b)
+    | Ir.Invoke i -> Ir.Invoke { i with Ir.iargs = List.map value i.Ir.iargs }
+    | e -> e
+  in
+  map_stmts
+    (fun stmt ->
+      match stmt with
+      | Ir.Assign (l, e) -> Ir.Assign (l, expr e)
+      | Ir.InvokeStmt i ->
+          Ir.InvokeStmt { i with Ir.iargs = List.map value i.Ir.iargs }
+      | s -> s)
+    p
+
+let scramble_labels rng (p : Ir.program) =
+  let nowhere () = Printf.sprintf "chaos_nowhere_%d" (Random.State.int rng 1000) in
+  map_stmts
+    (fun stmt ->
+      if Random.State.int rng 3 <> 0 then stmt
+      else
+        match stmt with
+        | Ir.Goto _ -> Ir.Goto (nowhere ())
+        | Ir.If (v, _) -> Ir.If (v, nowhere ())
+        | s -> s)
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let apply rng (apk : Apk.t) = function
+  | Dangling_ref -> { apk with Apk.program = dangling_ref rng apk.Apk.program }
+  | Truncate_blocks ->
+      { apk with Apk.program = truncate_blocks rng apk.Apk.program }
+  | Cyclic_hierarchy ->
+      { apk with Apk.program = cyclic_hierarchy rng apk.Apk.program }
+  | Adversarial_strings ->
+      { apk with Apk.program = adversarial_strings rng apk.Apk.program }
+  | Scramble_labels ->
+      { apk with Apk.program = scramble_labels rng apk.Apk.program }
+  | Drop_entries ->
+      {
+        apk with
+        Apk.manifest = { apk.Apk.manifest with Apk.mf_activities = [] };
+        program = { apk.Apk.program with Ir.p_entries = [] };
+      }
+
+(** Corrupt an APK deterministically: the seed selects one to three
+    mutations and every random choice inside them.  Returns the mutant
+    and the mutations applied (for failure reports). *)
+let mutate ~seed (apk : Apk.t) : Apk.t * mutation list =
+  let rng = Random.State.make [| seed; 0x0c4a05 |] in
+  let count = 1 + Random.State.int rng 3 in
+  let picks =
+    List.init count (fun _ -> List.nth all (Random.State.int rng (List.length all)))
+    |> List.sort_uniq compare
+  in
+  (List.fold_left (apply rng) apk picks, picks)

@@ -1,0 +1,28 @@
+(** Fault injection: a seeded mutator that corrupts Limple programs the
+    way real-world APKs are corrupt — dangling method references,
+    truncated method bodies, cyclic class hierarchies, entry-less
+    manifests, adversarial string constants and branches into nowhere —
+    so the crash-free invariant ([Pipeline.analyze] never raises, it
+    only degrades) can be asserted over a corpus of mutants. *)
+
+module Apk = Extr_apk.Apk
+
+type mutation =
+  | Dangling_ref  (** invokes retargeted at classes/methods that do not exist *)
+  | Truncate_blocks  (** method bodies chopped mid-block, orphaning labels *)
+  | Cyclic_hierarchy  (** a superclass cycle between two application classes *)
+  | Drop_entries  (** entry-less manifest: no activities, no declared entries *)
+  | Adversarial_strings  (** pathological constant strings *)
+  | Scramble_labels  (** branch targets pointing at labels that do not exist *)
+
+val mutation_name : mutation -> string
+val all : mutation list
+
+val hostile_strings : string list
+(** The adversarial constants [Adversarial_strings] injects: oversized,
+    regex-hostile, format-string-hostile, control-byte-laden, empty. *)
+
+val mutate : seed:int -> Apk.t -> Apk.t * mutation list
+(** Corrupt an APK deterministically: the seed selects one to three
+    mutations and every random choice inside them.  Returns the mutant
+    and the list of mutations applied. *)

@@ -20,6 +20,7 @@ module Forward = Extr_taint.Forward
 module Backward = Extr_taint.Backward
 module Metrics = Extr_telemetry.Metrics
 module Provenance = Extr_provenance.Provenance
+module Resilience = Extr_resilience.Resilience
 
 let src = Logs.Src.create "extractocol.slicer" ~doc:"Network-aware program slicing"
 
@@ -133,8 +134,8 @@ let field_store_sites (prog : Prog.t) (fields : (string * string) list) =
       List.rev !acc)
     (Prog.app_methods prog)
 
-let request_slice ~async_heuristic ~async_iterations prog cg (dp : dp_site) :
-    slice =
+let request_slice ?budget ~async_heuristic ~async_iterations prog cg
+    (dp : dp_site) : slice =
   let run_with_setters setters =
     let engine = Backward.create prog cg in
     (match request_root dp with
@@ -143,7 +144,7 @@ let request_slice ~async_heuristic ~async_iterations prog cg (dp : dp_site) :
           [ Fact.local dp.dp_stmt.Ir.sid_meth v ]
     | None -> ());
     List.iter (fun (sid, fact) -> Backward.inject_at engine sid [ fact ]) setters;
-    Backward.run engine;
+    Backward.run ?budget engine;
     engine
   in
   let engine = run_with_setters [] in
@@ -220,7 +221,7 @@ let response_callback_roots prog (dp : dp_site) : (Ir.method_id * Ir.var) list =
       | Some (Ir.Const _) | None -> [])
   | Demarcation.Ret | Demarcation.Base | Demarcation.Opaque_sink -> []
 
-let response_slice prog cg (dp : dp_site) : slice =
+let response_slice ?budget prog cg (dp : dp_site) : slice =
   let engine = Forward.create prog cg in
   (match dp.dp_info.Demarcation.dp_response with
   | Demarcation.Ret | Demarcation.Base -> (
@@ -235,7 +236,7 @@ let response_slice prog cg (dp : dp_site) : slice =
           Forward.inject_at_entry engine cb_id [ Fact.local cb_id param ])
         (response_callback_roots prog dp)
   | Demarcation.Opaque_sink -> ());
-  Forward.run engine;
+  Forward.run ?budget engine;
   let stmts = Forward.tainted_stmts engine in
   if Provenance.is_enabled Provenance.default then
     Ir.Stmt_set.iter
@@ -330,6 +331,9 @@ type options = {
           higher values are its suggested multi-iteration extension *)
   opt_augmentation : bool;  (** object-aware augmentation *)
   opt_scope : string option;  (** class-prefix scope (§5.3) *)
+  opt_budget : Resilience.Budget.t option;
+      (** shared per-run budget the taint engines spend from; [None]
+          gives each engine its own historical 2M-step bound *)
 }
 
 let default_options =
@@ -338,6 +342,7 @@ let default_options =
     opt_async_iterations = 1;
     opt_augmentation = true;
     opt_scope = None;
+    opt_budget = None;
   }
 
 let run ?(options = default_options) (prog : Prog.t) (cg : Callgraph.t) : result =
@@ -354,7 +359,8 @@ let run ?(options = default_options) (prog : Prog.t) (cg : Callgraph.t) : result
     List.map
       (fun dp ->
         let sl =
-          request_slice ~async_heuristic:options.opt_async_heuristic
+          request_slice ?budget:options.opt_budget
+            ~async_heuristic:options.opt_async_heuristic
             ~async_iterations:options.opt_async_iterations prog cg dp
         in
         observe_size "request" sl;
@@ -364,7 +370,7 @@ let run ?(options = default_options) (prog : Prog.t) (cg : Callgraph.t) : result
   let response =
     List.map
       (fun dp ->
-        let sl = response_slice prog cg dp in
+        let sl = response_slice ?budget:options.opt_budget prog cg dp in
         let sl =
           if options.opt_augmentation then begin
             let augmented = augment_response_slice prog sl in

@@ -7,6 +7,7 @@ module Ir = Extr_ir.Types
 module Prog = Extr_ir.Prog
 module Callgraph = Extr_cfg.Callgraph
 module Demarcation = Extr_semantics.Demarcation
+module Resilience = Extr_resilience.Resilience
 
 type dp_site = {
   dp_stmt : Ir.stmt_id;
@@ -43,6 +44,9 @@ type options = {
           higher values are its suggested multi-iteration extension *)
   opt_augmentation : bool;  (** object-aware augmentation *)
   opt_scope : string option;  (** class-prefix scope (§5.3) *)
+  opt_budget : Resilience.Budget.t option;
+      (** shared per-run budget the taint engines spend from; [None]
+          gives each engine its own historical 2M-step bound *)
 }
 
 val default_options : options

@@ -11,6 +11,7 @@ module Callgraph = Extr_cfg.Callgraph
 module Api = Extr_semantics.Api
 module Metrics = Extr_telemetry.Metrics
 module Provenance = Extr_provenance.Provenance
+module Resilience = Extr_resilience.Resilience
 
 (* Evidence chain (provenance): the facts a transfer derived at a
    statement justify its slice membership.  Rendering a fact allocates,
@@ -380,10 +381,26 @@ let all_facts t =
     (fun _ globals acc -> Fact.Set.union acc globals)
     t.entry_globals in_flows
 
-let run t =
+(* Standalone engines (tests, direct API use) get a private fuel-only
+   budget matching the historical bound; the pipeline passes its shared
+   per-run budget instead. *)
+let standalone_budget () =
+  Resilience.Budget.create
+    ~limits:
+      {
+        Resilience.Budget.unlimited with
+        Resilience.Budget.bl_max_steps = 2_000_000;
+      }
+    ()
+
+let run ?budget t =
+  let budget =
+    match budget with Some b -> b | None -> standalone_budget ()
+  in
   let steps = ref 0 in
-  let budget = 2_000_000 in
-  while not (Queue.is_empty t.worklist) && !steps < budget do
+  while
+    (not (Queue.is_empty t.worklist)) && Resilience.Budget.spend budget
+  do
     incr steps;
     let mid, idx = Queue.pop t.worklist in
     let body = body_of t mid in
@@ -397,6 +414,13 @@ let run t =
           List.iter (fun p -> merge_at t mid p out) pred_arr.(idx)
     end
   done;
+  (* Exhausting the budget with work still queued used to silently
+     truncate the slice; now it is a recorded degradation. *)
+  if not (Queue.is_empty t.worklist) then
+    Resilience.Degrade.record_exhaustion ~phase:"slicing.backward"
+      ~work_left:(Queue.length t.worklist) budget
+      "backward taint fixpoint stopped before the worklist drained; the \
+       request slice is under-approximate";
   Metrics.incr m_steps ~by:!steps;
   (* The fact union is not free: compute it only when telemetry is on. *)
   if Metrics.is_enabled Metrics.default then

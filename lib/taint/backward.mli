@@ -7,6 +7,7 @@
 module Ir = Extr_ir.Types
 module Prog = Extr_ir.Prog
 module Callgraph = Extr_cfg.Callgraph
+module Resilience = Extr_resilience.Resilience
 
 type t
 
@@ -20,8 +21,11 @@ val inject_at : t -> Ir.stmt_id -> Fact.t list -> unit
 val inject_at_returns : t -> Ir.method_id -> Fact.t list -> unit
 (** Inject at every return statement (the reverse-flow entries). *)
 
-val run : t -> unit
-(** Propagate to a fixed point (bounded by an internal step budget). *)
+val run : ?budget:Resilience.Budget.t -> t -> unit
+(** Propagate to a fixed point.  Spends from [budget] (default: a private
+    2M-step budget matching the historical bound); if the budget trips
+    with work still queued, a [slicing.backward] degradation is recorded
+    on the default ledger instead of silently truncating. *)
 
 val touched_stmts : t -> Ir.Stmt_set.t
 (** Statements contributing to the relevant values — the slice. *)

@@ -6,6 +6,7 @@
 module Ir = Extr_ir.Types
 module Prog = Extr_ir.Prog
 module Callgraph = Extr_cfg.Callgraph
+module Resilience = Extr_resilience.Resilience
 
 type t
 
@@ -18,8 +19,11 @@ val inject_after : t -> Ir.stmt_id -> Fact.t list -> unit
 (** Seed facts immediately after a statement (the demarcation point's
     response definition). *)
 
-val run : t -> unit
-(** Propagate to a fixed point (bounded by an internal step budget). *)
+val run : ?budget:Resilience.Budget.t -> t -> unit
+(** Propagate to a fixed point.  Spends from [budget] (default: a private
+    2M-step budget matching the historical bound); if the budget trips
+    with work still queued, a [slicing.forward] degradation is recorded
+    on the default ledger instead of silently truncating. *)
 
 val tainted_stmts : t -> Ir.Stmt_set.t
 (** Statements that used or generated tainted data — the slice. *)

@@ -13,6 +13,10 @@ module Report = Extr_extractocol.Report
 module Http = Extr_httpmodel.Http
 module Json = Extr_httpmodel.Json
 module Runtime = Extr_runtime.Runtime
+module Resilience = Extr_resilience.Resilience
+module Chaos = Extr_resilience.Chaos
+module Corpus = Extr_corpus.Corpus
+module Clock = Extr_telemetry.Clock
 
 let check = Alcotest.check
 let tc name f = Alcotest.test_case name `Quick f
@@ -251,6 +255,224 @@ let test_runtime_malformed_uri () =
   check Alcotest.int "no transaction for a malformed URI" 0
     (List.length trace.Http.tr_entries)
 
+(* ------------------------------------------------------------------ *)
+(* Resource governance (budgets, degradation ledger)                  *)
+(* ------------------------------------------------------------------ *)
+
+let limits ?(steps = max_int) ?(depth = 24) ?deadline () =
+  {
+    Resilience.Budget.bl_max_steps = steps;
+    bl_max_depth = depth;
+    bl_deadline_s = deadline;
+  }
+
+let test_budget_step_fuel () =
+  let b = Resilience.Budget.create ~limits:(limits ~steps:10 ()) () in
+  for _ = 1 to 10 do
+    check Alcotest.bool "within fuel" true (Resilience.Budget.spend b)
+  done;
+  check Alcotest.bool "11th step refused" false (Resilience.Budget.spend b);
+  check Alcotest.bool "trip is sticky" false (Resilience.Budget.spend b);
+  check Alcotest.bool "not alive" false (Resilience.Budget.alive b);
+  check Alcotest.bool "steps exhaustion" true
+    (Resilience.Budget.exhaustion b = Some Resilience.Budget.Steps)
+
+let test_budget_deadline_manual_clock () =
+  let clock, advance = Clock.manual () in
+  let b =
+    Resilience.Budget.create ~clock ~limits:(limits ~deadline:5.0 ()) ()
+  in
+  (* Time stands still: thousands of steps pass the periodic poll. *)
+  for _ = 1 to 5_000 do
+    check Alcotest.bool "before deadline" true (Resilience.Budget.spend b)
+  done;
+  advance 10.0;
+  (* The deadline is polled every 4096 steps, so the trip lands within
+     one poll window of the clock advancing. *)
+  let tripped = ref false in
+  (try
+     for _ = 1 to 4_096 do
+       if not (Resilience.Budget.spend b) then begin
+         tripped := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  check Alcotest.bool "deadline tripped within a poll window" true !tripped;
+  check Alcotest.bool "deadline exhaustion" true
+    (Resilience.Budget.exhaustion b = Some Resilience.Budget.Deadline)
+
+let test_budget_depth_not_sticky () =
+  let b = Resilience.Budget.create ~limits:(limits ~depth:3 ()) () in
+  check Alcotest.bool "shallow call ok" true
+    (Resilience.Budget.depth_ok b ~depth:3);
+  check Alcotest.bool "deep call clipped" false
+    (Resilience.Budget.depth_ok b ~depth:4);
+  check Alcotest.bool "clipping remembered" true
+    (Resilience.Budget.depth_clipped b);
+  check Alcotest.bool "clipping does not kill the budget" true
+    (Resilience.Budget.alive b);
+  check Alcotest.bool "shallow calls still ok after a clip" true
+    (Resilience.Budget.depth_ok b ~depth:2)
+
+let test_degrade_ledger_coalesces () =
+  let ledger = Resilience.Degrade.create () in
+  Resilience.Degrade.record ~ledger ~phase:"slicing.backward"
+    ~reason:"step-budget-exhausted" ~work_left:3 "first bail";
+  Resilience.Degrade.record ~ledger ~phase:"slicing.backward"
+    ~reason:"step-budget-exhausted" ~work_left:4 "second bail";
+  Resilience.Degrade.record ~ledger ~phase:"interpretation"
+    ~reason:"deadline-exceeded" "different phase";
+  match Resilience.Degrade.items ledger with
+  | [ first; second ] ->
+      check Alcotest.string "coalesced phase" "slicing.backward"
+        first.Resilience.Degrade.dg_phase;
+      check Alcotest.int "work_left summed" 7
+        first.Resilience.Degrade.dg_work_left;
+      check Alcotest.string "distinct phase kept" "interpretation"
+        second.Resilience.Degrade.dg_phase
+  | items -> Alcotest.failf "expected 2 ledger entries, got %d" (List.length items)
+
+(* A busy app: enough slicing and interpretation work that a starved
+   budget trips in every engine. *)
+let busy_apk () =
+  let cls = "com.robust.Busy" in
+  let on_create =
+    B.mk_meth ~cls ~name:"onCreate" ~params:[] ~ret:Ir.Void (fun b ->
+        List.iter
+          (fun i ->
+            let sb =
+              B.new_obj b Api.string_builder
+                [ B.vstr (Printf.sprintf "https://r/busy/%d?" i) ]
+            in
+            List.iter
+              (fun j ->
+                ignore
+                  (B.call_ret b (Ir.Obj Api.string_builder)
+                     (B.virtual_call
+                        ~ret:(Ir.Obj Api.string_builder)
+                        sb Api.string_builder "append"
+                        [ B.vstr (Printf.sprintf "&p%d=%d" j j) ])))
+              (List.init 8 Fun.id);
+            let uri =
+              B.call_ret b Ir.Str
+                (B.virtual_call ~ret:Ir.Str sb Api.string_builder "toString" [])
+            in
+            emit_get b (B.vl uri))
+          (List.init 6 Fun.id);
+        B.return_void b)
+  in
+  apk_of [ B.mk_cls ~super:Api.activity cls [ on_create ] ]
+
+let analyze_with_limits apk l =
+  Pipeline.analyze
+    ~options:{ Pipeline.default_options with op_limits = l }
+    apk
+
+let test_starved_pipeline_degrades () =
+  (* A 50-step budget cannot finish anything, but the pipeline must
+     return a report — degraded and honest about it — not raise. *)
+  let analysis = analyze_with_limits (busy_apk ()) (limits ~steps:50 ()) in
+  let report = analysis.Pipeline.an_report in
+  check Alcotest.bool "degradations reported" true
+    (report.Report.rp_degradations <> []);
+  List.iter
+    (fun (d : Resilience.Degrade.degradation) ->
+      check Alcotest.string "reason is the step trip" "step-budget-exhausted"
+        d.Resilience.Degrade.dg_reason)
+    report.Report.rp_degradations
+
+let test_default_limits_do_not_degrade () =
+  (* The same app under default limits: governance must be invisible. *)
+  let analysis =
+    analyze_with_limits (busy_apk ()) Resilience.Budget.default_limits
+  in
+  let report = analysis.Pipeline.an_report in
+  check Alcotest.int "no degradations at default limits" 0
+    (List.length report.Report.rp_degradations);
+  check Alcotest.int "all requests extracted" 6
+    (List.length report.Report.rp_transactions);
+  check Alcotest.bool "no transaction flagged degraded" false
+    (List.exists
+       (fun tr -> tr.Report.tr_degraded)
+       report.Report.rp_transactions)
+
+let test_degradations_in_report_json () =
+  let analysis = analyze_with_limits (busy_apk ()) (limits ~steps:50 ()) in
+  let json = Report.to_json analysis.Pipeline.an_report in
+  match Json.member "degradations" json with
+  | Some (Json.List (d :: _)) ->
+      check Alcotest.bool "degradation has a phase" true
+        (Json.member "phase" d <> None);
+      check Alcotest.bool "degradation has a reason" true
+        (Json.member "reason" d <> None);
+      check Alcotest.bool "degradation has work_left" true
+        (Json.member "work_left" d <> None)
+  | Some (Json.List []) -> Alcotest.fail "degradations member empty"
+  | Some _ -> Alcotest.fail "degradations member is not a list"
+  | None -> Alcotest.fail "no degradations member in report JSON"
+
+let test_standalone_engines_keep_historical_bounds () =
+  (* Engines called outside the pipeline (tests, direct API use) get
+     private fuel-only budgets matching the historical constants, so a
+     plain [analyze] and a tiny standalone program behave as before. *)
+  let apk = busy_apk () in
+  let report = (Pipeline.analyze apk).Pipeline.an_report in
+  check Alcotest.int "direct analyze unchanged" 6
+    (List.length report.Report.rp_transactions)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_limits = limits ~steps:2_000_000 ~deadline:10.0 ()
+
+let test_chaos_mutants_never_raise () =
+  (* Property over seeds: however the APK is corrupted, [analyze] run
+     behind the barrier returns [Ok] — it degrades, it never raises. *)
+  let entry = List.hd (Corpus.case_studies ()) in
+  let apk = Lazy.force entry.Corpus.c_apk in
+  List.iter
+    (fun seed ->
+      let mutant, mutations = Chaos.mutate ~seed apk in
+      match
+        Resilience.Barrier.protect ~app:"mutant" (fun () ->
+            analyze_with_limits mutant chaos_limits)
+      with
+      | Ok _ -> ()
+      | Error crash ->
+          Alcotest.failf "seed %d [%s] escaped: %a" seed
+            (String.concat "+" (List.map Chaos.mutation_name mutations))
+            Resilience.Barrier.pp_crash crash)
+    (List.init 20 (fun i -> i + 1))
+
+let test_chaos_mutations_deterministic () =
+  let entry = List.hd (Corpus.case_studies ()) in
+  let apk = Lazy.force entry.Corpus.c_apk in
+  let _, m1 = Chaos.mutate ~seed:7 apk in
+  let _, m2 = Chaos.mutate ~seed:7 apk in
+  check
+    Alcotest.(list string)
+    "same seed, same mutations"
+    (List.map Chaos.mutation_name m1)
+    (List.map Chaos.mutation_name m2)
+
+let test_barrier_captures_crash_phase () =
+  Resilience.Barrier.set_phase "init";
+  match
+    Resilience.Barrier.protect ~app:"boom" (fun () ->
+        Resilience.Barrier.set_phase "pipeline.slicing";
+        failwith "injected")
+  with
+  | Ok _ -> Alcotest.fail "expected a crash"
+  | Error crash ->
+      check Alcotest.string "app attributed" "boom"
+        crash.Resilience.Barrier.cr_app;
+      check Alcotest.string "phase attributed" "pipeline.slicing"
+        crash.Resilience.Barrier.cr_phase;
+      check Alcotest.bool "exception class captured" true
+        (String.length crash.Resilience.Barrier.cr_exn > 0)
+
 let () =
   Alcotest.run "robustness"
     [
@@ -271,5 +493,23 @@ let () =
         [
           tc "error responses" test_runtime_error_responses;
           tc "malformed uri" test_runtime_malformed_uri;
+        ] );
+      ( "resource governance",
+        [
+          tc "step fuel trips and sticks" test_budget_step_fuel;
+          tc "deadline under a manual clock" test_budget_deadline_manual_clock;
+          tc "depth clipping is not sticky" test_budget_depth_not_sticky;
+          tc "ledger coalesces repeats" test_degrade_ledger_coalesces;
+          tc "starved pipeline degrades" test_starved_pipeline_degrades;
+          tc "default limits are invisible" test_default_limits_do_not_degrade;
+          tc "degradations in report JSON" test_degradations_in_report_json;
+          tc "standalone engines unchanged"
+            test_standalone_engines_keep_historical_bounds;
+        ] );
+      ( "chaos",
+        [
+          tc "mutants never raise" test_chaos_mutants_never_raise;
+          tc "mutation is deterministic" test_chaos_mutations_deterministic;
+          tc "barrier attributes crashes" test_barrier_captures_crash_phase;
         ] );
     ]
