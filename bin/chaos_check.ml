@@ -2,18 +2,21 @@
 
    Two legs, both of which fail the build (exit 1) on violation:
 
-   1. Mutation sweep — [mutants] seeded {!Chaos.mutate} corruptions of
-      corpus apps (dangling references, truncated bodies, superclass
-      cycles, entry-less manifests, hostile strings, scrambled labels)
-      each run through [Pipeline.analyze] behind the exception barrier.
-      Any escaped exception is a bug: the pipeline must degrade, never
-      raise.
+   1. Mutation sweep — CHAOS_MUTANTS (default 60) seeded {!Chaos.mutate}
+      corruptions of corpus apps (dangling references, truncated bodies,
+      superclass cycles, entry-less manifests, hostile strings,
+      scrambled labels) each run through [Pipeline.analyze] behind the
+      exception barrier.  Any escaped exception is a bug: the pipeline
+      must degrade, never raise.  Every failure line names the seed, the
+      mutation kinds applied and the app, so a red build reproduces with
+      one command.
 
    2. Reporting guard — a real app run under a starvation budget must
       surface its degradations in BOTH the report ledger and the
       [pipeline.degradations] metric.  A budget that trips silently is
       exactly the failure mode the resilience layer exists to prevent. *)
 
+module C = Check_common
 module Spec = Extr_corpus.Spec
 module Corpus = Extr_corpus.Corpus
 module Pipeline = Extr_extractocol.Pipeline
@@ -22,7 +25,11 @@ module Resilience = Extr_resilience.Resilience
 module Chaos = Extr_resilience.Chaos
 module Metrics = Extr_telemetry.Metrics
 
-let mutants = 60
+let ck = C.create "chaos_check"
+
+(* How many seeded mutants to sweep; override with CHAOS_MUTANTS=N for a
+   longer soak (or a quicker local iteration). *)
+let mutants = C.env_int ck "CHAOS_MUTANTS" ~default:60
 
 (* Mutants can manufacture pathological control flow, so each one runs
    under a tight budget and a per-mutant deadline: the sweep asserts
@@ -37,15 +44,6 @@ let mutant_limits =
 let mutant_options =
   { Pipeline.default_options with op_limits = mutant_limits }
 
-let failures = ref 0
-
-let fail fmt =
-  Fmt.kstr
-    (fun s ->
-      incr failures;
-      Fmt.epr "chaos_check: FAIL %s@." s)
-    fmt
-
 let mutation_sweep () =
   let pool = Array.of_list (Corpus.case_studies () @ Corpus.table1 ()) in
   let escaped = ref 0 in
@@ -54,6 +52,8 @@ let mutation_sweep () =
     let name = entry.Corpus.c_app.Spec.a_name in
     let apk = Lazy.force entry.Corpus.c_apk in
     let mutant, mutations = Chaos.mutate ~seed apk in
+    (* Everything a failure needs to reproduce: the seed, the mutation
+       kinds it produced, and the app they were applied to. *)
     let tag =
       Fmt.str "seed %d on %s [%a]" seed name
         Fmt.(list ~sep:(any "+") string)
@@ -70,12 +70,13 @@ let mutation_sweep () =
           List.length (Resilience.Degrade.items Resilience.Degrade.default)
         in
         if in_report <> in_ledger then
-          fail "%s: %d degradations in ledger but %d in report" tag in_ledger
-            in_report
+          C.fail ck "%s: %d degradations in ledger but %d in report" tag
+            in_ledger in_report
     | Error crash ->
         incr escaped;
-        fail "escaped exception: %s: %a@.%s" tag Resilience.Barrier.pp_crash
-          crash crash.Resilience.Barrier.cr_backtrace
+        C.fail ck "escaped exception: %s: %a@.%s" tag
+          Resilience.Barrier.pp_crash crash
+          crash.Resilience.Barrier.cr_backtrace
   done;
   Fmt.pr "chaos_check: %d mutants analyzed, %d escaped exceptions@." mutants
     !escaped
@@ -101,8 +102,9 @@ let reporting_guard () =
   in
   let degradations = analysis.Pipeline.an_report.Report.rp_degradations in
   if degradations = [] then
-    fail "starved run (%d steps) reported no degradations"
-      starvation_limits.Resilience.Budget.bl_max_steps;
+    C.fail ck "starved run (%d steps) on %s reported no degradations"
+      starvation_limits.Resilience.Budget.bl_max_steps
+      entry.Corpus.c_app.Spec.a_name;
   let reported_in_metric =
     List.exists
       (fun (s : Metrics.sample) ->
@@ -110,7 +112,8 @@ let reporting_guard () =
       (Metrics.snapshot Metrics.default)
   in
   if not reported_in_metric then
-    fail "starved run bumped no pipeline.degradations metric";
+    C.fail ck "starved run on %s bumped no pipeline.degradations metric"
+      entry.Corpus.c_app.Spec.a_name;
   Metrics.set_enabled Metrics.default false;
   Fmt.pr "chaos_check: starvation run degraded in %d place(s), metric recorded@."
     (List.length degradations)
@@ -119,8 +122,4 @@ let () =
   Logs.set_level (Some Logs.Error);
   mutation_sweep ();
   reporting_guard ();
-  if !failures > 0 then begin
-    Fmt.epr "chaos_check: %d failure(s)@." !failures;
-    exit 1
-  end;
-  Fmt.pr "chaos_check: ok@."
+  C.finish ck

@@ -1,0 +1,70 @@
+(* Shared scaffolding for the build-time check binaries (metrics_check,
+   explain_check, chaos_check, resume_check): failure accounting with a
+   uniform FAIL line format, parse-or-die JSON loading, the JSON
+   accessors every check needs and env-var knobs — so each check is only
+   its assertions. *)
+
+module Json = Extr_httpmodel.Json
+
+type t = { ck_name : string; mutable ck_failures : int }
+
+let create name = { ck_name = name; ck_failures = 0 }
+
+(* One FAIL line per violation; the build fails in [finish]. *)
+let fail t fmt =
+  Fmt.kstr
+    (fun s ->
+      t.ck_failures <- t.ck_failures + 1;
+      Fmt.epr "%s: FAIL %s@." t.ck_name s)
+    fmt
+
+(* Unrecoverable setup problem (missing file, malformed input): abort
+   immediately rather than drowning it in follow-on failures. *)
+let die t fmt =
+  Fmt.kstr
+    (fun s ->
+      Fmt.epr "%s: %s@." t.ck_name s;
+      exit 1)
+    fmt
+
+let usage t syntax =
+  Fmt.epr "usage: %s %s@." t.ck_name syntax;
+  exit 2
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let load_json t path =
+  match Json.of_string_opt (read_file path) with
+  | Some v -> v
+  | None -> die t "%s is not valid JSON" path
+
+let str_member key obj =
+  match Json.member key obj with Some (Json.Str s) -> Some s | _ -> None
+
+let int_member key obj =
+  match Json.member key obj with Some (Json.Int n) -> Some n | _ -> None
+
+let list_member key obj =
+  match Json.member key obj with Some (Json.List l) -> Some l | _ -> None
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Positive-integer knob from the environment (e.g. CHAOS_MUTANTS). *)
+let env_int t name ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | _ -> die t "%s must be a positive integer (got %S)" name s)
+
+(* Exit 1 iff any [fail] fired; print the ok line otherwise. *)
+let finish t =
+  if t.ck_failures > 0 then begin
+    Fmt.epr "%s: %d failure(s)@." t.ck_name t.ck_failures;
+    exit 1
+  end;
+  Fmt.pr "%s: ok@." t.ck_name

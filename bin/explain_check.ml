@@ -8,27 +8,10 @@
    Limple positions — so a provenance regression breaks the build
    instead of the --explain output. *)
 
+module C = Check_common
 module Json = Extr_httpmodel.Json
 
-let failures = ref 0
-
-let broken fmt =
-  incr failures;
-  Fmt.epr ("explain_check: " ^^ fmt ^^ "@.")
-
-let load path =
-  let src = In_channel.with_open_text path In_channel.input_all in
-  match Json.of_string_opt src with
-  | Some v -> v
-  | None ->
-      Fmt.epr "explain_check: %s is not valid JSON@." path;
-      exit 1
-
-let int_member key obj =
-  match Json.member key obj with Some (Json.Int n) -> Some n | _ -> None
-
-let list_member key obj =
-  match Json.member key obj with Some (Json.List l) -> Some l | _ -> None
+let ck = C.create "explain_check"
 
 (* "cls.meth:idx" — the shape Stmt_id.to_string produces for a resolved
    statement. *)
@@ -43,73 +26,63 @@ let looks_like_stmt_id s =
          | None -> false)
 
 let check_provenance path =
-  let json = load path in
+  let json = C.load_json ck path in
   let txs =
-    match list_member "transactions" json with
+    match C.list_member "transactions" json with
     | Some l -> l
     | None ->
-        broken "%s: no \"transactions\" array" path;
+        C.fail ck "%s: no \"transactions\" array" path;
         []
   in
   let prov =
-    match list_member "provenance" json with
+    match C.list_member "provenance" json with
     | Some l -> l
     | None ->
-        broken "%s: no \"provenance\" array" path;
+        C.fail ck "%s: no \"provenance\" array" path;
         []
   in
   if List.length prov <> List.length txs then
-    broken "%s: %d transactions but %d evidence records" path
+    C.fail ck "%s: %d transactions but %d evidence records" path
       (List.length txs) (List.length prov);
-  let covered =
-    List.filter_map (fun ev -> int_member "tx" ev) prov
-  in
+  let covered = List.filter_map (fun ev -> C.int_member "tx" ev) prov in
   List.iter
     (fun tx ->
-      match int_member "id" tx with
-      | None -> broken "%s: transaction without an id" path
+      match C.int_member "id" tx with
+      | None -> C.fail ck "%s: transaction without an id" path
       | Some id ->
           if not (List.mem id covered) then
-            broken "%s: transaction #%d has no evidence record" path id)
+            C.fail ck "%s: transaction #%d has no evidence record" path id)
     txs;
   List.iter
     (fun ev ->
-      let id =
-        match int_member "tx" ev with Some n -> n | None -> -1
-      in
-      match list_member "slice" ev with
+      let id = match C.int_member "tx" ev with Some n -> n | None -> -1 in
+      match C.list_member "slice" ev with
       | None | Some [] ->
-          broken "%s: transaction #%d has an empty slice chain" path id
+          C.fail ck "%s: transaction #%d has an empty slice chain" path id
       | Some steps ->
           List.iter
             (fun step ->
               match Json.member "stmt" step with
               | Some (Json.Str s) when looks_like_stmt_id s -> ()
               | Some (Json.Str s) ->
-                  broken "%s: #%d slice step has malformed statement id %S"
+                  C.fail ck "%s: #%d slice step has malformed statement id %S"
                     path id s
-              | _ -> broken "%s: #%d slice step without a statement id" path id)
+              | _ ->
+                  C.fail ck "%s: #%d slice step without a statement id" path id)
             steps)
     prov
 
 let check_explain path =
-  let text = In_channel.with_open_text path In_channel.input_all in
-  let contains needle =
-    let n = String.length needle and h = String.length text in
-    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
-    go 0
-  in
-  if not (contains "demarcation point:") then
-    broken "%s: --explain output has no demarcation-point line" path;
-  if contains "<unresolved>" then
-    broken "%s: --explain output contains unresolved statement ids" path
+  let text = C.read_file path in
+  if not (C.contains ~needle:"demarcation point:" text) then
+    C.fail ck "%s: --explain output has no demarcation-point line" path;
+  if C.contains ~needle:"<unresolved>" text then
+    C.fail ck "%s: --explain output contains unresolved statement ids" path
 
 let () =
   match Sys.argv with
   | [| _; provenance_path; explain_path |] ->
       check_provenance provenance_path;
       check_explain explain_path;
-      if !failures > 0 then exit 1
-  | _ ->
-      Fmt.epr "usage: explain_check PROVENANCE.json EXPLAIN.txt@.";
-      exit 2
+      C.finish ck
+  | _ -> C.usage ck "PROVENANCE.json EXPLAIN.txt"

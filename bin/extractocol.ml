@@ -14,18 +14,24 @@ module Telemetry = Extr_telemetry
 module Provenance = Extr_provenance.Provenance
 module Explain = Extr_extractocol.Explain
 module Resilience = Extr_resilience.Resilience
+module Retry = Extr_resilience.Retry
+module Runner = Extr_eval.Runner
 
 open Cmdliner
 
 (* Exit codes (documented in the man page):
-     0  analysis completed cleanly
-     1  usage error (unknown app, unreadable input, write failure)
-     2  an app crashed behind the fault barrier (--all)
-     3  analysis completed, but with degradations or unmatched requests *)
+     0   analysis completed cleanly
+     1   usage error (unknown app, unreadable input, write failure)
+     2   an app crashed behind the fault barrier (--all) and was quarantined
+     3   analysis completed, but with degradations or unmatched requests
+     99  an injected --crash-at kill-point fired (test hook)
+     130 SIGINT/SIGTERM interrupted a corpus run (partial results printed) *)
 let exit_ok = 0
 let exit_usage = 1
 let exit_crashed = 2
 let exit_degraded = 3
+let exit_killed = 99
+let exit_interrupted = 130
 
 let all_entries () = Corpus.case_studies () @ Corpus.table1 ()
 
@@ -206,54 +212,131 @@ let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
 (* Batch mode: the whole corpus behind per-app fault isolation          *)
 (* ------------------------------------------------------------------ *)
 
-let run_all limits force_crash =
-  let entries = all_entries () in
-  let options = { Pipeline.default_options with Pipeline.op_limits = limits } in
-  let results =
-    List.map
-      (fun (e : Corpus.entry) ->
-        let name = e.Corpus.c_app.Spec.a_name in
-        let res =
-          Resilience.Barrier.protect ~app:name (fun () ->
-              if force_crash = Some name then
-                failwith "forced crash (--force-crash test hook)";
-              let apk = Lazy.force e.Corpus.c_apk in
-              Pipeline.analyze ~options apk)
-        in
-        (name, res))
-      entries
+(* One summary row per app, printed live as results arrive. *)
+let print_result (a : Runner.app_result) =
+  let provenance =
+    if a.Runner.ar_resumed then "  [resumed]"
+    else if a.Runner.ar_cached then "  [cached]"
+    else ""
   in
-  Fmt.pr "%-28s %-9s %5s %13s %8s@." "app" "status" "txs" "degradations"
-    "elapsed";
-  let crashed = ref 0 and degraded = ref 0 in
+  (match a.Runner.ar_status with
+  | Runner.Quarantined ->
+      Fmt.pr "%-28s %-11s %5s %13s %8s %8s%s@." a.Runner.ar_app "quarantined"
+        "-" "-"
+        (string_of_int a.Runner.ar_attempts)
+        "-" provenance
+  | status ->
+      Fmt.pr "%-28s %-11s %5d %13d %8d %7.2fs%s@." a.Runner.ar_app
+        (Runner.status_name status) a.Runner.ar_txs
+        (List.length a.Runner.ar_degradations)
+        a.Runner.ar_attempts a.Runner.ar_elapsed_s provenance);
   List.iter
-    (fun (name, res) ->
-      match res with
-      | Ok (a : Pipeline.analysis) ->
-          let r = a.Pipeline.an_report in
-          let d = List.length r.Report.rp_degradations in
-          if d > 0 then incr degraded;
-          Fmt.pr "%-28s %-9s %5d %13d %7.2fs@." name
-            (if d > 0 then "degraded" else "ok")
-            (List.length r.Report.rp_transactions)
-            d r.Report.rp_elapsed_s;
-          List.iter
-            (fun dg ->
-              Fmt.pr "    %a@." Resilience.Degrade.pp_degradation dg)
-            r.Report.rp_degradations
-      | Error (crash : Resilience.Barrier.crash) ->
-          incr crashed;
-          Fmt.pr "%-28s %-9s %5s %13s %8s@." name "crashed" "-" "-" "-";
-          Fmt.epr "%a@." Resilience.Barrier.pp_crash crash;
-          if crash.Resilience.Barrier.cr_backtrace <> "" then
-            Fmt.epr "%s@." crash.Resilience.Barrier.cr_backtrace)
-    results;
-  Fmt.pr "%d apps: %d ok, %d degraded, %d crashed@." (List.length results)
-    (List.length results - !crashed - !degraded)
-    !degraded !crashed;
-  if !crashed > 0 then exit_crashed
-  else if !degraded > 0 then exit_degraded
-  else exit_ok
+    (fun dg -> Fmt.pr "    %a@." Resilience.Degrade.pp_degradation dg)
+    a.Runner.ar_degradations;
+  Option.iter
+    (fun crash ->
+      Fmt.epr "%a@." Resilience.Barrier.pp_crash crash;
+      if crash.Resilience.Barrier.cr_backtrace <> "" then
+        Fmt.epr "%s@." crash.Resilience.Barrier.cr_backtrace)
+    a.Runner.ar_crash
+
+let parse_crash_at spec =
+  let phase, occ =
+    match String.index_opt spec '@' with
+    | None -> (spec, "1")
+    | Some i ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+  in
+  match int_of_string_opt occ with
+  | Some n when n >= 1 && phase <> "" -> (phase, n)
+  | _ ->
+      Fmt.epr "invalid --crash-at %S (expected PHASE or PHASE@N)@." spec;
+      exit exit_usage
+
+let run_all limits force_crash journal resume cache_dir report_out crash_at
+    retries metrics_out =
+  (* Arm the injected kill-point before anything runs: the Nth entry to
+     the named pipeline phase terminates the process with exit 99,
+     leaving the journal mid-run — exactly what --resume recovers from. *)
+  Option.iter
+    (fun spec ->
+      let phase, occurrence = parse_crash_at spec in
+      Resilience.Barrier.set_kill_point ~phase ~occurrence (fun () ->
+          raise (Resilience.Barrier.Killed exit_killed)))
+    crash_at;
+  if metrics_out <> None then
+    Telemetry.Metrics.set_enabled Telemetry.Metrics.default true;
+  (* SIGINT/SIGTERM unwind the run as Barrier.Interrupted: the runner
+     returns the partial results, the journal is already flushed (every
+     append is atomic), and we still print the table below. *)
+  List.iter
+    (fun s ->
+      Sys.set_signal s
+        (Sys.Signal_handle (fun _ -> raise Resilience.Barrier.Interrupted)))
+    [ Sys.sigint; Sys.sigterm ];
+  let policy =
+    if retries <= 1 then Retry.no_retry
+    else { Retry.default_policy with Retry.rp_max_attempts = retries }
+  in
+  let options =
+    {
+      Runner.default_options with
+      Runner.ro_pipeline =
+        { Pipeline.default_options with Pipeline.op_limits = limits };
+      ro_policy = policy;
+      ro_journal = journal;
+      ro_resume = resume;
+      ro_cache_dir = cache_dir;
+      ro_force_crash = force_crash;
+    }
+  in
+  Fmt.pr "%-28s %-11s %5s %13s %8s %8s@." "app" "status" "txs" "degradations"
+    "attempts" "elapsed";
+  match
+    try Runner.run ~on_result:print_result options (all_entries ())
+    with Resilience.Barrier.Killed n -> exit n
+  with
+  | Error msg ->
+      Fmt.epr "%s@." msg;
+      exit_usage
+  | Ok run ->
+      let count st =
+        List.length
+          (List.filter (fun a -> a.Runner.ar_status = st) run.Runner.rn_results)
+      in
+      let cached =
+        List.length
+          (List.filter (fun a -> a.Runner.ar_cached) run.Runner.rn_results)
+      in
+      Fmt.pr "%d apps: %d ok, %d degraded, %d quarantined (%d from cache)@."
+        (List.length run.Runner.rn_results)
+        (count Runner.Ok) (count Runner.Degraded)
+        (count Runner.Quarantined)
+        cached;
+      if run.Runner.rn_quarantined <> [] then
+        Fmt.pr "quarantined: %s@."
+          (String.concat ", " run.Runner.rn_quarantined);
+      if run.Runner.rn_interrupted then
+        Fmt.pr "interrupted: partial results (resume with --resume)@.";
+      let try_write write path =
+        try write path
+        with Sys_error msg ->
+          Fmt.epr "cannot write output: %s@." msg;
+          exit exit_usage
+      in
+      Option.iter
+        (try_write (fun path ->
+             Telemetry.Export.write_file path
+               (Runner.report_json
+                  ~config:(Runner.config_fingerprint options)
+                  run)))
+        report_out;
+      Option.iter
+        (try_write (fun path ->
+             Telemetry.Export.write_metrics path Telemetry.Metrics.default))
+        metrics_out;
+      Runner.exit_code run
 
 let name_arg =
   let doc = "Corpus app to analyze (see --list)." in
@@ -398,10 +481,72 @@ let all_flag =
 let force_crash_arg =
   let doc =
     "Raise an artificial exception while analyzing APP (test hook for the\n\
-     $(b,--all) fault barrier)."
+     $(b,--all) fault barrier and the quarantine path)."
   in
   Arg.(
     value & opt (some string) None & info [ "force-crash" ] ~docv:"APP" ~doc)
+
+let journal_arg =
+  let doc =
+    "Write-ahead journal for $(b,--all): one JSONL record per per-app\n\
+     state transition (started, retried, crashed, finished), appended\n\
+     atomically, so a killed run can be picked up with $(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let resume_flag =
+  let doc =
+    "Replay the $(b,--journal) of a previous $(b,--all) run: apps it\n\
+     marks finished are restored (from the result cache when one is\n\
+     configured) instead of re-analyzed; the rest run normally.  Refused\n\
+     when the journal's configuration fingerprint differs from the\n\
+     current flags.  The final report is byte-identical to what the\n\
+     uninterrupted run would have written."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Content-addressed result cache for $(b,--all): each app's report is\n\
+     stored under a digest of its Limple program, the analysis\n\
+     configuration and the analysis version; a later run with an\n\
+     unchanged app skips the whole pipeline and restores the cached\n\
+     report (counted in the $(b,cache.hits) metric)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let report_out_arg =
+  let doc =
+    "Write the corpus report envelope (per-app status, attempts, cache\n\
+     provenance and the deterministic report JSON) to FILE after an\n\
+     $(b,--all) run."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+
+let crash_at_arg =
+  let doc =
+    "Kill the process (exit 99) the Nth time the named pipeline phase\n\
+     starts during an $(b,--all) run — e.g.\n\
+     $(b,pipeline.interpretation@2).  Test hook for $(b,--resume): the\n\
+     journal survives the kill."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "crash-at" ] ~docv:"PHASE[@N]" ~doc)
+
+let retries_arg =
+  let doc =
+    "Maximum attempts per app on the degrade-and-retry ladder: an app\n\
+     that degraded (budget or deadline exhausted) is re-run with\n\
+     escalated limits up to this many times.  1 disables the ladder\n\
+     (including the crash retry)."
+  in
+  Arg.(
+    value
+    & opt int Retry.default_policy.Retry.rp_max_attempts
+    & info [ "retries" ] ~docv:"N" ~doc)
 
 let exits =
   [
@@ -412,13 +557,21 @@ let exits =
          output could not be written.";
     Cmd.Exit.info exit_crashed
       ~doc:
-        "at least one app crashed behind the $(b,--all) fault barrier (the \
-         crash taxonomy is printed to stderr).";
+        "at least one app crashed behind the $(b,--all) fault barrier, was \
+         retried, and crashed again — it is quarantined (the crash taxonomy \
+         is printed to stderr).";
     Cmd.Exit.info exit_degraded
       ~doc:
         "the analysis completed but degraded: a budget or deadline tripped \
          (see the report's degradations), or $(b,--trace) left requests \
          unmatched.";
+    Cmd.Exit.info exit_killed
+      ~doc:"an injected $(b,--crash-at) kill-point fired (test hook).";
+    Cmd.Exit.info exit_interrupted
+      ~doc:
+        "SIGINT/SIGTERM stopped an $(b,--all) run; the journal was flushed \
+         and the partial summary table printed — re-run with $(b,--resume) \
+         to finish.";
   ]
 
 let cmd =
@@ -429,7 +582,8 @@ let cmd =
       const
         (fun log_level list name scope async intents obf obf_libs limple json
              dot trace trace_out metrics_out profile explain provenance_out
-             max_steps max_depth deadline all force_crash ->
+             max_steps max_depth deadline all force_crash journal resume
+             cache_dir report_out crash_at retries ->
           setup_logs log_level;
           let limits =
             {
@@ -439,7 +593,9 @@ let cmd =
             }
           in
           if list then list_apps ()
-          else if all then run_all limits force_crash
+          else if all then
+            run_all limits force_crash journal resume cache_dir report_out
+              crash_at retries metrics_out
           else
             analyze_app name scope async intents obf obf_libs limple json dot
               trace trace_out metrics_out profile explain provenance_out limits)
@@ -447,6 +603,7 @@ let cmd =
       $ intents_flag $ obfuscate_flag $ obf_libs_flag $ limple_arg $ json_flag
       $ dot_flag $ trace_arg $ trace_out_arg $ metrics_out_arg $ profile_flag
       $ explain_arg $ provenance_out_arg $ max_steps_arg $ max_depth_arg
-      $ deadline_arg $ all_flag $ force_crash_arg)
+      $ deadline_arg $ all_flag $ force_crash_arg $ journal_arg $ resume_flag
+      $ cache_dir_arg $ report_out_arg $ crash_at_arg $ retries_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,8 +6,11 @@
    expected series or the trace is missing a phase span, so silent
    instrumentation rot breaks the build instead of the dashboards. *)
 
+module C = Check_common
 module Json = Extr_httpmodel.Json
 module Pipeline = Extr_extractocol.Pipeline
+
+let ck = C.create "metrics_check"
 
 let required_metrics =
   [
@@ -23,58 +26,41 @@ let required_metrics =
     "pipeline.transactions";
   ]
 
-let failures = ref 0
-
-let missing fmt =
-  incr failures;
-  Fmt.epr ("metrics_check: " ^^ fmt ^^ "@.")
-
-let load path =
-  let src = In_channel.with_open_text path In_channel.input_all in
-  match Json.of_string_opt src with
-  | Some v -> v
-  | None ->
-      Fmt.epr "metrics_check: %s is not valid JSON@." path;
-      exit 1
-
-let str_member key obj =
-  match Json.member key obj with Some (Json.Str s) -> Some s | _ -> None
-
 let check_metrics path =
-  let json = load path in
+  let json = C.load_json ck path in
   let series =
-    match Json.member "metrics" json with
-    | Some (Json.List l) -> l
-    | _ ->
-        missing "%s: no \"metrics\" array" path;
+    match C.list_member "metrics" json with
+    | Some l -> l
+    | None ->
+        C.fail ck "%s: no \"metrics\" array" path;
         []
   in
-  let names = List.filter_map (str_member "name") series in
+  let names = List.filter_map (C.str_member "name") series in
   List.iter
     (fun name ->
       if not (List.mem name names) then
-        missing "%s: metric %S absent from snapshot" path name)
+        C.fail ck "%s: metric %S absent from snapshot" path name)
     required_metrics
 
 let check_trace path =
-  let json = load path in
+  let json = C.load_json ck path in
   let events =
-    match Json.member "traceEvents" json with
-    | Some (Json.List l) -> l
-    | _ ->
-        missing "%s: no \"traceEvents\" array" path;
+    match C.list_member "traceEvents" json with
+    | Some l -> l
+    | None ->
+        C.fail ck "%s: no \"traceEvents\" array" path;
         []
   in
   let has_span name =
     List.exists
       (fun ev ->
-        str_member "ph" ev = Some "X" && str_member "name" ev = Some name)
+        C.str_member "ph" ev = Some "X" && C.str_member "name" ev = Some name)
       events
   in
   List.iter
     (fun span ->
       if not (has_span span) then
-        missing "%s: no complete event for span %S" path span)
+        C.fail ck "%s: no complete event for span %S" path span)
     ("pipeline.analyze"
     :: List.map (fun p -> "pipeline." ^ p) Pipeline.phase_names)
 
@@ -83,7 +69,5 @@ let () =
   | [| _; metrics_path; trace_path |] ->
       check_metrics metrics_path;
       check_trace trace_path;
-      if !failures > 0 then exit 1
-  | _ ->
-      Fmt.epr "usage: metrics_check METRICS.json TRACE.json@.";
-      exit 2
+      C.finish ck
+  | _ -> C.usage ck "METRICS.json TRACE.json"

@@ -1,0 +1,433 @@
+(* Durable corpus runner: journaled checkpoint/resume, degrade-and-retry
+   ladder, and content-addressed result caching around the per-app fault
+   barrier.  The CLI's --all mode is a thin shell over [run]; the logic
+   lives here so the exit-code contract, quarantine, resume and caching
+   are unit-testable in-process. *)
+
+module Pipeline = Extr_extractocol.Pipeline
+module Report = Extr_extractocol.Report
+module Corpus = Extr_corpus.Corpus
+module Spec = Extr_corpus.Spec
+module Resilience = Extr_resilience.Resilience
+module Retry = Extr_resilience.Retry
+module Journal = Extr_resilience.Journal
+module Barrier = Resilience.Barrier
+module Store = Extr_store.Store
+module Clock = Extr_telemetry.Clock
+module Provenance = Extr_provenance.Provenance
+module Json = Extr_httpmodel.Json
+
+let src = Logs.Src.create "extractocol.runner" ~doc:"Durable corpus runner"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type options = {
+  ro_pipeline : Pipeline.options;
+  ro_policy : Retry.policy;
+  ro_journal : string option;
+  ro_resume : bool;
+  ro_cache_dir : string option;
+  ro_force_crash : string option;
+  ro_sleep : Clock.sleep;
+}
+
+let default_options =
+  {
+    ro_pipeline = Pipeline.default_options;
+    ro_policy = Retry.default_policy;
+    ro_journal = None;
+    ro_resume = false;
+    ro_cache_dir = None;
+    ro_force_crash = None;
+    ro_sleep = Clock.sleep_wall;
+  }
+
+(* Everything a cached result's validity depends on.  The analysis
+   version is folded into the cache key by Store.key as well; repeating
+   it here lets the journal header refuse a --resume across a version
+   bump even when no cache is configured. *)
+let config_fingerprint (o : options) =
+  Printf.sprintf "%s;%s;v%d"
+    (Pipeline.options_fingerprint o.ro_pipeline)
+    (Retry.fingerprint o.ro_policy)
+    Store.analysis_version
+
+type status = Ok | Degraded | Quarantined
+
+let status_name = function
+  | Ok -> "ok"
+  | Degraded -> "degraded"
+  | Quarantined -> "quarantined"
+
+let status_of_name = function
+  | "ok" -> Some Ok
+  | "degraded" -> Some Degraded
+  | "quarantined" -> Some Quarantined
+  | _ -> None
+
+type app_result = {
+  ar_app : string;
+  ar_status : status;
+  ar_cached : bool;
+  ar_resumed : bool;
+  ar_attempts : int;
+  ar_txs : int;
+  ar_degradations : Resilience.Degrade.degradation list;
+  ar_elapsed_s : float;
+  ar_crash : Barrier.crash option;
+  ar_report_json : string option;
+}
+
+type run = {
+  rn_results : app_result list;
+  rn_interrupted : bool;
+  rn_quarantined : string list;
+}
+
+(* The --all exit-code contract (documented in the man page). *)
+let exit_code r =
+  if r.rn_interrupted then 130
+  else if r.rn_quarantined <> [] then 2
+  else if List.exists (fun a -> a.ar_status = Degraded) r.rn_results then 3
+  else 0
+
+(* Status and transaction count of a cached deterministic report, read
+   back without trusting anything beyond its shape.  [None] means the
+   entry is not a report we recognize — callers treat that as a miss. *)
+let inspect_report_json data =
+  match Json.of_string_opt data with
+  | Some (Json.Obj _ as j) ->
+      let len m =
+        match Json.member m j with Some (Json.List l) -> Some (List.length l) | _ -> None
+      in
+      (match (len "degradations", len "transactions") with
+      | Some d, Some txs -> Some ((if d > 0 then Degraded else Ok), txs)
+      | _ -> None)
+  | Some _ | None -> None
+
+let forced_crash_message = "forced crash (--force-crash test hook)"
+
+let run ?(on_result = fun (_ : app_result) -> ()) (o : options)
+    (entries : Corpus.entry list) : (run, string) result =
+  let config = config_fingerprint o in
+  (* Open the cache first: a bad --cache-dir is a usage error, not
+     something to discover halfway through the corpus. *)
+  let cache =
+    match o.ro_cache_dir with
+    | None -> Result.Ok None
+    | Some dir -> (
+        try Result.Ok (Some (Store.open_ ~dir))
+        with Sys_error msg -> Result.Error (Printf.sprintf "cache directory: %s" msg))
+  in
+  (* The journal: fresh for a new run, replayed for --resume.  Resuming
+     yields the map of already-finished apps and the crash each
+     quarantined app last died with (the report envelope needs it). *)
+  let journal =
+    match (o.ro_resume, o.ro_journal) with
+    | true, None -> Result.Error "--resume requires --journal PATH"
+    | true, Some path -> (
+        match Journal.load ~path ~config with
+        | Result.Error msg -> Result.Error msg
+        | Result.Ok (j, events) ->
+            let crashes = Hashtbl.create 8 in
+            List.iter
+              (function
+                | Journal.Crashed { ev_app; ev_phase; ev_exn } ->
+                    Hashtbl.replace crashes ev_app (ev_phase, ev_exn)
+                | _ -> ())
+              events;
+            Result.Ok (Some j, Journal.finished events, crashes))
+    | false, None -> Result.Ok (None, [], Hashtbl.create 0)
+    | false, Some path ->
+        Result.Ok (Some (Journal.create ~path ~config), [], Hashtbl.create 0)
+  in
+  match (cache, journal) with
+  | Result.Error msg, _ | _, Result.Error msg -> Result.Error msg
+  | Result.Ok cache, Result.Ok (journal, done_map, past_crashes) ->
+      let jot ev = Option.iter (fun j -> Journal.append j ev) journal in
+      (* Restore an app the journal marked finished: quarantined apps
+         replay their recorded crash; ok/degraded apps come back from
+         the cache.  A cache miss (evicted entry, no --cache-dir) falls
+         through to a fresh run — resume never produces a hole. *)
+      let restore app (f : Journal.event) =
+        match f with
+        | Journal.Finished { ev_key; ev_status; ev_cached; ev_attempts; ev_txs; _ }
+          -> (
+            match status_of_name ev_status with
+            | Some Quarantined ->
+                let phase, exn_s =
+                  match Hashtbl.find_opt past_crashes app with
+                  | Some pe -> pe
+                  | None -> ("?", "crash record missing from journal")
+                in
+                Some
+                  {
+                    ar_app = app;
+                    ar_status = Quarantined;
+                    ar_cached = false;
+                    ar_resumed = true;
+                    ar_attempts = ev_attempts;
+                    ar_txs = 0;
+                    ar_degradations = [];
+                    ar_elapsed_s = 0.0;
+                    ar_crash =
+                      Some
+                        {
+                          Barrier.cr_app = app;
+                          cr_exn = exn_s;
+                          cr_phase = phase;
+                          cr_backtrace = "";
+                        };
+                    ar_report_json = None;
+                  }
+            | Some status -> (
+                let entry =
+                  match (cache, Store.key_of_string ev_key) with
+                  | Some c, Some k -> Store.find c k
+                  | _ -> None
+                in
+                match entry with
+                | Some data ->
+                    Some
+                      {
+                        ar_app = app;
+                        ar_status = status;
+                        (* The journal's cached flag, not "true": a
+                           resumed run must serialize exactly like the
+                           uninterrupted run it replaces. *)
+                        ar_cached = ev_cached;
+                        ar_resumed = true;
+                        ar_attempts = ev_attempts;
+                        ar_txs = ev_txs;
+                        ar_degradations = [];
+                        ar_elapsed_s = 0.0;
+                        ar_crash = None;
+                        ar_report_json = Some data;
+                      }
+                | None ->
+                    Log.warn (fun m ->
+                        m "%s finished in the journal but not in the cache; re-running"
+                          app);
+                    None)
+            | None -> None)
+        | _ -> None
+      in
+      let fresh app (e : Corpus.entry) =
+        let apk = Lazy.force e.Corpus.c_apk in
+        let key = Store.key ~config apk in
+        let key_s = Store.key_to_string key in
+        (* A force-crashed app must actually crash: the hook simulates an
+           app the pipeline dies on, and a cached result would dodge the
+           simulation (and with it the quarantine path under test). *)
+        let cache_hit =
+          match cache with
+          | _ when o.ro_force_crash = Some app -> None
+          | None -> None
+          | Some c -> (
+              match Store.find c key with
+              | Some data -> (
+                  match inspect_report_json data with
+                  | Some (status, txs) -> Some (data, status, txs)
+                  | None -> None)
+              | None -> None)
+        in
+        match cache_hit with
+        | Some (data, status, txs) ->
+            Provenance.record_cache_hit Provenance.default ~app ~key:key_s;
+            jot
+              (Journal.Finished
+                 {
+                   ev_app = app;
+                   ev_key = key_s;
+                   ev_status = status_name status;
+                   ev_cached = true;
+                   ev_attempts = 0;
+                   ev_txs = txs;
+                 });
+            {
+              ar_app = app;
+              ar_status = status;
+              ar_cached = true;
+              ar_resumed = false;
+              ar_attempts = 0;
+              ar_txs = txs;
+              ar_degradations = [];
+              ar_elapsed_s = 0.0;
+              ar_crash = None;
+              ar_report_json = Some data;
+            }
+        | None -> (
+            jot (Journal.Started { ev_app = app; ev_key = key_s; ev_attempt = 1 });
+            let outcome =
+              Retry.run ~sleep:o.ro_sleep
+                ~on_retry:(fun ~attempt ~reason ->
+                  jot
+                    (Journal.Retried
+                       { ev_app = app; ev_attempt = attempt; ev_reason = reason }))
+                o.ro_policy ~limits:o.ro_pipeline.Pipeline.op_limits
+                ~attempt:(fun ~attempt:_ limits ->
+                  let opts = { o.ro_pipeline with Pipeline.op_limits = limits } in
+                  match
+                    Barrier.protect ~app (fun () ->
+                        if o.ro_force_crash = Some app then
+                          failwith forced_crash_message;
+                        Pipeline.analyze ~options:opts apk)
+                  with
+                  | Result.Ok a ->
+                      let r = a.Pipeline.an_report in
+                      if r.Report.rp_degradations = [] then
+                        Result.Ok (Retry.Clean a)
+                      else Result.Ok (Retry.Degraded a)
+                  | Result.Error crash ->
+                      jot
+                        (Journal.Crashed
+                           {
+                             ev_app = app;
+                             ev_phase = crash.Barrier.cr_phase;
+                             ev_exn = crash.Barrier.cr_exn;
+                           });
+                      Result.Error crash)
+            in
+            let finish status (a : Pipeline.analysis) attempts =
+              let report = a.Pipeline.an_report in
+              let data =
+                Json.to_string (Report.to_json ~deterministic:true report)
+              in
+              Option.iter (fun c -> Store.store c key data) cache;
+              jot
+                (Journal.Finished
+                   {
+                     ev_app = app;
+                     ev_key = key_s;
+                     ev_status = status_name status;
+                     ev_cached = false;
+                     ev_attempts = attempts;
+                     ev_txs = List.length report.Report.rp_transactions;
+                   });
+              {
+                ar_app = app;
+                ar_status = status;
+                ar_cached = false;
+                ar_resumed = false;
+                ar_attempts = attempts;
+                ar_txs = List.length report.Report.rp_transactions;
+                ar_degradations = report.Report.rp_degradations;
+                ar_elapsed_s = report.Report.rp_elapsed_s;
+                ar_crash = None;
+                ar_report_json = Some data;
+              }
+            in
+            match outcome with
+            | Retry.Succeeded (a, n) -> finish Ok a n
+            | Retry.Still_degraded (a, n) -> finish Degraded a n
+            | Retry.Quarantined (crash, n) ->
+                jot
+                  (Journal.Finished
+                     {
+                       ev_app = app;
+                       ev_key = key_s;
+                       ev_status = status_name Quarantined;
+                       ev_cached = false;
+                       ev_attempts = n;
+                       ev_txs = 0;
+                     });
+                {
+                  ar_app = app;
+                  ar_status = Quarantined;
+                  ar_cached = false;
+                  ar_resumed = false;
+                  ar_attempts = n;
+                  ar_txs = 0;
+                  ar_degradations = [];
+                  ar_elapsed_s = 0.0;
+                  ar_crash = Some crash;
+                  ar_report_json = None;
+                })
+      in
+      (* Corpus entries are journaled under a unique id: an app name that
+         appears twice (a case study that is also a Table 1 row) gets
+         "#2", "#3"... suffixes, or one entry's journal record would be
+         replayed for every namesake on resume. *)
+      let identified =
+        let seen = Hashtbl.create 41 in
+        List.map
+          (fun (e : Corpus.entry) ->
+            let name = e.Corpus.c_app.Spec.a_name in
+            let n =
+              (match Hashtbl.find_opt seen name with Some n -> n | None -> 0)
+              + 1
+            in
+            Hashtbl.replace seen name n;
+            ((if n = 1 then name else Printf.sprintf "%s#%d" name n), e))
+          entries
+      in
+      let results = ref [] in
+      let interrupted = ref false in
+      (try
+         List.iter
+           (fun (id, (e : Corpus.entry)) ->
+             let res =
+               match
+                 if o.ro_resume then
+                   Option.bind (List.assoc_opt id done_map) (restore id)
+                 else None
+               with
+               | Some restored -> restored
+               | None -> fresh id e
+             in
+             results := res :: !results;
+             on_result res)
+           identified
+       with Barrier.Interrupted ->
+         (* Journal appends are atomic and already on disk; nothing to
+            flush.  Return what completed so the caller can print the
+            partial table. *)
+         interrupted := true);
+      let results = List.rev !results in
+      Result.Ok
+        {
+          rn_results = results;
+          rn_interrupted = !interrupted;
+          rn_quarantined =
+            List.filter_map
+              (fun a -> if a.ar_status = Quarantined then Some a.ar_app else None)
+              results;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Corpus report envelope                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Built by hand so each app's deterministic report string is spliced in
+   verbatim: round-tripping through the Json value model would reprint
+   floats and break the byte-identity --resume guarantees. *)
+let report_json ~config (r : run) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"config\":\"%s\"" (Json.escape_string config));
+  if r.rn_interrupted then Buffer.add_string buf ",\"interrupted\":true";
+  Buffer.add_string buf ",\"apps\":[";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"app\":\"%s\",\"status\":\"%s\",\"cached\":%b,\"attempts\":%d"
+           (Json.escape_string a.ar_app)
+           (status_name a.ar_status)
+           a.ar_cached a.ar_attempts);
+      (match a.ar_crash with
+      | Some c ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\"crash\":{\"phase\":\"%s\",\"exn\":\"%s\"}"
+               (Json.escape_string c.Barrier.cr_phase)
+               (Json.escape_string c.Barrier.cr_exn))
+      | None -> ());
+      (match a.ar_report_json with
+      | Some data ->
+          Buffer.add_string buf ",\"report\":";
+          Buffer.add_string buf data
+      | None -> ());
+      Buffer.add_char buf '}')
+    r.rn_results;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

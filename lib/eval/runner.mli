@@ -1,0 +1,94 @@
+(** Durable corpus runner: the engine behind [extractocol --all].
+
+    Runs every corpus entry behind the fault barrier like the original
+    batch mode, but each app's lifecycle is journaled ({!Extr_resilience.Journal}),
+    driven up the degrade-and-retry ladder ({!Extr_resilience.Retry})
+    and — when a cache directory is configured — served from or stored
+    into the content-addressed result cache ({!Extr_store.Store}).  A
+    killed run resumes from its journal; a resumed run's report JSON is
+    byte-identical to what the uninterrupted run would have written,
+    because cached reports are serialized deterministically and spliced
+    back verbatim.
+
+    The runner is a library (not CLI glue) so the exit-code contract,
+    quarantine, resume and caching are unit-testable in-process. *)
+
+module Pipeline = Extr_extractocol.Pipeline
+module Corpus = Extr_corpus.Corpus
+module Resilience = Extr_resilience.Resilience
+module Retry = Extr_resilience.Retry
+module Clock = Extr_telemetry.Clock
+
+type options = {
+  ro_pipeline : Pipeline.options;
+  ro_policy : Retry.policy;
+  ro_journal : string option;  (** write-ahead journal path *)
+  ro_resume : bool;  (** replay the journal, skip finished apps *)
+  ro_cache_dir : string option;  (** content-addressed result cache *)
+  ro_force_crash : string option;  (** crash this app (test hook) *)
+  ro_sleep : Clock.sleep;  (** retry backoff; injectable for tests *)
+}
+
+val default_options : options
+(** Pipeline defaults, {!Retry.default_policy}, no journal, no cache,
+    wall-clock backoff. *)
+
+val config_fingerprint : options -> string
+(** The configuration identity a result depends on: pipeline options,
+    retry policy and {!Extr_store.Store.analysis_version}.  Cache keys
+    digest it; journals carry it in their header and [--resume] refuses
+    a journal whose fingerprint differs. *)
+
+type status = Ok | Degraded | Quarantined
+
+val status_name : status -> string
+(** ["ok"], ["degraded"], ["quarantined"] — the journal/report strings. *)
+
+type app_result = {
+  ar_app : string;
+      (** unique corpus identity: the app name, with a ["#2"]-style
+          suffix when the same name appears more than once (a case study
+          that is also a Table 1 row) — journals key records by it *)
+  ar_status : status;
+  ar_cached : bool;  (** served from the result cache *)
+  ar_resumed : bool;  (** skipped because the journal marked it finished *)
+  ar_attempts : int;
+  ar_txs : int;
+  ar_degradations : Resilience.Degrade.degradation list;
+      (** empty for cached/resumed results: the detail lives in the
+          cached report JSON *)
+  ar_elapsed_s : float;  (** 0 for cached/resumed results *)
+  ar_crash : Resilience.Barrier.crash option;  (** [Quarantined] only *)
+  ar_report_json : string option;
+      (** the deterministic report serialization, verbatim from the
+          cache on a hit; [None] for quarantined apps *)
+}
+
+type run = {
+  rn_results : app_result list;  (** corpus order; partial if interrupted *)
+  rn_interrupted : bool;  (** SIGINT/SIGTERM unwound the run *)
+  rn_quarantined : string list;  (** apps excluded after repeated crashes *)
+}
+
+val exit_code : run -> int
+(** The [--all] contract: 130 if interrupted, 2 if any app was
+    quarantined, 3 if any degraded, 0 otherwise. *)
+
+val run :
+  ?on_result:(app_result -> unit) ->
+  options ->
+  Corpus.entry list ->
+  (run, string) result
+(** Run the corpus.  [on_result] fires after each app (the CLI prints
+    its summary row live).  [Error] is a usage-level failure: a resume
+    with no/invalid journal or a mismatched configuration fingerprint,
+    or an unusable cache/journal path.  {!Resilience.Barrier.Killed}
+    propagates (injected kill-points must terminate the process);
+    {!Resilience.Barrier.Interrupted} is caught and yields a partial
+    [run] with [rn_interrupted] set. *)
+
+val report_json : config:string -> run -> string
+(** The corpus report envelope: configuration fingerprint plus one
+    member per app — status, attempts, [cached], and the app's
+    deterministic report spliced in verbatim (never reparsed, so cached
+    and fresh serializations stay byte-identical). *)

@@ -74,6 +74,23 @@ let default_options =
     asynchronous-event heuristic. *)
 let open_source_options = { default_options with op_async_heuristic = false }
 
+(* Canonical one-line serialization of everything in [options] that can
+   change the analysis result — the configuration half of the result
+   cache key, and the fingerprint --resume checks the journal against.
+   Any new option field must be added here or cached results go stale
+   silently. *)
+let options_fingerprint (o : options) =
+  Printf.sprintf
+    "async=%b;aiter=%d;aug=%b;scope=%s;ctx=%b;restrict=%b;intents=%b;steps=%d;depth=%d;deadline=%s"
+    o.op_async_heuristic o.op_async_iterations o.op_augmentation
+    (Option.value o.op_scope ~default:"-")
+    o.op_context_sensitive o.op_restrict_to_slices o.op_intents
+    o.op_limits.Resilience.Budget.bl_max_steps
+    o.op_limits.Resilience.Budget.bl_max_depth
+    (match o.op_limits.Resilience.Budget.bl_deadline_s with
+    | None -> "-"
+    | Some d -> Printf.sprintf "%g" d)
+
 type analysis = {
   an_apk : Apk.t;
   an_prog : Prog.t;

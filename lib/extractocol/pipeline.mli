@@ -31,6 +31,11 @@ val default_options : options
 val open_source_options : options
 (** The §5.1 open-source configuration: asynchronous-event heuristic off. *)
 
+val options_fingerprint : options -> string
+(** Canonical one-line serialization of every result-affecting option —
+    the configuration part of the {!Extr_store.Store} cache key and of
+    the journal header [--resume] validates against. *)
+
 type analysis = {
   an_apk : Apk.t;
   an_prog : Prog.t;

@@ -248,7 +248,7 @@ let json_of_degradation (d : Resilience.Degrade.degradation) : Json.t =
       ("work_left", Json.Int d.Resilience.Degrade.dg_work_left);
     ]
 
-let to_json ?provenance (t : t) : Json.t =
+let to_json ?provenance ?(deterministic = false) (t : t) : Json.t =
   Json.Obj
     ([
        ("app", Json.Str t.rp_app);
@@ -256,7 +256,10 @@ let to_json ?provenance (t : t) : Json.t =
        ("slice_statements", Json.Int t.rp_slice_stmts);
        ("total_statements", Json.Int t.rp_total_stmts);
        ("slice_fraction", Json.Float t.rp_slice_fraction);
-       ("elapsed_seconds", Json.Float t.rp_elapsed_s);
+       (* Deterministic form: wall-clock is the one member that differs
+          between two runs over identical inputs, which would break the
+          byte-identity the result cache and --resume guarantee. *)
+       ("elapsed_seconds", Json.Float (if deterministic then 0.0 else t.rp_elapsed_s));
        ( "degradations",
          Json.List (List.map json_of_degradation t.rp_degradations) );
        ( "transactions",

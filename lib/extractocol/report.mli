@@ -65,11 +65,18 @@ val paired : t -> transaction list
 val request_body_kind : transaction -> [ `Query | `Json | `Xml | `Text ] option
 val response_body_kind : transaction -> [ `Json | `Xml | `Text ] option
 
-val to_json : ?provenance:Extr_httpmodel.Json.t -> t -> Extr_httpmodel.Json.t
+val to_json :
+  ?provenance:Extr_httpmodel.Json.t ->
+  ?deterministic:bool ->
+  t ->
+  Extr_httpmodel.Json.t
 (** Machine-readable export of the full report (transactions with
     request/response signatures as anchored regexes and shape strings,
     dependencies, consumers, slice statistics).  [provenance] appends the
-    evidence chains (see {!Explain.to_json}) as a "provenance" member. *)
+    evidence chains (see {!Explain.to_json}) as a "provenance" member.
+    [deterministic] (default false) zeroes the wall-clock member so two
+    runs over identical inputs serialize byte-identically — the form the
+    result cache stores and [--resume] reproduces. *)
 
 val to_dot : t -> string
 (** Render the inter-transaction dependency graph (the structure behind

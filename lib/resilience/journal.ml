@@ -1,0 +1,202 @@
+(* Write-ahead journal: append-only JSONL over atomic whole-file
+   rewrites (see the .mli for why rewriting is the right trade here). *)
+
+module Json = Extr_httpmodel.Json
+module Export = Extr_telemetry.Export
+
+let src = Logs.Src.create "extractocol.journal" ~doc:"Corpus-run write-ahead journal"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type event =
+  | Started of { ev_app : string; ev_key : string; ev_attempt : int }
+  | Retried of { ev_app : string; ev_attempt : int; ev_reason : string }
+  | Crashed of { ev_app : string; ev_phase : string; ev_exn : string }
+  | Finished of {
+      ev_app : string;
+      ev_key : string;
+      ev_status : string;
+      ev_cached : bool;
+      ev_attempts : int;
+      ev_txs : int;
+    }
+
+type t = {
+  jn_path : string;
+  jn_config : string;
+  mutable jn_events : event list;  (* newest first *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_event = function
+  | Started e ->
+      Json.Obj
+        [
+          ("event", Json.Str "started");
+          ("app", Json.Str e.ev_app);
+          ("key", Json.Str e.ev_key);
+          ("attempt", Json.Int e.ev_attempt);
+        ]
+  | Retried e ->
+      Json.Obj
+        [
+          ("event", Json.Str "retried");
+          ("app", Json.Str e.ev_app);
+          ("attempt", Json.Int e.ev_attempt);
+          ("reason", Json.Str e.ev_reason);
+        ]
+  | Crashed e ->
+      Json.Obj
+        [
+          ("event", Json.Str "crashed");
+          ("app", Json.Str e.ev_app);
+          ("phase", Json.Str e.ev_phase);
+          ("exn", Json.Str e.ev_exn);
+        ]
+  | Finished e ->
+      Json.Obj
+        [
+          ("event", Json.Str "finished");
+          ("app", Json.Str e.ev_app);
+          ("key", Json.Str e.ev_key);
+          ("status", Json.Str e.ev_status);
+          ("cached", Json.Bool e.ev_cached);
+          ("attempts", Json.Int e.ev_attempts);
+          ("txs", Json.Int e.ev_txs);
+        ]
+
+let str k j = match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+let int k j = match Json.member k j with Some (Json.Int n) -> Some n | _ -> None
+
+let bool k j =
+  match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None
+
+let event_of_json j =
+  let ( let* ) = Option.bind in
+  match str "event" j with
+  | Some "started" ->
+      let* ev_app = str "app" j in
+      let* ev_key = str "key" j in
+      let* ev_attempt = int "attempt" j in
+      Some (Started { ev_app; ev_key; ev_attempt })
+  | Some "retried" ->
+      let* ev_app = str "app" j in
+      let* ev_attempt = int "attempt" j in
+      let* ev_reason = str "reason" j in
+      Some (Retried { ev_app; ev_attempt; ev_reason })
+  | Some "crashed" ->
+      let* ev_app = str "app" j in
+      let* ev_phase = str "phase" j in
+      let* ev_exn = str "exn" j in
+      Some (Crashed { ev_app; ev_phase; ev_exn })
+  | Some "finished" ->
+      let* ev_app = str "app" j in
+      let* ev_key = str "key" j in
+      let* ev_status = str "status" j in
+      let* ev_cached = bool "cached" j in
+      let* ev_attempts = int "attempts" j in
+      let* ev_txs = int "txs" j in
+      Some (Finished { ev_app; ev_key; ev_status; ev_cached; ev_attempts; ev_txs })
+  | Some _ | None -> None
+
+let header config =
+  Json.Obj [ ("event", Json.Str "run-started"); ("config", Json.Str config) ]
+
+let serialize t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Json.to_string (header t.jn_config));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (Json.to_string (json_of_event ev));
+      Buffer.add_char buf '\n')
+    (List.rev t.jn_events);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let flush t = Export.write_file t.jn_path (serialize t)
+
+let create ~path ~config =
+  let t = { jn_path = path; jn_config = config; jn_events = [] } in
+  flush t;
+  t
+
+let split_lines s = String.split_on_char '\n' s
+
+let load ~path ~config =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      let lines =
+        List.filter (fun l -> String.trim l <> "") (split_lines contents)
+      in
+      match lines with
+      | [] -> Error (path ^ ": empty journal (no header)")
+      | hd :: tl -> (
+          match Option.bind (Json.of_string_opt hd) (str "config") with
+          | None -> Error (path ^ ": journal header missing or malformed")
+          | Some c when c <> config ->
+              Error
+                (Fmt.str
+                   "%s: journal was written under a different configuration \
+                    (%s, current run %s); results would not match — remove \
+                    the journal or rerun without --resume"
+                   path c config)
+          | Some _ ->
+              let events =
+                List.filter_map
+                  (fun line ->
+                    match
+                      Option.bind (Json.of_string_opt line) event_of_json
+                    with
+                    | Some ev -> Some ev
+                    | None ->
+                        Log.warn (fun m ->
+                            m "%s: skipping malformed journal line %S" path
+                              line);
+                        None)
+                  tl
+              in
+              Ok
+                ( { jn_path = path; jn_config = config; jn_events = List.rev events },
+                  events )))
+
+let append t ev =
+  t.jn_events <- ev :: t.jn_events;
+  flush t
+
+let path t = t.jn_path
+
+let event_app = function
+  | Started e -> e.ev_app
+  | Retried e -> e.ev_app
+  | Crashed e -> e.ev_app
+  | Finished e -> e.ev_app
+
+let finished events =
+  (* Last lifecycle record per app wins: a Started after a Finished means
+     the app was being re-run when the journal stopped. *)
+  let last = Hashtbl.create 16 in
+  List.iter (fun ev -> Hashtbl.replace last (event_app ev) ev) events;
+  Hashtbl.fold
+    (fun app ev acc ->
+      match ev with Finished _ -> (app, ev) :: acc | _ -> acc)
+    last []
+
+let pp_event fmt = function
+  | Started e -> Fmt.pf fmt "started %s (attempt %d)" e.ev_app e.ev_attempt
+  | Retried e ->
+      Fmt.pf fmt "retried %s (attempt %d, %s)" e.ev_app e.ev_attempt e.ev_reason
+  | Crashed e -> Fmt.pf fmt "crashed %s in %s: %s" e.ev_app e.ev_phase e.ev_exn
+  | Finished e ->
+      Fmt.pf fmt "finished %s (%s%s, %d attempt%s, %d txs)" e.ev_app e.ev_status
+        (if e.ev_cached then ", cached" else "")
+        e.ev_attempts
+        (if e.ev_attempts = 1 then "" else "s")
+        e.ev_txs

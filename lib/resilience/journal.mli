@@ -1,0 +1,59 @@
+(** Write-ahead journal for corpus runs.
+
+    [extractocol --all] appends one record per per-app state transition
+    — started, retried, crashed, finished — so a killed run can be
+    resumed: [--resume] replays the journal, skips every app with a
+    [finished] record (restoring its result from the content-addressed
+    cache when possible) and re-runs the rest.  The serialized form is
+    JSONL, one record per line, with a header line carrying the
+    configuration fingerprint; resuming under a different configuration
+    is refused, because the journaled results would not match what the
+    new configuration produces.
+
+    Appends rewrite the whole file through the telemetry temp+rename
+    discipline.  Journals are a few records per app, so the rewrite is
+    cheap, and in exchange every append is atomic: a kill at any point
+    leaves either the previous journal or the new one, never a torn
+    line. *)
+
+type event =
+  | Started of { ev_app : string; ev_key : string; ev_attempt : int }
+      (** analysis began; [ev_key] is the result-cache address *)
+  | Retried of { ev_app : string; ev_attempt : int; ev_reason : string }
+      (** the retry ladder escalated ([ev_attempt] is the new attempt) *)
+  | Crashed of { ev_app : string; ev_phase : string; ev_exn : string }
+      (** the fault barrier caught a crash *)
+  | Finished of {
+      ev_app : string;
+      ev_key : string;
+      ev_status : string;  (** ["ok"], ["degraded"] or ["quarantined"] *)
+      ev_cached : bool;  (** the result came from the cache *)
+      ev_attempts : int;
+      ev_txs : int;
+    }
+
+type t
+
+val create : path:string -> config:string -> t
+(** Start a fresh journal at [path] (truncating any previous one) whose
+    header records the [config] fingerprint. *)
+
+val load : path:string -> config:string -> (t * event list, string) result
+(** Re-open an existing journal for [--resume].  [Error] when the file
+    is missing or unreadable, the header is absent, or the header's
+    configuration fingerprint differs from [config].  Truncated or
+    malformed trailing lines (a mid-append kill under a non-atomic
+    filesystem) are skipped, not fatal. *)
+
+val append : t -> event -> unit
+(** Record an event; the file is atomically rewritten before this
+    returns, so the event survives any subsequent kill. *)
+
+val path : t -> string
+
+val finished : event list -> (string * event) list
+(** The [(app, record)] pairs for apps whose last lifecycle record is
+    [Finished] — the apps [--resume] may skip.  An app that started
+    again after finishing (a later [Started] record) is not included. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -94,8 +94,25 @@ module Degrade : sig
 end
 
 module Barrier : sig
+  exception Killed of int
+  (** Raised by an injected kill-point ([--crash-at]); carries the exit
+      code the process should die with.  Crosses {!protect}. *)
+
+  exception Interrupted
+  (** Raised from a SIGINT/SIGTERM handler to unwind a corpus run for a
+      clean partial exit.  Crosses {!protect}. *)
+
   val set_phase : string -> unit
-  (** Stamp the currently-running pipeline phase (crash attribution). *)
+  (** Stamp the currently-running pipeline phase (crash attribution).
+      Fires the kill-point when one is armed for this phase. *)
+
+  val set_kill_point :
+    phase:string -> occurrence:int -> (unit -> unit) -> unit
+  (** Arm a kill-point: run the action the [occurrence]th time
+      {!set_phase} enters [phase] (then disarm).  The CLI's action
+      raises {!Killed}; tests can substitute their own. *)
+
+  val clear_kill_point : unit -> unit
 
   val phase : unit -> string
 
@@ -108,7 +125,9 @@ module Barrier : sig
 
   val protect : app:string -> (unit -> 'a) -> ('a, crash) result
   (** Run behind an exception barrier: any escaped exception becomes an
-      [Error crash] with its class, phase and backtrace. *)
+      [Error crash] with its class, phase and backtrace — except the
+      control exceptions {!Killed} and {!Interrupted}, which re-raise so
+      they can stop the whole corpus run. *)
 
   val pp_crash : Format.formatter -> crash -> unit
 end

@@ -1,0 +1,99 @@
+(* Degrade-and-retry ladder.  See the .mli for the policy semantics. *)
+
+module Clock = Extr_telemetry.Clock
+module Metrics = Extr_telemetry.Metrics
+module Budget = Resilience.Budget
+module Barrier = Resilience.Barrier
+
+let src = Logs.Src.create "extractocol.retry" ~doc:"Degrade-and-retry ladder"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type policy = {
+  rp_max_attempts : int;
+  rp_crash_retries : int;
+  rp_backoff_s : float;
+  rp_escalate_steps : int;
+  rp_escalate_depth : int;
+  rp_escalate_deadline : float;
+}
+
+let default_policy =
+  {
+    rp_max_attempts = 3;
+    rp_crash_retries = 1;
+    rp_backoff_s = 0.05;
+    rp_escalate_steps = 4;
+    rp_escalate_depth = 8;
+    rp_escalate_deadline = 2.0;
+  }
+
+let no_retry =
+  {
+    rp_max_attempts = 1;
+    rp_crash_retries = 0;
+    rp_backoff_s = 0.0;
+    rp_escalate_steps = 1;
+    rp_escalate_depth = 0;
+    rp_escalate_deadline = 1.0;
+  }
+
+let fingerprint p =
+  Printf.sprintf "retry=%d/%d;backoff=%g;escalate=%dx/+%d/%gx" p.rp_max_attempts
+    p.rp_crash_retries p.rp_backoff_s p.rp_escalate_steps p.rp_escalate_depth
+    p.rp_escalate_deadline
+
+let sat_mul a b = if a > max_int / b then max_int else a * b
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let escalate p (l : Budget.limits) =
+  {
+    Budget.bl_max_steps = sat_mul l.Budget.bl_max_steps p.rp_escalate_steps;
+    bl_max_depth = sat_add l.Budget.bl_max_depth p.rp_escalate_depth;
+    bl_deadline_s =
+      Option.map (fun d -> d *. p.rp_escalate_deadline) l.Budget.bl_deadline_s;
+  }
+
+type 'a verdict = Clean of 'a | Degraded of 'a
+
+type 'a outcome =
+  | Succeeded of 'a * int
+  | Still_degraded of 'a * int
+  | Quarantined of Barrier.crash * int
+
+let m_attempts =
+  Metrics.counter ~help:"extra per-app attempts taken by the retry ladder (reason)"
+    "retry.attempts"
+
+let run ?(sleep = Clock.sleep_wall) ?(on_retry = fun ~attempt:_ ~reason:_ -> ())
+    policy ~limits ~attempt =
+  let backoff n =
+    (* Deterministic exponential backoff before attempt n+1. *)
+    let d = policy.rp_backoff_s *. (2.0 ** float_of_int (n - 1)) in
+    if d > 0.0 then sleep d
+  in
+  let retry ~n ~reason =
+    if Metrics.is_enabled Metrics.default then
+      Metrics.incr m_attempts ~labels:[ ("reason", reason) ];
+    Log.info (fun m -> m "retrying (attempt %d): %s" (n + 1) reason);
+    backoff n;
+    on_retry ~attempt:(n + 1) ~reason
+  in
+  let rec go ~n ~crashes limits =
+    match attempt ~attempt:n limits with
+    | Ok (Clean v) -> Succeeded (v, n)
+    | Ok (Degraded v) ->
+        if n >= policy.rp_max_attempts then Still_degraded (v, n)
+        else begin
+          retry ~n ~reason:"budget-exhausted";
+          go ~n:(n + 1) ~crashes (escalate policy limits)
+        end
+    | Error crash ->
+        if crashes >= policy.rp_crash_retries then Quarantined (crash, n)
+        else begin
+          retry ~n ~reason:("crash:" ^ crash.Barrier.cr_phase);
+          (* Same limits: a crash is not a budget problem. *)
+          go ~n:(n + 1) ~crashes:(crashes + 1) limits
+        end
+  in
+  go ~n:1 ~crashes:0 limits

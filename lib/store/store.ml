@@ -1,0 +1,91 @@
+(* Content-addressed result cache.
+
+   The address of an analysis result is a digest over everything that
+   determines it: the app content (the textual Limple program is the
+   canonical serialization — the printer/parser round-trip guarantees it
+   captures the whole program), the analysis configuration fingerprint,
+   and a bumpable implementation version.  Any change to any of the
+   three moves the address, so stale entries are never *invalidated*,
+   only orphaned — the cache needs no eviction protocol to stay
+   correct. *)
+
+module Ir = Extr_ir.Types
+module Pp = Extr_ir.Pp
+module Apk = Extr_apk.Apk
+module Export = Extr_telemetry.Export
+module Metrics = Extr_telemetry.Metrics
+
+let src = Logs.Src.create "extractocol.store" ~doc:"Content-addressed result cache"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Bump on any change that alters the pipeline's output for an unchanged
+   input (the report JSON shape counts: cached entries are served
+   verbatim). *)
+let analysis_version = 1
+
+type key = string
+
+let key ?(version = analysis_version) ~config (apk : Apk.t) : key =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "version=%d\n" version);
+  Buffer.add_string buf (Printf.sprintf "config=%s\n" config);
+  let mf = apk.Apk.manifest in
+  Buffer.add_string buf
+    (Printf.sprintf "manifest=%s|%s|%s\n" mf.Apk.mf_package mf.Apk.mf_label
+       (String.concat "," mf.Apk.mf_activities));
+  List.iter
+    (fun (id, s) -> Buffer.add_string buf (Printf.sprintf "res=%d:%s\n" id s))
+    apk.Apk.resources;
+  Buffer.add_string buf (Pp.program_to_string apk.Apk.program);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let key_to_string k = k
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+let key_of_string s =
+  if String.length s = 32 && String.for_all is_hex s then Some s else None
+
+type t = { st_dir : string }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let open_ ~dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"));
+  { st_dir = dir }
+
+let dir t = t.st_dir
+
+let entry_path t k = Filename.concat t.st_dir (k ^ ".json")
+
+let m_hits =
+  Metrics.counter ~help:"result-cache lookups that found an entry" "cache.hits"
+
+let m_misses =
+  Metrics.counter ~help:"result-cache lookups that found nothing"
+    "cache.misses"
+
+let find t k =
+  let path = entry_path t k in
+  let hit =
+    if Sys.file_exists path then
+      try Some (In_channel.with_open_text path In_channel.input_all)
+      with Sys_error msg ->
+        Log.warn (fun m -> m "unreadable cache entry %s: %s" path msg);
+        None
+    else None
+  in
+  if Metrics.is_enabled Metrics.default then
+    Metrics.incr (match hit with Some _ -> m_hits | None -> m_misses);
+  hit
+
+let store t k contents = Export.write_file (entry_path t k) contents

@@ -1,0 +1,51 @@
+(** Content-addressed result cache for corpus runs.
+
+    A corpus re-run over unchanged apps should not redo static analysis:
+    the result of analyzing an app is fully determined by the app's
+    Limple program (plus manifest and resources), the analysis
+    configuration, and the analysis implementation itself.  {!key}
+    digests all three into a hex address; {!find}/{!store} read and
+    write the serialized result under that address in a cache
+    directory, counting ["cache.hits"]/["cache.misses"] in the metrics
+    registry.  Writes go through the telemetry temp+rename discipline,
+    so a crash mid-store never leaves a truncated entry behind. *)
+
+module Apk = Extr_apk.Apk
+
+val analysis_version : int
+(** Bumpable invalidation lever: part of every {!key}.  Bump it whenever
+    the pipeline's output for an unchanged input changes (new analysis
+    features, fixed bugs, report-format changes), and every previously
+    cached result becomes unreachable without touching the cache
+    directory. *)
+
+type key = private string
+(** A hex digest addressing one analysis result. *)
+
+val key : ?version:int -> config:string -> Apk.t -> key
+(** Digest of the app content (textual Limple program, manifest,
+    resource table), the [config] fingerprint (see
+    {!Extr_extractocol.Pipeline.options_fingerprint}) and the analysis
+    [version] (default {!analysis_version}). *)
+
+val key_to_string : key -> string
+val key_of_string : string -> key option
+(** Validates the hex-digest shape; [None] otherwise. *)
+
+type t
+(** An open cache rooted at a directory. *)
+
+val open_ : dir:string -> t
+(** Open (creating the directory if needed).
+    @raise Sys_error when the directory cannot be created. *)
+
+val dir : t -> string
+
+val find : t -> key -> string option
+(** The stored contents, or [None].  Bumps ["cache.hits"] or
+    ["cache.misses"] when the metrics registry is enabled.  An
+    unreadable entry is a miss, never an error. *)
+
+val store : t -> key -> string -> unit
+(** Atomically write the entry (temp file + rename).
+    @raise Sys_error when the cache directory is not writable. *)

@@ -14,3 +14,11 @@ let fake ?(start = 0.0) ?(step = 1.0) () : t =
 let manual ?(start = 0.0) () : t * (float -> unit) =
   let now = ref start in
   ((fun () -> !now), fun d -> now := !now +. d)
+
+type sleep = float -> unit
+
+let sleep_wall : sleep = Unix.sleepf
+
+let sleep_recording () : sleep * (unit -> float list) =
+  let slept = ref [] in
+  ((fun d -> slept := d :: !slept), fun () -> List.rev !slept)

@@ -15,3 +15,15 @@ val fake : ?start:float -> ?step:float -> unit -> t
 val manual : ?start:float -> unit -> t * (float -> unit)
 (** A clock that stands still plus an [advance] function adding the given
     number of seconds — for tests that control time explicitly. *)
+
+type sleep = float -> unit
+(** Block the caller for the given number of seconds.  Injectable for the
+    same reason as {!t}: retry backoff must be testable without real
+    sleeps. *)
+
+val sleep_wall : sleep
+(** [Unix.sleepf]. *)
+
+val sleep_recording : unit -> sleep * (unit -> float list)
+(** A sleep that returns immediately but records every requested
+    duration, in call order — for asserting deterministic backoff. *)

@@ -1,0 +1,469 @@
+(* The durability layer: degrade-and-retry ladder, write-ahead journal,
+   content-addressed result cache, and the corpus runner that composes
+   them.  Retry backoff is asserted against the recording clock — no
+   real sleeps — and runner scenarios (kill/resume byte-identity, warm
+   cache, quarantine, exit codes) run in-process over a two-app corpus
+   subset with throwaway temp directories. *)
+
+module Corpus = Extr_corpus.Corpus
+module Spec = Extr_corpus.Spec
+module Resilience = Extr_resilience.Resilience
+module Budget = Resilience.Budget
+module Barrier = Resilience.Barrier
+module Retry = Extr_resilience.Retry
+module Journal = Extr_resilience.Journal
+module Store = Extr_store.Store
+module Runner = Extr_eval.Runner
+module Clock = Extr_telemetry.Clock
+module Metrics = Extr_telemetry.Metrics
+module Json = Extr_httpmodel.Json
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let tmp_dir () =
+  let f = Filename.temp_file "durability" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f
+
+let base_limits =
+  { Budget.bl_max_steps = 1000; bl_max_depth = 10; bl_deadline_s = Some 1.0 }
+
+let crash phase =
+  { Barrier.cr_app = "x"; cr_exn = "boom"; cr_phase = phase; cr_backtrace = "" }
+
+(* ------------------------------------------------------------------ *)
+(* Retry ladder                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_escalate () =
+  let e = Retry.escalate Retry.default_policy base_limits in
+  check Alcotest.int "steps multiplied" 4000 e.Budget.bl_max_steps;
+  check Alcotest.int "depth widened" 18 e.Budget.bl_max_depth;
+  check
+    Alcotest.(option (float 1e-9))
+    "deadline multiplied" (Some 2.0) e.Budget.bl_deadline_s;
+  let huge =
+    { Budget.bl_max_steps = max_int; bl_max_depth = max_int; bl_deadline_s = None }
+  in
+  let e = Retry.escalate Retry.default_policy huge in
+  check Alcotest.int "steps saturate" max_int e.Budget.bl_max_steps;
+  check Alcotest.int "depth saturates" max_int e.Budget.bl_max_depth;
+  check Alcotest.(option (float 1e-9)) "no deadline stays off" None
+    e.Budget.bl_deadline_s
+
+let test_ladder_escalates_then_succeeds () =
+  let sleep, slept = Clock.sleep_recording () in
+  let seen = ref [] in
+  let reasons = ref [] in
+  let attempt ~attempt limits =
+    seen := (attempt, limits) :: !seen;
+    if attempt < 2 then Result.Ok (Retry.Degraded attempt)
+    else Result.Ok (Retry.Clean attempt)
+  in
+  (match
+     Retry.run ~sleep
+       ~on_retry:(fun ~attempt:_ ~reason -> reasons := reason :: !reasons)
+       Retry.default_policy ~limits:base_limits ~attempt
+   with
+  | Retry.Succeeded (v, n) ->
+      check Alcotest.int "attempts used" 2 n;
+      check Alcotest.int "last attempt's value" 2 v
+  | _ -> Alcotest.fail "expected Succeeded");
+  check Alcotest.(list (float 1e-9)) "one base backoff" [ 0.05 ] (slept ());
+  check Alcotest.(list string) "retry reason" [ "budget-exhausted" ] !reasons;
+  match List.rev !seen with
+  | [ (1, l1); (2, l2) ] ->
+      check Alcotest.int "first rung at base limits" 1000 l1.Budget.bl_max_steps;
+      check Alcotest.int "second rung escalated" 4000 l2.Budget.bl_max_steps;
+      check Alcotest.int "depth escalated" 18 l2.Budget.bl_max_depth
+  | _ -> Alcotest.fail "expected exactly two attempts"
+
+let test_ladder_exhausts_still_degraded () =
+  let sleep, slept = Clock.sleep_recording () in
+  let attempt ~attempt _ = Result.Ok (Retry.Degraded attempt) in
+  (match Retry.run ~sleep Retry.default_policy ~limits:base_limits ~attempt with
+  | Retry.Still_degraded (v, n) ->
+      check Alcotest.int "all attempts spent" 3 n;
+      check Alcotest.int "largest-budget result returned" 3 v
+  | _ -> Alcotest.fail "expected Still_degraded");
+  (* Deterministic exponential backoff, recorded not slept. *)
+  check Alcotest.(list (float 1e-9)) "doubling backoff" [ 0.05; 0.1 ] (slept ())
+
+let test_crash_retried_once_then_quarantined () =
+  let sleep, slept = Clock.sleep_recording () in
+  let seen = ref [] in
+  let reasons = ref [] in
+  let attempt ~attempt limits =
+    seen := (attempt, limits) :: !seen;
+    Result.Error (crash "pipeline.interpretation")
+  in
+  (match
+     Retry.run ~sleep
+       ~on_retry:(fun ~attempt:_ ~reason -> reasons := reason :: !reasons)
+       Retry.default_policy ~limits:base_limits ~attempt
+   with
+  | Retry.Quarantined (c, n) ->
+      check Alcotest.int "one retry granted" 2 n;
+      check Alcotest.string "crash phase kept" "pipeline.interpretation"
+        c.Barrier.cr_phase
+  | _ -> Alcotest.fail "expected Quarantined");
+  check Alcotest.(list (float 1e-9)) "one backoff" [ 0.05 ] (slept ());
+  check
+    Alcotest.(list string)
+    "crash reason carries the phase"
+    [ "crash:pipeline.interpretation" ]
+    !reasons;
+  (* A crash is not a budget problem: the retry keeps the same limits. *)
+  match !seen with
+  | [ (2, l2); (1, l1) ] ->
+      check Alcotest.int "limits unchanged" l1.Budget.bl_max_steps
+        l2.Budget.bl_max_steps
+  | _ -> Alcotest.fail "expected exactly two attempts"
+
+let test_no_retry_policy () =
+  let sleep, slept = Clock.sleep_recording () in
+  let calls = ref 0 in
+  let attempt ~attempt:_ _ =
+    incr calls;
+    Result.Ok (Retry.Degraded ())
+  in
+  (match Retry.run ~sleep Retry.no_retry ~limits:base_limits ~attempt with
+  | Retry.Still_degraded ((), 1) -> ()
+  | _ -> Alcotest.fail "expected Still_degraded after one attempt");
+  check Alcotest.int "single attempt" 1 !calls;
+  check Alcotest.(list (float 1e-9)) "no backoff" [] (slept ())
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ev_started app =
+  Journal.Started { ev_app = app; ev_key = String.make 32 'a'; ev_attempt = 1 }
+
+let ev_finished ?(status = "ok") app =
+  Journal.Finished
+    {
+      ev_app = app;
+      ev_key = String.make 32 'a';
+      ev_status = status;
+      ev_cached = false;
+      ev_attempts = 1;
+      ev_txs = 4;
+    }
+
+let render ev = Fmt.str "%a" Journal.pp_event ev
+
+let test_journal_round_trip () =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  let j = Journal.create ~path ~config:"cfg-1" in
+  let events =
+    [
+      ev_started "app-a";
+      Journal.Crashed
+        { ev_app = "app-a"; ev_phase = "pipeline.slicing"; ev_exn = "boom" };
+      Journal.Retried
+        { ev_app = "app-a"; ev_attempt = 2; ev_reason = "crash:pipeline.slicing" };
+      ev_finished "app-a";
+    ]
+  in
+  List.iter (Journal.append j) events;
+  match Journal.load ~path ~config:"cfg-1" with
+  | Error e -> Alcotest.fail e
+  | Ok (_, loaded) ->
+      check
+        Alcotest.(list string)
+        "events survive the round trip" (List.map render events)
+        (List.map render loaded);
+      (match Journal.finished loaded with
+      | [ ("app-a", Journal.Finished f) ] ->
+          check Alcotest.string "status" "ok" f.ev_status;
+          check Alcotest.int "txs" 4 f.ev_txs
+      | _ -> Alcotest.fail "expected one finished app")
+
+let test_journal_config_mismatch_refused () =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  let j = Journal.create ~path ~config:"cfg-1" in
+  Journal.append j (ev_started "app-a");
+  (match Journal.load ~path ~config:"cfg-2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a different configuration must refuse to resume");
+  match Journal.load ~path:(path ^ ".missing") ~config:"cfg-1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a missing journal must be an error"
+
+let test_journal_skips_torn_trailing_line () =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  let j = Journal.create ~path ~config:"cfg-1" in
+  Journal.append j (ev_started "app-a");
+  Journal.append j (ev_finished "app-a");
+  (* A kill mid-append on a non-atomic filesystem: garbage and a torn
+     half-record after the valid lines. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "not json at all\n{\"event\":\"finis";
+  close_out oc;
+  match Journal.load ~path ~config:"cfg-1" with
+  | Error e -> Alcotest.fail e
+  | Ok (_, loaded) ->
+      check Alcotest.int "valid records kept, torn ones skipped" 2
+        (List.length loaded)
+
+let test_journal_finished_excludes_restarted () =
+  let events =
+    [ ev_started "a"; ev_finished "a"; ev_started "b"; ev_finished "b";
+      ev_started "a" (* a started again after finishing *) ]
+  in
+  check
+    Alcotest.(list string)
+    "only apps whose last record is finished" [ "b" ]
+    (List.map fst (Journal.finished events))
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed store                                            *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_apk n = Lazy.force (List.nth (Corpus.table1 ()) n).Corpus.c_apk
+
+let test_key_sensitivity () =
+  let apk1 = corpus_apk 0 and apk2 = corpus_apk 1 in
+  check Alcotest.bool "same input, same key" true
+    (Store.key ~config:"c" apk1 = Store.key ~config:"c" apk1);
+  check Alcotest.bool "config moves the key" false
+    (Store.key ~config:"c" apk1 = Store.key ~config:"c'" apk1);
+  check Alcotest.bool "analysis version moves the key" false
+    (Store.key ~version:1 ~config:"c" apk1
+    = Store.key ~version:2 ~config:"c" apk1);
+  check Alcotest.bool "program moves the key" false
+    (Store.key ~config:"c" apk1 = Store.key ~config:"c" apk2)
+
+let test_key_of_string () =
+  let k = Store.key ~config:"c" (corpus_apk 0) in
+  (match Store.key_of_string (Store.key_to_string k) with
+  | Some k' -> check Alcotest.bool "round trip" true (k = k')
+  | None -> Alcotest.fail "a real key must validate");
+  check Alcotest.bool "wrong length rejected" true
+    (Store.key_of_string "abc123" = None);
+  check Alcotest.bool "non-hex rejected" true
+    (Store.key_of_string (String.make 32 'z') = None)
+
+let test_store_round_trip_and_metrics () =
+  let t = Store.open_ ~dir:(Filename.concat (tmp_dir ()) "cache") in
+  let k = Store.key ~config:"c" (corpus_apk 0) in
+  Metrics.set_enabled Metrics.default true;
+  Metrics.reset Metrics.default;
+  check Alcotest.(option string) "miss before store" None (Store.find t k);
+  Store.store t k "{\"payload\":1}";
+  check
+    Alcotest.(option string)
+    "hit after store" (Some "{\"payload\":1}") (Store.find t k);
+  let count name =
+    List.fold_left
+      (fun acc (s : Metrics.sample) ->
+        if s.Metrics.sa_name = name then acc + s.Metrics.sa_count else acc)
+      0
+      (Metrics.snapshot Metrics.default)
+  in
+  check Alcotest.int "one miss counted" 1 (count "cache.misses");
+  check Alcotest.int "one hit counted" 1 (count "cache.hits");
+  Metrics.set_enabled Metrics.default false
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Two small corpus apps keep the in-process scenarios fast. *)
+let entries () =
+  match Corpus.table1 () with
+  | a :: b :: _ -> [ a; b ]
+  | _ -> Alcotest.fail "corpus too small"
+
+let quiet_options () =
+  {
+    Runner.default_options with
+    Runner.ro_sleep = fst (Clock.sleep_recording ());
+  }
+
+let run_ok options entries =
+  match Runner.run options entries with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_runner_clean_run () =
+  let r = run_ok (quiet_options ()) (entries ()) in
+  check Alcotest.int "exit code 0" 0 (Runner.exit_code r);
+  check Alcotest.int "both apps ran" 2 (List.length r.Runner.rn_results);
+  List.iter
+    (fun (a : Runner.app_result) ->
+      check Alcotest.bool "fresh result" false a.Runner.ar_cached;
+      check Alcotest.bool "has a report" true (a.Runner.ar_report_json <> None))
+    r.Runner.rn_results
+
+let test_runner_quarantine_exit_code () =
+  let es = entries () in
+  let victim = (List.hd es).Corpus.c_app.Spec.a_name in
+  let o = { (quiet_options ()) with Runner.ro_force_crash = Some victim } in
+  let r = run_ok o es in
+  check Alcotest.int "exit code 2" 2 (Runner.exit_code r);
+  check Alcotest.(list string) "victim quarantined" [ victim ]
+    r.Runner.rn_quarantined;
+  match r.Runner.rn_results with
+  | q :: rest ->
+      check Alcotest.bool "crash recorded" true (q.Runner.ar_crash <> None);
+      check Alcotest.int "one crash retry" 2 q.Runner.ar_attempts;
+      List.iter
+        (fun (a : Runner.app_result) ->
+          check Alcotest.bool "others unaffected" true
+            (a.Runner.ar_status <> Runner.Quarantined))
+        rest
+  | [] -> Alcotest.fail "no results"
+
+let test_runner_degraded_exit_code () =
+  let o = quiet_options () in
+  let o =
+    {
+      o with
+      Runner.ro_pipeline =
+        {
+          o.Runner.ro_pipeline with
+          Runner.Pipeline.op_limits =
+            { Budget.bl_max_steps = 200; bl_max_depth = 24; bl_deadline_s = None };
+        };
+      ro_policy = Retry.no_retry;
+    }
+  in
+  let r = run_ok o (entries ()) in
+  check Alcotest.int "exit code 3" 3 (Runner.exit_code r)
+
+let test_runner_warm_cache () =
+  let dir = tmp_dir () in
+  let o = { (quiet_options ()) with Runner.ro_cache_dir = Some dir } in
+  let cold = run_ok o (entries ()) in
+  let warm = run_ok o (entries ()) in
+  List.iter2
+    (fun (c : Runner.app_result) (w : Runner.app_result) ->
+      check Alcotest.bool "cold run analyzed" false c.Runner.ar_cached;
+      check Alcotest.bool "warm run cached" true w.Runner.ar_cached;
+      check Alcotest.int "no attempts on a hit" 0 w.Runner.ar_attempts;
+      check
+        Alcotest.(option string)
+        "identical report bytes" c.Runner.ar_report_json
+        w.Runner.ar_report_json)
+    cold.Runner.rn_results warm.Runner.rn_results
+
+let test_runner_resume_byte_identical () =
+  let dir = tmp_dir () in
+  let journal = Filename.concat dir "journal.jsonl" in
+  let o =
+    {
+      (quiet_options ()) with
+      Runner.ro_journal = Some journal;
+      ro_cache_dir = Some (Filename.concat dir "cache");
+    }
+  in
+  (* Kill the run inside the second app's interpretation phase. *)
+  Barrier.set_kill_point ~phase:"pipeline.interpretation" ~occurrence:2
+    (fun () -> raise (Barrier.Killed 99));
+  (match Runner.run o (entries ()) with
+  | exception Barrier.Killed 99 -> ()
+  | _ ->
+      Barrier.clear_kill_point ();
+      Alcotest.fail "kill-point did not fire");
+  Barrier.clear_kill_point ();
+  let resumed = run_ok { o with Runner.ro_resume = true } (entries ()) in
+  (match resumed.Runner.rn_results with
+  | first :: second :: _ ->
+      check Alcotest.bool "first app restored from the journal" true
+        first.Runner.ar_resumed;
+      check Alcotest.bool "second app re-ran" false second.Runner.ar_resumed
+  | _ -> Alcotest.fail "missing results");
+  (* An untouched run over fresh state must serialize identically. *)
+  let dir2 = tmp_dir () in
+  let o2 =
+    {
+      (quiet_options ()) with
+      Runner.ro_journal = Some (Filename.concat dir2 "journal.jsonl");
+      ro_cache_dir = Some (Filename.concat dir2 "cache");
+    }
+  in
+  let cold = run_ok o2 (entries ()) in
+  let config = Runner.config_fingerprint o in
+  check Alcotest.string "byte-identical report envelope"
+    (Runner.report_json ~config cold)
+    (Runner.report_json ~config resumed)
+
+let test_runner_resume_refuses_config_mismatch () =
+  let dir = tmp_dir () in
+  let journal = Filename.concat dir "journal.jsonl" in
+  let o = { (quiet_options ()) with Runner.ro_journal = Some journal } in
+  let _ = run_ok o (entries ()) in
+  let changed =
+    {
+      o with
+      Runner.ro_resume = true;
+      ro_policy = { Retry.default_policy with Retry.rp_max_attempts = 7 };
+    }
+  in
+  (match Runner.run changed (entries ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "resume under a different retry policy must refuse");
+  match Runner.run { o with Runner.ro_resume = true; ro_journal = None } [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "resume without a journal must refuse"
+
+let test_runner_interrupt_partial () =
+  let o = quiet_options () in
+  (* A SIGINT mid-corpus surfaces as Barrier.Interrupted; the runner must
+     return the completed prefix, flagged, with the documented exit. *)
+  Barrier.set_kill_point ~phase:"pipeline.interpretation" ~occurrence:2
+    (fun () -> raise Barrier.Interrupted);
+  let r = run_ok o (entries ()) in
+  Barrier.clear_kill_point ();
+  check Alcotest.bool "interrupted flag" true r.Runner.rn_interrupted;
+  check Alcotest.int "only the first app completed" 1
+    (List.length r.Runner.rn_results);
+  check Alcotest.int "exit code 130" 130 (Runner.exit_code r)
+
+let () =
+  Alcotest.run "durability"
+    [
+      ( "retry",
+        [
+          tc "escalation widens and saturates" test_escalate;
+          tc "degraded rung escalates then succeeds"
+            test_ladder_escalates_then_succeeds;
+          tc "exhausted ladder stays degraded"
+            test_ladder_exhausts_still_degraded;
+          tc "crash retried once then quarantined"
+            test_crash_retried_once_then_quarantined;
+          tc "no_retry runs exactly once" test_no_retry_policy;
+        ] );
+      ( "journal",
+        [
+          tc "events round-trip" test_journal_round_trip;
+          tc "config mismatch refused" test_journal_config_mismatch_refused;
+          tc "torn trailing lines skipped"
+            test_journal_skips_torn_trailing_line;
+          tc "finished excludes restarted apps"
+            test_journal_finished_excludes_restarted;
+        ] );
+      ( "store",
+        [
+          tc "key sensitivity" test_key_sensitivity;
+          tc "key validation" test_key_of_string;
+          tc "round trip and hit/miss metrics"
+            test_store_round_trip_and_metrics;
+        ] );
+      ( "runner",
+        [
+          tc "clean corpus exits 0" test_runner_clean_run;
+          tc "repeat crash quarantines and exits 2"
+            test_runner_quarantine_exit_code;
+          tc "degradation exits 3" test_runner_degraded_exit_code;
+          tc "warm cache restores identical bytes" test_runner_warm_cache;
+          tc "kill + resume is byte-identical" test_runner_resume_byte_identical;
+          tc "resume refuses a changed configuration"
+            test_runner_resume_refuses_config_mismatch;
+          tc "interrupt returns partial results" test_runner_interrupt_partial;
+        ] );
+    ]
