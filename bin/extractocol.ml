@@ -16,6 +16,7 @@ module Explain = Extr_extractocol.Explain
 module Resilience = Extr_resilience.Resilience
 module Retry = Extr_resilience.Retry
 module Runner = Extr_eval.Runner
+module Pool = Extr_eval.Pool
 
 open Cmdliner
 
@@ -255,7 +256,7 @@ let parse_crash_at spec =
       exit exit_usage
 
 let run_all limits force_crash journal resume cache_dir report_out crash_at
-    retries metrics_out =
+    retries jobs metrics_out =
   (* Arm the injected kill-point before anything runs: the Nth entry to
      the named pipeline phase terminates the process with exit 99,
      leaving the journal mid-run — exactly what --resume recovers from. *)
@@ -289,6 +290,7 @@ let run_all limits force_crash journal resume cache_dir report_out crash_at
       ro_resume = resume;
       ro_cache_dir = cache_dir;
       ro_force_crash = force_crash;
+      ro_jobs = (if jobs = 0 then Pool.default_jobs () else jobs);
     }
   in
   Fmt.pr "%-28s %-11s %5s %13s %8s %8s@." "app" "status" "txs" "degradations"
@@ -548,6 +550,16 @@ let retries_arg =
     & opt int Retry.default_policy.Retry.rp_max_attempts
     & info [ "retries" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker processes for $(b,--all): corpus apps are analyzed in\n\
+     parallel, one per forked worker, with results reported in corpus\n\
+     order (the report is byte-identical to a sequential run).  0 (the\n\
+     default) uses the machine's available parallelism; 1 runs\n\
+     sequentially in-process."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let exits =
   [
     Cmd.Exit.info exit_ok ~doc:"the analysis completed cleanly.";
@@ -583,7 +595,7 @@ let cmd =
         (fun log_level list name scope async intents obf obf_libs limple json
              dot trace trace_out metrics_out profile explain provenance_out
              max_steps max_depth deadline all force_crash journal resume
-             cache_dir report_out crash_at retries ->
+             cache_dir report_out crash_at retries jobs ->
           setup_logs log_level;
           let limits =
             {
@@ -595,7 +607,7 @@ let cmd =
           if list then list_apps ()
           else if all then
             run_all limits force_crash journal resume cache_dir report_out
-              crash_at retries metrics_out
+              crash_at retries jobs metrics_out
           else
             analyze_app name scope async intents obf obf_libs limple json dot
               trace trace_out metrics_out profile explain provenance_out limits)
@@ -604,6 +616,6 @@ let cmd =
       $ dot_flag $ trace_arg $ trace_out_arg $ metrics_out_arg $ profile_flag
       $ explain_arg $ provenance_out_arg $ max_steps_arg $ max_depth_arg
       $ deadline_arg $ all_flag $ force_crash_arg $ journal_arg $ resume_flag
-      $ cache_dir_arg $ report_out_arg $ crash_at_arg $ retries_arg)
+      $ cache_dir_arg $ report_out_arg $ crash_at_arg $ retries_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,107 @@
+(* Build-time guard for the worker pool: drive the real CLI over the
+   whole corpus in parallel and require bit-for-bit agreement with the
+   sequential runner.
+
+   1. A sequential run (--jobs 1, fresh journal + cache) sets the
+      baseline report envelope.
+   2. A parallel cold run (--jobs N, its own fresh journal + cache)
+      must exit 0 and write a BYTE-identical envelope — completion
+      order must never leak into the report.
+   3. A parallel run is killed mid-flight by an injected kill-point
+      (exit 99: the worker that hits it takes the coordinator down),
+      leaving a partial journal and cache.
+   4. --resume under --jobs N finishes it; the resumed envelope must
+      again be byte-identical to the sequential baseline.
+
+   N comes from POOL_JOBS (default 4, capped at 8); the corpus is much
+   larger than any sane N, so some worker always reaches the
+   kill-point's per-process phase occurrence count.  Invoked from the
+   runtest alias with the extractocol binary's path; all intermediate
+   state lives in a private temp directory. *)
+
+module C = Check_common
+
+let ck = C.create "pool_check"
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let check exe =
+  let exe =
+    if Filename.is_relative exe then Filename.concat (Sys.getcwd ()) exe
+    else exe
+  in
+  let jobs = min 8 (C.env_int ck "POOL_JOBS" ~default:4) in
+  let jobs_s = string_of_int jobs in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pool_check.%d" (Unix.getpid ()))
+  in
+  Sys.mkdir tmp 0o755;
+  let p name = Filename.concat tmp name in
+  let run_cli ~expect label args =
+    let out = p (label ^ ".out") in
+    let code =
+      Sys.command (Filename.quote_command exe args ~stdout:out ~stderr:out)
+    in
+    if code <> expect then
+      C.fail ck "%s run exited %d, expected %d (see %s)" label code expect out;
+    C.read_file out
+  in
+  (* 1: the sequential baseline. *)
+  let _ =
+    run_cli ~expect:0 "seq"
+      [
+        "--all"; "--jobs"; "1"; "--journal"; p "seq-journal.jsonl";
+        "--cache-dir"; p "seq-cache"; "--report-out"; p "seq.json";
+      ]
+  in
+  let seq = C.read_file (p "seq.json") in
+  (* 2: a cold parallel run must reproduce it exactly. *)
+  let _ =
+    run_cli ~expect:0 "par"
+      [
+        "--all"; "--jobs"; jobs_s; "--journal"; p "par-journal.jsonl";
+        "--cache-dir"; p "par-cache"; "--report-out"; p "par.json";
+      ]
+  in
+  if not (String.equal seq (C.read_file (p "par.json"))) then
+    C.fail ck
+      "--jobs %s report is not byte-identical to --jobs 1 (%s vs %s)" jobs_s
+      (p "par.json") (p "seq.json");
+  (* 3: kill a parallel run mid-flight... *)
+  let _ =
+    run_cli ~expect:99 "killed"
+      [
+        "--all"; "--jobs"; jobs_s; "--journal"; p "journal.jsonl";
+        "--cache-dir"; p "cache"; "--crash-at"; "pipeline.interpretation@2";
+      ]
+  in
+  (* ...and 4: resume it in parallel. *)
+  let resumed_out =
+    run_cli ~expect:0 "resumed"
+      [
+        "--all"; "--jobs"; jobs_s; "--resume"; "--journal"; p "journal.jsonl";
+        "--cache-dir"; p "cache"; "--report-out"; p "resumed.json";
+      ]
+  in
+  if not (C.contains ~needle:"[resumed]" resumed_out) then
+    C.fail ck "resumed parallel run restored nothing from the journal";
+  if not (String.equal seq (C.read_file (p "resumed.json"))) then
+    C.fail ck
+      "resumed --jobs %s report is not byte-identical to --jobs 1 (%s vs %s)"
+      jobs_s (p "resumed.json") (p "seq.json");
+  if ck.C.ck_failures = 0 then remove_tree tmp
+  else Fmt.epr "pool_check: intermediate state kept in %s@." tmp
+
+let () =
+  match Sys.argv with
+  | [| _; exe |] ->
+      check exe;
+      C.finish ck
+  | _ -> C.usage ck "EXTRACTOCOL_BINARY"

@@ -54,20 +54,25 @@ let check exe =
       C.fail ck "%s run exited %d, expected %d (see %s)" label code expect out;
     C.read_file out
   in
+  (* Everything here pins --jobs 1: this guard checks the sequential
+     lifecycle (pool_check covers the parallel one), and kill-point
+     occurrence counts are per-process — under a pool each worker
+     counts its own phases, so "the 2nd interpretation phase" would
+     name a different app. *)
   (* 1: kill mid-run — the 2nd interpretation phase never returns. *)
   let _ =
     run_cli ~expect:99 "killed"
       [
-        "--all"; "--journal"; p "journal.jsonl"; "--cache-dir"; p "cache";
-        "--crash-at"; "pipeline.interpretation@2";
+        "--all"; "--jobs"; "1"; "--journal"; p "journal.jsonl"; "--cache-dir";
+        p "cache"; "--crash-at"; "pipeline.interpretation@2";
       ]
   in
   (* 2: resume it, and 3: run the same corpus uninterrupted. *)
   let resumed_out =
     run_cli ~expect:0 "resumed"
       [
-        "--all"; "--resume"; "--journal"; p "journal.jsonl"; "--cache-dir";
-        p "cache"; "--report-out"; p "resumed.json";
+        "--all"; "--jobs"; "1"; "--resume"; "--journal"; p "journal.jsonl";
+        "--cache-dir"; p "cache"; "--report-out"; p "resumed.json";
       ]
   in
   if not (C.contains ~needle:"[resumed]" resumed_out) then
@@ -75,8 +80,8 @@ let check exe =
   let _ =
     run_cli ~expect:0 "cold"
       [
-        "--all"; "--journal"; p "cold-journal.jsonl"; "--cache-dir";
-        p "cold-cache"; "--report-out"; p "cold.json";
+        "--all"; "--jobs"; "1"; "--journal"; p "cold-journal.jsonl";
+        "--cache-dir"; p "cold-cache"; "--report-out"; p "cold.json";
       ]
   in
   let resumed = C.read_file (p "resumed.json") in
@@ -89,8 +94,8 @@ let check exe =
   let _ =
     run_cli ~expect:0 "warm"
       [
-        "--all"; "--cache-dir"; p "cold-cache"; "--report-out"; p "warm.json";
-        "--metrics-out"; p "metrics.json";
+        "--all"; "--jobs"; "1"; "--cache-dir"; p "cold-cache"; "--report-out";
+        p "warm.json"; "--metrics-out"; p "metrics.json";
       ]
   in
   let apps =
@@ -130,13 +135,16 @@ let check exe =
   (* 4: the exit-code contract — quarantine (2) and degraded (3). *)
   let quarantine_out =
     run_cli ~expect:2 "quarantined"
-      [ "--all"; "--cache-dir"; p "cold-cache"; "--force-crash"; "radio reddit" ]
+      [
+        "--all"; "--jobs"; "1"; "--cache-dir"; p "cold-cache"; "--force-crash";
+        "radio reddit";
+      ]
   in
   if not (C.contains ~needle:"quarantined: radio reddit" quarantine_out) then
     C.fail ck "force-crashed app missing from the quarantine list";
   let _ =
     run_cli ~expect:3 "degraded"
-      [ "--all"; "--max-steps"; "500"; "--retries"; "1" ]
+      [ "--all"; "--jobs"; "1"; "--max-steps"; "500"; "--retries"; "1" ]
   in
   if ck.C.ck_failures = 0 then remove_tree tmp
   else Fmt.epr "resume_check: intermediate state kept in %s@." tmp

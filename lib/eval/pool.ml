@@ -1,0 +1,368 @@
+(* Fork-based worker pool.  See the .mli for the coordinator/worker
+   contract; this file is the plumbing: framed Marshal IPC over pipes, a
+   select loop, and careful fd/signal hygiene around fork. *)
+
+module Barrier = Extr_resilience.Resilience.Barrier
+
+let src = Logs.Src.create "extractocol.pool" ~doc:"Corpus worker pool"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type outcome = Completed | Interrupted
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
+(* Framed Marshal IPC                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Each message is a 4-byte big-endian payload length followed by the
+   Marshal bytes.  Pipes don't preserve message boundaries, so the
+   coordinator reassembles frames from a per-worker byte buffer. *)
+
+exception Closed  (* peer hung up (EOF) *)
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let send fd v =
+  let payload = Marshal.to_bytes v [] in
+  let n = Bytes.length payload in
+  let frame = Bytes.create (4 + n) in
+  Bytes.set_int32_be frame 0 (Int32.of_int n);
+  Bytes.blit payload 0 frame 4 n;
+  write_all fd frame 0 (4 + n)
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go pos =
+    if pos < n then
+      match Unix.read fd b pos (n - pos) with
+      | 0 -> raise Closed
+      | k -> go (pos + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+  in
+  go 0;
+  b
+
+let recv fd =
+  let hdr = read_exact fd 4 in
+  let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  Marshal.from_bytes (read_exact fd n) 0
+
+(* Worker -> coordinator; coordinator -> worker. *)
+type ('e, 'r) up = Up_event of 'e | Up_done of int * 'r
+type down = Down_task of int | Down_quit
+
+(* ------------------------------------------------------------------ *)
+(* Worker side                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs in the forked child; never returns.  [Unix._exit] everywhere:
+   the child must not flush channels or run at_exit hooks it inherited
+   from the coordinator. *)
+let worker_main ~task_r ~res_w ~worker =
+  (* SIGINT interrupts the coordinator only (it terminates us with
+     SIGTERM, restored to its default lethal disposition here — the
+     CLI's inherited handler would raise inside analysis instead).
+     SIGPIPE must not kill us mid-send if the coordinator died first;
+     the EPIPE surfaces as an exception below. *)
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let emit e = send res_w (Up_event e) in
+  let code =
+    try
+      let rec loop () =
+        match (recv task_r : down) with
+        | Down_quit -> 0
+        | Down_task i ->
+            let r = worker ~emit i in
+            send res_w (Up_done (i, r));
+            loop ()
+      in
+      loop ()
+    with
+    | Closed | Unix.Unix_error (Unix.EPIPE, _, _) -> 0
+    | Barrier.Killed n -> n
+    | Barrier.Interrupted -> 130
+    | _ -> 70
+  in
+  Unix._exit code
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator side                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type wstate = {
+  ws_pid : int;
+  ws_task_w : Unix.file_descr;  (* coordinator -> worker commands *)
+  ws_res_r : Unix.file_descr;  (* worker -> coordinator frames *)
+  ws_buf : Buffer.t;  (* partial frame reassembly *)
+  mutable ws_task : int option;  (* the one task in flight, if any *)
+  mutable ws_alive : bool;
+  mutable ws_quit : bool;  (* Down_quit already sent *)
+}
+
+let spawn ~siblings ~worker =
+  let task_r, task_w = Unix.pipe () in
+  let res_r, res_w = Unix.pipe () in
+  (* Anything buffered pre-fork would otherwise be written twice. *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close task_w;
+      Unix.close res_r;
+      (* Close the coordinator's ends of every sibling's pipes: a pipe's
+         read end only sees EOF once ALL write ends are closed, so a
+         leaked sibling fd would mask that sibling's death from the
+         coordinator. *)
+      List.iter
+        (fun w ->
+          if w.ws_alive then begin
+            (try Unix.close w.ws_task_w with Unix.Unix_error _ -> ());
+            (try Unix.close w.ws_res_r with Unix.Unix_error _ -> ())
+          end)
+        siblings;
+      worker_main ~task_r ~res_w ~worker
+  | pid ->
+      Unix.close task_r;
+      Unix.close res_w;
+      {
+        ws_pid = pid;
+        ws_task_w = task_w;
+        ws_res_r = res_r;
+        ws_buf = Buffer.create 256;
+        ws_task = None;
+        ws_alive = true;
+        ws_quit = false;
+      }
+
+let describe_status = function
+  | Unix.WEXITED n -> Printf.sprintf "worker exited with code %d" n
+  | Unix.WSIGNALED sg -> Printf.sprintf "worker killed by signal %d" sg
+  | Unix.WSTOPPED sg -> Printf.sprintf "worker stopped by signal %d" sg
+
+let run ?(deps = fun (_ : int) -> []) ~jobs ~tasks ~worker ~on_event ~on_death
+    ~on_result () =
+  let ntasks = List.length tasks in
+  if ntasks = 0 then Completed
+  else begin
+    (* A dead worker must surface as EPIPE on dispatch, not kill us. *)
+    let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+    (* Dependency-aware dispatch: a task is ready once every dep that is
+       itself a task has resolved (delivered a result or been written
+       off by a worker death).  Deps outside [tasks] were resolved
+       before the pool started — they never block. *)
+    let task_set = Hashtbl.create 64 in
+    List.iter (fun i -> Hashtbl.replace task_set i ()) tasks;
+    let resolved = Hashtbl.create 64 in
+    let pending = ref tasks in
+    let ready i =
+      List.for_all
+        (fun d -> (not (Hashtbl.mem task_set d)) || Hashtbl.mem resolved d)
+        (deps i)
+    in
+    let take_ready () =
+      let rec go acc = function
+        | [] -> None
+        | i :: rest when ready i ->
+            pending := List.rev_append acc rest;
+            Some i
+        | i :: rest -> go (i :: acc) rest
+      in
+      go [] !pending
+    in
+    let remaining = ref ntasks in
+    (* Respawn budget: generous for real worker deaths, finite so a
+       worker that dies on spawn cannot fork-loop forever. *)
+    let respawns = ref (8 + (2 * ntasks)) in
+    let workers = ref [] in
+    let kill_code = ref None in
+    let reap w =
+      let rec go () =
+        match Unix.waitpid [] w.ws_pid with
+        | _, st -> st
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> Unix.WEXITED 0
+      in
+      go ()
+    in
+    let close_fds w =
+      (try Unix.close w.ws_task_w with Unix.Unix_error _ -> ());
+      (try Unix.close w.ws_res_r with Unix.Unix_error _ -> ())
+    in
+    let dispatch w =
+      match take_ready () with
+      | Some i -> (
+          match send w.ws_task_w (Down_task i) with
+          | () -> w.ws_task <- Some i
+          | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
+              (* Dead worker; the EOF path will reap it and respawn. *)
+              pending := i :: !pending)
+      | None ->
+          (* Nothing ready.  Only quit the worker once nothing is even
+             pending — a blocked task may become ready when an in-flight
+             dependency resolves, and this idle worker must still be
+             around to take it. *)
+          if !pending = [] && not w.ws_quit then begin
+            w.ws_quit <- true;
+            try send w.ws_task_w Down_quit
+            with Unix.Unix_error (Unix.EPIPE, _, _) -> ()
+          end
+    in
+    (* A resolution can unblock tasks that idle workers skipped over. *)
+    let dispatch_idle () =
+      List.iter
+        (fun w -> if w.ws_alive && w.ws_task = None then dispatch w)
+        !workers
+    in
+    let new_worker () =
+      let w = spawn ~siblings:!workers ~worker in
+      workers := w :: !workers;
+      dispatch w
+    in
+    (* Parse every complete frame out of [w]'s buffer. *)
+    let drain_frames w =
+      let s = Buffer.contents w.ws_buf in
+      let len = String.length s in
+      let pos = ref 0 in
+      (try
+         while len - !pos >= 4 do
+           let n = Int32.to_int (String.get_int32_be s !pos) in
+           if len - !pos - 4 < n then raise Exit;
+           let payload = String.sub s (!pos + 4) n in
+           pos := !pos + 4 + n;
+           match (Marshal.from_string payload 0 : ('e, 'r) up) with
+           | Up_event e -> on_event e
+           | Up_done (i, r) ->
+               w.ws_task <- None;
+               decr remaining;
+               Hashtbl.replace resolved i ();
+               on_result i r;
+               dispatch_idle ()
+         done
+       with Exit -> ());
+      if !pos > 0 then begin
+        Buffer.clear w.ws_buf;
+        Buffer.add_substring w.ws_buf s !pos (len - !pos)
+      end
+    in
+    let handle_death w =
+      w.ws_alive <- false;
+      let st = reap w in
+      (* The pipe is at EOF, so the buffer holds everything the worker
+         managed to send — deliver a final result that beat the death,
+         and journal events for the task it died on. *)
+      drain_frames w;
+      close_fds w;
+      (match st with
+      | Unix.WEXITED 99 -> kill_code := Some 99
+      | _ -> ());
+      (match w.ws_task with
+      | Some i when !kill_code = None ->
+          w.ws_task <- None;
+          decr remaining;
+          Hashtbl.replace resolved i ();
+          let reason = describe_status st in
+          Log.warn (fun m -> m "task %d: %s" i reason);
+          on_result i (on_death ~task:i ~reason)
+      | _ -> ());
+      if !kill_code = None && !pending <> [] then begin
+        if !respawns > 0 then begin
+          decr respawns;
+          new_worker ()
+        end
+        else begin
+          (* No-progress backstop: fail what's queued rather than fork
+             forever against a worker that dies on arrival. *)
+          List.iter
+            (fun i ->
+              decr remaining;
+              Hashtbl.replace resolved i ();
+              on_result i
+                (on_death ~task:i
+                   ~reason:"worker pool: respawn budget exhausted"))
+            !pending;
+          pending := []
+        end
+      end;
+      if !kill_code = None then dispatch_idle ()
+    in
+    let terminate signal =
+      List.iter
+        (fun w ->
+          if w.ws_alive then begin
+            w.ws_alive <- false;
+            (try Unix.kill w.ws_pid signal with Unix.Unix_error _ -> ());
+            ignore (reap w);
+            close_fds w
+          end)
+        !workers
+    in
+    Fun.protect
+      ~finally:(fun () -> Sys.set_signal Sys.sigpipe old_pipe)
+      (fun () ->
+        match
+          for _ = 1 to min jobs ntasks do
+            new_worker ()
+          done;
+          let chunk = Bytes.create 65536 in
+          while !remaining > 0 && !kill_code = None do
+            let live = List.filter (fun w -> w.ws_alive) !workers in
+            let fds = List.map (fun w -> w.ws_res_r) live in
+            let readable, _, _ =
+              try Unix.select fds [] [] (-1.0)
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+            in
+            List.iter
+              (fun fd ->
+                match
+                  List.find_opt
+                    (fun w -> w.ws_alive && w.ws_res_r = fd)
+                    !workers
+                with
+                | None -> ()
+                | Some w -> (
+                    match Unix.read fd chunk 0 (Bytes.length chunk) with
+                    | 0 -> handle_death w
+                    | k ->
+                        Buffer.add_subbytes w.ws_buf chunk 0 k;
+                        drain_frames w;
+                        if w.ws_alive && w.ws_task = None then dispatch w
+                    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+              readable
+          done
+        with
+        | () -> (
+            match !kill_code with
+            | Some n ->
+                (* A kill-point simulates the whole process dying: take
+                   the rest of the pool down with it and let the barrier
+                   exception carry the exit code up. *)
+                terminate Sys.sigkill;
+                raise (Barrier.Killed n)
+            | None ->
+                (* Every worker has been sent Down_quit (its dispatch
+                   after the last result found the queue empty); wait
+                   for the exits. *)
+                List.iter
+                  (fun w ->
+                    if w.ws_alive then begin
+                      w.ws_alive <- false;
+                      ignore (reap w);
+                      close_fds w
+                    end)
+                  !workers;
+                Completed)
+        | exception Barrier.Interrupted ->
+            terminate Sys.sigterm;
+            Interrupted)
+  end

@@ -1,0 +1,74 @@
+(** Fork-based worker pool for corpus execution.
+
+    The paper's evaluation axis is per-app independence: every corpus
+    entry is analyzed in isolation behind its own fault barrier, so the
+    natural parallelism is one app per worker process.  [run] forks
+    [jobs] workers, dispatches task indices over pipes, and streams
+    each worker's events and result back to the coordinator.
+
+    Division of labor:
+    - the {b coordinator} (calling process) owns every shared mutable
+      resource — the journal, the metrics registry, the report — and is
+      the only process that appends to them;
+    - {b workers} are forked copies that run [worker] on one task at a
+      time and report back over their result pipe: zero or more [emit]
+      events (journaled by the coordinator in arrival order) followed by
+      the task's result.
+
+    Fault containment mirrors the in-process barrier: a worker that dies
+    (signal, [_exit], kill-point) costs only its in-flight task — the
+    coordinator synthesizes a result for it via [on_death] and respawns
+    a replacement while other workers keep running.  Two control paths
+    cross the pool the same way they cross
+    {!Extr_resilience.Resilience.Barrier.protect}: a worker exiting with
+    code 99 (an injected kill-point) makes the coordinator kill the
+    remaining workers and re-raise [Barrier.Killed 99], and
+    [Barrier.Interrupted] raised in the coordinator (SIGINT/SIGTERM)
+    terminates the workers and returns [Interrupted]. *)
+
+type outcome = Completed | Interrupted
+
+val default_jobs : unit -> int
+(** The host's recommended parallelism
+    ([Domain.recommended_domain_count]), at least 1.  The CLI's
+    [--jobs 0] resolves to this. *)
+
+val run :
+  ?deps:(int -> int list) ->
+  jobs:int ->
+  tasks:int list ->
+  worker:(emit:('e -> unit) -> int -> 'r) ->
+  on_event:('e -> unit) ->
+  on_death:(task:int -> reason:string -> 'r) ->
+  on_result:(int -> 'r -> unit) ->
+  unit ->
+  outcome
+(** [run ~jobs ~tasks ~worker ~on_event ~on_death ~on_result ()] forks
+    up to [min jobs (List.length tasks)] workers and runs
+    [worker ~emit i] in a child process for every [i] in [tasks],
+    dispatching dynamically (a worker takes the next pending task as
+    soon as it finishes one).
+
+    [deps i] lists task indices that must resolve (result delivered, or
+    written off by a worker death) before [i] may be dispatched — the
+    runner uses this to serialize corpus entries that share a cache key,
+    so intra-run cache hits land on the same entries as a sequential
+    run.  Indices not in [tasks] are treated as already resolved.
+    Dependencies must be acyclic; tasks are otherwise started in [tasks]
+    order as workers free up.
+
+    In the coordinator, [on_event] fires for every event a worker
+    [emit]ted, in per-worker send order; [on_result i r] fires once per
+    task, in completion order — the caller reorders if it needs corpus
+    order.  Events and results are framed [Marshal] messages, so ['e]
+    and ['r] must be closure-free.
+
+    A worker death with a task in flight synthesizes that task's result
+    via [on_death] (after delivering any events the worker sent first)
+    and respawns a worker if tasks are still pending.  Exit code 99
+    propagates as [Barrier.Killed 99] (see module doc).  Workers ignore
+    SIGINT and die on SIGTERM, so an operator ^C interrupts the
+    coordinator only; it then terminates the pool and returns
+    [Interrupted] — results already handed to [on_result] stand, the
+    rest are abandoned exactly like the sequential runner's interrupt
+    path. *)

@@ -14,6 +14,7 @@ module Journal = Extr_resilience.Journal
 module Barrier = Resilience.Barrier
 module Store = Extr_store.Store
 module Clock = Extr_telemetry.Clock
+module Metrics = Extr_telemetry.Metrics
 module Provenance = Extr_provenance.Provenance
 module Json = Extr_httpmodel.Json
 
@@ -29,6 +30,8 @@ type options = {
   ro_cache_dir : string option;
   ro_force_crash : string option;
   ro_sleep : Clock.sleep;
+  ro_jobs : int;
+  ro_worker_kill : string option;
 }
 
 let default_options =
@@ -40,12 +43,17 @@ let default_options =
     ro_cache_dir = None;
     ro_force_crash = None;
     ro_sleep = Clock.sleep_wall;
+    ro_jobs = 1;
+    ro_worker_kill = None;
   }
 
 (* Everything a cached result's validity depends on.  The analysis
    version is folded into the cache key by Store.key as well; repeating
    it here lets the journal header refuse a --resume across a version
-   bump even when no cache is configured. *)
+   bump even when no cache is configured.  ro_jobs is deliberately NOT
+   part of the fingerprint: parallelism never changes a result, so a
+   run journaled at --jobs 4 must resume cleanly at --jobs 1 and vice
+   versa. *)
 let config_fingerprint (o : options) =
   Printf.sprintf "%s;%s;v%d"
     (Pipeline.options_fingerprint o.ro_pipeline)
@@ -91,21 +99,331 @@ let exit_code r =
   else if List.exists (fun a -> a.ar_status = Degraded) r.rn_results then 3
   else 0
 
-(* Status and transaction count of a cached deterministic report, read
-   back without trusting anything beyond its shape.  [None] means the
-   entry is not a report we recognize — callers treat that as a miss. *)
+(* One degradations[] element of a serialized report, parsed back into
+   the ledger's record shape (Report.json_of_degradation is the
+   inverse).  Unrecognized elements are dropped, not fatal. *)
+let degradation_of_json j =
+  let str k = match Json.member k j with Some (Json.Str s) -> Some s | _ -> None in
+  let int k = match Json.member k j with Some (Json.Int n) -> Some n | _ -> None in
+  match (str "phase", str "reason", str "detail", int "work_left") with
+  | Some dg_phase, Some dg_reason, Some dg_detail, Some dg_work_left ->
+      Some { Resilience.Degrade.dg_phase; dg_reason; dg_detail; dg_work_left }
+  | _ -> None
+
+(* Status, transaction count and degradation list of a cached
+   deterministic report, read back without trusting anything beyond its
+   shape.  [None] means the entry is not a report we recognize —
+   callers treat that as a miss.  Recovering the degradations matters:
+   a cache-hit or resumed Degraded app must report the same reasons the
+   cold run reported, or warm and cold summary tables disagree. *)
 let inspect_report_json data =
   match Json.of_string_opt data with
-  | Some (Json.Obj _ as j) ->
-      let len m =
-        match Json.member m j with Some (Json.List l) -> Some (List.length l) | _ -> None
-      in
-      (match (len "degradations", len "transactions") with
-      | Some d, Some txs -> Some ((if d > 0 then Degraded else Ok), txs)
+  | Some (Json.Obj _ as j) -> (
+      match (Json.member "degradations" j, Json.member "transactions" j) with
+      | Some (Json.List ds), Some (Json.List txs) ->
+          Some
+            ( (if ds <> [] then Degraded else Ok),
+              List.length txs,
+              List.filter_map degradation_of_json ds )
       | _ -> None)
   | Some _ | None -> None
 
 let forced_crash_message = "forced crash (--force-crash test hook)"
+
+(* Analyze one corpus entry end to end: materialize the app (behind the
+   fault barrier — a malformed synthetic spec must quarantine this app,
+   not abort the corpus), consult the cache, drive the retry ladder and
+   journal every transition.  [run] calls this in-process for
+   sequential runs and inside a forked worker under --jobs N, so every
+   shared side effect goes through the caller-owned [jot] (journal
+   append) and [do_store] (cache write) callbacks.  Returns the result
+   plus the cache key string: the pool's coordinator performs the store
+   itself after the Finished event reaches the journal, keeping the
+   crash-consistency order (journal first, cache second) that resume
+   relies on. *)
+let run_app ~jot ~do_store ~cache (o : options) ~config id (e : Corpus.entry) :
+    app_result * string =
+  let quarantined crash key_s attempts =
+    jot
+      (Journal.Finished
+         {
+           ev_app = id;
+           ev_key = key_s;
+           ev_status = status_name Quarantined;
+           ev_cached = false;
+           ev_attempts = attempts;
+           ev_txs = 0;
+         });
+    {
+      ar_app = id;
+      ar_status = Quarantined;
+      ar_cached = false;
+      ar_resumed = false;
+      ar_attempts = attempts;
+      ar_txs = 0;
+      ar_degradations = [];
+      ar_elapsed_s = 0.0;
+      ar_crash = Some crash;
+      ar_report_json = None;
+    }
+  in
+  match
+    Barrier.protect ~app:id (fun () ->
+        Barrier.set_phase "codegen";
+        let apk = Lazy.force e.Corpus.c_apk in
+        (apk, Store.key ~config apk))
+  with
+  | Result.Error crash ->
+      jot
+        (Journal.Crashed
+           {
+             ev_app = id;
+             ev_phase = crash.Barrier.cr_phase;
+             ev_exn = crash.Barrier.cr_exn;
+           });
+      (quarantined crash "" 1, "")
+  | Result.Ok (apk, key) -> (
+      let key_s = Store.key_to_string key in
+      (* A force-crashed app must actually crash: the hook simulates an
+         app the pipeline dies on, and a cached result would dodge the
+         simulation (and with it the quarantine path under test). *)
+      let cache_hit =
+        match cache with
+        | _ when o.ro_force_crash = Some id -> None
+        | None -> None
+        | Some c -> (
+            match Store.find c key with
+            | Some data -> (
+                match inspect_report_json data with
+                | Some (status, txs, degs) -> Some (data, status, txs, degs)
+                | None -> None)
+            | None -> None)
+      in
+      match cache_hit with
+      | Some (data, status, txs, degradations) ->
+          Provenance.record_cache_hit Provenance.default ~app:id ~key:key_s;
+          jot
+            (Journal.Finished
+               {
+                 ev_app = id;
+                 ev_key = key_s;
+                 ev_status = status_name status;
+                 ev_cached = true;
+                 ev_attempts = 0;
+                 ev_txs = txs;
+               });
+          ( {
+              ar_app = id;
+              ar_status = status;
+              ar_cached = true;
+              ar_resumed = false;
+              ar_attempts = 0;
+              ar_txs = txs;
+              ar_degradations = degradations;
+              ar_elapsed_s = 0.0;
+              ar_crash = None;
+              ar_report_json = Some data;
+            },
+            key_s )
+      | None -> (
+          jot (Journal.Started { ev_app = id; ev_key = key_s; ev_attempt = 1 });
+          let outcome =
+            Retry.run ~sleep:o.ro_sleep
+              ~on_retry:(fun ~attempt ~reason ->
+                jot
+                  (Journal.Retried
+                     { ev_app = id; ev_attempt = attempt; ev_reason = reason }))
+              o.ro_policy ~limits:o.ro_pipeline.Pipeline.op_limits
+              ~attempt:(fun ~attempt:_ limits ->
+                let opts = { o.ro_pipeline with Pipeline.op_limits = limits } in
+                match
+                  Barrier.protect ~app:id (fun () ->
+                      if o.ro_force_crash = Some id then
+                        failwith forced_crash_message;
+                      Pipeline.analyze ~options:opts apk)
+                with
+                | Result.Ok a ->
+                    let r = a.Pipeline.an_report in
+                    if r.Report.rp_degradations = [] then
+                      Result.Ok (Retry.Clean a)
+                    else Result.Ok (Retry.Degraded a)
+                | Result.Error crash ->
+                    jot
+                      (Journal.Crashed
+                         {
+                           ev_app = id;
+                           ev_phase = crash.Barrier.cr_phase;
+                           ev_exn = crash.Barrier.cr_exn;
+                         });
+                    Result.Error crash)
+          in
+          let finish status (a : Pipeline.analysis) attempts =
+            let report = a.Pipeline.an_report in
+            let data =
+              Json.to_string (Report.to_json ~deterministic:true report)
+            in
+            (* Journal before store: a kill between the two re-runs the
+               app on resume (benign); the reverse order would let a
+               resumed run find a cache entry the journal never
+               finished, and report it as cached when the uninterrupted
+               run would not have. *)
+            jot
+              (Journal.Finished
+                 {
+                   ev_app = id;
+                   ev_key = key_s;
+                   ev_status = status_name status;
+                   ev_cached = false;
+                   ev_attempts = attempts;
+                   ev_txs = List.length report.Report.rp_transactions;
+                 });
+            do_store key data;
+            {
+              ar_app = id;
+              ar_status = status;
+              ar_cached = false;
+              ar_resumed = false;
+              ar_attempts = attempts;
+              ar_txs = List.length report.Report.rp_transactions;
+              ar_degradations = report.Report.rp_degradations;
+              ar_elapsed_s = report.Report.rp_elapsed_s;
+              ar_crash = None;
+              ar_report_json = Some data;
+            }
+          in
+          match outcome with
+          | Retry.Succeeded (a, n) -> (finish Ok a n, key_s)
+          | Retry.Still_degraded (a, n) -> (finish Degraded a n, key_s)
+          | Retry.Quarantined (crash, n) -> (quarantined crash key_s n, key_s)))
+
+(* Parallel corpus execution over the fork pool.  The coordinator owns
+   the journal (workers [emit] events over their pipe), the cache writes
+   (workers send the serialized report back; storing after the Finished
+   event is journaled preserves the sequential crash-consistency order)
+   and the metrics registry (each worker resets the inherited registry
+   before its task and ships the per-task delta back for merging).
+
+   Results are published in corpus order no matter when they complete:
+   each finished slot waits until every earlier slot is filled, so
+   [on_result] rows, [rn_results] and the report envelope are
+   byte-identical to a --jobs 1 run.  On interrupt only the contiguous
+   emitted prefix is returned — the same partial-table shape the
+   sequential path produces. *)
+let run_pooled ~jot ~try_restore ~cache ~config ~on_result (o : options)
+    (entries : (string * Corpus.entry) array) : app_result list * bool =
+  let n = Array.length entries in
+  let slots = Array.make n None in
+  let emitted = ref 0 in
+  let acc = ref [] in
+  let emit_ready () =
+    while
+      !emitted < n
+      &&
+      match slots.(!emitted) with
+      | Some r ->
+          acc := r :: !acc;
+          on_result r;
+          true
+      | None -> false
+    do
+      incr emitted
+    done
+  in
+  (* Resume-restored apps resolve in the coordinator; only the rest are
+     dispatched to workers. *)
+  let tasks = ref [] in
+  Array.iteri
+    (fun i (id, _) ->
+      match try_restore id with
+      | Some r -> slots.(i) <- Some r
+      | None -> tasks := i :: !tasks)
+    entries;
+  let tasks = List.rev !tasks in
+  emit_ready ();
+  (* Corpus entries that share an app name share a cache key (the
+     fingerprint digests the same APK bytes), so sequentially the later
+     duplicate is always an intra-run cache hit.  Racing them in
+     parallel would make cached/attempts nondeterministic; serialize
+     each duplicate behind the previous entry of the same name. *)
+  let dep = Array.make n [] in
+  let last_by_name = Hashtbl.create 41 in
+  Array.iteri
+    (fun i (_, (e : Corpus.entry)) ->
+      let name = e.Corpus.c_app.Spec.a_name in
+      (match Hashtbl.find_opt last_by_name name with
+      | Some j -> dep.(i) <- [ j ]
+      | None -> ());
+      Hashtbl.replace last_by_name name i)
+    entries;
+  let outcome =
+    if tasks = [] then Pool.Completed
+    else
+      Pool.run
+        ~deps:(fun i -> dep.(i))
+        ~jobs:(min o.ro_jobs (List.length tasks))
+        ~tasks
+        ~worker:(fun ~emit i ->
+          let id, e = entries.(i) in
+          (match o.ro_worker_kill with
+          | Some k when k = id -> Unix._exit 86
+          | _ -> ());
+          (* The registry was inherited from the coordinator; reset so
+             the snapshot we ship back is exactly this task's delta. *)
+          Metrics.reset Metrics.default;
+          let r, key_s =
+            run_app ~jot:emit ~do_store:(fun _ _ -> ()) ~cache o ~config id e
+          in
+          (r, key_s, Metrics.snapshot Metrics.default))
+        ~on_event:jot
+        ~on_death:(fun ~task:i ~reason ->
+          let id, _ = entries.(i) in
+          jot
+            (Journal.Crashed
+               { ev_app = id; ev_phase = "worker"; ev_exn = reason });
+          jot
+            (Journal.Finished
+               {
+                 ev_app = id;
+                 ev_key = "";
+                 ev_status = status_name Quarantined;
+                 ev_cached = false;
+                 ev_attempts = 1;
+                 ev_txs = 0;
+               });
+          ( {
+              ar_app = id;
+              ar_status = Quarantined;
+              ar_cached = false;
+              ar_resumed = false;
+              ar_attempts = 1;
+              ar_txs = 0;
+              ar_degradations = [];
+              ar_elapsed_s = 0.0;
+              ar_crash =
+                Some
+                  {
+                    Barrier.cr_app = id;
+                    cr_exn = reason;
+                    cr_phase = "worker";
+                    cr_backtrace = "";
+                  };
+              ar_report_json = None;
+            },
+            "",
+            [] ))
+        ~on_result:(fun i (r, key_s, samples) ->
+          Metrics.merge_samples Metrics.default samples;
+          (match (cache, r.ar_report_json) with
+          | Some c, Some data when not r.ar_cached -> (
+              match Store.key_of_string key_s with
+              | Some k -> Store.store c k data
+              | None -> ())
+          | _ -> ());
+          slots.(i) <- Some r;
+          emit_ready ())
+        ()
+  in
+  (List.rev !acc, outcome = Pool.Interrupted)
 
 let run ?(on_result = fun (_ : app_result) -> ()) (o : options)
     (entries : Corpus.entry list) : (run, string) result =
@@ -188,6 +506,11 @@ let run ?(on_result = fun (_ : app_result) -> ()) (o : options)
                 in
                 match entry with
                 | Some data ->
+                    let degradations =
+                      match inspect_report_json data with
+                      | Some (_, _, ds) -> ds
+                      | None -> []
+                    in
                     Some
                       {
                         ar_app = app;
@@ -199,7 +522,7 @@ let run ?(on_result = fun (_ : app_result) -> ()) (o : options)
                         ar_resumed = true;
                         ar_attempts = ev_attempts;
                         ar_txs = ev_txs;
-                        ar_degradations = [];
+                        ar_degradations = degradations;
                         ar_elapsed_s = 0.0;
                         ar_crash = None;
                         ar_report_json = Some data;
@@ -211,138 +534,6 @@ let run ?(on_result = fun (_ : app_result) -> ()) (o : options)
                     None)
             | None -> None)
         | _ -> None
-      in
-      let fresh app (e : Corpus.entry) =
-        let apk = Lazy.force e.Corpus.c_apk in
-        let key = Store.key ~config apk in
-        let key_s = Store.key_to_string key in
-        (* A force-crashed app must actually crash: the hook simulates an
-           app the pipeline dies on, and a cached result would dodge the
-           simulation (and with it the quarantine path under test). *)
-        let cache_hit =
-          match cache with
-          | _ when o.ro_force_crash = Some app -> None
-          | None -> None
-          | Some c -> (
-              match Store.find c key with
-              | Some data -> (
-                  match inspect_report_json data with
-                  | Some (status, txs) -> Some (data, status, txs)
-                  | None -> None)
-              | None -> None)
-        in
-        match cache_hit with
-        | Some (data, status, txs) ->
-            Provenance.record_cache_hit Provenance.default ~app ~key:key_s;
-            jot
-              (Journal.Finished
-                 {
-                   ev_app = app;
-                   ev_key = key_s;
-                   ev_status = status_name status;
-                   ev_cached = true;
-                   ev_attempts = 0;
-                   ev_txs = txs;
-                 });
-            {
-              ar_app = app;
-              ar_status = status;
-              ar_cached = true;
-              ar_resumed = false;
-              ar_attempts = 0;
-              ar_txs = txs;
-              ar_degradations = [];
-              ar_elapsed_s = 0.0;
-              ar_crash = None;
-              ar_report_json = Some data;
-            }
-        | None -> (
-            jot (Journal.Started { ev_app = app; ev_key = key_s; ev_attempt = 1 });
-            let outcome =
-              Retry.run ~sleep:o.ro_sleep
-                ~on_retry:(fun ~attempt ~reason ->
-                  jot
-                    (Journal.Retried
-                       { ev_app = app; ev_attempt = attempt; ev_reason = reason }))
-                o.ro_policy ~limits:o.ro_pipeline.Pipeline.op_limits
-                ~attempt:(fun ~attempt:_ limits ->
-                  let opts = { o.ro_pipeline with Pipeline.op_limits = limits } in
-                  match
-                    Barrier.protect ~app (fun () ->
-                        if o.ro_force_crash = Some app then
-                          failwith forced_crash_message;
-                        Pipeline.analyze ~options:opts apk)
-                  with
-                  | Result.Ok a ->
-                      let r = a.Pipeline.an_report in
-                      if r.Report.rp_degradations = [] then
-                        Result.Ok (Retry.Clean a)
-                      else Result.Ok (Retry.Degraded a)
-                  | Result.Error crash ->
-                      jot
-                        (Journal.Crashed
-                           {
-                             ev_app = app;
-                             ev_phase = crash.Barrier.cr_phase;
-                             ev_exn = crash.Barrier.cr_exn;
-                           });
-                      Result.Error crash)
-            in
-            let finish status (a : Pipeline.analysis) attempts =
-              let report = a.Pipeline.an_report in
-              let data =
-                Json.to_string (Report.to_json ~deterministic:true report)
-              in
-              Option.iter (fun c -> Store.store c key data) cache;
-              jot
-                (Journal.Finished
-                   {
-                     ev_app = app;
-                     ev_key = key_s;
-                     ev_status = status_name status;
-                     ev_cached = false;
-                     ev_attempts = attempts;
-                     ev_txs = List.length report.Report.rp_transactions;
-                   });
-              {
-                ar_app = app;
-                ar_status = status;
-                ar_cached = false;
-                ar_resumed = false;
-                ar_attempts = attempts;
-                ar_txs = List.length report.Report.rp_transactions;
-                ar_degradations = report.Report.rp_degradations;
-                ar_elapsed_s = report.Report.rp_elapsed_s;
-                ar_crash = None;
-                ar_report_json = Some data;
-              }
-            in
-            match outcome with
-            | Retry.Succeeded (a, n) -> finish Ok a n
-            | Retry.Still_degraded (a, n) -> finish Degraded a n
-            | Retry.Quarantined (crash, n) ->
-                jot
-                  (Journal.Finished
-                     {
-                       ev_app = app;
-                       ev_key = key_s;
-                       ev_status = status_name Quarantined;
-                       ev_cached = false;
-                       ev_attempts = n;
-                       ev_txs = 0;
-                     });
-                {
-                  ar_app = app;
-                  ar_status = Quarantined;
-                  ar_cached = false;
-                  ar_resumed = false;
-                  ar_attempts = n;
-                  ar_txs = 0;
-                  ar_degradations = [];
-                  ar_elapsed_s = 0.0;
-                  ar_crash = Some crash;
-                  ar_report_json = None;
-                })
       in
       (* Corpus entries are journaled under a unique id: an app name that
          appears twice (a case study that is also a Table 1 row) gets
@@ -361,33 +552,45 @@ let run ?(on_result = fun (_ : app_result) -> ()) (o : options)
             ((if n = 1 then name else Printf.sprintf "%s#%d" name n), e))
           entries
       in
-      let results = ref [] in
-      let interrupted = ref false in
-      (try
-         List.iter
-           (fun (id, (e : Corpus.entry)) ->
-             let res =
-               match
-                 if o.ro_resume then
-                   Option.bind (List.assoc_opt id done_map) (restore id)
-                 else None
-               with
-               | Some restored -> restored
-               | None -> fresh id e
-             in
-             results := res :: !results;
-             on_result res)
-           identified
-       with Barrier.Interrupted ->
-         (* Journal appends are atomic and already on disk; nothing to
-            flush.  Return what completed so the caller can print the
-            partial table. *)
-         interrupted := true);
-      let results = List.rev !results in
+      let try_restore id =
+        if o.ro_resume then Option.bind (List.assoc_opt id done_map) (restore id)
+        else None
+      in
+      let results, interrupted =
+        if o.ro_jobs > 1 && List.length identified > 1 then
+          run_pooled ~jot ~try_restore ~cache ~config ~on_result o
+            (Array.of_list identified)
+        else begin
+          let results = ref [] in
+          let interrupted = ref false in
+          (try
+             List.iter
+               (fun (id, (e : Corpus.entry)) ->
+                 let res =
+                   match try_restore id with
+                   | Some restored -> restored
+                   | None ->
+                       fst
+                         (run_app ~jot
+                            ~do_store:(fun k d ->
+                              Option.iter (fun c -> Store.store c k d) cache)
+                            ~cache o ~config id e)
+                 in
+                 results := res :: !results;
+                 on_result res)
+               identified
+           with Barrier.Interrupted ->
+             (* Journal appends are fsync'd and already on disk; nothing
+                to flush.  Return what completed so the caller can print
+                the partial table. *)
+             interrupted := true);
+          (List.rev !results, !interrupted)
+        end
+      in
       Result.Ok
         {
           rn_results = results;
-          rn_interrupted = !interrupted;
+          rn_interrupted = interrupted;
           rn_quarantined =
             List.filter_map
               (fun a -> if a.ar_status = Quarantined then Some a.ar_app else None)

@@ -27,6 +27,14 @@ type options = {
   ro_cache_dir : string option;  (** content-addressed result cache *)
   ro_force_crash : string option;  (** crash this app (test hook) *)
   ro_sleep : Clock.sleep;  (** retry backoff; injectable for tests *)
+  ro_jobs : int;
+      (** worker processes for the corpus ({!Pool}); [<= 1] runs
+          sequentially in-process.  Not part of the configuration
+          fingerprint: parallelism never changes results, so journals
+          and caches are shared freely across jobs settings *)
+  ro_worker_kill : string option;
+      (** test hook: a forked worker dispatched this app [_exit]s
+          immediately, simulating a worker death mid-app *)
 }
 
 val default_options : options
@@ -55,8 +63,8 @@ type app_result = {
   ar_attempts : int;
   ar_txs : int;
   ar_degradations : Resilience.Degrade.degradation list;
-      (** empty for cached/resumed results: the detail lives in the
-          cached report JSON *)
+      (** for cached/resumed results, recovered from the report JSON's
+          [degradations[]], so warm and cold summaries agree *)
   ar_elapsed_s : float;  (** 0 for cached/resumed results *)
   ar_crash : Resilience.Barrier.crash option;  (** [Quarantined] only *)
   ar_report_json : string option;
@@ -80,12 +88,24 @@ val run :
   Corpus.entry list ->
   (run, string) result
 (** Run the corpus.  [on_result] fires after each app (the CLI prints
-    its summary row live).  [Error] is a usage-level failure: a resume
-    with no/invalid journal or a mismatched configuration fingerprint,
-    or an unusable cache/journal path.  {!Resilience.Barrier.Killed}
-    propagates (injected kill-points must terminate the process);
+    its summary row live) — always in corpus order, even under
+    [ro_jobs > 1], where completed-but-out-of-order results are held
+    back until every earlier app has resolved, so reports stay
+    byte-identical across jobs settings.  [Error] is a usage-level
+    failure: a resume with no/invalid journal or a mismatched
+    configuration fingerprint, or an unusable cache/journal path.
+    {!Resilience.Barrier.Killed} propagates (injected kill-points must
+    terminate the process — under the pool, a worker exiting 99 takes
+    the coordinator down the same way);
     {!Resilience.Barrier.Interrupted} is caught and yields a partial
-    [run] with [rn_interrupted] set. *)
+    [run] with [rn_interrupted] set.
+
+    Under [ro_jobs > 1] the work is spread over forked workers
+    ({!Pool}): the coordinator alone appends to the journal and the
+    cache, workers ship events, reports and per-task metrics deltas
+    back over pipes, and a worker death quarantines only its in-flight
+    app (crash phase ["worker"]) while a replacement worker is
+    respawned. *)
 
 val report_json : config:string -> run -> string
 (** The corpus report envelope: configuration fingerprint plus one

@@ -1,8 +1,7 @@
-(* Write-ahead journal: append-only JSONL over atomic whole-file
-   rewrites (see the .mli for why rewriting is the right trade here). *)
+(* Write-ahead journal: true append-only JSONL on an open channel,
+   fsync'd per record (see the .mli for the durability contract). *)
 
 module Json = Extr_httpmodel.Json
-module Export = Extr_telemetry.Export
 
 let src = Logs.Src.create "extractocol.journal" ~doc:"Corpus-run write-ahead journal"
 
@@ -24,7 +23,7 @@ type event =
 type t = {
   jn_path : string;
   jn_config : string;
-  mutable jn_events : event list;  (* newest first *)
+  jn_oc : out_channel;  (* positioned at end-of-file, after a '\n' *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -105,29 +104,44 @@ let event_of_json j =
 let header config =
   Json.Obj [ ("event", Json.Str "run-started"); ("config", Json.Str config) ]
 
-let serialize t =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf (Json.to_string (header t.jn_config));
-  Buffer.add_char buf '\n';
-  List.iter
-    (fun ev ->
-      Buffer.add_string buf (Json.to_string (json_of_event ev));
-      Buffer.add_char buf '\n')
-    (List.rev t.jn_events);
-  Buffer.contents buf
-
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let flush t = Export.write_file t.jn_path (serialize t)
+(* Push the channel buffer to the kernel and the kernel's to the disk.
+   fsync can fail on exotic filesystems (EINVAL on pipes in tests);
+   losing durability there beats aborting the run. *)
+let sync oc =
+  Out_channel.flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let write_line oc json =
+  Out_channel.output_string oc (Json.to_string json);
+  Out_channel.output_char oc '\n';
+  sync oc
 
 let create ~path ~config =
-  let t = { jn_path = path; jn_config = config; jn_events = [] } in
-  flush t;
-  t
+  let oc = Out_channel.open_text path in
+  write_line oc (header config);
+  { jn_path = path; jn_config = config; jn_oc = oc }
 
 let split_lines s = String.split_on_char '\n' s
+
+(* Reposition [path] for appending after a possibly torn tail: keep
+   everything up to and including the last '\n', drop the partial line
+   after it, and hand back a channel at that offset. *)
+let reopen_for_append path contents =
+  let keep, need_nl =
+    match String.rindex_opt contents '\n' with
+    | Some i -> (i + 1, false)
+    | None -> (String.length contents, String.length contents > 0)
+  in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd keep;
+  ignore (Unix.lseek fd keep Unix.SEEK_SET);
+  let oc = Unix.out_channel_of_descr fd in
+  if need_nl then Out_channel.output_char oc '\n';
+  oc
 
 let load ~path ~config =
   match In_channel.with_open_text path In_channel.input_all with
@@ -148,7 +162,7 @@ let load ~path ~config =
                     (%s, current run %s); results would not match — remove \
                     the journal or rerun without --resume"
                    path c config)
-          | Some _ ->
+          | Some _ -> (
               let events =
                 List.filter_map
                   (fun line ->
@@ -163,13 +177,14 @@ let load ~path ~config =
                         None)
                   tl
               in
-              Ok
-                ( { jn_path = path; jn_config = config; jn_events = List.rev events },
-                  events )))
+              match reopen_for_append path contents with
+              | exception Unix.Unix_error (e, _, _) ->
+                  Error (path ^ ": " ^ Unix.error_message e)
+              | oc ->
+                  Ok ({ jn_path = path; jn_config = config; jn_oc = oc }, events)
+              )))
 
-let append t ev =
-  t.jn_events <- ev :: t.jn_events;
-  flush t
+let append t ev = write_line t.jn_oc (json_of_event ev)
 
 let path t = t.jn_path
 

@@ -10,11 +10,11 @@
     is refused, because the journaled results would not match what the
     new configuration produces.
 
-    Appends rewrite the whole file through the telemetry temp+rename
-    discipline.  Journals are a few records per app, so the rewrite is
-    cheap, and in exchange every append is atomic: a kill at any point
-    leaves either the previous journal or the new one, never a torn
-    line. *)
+    Appends are O(1): the journal holds an open out-channel and each
+    event is one line written at end-of-file and fsync'd before the
+    append returns.  A kill mid-append can leave at most one torn
+    trailing line, which {!load} tolerates (the partial line is dropped
+    and the file truncated back to the last complete record). *)
 
 type event =
   | Started of { ev_app : string; ev_key : string; ev_attempt : int }
@@ -41,13 +41,16 @@ val create : path:string -> config:string -> t
 val load : path:string -> config:string -> (t * event list, string) result
 (** Re-open an existing journal for [--resume].  [Error] when the file
     is missing or unreadable, the header is absent, or the header's
-    configuration fingerprint differs from [config].  Truncated or
-    malformed trailing lines (a mid-append kill under a non-atomic
-    filesystem) are skipped, not fatal. *)
+    configuration fingerprint differs from [config].  A truncated
+    trailing line (a mid-append kill) is dropped and the file truncated
+    back to the last complete record; malformed interior lines are
+    skipped with a warning, not fatal.  The returned journal is
+    positioned to append after the surviving records. *)
 
 val append : t -> event -> unit
-(** Record an event; the file is atomically rewritten before this
-    returns, so the event survives any subsequent kill. *)
+(** Record an event: one JSONL line appended and fsync'd before this
+    returns, so the event survives any subsequent kill.  O(1) in the
+    journal size. *)
 
 val path : t -> string
 

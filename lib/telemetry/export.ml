@@ -90,10 +90,24 @@ let chrome_trace ?(pid = 1) (spans : Span.span list) : string =
 
 (* Atomic write: a crash mid-export must never leave a truncated file
    behind.  Write to a temp file in the destination directory (rename is
-   only atomic within one filesystem), then rename over the target. *)
+   only atomic within one filesystem), then rename over the target.
+
+   The temp name carries the pid and a per-process counter rather than
+   going through [Filename.temp_file]: forked worker processes inherit
+   the stdlib's temp-name PRNG state, so siblings writing into a shared
+   cache directory would draw identical name sequences and race on the
+   same temp file.  Pid-qualified names cannot collide across
+   processes. *)
+let temp_counter = ref 0
+
 let write_file path contents =
   let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp" in
+  incr temp_counter;
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.%d.%d.tmp" (Filename.basename path)
+         (Unix.getpid ()) !temp_counter)
+  in
   (try
      Out_channel.with_open_text tmp (fun oc ->
          Out_channel.output_string oc contents)

@@ -5,7 +5,9 @@
 val write_file : string -> string -> unit
 (** [write_file path contents] writes atomically: contents go to a temp
     file in [path]'s directory which is then renamed over [path], so a
-    crash mid-export never leaves a truncated file behind.  Used by every
+    crash mid-export never leaves a truncated file behind.  Temp names
+    are pid-qualified, so forked workers writing into a shared directory
+    (the result cache under [--jobs N]) never collide.  Used by every
     exporter here and by the provenance export. *)
 
 val chrome_trace : ?pid:int -> Span.span list -> string

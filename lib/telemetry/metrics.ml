@@ -167,6 +167,47 @@ let snapshot t : sample list =
          | 0 -> compare a.sa_labels b.sa_labels
          | c -> c)
 
+(* Fold a snapshot taken in another registry (typically a forked worker
+   process) into [t].  Registration is by name, so a metric the samples
+   mention that [t] has never seen is registered on the fly with the
+   sample's own bucket bounds.  Merging bypasses the [enabled] flag:
+   the samples were recorded under the worker's flag, and dropping them
+   here would silently lose that work. *)
+let merge_samples t (samples : sample list) =
+  List.iter
+    (fun s ->
+      let bounds =
+        List.filter_map
+          (fun (b, _) -> if Float.is_finite b then Some b else None)
+          s.sa_buckets
+      in
+      let m = register t s.sa_name s.sa_kind s.sa_help bounds in
+      let sr = series_of m s.sa_labels in
+      match s.sa_kind with
+      | `Gauge ->
+          sr.se_count <- sr.se_count + s.sa_count;
+          if s.sa_count > 0 then sr.se_sum <- s.sa_sum
+      | `Counter ->
+          sr.se_count <- sr.se_count + s.sa_count;
+          sr.se_sum <- sr.se_sum +. s.sa_sum
+      | `Histogram ->
+          sr.se_count <- sr.se_count + s.sa_count;
+          sr.se_sum <- sr.se_sum +. s.sa_sum;
+          (* Snapshots carry cumulative counts; decumulate back into the
+             per-bound slots (the overflow slot is the +inf entry). *)
+          let prev = ref 0 in
+          List.iter
+            (fun (bound, cum) ->
+              let i =
+                if Float.is_finite bound then bucket_index m.m_buckets bound
+                else Array.length m.m_buckets
+              in
+              sr.se_bucket_counts.(i) <-
+                sr.se_bucket_counts.(i) + (cum - !prev);
+              prev := cum)
+            s.sa_buckets)
+    samples
+
 let find ?(labels = []) t name =
   let labels = List.sort compare labels in
   match Hashtbl.find_opt t.metrics name with

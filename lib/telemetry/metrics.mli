@@ -61,6 +61,15 @@ type sample = {
 val snapshot : t -> sample list
 (** Every recorded series, sorted by name then labels. *)
 
+val merge_samples : t -> sample list -> unit
+(** [merge_samples t samples] folds a snapshot taken in another registry
+    — typically a forked worker process reporting back over a pipe —
+    into [t].  Counter counts and sums add; gauges keep the sample's
+    last value; histogram buckets are decumulated from the snapshot's
+    cumulative counts and added slot-wise.  Unknown metrics are
+    registered on the fly.  Merging bypasses {!is_enabled}: the samples
+    were already recorded under the worker's own flag. *)
+
 val find : ?labels:labels -> t -> string -> sample option
 (** The series with exactly the given name and labels, if recorded. *)
 

@@ -209,6 +209,31 @@ let test_journal_skips_torn_trailing_line () =
       check Alcotest.int "valid records kept, torn ones skipped" 2
         (List.length loaded)
 
+let test_journal_append_after_load () =
+  (* load must truncate a torn tail and position appends after the last
+     valid record, so a resumed coordinator keeps writing the same
+     journal in place (O(1) appends, no rewrite). *)
+  let path = Filename.temp_file "journal" ".jsonl" in
+  let j = Journal.create ~path ~config:"cfg-1" in
+  Journal.append j (ev_started "app-a");
+  Journal.append j (ev_finished "app-a");
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"event\":\"finis";
+  close_out oc;
+  (match Journal.load ~path ~config:"cfg-1" with
+  | Error e -> Alcotest.fail e
+  | Ok (j2, loaded) ->
+      check Alcotest.int "torn tail dropped" 2 (List.length loaded);
+      Journal.append j2 (ev_started "app-b"));
+  match Journal.load ~path ~config:"cfg-1" with
+  | Error e -> Alcotest.fail e
+  | Ok (_, loaded) ->
+      check
+        Alcotest.(list string)
+        "append lands after the surviving records"
+        (List.map render [ ev_started "app-a"; ev_finished "app-a"; ev_started "app-b" ])
+        (List.map render loaded)
+
 let test_journal_finished_excludes_restarted () =
   let events =
     [ ev_started "a"; ev_finished "a"; ev_started "b"; ev_finished "b";
@@ -424,6 +449,151 @@ let test_runner_interrupt_partial () =
     (List.length r.Runner.rn_results);
   check Alcotest.int "exit code 130" 130 (Runner.exit_code r)
 
+let test_runner_materialization_crash_quarantined () =
+  (* APK materialization (Lazy.force + cache keying) runs inside the
+     fault barrier: a malformed spec must quarantine that app with a
+     "codegen"-phase crash, not escape the corpus loop. *)
+  let es = entries () in
+  let bad =
+    {
+      Corpus.c_app = (List.nth es 1).Corpus.c_app;
+      c_apk = lazy (failwith "malformed spec");
+      c_row = None;
+    }
+  in
+  let r = run_ok (quiet_options ()) [ List.hd es; bad ] in
+  check Alcotest.int "exit code 2" 2 (Runner.exit_code r);
+  match r.Runner.rn_results with
+  | [ good; q ] -> (
+      check Alcotest.bool "healthy app unaffected" true
+        (good.Runner.ar_status <> Runner.Quarantined);
+      check Alcotest.bool "bad app quarantined" true
+        (q.Runner.ar_status = Runner.Quarantined);
+      match q.Runner.ar_crash with
+      | Some c ->
+          check Alcotest.string "crash phase" "codegen" c.Barrier.cr_phase;
+          check Alcotest.bool "crash carries the exception" true
+            (c.Barrier.cr_exn <> "")
+      | None -> Alcotest.fail "quarantined app has no crash record")
+  | _ -> Alcotest.fail "expected two results"
+
+let test_runner_warm_cache_recovers_degradations () =
+  (* Cache hits splice the report bytes back verbatim; the summary's
+     degradation column must come back too (parsed from the report
+     JSON), not reset to empty. *)
+  let o = quiet_options () in
+  let o =
+    {
+      o with
+      Runner.ro_cache_dir = Some (tmp_dir ());
+      ro_pipeline =
+        {
+          o.Runner.ro_pipeline with
+          Runner.Pipeline.op_limits =
+            { Budget.bl_max_steps = 200; bl_max_depth = 24; bl_deadline_s = None };
+        };
+      ro_policy = Retry.no_retry;
+    }
+  in
+  let cold = run_ok o (entries ()) in
+  let warm = run_ok o (entries ()) in
+  check Alcotest.bool "workload actually degrades" true
+    (List.exists
+       (fun (a : Runner.app_result) -> a.Runner.ar_degradations <> [])
+       cold.Runner.rn_results);
+  List.iter2
+    (fun (c : Runner.app_result) (w : Runner.app_result) ->
+      check Alcotest.bool "warm run cached" true w.Runner.ar_cached;
+      check Alcotest.bool "degradations recovered from the report" true
+        (c.Runner.ar_degradations = w.Runner.ar_degradations))
+    cold.Runner.rn_results warm.Runner.rn_results
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Enough apps that 2 workers see more than one task each. *)
+let pool_entries () =
+  match Corpus.table1 () with
+  | a :: b :: c :: d :: _ -> [ a; b; c; d ]
+  | _ -> Alcotest.fail "corpus too small"
+
+let report o r = Runner.report_json ~config:(Runner.config_fingerprint o) r
+
+let test_pool_byte_identical () =
+  let es = pool_entries () in
+  let o = quiet_options () in
+  let seq = run_ok o es in
+  let par = run_ok { o with Runner.ro_jobs = 4 } es in
+  check Alcotest.int "same exit code" (Runner.exit_code seq)
+    (Runner.exit_code par);
+  check Alcotest.string "byte-identical report envelope" (report o seq)
+    (report o par)
+
+let test_pool_worker_death_quarantines () =
+  let es = pool_entries () in
+  let victim = (List.nth es 2).Corpus.c_app.Spec.a_name in
+  let o =
+    { (quiet_options ()) with Runner.ro_jobs = 2; ro_worker_kill = Some victim }
+  in
+  let r = run_ok o es in
+  check Alcotest.int "exit code 2" 2 (Runner.exit_code r);
+  check Alcotest.(list string) "only the in-flight app quarantined" [ victim ]
+    r.Runner.rn_quarantined;
+  List.iter
+    (fun (a : Runner.app_result) ->
+      if a.Runner.ar_app = victim then (
+        check Alcotest.bool "victim quarantined" true
+          (a.Runner.ar_status = Runner.Quarantined);
+        match a.Runner.ar_crash with
+        | Some c -> check Alcotest.string "crash phase" "worker" c.Barrier.cr_phase
+        | None -> Alcotest.fail "victim has no crash record")
+      else
+        check Alcotest.bool "other apps survive the worker death" true
+          (a.Runner.ar_status <> Runner.Quarantined))
+    r.Runner.rn_results
+
+let test_pool_kill_resume_byte_identical () =
+  let es = pool_entries () in
+  let dir = tmp_dir () in
+  let o =
+    {
+      (quiet_options ()) with
+      Runner.ro_jobs = 2;
+      ro_journal = Some (Filename.concat dir "journal.jsonl");
+      ro_cache_dir = Some (Filename.concat dir "cache");
+    }
+  in
+  (* 4 tasks over 2 workers: some worker runs a second app and trips the
+     per-process kill-point (inherited through fork), exits 99, and the
+     coordinator re-raises Killed 99 after tearing the pool down. *)
+  Barrier.set_kill_point ~phase:"pipeline.interpretation" ~occurrence:2
+    (fun () -> raise (Barrier.Killed 99));
+  (match Runner.run o es with
+  | exception Barrier.Killed 99 -> ()
+  | _ ->
+      Barrier.clear_kill_point ();
+      Alcotest.fail "kill-point did not fire under the pool");
+  Barrier.clear_kill_point ();
+  let resumed = run_ok { o with Runner.ro_resume = true } es in
+  check Alcotest.bool "journal restored at least one app" true
+    (List.exists
+       (fun (a : Runner.app_result) -> a.Runner.ar_resumed)
+       resumed.Runner.rn_results);
+  (* The parallel resumed run must serialize exactly like an untouched
+     sequential run over fresh state. *)
+  let dir2 = tmp_dir () in
+  let o2 =
+    {
+      (quiet_options ()) with
+      Runner.ro_journal = Some (Filename.concat dir2 "journal.jsonl");
+      ro_cache_dir = Some (Filename.concat dir2 "cache");
+    }
+  in
+  let cold = run_ok o2 es in
+  check Alcotest.string "byte-identical report envelope" (report o2 cold)
+    (report o resumed)
+
 let () =
   Alcotest.run "durability"
     [
@@ -444,6 +614,7 @@ let () =
           tc "config mismatch refused" test_journal_config_mismatch_refused;
           tc "torn trailing lines skipped"
             test_journal_skips_torn_trailing_line;
+          tc "append lands after a torn tail" test_journal_append_after_load;
           tc "finished excludes restarted apps"
             test_journal_finished_excludes_restarted;
         ] );
@@ -465,5 +636,18 @@ let () =
           tc "resume refuses a changed configuration"
             test_runner_resume_refuses_config_mismatch;
           tc "interrupt returns partial results" test_runner_interrupt_partial;
+          tc "materialization crash quarantined behind the barrier"
+            test_runner_materialization_crash_quarantined;
+          tc "warm cache recovers degradations"
+            test_runner_warm_cache_recovers_degradations;
+        ] );
+      ( "pool",
+        [
+          tc "parallel report byte-identical to sequential"
+            test_pool_byte_identical;
+          tc "worker death quarantines only the in-flight app"
+            test_pool_worker_death_quarantines;
+          tc "parallel kill + resume is byte-identical"
+            test_pool_kill_resume_byte_identical;
         ] );
     ]

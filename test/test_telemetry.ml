@@ -148,6 +148,53 @@ let test_metrics_reset () =
   Metrics.incr c;
   check (Alcotest.float 0.0) "handle survives reset" 1.0 (Metrics.value r "reqs")
 
+let render_samples samples =
+  List.map
+    (fun (s : Metrics.sample) ->
+      Fmt.str "%s%a count=%d sum=%g buckets=%a" s.Metrics.sa_name
+        Fmt.(Dump.list (Dump.pair string string))
+        s.Metrics.sa_labels s.Metrics.sa_count s.Metrics.sa_sum
+        Fmt.(Dump.list (Dump.pair float int))
+        s.Metrics.sa_buckets)
+    samples
+
+let test_merge_samples () =
+  (* A worker's per-task snapshot merged into a fresh registry must
+     reproduce the worker's series exactly — counters, a labelled
+     series, gauge last-wins and decumulated histogram buckets. *)
+  let worker = Metrics.create ~enabled:true () in
+  let c = Metrics.counter ~registry:worker "reqs" in
+  Metrics.incr c ~by:3;
+  Metrics.incr c ~labels:[ ("app", "ted") ];
+  Metrics.set (Metrics.gauge ~registry:worker "elapsed") 2.5;
+  let h = Metrics.histogram ~registry:worker ~buckets:[ 1.0; 10.0 ] "sizes" in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 50.0 ];
+  let delta = Metrics.snapshot worker in
+  let coord = Metrics.create ~enabled:true () in
+  Metrics.merge_samples coord delta;
+  check
+    Alcotest.(list string)
+    "merged registry snapshots identically" (render_samples delta)
+    (render_samples (Metrics.snapshot coord));
+  (* Merging a second worker's delta accumulates counts. *)
+  Metrics.merge_samples coord delta;
+  check (Alcotest.float 0.0) "counters add across merges" 6.0
+    (Metrics.value coord "reqs");
+  (match Metrics.find coord "sizes" with
+  | Some s ->
+      check Alcotest.int "histogram count adds" 6 s.Metrics.sa_count;
+      check
+        Alcotest.(list int)
+        "cumulative buckets add" [ 2; 4; 6 ]
+        (List.map snd s.Metrics.sa_buckets)
+  | None -> Alcotest.fail "histogram series missing after merge");
+  (* A disabled coordinator registry still accepts merges: the corpus
+     pool must not lose worker samples when --metrics-out is off. *)
+  let quiet = Metrics.create () in
+  Metrics.merge_samples quiet delta;
+  check (Alcotest.float 0.0) "merge bypasses the enabled flag" 3.0
+    (Metrics.value quiet "reqs")
+
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -408,6 +455,7 @@ let () =
           tc "disabled registry is a no-op" test_disabled_registry_noop;
           tc "kind mismatch rejected" test_kind_mismatch_rejected;
           tc "reset keeps registrations" test_metrics_reset;
+          tc "worker deltas merge exactly" test_merge_samples;
         ] );
       ( "export",
         [
