@@ -197,6 +197,12 @@ let run_fig5 () =
 let write_phase_timings path =
   let tracer = Span.default in
   let entries = Corpus.case_studies () in
+  (* Fleet-level percentiles ride on the pipeline.phase_us histogram the
+     phase wrapper records; collect it across every app in this loop. *)
+  let metrics = Extr_telemetry.Metrics.default in
+  let metrics_were = Extr_telemetry.Metrics.is_enabled metrics in
+  Extr_telemetry.Metrics.reset metrics;
+  Extr_telemetry.Metrics.set_enabled metrics true;
   let apps =
     List.map
       (fun (e : Corpus.entry) ->
@@ -231,6 +237,37 @@ let write_phase_timings path =
           ])
       entries
   in
+  (* Per-phase latency distribution over all apps just analyzed:
+     p50/p95/p99 from the shared histogram, the same estimate the
+     metrics exporter annotates snapshots with. *)
+  let phase_percentiles =
+    let module M = Extr_telemetry.Metrics in
+    let rows =
+      M.snapshot metrics
+      |> List.filter_map (fun (s : M.sample) ->
+             if s.M.sa_name <> "pipeline.phase_us" then None
+             else
+               let phase =
+                 Option.value ~default:"?" (List.assoc_opt "phase" s.M.sa_labels)
+               in
+               let pq q =
+                 match M.percentile s q with
+                 | Some v -> Json.Float v
+                 | None -> Json.Null
+               in
+               Some
+                 ( phase,
+                   Json.Obj
+                     [
+                       ("count", Json.Int s.M.sa_count);
+                       ("p50_us", pq 50.0);
+                       ("p95_us", pq 95.0);
+                       ("p99_us", pq 99.0);
+                     ] ))
+    in
+    Json.Obj rows
+  in
+  Extr_telemetry.Metrics.set_enabled metrics metrics_were;
   (* Warm-cache speedup: the same apps through the durable runner, once
      against an empty result cache (populating it) and once warm — the
      warm pass must skip every pipeline phase and serve all apps from
@@ -328,6 +365,7 @@ let write_phase_timings path =
       [
         ("bench", Json.Str "pipeline");
         ("apps", Json.List apps);
+        ("phase_percentiles", phase_percentiles);
         ("cache", cache);
         ("pool", pool);
       ]

@@ -17,6 +17,8 @@ module Resilience = Extr_resilience.Resilience
 module Retry = Extr_resilience.Retry
 module Runner = Extr_eval.Runner
 module Pool = Extr_eval.Pool
+module Progress = Extr_eval.Progress
+module Stats = Extr_eval.Stats
 
 open Cmdliner
 
@@ -256,7 +258,7 @@ let parse_crash_at spec =
       exit exit_usage
 
 let run_all limits force_crash journal resume cache_dir report_out crash_at
-    retries jobs metrics_out =
+    retries jobs metrics_out trace_out progress =
   (* Arm the injected kill-point before anything runs: the Nth entry to
      the named pipeline phase terminates the process with exit 99,
      leaving the journal mid-run — exactly what --resume recovers from. *)
@@ -268,6 +270,11 @@ let run_all limits force_crash journal resume cache_dir report_out crash_at
     crash_at;
   if metrics_out <> None then
     Telemetry.Metrics.set_enabled Telemetry.Metrics.default true;
+  (* Workers inherit the enabled tracer across fork and ship their spans
+     back with each result; the coordinator's own spans become the
+     "coordinator" lane of the merged trace. *)
+  if trace_out <> None then
+    Telemetry.Span.set_enabled Telemetry.Span.default true;
   (* SIGINT/SIGTERM unwind the run as Barrier.Interrupted: the runner
      returns the partial results, the journal is already flushed (every
      append is atomic), and we still print the table below. *)
@@ -293,16 +300,42 @@ let run_all limits force_crash journal resume cache_dir report_out crash_at
       ro_jobs = (if jobs = 0 then Pool.default_jobs () else jobs);
     }
   in
+  let entries = all_entries () in
+  (* The heartbeat writes to stderr (a rewriting line on a terminal,
+     periodic lines otherwise); the summary table keeps stdout. *)
+  let live =
+    if progress then
+      let mode =
+        if Unix.isatty Unix.stderr then Progress.Tty else Progress.Lines
+      in
+      Some
+        (Progress.create ~mode ~total:(List.length entries)
+           ~emit:(fun s ->
+             output_string stderr s;
+             flush stderr)
+           ())
+    else None
+  in
   Fmt.pr "%-28s %-11s %5s %13s %8s %8s@." "app" "status" "txs" "degradations"
     "attempts" "elapsed";
   match
-    try Runner.run ~on_result:print_result options (all_entries ())
+    try
+      Runner.run
+        ~on_result:(fun r ->
+          print_result r;
+          Option.iter (fun p -> Progress.on_result p r) live)
+        ~on_journal:(fun ev ->
+          Option.iter (fun p -> Progress.on_journal p ev) live)
+        ~on_state:(fun ~busy ~idle ~pending ->
+          Option.iter (fun p -> Progress.on_state p ~busy ~idle ~pending) live)
+        options entries
     with Resilience.Barrier.Killed n -> exit n
   with
   | Error msg ->
       Fmt.epr "%s@." msg;
       exit_usage
   | Ok run ->
+      Option.iter Progress.finish live;
       let count st =
         List.length
           (List.filter (fun a -> a.Runner.ar_status = st) run.Runner.rn_results)
@@ -338,6 +371,21 @@ let run_all limits force_crash journal resume cache_dir report_out crash_at
         (try_write (fun path ->
              Telemetry.Export.write_metrics path Telemetry.Metrics.default))
         metrics_out;
+      (* Merged fleet trace: the coordinator's tracer on lane 0, one
+         lane per worker pid in pid order.  Sequential runs simply have
+         no worker lanes. *)
+      Option.iter
+        (try_write (fun path ->
+             let lanes =
+               ("coordinator", 0, Telemetry.Span.spans Telemetry.Span.default)
+               :: List.mapi
+                    (fun i (pid, spans) ->
+                      (Printf.sprintf "worker %d" pid, i + 1, spans))
+                    run.Runner.rn_worker_spans
+             in
+             Telemetry.Export.write_file path
+               (Telemetry.Export.chrome_trace_lanes lanes)))
+        trace_out;
       Runner.exit_code run
 
 let name_arg =
@@ -404,9 +452,21 @@ let limple_arg =
 let trace_out_arg =
   let doc =
     "Write a Chrome trace-event JSON file of the pipeline phase spans\n\
-     (open it in Perfetto or chrome://tracing)."
+     (open it in Perfetto or chrome://tracing).  Under $(b,--all --jobs N)\n\
+     the traces of every worker process are merged into one file: the\n\
+     coordinator on lane 0 and one named lane per worker pid, all on a\n\
+     single time axis."
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let progress_flag =
+  let doc =
+    "Live progress for $(b,--all) on stderr: apps done/total,\n\
+     ok/degraded/quarantined/cached counts, the worker pool's\n\
+     busy/idle/queued shape and an ETA.  A rewriting status line when\n\
+     stderr is a terminal, periodic $(b,progress:) lines otherwise."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
 
 let metrics_out_arg =
   let doc =
@@ -586,36 +646,97 @@ let exits =
          to finish.";
   ]
 
+let analyze_term =
+  Term.(
+    const
+      (fun log_level list name scope async intents obf obf_libs limple json
+           dot trace trace_out metrics_out profile explain provenance_out
+           max_steps max_depth deadline all force_crash journal resume
+           cache_dir report_out crash_at retries jobs progress ->
+        setup_logs log_level;
+        let limits =
+          {
+            Resilience.Budget.bl_max_steps = max_steps;
+            bl_max_depth = max_depth;
+            bl_deadline_s = deadline;
+          }
+        in
+        if list then list_apps ()
+        else if all then
+          run_all limits force_crash journal resume cache_dir report_out
+            crash_at retries jobs metrics_out trace_out progress
+        else
+          analyze_app name scope async intents obf obf_libs limple json dot
+            trace trace_out metrics_out profile explain provenance_out limits)
+    $ log_level_arg $ list_flag $ name_arg $ scope_arg $ async_flag
+    $ intents_flag $ obfuscate_flag $ obf_libs_flag $ limple_arg $ json_flag
+    $ dot_flag $ trace_arg $ trace_out_arg $ metrics_out_arg $ profile_flag
+    $ explain_arg $ provenance_out_arg $ max_steps_arg $ max_depth_arg
+    $ deadline_arg $ all_flag $ force_crash_arg $ journal_arg $ resume_flag
+    $ cache_dir_arg $ report_out_arg $ crash_at_arg $ retries_arg $ jobs_arg
+    $ progress_flag)
+
+(* ------------------------------------------------------------------ *)
+(* stats: offline run reconstruction from artifacts                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_stats log_level journal cache_dir metrics =
+  setup_logs log_level;
+  match Stats.of_artifacts ~journal ?cache_dir ?metrics () with
+  | Error msg ->
+      Fmt.epr "%s@." msg;
+      exit_usage
+  | Ok t ->
+      Fmt.pr "%a" Stats.pp t;
+      exit_ok
+
+let stats_cmd =
+  let doc =
+    "reconstruct an $(b,--all) run's report from its artifacts alone"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads the write-ahead journal a previous (possibly killed, \
+         possibly still running) $(b,--all) run left behind and prints \
+         the run's story without re-running anything: the summary \
+         footer, per-app wall times and the slowest apps, the \
+         retry-ladder and crash taxonomies, and the cache hit rate.  \
+         With $(b,--metrics), per-phase latency percentiles \
+         (p50/p95/p99) from the metrics snapshot are appended.  The \
+         journal is opened read-only and never truncated.";
+    ]
+  in
+  let journal =
+    let doc = "The $(b,--journal) file of the run to reconstruct." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let cache_dir =
+    let doc =
+      "The run's $(b,--cache-dir); adds the number of results on disk."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let metrics =
+    let doc =
+      "The run's $(b,--metrics-out) snapshot; adds the per-phase\n\
+       p50/p95/p99 latency table."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc ~man ~exits)
+    Term.(const run_stats $ log_level_arg $ journal $ cache_dir $ metrics)
+
 let cmd =
   let doc = "reconstruct HTTP transactions from an Android app binary" in
   let info = Cmd.info "extractocol" ~version:"1.0" ~doc ~exits in
-  Cmd.v info
-    Term.(
-      const
-        (fun log_level list name scope async intents obf obf_libs limple json
-             dot trace trace_out metrics_out profile explain provenance_out
-             max_steps max_depth deadline all force_crash journal resume
-             cache_dir report_out crash_at retries jobs ->
-          setup_logs log_level;
-          let limits =
-            {
-              Resilience.Budget.bl_max_steps = max_steps;
-              bl_max_depth = max_depth;
-              bl_deadline_s = deadline;
-            }
-          in
-          if list then list_apps ()
-          else if all then
-            run_all limits force_crash journal resume cache_dir report_out
-              crash_at retries jobs metrics_out
-          else
-            analyze_app name scope async intents obf obf_libs limple json dot
-              trace trace_out metrics_out profile explain provenance_out limits)
-      $ log_level_arg $ list_flag $ name_arg $ scope_arg $ async_flag
-      $ intents_flag $ obfuscate_flag $ obf_libs_flag $ limple_arg $ json_flag
-      $ dot_flag $ trace_arg $ trace_out_arg $ metrics_out_arg $ profile_flag
-      $ explain_arg $ provenance_out_arg $ max_steps_arg $ max_depth_arg
-      $ deadline_arg $ all_flag $ force_crash_arg $ journal_arg $ resume_flag
-      $ cache_dir_arg $ report_out_arg $ crash_at_arg $ retries_arg $ jobs_arg)
+  Cmd.group ~default:analyze_term info [ stats_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,186 @@
+(* Build-time guard for fleet observability: drive the real CLI over the
+   corpus with --jobs N and every artifact on, then require
+
+   1. the merged Chrome trace to be well-formed JSON with exactly one
+      named lane per worker process (plus the coordinator lane), spans
+      from EVERY worker, every span on a declared lane, and per-lane
+      timestamps monotonic — the cross-process shipping protocol either
+      loses nothing or fails the build;
+   2. the --jobs 1 and --jobs N report envelopes to stay byte-identical
+      (telemetry shipping must not leak completion order into results);
+   3. `extractocol stats --journal J` to reproduce the live run's
+      summary footer purely from the artifacts on disk.
+
+   N comes from TRACE_JOBS (default 4, capped at 8).  Invoked from the
+   runtest alias with the extractocol binary's path; all intermediate
+   state lives in a private temp directory. *)
+
+module C = Check_common
+module Json = Extr_httpmodel.Json
+
+let ck = C.create "trace_check"
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let num_member key obj =
+  match Json.member key obj with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+(* The summary footer the --all table ends with ("N apps: ..."). *)
+let summary_of_output out =
+  String.split_on_char '\n' out
+  |> List.find_opt (fun l -> C.contains ~needle:" apps: " (" " ^ l))
+
+let check_trace ~jobs path =
+  let j = C.load_json ck path in
+  let events =
+    match C.list_member "traceEvents" j with
+    | Some l -> l
+    | None ->
+        C.fail ck "%s has no traceEvents array" path;
+        []
+  in
+  (* Lanes are declared by thread_name metadata records; spans must land
+     on declared lanes only. *)
+  let lanes = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if C.str_member "ph" e = Some "M" then
+        match (C.str_member "name" e, C.int_member "tid" e) with
+        | Some "thread_name", Some tid ->
+            if Hashtbl.mem lanes tid then
+              C.fail ck "trace declares lane tid=%d twice" tid
+            else
+              Hashtbl.replace lanes tid
+                (match Json.member "args" e with
+                | Some args -> Option.value ~default:"?" (C.str_member "name" args)
+                | None -> "?")
+        | _ -> ())
+    events;
+  (* Exactly one lane per worker process, plus the coordinator's. *)
+  let worker_lanes =
+    Hashtbl.fold
+      (fun _ label n ->
+        if String.length label >= 7 && String.sub label 0 7 = "worker " then
+          n + 1
+        else n)
+      lanes 0
+  in
+  if worker_lanes <> jobs then
+    C.fail ck "expected %d worker lanes, trace has %d" jobs worker_lanes;
+  if not (Hashtbl.fold (fun _ l acc -> acc || l = "coordinator") lanes false)
+  then C.fail ck "trace has no coordinator lane";
+  (* Every span sits on a declared lane; per-lane timestamps are
+     monotonic; every worker lane carries at least one span. *)
+  let last_ts = Hashtbl.create 8 in
+  let span_count = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if C.str_member "ph" e = Some "X" then
+        match (C.int_member "tid" e, num_member "ts" e) with
+        | Some tid, Some ts ->
+            if not (Hashtbl.mem lanes tid) then
+              C.fail ck "span %S on undeclared lane tid=%d"
+                (Option.value ~default:"?" (C.str_member "name" e))
+                tid;
+            (match Hashtbl.find_opt last_ts tid with
+            | Some prev when ts < prev ->
+                C.fail ck
+                  "lane tid=%d timestamps not monotonic (%.0f after %.0f)" tid
+                  ts prev
+            | _ -> ());
+            Hashtbl.replace last_ts tid ts;
+            Hashtbl.replace span_count tid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt span_count tid));
+            if num_member "dur" e = None then
+              C.fail ck "span on lane tid=%d has no duration" tid
+        | _ -> C.fail ck "span event without tid/ts in %s" path)
+    events;
+  Hashtbl.iter
+    (fun tid label ->
+      if label <> "coordinator" && not (Hashtbl.mem span_count tid) then
+        C.fail ck "worker lane tid=%d (%s) shipped no spans" tid label)
+    lanes
+
+let check exe =
+  let exe =
+    if Filename.is_relative exe then Filename.concat (Sys.getcwd ()) exe
+    else exe
+  in
+  let jobs = min 8 (C.env_int ck "TRACE_JOBS" ~default:4) in
+  let jobs_s = string_of_int jobs in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "trace_check.%d" (Unix.getpid ()))
+  in
+  Sys.mkdir tmp 0o755;
+  let p name = Filename.concat tmp name in
+  let run_cli ~expect label args =
+    let out = p (label ^ ".out") in
+    let code =
+      Sys.command (Filename.quote_command exe args ~stdout:out ~stderr:out)
+    in
+    if code <> expect then
+      C.fail ck "%s run exited %d, expected %d (see %s)" label code expect out;
+    C.read_file out
+  in
+  (* Sequential baseline envelope, with its own fresh cache so intra-run
+     duplicate-name cache hits land the same way they do in parallel. *)
+  let _ =
+    run_cli ~expect:0 "seq"
+      [
+        "--all"; "--jobs"; "1"; "--cache-dir"; p "seq-cache"; "--report-out";
+        p "seq.json";
+      ]
+  in
+  (* The observed parallel run: journal, cache, metrics and the merged
+     trace all on at once. *)
+  let par_out =
+    run_cli ~expect:0 "par"
+      [
+        "--all"; "--jobs"; jobs_s; "--journal"; p "journal.jsonl";
+        "--cache-dir"; p "cache"; "--metrics-out"; p "metrics.json";
+        "--trace-out"; p "trace.json"; "--report-out"; p "par.json";
+      ]
+  in
+  if not (String.equal (C.read_file (p "seq.json")) (C.read_file (p "par.json")))
+  then
+    C.fail ck
+      "--jobs %s report (with telemetry shipping on) is not byte-identical \
+       to --jobs 1 (%s vs %s)"
+      jobs_s (p "par.json") (p "seq.json");
+  check_trace ~jobs (p "trace.json");
+  (* The offline reconstruction must agree with the live run. *)
+  let stats_out =
+    run_cli ~expect:0 "stats"
+      [
+        "stats"; "--journal"; p "journal.jsonl"; "--cache-dir"; p "cache";
+        "--metrics"; p "metrics.json";
+      ]
+  in
+  (match summary_of_output par_out with
+  | None -> C.fail ck "--all output has no summary footer"
+  | Some footer ->
+      if not (C.contains ~needle:footer stats_out) then
+        C.fail ck "stats does not reproduce the run footer %S" footer);
+  if not (C.contains ~needle:"pipeline phases" stats_out) then
+    C.fail ck "stats did not render the per-phase percentile table";
+  if not (C.contains ~needle:"slowest apps" stats_out) then
+    C.fail ck "stats did not render the slowest-apps table";
+  if ck.C.ck_failures = 0 then remove_tree tmp
+  else Fmt.epr "trace_check: intermediate state kept in %s@." tmp
+
+let () =
+  match Sys.argv with
+  | [| _; exe |] ->
+      check exe;
+      C.finish ck
+  | _ -> C.usage ck "EXTRACTOCOL_BINARY"

@@ -3,6 +3,8 @@
    select loop, and careful fd/signal hygiene around fork. *)
 
 module Barrier = Extr_resilience.Resilience.Barrier
+module Metrics = Extr_telemetry.Metrics
+module Clock = Extr_telemetry.Clock
 
 let src = Logs.Src.create "extractocol.pool" ~doc:"Corpus worker pool"
 
@@ -11,6 +13,54 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type outcome = Completed | Interrupted
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler instrumentation                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* All coordinator-side: the pool is the scheduler, so dispatch latency,
+   per-worker busy/idle time and queue depth are measured where the
+   decisions happen.  Worker-side analysis metrics travel separately, as
+   per-task deltas merged by the runner. *)
+
+(* Wall-clock quantities in microseconds outgrow the default 1–100k
+   ladder (a busy task runs seconds); extend it to 100s. *)
+let us_buckets =
+  [ 10.; 50.; 100.; 500.; 1_000.; 5_000.; 10_000.; 50_000.; 100_000.;
+    500_000.; 1e6; 5e6; 1e7; 5e7; 1e8 ]
+
+let m_dispatched =
+  Metrics.counter ~help:"tasks handed to a worker" "pool.tasks.dispatched"
+
+let m_dispatch_latency =
+  Metrics.histogram ~help:"scheduler dead time per dispatch: worker idle -> task sent (us)"
+    ~buckets:us_buckets "pool.dispatch.latency_us"
+
+let m_worker_busy =
+  Metrics.histogram ~help:"per-task worker busy time: dispatch -> result (us)"
+    ~buckets:us_buckets "pool.worker.busy_us"
+
+let m_worker_idle =
+  Metrics.histogram
+    ~help:"per-worker idle time between tasks (us); the per-worker view of pool.dispatch.latency_us"
+    ~buckets:us_buckets "pool.worker.idle_us"
+
+let m_queue_depth =
+  Metrics.gauge ~help:"tasks pending dispatch (last observed)" "pool.queue.depth"
+
+let m_queue_depth_hist =
+  Metrics.histogram ~help:"queue depth sampled at every scheduling event"
+    ~buckets:[ 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500. ]
+    "pool.queue.depth_sampled"
+
+let m_spawns = Metrics.counter ~help:"workers forked" "pool.worker.spawns"
+
+let m_deaths =
+  Metrics.counter ~help:"workers that died with a task in flight or mid-pool"
+    "pool.worker.deaths"
+
+let m_respawns =
+  Metrics.counter ~help:"replacement workers forked after a death" "pool.respawns"
 
 (* ------------------------------------------------------------------ *)
 (* Framed Marshal IPC                                                 *)
@@ -56,8 +106,11 @@ let recv fd =
   let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
   Marshal.from_bytes (read_exact fd n) 0
 
-(* Worker -> coordinator; coordinator -> worker. *)
-type ('e, 'r) up = Up_event of 'e | Up_done of int * 'r
+(* Worker -> coordinator; coordinator -> worker.  [Up_bye] is the
+   clean-shutdown leg: the worker's answer to [Down_quit], carrying
+   whatever telemetry it buffered since its last result (spans, metric
+   deltas) so nothing recorded between tasks dies with the process. *)
+type ('e, 'r, 'f) up = Up_event of 'e | Up_done of int * 'r | Up_bye of 'f
 type down = Down_task of int | Down_quit
 
 (* ------------------------------------------------------------------ *)
@@ -67,7 +120,7 @@ type down = Down_task of int | Down_quit
 (* Runs in the forked child; never returns.  [Unix._exit] everywhere:
    the child must not flush channels or run at_exit hooks it inherited
    from the coordinator. *)
-let worker_main ~task_r ~res_w ~worker =
+let worker_main ~task_r ~res_w ~worker ~farewell =
   (* SIGINT interrupts the coordinator only (it terminates us with
      SIGTERM, restored to its default lethal disposition here — the
      CLI's inherited handler would raise inside analysis instead).
@@ -81,7 +134,9 @@ let worker_main ~task_r ~res_w ~worker =
     try
       let rec loop () =
         match (recv task_r : down) with
-        | Down_quit -> 0
+        | Down_quit ->
+            send res_w (Up_bye (farewell ()));
+            0
         | Down_task i ->
             let r = worker ~emit i in
             send res_w (Up_done (i, r));
@@ -101,6 +156,7 @@ let worker_main ~task_r ~res_w ~worker =
 (* ------------------------------------------------------------------ *)
 
 type wstate = {
+  ws_id : int;  (* 1-based spawn order; the trace/metrics worker label *)
   ws_pid : int;
   ws_task_w : Unix.file_descr;  (* coordinator -> worker commands *)
   ws_res_r : Unix.file_descr;  (* worker -> coordinator frames *)
@@ -108,9 +164,11 @@ type wstate = {
   mutable ws_task : int option;  (* the one task in flight, if any *)
   mutable ws_alive : bool;
   mutable ws_quit : bool;  (* Down_quit already sent *)
+  mutable ws_idle_since : float;  (* spawn or last result arrival *)
+  mutable ws_busy_since : float option;  (* dispatch time of ws_task *)
 }
 
-let spawn ~siblings ~worker =
+let spawn ~clock ~next_id ~siblings ~worker ~farewell =
   let task_r, task_w = Unix.pipe () in
   let res_r, res_w = Unix.pipe () in
   (* Anything buffered pre-fork would otherwise be written twice. *)
@@ -131,11 +189,13 @@ let spawn ~siblings ~worker =
             (try Unix.close w.ws_res_r with Unix.Unix_error _ -> ())
           end)
         siblings;
-      worker_main ~task_r ~res_w ~worker
+      worker_main ~task_r ~res_w ~worker ~farewell
   | pid ->
       Unix.close task_r;
       Unix.close res_w;
+      Metrics.incr m_spawns;
       {
+        ws_id = next_id;
         ws_pid = pid;
         ws_task_w = task_w;
         ws_res_r = res_r;
@@ -143,6 +203,8 @@ let spawn ~siblings ~worker =
         ws_task = None;
         ws_alive = true;
         ws_quit = false;
+        ws_idle_since = clock ();
+        ws_busy_since = None;
       }
 
 let describe_status = function
@@ -150,8 +212,9 @@ let describe_status = function
   | Unix.WSIGNALED sg -> Printf.sprintf "worker killed by signal %d" sg
   | Unix.WSTOPPED sg -> Printf.sprintf "worker stopped by signal %d" sg
 
-let run ?(deps = fun (_ : int) -> []) ~jobs ~tasks ~worker ~on_event ~on_death
-    ~on_result () =
+let run ?(deps = fun (_ : int) -> []) ?(clock = Clock.wall)
+    ?(on_state = fun ~busy:(_ : int) ~idle:(_ : int) ~pending:(_ : int) -> ())
+    ~jobs ~tasks ~worker ~farewell ~on_event ~on_bye ~on_death ~on_result () =
   let ntasks = List.length tasks in
   if ntasks = 0 then Completed
   else begin
@@ -185,7 +248,25 @@ let run ?(deps = fun (_ : int) -> []) ~jobs ~tasks ~worker ~on_event ~on_death
        worker that dies on spawn cannot fork-loop forever. *)
     let respawns = ref (8 + (2 * ntasks)) in
     let workers = ref [] in
+    let worker_count = ref 0 in
     let kill_code = ref None in
+    let observe_queue () =
+      let depth = List.length !pending in
+      Metrics.set m_queue_depth (float_of_int depth);
+      Metrics.observe m_queue_depth_hist (float_of_int depth)
+    in
+    let notify_state () =
+      let busy, idle =
+        List.fold_left
+          (fun (b, i) w ->
+            if not w.ws_alive then (b, i)
+            else if w.ws_task <> None then (b + 1, i)
+            else (b, i + 1))
+          (0, 0) !workers
+      in
+      on_state ~busy ~idle ~pending:(List.length !pending)
+    in
+    let worker_label w = [ ("worker", string_of_int w.ws_id) ] in
     let reap w =
       let rec go () =
         match Unix.waitpid [] w.ws_pid with
@@ -203,7 +284,15 @@ let run ?(deps = fun (_ : int) -> []) ~jobs ~tasks ~worker ~on_event ~on_death
       match take_ready () with
       | Some i -> (
           match send w.ws_task_w (Down_task i) with
-          | () -> w.ws_task <- Some i
+          | () ->
+              w.ws_task <- Some i;
+              let now = clock () in
+              let idle_us = 1e6 *. (now -. w.ws_idle_since) in
+              w.ws_busy_since <- Some now;
+              Metrics.incr m_dispatched;
+              Metrics.observe m_dispatch_latency idle_us;
+              Metrics.observe m_worker_idle ~labels:(worker_label w) idle_us;
+              observe_queue ()
           | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
               (* Dead worker; the EOF path will reap it and respawn. *)
               pending := i :: !pending)
@@ -225,7 +314,11 @@ let run ?(deps = fun (_ : int) -> []) ~jobs ~tasks ~worker ~on_event ~on_death
         !workers
     in
     let new_worker () =
-      let w = spawn ~siblings:!workers ~worker in
+      incr worker_count;
+      let w =
+        spawn ~clock ~next_id:!worker_count ~siblings:!workers ~worker
+          ~farewell
+      in
       workers := w :: !workers;
       dispatch w
     in
@@ -240,20 +333,49 @@ let run ?(deps = fun (_ : int) -> []) ~jobs ~tasks ~worker ~on_event ~on_death
            if len - !pos - 4 < n then raise Exit;
            let payload = String.sub s (!pos + 4) n in
            pos := !pos + 4 + n;
-           match (Marshal.from_string payload 0 : ('e, 'r) up) with
+           match (Marshal.from_string payload 0 : ('e, 'r, 'f) up) with
            | Up_event e -> on_event e
+           | Up_bye f -> on_bye f
            | Up_done (i, r) ->
                w.ws_task <- None;
+               let now = clock () in
+               (match w.ws_busy_since with
+               | Some t0 ->
+                   Metrics.observe m_worker_busy ~labels:(worker_label w)
+                     (1e6 *. (now -. t0))
+               | None -> ());
+               w.ws_busy_since <- None;
+               w.ws_idle_since <- now;
                decr remaining;
                Hashtbl.replace resolved i ();
                on_result i r;
-               dispatch_idle ()
+               dispatch_idle ();
+               notify_state ()
          done
        with Exit -> ());
       if !pos > 0 then begin
         Buffer.clear w.ws_buf;
         Buffer.add_substring w.ws_buf s !pos (len - !pos)
       end
+    in
+    (* Read [w]'s pipe to EOF, delivering everything still in flight —
+       the clean-shutdown path uses this to collect each worker's
+       [Up_bye] after the select loop has already seen the last task
+       result. *)
+    let drain_until_eof w =
+      let chunk = Bytes.create 65536 in
+      let rec go () =
+        match Unix.read w.ws_res_r chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | k ->
+            Buffer.add_subbytes w.ws_buf chunk 0 k;
+            drain_frames w;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      go ();
+      drain_frames w
     in
     let handle_death w =
       w.ws_alive <- false;
@@ -271,6 +393,7 @@ let run ?(deps = fun (_ : int) -> []) ~jobs ~tasks ~worker ~on_event ~on_death
           w.ws_task <- None;
           decr remaining;
           Hashtbl.replace resolved i ();
+          Metrics.incr m_deaths;
           let reason = describe_status st in
           Log.warn (fun m -> m "task %d: %s" i reason);
           on_result i (on_death ~task:i ~reason)
@@ -278,6 +401,7 @@ let run ?(deps = fun (_ : int) -> []) ~jobs ~tasks ~worker ~on_event ~on_death
       if !kill_code = None && !pending <> [] then begin
         if !respawns > 0 then begin
           decr respawns;
+          Metrics.incr m_respawns;
           new_worker ()
         end
         else begin
@@ -291,10 +415,14 @@ let run ?(deps = fun (_ : int) -> []) ~jobs ~tasks ~worker ~on_event ~on_death
                 (on_death ~task:i
                    ~reason:"worker pool: respawn budget exhausted"))
             !pending;
-          pending := []
+          pending := [];
+          observe_queue ()
         end
       end;
-      if !kill_code = None then dispatch_idle ()
+      if !kill_code = None then begin
+        dispatch_idle ();
+        notify_state ()
+      end
     in
     let terminate signal =
       List.iter
@@ -314,6 +442,7 @@ let run ?(deps = fun (_ : int) -> []) ~jobs ~tasks ~worker ~on_event ~on_death
           for _ = 1 to min jobs ntasks do
             new_worker ()
           done;
+          notify_state ();
           let chunk = Bytes.create 65536 in
           while !remaining > 0 && !kill_code = None do
             let live = List.filter (fun w -> w.ws_alive) !workers in
@@ -351,16 +480,19 @@ let run ?(deps = fun (_ : int) -> []) ~jobs ~tasks ~worker ~on_event ~on_death
                 raise (Barrier.Killed n)
             | None ->
                 (* Every worker has been sent Down_quit (its dispatch
-                   after the last result found the queue empty); wait
-                   for the exits. *)
+                   after the last result found the queue empty); drain
+                   the farewell frames they send on the way out, then
+                   wait for the exits. *)
                 List.iter
                   (fun w ->
                     if w.ws_alive then begin
                       w.ws_alive <- false;
+                      drain_until_eof w;
                       ignore (reap w);
                       close_fds w
                     end)
                   !workers;
+                notify_state ();
                 Completed)
         | exception Barrier.Interrupted ->
             terminate Sys.sigterm;

@@ -13,7 +13,10 @@
     - {b workers} are forked copies that run [worker] on one task at a
       time and report back over their result pipe: zero or more [emit]
       events (journaled by the coordinator in arrival order) followed by
-      the task's result.
+      the task's result, and — on clean shutdown — one [farewell]
+      payload carrying whatever telemetry the worker buffered after its
+      last result, so nothing recorded between tasks dies with the
+      process.
 
     Fault containment mirrors the in-process barrier: a worker that dies
     (signal, [_exit], kill-point) costs only its in-flight task — the
@@ -24,7 +27,13 @@
     code 99 (an injected kill-point) makes the coordinator kill the
     remaining workers and re-raise [Barrier.Killed 99], and
     [Barrier.Interrupted] raised in the coordinator (SIGINT/SIGTERM)
-    terminates the workers and returns [Interrupted]. *)
+    terminates the workers and returns [Interrupted].
+
+    The coordinator doubles as the scheduler's own instrument panel: it
+    records dispatch latency, per-worker busy/idle time, queue depth,
+    spawn/death/respawn counts into {!Extr_telemetry.Metrics.default}
+    (series under [pool.*]), timed by the injectable [clock] so tests
+    can pin them. *)
 
 type outcome = Completed | Interrupted
 
@@ -35,19 +44,23 @@ val default_jobs : unit -> int
 
 val run :
   ?deps:(int -> int list) ->
+  ?clock:Extr_telemetry.Clock.t ->
+  ?on_state:(busy:int -> idle:int -> pending:int -> unit) ->
   jobs:int ->
   tasks:int list ->
   worker:(emit:('e -> unit) -> int -> 'r) ->
+  farewell:(unit -> 'f) ->
   on_event:('e -> unit) ->
+  on_bye:('f -> unit) ->
   on_death:(task:int -> reason:string -> 'r) ->
   on_result:(int -> 'r -> unit) ->
   unit ->
   outcome
-(** [run ~jobs ~tasks ~worker ~on_event ~on_death ~on_result ()] forks
-    up to [min jobs (List.length tasks)] workers and runs
-    [worker ~emit i] in a child process for every [i] in [tasks],
-    dispatching dynamically (a worker takes the next pending task as
-    soon as it finishes one).
+(** [run ~jobs ~tasks ~worker ~farewell ~on_event ~on_bye ~on_death
+    ~on_result ()] forks up to [min jobs (List.length tasks)] workers
+    and runs [worker ~emit i] in a child process for every [i] in
+    [tasks], dispatching dynamically (a worker takes the next pending
+    task as soon as it finishes one).
 
     [deps i] lists task indices that must resolve (result delivered, or
     written off by a worker death) before [i] may be dispatched — the
@@ -60,8 +73,20 @@ val run :
     In the coordinator, [on_event] fires for every event a worker
     [emit]ted, in per-worker send order; [on_result i r] fires once per
     task, in completion order — the caller reorders if it needs corpus
-    order.  Events and results are framed [Marshal] messages, so ['e]
-    and ['r] must be closure-free.
+    order.  When a worker is told to quit it evaluates [farewell ()]
+    in the child and ships the value back as its last frame; [on_bye]
+    fires for it in the coordinator before [run] returns.  Workers that
+    die instead of quitting send no farewell — [on_bye] fires zero or
+    one time per worker, only on the clean path.  Events, results and
+    farewells are framed [Marshal] messages, so ['e], ['r] and ['f]
+    must be closure-free.
+
+    [on_state ~busy ~idle ~pending] fires in the coordinator after
+    every scheduling event (dispatch, task resolution, worker death)
+    with the pool's current shape — live workers running a task, live
+    workers awaiting one, and tasks not yet dispatched.  Callbacks must
+    be fast; they run inside the select loop.  [clock] (default: wall)
+    times the [pool.*] scheduler metrics.
 
     A worker death with a task in flight synthesizes that task's result
     via [on_death] (after delivering any events the worker sent first)

@@ -15,12 +15,25 @@ module Barrier = Resilience.Barrier
 module Store = Extr_store.Store
 module Clock = Extr_telemetry.Clock
 module Metrics = Extr_telemetry.Metrics
+module Span = Extr_telemetry.Span
 module Provenance = Extr_provenance.Provenance
 module Json = Extr_httpmodel.Json
 
 let src = Logs.Src.create "extractocol.runner" ~doc:"Durable corpus runner"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Short-circuit counters: how much of the corpus never reached the
+   pipeline at all.  Coordinator-side, so they are exact under --jobs N
+   (workers count their own cache probes in the shipped deltas; these
+   count resolved apps). *)
+let m_cache_hits =
+  Metrics.counter ~help:"apps short-circuited by a result-cache hit"
+    "runner.cache.hits"
+
+let m_restored =
+  Metrics.counter ~help:"apps restored from the journal on --resume"
+    "runner.resume.restored"
 
 type options = {
   ro_pipeline : Pipeline.options;
@@ -90,6 +103,7 @@ type run = {
   rn_results : app_result list;
   rn_interrupted : bool;
   rn_quarantined : string list;
+  rn_worker_spans : (int * Span.span list) list;
 }
 
 (* The --all exit-code contract (documented in the man page). *)
@@ -303,14 +317,21 @@ let run_app ~jot ~do_store ~cache (o : options) ~config id (e : Corpus.entry) :
    and the metrics registry (each worker resets the inherited registry
    before its task and ships the per-task delta back for merging).
 
+   Workers also ship telemetry: the spans their tracer recorded during
+   the task ride along with each result, and whatever accumulates after
+   the last result comes back in the farewell frame on clean shutdown.
+   The coordinator buckets shipped spans by worker pid — one trace lane
+   per worker — and returns the lanes for the CLI's merged trace export.
+
    Results are published in corpus order no matter when they complete:
    each finished slot waits until every earlier slot is filled, so
    [on_result] rows, [rn_results] and the report envelope are
    byte-identical to a --jobs 1 run.  On interrupt only the contiguous
    emitted prefix is returned — the same partial-table shape the
    sequential path produces. *)
-let run_pooled ~jot ~try_restore ~cache ~config ~on_result (o : options)
-    (entries : (string * Corpus.entry) array) : app_result list * bool =
+let run_pooled ~jot ~try_restore ~cache ~config ~on_result ~on_state
+    (o : options) (entries : (string * Corpus.entry) array) :
+    app_result list * bool * (int * Span.span list) list =
   let n = Array.length entries in
   let slots = Array.make n None in
   let emitted = ref 0 in
@@ -355,11 +376,32 @@ let run_pooled ~jot ~try_restore ~cache ~config ~on_result (o : options)
       | None -> ());
       Hashtbl.replace last_by_name name i)
     entries;
+  (* Shipped spans, bucketed by worker pid: one trace lane per worker
+     process.  Batches arrive in completion order; the exporter re-sorts
+     each lane by begin time. *)
+  let worker_spans : (int, Span.span list ref) Hashtbl.t = Hashtbl.create 8 in
+  let add_spans pid spans =
+    if spans <> [] then
+      match Hashtbl.find_opt worker_spans pid with
+      | Some l -> l := !l @ spans
+      | None -> Hashtbl.replace worker_spans pid (ref spans)
+  in
+  (* Everything the worker's telemetry recorded since its last shipment,
+     cleared so the next shipment is again a pure delta.  Runs in the
+     worker; the coordinator merges the frames it receives. *)
+  let take_telemetry () =
+    let samples = Metrics.snapshot Metrics.default in
+    let spans = Span.spans Span.default in
+    Metrics.reset Metrics.default;
+    Span.reset Span.default;
+    (samples, spans, Unix.getpid ())
+  in
   let outcome =
     if tasks = [] then Pool.Completed
     else
       Pool.run
         ~deps:(fun i -> dep.(i))
+        ~on_state
         ~jobs:(min o.ro_jobs (List.length tasks))
         ~tasks
         ~worker:(fun ~emit i ->
@@ -367,14 +409,22 @@ let run_pooled ~jot ~try_restore ~cache ~config ~on_result (o : options)
           (match o.ro_worker_kill with
           | Some k when k = id -> Unix._exit 86
           | _ -> ());
-          (* The registry was inherited from the coordinator; reset so
-             the snapshot we ship back is exactly this task's delta. *)
+          (* The registry and tracer were inherited from the coordinator
+             (or hold the previous task's residue before the first
+             take_telemetry); reset so the shipment is exactly this
+             task's delta. *)
           Metrics.reset Metrics.default;
+          Span.reset Span.default;
           let r, key_s =
             run_app ~jot:emit ~do_store:(fun _ _ -> ()) ~cache o ~config id e
           in
-          (r, key_s, Metrics.snapshot Metrics.default))
+          let samples, spans, pid = take_telemetry () in
+          (r, key_s, samples, spans, pid))
+        ~farewell:take_telemetry
         ~on_event:jot
+        ~on_bye:(fun (samples, spans, pid) ->
+          Metrics.merge_samples Metrics.default samples;
+          add_spans pid spans)
         ~on_death:(fun ~task:i ~reason ->
           let id, _ = entries.(i) in
           jot
@@ -410,9 +460,12 @@ let run_pooled ~jot ~try_restore ~cache ~config ~on_result (o : options)
               ar_report_json = None;
             },
             "",
-            [] ))
-        ~on_result:(fun i (r, key_s, samples) ->
+            [],
+            [],
+            0 ))
+        ~on_result:(fun i (r, key_s, samples, spans, pid) ->
           Metrics.merge_samples Metrics.default samples;
+          add_spans pid spans;
           (match (cache, r.ar_report_json) with
           | Some c, Some data when not r.ar_cached -> (
               match Store.key_of_string key_s with
@@ -423,10 +476,16 @@ let run_pooled ~jot ~try_restore ~cache ~config ~on_result (o : options)
           emit_ready ())
         ()
   in
-  (List.rev !acc, outcome = Pool.Interrupted)
+  let lanes =
+    Hashtbl.fold (fun pid l acc -> (pid, !l) :: acc) worker_spans []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  in
+  (List.rev !acc, outcome = Pool.Interrupted, lanes)
 
-let run ?(on_result = fun (_ : app_result) -> ()) (o : options)
-    (entries : Corpus.entry list) : (run, string) result =
+let run ?(on_result = fun (_ : app_result) -> ())
+    ?(on_journal = fun (_ : Journal.event) -> ())
+    ?(on_state = fun ~busy:(_ : int) ~idle:(_ : int) ~pending:(_ : int) -> ())
+    (o : options) (entries : Corpus.entry list) : (run, string) result =
   let config = config_fingerprint o in
   (* Open the cache first: a bad --cache-dir is a usage error, not
      something to discover halfway through the corpus. *)
@@ -444,7 +503,7 @@ let run ?(on_result = fun (_ : app_result) -> ()) (o : options)
     match (o.ro_resume, o.ro_journal) with
     | true, None -> Result.Error "--resume requires --journal PATH"
     | true, Some path -> (
-        match Journal.load ~path ~config with
+        match Journal.load ~path ~config () with
         | Result.Error msg -> Result.Error msg
         | Result.Ok (j, events) ->
             let crashes = Hashtbl.create 8 in
@@ -457,12 +516,22 @@ let run ?(on_result = fun (_ : app_result) -> ()) (o : options)
             Result.Ok (Some j, Journal.finished events, crashes))
     | false, None -> Result.Ok (None, [], Hashtbl.create 0)
     | false, Some path ->
-        Result.Ok (Some (Journal.create ~path ~config), [], Hashtbl.create 0)
+        Result.Ok (Some (Journal.create ~path ~config ()), [], Hashtbl.create 0)
   in
   match (cache, journal) with
   | Result.Error msg, _ | _, Result.Error msg -> Result.Error msg
   | Result.Ok cache, Result.Ok (journal, done_map, past_crashes) ->
-      let jot ev = Option.iter (fun j -> Journal.append j ev) journal in
+      (* Journal first (fsync'd), observer second — the progress display
+         must never see an event the journal could still lose. *)
+      let jot ev =
+        Option.iter (fun j -> Journal.append j ev) journal;
+        on_journal ev
+      in
+      let on_result r =
+        if r.ar_cached then Metrics.incr m_cache_hits;
+        if r.ar_resumed then Metrics.incr m_restored;
+        on_result r
+      in
       (* Restore an app the journal marked finished: quarantined apps
          replay their recorded crash; ok/degraded apps come back from
          the cache.  A cache miss (evicted entry, no --cache-dir) falls
@@ -556,9 +625,9 @@ let run ?(on_result = fun (_ : app_result) -> ()) (o : options)
         if o.ro_resume then Option.bind (List.assoc_opt id done_map) (restore id)
         else None
       in
-      let results, interrupted =
+      let results, interrupted, worker_spans =
         if o.ro_jobs > 1 && List.length identified > 1 then
-          run_pooled ~jot ~try_restore ~cache ~config ~on_result o
+          run_pooled ~jot ~try_restore ~cache ~config ~on_result ~on_state o
             (Array.of_list identified)
         else begin
           let results = ref [] in
@@ -584,13 +653,14 @@ let run ?(on_result = fun (_ : app_result) -> ()) (o : options)
                 to flush.  Return what completed so the caller can print
                 the partial table. *)
              interrupted := true);
-          (List.rev !results, !interrupted)
+          (List.rev !results, !interrupted, [])
         end
       in
       Result.Ok
         {
           rn_results = results;
           rn_interrupted = interrupted;
+          rn_worker_spans = worker_spans;
           rn_quarantined =
             List.filter_map
               (fun a -> if a.ar_status = Quarantined then Some a.ar_app else None)

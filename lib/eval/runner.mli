@@ -18,6 +18,8 @@ module Corpus = Extr_corpus.Corpus
 module Resilience = Extr_resilience.Resilience
 module Retry = Extr_resilience.Retry
 module Clock = Extr_telemetry.Clock
+module Span = Extr_telemetry.Span
+module Journal = Extr_resilience.Journal
 
 type options = {
   ro_pipeline : Pipeline.options;
@@ -76,6 +78,11 @@ type run = {
   rn_results : app_result list;  (** corpus order; partial if interrupted *)
   rn_interrupted : bool;  (** SIGINT/SIGTERM unwound the run *)
   rn_quarantined : string list;  (** apps excluded after repeated crashes *)
+  rn_worker_spans : (int * Span.span list) list;
+      (** spans shipped back by pool workers, one [(pid, spans)] lane
+          per worker process in pid order; [[]] for sequential runs.
+          Feed to {!Extr_telemetry.Export.chrome_trace_lanes} together
+          with the coordinator's own tracer for the merged trace *)
 }
 
 val exit_code : run -> int
@@ -84,6 +91,8 @@ val exit_code : run -> int
 
 val run :
   ?on_result:(app_result -> unit) ->
+  ?on_journal:(Journal.event -> unit) ->
+  ?on_state:(busy:int -> idle:int -> pending:int -> unit) ->
   options ->
   Corpus.entry list ->
   (run, string) result
@@ -100,10 +109,18 @@ val run :
     {!Resilience.Barrier.Interrupted} is caught and yields a partial
     [run] with [rn_interrupted] set.
 
+    [on_journal] observes every lifecycle event in coordinator arrival
+    order (after the journal append, when one is configured — an
+    observer never sees an event the journal could still lose), whether
+    or not a journal is configured; the live progress display feeds on
+    it.  [on_state] relays the pool's scheduling state (see
+    {!Pool.run}); it never fires for sequential runs.
+
     Under [ro_jobs > 1] the work is spread over forked workers
     ({!Pool}): the coordinator alone appends to the journal and the
-    cache, workers ship events, reports and per-task metrics deltas
-    back over pipes, and a worker death quarantines only its in-flight
+    cache, workers ship events, reports, per-task metrics deltas and
+    their tracer's spans back over pipes (plus a farewell shipment on
+    clean shutdown), and a worker death quarantines only its in-flight
     app (crash phase ["worker"]) while a replacement worker is
     respawned. *)
 

@@ -1,0 +1,330 @@
+(* Offline run statistics: reconstruct an --all run's story purely from
+   the artifacts it left behind — the journal (required), the result
+   cache directory and the metrics snapshot (optional).  Nothing here
+   re-runs analysis or opens anything for writing, so a journal from a
+   killed or still-running run is safe to inspect. *)
+
+module Journal = Extr_resilience.Journal
+module Json = Extr_httpmodel.Json
+
+type app = {
+  st_app : string;
+  st_status : string;  (* "ok" | "degraded" | "quarantined" | "in-flight" *)
+  st_cached : bool;
+  st_attempts : int;
+  st_txs : int;
+  st_wall_s : float option;
+      (* first started -> last finished, from the record stamps *)
+}
+
+type phase = {
+  ph_name : string;
+  ph_count : int;
+  ph_p50_us : float option;
+  ph_p95_us : float option;
+  ph_p99_us : float option;
+}
+
+type t = {
+  rs_config : string;
+  rs_apps : app list;  (* journal order of first appearance *)
+  rs_finished : int;
+  rs_ok : int;
+  rs_degraded : int;
+  rs_quarantined : int;
+  rs_cached : int;
+  rs_retries : (string * int) list;  (* reason -> count, by count desc *)
+  rs_crashes : (string * int) list;  (* phase -> count, by count desc *)
+  rs_wall_s : float option;  (* first stamp -> last stamp *)
+  rs_cache_entries : int option;  (* entries on disk under --cache-dir *)
+  rs_phases : phase list;  (* pipeline.phase_us series from --metrics *)
+}
+
+(* The exact footer line run_all prints, so `extractocol stats` can be
+   checked verbatim against the live run's output (trace_check does). *)
+let summary_line t =
+  Printf.sprintf "%d apps: %d ok, %d degraded, %d quarantined (%d from cache)"
+    t.rs_finished t.rs_ok t.rs_degraded t.rs_quarantined t.rs_cached
+
+(* ------------------------------------------------------------------ *)
+(* Journal digestion                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let sorted_counts tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match compare (b : int) a with 0 -> compare ka kb | c -> c)
+
+let of_events events =
+  (* Per-app fold in arrival order.  The LAST lifecycle record decides
+     an app's fate — an app started again after finishing (a killed
+     re-run) is back in flight, exactly as --resume would see it. *)
+  let order = ref [] in
+  let seen = Hashtbl.create 32 in
+  let first_started = Hashtbl.create 32 in
+  let last_finished = Hashtbl.create 32 in
+  let final = Hashtbl.create 32 in
+  let retries = Hashtbl.create 8 in
+  let crashes = Hashtbl.create 8 in
+  let first_stamp = ref None in
+  let last_stamp = ref None in
+  List.iter
+    (fun (stamp, ev) ->
+      (match stamp with
+      | Some s ->
+          if !first_stamp = None then first_stamp := Some s;
+          last_stamp := Some s
+      | None -> ());
+      let note app =
+        if not (Hashtbl.mem seen app) then begin
+          Hashtbl.replace seen app ();
+          order := app :: !order
+        end
+      in
+      match ev with
+      | Journal.Started { ev_app; _ } ->
+          note ev_app;
+          Hashtbl.remove final ev_app;
+          Hashtbl.remove last_finished ev_app;
+          Option.iter
+            (fun s ->
+              if not (Hashtbl.mem first_started ev_app) then
+                Hashtbl.replace first_started ev_app s)
+            stamp
+      | Journal.Retried { ev_app; ev_reason; _ } ->
+          note ev_app;
+          bump retries ev_reason
+      | Journal.Crashed { ev_app; ev_phase; _ } ->
+          note ev_app;
+          bump crashes ev_phase
+      | Journal.Finished { ev_app; _ } ->
+          note ev_app;
+          Hashtbl.replace final ev_app ev;
+          Option.iter (fun s -> Hashtbl.replace last_finished ev_app s) stamp)
+    events;
+  let apps =
+    List.rev_map
+      (fun app ->
+        match Hashtbl.find_opt final app with
+        | Some
+            (Journal.Finished { ev_status; ev_cached; ev_attempts; ev_txs; _ })
+          ->
+            let wall =
+              match
+                ( Hashtbl.find_opt first_started app,
+                  Hashtbl.find_opt last_finished app )
+              with
+              | Some t0, Some t1 when t1 >= t0 -> Some (t1 -. t0)
+              | _ -> None
+            in
+            {
+              st_app = app;
+              st_status = ev_status;
+              st_cached = ev_cached;
+              st_attempts = ev_attempts;
+              st_txs = ev_txs;
+              st_wall_s = wall;
+            }
+        | _ ->
+            {
+              st_app = app;
+              st_status = "in-flight";
+              st_cached = false;
+              st_attempts = 0;
+              st_txs = 0;
+              st_wall_s = None;
+            })
+      !order
+  in
+  let count st = List.length (List.filter (fun a -> a.st_status = st) apps) in
+  let finished = List.length (List.filter (fun a -> a.st_status <> "in-flight") apps) in
+  ( apps,
+    finished,
+    count "ok",
+    count "degraded",
+    count "quarantined",
+    List.length (List.filter (fun a -> a.st_cached) apps),
+    sorted_counts retries,
+    sorted_counts crashes,
+    match (!first_stamp, !last_stamp) with
+    | Some a, Some b when b >= a -> Some (b -. a)
+    | _ -> None )
+
+(* ------------------------------------------------------------------ *)
+(* Optional artifacts                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Cache entries on disk: every non-hidden regular file is one stored
+   result (the store writes temp files dot-prefixed, so mid-write temps
+   never count). *)
+let cache_entries dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | names ->
+      Some
+        (Array.fold_left
+           (fun n name ->
+             if
+               String.length name > 0
+               && name.[0] <> '.'
+               && not (Sys.is_directory (Filename.concat dir name))
+             then n + 1
+             else n)
+           0 names)
+
+let json_num k j =
+  match Json.member k j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+(* The pipeline.phase_us series of a metrics snapshot, percentiles
+   included — the exporter writes p50/p95/p99 alongside the raw buckets
+   precisely so offline consumers don't re-derive them. *)
+let phases_of_metrics_json contents =
+  match Json.of_string_opt contents with
+  | None -> Error "metrics file is not valid JSON"
+  | Some j ->
+      let series =
+        match Json.member "metrics" j with Some (Json.List l) -> l | _ -> []
+      in
+      Ok
+        (List.filter_map
+           (fun m ->
+             match Json.member "name" m with
+             | Some (Json.Str "pipeline.phase_us") ->
+                 let phase =
+                   match Json.member "labels" m with
+                   | Some labels -> (
+                       match Json.member "phase" labels with
+                       | Some (Json.Str p) -> p
+                       | _ -> "?")
+                   | None -> "?"
+                 in
+                 let count =
+                   match Json.member "count" m with
+                   | Some (Json.Int n) -> n
+                   | _ -> 0
+                 in
+                 Some
+                   {
+                     ph_name = phase;
+                     ph_count = count;
+                     ph_p50_us = json_num "p50" m;
+                     ph_p95_us = json_num "p95" m;
+                     ph_p99_us = json_num "p99" m;
+                   }
+             | _ -> None)
+           series)
+
+let of_artifacts ~journal ?cache_dir ?metrics () =
+  match Journal.read ~path:journal with
+  | Error msg -> Error msg
+  | Ok (config, events) -> (
+      let ( apps,
+            finished,
+            ok,
+            degraded,
+            quarantined,
+            cached,
+            retries,
+            crashes,
+            wall ) =
+        of_events events
+      in
+      let phases =
+        match metrics with
+        | None -> Ok []
+        | Some path -> (
+            match In_channel.with_open_text path In_channel.input_all with
+            | exception Sys_error msg -> Error msg
+            | contents -> phases_of_metrics_json contents)
+      in
+      match phases with
+      | Error msg -> Error msg
+      | Ok phases ->
+          Ok
+            {
+              rs_config = config;
+              rs_apps = apps;
+              rs_finished = finished;
+              rs_ok = ok;
+              rs_degraded = degraded;
+              rs_quarantined = quarantined;
+              rs_cached = cached;
+              rs_retries = retries;
+              rs_crashes = crashes;
+              rs_wall_s = wall;
+              rs_cache_entries = Option.bind cache_dir cache_entries;
+              rs_phases = phases;
+            })
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let slowest ?(n = 5) t =
+  List.filter_map
+    (fun a -> Option.map (fun w -> (a, w)) a.st_wall_s)
+    t.rs_apps
+  |> List.stable_sort (fun (_, a) (_, b) -> compare (b : float) a)
+  |> List.filteri (fun i _ -> i < n)
+
+let pp_opt_ms fmt = function
+  | None -> Fmt.pf fmt "%8s" "-"
+  | Some us -> Fmt.pf fmt "%8.2f" (us /. 1e3)
+
+let pp fmt t =
+  Fmt.pf fmt "run summary (from artifacts)@.";
+  Fmt.pf fmt "  config: %s@." t.rs_config;
+  Fmt.pf fmt "  %s@." (summary_line t);
+  Option.iter (fun w -> Fmt.pf fmt "  wall clock: %.2fs@." w) t.rs_wall_s;
+  let in_flight =
+    List.filter (fun a -> a.st_status = "in-flight") t.rs_apps
+  in
+  if in_flight <> [] then
+    Fmt.pf fmt "  in flight at journal end: %s@."
+      (String.concat ", " (List.map (fun a -> a.st_app) in_flight));
+  (match slowest t with
+  | [] -> ()
+  | slow ->
+      Fmt.pf fmt "@.slowest apps:@.";
+      List.iter
+        (fun (a, w) ->
+          Fmt.pf fmt "  %-28s %-11s %7.2fs  %d attempt%s@." a.st_app
+            a.st_status w a.st_attempts
+            (if a.st_attempts = 1 then "" else "s"))
+        slow);
+  if t.rs_retries <> [] then begin
+    Fmt.pf fmt "@.retry ladder:@.";
+    List.iter
+      (fun (reason, n) -> Fmt.pf fmt "  %-40s %d@." reason n)
+      t.rs_retries
+  end;
+  if t.rs_crashes <> [] then begin
+    Fmt.pf fmt "@.crash taxonomy (by phase):@.";
+    List.iter
+      (fun (phase, n) -> Fmt.pf fmt "  %-40s %d@." phase n)
+      t.rs_crashes
+  end;
+  Fmt.pf fmt "@.cache:@.";
+  Fmt.pf fmt "  journaled hit rate: %d/%d%s@." t.rs_cached t.rs_finished
+    (if t.rs_finished > 0 then
+       Printf.sprintf " (%.0f%%)"
+         (100.0 *. float_of_int t.rs_cached /. float_of_int t.rs_finished)
+     else "");
+  Option.iter
+    (fun n -> Fmt.pf fmt "  entries on disk: %d@." n)
+    t.rs_cache_entries;
+  if t.rs_phases <> [] then begin
+    Fmt.pf fmt "@.pipeline phases (from metrics):@.";
+    Fmt.pf fmt "  %-20s %8s %8s %8s %8s@." "phase" "count" "p50(ms)"
+      "p95(ms)" "p99(ms)";
+    List.iter
+      (fun p ->
+        Fmt.pf fmt "  %-20s %8d %a %a %a@." p.ph_name p.ph_count pp_opt_ms
+          p.ph_p50_us pp_opt_ms p.ph_p95_us pp_opt_ms p.ph_p99_us)
+      t.rs_phases
+  end

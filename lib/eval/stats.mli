@@ -1,0 +1,74 @@
+(** Offline run statistics: [extractocol stats].
+
+    Reconstructs an [--all] run's report purely from the artifacts it
+    left behind — the write-ahead journal (required; read-only via
+    {!Extr_resilience.Journal.read}, so a journal from a killed or
+    still-running run is safe), the result cache directory and the
+    metrics snapshot (both optional).  Per-app status and wall time come
+    from the journal's stamped started/finished records; retry-ladder
+    and crash taxonomies from the retried/crashed records; per-phase
+    latency percentiles from the [pipeline.phase_us] series the metrics
+    exporter annotates with p50/p95/p99.
+
+    {!summary_line} reproduces the exact footer [--all] prints, so the
+    offline view can be diffed against the live run (the [trace_check]
+    CI rule does). *)
+
+type app = {
+  st_app : string;
+  st_status : string;
+      (** ["ok"], ["degraded"], ["quarantined"], or ["in-flight"] when
+          the journal's last record for the app is not [finished] (a
+          killed or live run) *)
+  st_cached : bool;
+  st_attempts : int;
+  st_txs : int;
+  st_wall_s : float option;
+      (** first [started] to last [finished] stamp; [None] for cached
+          results (never started) and unstamped legacy journals *)
+}
+
+type phase = {
+  ph_name : string;
+  ph_count : int;
+  ph_p50_us : float option;
+  ph_p95_us : float option;
+  ph_p99_us : float option;
+}
+
+type t = {
+  rs_config : string;  (** the journal header's config fingerprint *)
+  rs_apps : app list;  (** journal order of first appearance *)
+  rs_finished : int;
+  rs_ok : int;
+  rs_degraded : int;
+  rs_quarantined : int;
+  rs_cached : int;
+  rs_retries : (string * int) list;  (** retry reason → count, desc *)
+  rs_crashes : (string * int) list;  (** crash phase → count, desc *)
+  rs_wall_s : float option;  (** first to last record stamp *)
+  rs_cache_entries : int option;  (** results on disk under the cache dir *)
+  rs_phases : phase list;  (** [pipeline.phase_us] series, if metrics given *)
+}
+
+val of_artifacts :
+  journal:string ->
+  ?cache_dir:string ->
+  ?metrics:string ->
+  unit ->
+  (t, string) result
+(** [Error] when the journal is missing/headerless or a given metrics
+    file is unreadable/not JSON.  A missing cache directory yields
+    [rs_cache_entries = None], not an error. *)
+
+val summary_line : t -> string
+(** Exactly the [--all] footer:
+    ["N apps: N ok, N degraded, N quarantined (N from cache)"] over the
+    journal-finished apps. *)
+
+val slowest : ?n:int -> t -> (app * float) list
+(** The [n] (default 5) slowest apps by journal wall time, descending. *)
+
+val pp : Format.formatter -> t -> unit
+(** The full human-readable report: summary, slowest apps, retry ladder,
+    crash taxonomy, cache hit rate, per-phase percentile table. *)

@@ -43,6 +43,16 @@ let m_transactions =
   Metrics.counter ~help:"deduplicated transactions reported (app)"
     "pipeline.transactions"
 
+(* Per-phase latency distribution, labelled by phase name.  The default
+   1–100k bucket ladder tops out at 0.1s; a slicing phase can run
+   seconds, so extend it to 100s. *)
+let m_phase_us =
+  Metrics.histogram ~help:"wall-clock per pipeline phase (us), by phase"
+    ~buckets:
+      [ 10.; 50.; 100.; 500.; 1_000.; 5_000.; 10_000.; 50_000.; 100_000.;
+        500_000.; 1e6; 5e6; 1e7; 5e7; 1e8 ]
+    "pipeline.phase_us"
+
 type options = {
   op_async_heuristic : bool;  (** §3.4 heuristic: on for closed-source apps *)
   op_async_iterations : int;  (** heap-carrier hops (1 = paper default) *)
@@ -120,7 +130,17 @@ let analyze ?(options = default_options) (apk : Apk.t) : analysis =
     (* Stamp the phase on the crash barrier so an escaped exception in
        --all mode is attributed to the stage it came from. *)
     Resilience.Barrier.set_phase ("pipeline." ^ name);
-    Span.with_span ~args:[ ("app", app) ] ("pipeline." ^ name) f
+    let clock = Span.clock Span.default in
+    let t0 = clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        (* Timed by the tracer's clock so the histogram agrees with the
+           trace; observed even on a crash, so a phase that dies still
+           shows up in its latency tail. *)
+        Metrics.observe m_phase_us
+          ~labels:[ ("phase", name) ]
+          (1e6 *. (clock () -. t0)))
+      (fun () -> Span.with_span ~args:[ ("app", app) ] ("pipeline." ^ name) f)
   in
   Span.with_span ~args:[ ("app", app) ] "pipeline.analyze" @@ fun () ->
   let clock = Span.clock Span.default in

@@ -35,11 +35,21 @@ let escape_string s =
     s;
   Buffer.contents buf
 
+(* Shortest decimal that round-trips.  A bare %g keeps only 6
+   significant digits — enough to turn an epoch timestamp into a
+   multiple of 1000 seconds.  The ".0" form for integral values keeps
+   them parsing back as [Float], not [Int]. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let short = Printf.sprintf "%.15g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
 let rec to_buffer buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int n -> Buffer.add_string buf (string_of_int n)
-  | Float f -> Buffer.add_string buf (Printf.sprintf "%g" f)
+  | Float f -> Buffer.add_string buf (float_repr f)
   | Str s ->
       Buffer.add_char buf '"';
       Buffer.add_string buf (escape_string s);
@@ -73,7 +83,7 @@ let rec pp fmt = function
   | Null -> Fmt.string fmt "null"
   | Bool b -> Fmt.bool fmt b
   | Int n -> Fmt.int fmt n
-  | Float f -> Fmt.pf fmt "%g" f
+  | Float f -> Fmt.string fmt (float_repr f)
   | Str s -> Fmt.pf fmt "%S" s
   | List items -> Fmt.pf fmt "[@[%a@]]" (Fmt.list ~sep:Fmt.comma pp) items
   | Obj fields ->

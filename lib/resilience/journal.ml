@@ -2,6 +2,7 @@
    fsync'd per record (see the .mli for the durability contract). *)
 
 module Json = Extr_httpmodel.Json
+module Clock = Extr_telemetry.Clock
 
 let src = Logs.Src.create "extractocol.journal" ~doc:"Corpus-run write-ahead journal"
 
@@ -24,6 +25,7 @@ type t = {
   jn_path : string;
   jn_config : string;
   jn_oc : out_channel;  (* positioned at end-of-file, after a '\n' *)
+  jn_clock : Clock.t;  (* stamps each record; injectable for tests *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -101,6 +103,22 @@ let event_of_json j =
       Some (Finished { ev_app; ev_key; ev_status; ev_cached; ev_attempts; ev_txs })
   | Some _ | None -> None
 
+(* Each record is stamped with the journal clock when appended, so an
+   offline reader ([read], the stats subcommand) can reconstruct wall
+   time per app and the run's ETA from the file alone.  Readers treat
+   the stamp as optional: journals written before stamping existed still
+   load. *)
+let timestamp_of_json j =
+  match Json.member "t" j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let stamp t json =
+  match json with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("t", Json.Float (t.jn_clock ())) ])
+  | other -> other
+
 let header config =
   Json.Obj [ ("event", Json.Str "run-started"); ("config", Json.Str config) ]
 
@@ -120,10 +138,11 @@ let write_line oc json =
   Out_channel.output_char oc '\n';
   sync oc
 
-let create ~path ~config =
+let create ?(clock = Clock.wall) ~path ~config () =
   let oc = Out_channel.open_text path in
-  write_line oc (header config);
-  { jn_path = path; jn_config = config; jn_oc = oc }
+  let t = { jn_path = path; jn_config = config; jn_oc = oc; jn_clock = clock } in
+  write_line oc (stamp t (header config));
+  t
 
 let split_lines s = String.split_on_char '\n' s
 
@@ -143,48 +162,67 @@ let reopen_for_append path contents =
   if need_nl then Out_channel.output_char oc '\n';
   oc
 
-let load ~path ~config =
-  match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error msg -> Error msg
-  | contents -> (
-      let lines =
-        List.filter (fun l -> String.trim l <> "") (split_lines contents)
-      in
-      match lines with
-      | [] -> Error (path ^ ": empty journal (no header)")
-      | hd :: tl -> (
-          match Option.bind (Json.of_string_opt hd) (str "config") with
-          | None -> Error (path ^ ": journal header missing or malformed")
-          | Some c when c <> config ->
-              Error
-                (Fmt.str
-                   "%s: journal was written under a different configuration \
-                    (%s, current run %s); results would not match — remove \
-                    the journal or rerun without --resume"
-                   path c config)
-          | Some _ -> (
-              let events =
-                List.filter_map
-                  (fun line ->
-                    match
-                      Option.bind (Json.of_string_opt line) event_of_json
-                    with
-                    | Some ev -> Some ev
+(* Header line + parsed (timestamp, event) records of [path]'s complete
+   lines; shared by the resuming [load] and the read-only [read]. *)
+let parse_journal ~path contents =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (split_lines contents)
+  in
+  match lines with
+  | [] -> Error (path ^ ": empty journal (no header)")
+  | hd :: tl -> (
+      match Option.bind (Json.of_string_opt hd) (str "config") with
+      | None -> Error (path ^ ": journal header missing or malformed")
+      | Some c ->
+          let events =
+            List.filter_map
+              (fun line ->
+                match Json.of_string_opt line with
+                | Some j -> (
+                    match event_of_json j with
+                    | Some ev -> Some (timestamp_of_json j, ev)
                     | None ->
                         Log.warn (fun m ->
                             m "%s: skipping malformed journal line %S" path
                               line);
                         None)
-                  tl
-              in
-              match reopen_for_append path contents with
-              | exception Unix.Unix_error (e, _, _) ->
-                  Error (path ^ ": " ^ Unix.error_message e)
-              | oc ->
-                  Ok ({ jn_path = path; jn_config = config; jn_oc = oc }, events)
-              )))
+                | None ->
+                    Log.warn (fun m ->
+                        m "%s: skipping malformed journal line %S" path line);
+                    None)
+              tl
+          in
+          Ok (c, events))
 
-let append t ev = write_line t.jn_oc (json_of_event ev)
+let read ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> parse_journal ~path contents
+
+let load ?(clock = Clock.wall) ~path ~config () =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match parse_journal ~path contents with
+      | Error msg -> Error msg
+      | Ok (c, _) when c <> config ->
+          Error
+            (Fmt.str
+               "%s: journal was written under a different configuration \
+                (%s, current run %s); results would not match — remove \
+                the journal or rerun without --resume"
+               path c config)
+      | Ok (_, timestamped) -> (
+          match reopen_for_append path contents with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (path ^ ": " ^ Unix.error_message e)
+          | oc ->
+              Ok
+                ( { jn_path = path; jn_config = config; jn_oc = oc;
+                    jn_clock = clock },
+                  List.map snd timestamped )))
+
+let append t ev = write_line t.jn_oc (stamp t (json_of_event ev))
 
 let path t = t.jn_path
 

@@ -34,11 +34,20 @@ type event =
 
 type t
 
-val create : path:string -> config:string -> t
+val create :
+  ?clock:Extr_telemetry.Clock.t -> path:string -> config:string -> unit -> t
 (** Start a fresh journal at [path] (truncating any previous one) whose
-    header records the [config] fingerprint. *)
+    header records the [config] fingerprint.  Every record — header
+    included — is stamped with the [clock]'s current time (default:
+    wall clock), so an offline reader can reconstruct per-app wall time
+    and the run's timeline from the file alone. *)
 
-val load : path:string -> config:string -> (t * event list, string) result
+val load :
+  ?clock:Extr_telemetry.Clock.t ->
+  path:string ->
+  config:string ->
+  unit ->
+  (t * event list, string) result
 (** Re-open an existing journal for [--resume].  [Error] when the file
     is missing or unreadable, the header is absent, or the header's
     configuration fingerprint differs from [config].  A truncated
@@ -46,6 +55,15 @@ val load : path:string -> config:string -> (t * event list, string) result
     back to the last complete record; malformed interior lines are
     skipped with a warning, not fatal.  The returned journal is
     positioned to append after the surviving records. *)
+
+val read : path:string -> (string * (float option * event) list, string) result
+(** Read-only load for offline inspection ([extractocol stats]): the
+    header's configuration fingerprint and every complete record with
+    its timestamp ([None] for records written before stamping existed).
+    Unlike {!load}, the file is not opened for appending, not truncated,
+    and no configuration is required — a torn trailing line is simply
+    skipped, so a journal left by a killed (or still-running) run can be
+    inspected without touching it. *)
 
 val append : t -> event -> unit
 (** Record an event: one JSONL line appended and fsync'd before this

@@ -52,38 +52,88 @@ let int n buf = Buffer.add_string buf (string_of_int n)
 
 let us f = Float.round (f *. 1e6)
 
+let buf_add_span_event buf ~pid ~tid ~epoch (sp : Span.span) =
+  let args =
+    List.map (fun (k, v) -> (k, str v)) sp.Span.sp_args
+    @ [
+        ("alloc_words", num sp.Span.sp_alloc_words);
+        ("major_collections", int sp.Span.sp_major_collections);
+        ("depth", int sp.Span.sp_depth);
+      ]
+  in
+  buf_add_fields buf
+    [
+      ("name", str sp.Span.sp_name);
+      ("ph", str "X");
+      ("ts", num (us (sp.Span.sp_begin_s -. epoch)));
+      ("dur", num (us (Span.duration_s sp)));
+      ("pid", int pid);
+      ("tid", int tid);
+      ("args", fun buf -> buf_add_fields buf args);
+    ]
+
+(* The common epoch every lane is rebased against: the earliest span
+   begin across the whole fleet, so coordinator and worker lanes line up
+   on one time axis (fork shares the clock domain, and the injectable
+   test clocks are shared the same way). *)
+let lanes_epoch lanes =
+  let epoch =
+    List.fold_left
+      (fun acc (_, _, spans) ->
+        List.fold_left
+          (fun acc (sp : Span.span) -> Float.min acc sp.Span.sp_begin_s)
+          acc spans)
+      infinity lanes
+  in
+  if Float.is_finite epoch then epoch else 0.0
+
+let chrome_trace_lanes ?(pid = 1) lanes : string =
+  let epoch = lanes_epoch lanes in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_char buf ',' in
+  List.iter
+    (fun (label, tid, spans) ->
+      (* One thread_name metadata record per lane, then the lane's spans
+         in begin order — shipped batches arrive in completion order, so
+         re-sort here to keep per-lane timestamps monotonic. *)
+      sep ();
+      buf_add_fields buf
+        [
+          ("name", str "thread_name");
+          ("ph", str "M");
+          ("pid", int pid);
+          ("tid", int tid);
+          ("args", fun buf -> buf_add_fields buf [ ("name", str label) ]);
+        ];
+      let spans =
+        List.stable_sort
+          (fun (a : Span.span) (b : Span.span) ->
+            match compare a.Span.sp_begin_s b.Span.sp_begin_s with
+            | 0 -> compare a.Span.sp_seq b.Span.sp_seq
+            | c -> c)
+          spans
+      in
+      List.iter
+        (fun sp ->
+          sep ();
+          buf_add_span_event buf ~pid ~tid ~epoch sp)
+        spans)
+    lanes;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
 let chrome_trace ?(pid = 1) (spans : Span.span list) : string =
   (* Rebase timestamps to the first span so [ts] stays small; absolute
      epoch microseconds push viewers into float-precision trouble. *)
-  let epoch =
-    List.fold_left
-      (fun acc (sp : Span.span) -> Float.min acc sp.Span.sp_begin_s)
-      infinity spans
-  in
-  let epoch = if Float.is_finite epoch then epoch else 0.0 in
+  let epoch = lanes_epoch [ ("", 1, spans) ] in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
   List.iteri
     (fun i (sp : Span.span) ->
       if i > 0 then Buffer.add_char buf ',';
-      let args =
-        List.map (fun (k, v) -> (k, str v)) sp.Span.sp_args
-        @ [
-            ("alloc_words", num sp.Span.sp_alloc_words);
-            ("major_collections", int sp.Span.sp_major_collections);
-            ("depth", int sp.Span.sp_depth);
-          ]
-      in
-      buf_add_fields buf
-        [
-          ("name", str sp.Span.sp_name);
-          ("ph", str "X");
-          ("ts", num (us (sp.Span.sp_begin_s -. epoch)));
-          ("dur", num (us (Span.duration_s sp)));
-          ("pid", int pid);
-          ("tid", int 1);
-          ("args", fun buf -> buf_add_fields buf args);
-        ])
+      buf_add_span_event buf ~pid ~tid:1 ~epoch sp)
     spans;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
@@ -160,6 +210,15 @@ let metrics_json (registry : Metrics.t) : string =
                     buckets;
                   Buffer.add_char buf ']' );
             ]
+            (* Percentile summaries alongside the raw buckets, so offline
+               consumers (extractocol stats, the bench JSON) don't have
+               to re-derive the estimate. *)
+            @ List.filter_map
+                (fun (name, q) ->
+                  Option.map
+                    (fun v -> (name, num v))
+                    (Metrics.percentile s q))
+                [ ("p50", 50.0); ("p95", 95.0); ("p99", 99.0) ]
       in
       buf_add_fields buf fields)
     (Metrics.snapshot registry);

@@ -15,12 +15,23 @@ val chrome_trace : ?pid:int -> Span.span list -> string
     events; timestamps and durations in microseconds, GC deltas in each
     event's [args]. *)
 
+val chrome_trace_lanes : ?pid:int -> (string * int * Span.span list) list -> string
+(** [chrome_trace_lanes lanes] merges several processes' spans into one
+    Chrome trace: each [(label, tid, spans)] lane becomes a named thread
+    (a [thread_name] metadata record followed by the lane's spans, which
+    are re-sorted by begin time so per-lane timestamps are monotonic).
+    All lanes share one epoch — the earliest span begin across the fleet
+    — so a coordinator lane and the worker lanes shipped back over the
+    pool pipe line up on a single time axis. *)
+
 val write_chrome_trace : ?pid:int -> string -> Span.t -> unit
 (** Write {!chrome_trace} of the tracer's completed spans to a file. *)
 
 val metrics_json : Metrics.t -> string
 (** The registry snapshot as a flat JSON document:
-    [{"metrics": [{"name", "kind", "labels", "count", "sum", "buckets"?}]}]. *)
+    [{"metrics": [{"name", "kind", "labels", "count", "sum", "buckets"?,
+    "p50"?, "p95"?, "p99"?}]}] — histogram series additionally carry
+    {!Metrics.percentile} summaries alongside the raw buckets. *)
 
 val write_metrics : string -> Metrics.t -> unit
 

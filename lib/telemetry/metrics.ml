@@ -185,8 +185,18 @@ let merge_samples t (samples : sample list) =
       let sr = series_of m s.sa_labels in
       match s.sa_kind with
       | `Gauge ->
-          sr.se_count <- sr.se_count + s.sa_count;
-          if s.sa_count > 0 then sr.se_sum <- s.sa_sum
+          (* Labelled max, not last-win: worker deltas arrive in pool
+             completion order, which depends on scheduling — a gauge
+             that kept the latest arrival would make the merged registry
+             nondeterministic under --jobs N.  Max is commutative and
+             associative, so any arrival order yields the same value.
+             Gauges that must not be max-merged should carry a
+             distinguishing label (the per-app gauges already do). *)
+          if s.sa_count > 0 then
+            sr.se_sum <-
+              (if sr.se_count = 0 then s.sa_sum
+               else Float.max sr.se_sum s.sa_sum);
+          sr.se_count <- sr.se_count + s.sa_count
       | `Counter ->
           sr.se_count <- sr.se_count + s.sa_count;
           sr.se_sum <- sr.se_sum +. s.sa_sum
@@ -207,6 +217,40 @@ let merge_samples t (samples : sample list) =
               prev := cum)
             s.sa_buckets)
     samples
+
+(* Percentile estimation from the cumulative bucket counts, in the style
+   of Prometheus' histogram_quantile: find the bucket the rank falls in
+   and interpolate linearly inside it.  The overflow (+inf) bucket has
+   no upper edge, so ranks landing there report the largest finite
+   bound — a lower bound on the true percentile, clearly marked by
+   being exactly a bucket edge. *)
+let percentile (s : sample) q =
+  if s.sa_kind <> `Histogram || s.sa_count = 0 || s.sa_buckets = [] then None
+  else begin
+    let q = Float.max 0.0 (Float.min 100.0 q) in
+    let rank = q /. 100.0 *. float_of_int s.sa_count in
+    let finite_max =
+      List.fold_left
+        (fun acc (b, _) -> if Float.is_finite b then Float.max acc b else acc)
+        0.0 s.sa_buckets
+    in
+    let rec go lo_bound lo_cum = function
+      | [] -> Some finite_max
+      | (bound, cum) :: rest ->
+          if float_of_int cum >= rank && cum > lo_cum then
+            if Float.is_finite bound then
+              (* Interpolate between this bucket's edges by the rank's
+                 position among its occupants. *)
+              let frac =
+                (rank -. float_of_int lo_cum)
+                /. float_of_int (cum - lo_cum)
+              in
+              Some (lo_bound +. ((bound -. lo_bound) *. Float.max 0.0 frac))
+            else Some finite_max
+          else go (if Float.is_finite bound then bound else lo_bound) cum rest
+    in
+    go 0.0 0 s.sa_buckets
+  end
 
 let find ?(labels = []) t name =
   let labels = List.sort compare labels in

@@ -64,11 +64,21 @@ val snapshot : t -> sample list
 val merge_samples : t -> sample list -> unit
 (** [merge_samples t samples] folds a snapshot taken in another registry
     — typically a forked worker process reporting back over a pipe —
-    into [t].  Counter counts and sums add; gauges keep the sample's
-    last value; histogram buckets are decumulated from the snapshot's
-    cumulative counts and added slot-wise.  Unknown metrics are
-    registered on the fly.  Merging bypasses {!is_enabled}: the samples
-    were already recorded under the worker's own flag. *)
+    into [t].  Counter counts and sums add; gauges merge by {e labelled
+    max} (commutative, so the merged value does not depend on worker
+    arrival order — gauges that must stay distinct carry a
+    distinguishing label); histogram buckets are decumulated from the
+    snapshot's cumulative counts and added slot-wise.  Unknown metrics
+    are registered on the fly.  Merging bypasses {!is_enabled}: the
+    samples were already recorded under the worker's own flag. *)
+
+val percentile : sample -> float -> float option
+(** [percentile s q] estimates the [q]-th percentile (0–100) of a
+    histogram sample from its cumulative bucket counts, interpolating
+    linearly inside the bucket the rank falls in (the
+    [histogram_quantile] estimate).  Ranks landing in the overflow
+    bucket report the largest finite bound.  [None] for non-histograms
+    and empty series. *)
 
 val find : ?labels:labels -> t -> string -> sample option
 (** The series with exactly the given name and labels, if recorded. *)

@@ -157,7 +157,7 @@ let render ev = Fmt.str "%a" Journal.pp_event ev
 
 let test_journal_round_trip () =
   let path = Filename.temp_file "journal" ".jsonl" in
-  let j = Journal.create ~path ~config:"cfg-1" in
+  let j = Journal.create ~path ~config:"cfg-1" () in
   let events =
     [
       ev_started "app-a";
@@ -169,7 +169,7 @@ let test_journal_round_trip () =
     ]
   in
   List.iter (Journal.append j) events;
-  match Journal.load ~path ~config:"cfg-1" with
+  match Journal.load ~path ~config:"cfg-1" () with
   | Error e -> Alcotest.fail e
   | Ok (_, loaded) ->
       check
@@ -184,18 +184,18 @@ let test_journal_round_trip () =
 
 let test_journal_config_mismatch_refused () =
   let path = Filename.temp_file "journal" ".jsonl" in
-  let j = Journal.create ~path ~config:"cfg-1" in
+  let j = Journal.create ~path ~config:"cfg-1" () in
   Journal.append j (ev_started "app-a");
-  (match Journal.load ~path ~config:"cfg-2" with
+  (match Journal.load ~path ~config:"cfg-2" () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "a different configuration must refuse to resume");
-  match Journal.load ~path:(path ^ ".missing") ~config:"cfg-1" with
+  match Journal.load ~path:(path ^ ".missing") ~config:"cfg-1" () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "a missing journal must be an error"
 
 let test_journal_skips_torn_trailing_line () =
   let path = Filename.temp_file "journal" ".jsonl" in
-  let j = Journal.create ~path ~config:"cfg-1" in
+  let j = Journal.create ~path ~config:"cfg-1" () in
   Journal.append j (ev_started "app-a");
   Journal.append j (ev_finished "app-a");
   (* A kill mid-append on a non-atomic filesystem: garbage and a torn
@@ -203,7 +203,7 @@ let test_journal_skips_torn_trailing_line () =
   let oc = open_out_gen [ Open_append ] 0o644 path in
   output_string oc "not json at all\n{\"event\":\"finis";
   close_out oc;
-  match Journal.load ~path ~config:"cfg-1" with
+  match Journal.load ~path ~config:"cfg-1" () with
   | Error e -> Alcotest.fail e
   | Ok (_, loaded) ->
       check Alcotest.int "valid records kept, torn ones skipped" 2
@@ -214,18 +214,18 @@ let test_journal_append_after_load () =
      valid record, so a resumed coordinator keeps writing the same
      journal in place (O(1) appends, no rewrite). *)
   let path = Filename.temp_file "journal" ".jsonl" in
-  let j = Journal.create ~path ~config:"cfg-1" in
+  let j = Journal.create ~path ~config:"cfg-1" () in
   Journal.append j (ev_started "app-a");
   Journal.append j (ev_finished "app-a");
   let oc = open_out_gen [ Open_append ] 0o644 path in
   output_string oc "{\"event\":\"finis";
   close_out oc;
-  (match Journal.load ~path ~config:"cfg-1" with
+  (match Journal.load ~path ~config:"cfg-1" () with
   | Error e -> Alcotest.fail e
   | Ok (j2, loaded) ->
       check Alcotest.int "torn tail dropped" 2 (List.length loaded);
       Journal.append j2 (ev_started "app-b"));
-  match Journal.load ~path ~config:"cfg-1" with
+  match Journal.load ~path ~config:"cfg-1" () with
   | Error e -> Alcotest.fail e
   | Ok (_, loaded) ->
       check

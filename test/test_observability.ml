@@ -1,0 +1,384 @@
+(* Observability tests: journal record stamps and the read-only loader,
+   the offline stats reconstruction (including torn-tail journals from
+   killed runs, checked against the --resume view of the same file), and
+   the live progress heartbeat under an injected clock. *)
+
+module Clock = Extr_telemetry.Clock
+module Metrics = Extr_telemetry.Metrics
+module Export = Extr_telemetry.Export
+module Journal = Extr_resilience.Journal
+module Runner = Extr_eval.Runner
+module Stats = Extr_eval.Stats
+module Progress = Extr_eval.Progress
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "obs_test.%d.%s" (Unix.getpid ()) name)
+
+let started app =
+  Journal.Started { ev_app = app; ev_key = "k-" ^ app; ev_attempt = 1 }
+
+let finished ?(status = "ok") ?(cached = false) ?(attempts = 1) ?(txs = 3) app
+    =
+  Journal.Finished
+    {
+      ev_app = app;
+      ev_key = "k-" ^ app;
+      ev_status = status;
+      ev_cached = cached;
+      ev_attempts = attempts;
+      ev_txs = txs;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Journal stamps and the read-only loader                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_stamps () =
+  let path = tmp_path "stamps.jsonl" in
+  let clock = Clock.fake ~start:1000.0 ~step:10.0 () in
+  let j = Journal.create ~clock ~path ~config:"cfg" () in
+  Journal.append j (started "a");
+  Journal.append j (finished "a");
+  match Journal.read ~path with
+  | Error msg -> Alcotest.fail msg
+  | Ok (config, events) ->
+      check Alcotest.string "header config" "cfg" config;
+      let stamps = List.map fst events in
+      (* The header consumed clock tick 1000; records get 1010, 1020. *)
+      check
+        Alcotest.(list (option (float 0.0)))
+        "records stamped by the journal clock"
+        [ Some 1010.0; Some 1020.0 ]
+        stamps;
+      Sys.remove path
+
+let test_read_tolerates_torn_tail_without_truncating () =
+  let path = tmp_path "torn.jsonl" in
+  let j =
+    Journal.create ~clock:(Clock.fake ~start:5.0 ~step:1.0 ()) ~path
+      ~config:"cfg" ()
+  in
+  Journal.append j (started "a");
+  Journal.append j (finished "a");
+  (* A kill mid-append: a partial record with no trailing newline. *)
+  let oc = Out_channel.open_gen [ Open_append ] 0o644 path in
+  Out_channel.output_string oc "{\"event\":\"finis";
+  Out_channel.close oc;
+  let size () = (Unix.stat path).Unix.st_size in
+  let before = size () in
+  (match Journal.read ~path with
+  | Error msg -> Alcotest.fail msg
+  | Ok (_, events) ->
+      check Alcotest.int "torn tail skipped" 2 (List.length events));
+  (* Unlike load, read must not repair the file. *)
+  check Alcotest.int "file untouched by read" before (size ());
+  (* The resume view of the same file truncates the tear and agrees on
+     the surviving records. *)
+  (match Journal.load ~path ~config:"cfg" () with
+  | Error msg -> Alcotest.fail msg
+  | Ok (_, events) ->
+      check Alcotest.int "load sees the same records" 2 (List.length events);
+      check Alcotest.bool "load truncates the tear" true (size () < before));
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Offline stats                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A journal as a killed run leaves it: two finished apps (one cached,
+   one degraded after a retry), one crashed-then-quarantined app, one
+   app still in flight when the run died, plus a torn trailing line. *)
+let write_killed_journal path =
+  let clock = Clock.fake ~start:100.0 ~step:5.0 () in
+  let j = Journal.create ~clock ~path ~config:"cfg" () in
+  Journal.append j (started "fast");
+  Journal.append j (finished "fast");
+  Journal.append j (started "slow");
+  Journal.append j
+    (Journal.Retried
+       { ev_app = "slow"; ev_attempt = 2; ev_reason = "budget exhausted" });
+  Journal.append j (finished ~status:"degraded" ~attempts:2 "slow");
+  Journal.append j (finished ~status:"ok" ~cached:true ~attempts:0 "warm");
+  Journal.append j (started "doomed");
+  Journal.append j
+    (Journal.Crashed
+       {
+         ev_app = "doomed";
+         ev_phase = "pipeline.slicing";
+         ev_exn = "Stack_overflow";
+       });
+  Journal.append j
+    (finished ~status:"quarantined" ~attempts:2 ~txs:0 "doomed");
+  Journal.append j (started "unfinished");
+  let oc = Out_channel.open_gen [ Open_append ] 0o644 path in
+  Out_channel.output_string oc "{\"event\":\"crashed\",\"app\":\"unfin";
+  Out_channel.close oc
+
+let test_stats_of_killed_journal () =
+  let path = tmp_path "killed.jsonl" in
+  write_killed_journal path;
+  (match Stats.of_artifacts ~journal:path () with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+      check Alcotest.string "config" "cfg" t.Stats.rs_config;
+      (* The summary counts journal-finished apps only: the in-flight
+         app must not inflate any bucket. *)
+      check Alcotest.string "summary footer"
+        "4 apps: 2 ok, 1 degraded, 1 quarantined (1 from cache)"
+        (Stats.summary_line t);
+      let by_app a =
+        List.find (fun x -> x.Stats.st_app = a) t.Stats.rs_apps
+      in
+      check Alcotest.string "unfinished app is in flight" "in-flight"
+        (by_app "unfinished").Stats.st_status;
+      (* Wall time from the stamps: "slow" started at tick 115 and
+         finished at 125 (header=100, each record +5). *)
+      check
+        (Alcotest.option (Alcotest.float 1e-9))
+        "wall from stamps" (Some 10.0) (by_app "slow").Stats.st_wall_s;
+      (* Cached apps never started, so they carry no wall time. *)
+      check
+        (Alcotest.option (Alcotest.float 0.0))
+        "cached app has no wall" None (by_app "warm").Stats.st_wall_s;
+      check
+        Alcotest.(list (pair string int))
+        "retry ladder"
+        [ ("budget exhausted", 1) ]
+        t.Stats.rs_retries;
+      check
+        Alcotest.(list (pair string int))
+        "crash taxonomy"
+        [ ("pipeline.slicing", 1) ]
+        t.Stats.rs_crashes;
+      (* Slowest list is wall-descending (ties in journal order — the
+         sort is stable) and excludes cached/in-flight apps. *)
+      match Stats.slowest t with
+      | [ (a1, w1); (a2, w2); (a3, w3) ] ->
+          check Alcotest.string "slowest app" "slow" a1.Stats.st_app;
+          check (Alcotest.float 1e-9) "slowest wall" 10.0 w1;
+          check Alcotest.string "tie keeps journal order" "doomed"
+            a2.Stats.st_app;
+          check (Alcotest.float 1e-9) "tied wall" 10.0 w2;
+          check Alcotest.string "third" "fast" a3.Stats.st_app;
+          check (Alcotest.float 1e-9) "third wall" 5.0 w3
+      | l -> Alcotest.failf "expected 3 slowest apps, got %d" (List.length l));
+  Sys.remove path
+
+let test_stats_matches_resume_view () =
+  (* The stats view of a torn journal must agree with what --resume
+     would replay: same finished set, same per-app status. *)
+  let path = tmp_path "agree.jsonl" in
+  write_killed_journal path;
+  let stats =
+    match Stats.of_artifacts ~journal:path () with
+    | Ok t -> t
+    | Error msg -> Alcotest.fail msg
+  in
+  (match Journal.load ~path ~config:"cfg" () with
+  | Error msg -> Alcotest.fail msg
+  | Ok (_, events) ->
+      let resume_finished =
+        Journal.finished events
+        |> List.map (fun (app, ev) ->
+               match ev with
+               | Journal.Finished { ev_status; _ } -> (app, ev_status)
+               | _ -> (app, "?"))
+        |> List.sort compare
+      in
+      let stats_finished =
+        stats.Stats.rs_apps
+        |> List.filter_map (fun a ->
+               if a.Stats.st_status = "in-flight" then None
+               else Some (a.Stats.st_app, a.Stats.st_status))
+        |> List.sort compare
+      in
+      check
+        Alcotest.(list (pair string string))
+        "stats and --resume agree on the finished set" resume_finished
+        stats_finished);
+  Sys.remove path
+
+let test_stats_restarted_app_in_flight () =
+  (* An app started again AFTER finishing (killed during a re-run) is in
+     flight for --resume, and must be for stats too. *)
+  let path = tmp_path "restart.jsonl" in
+  let j =
+    Journal.create ~clock:(Clock.fake ~start:1.0 ~step:1.0 ()) ~path
+      ~config:"cfg" ()
+  in
+  Journal.append j (started "a");
+  Journal.append j (finished "a");
+  Journal.append j (started "a");
+  (match Stats.of_artifacts ~journal:path () with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+      check Alcotest.string "re-started app back in flight"
+        "0 apps: 0 ok, 0 degraded, 0 quarantined (0 from cache)"
+        (Stats.summary_line t));
+  Sys.remove path
+
+let test_stats_phase_percentiles_from_metrics () =
+  (* End to end through the real exporter: a pipeline.phase_us series
+     written by Export.write_metrics comes back as a phase row with the
+     p50/p95/p99 the exporter annotated. *)
+  let jpath = tmp_path "ph.jsonl" in
+  let j =
+    Journal.create ~clock:(Clock.fake ~start:0.0 ~step:1.0 ()) ~path:jpath
+      ~config:"cfg" ()
+  in
+  Journal.append j (started "a");
+  Journal.append j (finished "a");
+  let r = Metrics.create ~enabled:true () in
+  let h =
+    Metrics.histogram ~registry:r ~buckets:[ 100.0; 1000.0 ]
+      "pipeline.phase_us"
+  in
+  for _ = 1 to 10 do
+    Metrics.observe h ~labels:[ ("phase", "slicing") ] 50.0
+  done;
+  let mpath = tmp_path "ph-metrics.json" in
+  Export.write_metrics mpath r;
+  (match Stats.of_artifacts ~journal:jpath ~metrics:mpath () with
+  | Error msg -> Alcotest.fail msg
+  | Ok t -> (
+      match t.Stats.rs_phases with
+      | [ p ] ->
+          check Alcotest.string "phase label" "slicing" p.Stats.ph_name;
+          check Alcotest.int "phase count" 10 p.Stats.ph_count;
+          check
+            (Alcotest.option (Alcotest.float 1e-9))
+            "p50 from the exporter" (Some 50.0) p.Stats.ph_p50_us
+      | l ->
+          Alcotest.failf "expected one phase row, got %d" (List.length l)));
+  Sys.remove jpath;
+  Sys.remove mpath
+
+let test_stats_missing_journal () =
+  match Stats.of_artifacts ~journal:(tmp_path "nope.jsonl") () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing journal must be an error"
+
+(* ------------------------------------------------------------------ *)
+(* Live progress                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let app_result ?(status = Runner.Ok) ?(cached = false) app =
+  {
+    Runner.ar_app = app;
+    ar_status = status;
+    ar_cached = cached;
+    ar_resumed = false;
+    ar_attempts = 1;
+    ar_txs = 0;
+    ar_degradations = [];
+    ar_elapsed_s = 0.0;
+    ar_crash = None;
+    ar_report_json = None;
+  }
+
+let collect () =
+  let buf = Buffer.create 256 in
+  (buf, fun s -> Buffer.add_string buf s)
+
+let test_progress_lines_mode () =
+  let buf, emit = collect () in
+  let clock = Clock.fake ~start:0.0 ~step:1.0 () in
+  let p =
+    Progress.create ~clock ~min_interval_s:0.0 ~mode:Progress.Lines ~total:3
+      ~emit ()
+  in
+  Progress.on_state p ~busy:2 ~idle:0 ~pending:1;
+  Progress.on_journal p (started "a");
+  Progress.on_journal p (finished "a");
+  Progress.on_result p (app_result "a");
+  Progress.finish p;
+  let out = Buffer.contents buf in
+  let has needle =
+    let n = String.length needle and h = String.length out in
+    let rec go i = i + n <= h && (String.sub out i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "structured lines" true (has "progress: ");
+  check Alcotest.bool "counts" true (has "[1/3] 1 ok");
+  check Alcotest.bool "worker shape" true (has "workers 2 busy/0 idle, 1 queued");
+  (* One app took 2 clock ticks (started->finished), 2 busy workers, 2
+     remaining: eta = 2 * 2 / 2 = 2s. *)
+  check Alcotest.bool "eta from journal pairs" true (has "eta 2s");
+  check Alcotest.bool "no tty control sequences" false (has "\r")
+
+let test_progress_tty_mode () =
+  let buf, emit = collect () in
+  let p =
+    Progress.create
+      ~clock:(Clock.fake ~start:0.0 ~step:1.0 ())
+      ~mode:Progress.Tty ~total:2 ~emit ()
+  in
+  Progress.on_result p (app_result "a");
+  Progress.finish p;
+  let out = Buffer.contents buf in
+  check Alcotest.bool "rewrites in place" true
+    (String.length out > 0 && out.[0] = '\r');
+  let has needle =
+    let n = String.length needle and h = String.length out in
+    let rec go i = i + n <= h && (String.sub out i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "erases to end of line" true (has "\x1b[K");
+  check Alcotest.bool "eta unknown before first finish" true (has "eta --");
+  (* finish clears the line so the summary table lands cleanly. *)
+  check Alcotest.string "final clear" "\r\x1b[K"
+    (String.sub out (String.length out - 4) 4)
+
+let test_progress_rate_limit () =
+  (* Lines mode must not emit on every event: with a 10s interval and a
+     1s-step clock, 5 results produce at most one line plus the forced
+     final one. *)
+  let buf, emit = collect () in
+  let p =
+    Progress.create
+      ~clock:(Clock.fake ~start:0.0 ~step:1.0 ())
+      ~min_interval_s:10.0 ~mode:Progress.Lines ~total:5 ~emit ()
+  in
+  for i = 1 to 5 do
+    Progress.on_result p (app_result (string_of_int i))
+  done;
+  Progress.finish p;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  check Alcotest.bool "rate limited" true (List.length lines <= 2);
+  (* The forced final line carries the complete picture. *)
+  let last = List.nth lines (List.length lines - 1) in
+  check Alcotest.bool "final line is complete" true
+    (String.length last >= 14 && String.sub last 0 14 = "progress: [5/5")
+
+let () =
+  Alcotest.run "observability"
+    [
+      ( "journal",
+        [
+          tc "records stamped by the journal clock" test_journal_stamps;
+          tc "read-only loader tolerates a torn tail"
+            test_read_tolerates_torn_tail_without_truncating;
+        ] );
+      ( "stats",
+        [
+          tc "killed-run journal reconstructs" test_stats_of_killed_journal;
+          tc "agrees with the --resume view" test_stats_matches_resume_view;
+          tc "re-started app back in flight" test_stats_restarted_app_in_flight;
+          tc "phase percentiles from metrics"
+            test_stats_phase_percentiles_from_metrics;
+          tc "missing journal is an error" test_stats_missing_journal;
+        ] );
+      ( "progress",
+        [
+          tc "structured lines off-tty" test_progress_lines_mode;
+          tc "rewriting line on tty" test_progress_tty_mode;
+          tc "rate limiting" test_progress_rate_limit;
+        ] );
+    ]

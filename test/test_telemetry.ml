@@ -195,6 +195,64 @@ let test_merge_samples () =
   check (Alcotest.float 0.0) "merge bypasses the enabled flag" 3.0
     (Metrics.value quiet "reqs")
 
+let test_gauge_merge_deterministic () =
+  (* Regression: gauges used to merge last-wins, so the coordinator's
+     merged value depended on worker completion order.  The policy is
+     labelled max — merging two workers' deltas in either order must
+     yield the same registry. *)
+  let snap v =
+    let w = Metrics.create ~enabled:true () in
+    Metrics.set (Metrics.gauge ~registry:w "elapsed") v;
+    Metrics.snapshot w
+  in
+  let merge order =
+    let coord = Metrics.create ~enabled:true () in
+    List.iter (Metrics.merge_samples coord) order;
+    Metrics.value coord "elapsed"
+  in
+  let a = snap 2.5 and b = snap 7.0 in
+  check (Alcotest.float 0.0) "a then b" 7.0 (merge [ a; b ]);
+  check (Alcotest.float 0.0) "b then a" 7.0 (merge [ b; a ]);
+  (* Negative gauges must not be clamped by the empty registry's 0. *)
+  let n1 = snap (-3.0) and n2 = snap (-8.0) in
+  check (Alcotest.float 0.0) "negative max" (-3.0) (merge [ n2; n1 ])
+
+let test_percentile () =
+  let w = Metrics.create ~enabled:true () in
+  let h =
+    Metrics.histogram ~registry:w ~buckets:[ 10.0; 100.0; 1000.0 ] "lat"
+  in
+  (* 100 observations: 50 in (0,10], 40 in (10,100], 10 in (100,1000]. *)
+  for _ = 1 to 50 do Metrics.observe h 5.0 done;
+  for _ = 1 to 40 do Metrics.observe h 50.0 done;
+  for _ = 1 to 10 do Metrics.observe h 500.0 done;
+  match Metrics.find w "lat" with
+  | None -> Alcotest.fail "series missing"
+  | Some s ->
+      (* Rank 50 is exactly the first bucket's cumulative count: linear
+         interpolation lands on its upper bound. *)
+      check (Alcotest.float 1e-9) "p50" 10.0
+        (Option.get (Metrics.percentile s 50.0));
+      check (Alcotest.float 1e-9) "p90" 100.0
+        (Option.get (Metrics.percentile s 90.0));
+      (* Halfway into the second bucket: 10 + (70-50)/40 * 90. *)
+      check (Alcotest.float 1e-9) "p70 interpolates" 55.0
+        (Option.get (Metrics.percentile s 70.0));
+      check (Alcotest.float 1e-9) "p100 = max finite bound" 1000.0
+        (Option.get (Metrics.percentile s 100.0));
+      (* Overflow ranks clamp to the largest finite bound. *)
+      let w2 = Metrics.create ~enabled:true () in
+      let h2 = Metrics.histogram ~registry:w2 ~buckets:[ 10.0 ] "o" in
+      Metrics.observe h2 99.0;
+      let s2 = Option.get (Metrics.find w2 "o") in
+      check (Alcotest.float 1e-9) "overflow clamps" 10.0
+        (Option.get (Metrics.percentile s2 50.0));
+      (* Non-histograms and empty series have no percentiles. *)
+      let c = Metrics.counter ~registry:w "n" in
+      Metrics.incr c;
+      check Alcotest.bool "counter has none" true
+        (Metrics.percentile (Option.get (Metrics.find w "n")) 50.0 = None)
+
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -262,9 +320,82 @@ let test_metrics_json_shape () =
       (fun s -> Json.member "name" s = Some (Json.Str "sizes"))
       series
   in
-  match Json.member "buckets" histo with
+  (match Json.member "buckets" histo with
   | Some (Json.List (_ :: _)) -> ()
-  | _ -> Alcotest.fail "histogram without buckets"
+  | _ -> Alcotest.fail "histogram without buckets");
+  (* Histogram series carry percentile summaries alongside the raw
+     buckets; non-histograms don't. *)
+  (match Json.member "p50" histo with
+  | Some (Json.Float _ | Json.Int _) -> ()
+  | _ -> Alcotest.fail "histogram without p50");
+  check Alcotest.bool "p95 present" true (Json.member "p95" histo <> None);
+  check Alcotest.bool "p99 present" true (Json.member "p99" histo <> None);
+  check Alcotest.bool "counter has no percentiles" true
+    (Json.member "p50" counter = None)
+
+let test_chrome_trace_lanes () =
+  (* Two lanes on one shared clock: each gets a thread_name metadata
+     record, spans land on their lane's tid, per-lane timestamps are
+     re-sorted monotonic, and both lanes share the earliest begin as
+     epoch (the coordinator lane's first span starts later, so its first
+     ts is positive). *)
+  let clock = Clock.fake ~start:100.0 ~step:1.0 () in
+  let wa = Span.create ~clock ~enabled:true () in
+  Span.with_span ~tracer:wa "a1" (fun () -> ());
+  let wb = Span.create ~clock ~enabled:true () in
+  Span.with_span ~tracer:wb "b1" (fun () -> ());
+  let trace =
+    Export.chrome_trace_lanes
+      [
+        ("coordinator", 0, Span.spans wb);
+        ("worker 41", 1, Span.spans wa);
+      ]
+  in
+  let json = Json.of_string trace in
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents"
+  in
+  let metas =
+    List.filter (fun e -> Json.member "ph" e = Some (Json.Str "M")) events
+  in
+  let lane_names =
+    List.filter_map
+      (fun e ->
+        match Json.member "args" e with
+        | Some args -> (
+            match Json.member "name" args with
+            | Some (Json.Str n) -> Some n
+            | _ -> None)
+        | None -> None)
+      metas
+  in
+  check
+    Alcotest.(list string)
+    "one thread_name per lane"
+    [ "coordinator"; "worker 41" ]
+    lane_names;
+  let ts_of e =
+    match Json.member "ts" e with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int n) -> float_of_int n
+    | _ -> Alcotest.fail "span without ts"
+  in
+  let spans_on tid =
+    List.filter
+      (fun e ->
+        Json.member "ph" e = Some (Json.Str "X")
+        && Json.member "tid" e = Some (Json.Int tid))
+      events
+  in
+  check Alcotest.int "coordinator lane spans" 1 (List.length (spans_on 0));
+  check Alcotest.int "worker lane spans" 1 (List.length (spans_on 1));
+  (* Shared epoch: worker a began at 100 (epoch), coordinator b at 102. *)
+  check (Alcotest.float 0.0) "worker rebased to epoch" 0.0
+    (ts_of (List.hd (spans_on 1)));
+  check (Alcotest.float 0.0) "coordinator shares the epoch" 2e6
+    (ts_of (List.hd (spans_on 0)))
 
 let test_metrics_json_empty_registry () =
   (* An empty registry exports a well-formed document with an empty
@@ -456,10 +587,13 @@ let () =
           tc "kind mismatch rejected" test_kind_mismatch_rejected;
           tc "reset keeps registrations" test_metrics_reset;
           tc "worker deltas merge exactly" test_merge_samples;
+          tc "gauge merge is order-independent" test_gauge_merge_deterministic;
+          tc "histogram percentile estimation" test_percentile;
         ] );
       ( "export",
         [
           tc "chrome trace is valid matched JSON" test_chrome_trace_valid_json;
+          tc "multi-lane trace merge" test_chrome_trace_lanes;
           tc "metrics snapshot shape" test_metrics_json_shape;
           tc "empty registry exports cleanly" test_metrics_json_empty_registry;
           tc "chrome trace escapes arg values" test_chrome_trace_escapes_args;
