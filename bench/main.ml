@@ -4,7 +4,9 @@
    argument for everything, or with one of:
      table1 fig6 fig7 table2 table3 table4 table5 table6 fig3 fig5
      timing micro sweep ablate-aug ablate-async ablate-pairing
-     ablate-worklist ablate-deobf *)
+     ablate-worklist ablate-deobf
+   or with --baseline FILE [--threshold X] [--json OUT] to diff a fresh
+   timing measurement against a committed BENCH_pipeline.json. *)
 
 module Ir = Extr_ir.Types
 module B = Extr_ir.Builder
@@ -32,6 +34,7 @@ module Runner = Extr_eval.Runner
 module Json = Extr_httpmodel.Json
 module Span = Extr_telemetry.Span
 module Metrics = Extr_telemetry.Metrics
+module Profile = Extr_telemetry.Profile
 module Provenance = Extr_provenance.Provenance
 module Retry = Extr_resilience.Retry
 module Budget = Extr_resilience.Resilience.Budget
@@ -191,12 +194,23 @@ let run_fig5 () =
 (* Timing (§5.1)                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Machine-readable bench output: re-analyze every case-study app with
-   the phase spans enabled and dump per-app per-phase wall-clock to a
-   JSON file CI can diff across commits. *)
-let write_phase_timings path =
+(* Measure every case-study app once with the phase spans and the shared
+   pipeline.phase_us histogram enabled.  Returns the per-app JSON rows
+   and the fleet-level per-phase percentile object — shared between the
+   timing dump and the --baseline regression diff so both sides of a
+   comparison are produced by the same code path. *)
+let measure_phase_timings () =
   let tracer = Span.default in
   let entries = Corpus.case_studies () in
+  (* One untimed warm-up pass per app: the measured loop then sees the
+     same warmed allocator/caches whether it runs inside the full
+     `timing` bench or cold at the start of a --baseline diff. *)
+  List.iter
+    (fun (e : Corpus.entry) ->
+      ignore
+        (Pipeline.analyze ~options:Pipeline.default_options
+           (Lazy.force e.Corpus.c_apk)))
+    entries;
   (* Fleet-level percentiles ride on the pipeline.phase_us histogram the
      phase wrapper records; collect it across every app in this loop. *)
   let metrics = Extr_telemetry.Metrics.default in
@@ -268,6 +282,14 @@ let write_phase_timings path =
     Json.Obj rows
   in
   Extr_telemetry.Metrics.set_enabled metrics metrics_were;
+  (apps, phase_percentiles)
+
+(* Machine-readable bench output: the per-app per-phase wall-clock rows
+   plus the cache and worker-pool speedup benches, dumped to a JSON file
+   CI can diff across commits (see --baseline). *)
+let write_phase_timings path =
+  let entries = Corpus.case_studies () in
+  let apps, phase_percentiles = measure_phase_timings () in
   (* Warm-cache speedup: the same apps through the durable runner, once
      against an empty result cache (populating it) and once warm — the
      warm pass must skip every pipeline phase and serve all apps from
@@ -411,10 +433,166 @@ let run_timing ?(json = "BENCH_pipeline.json") () =
   write_phase_timings json
 
 (* ------------------------------------------------------------------ *)
+(* Regression harness: bench --baseline BENCH_pipeline.json           *)
+(* ------------------------------------------------------------------ *)
+
+(* Diff a fresh timing measurement against a committed baseline
+   (BENCH_pipeline.json).  A row regresses when current/baseline exceeds
+   the threshold AND the absolute delta clears a noise floor (5 ms) —
+   most phases here run sub-millisecond, where pure ratios would flag
+   scheduler jitter.  Exit 4 on any regression; the full comparison
+   table is written into the output JSON alongside the fresh rows. *)
+let exit_regressed = 4
+
+let run_baseline ~baseline ?(threshold = 1.5) ?(json = "BENCH_compare.json") ()
+    =
+  let base =
+    match In_channel.with_open_text baseline In_channel.input_all with
+    | exception Sys_error msg -> Fmt.failwith "cannot read baseline: %s" msg
+    | src -> (
+        match Json.of_string_opt src with
+        | Some j -> j
+        | None -> Fmt.failwith "baseline %s is not valid JSON" baseline)
+  in
+  Fmt.pf fmt "Bench regression check against %s (threshold %.2fx)@\n" baseline
+    threshold;
+  let apps, percentiles = measure_phase_timings () in
+  let num = function
+    | Json.Float f -> Some f
+    | Json.Int n -> Some (float_of_int n)
+    | _ -> None
+  in
+  let rows = ref [] in
+  let regressions = ref 0 in
+  let check ~scope ~metric ~floor b c =
+    let ratio =
+      if b > 0. then c /. b else if c > 0. then Float.infinity else 1.0
+    in
+    let regressed = ratio > threshold && c -. b > floor in
+    if regressed then incr regressions;
+    rows := (scope, metric, b, c, ratio, regressed) :: !rows
+  in
+  let floor_s = 0.005 in
+  let base_apps =
+    match Json.member "apps" base with Some (Json.List l) -> l | _ -> []
+  in
+  List.iter
+    (fun cur_app ->
+      let name =
+        match Json.member "app" cur_app with Some (Json.Str s) -> s | _ -> "?"
+      in
+      match
+        List.find_opt
+          (fun b -> Json.member "app" b = Some (Json.Str name))
+          base_apps
+      with
+      | None -> Fmt.pf fmt "  %-28s not in baseline (skipped)@\n" name
+      | Some b ->
+          (match
+             ( Option.bind (Json.member "total_s" b) num,
+               Option.bind (Json.member "total_s" cur_app) num )
+           with
+          | Some bb, Some cc ->
+              check ~scope:name ~metric:"total_s" ~floor:floor_s bb cc
+          | _ -> ());
+          (match (Json.member "phases" b, Json.member "phases" cur_app) with
+          | Some (Json.Obj bp), Some (Json.Obj cp) ->
+              List.iter
+                (fun (ph, cv) ->
+                  match Option.bind (List.assoc_opt ph bp) num with
+                  | Some bb -> (
+                      match num cv with
+                      | Some cc ->
+                          check ~scope:name ~metric:("phase." ^ ph)
+                            ~floor:floor_s bb cc
+                      | None -> ())
+                  | None -> ())
+                cp
+          | _ -> ()))
+    apps;
+  (* Fleet-level p50/p95 (µs) across all apps; p99 is skipped — with one
+     histogram observation per phase per app it is all tail noise. *)
+  let floor_us = 5000.0 in
+  (match (Json.member "phase_percentiles" base, percentiles) with
+  | Some (Json.Obj bp), Json.Obj cp ->
+      List.iter
+        (fun (ph, cv) ->
+          match List.assoc_opt ph bp with
+          | None -> ()
+          | Some bv ->
+              List.iter
+                (fun metric ->
+                  match
+                    ( Option.bind (Json.member metric bv) num,
+                      Option.bind (Json.member metric cv) num )
+                  with
+                  | Some bb, Some cc ->
+                      check ~scope:("fleet." ^ ph) ~metric ~floor:floor_us bb
+                        cc
+                  | _ -> ())
+                [ "p50_us"; "p95_us" ])
+        cp
+  | _ -> ());
+  let rows = List.rev !rows in
+  Fmt.pf fmt "  %-28s %-24s %12s %12s %8s@\n" "scope" "metric" "baseline"
+    "current" "ratio";
+  List.iter
+    (fun (scope, metric, b, c, ratio, regressed) ->
+      Fmt.pf fmt "  %-28s %-24s %12.6f %12.6f %7.2fx%s@\n" scope metric b c
+        ratio
+        (if regressed then "  REGRESSED" else ""))
+    rows;
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "pipeline");
+        ("apps", Json.List apps);
+        ("phase_percentiles", percentiles);
+        ( "comparison",
+          Json.Obj
+            [
+              ("baseline", Json.Str baseline);
+              ("threshold", Json.Float threshold);
+              ("regressions", Json.Int !regressions);
+              ( "rows",
+                Json.List
+                  (List.map
+                     (fun (scope, metric, b, c, ratio, regressed) ->
+                       Json.Obj
+                         [
+                           ("scope", Json.Str scope);
+                           ("metric", Json.Str metric);
+                           ("baseline", Json.Float b);
+                           ("current", Json.Float c);
+                           ("ratio", Json.Float ratio);
+                           ("regressed", Json.Bool regressed);
+                         ])
+                     rows) );
+            ] );
+      ]
+  in
+  Extr_telemetry.Export.write_file json (Json.to_string doc ^ "\n");
+  Fmt.pf fmt "  comparison written to %s@\n" json;
+  if !regressions > 0 then begin
+    Fmt.pf fmt "  %d regression(s) past %.2fx@\n" !regressions threshold;
+    exit exit_regressed
+  end
+  else Fmt.pf fmt "  no regressions past %.2fx@\n" threshold
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenches                                              *)
 (* ------------------------------------------------------------------ *)
 
 let bench_counter = Metrics.counter "bench.noop"
+
+(* Disabled-profiler fast path: the cursor against its own (disabled)
+   accumulator, so the bench never flips the default instance. *)
+let bench_cursor =
+  Profile.cursor
+    ~profile:(Profile.create ())
+    ~phase:"bench" ~render:Ir.Method_id.to_string ()
+
+let bench_mid = { Ir.id_cls = "bench"; id_name = "noop" }
 
 let run_micro () =
   let open Bechamel in
@@ -478,6 +656,18 @@ let run_micro () =
              ignore (Pipeline.analyze ~options:Pipeline.default_options rr_apk);
              Span.set_enabled Span.default false;
              Metrics.set_enabled Metrics.default false));
+      (* Method-level profiler overhead: the disabled cursor visit is
+         one flag check, and a profiler-enabled pipeline run bounds the
+         enabled cost (clock reads only on method switches) against
+         pipeline:radio-reddit above — the <5% budget. *)
+      Test.make ~name:"telemetry:profile-visit-disabled"
+        (Staged.stage (fun () -> Profile.visit bench_cursor bench_mid));
+      Test.make ~name:"pipeline:radio-reddit-profiled"
+        (Staged.stage (fun () ->
+             Profile.reset Profile.default;
+             Profile.set_enabled Profile.default true;
+             ignore (Pipeline.analyze ~options:Pipeline.default_options rr_apk);
+             Profile.set_enabled Profile.default false));
       (* Provenance overhead: the disabled recorder is one flag check at
          every instrumentation site (the default configuration), and a
          provenance-enabled pipeline run bounds the evidence-recording
@@ -834,9 +1024,38 @@ let all () =
   run_timing ();
   run_micro ()
 
+(* bench --baseline FILE [--threshold X] [--json OUT] *)
+let parse_baseline args =
+  let baseline = ref None in
+  let threshold = ref None in
+  let json = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--baseline" :: path :: rest ->
+        baseline := Some path;
+        go rest
+    | "--threshold" :: t :: rest -> (
+        match float_of_string_opt t with
+        | Some f when f > 0. ->
+            threshold := Some f;
+            go rest
+        | _ -> Fmt.failwith "invalid --threshold %S" t)
+    | "--json" :: path :: rest ->
+        json := Some path;
+        go rest
+    | arg :: _ -> Fmt.failwith "unknown bench --baseline argument %S" arg
+  in
+  go args;
+  match !baseline with
+  | None -> Fmt.failwith "--baseline needs a FILE"
+  | Some baseline ->
+      run_baseline ~baseline ?threshold:!threshold ?json:!json ()
+
 let () =
   match Sys.argv with
   | [| _ |] -> all ()
+  | _ when Array.length Sys.argv > 1 && Sys.argv.(1) = "--baseline" ->
+      parse_baseline (List.tl (Array.to_list Sys.argv))
   | [| _; "table1" |] -> run_table1 ()
   | [| _; "fig6" |] -> run_fig6 ()
   | [| _; "fig7" |] -> run_fig7 ()
@@ -860,4 +1079,6 @@ let () =
   | _ ->
       Fmt.epr
         "usage: bench          [table1|fig6|fig7|table2|table3|table4|table5|table6|fig3|fig5|timing|micro|ablate-*]@.";
+      Fmt.epr
+        "       bench --baseline FILE [--threshold X] [--json OUT]   regression diff against a committed timing baseline@.";
       exit 1

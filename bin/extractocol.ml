@@ -86,8 +86,25 @@ let validate_trace (report : Report.t) path =
         unmatched;
       if unmatched = [] then exit_ok else exit_degraded
 
+(* Method-level profiler artifact: the JSON (per-method rows, waste
+   summary, per-phase rollup) plus the collapsed-stack FILE.folded
+   companion for flamegraph tools.  [lanes] carries every tracer whose
+   spans should weigh the folded stacks — the coordinator's plus, under
+   --all --jobs N, one per worker. *)
+let write_profile_out lanes path =
+  Telemetry.Export.write_file path
+    (Telemetry.Export.profile_json
+       ~phases:(Telemetry.Export.phase_rollup lanes)
+       Telemetry.Profile.default);
+  Telemetry.Export.write_file (path ^ ".folded")
+    (Telemetry.Export.folded_lanes lanes)
+
+let print_hotspots k =
+  Fmt.epr "%a" (Telemetry.Export.pp_hotspots ~k) Telemetry.Profile.default
+
 let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
-    trace trace_out metrics_out profile explain provenance_out limits =
+    trace trace_out metrics_out profile hotspots profile_out explain
+    provenance_out limits =
   let apk =
     match limple_file with
     | Some path ->
@@ -137,11 +154,18 @@ let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
       op_limits = limits;
     }
   in
-  let telemetry_on = trace_out <> None || metrics_out <> None || profile in
+  let profiling_on = hotspots <> None || profile_out <> None in
+  let telemetry_on =
+    trace_out <> None || metrics_out <> None || profile || profiling_on
+  in
   if telemetry_on then begin
     Telemetry.Span.set_enabled Telemetry.Span.default true;
     Telemetry.Metrics.set_enabled Telemetry.Metrics.default true
   end;
+  (* The method-level profiler needs the span tracer too: the folded
+     export and the per-phase rollup weigh phase spans. *)
+  if profiling_on then
+    Telemetry.Profile.set_enabled Telemetry.Profile.default true;
   let provenance_on = explain <> None || provenance_out <> None in
   if provenance_on then Provenance.set_enabled Provenance.default true;
   let analysis = Pipeline.analyze ~options apk in
@@ -172,6 +196,11 @@ let analyze_app name scope async intents obfuscate obf_libs limple_file json dot
     Fmt.epr "%a" Telemetry.Export.pp_profile Telemetry.Span.default;
     Fmt.epr "%a@." Telemetry.Metrics.pp_summary Telemetry.Metrics.default
   end;
+  Option.iter
+    (try_write
+       (write_profile_out [ Telemetry.Span.spans Telemetry.Span.default ]))
+    profile_out;
+  Option.iter print_hotspots hotspots;
   match trace with
   | Some path -> validate_trace analysis.Pipeline.an_report path
   | None -> (
@@ -258,7 +287,7 @@ let parse_crash_at spec =
       exit exit_usage
 
 let run_all limits force_crash journal resume cache_dir report_out crash_at
-    retries jobs metrics_out trace_out progress =
+    retries jobs metrics_out trace_out hotspots profile_out progress =
   (* Arm the injected kill-point before anything runs: the Nth entry to
      the named pipeline phase terminates the process with exit 99,
      leaving the journal mid-run — exactly what --resume recovers from. *)
@@ -275,6 +304,13 @@ let run_all limits force_crash journal resume cache_dir report_out crash_at
      "coordinator" lane of the merged trace. *)
   if trace_out <> None then
     Telemetry.Span.set_enabled Telemetry.Span.default true;
+  (* Workers inherit the enabled profiler across fork and ship their
+     per-task profile deltas back with each result; the coordinator
+     merges them, so the aggregate matches a --jobs 1 run exactly. *)
+  if hotspots <> None || profile_out <> None then begin
+    Telemetry.Profile.set_enabled Telemetry.Profile.default true;
+    Telemetry.Span.set_enabled Telemetry.Span.default true
+  end;
   (* SIGINT/SIGTERM unwind the run as Barrier.Interrupted: the runner
      returns the partial results, the journal is already flushed (every
      append is atomic), and we still print the table below. *)
@@ -386,6 +422,13 @@ let run_all limits force_crash journal resume cache_dir report_out crash_at
              Telemetry.Export.write_file path
                (Telemetry.Export.chrome_trace_lanes lanes)))
         trace_out;
+      Option.iter
+        (try_write
+           (write_profile_out
+              (Telemetry.Span.spans Telemetry.Span.default
+              :: List.map snd run.Runner.rn_worker_spans)))
+        profile_out;
+      Option.iter print_hotspots hotspots;
       Runner.exit_code run
 
 let name_arg =
@@ -479,6 +522,32 @@ let profile_flag =
   let doc = "Print a per-phase profile table (wall clock, allocation,\n\
              major GCs) and the metrics summary to stderr." in
   Arg.(value & flag & info [ "profile" ] ~doc)
+
+let hotspots_arg =
+  let doc =
+    "Enable the method-level profiler and print the top-K hottest\n\
+     methods (self time, budget fuel, worklist visits, facts produced,\n\
+     per analysis phase) plus the per-app waste summary to stderr\n\
+     after the run (default K: 20)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some 20) (some int) None
+    & info [ "hotspots" ] ~docv:"K" ~doc)
+
+let profile_out_arg =
+  let doc =
+    "Enable the method-level profiler and write its artifact to FILE:\n\
+     per-method time/fuel/visits/facts rows, the per-app waste summary\n\
+     and a per-phase rollup as JSON, plus a collapsed-stack\n\
+     $(i,FILE).folded companion (feed it to flamegraph.pl or\n\
+     speedscope).  Under $(b,--all --jobs N) the workers' per-task\n\
+     profile deltas are merged so the aggregate matches a sequential\n\
+     run.  $(b,extractocol stats --profile FILE) renders the artifact\n\
+     offline."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
 
 let explain_arg =
   let doc =
@@ -650,9 +719,9 @@ let analyze_term =
   Term.(
     const
       (fun log_level list name scope async intents obf obf_libs limple json
-           dot trace trace_out metrics_out profile explain provenance_out
-           max_steps max_depth deadline all force_crash journal resume
-           cache_dir report_out crash_at retries jobs progress ->
+           dot trace trace_out metrics_out profile hotspots profile_out
+           explain provenance_out max_steps max_depth deadline all force_crash
+           journal resume cache_dir report_out crash_at retries jobs progress ->
         setup_logs log_level;
         let limits =
           {
@@ -664,25 +733,27 @@ let analyze_term =
         if list then list_apps ()
         else if all then
           run_all limits force_crash journal resume cache_dir report_out
-            crash_at retries jobs metrics_out trace_out progress
+            crash_at retries jobs metrics_out trace_out hotspots profile_out
+            progress
         else
           analyze_app name scope async intents obf obf_libs limple json dot
-            trace trace_out metrics_out profile explain provenance_out limits)
+            trace trace_out metrics_out profile hotspots profile_out explain
+            provenance_out limits)
     $ log_level_arg $ list_flag $ name_arg $ scope_arg $ async_flag
     $ intents_flag $ obfuscate_flag $ obf_libs_flag $ limple_arg $ json_flag
     $ dot_flag $ trace_arg $ trace_out_arg $ metrics_out_arg $ profile_flag
-    $ explain_arg $ provenance_out_arg $ max_steps_arg $ max_depth_arg
-    $ deadline_arg $ all_flag $ force_crash_arg $ journal_arg $ resume_flag
-    $ cache_dir_arg $ report_out_arg $ crash_at_arg $ retries_arg $ jobs_arg
-    $ progress_flag)
+    $ hotspots_arg $ profile_out_arg $ explain_arg $ provenance_out_arg
+    $ max_steps_arg $ max_depth_arg $ deadline_arg $ all_flag
+    $ force_crash_arg $ journal_arg $ resume_flag $ cache_dir_arg
+    $ report_out_arg $ crash_at_arg $ retries_arg $ jobs_arg $ progress_flag)
 
 (* ------------------------------------------------------------------ *)
 (* stats: offline run reconstruction from artifacts                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_stats log_level journal cache_dir metrics =
+let run_stats log_level journal cache_dir metrics profile =
   setup_logs log_level;
-  match Stats.of_artifacts ~journal ?cache_dir ?metrics () with
+  match Stats.of_artifacts ~journal ?cache_dir ?metrics ?profile () with
   | Error msg ->
       Fmt.epr "%s@." msg;
       exit_usage
@@ -704,8 +775,10 @@ let stats_cmd =
          footer, per-app wall times and the slowest apps, the \
          retry-ladder and crash taxonomies, and the cache hit rate.  \
          With $(b,--metrics), per-phase latency percentiles \
-         (p50/p95/p99) from the metrics snapshot are appended.  The \
-         journal is opened read-only and never truncated.";
+         (p50/p95/p99) from the metrics snapshot are appended; with \
+         $(b,--profile), the hot-method table and the per-app waste \
+         summary from the $(b,--profile-out) artifact.  The journal is \
+         opened read-only and never truncated.";
     ]
   in
   let journal =
@@ -730,13 +803,39 @@ let stats_cmd =
     Arg.(
       value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
   in
+  let profile =
+    let doc =
+      "The run's $(b,--profile-out) artifact; adds the hot-method table\n\
+       and the per-app waste summary."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "stats" ~doc ~man ~exits)
-    Term.(const run_stats $ log_level_arg $ journal $ cache_dir $ metrics)
+    Term.(
+      const run_stats $ log_level_arg $ journal $ cache_dir $ metrics
+      $ profile)
+
+let doc = "reconstruct HTTP transactions from an Android app binary"
 
 let cmd =
-  let doc = "reconstruct HTTP transactions from an Android app binary" in
   let info = Cmd.info "extractocol" ~version:"1.0" ~doc ~exits in
   Cmd.group ~default:analyze_term info [ stats_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+(* A positional that is not a subcommand name is a corpus app:
+   [extractocol kayak --hotspots].  Cmd.group would reject it as an
+   unknown command, so route those invocations straight to the analyze
+   term; everything else (no args, options only, [stats ...]) goes
+   through the group so subcommands and group help keep working. *)
+let analyze_cmd =
+  Cmd.v (Cmd.info "extractocol" ~version:"1.0" ~doc ~exits) analyze_term
+
+let () =
+  let positional_app =
+    Array.length Sys.argv > 1
+    && String.length Sys.argv.(1) > 0
+    && Sys.argv.(1).[0] <> '-'
+    && Sys.argv.(1) <> "stats"
+  in
+  exit (Cmd.eval' (if positional_app then analyze_cmd else cmd))

@@ -1,0 +1,257 @@
+(* Build-time guard for the method-level profiler: drive the real CLI
+   with --profile-out/--hotspots on, then require
+
+   1. the profile artifact to be well-formed, with per-method attribution
+      that sums to no more than the enclosing pipeline phase span (a
+      profile phase like "slicing.backward" maps to the span of its
+      prefix, "pipeline.slicing");
+   2. the collapsed-stack FILE.folded companion to be well-formed: every
+      line "frame;frame;... count" with non-empty frames and a
+      non-negative integer count;
+   3. profiling to be observation-only: an --all run with the profiler on
+      writes a report envelope byte-identical to one with it off;
+   4. the --jobs 1 and --jobs N profile aggregates to agree exactly on
+      every count (fuel, visits, facts, methods, waste rows) — wall
+      times are summed across workers, never compared.
+
+   N comes from PROFILE_JOBS (default 4, capped at 8).  Invoked from the
+   runtest alias with the extractocol binary's path; all intermediate
+   state lives in a private temp directory. *)
+
+module C = Check_common
+module Json = Extr_httpmodel.Json
+
+let ck = C.create "profile_check"
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let num_member key obj =
+  match Json.member key obj with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* 1: attribution within the enclosing phase span                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A method's wall time is flushed by the cursor inside the engine's
+   worklist loop, which itself runs inside the pipeline phase span —
+   so per-phase attribution can never exceed the span's cumulative
+   time (5 ms of slack absorbs clock granularity). *)
+let check_attribution prof =
+  let rows = Option.value ~default:[] (C.list_member "profile" prof) in
+  if rows = [] then C.fail ck "profile artifact has no method rows";
+  let sums = Hashtbl.create 4 in
+  List.iter
+    (fun r ->
+      (match C.str_member "method" r with
+      | Some m when m <> "" -> ()
+      | _ -> C.fail ck "profile row without a method name");
+      (match C.int_member "visits" r with
+      | Some v when v >= 0 -> ()
+      | _ -> C.fail ck "profile row with a bad visits count");
+      (match C.int_member "fuel" r with
+      | Some f when f >= 0 -> ()
+      | _ -> C.fail ck "profile row with a bad fuel count");
+      let t = Option.value ~default:0.0 (num_member "time_s" r) in
+      if t < 0.0 then C.fail ck "profile row with negative time";
+      match C.str_member "phase" r with
+      | None -> C.fail ck "profile row without a phase"
+      | Some phase ->
+          let prefix =
+            match String.index_opt phase '.' with
+            | Some i -> String.sub phase 0 i
+            | None -> phase
+          in
+          Hashtbl.replace sums prefix
+            (t +. Option.value ~default:0.0 (Hashtbl.find_opt sums prefix)))
+    rows;
+  let phases = Option.value ~default:[] (C.list_member "phases" prof) in
+  let cum name =
+    List.find_map
+      (fun p ->
+        if C.str_member "phase" p = Some name then num_member "cum_s" p
+        else None)
+      phases
+  in
+  Hashtbl.iter
+    (fun prefix total ->
+      let span = "pipeline." ^ prefix in
+      match cum span with
+      | None -> C.fail ck "profile phase rollup has no %s span" span
+      | Some c ->
+          if total > c +. 0.005 then
+            C.fail ck
+              "method attribution for %s sums to %.6fs, exceeding its \
+               enclosing %s span (%.6fs)"
+              prefix total span c)
+    sums
+
+let check_waste prof ~scope =
+  match C.list_member "waste" prof with
+  | None | Some [] -> C.fail ck "profile artifact has no waste rows"
+  | Some rows ->
+      let found = ref false in
+      List.iter
+        (fun r ->
+          let touched =
+            Option.value ~default:(-1) (C.int_member "touched_methods" r)
+          in
+          let contributing =
+            Option.value ~default:(-1) (C.int_member "contributing_methods" r)
+          in
+          let ratio = Option.value ~default:(-1.0) (num_member "waste_ratio" r) in
+          if touched < 0 || contributing < 0 || contributing > touched then
+            C.fail ck "waste row with impossible counts (%d touched, %d contributing)"
+              touched contributing;
+          if ratio < 0.0 || ratio > 1.0 then
+            C.fail ck "waste ratio %.3f outside [0, 1]" ratio;
+          if C.str_member "scope" r = Some scope then begin
+            found := true;
+            if touched = 0 then
+              C.fail ck "waste row for %s touched no methods" scope
+          end)
+        rows;
+      if not !found then C.fail ck "no waste row for %s" scope
+
+(* ------------------------------------------------------------------ *)
+(* 2: folded well-formedness                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_folded path =
+  let lines = String.split_on_char '\n' (C.read_file path) in
+  let n = ref 0 in
+  List.iter
+    (fun line ->
+      if line <> "" then begin
+        incr n;
+        match String.rindex_opt line ' ' with
+        | None -> C.fail ck "folded line has no count: %S" line
+        | Some i ->
+            let stack = String.sub line 0 i in
+            let count = String.sub line (i + 1) (String.length line - i - 1) in
+            (match int_of_string_opt count with
+            | Some c when c >= 0 -> ()
+            | _ ->
+                C.fail ck "folded count is not a non-negative integer: %S"
+                  line);
+            if stack = "" then C.fail ck "folded line has an empty stack: %S" line
+            else
+              List.iter
+                (fun frame ->
+                  if frame = "" then
+                    C.fail ck "folded line has an empty frame: %S" line)
+                (String.split_on_char ';' stack)
+      end)
+    lines;
+  if !n = 0 then C.fail ck "folded export %s is empty" path
+
+(* ------------------------------------------------------------------ *)
+(* 4: count-exact aggregation across jobs settings                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Zero every wall-time field, keeping all counts: what must agree
+   exactly between --jobs 1 and --jobs N.  Times are sums of per-worker
+   measurements, deterministic in structure but not in value. *)
+let rec scrub = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "time_s" || k = "cum_s" || k = "self_s" then
+               (k, Json.Float 0.0)
+             else (k, scrub v))
+           fields)
+  | Json.List l -> Json.List (List.map scrub l)
+  | j -> j
+
+let check exe =
+  let exe =
+    if Filename.is_relative exe then Filename.concat (Sys.getcwd ()) exe
+    else exe
+  in
+  let jobs = min 8 (C.env_int ck "PROFILE_JOBS" ~default:4) in
+  let jobs_s = string_of_int jobs in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "profile_check.%d" (Unix.getpid ()))
+  in
+  Sys.mkdir tmp 0o755;
+  let p name = Filename.concat tmp name in
+  let run_cli ~expect label args =
+    let out = p (label ^ ".out") in
+    let code =
+      Sys.command (Filename.quote_command exe args ~stdout:out ~stderr:out)
+    in
+    if code <> expect then
+      C.fail ck "%s run exited %d, expected %d (see %s)" label code expect out;
+    C.read_file out
+  in
+  (* Single-app profile: artifact well-formedness, attribution bounds,
+     waste accounting, the folded companion and the --hotspots table. *)
+  let single_out =
+    run_cli ~expect:0 "single"
+      [ "--profile-out"; p "prof.json"; "--hotspots"; "5"; "radio reddit" ]
+  in
+  let prof = C.load_json ck (p "prof.json") in
+  check_attribution prof;
+  check_waste prof ~scope:"radio reddit";
+  check_folded (p "prof.json.folded");
+  if not (C.contains ~needle:"waste[radio reddit]" single_out) then
+    C.fail ck "--hotspots did not print the waste summary";
+  if not (C.contains ~needle:"slicing" single_out) then
+    C.fail ck "--hotspots table names no slicing phase";
+  (* Observation-only: the corpus report envelope must not change when
+     the profiler records. *)
+  let _ =
+    run_cli ~expect:0 "off"
+      [ "--all"; "--jobs"; jobs_s; "--report-out"; p "off.json" ]
+  in
+  let _ =
+    run_cli ~expect:0 "on"
+      [
+        "--all"; "--jobs"; jobs_s; "--report-out"; p "on.json";
+        "--profile-out"; p ("p" ^ jobs_s ^ ".json");
+      ]
+  in
+  if not (String.equal (C.read_file (p "off.json")) (C.read_file (p "on.json")))
+  then
+    C.fail ck
+      "profiling changed the --all report envelope (%s vs %s must be \
+       byte-identical)"
+      (p "on.json") (p "off.json");
+  (* Aggregation: --jobs 1 and --jobs N must agree on every count. *)
+  let _ =
+    run_cli ~expect:0 "p1"
+      [ "--all"; "--jobs"; "1"; "--profile-out"; p "p1.json" ]
+  in
+  let scrubbed path = Json.to_string (scrub (C.load_json ck path)) in
+  if
+    not
+      (String.equal
+         (scrubbed (p "p1.json"))
+         (scrubbed (p ("p" ^ jobs_s ^ ".json"))))
+  then
+    C.fail ck
+      "--jobs %s profile counts differ from --jobs 1 (%s vs %s with times \
+       zeroed)"
+      jobs_s
+      (p ("p" ^ jobs_s ^ ".json"))
+      (p "p1.json");
+  check_folded (p "p1.json.folded");
+  if ck.C.ck_failures = 0 then remove_tree tmp
+  else Fmt.epr "profile_check: intermediate state kept in %s@." tmp
+
+let () =
+  match Sys.argv with
+  | [| _; exe |] ->
+      check exe;
+      C.finish ck
+  | _ -> C.usage ck "EXTRACTOCOL_BINARY"

@@ -16,6 +16,7 @@ module Store = Extr_store.Store
 module Clock = Extr_telemetry.Clock
 module Metrics = Extr_telemetry.Metrics
 module Span = Extr_telemetry.Span
+module Profile = Extr_telemetry.Profile
 module Provenance = Extr_provenance.Provenance
 module Json = Extr_httpmodel.Json
 
@@ -392,9 +393,11 @@ let run_pooled ~jot ~try_restore ~cache ~config ~on_result ~on_state
   let take_telemetry () =
     let samples = Metrics.snapshot Metrics.default in
     let spans = Span.spans Span.default in
+    let profile = Profile.snapshot Profile.default in
     Metrics.reset Metrics.default;
     Span.reset Span.default;
-    (samples, spans, Unix.getpid ())
+    Profile.reset Profile.default;
+    (samples, spans, profile, Unix.getpid ())
   in
   let outcome =
     if tasks = [] then Pool.Completed
@@ -415,15 +418,17 @@ let run_pooled ~jot ~try_restore ~cache ~config ~on_result ~on_state
              task's delta. *)
           Metrics.reset Metrics.default;
           Span.reset Span.default;
+          Profile.reset Profile.default;
           let r, key_s =
             run_app ~jot:emit ~do_store:(fun _ _ -> ()) ~cache o ~config id e
           in
-          let samples, spans, pid = take_telemetry () in
-          (r, key_s, samples, spans, pid))
+          let samples, spans, profile, pid = take_telemetry () in
+          (r, key_s, samples, spans, profile, pid))
         ~farewell:take_telemetry
         ~on_event:jot
-        ~on_bye:(fun (samples, spans, pid) ->
+        ~on_bye:(fun (samples, spans, profile, pid) ->
           Metrics.merge_samples Metrics.default samples;
+          Profile.merge Profile.default profile;
           add_spans pid spans)
         ~on_death:(fun ~task:i ~reason ->
           let id, _ = entries.(i) in
@@ -462,9 +467,11 @@ let run_pooled ~jot ~try_restore ~cache ~config ~on_result ~on_state
             "",
             [],
             [],
+            { Profile.sn_entries = []; sn_wastes = [] },
             0 ))
-        ~on_result:(fun i (r, key_s, samples, spans, pid) ->
+        ~on_result:(fun i (r, key_s, samples, spans, profile, pid) ->
           Metrics.merge_samples Metrics.default samples;
+          Profile.merge Profile.default profile;
           add_spans pid spans;
           (match (cache, r.ar_report_json) with
           | Some c, Some data when not r.ar_cached -> (

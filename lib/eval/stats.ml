@@ -25,6 +25,22 @@ type phase = {
   ph_p99_us : float option;
 }
 
+type hotspot = {
+  hs_meth : string;
+  hs_phase : string;
+  hs_time_s : float;
+  hs_fuel : int;
+  hs_visits : int;
+  hs_facts : int;
+}
+
+type waste = {
+  ws_scope : string;
+  ws_touched : int;
+  ws_contributing : int;
+  ws_ratio : float;
+}
+
 type t = {
   rs_config : string;
   rs_apps : app list;  (* journal order of first appearance *)
@@ -38,6 +54,8 @@ type t = {
   rs_wall_s : float option;  (* first stamp -> last stamp *)
   rs_cache_entries : int option;  (* entries on disk under --cache-dir *)
   rs_phases : phase list;  (* pipeline.phase_us series from --metrics *)
+  rs_hotspots : hotspot list;  (* profile rows from --profile, time desc *)
+  rs_wastes : waste list;  (* waste rows from --profile, by scope *)
 }
 
 (* The exact footer line run_all prints, so `extractocol stats` can be
@@ -219,7 +237,70 @@ let phases_of_metrics_json contents =
              | _ -> None)
            series)
 
-let of_artifacts ~journal ?cache_dir ?metrics () =
+let json_int k j =
+  match Json.member k j with
+  | Some (Json.Int n) -> Some n
+  | Some (Json.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let json_str k j =
+  match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+
+(* The --profile-out artifact: per-method attribution rows plus the
+   waste summary.  The file keeps rows in deterministic (phase, method)
+   order so reruns diff cleanly; hotspot display wants self time
+   descending, so re-sort here. *)
+let profile_of_json contents =
+  match Json.of_string_opt contents with
+  | None -> Error "profile file is not valid JSON"
+  | Some j ->
+      let rows =
+        match Json.member "profile" j with Some (Json.List l) -> l | _ -> []
+      in
+      let hotspots =
+        List.filter_map
+          (fun m ->
+            match json_str "method" m with
+            | None -> None
+            | Some meth ->
+                Some
+                  {
+                    hs_meth = meth;
+                    hs_phase = Option.value ~default:"?" (json_str "phase" m);
+                    hs_time_s = Option.value ~default:0.0 (json_num "time_s" m);
+                    hs_fuel = Option.value ~default:0 (json_int "fuel" m);
+                    hs_visits = Option.value ~default:0 (json_int "visits" m);
+                    hs_facts = Option.value ~default:0 (json_int "facts" m);
+                  })
+          rows
+        |> List.stable_sort (fun a b -> compare b.hs_time_s a.hs_time_s)
+      in
+      let wastes =
+        match Json.member "waste" j with
+        | Some (Json.List l) ->
+            List.filter_map
+              (fun m ->
+                match json_str "scope" m with
+                | None -> None
+                | Some scope ->
+                    Some
+                      {
+                        ws_scope = scope;
+                        ws_touched =
+                          Option.value ~default:0
+                            (json_int "touched_methods" m);
+                        ws_contributing =
+                          Option.value ~default:0
+                            (json_int "contributing_methods" m);
+                        ws_ratio =
+                          Option.value ~default:0.0 (json_num "waste_ratio" m);
+                      })
+              l
+        | _ -> []
+      in
+      Ok (hotspots, wastes)
+
+let of_artifacts ~journal ?cache_dir ?metrics ?profile () =
   match Journal.read ~path:journal with
   | Error msg -> Error msg
   | Ok (config, events) -> (
@@ -242,9 +323,17 @@ let of_artifacts ~journal ?cache_dir ?metrics () =
             | exception Sys_error msg -> Error msg
             | contents -> phases_of_metrics_json contents)
       in
-      match phases with
-      | Error msg -> Error msg
-      | Ok phases ->
+      let prof =
+        match profile with
+        | None -> Ok ([], [])
+        | Some path -> (
+            match In_channel.with_open_text path In_channel.input_all with
+            | exception Sys_error msg -> Error msg
+            | contents -> profile_of_json contents)
+      in
+      match (phases, prof) with
+      | Error msg, _ | _, Error msg -> Error msg
+      | Ok phases, Ok (hotspots, wastes) ->
           Ok
             {
               rs_config = config;
@@ -259,6 +348,8 @@ let of_artifacts ~journal ?cache_dir ?metrics () =
               rs_wall_s = wall;
               rs_cache_entries = Option.bind cache_dir cache_entries;
               rs_phases = phases;
+              rs_hotspots = hotspots;
+              rs_wastes = wastes;
             })
 
 (* ------------------------------------------------------------------ *)
@@ -327,4 +418,23 @@ let pp fmt t =
         Fmt.pf fmt "  %-20s %8d %a %a %a@." p.ph_name p.ph_count pp_opt_ms
           p.ph_p50_us pp_opt_ms p.ph_p95_us pp_opt_ms p.ph_p99_us)
       t.rs_phases
+  end;
+  if t.rs_hotspots <> [] then begin
+    Fmt.pf fmt "@.hot methods (from profile, top 10 by self time):@.";
+    Fmt.pf fmt "  %-44s %-20s %9s %8s %8s %6s@." "method" "phase" "self(ms)"
+      "fuel" "visits" "facts";
+    List.iteri
+      (fun i h ->
+        if i < 10 then
+          Fmt.pf fmt "  %-44s %-20s %9.2f %8d %8d %6d@." h.hs_meth h.hs_phase
+            (h.hs_time_s *. 1e3) h.hs_fuel h.hs_visits h.hs_facts)
+      t.rs_hotspots
+  end;
+  if t.rs_wastes <> [] then begin
+    Fmt.pf fmt "@.analysis waste (methods touched but contributing to no reported transaction):@.";
+    List.iter
+      (fun w ->
+        Fmt.pf fmt "  %-28s %4d touched, %4d contributing, waste %.0f%%@."
+          w.ws_scope w.ws_touched w.ws_contributing (100.0 *. w.ws_ratio))
+      t.rs_wastes
   end

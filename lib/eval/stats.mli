@@ -36,6 +36,22 @@ type phase = {
   ph_p99_us : float option;
 }
 
+type hotspot = {
+  hs_meth : string;
+  hs_phase : string;  (** ["slicing.backward"], ["interpretation"], … *)
+  hs_time_s : float;  (** self time attributed to the method in the phase *)
+  hs_fuel : int;
+  hs_visits : int;
+  hs_facts : int;
+}
+
+type waste = {
+  ws_scope : string;  (** app name *)
+  ws_touched : int;
+  ws_contributing : int;
+  ws_ratio : float;  (** (touched − contributing) / touched *)
+}
+
 type t = {
   rs_config : string;  (** the journal header's config fingerprint *)
   rs_apps : app list;  (** journal order of first appearance *)
@@ -49,17 +65,21 @@ type t = {
   rs_wall_s : float option;  (** first to last record stamp *)
   rs_cache_entries : int option;  (** results on disk under the cache dir *)
   rs_phases : phase list;  (** [pipeline.phase_us] series, if metrics given *)
+  rs_hotspots : hotspot list;
+      (** [--profile-out] artifact rows, self time descending *)
+  rs_wastes : waste list;  (** waste rows from the profile artifact *)
 }
 
 val of_artifacts :
   journal:string ->
   ?cache_dir:string ->
   ?metrics:string ->
+  ?profile:string ->
   unit ->
   (t, string) result
-(** [Error] when the journal is missing/headerless or a given metrics
-    file is unreadable/not JSON.  A missing cache directory yields
-    [rs_cache_entries = None], not an error. *)
+(** [Error] when the journal is missing/headerless or a given metrics or
+    profile file is unreadable/not JSON.  A missing cache directory
+    yields [rs_cache_entries = None], not an error. *)
 
 val summary_line : t -> string
 (** Exactly the [--all] footer:
@@ -71,4 +91,6 @@ val slowest : ?n:int -> t -> (app * float) list
 
 val pp : Format.formatter -> t -> unit
 (** The full human-readable report: summary, slowest apps, retry ladder,
-    crash taxonomy, cache hit rate, per-phase percentile table. *)
+    crash taxonomy, cache hit rate, per-phase percentile table, and —
+    when a profile artifact was given — the hot-method table and the
+    per-app waste summary. *)

@@ -18,6 +18,7 @@ module Strsig = Extr_siglang.Strsig
 module Slicer = Extr_slicing.Slicer
 module Apk = Extr_apk.Apk
 module Metrics = Extr_telemetry.Metrics
+module Profile = Extr_telemetry.Profile
 module Provenance = Extr_provenance.Provenance
 module Resilience = Extr_resilience.Resilience
 open Absval
@@ -98,6 +99,10 @@ type t = {
   mutable steps : int;  (** statements interpreted (telemetry) *)
   budget : Resilience.Budget.t;  (** fuel / depth / deadline governance *)
   cfg_cache : (Ir.method_id, Cfg.t) Hashtbl.t;
+  prof : Ir.method_id Profile.cursor;
+      (** per-method cost attribution; statement-granular visits mean the
+          time between two statements is charged to the method executing
+          them, so inlined callees collect their own (self) time *)
 }
 
 (* Environments: the per-block signature database of §3.2 mapping each
@@ -205,6 +210,8 @@ let create ?(options = default_options) ?budget ?slices prog cg (apk : Apk.t) :
     steps = 0;
     budget;
     cfg_cache = Hashtbl.create 32;
+    prof =
+      Profile.cursor ~phase:"interpretation" ~render:Ir.Method_id.to_string ();
   }
 
 let cfg_of t mid =
@@ -250,6 +257,8 @@ let new_tx t ~dp : Txn.t =
   | None ->
       let id = t.tx_count in
       t.tx_count <- id + 1;
+      (* A raw transaction is the interpreter's "fact produced". *)
+      Profile.add_facts t.prof 1;
       let tx = Txn.create ~id ~dp ~origin:t.origin in
       Hashtbl.replace t.txs id tx;
       Hashtbl.replace t.tx_cache key id;
@@ -488,6 +497,8 @@ and exec_block t ~depth mid meth cfg b (state_in : state) rets : state =
     (fun idx ->
       ignore (Resilience.Budget.spend t.budget : bool);
       t.steps <- t.steps + 1;
+      Profile.visit t.prof mid;
+      Profile.spend t.prof 1;
       begin
         let sid = { Ir.sid_meth = mid; sid_idx = idx } in
         match body.(idx) with
@@ -793,6 +804,7 @@ let run t : Txn.t list =
         "abstract interpretation skipped basic blocks after the budget \
          tripped; transaction signatures may be fragmentary"
   | None -> ());
+  Profile.close t.prof;
   Metrics.incr m_stmts ~by:t.steps;
   Metrics.incr m_txs ~by:t.tx_count;
   Log.info (fun m ->

@@ -16,6 +16,7 @@ module Slicer = Extr_slicing.Slicer
 module Apk = Extr_apk.Apk
 module Span = Extr_telemetry.Span
 module Metrics = Extr_telemetry.Metrics
+module Profile = Extr_telemetry.Profile
 module Resilience = Extr_resilience.Resilience
 
 let src = Logs.Src.create "extractocol.pipeline" ~doc:"Extractocol pipeline stages"
@@ -52,6 +53,23 @@ let m_phase_us =
       [ 10.; 50.; 100.; 500.; 1_000.; 5_000.; 10_000.; 50_000.; 100_000.;
         500_000.; 1e6; 5e6; 1e7; 5e7; 1e8 ]
     "pipeline.phase_us"
+
+(* Waste metrics (profiling only): how much of the engines' per-method
+   work backed a transaction that survived to the final report — the
+   baseline number demand-driven slicing (ROADMAP item 1) must beat. *)
+let m_touched =
+  Metrics.gauge ~help:"distinct methods the analysis engines worked on (app)"
+    "profile.touched_methods"
+
+let m_contributing =
+  Metrics.gauge
+    ~help:"touched methods contributing to a reported transaction (app)"
+    "profile.contributing_methods"
+
+let m_waste =
+  Metrics.gauge
+    ~help:"fraction of touched methods contributing to no reported transaction (app)"
+    "profile.waste_ratio"
 
 type options = {
   op_async_heuristic : bool;  (** §3.4 heuristic: on for closed-source apps *)
@@ -150,6 +168,9 @@ let analyze ?(options = default_options) (apk : Apk.t) : analysis =
      accumulate on a fresh ledger so each app reports only its own. *)
   let budget = Resilience.Budget.create ~clock ~limits:options.op_limits () in
   Resilience.Degrade.reset Resilience.Degrade.default;
+  (* The profiler table accumulates across a corpus run; marking here
+     lets this run recover its own touched-method set afterwards. *)
+  let prof_mark = Profile.mark Profile.default in
   let apk, prog =
     phase "inject-libraries" @@ fun () ->
     let program = with_library_classes apk.Apk.program in
@@ -223,6 +244,58 @@ let analyze ?(options = default_options) (apk : Apk.t) : analysis =
     Metrics.set m_elapsed ~labels:[ ("app", app) ] elapsed;
     Metrics.incr m_transactions ~labels:[ ("app", app) ]
       ~by:(List.length report.Report.rp_transactions)
+  end;
+  (* Waste join: of the methods the engines touched this run, which back
+     a transaction in the final report?  A method contributes when it
+     anchors a reported transaction (DP statement, origin) or owns a
+     statement of a slice whose demarcation point got reported — the
+     same statement evidence the provenance slice steps record per DP,
+     joined directly against the slices so profiling does not require
+     the provenance recorder to be on. *)
+  if Profile.is_enabled Profile.default then begin
+    let module Sset = Set.Make (String) in
+    let touched =
+      Sset.of_list (Profile.methods_since Profile.default prof_mark)
+    in
+    let reported_dps =
+      List.fold_left
+        (fun acc (tr : Report.transaction) ->
+          Ir.Stmt_set.add tr.Report.tr_dp acc)
+        Ir.Stmt_set.empty report.Report.rp_transactions
+    in
+    let contrib =
+      List.fold_left
+        (fun acc (tr : Report.transaction) ->
+          Sset.add
+            (Ir.Method_id.to_string tr.Report.tr_dp.Ir.sid_meth)
+            (Sset.add (Ir.Method_id.to_string tr.Report.tr_origin) acc))
+        Sset.empty report.Report.rp_transactions
+    in
+    let contrib =
+      List.fold_left
+        (fun acc (sl : Slicer.slice) ->
+          if Ir.Stmt_set.mem sl.Slicer.sl_dp.Slicer.dp_stmt reported_dps then
+            Ir.Stmt_set.fold
+              (fun sid acc ->
+                Sset.add (Ir.Method_id.to_string sid.Ir.sid_meth) acc)
+              sl.Slicer.sl_stmts acc
+          else acc)
+        contrib
+        (slices.Slicer.r_request @ slices.Slicer.r_response)
+    in
+    let touched_n = Sset.cardinal touched in
+    let contributing_n = Sset.cardinal (Sset.inter touched contrib) in
+    Profile.record_waste Profile.default ~scope:app ~touched:touched_n
+      ~contributing:contributing_n;
+    if Metrics.is_enabled Metrics.default then begin
+      let labels = [ ("app", app) ] in
+      Metrics.set m_touched ~labels (float_of_int touched_n);
+      Metrics.set m_contributing ~labels (float_of_int contributing_n);
+      Metrics.set m_waste ~labels
+        (if touched_n = 0 then 0.0
+         else
+           float_of_int (touched_n - contributing_n) /. float_of_int touched_n)
+    end
   end;
   Log.info (fun m ->
       m "report: %d transactions after dedup (%.3fs)"

@@ -19,6 +19,7 @@ module Fact = Extr_taint.Fact
 module Forward = Extr_taint.Forward
 module Backward = Extr_taint.Backward
 module Metrics = Extr_telemetry.Metrics
+module Profile = Extr_telemetry.Profile
 module Provenance = Extr_provenance.Provenance
 module Resilience = Extr_resilience.Resilience
 
@@ -261,11 +262,15 @@ let augment_response_slice prog (sl : slice) : slice =
       sl.sl_stmts Ir.Method_set.empty
   in
   let included = ref sl.sl_stmts in
+  let prof =
+    Profile.cursor ~phase:"slicing.augment" ~render:Ir.Method_id.to_string ()
+  in
   let changed = ref true in
   while !changed do
     changed := false;
     Ir.Method_set.iter
       (fun mid ->
+        Profile.visit prof mid;
         match Prog.find_method prog mid with
         | None -> ()
         | Some m ->
@@ -305,12 +310,14 @@ let augment_response_slice prog (sl : slice) : slice =
                   in
                   if defines_used then begin
                     included := Ir.Stmt_set.add sid !included;
+                    Profile.add_facts prof 1;
                     changed := true
                   end
                 end)
               m.Ir.m_body)
       methods
   done;
+  Profile.close prof;
   if Provenance.is_enabled Provenance.default then
     Ir.Stmt_set.iter
       (fun sid ->

@@ -10,6 +10,7 @@ module Prog = Extr_ir.Prog
 module Callgraph = Extr_cfg.Callgraph
 module Api = Extr_semantics.Api
 module Metrics = Extr_telemetry.Metrics
+module Profile = Extr_telemetry.Profile
 module Provenance = Extr_provenance.Provenance
 module Resilience = Extr_resilience.Resilience
 
@@ -44,6 +45,8 @@ type t = {
   mutable touched : Ir.Stmt_set.t;
   worklist : (Ir.method_id * int) Queue.t;
   preds : int list array Ir.Method_map.t;
+  prof : Ir.method_id Profile.cursor;
+      (** per-method cost attribution for the fixpoint loop *)
 }
 
 let create prog cg =
@@ -62,6 +65,9 @@ let create prog cg =
     touched = Ir.Stmt_set.empty;
     worklist = Queue.create ();
     preds;
+    prof =
+      Profile.cursor ~phase:"slicing.backward" ~render:Ir.Method_id.to_string
+        ();
   }
 
 let body_of t mid =
@@ -84,6 +90,9 @@ let merge_at t mid idx facts =
     let merged = Fact.Set.union arr.(idx) facts in
     if not (Fact.Set.equal merged arr.(idx)) then begin
       arr.(idx) <- merged;
+      (* A fact-set growth event, charged to the method the engine is
+         currently transferring (the producer). *)
+      Profile.add_facts t.prof 1;
       Queue.add (mid, idx) t.worklist
     end
   end
@@ -403,6 +412,8 @@ let run ?budget t =
   do
     incr steps;
     let mid, idx = Queue.pop t.worklist in
+    Profile.visit t.prof mid;
+    Profile.spend t.prof 1;
     let body = body_of t mid in
     if idx < Array.length body then begin
       let arr = after_array t mid in
@@ -414,6 +425,7 @@ let run ?budget t =
           List.iter (fun p -> merge_at t mid p out) pred_arr.(idx)
     end
   done;
+  Profile.close t.prof;
   (* Exhausting the budget with work still queued used to silently
      truncate the slice; now it is a recorded degradation. *)
   if not (Queue.is_empty t.worklist) then

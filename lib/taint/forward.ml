@@ -10,6 +10,7 @@ module Callgraph = Extr_cfg.Callgraph
 module Api = Extr_semantics.Api
 module Taint_model = Extr_semantics.Taint_model
 module Metrics = Extr_telemetry.Metrics
+module Profile = Extr_telemetry.Profile
 module Provenance = Extr_provenance.Provenance
 module Resilience = Extr_resilience.Resilience
 
@@ -50,6 +51,8 @@ type t = {
   mutable touched : Ir.Stmt_set.t;  (** statements touching tainted data *)
   worklist : (Ir.method_id * int) Queue.t;
   succs : int list array Ir.Method_map.t;
+  prof : Ir.method_id Profile.cursor;
+      (** per-method cost attribution for the fixpoint loop *)
 }
 
 let create prog cg =
@@ -68,6 +71,8 @@ let create prog cg =
     touched = Ir.Stmt_set.empty;
     worklist = Queue.create ();
     succs;
+    prof =
+      Profile.cursor ~phase:"slicing.forward" ~render:Ir.Method_id.to_string ();
   }
 
 let body_of t mid =
@@ -91,6 +96,9 @@ let merge_at t mid idx facts =
     let merged = Fact.Set.union arr.(idx) facts in
     if not (Fact.Set.equal merged arr.(idx)) then begin
       arr.(idx) <- merged;
+      (* A fact-set growth event, charged to the method the engine is
+         currently transferring (the producer). *)
+      Profile.add_facts t.prof 1;
       Queue.add (mid, idx) t.worklist
     end
   end
@@ -363,6 +371,8 @@ let run ?budget t =
   do
     incr steps;
     let mid, idx = Queue.pop t.worklist in
+    Profile.visit t.prof mid;
+    Profile.spend t.prof 1;
     let body = body_of t mid in
     if idx < Array.length body then begin
       let arr = before_array t mid in
@@ -373,6 +383,7 @@ let run ?budget t =
           List.iter (fun s -> merge_at t mid s out) succ_arr.(idx)
     end
   done;
+  Profile.close t.prof;
   (* Exhausting the budget with work still queued used to silently
      truncate the slice; now it is a recorded degradation. *)
   if not (Queue.is_empty t.worklist) then

@@ -228,6 +228,143 @@ let metrics_json (registry : Metrics.t) : string =
 let write_metrics path registry = write_file path (metrics_json registry)
 
 (* ------------------------------------------------------------------ *)
+(* Collapsed stacks (flamegraph folded format)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One line per distinct stack: frames root-first joined by ';', a
+   space, then the sample weight — self time in integer microseconds,
+   so flamegraph.pl / speedscope render the span tree directly.  Lanes
+   are folded independently (each is its own properly-nested recording)
+   and merged by summing; lines are sorted so the output is
+   deterministic under any lane order. *)
+let folded_lanes (lanes : Span.span list list) : string =
+  let weights : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun spans ->
+      List.iter
+        (fun (path, _, self_s) ->
+          let key = String.concat ";" path in
+          Hashtbl.replace weights key
+            (Float.max 0.0 (self_s *. 1e6)
+            +. Option.value ~default:0.0 (Hashtbl.find_opt weights key)))
+        (Span.stacked spans))
+    lanes;
+  let lines =
+    Hashtbl.fold
+      (fun stack w acc -> Printf.sprintf "%s %.0f" stack w :: acc)
+      weights []
+  in
+  String.concat "\n" (List.sort compare lines) ^ "\n"
+
+let folded spans = folded_lanes [ spans ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-method profile                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Cumulative and self seconds per span name, summed over every
+   occurrence in every lane — the per-phase envelope the per-method
+   attribution must stay inside. *)
+let phase_rollup (lanes : Span.span list list) : (string * float * float) list =
+  let tbl : (string, float * float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun spans ->
+      List.iter
+        (fun (_, (sp : Span.span), self_s) ->
+          let cum, self =
+            Option.value ~default:(0.0, 0.0)
+              (Hashtbl.find_opt tbl sp.Span.sp_name)
+          in
+          Hashtbl.replace tbl sp.Span.sp_name
+            (cum +. Span.duration_s sp, self +. self_s))
+        (Span.stacked spans))
+    lanes;
+  Hashtbl.fold (fun name (cum, self) acc -> (name, cum, self) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let profile_json ?(phases = []) (profile : Profile.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"profile\":[";
+  List.iteri
+    (fun i (e : Profile.entry) ->
+      if i > 0 then Buffer.add_char buf ',';
+      buf_add_fields buf
+        [
+          ("method", str e.Profile.e_meth);
+          ("phase", str e.Profile.e_phase);
+          ("time_s", num e.Profile.e_time_s);
+          ("fuel", int e.Profile.e_fuel);
+          ("visits", int e.Profile.e_visits);
+          ("facts", int e.Profile.e_facts);
+        ])
+    (Profile.entries profile);
+  Buffer.add_string buf "],\"waste\":[";
+  List.iteri
+    (fun i (w : Profile.waste) ->
+      if i > 0 then Buffer.add_char buf ',';
+      buf_add_fields buf
+        [
+          ("scope", str w.Profile.w_scope);
+          ("touched_methods", int w.Profile.w_touched);
+          ("contributing_methods", int w.Profile.w_contributing);
+          ("waste_ratio", num (Profile.waste_ratio w));
+        ])
+    (Profile.wastes profile);
+  Buffer.add_string buf "],\"phases\":[";
+  List.iteri
+    (fun i (name, cum_s, self_s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      buf_add_fields buf
+        [ ("phase", str name); ("cum_s", num cum_s); ("self_s", num self_s) ])
+    phases;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* The --hotspots table: top-K (method, phase) rows by attributed time;
+   the cum column is the method's total across all phases, so a method
+   split between the slicer and the interpreter still reads as one hot
+   method. *)
+let pp_hotspots ?(k = 20) fmt (profile : Profile.t) =
+  let entries = Profile.entries profile in
+  let method_total : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Profile.entry) ->
+      Hashtbl.replace method_total e.Profile.e_meth
+        (e.Profile.e_time_s
+        +. Option.value ~default:0.0
+             (Hashtbl.find_opt method_total e.Profile.e_meth)))
+    entries;
+  let top =
+    List.stable_sort
+      (fun (a : Profile.entry) (b : Profile.entry) ->
+        compare b.Profile.e_time_s a.Profile.e_time_s)
+      entries
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  Fmt.pf fmt "%-52s %-20s %10s %10s %10s %10s %8s@\n" "method" "phase"
+    "self (ms)" "cum (ms)" "fuel" "visits" "facts";
+  List.iter
+    (fun (e : Profile.entry) ->
+      Fmt.pf fmt "%-52s %-20s %10.3f %10.3f %10d %10d %8d@\n" e.Profile.e_meth
+        e.Profile.e_phase
+        (1e3 *. e.Profile.e_time_s)
+        (1e3
+        *. Option.value ~default:0.0
+             (Hashtbl.find_opt method_total e.Profile.e_meth))
+        e.Profile.e_fuel e.Profile.e_visits e.Profile.e_facts)
+    (take k top);
+  List.iter
+    (fun (w : Profile.waste) ->
+      Fmt.pf fmt "waste[%s]: %d methods touched, %d contributing, ratio %.3f@\n"
+        w.Profile.w_scope w.Profile.w_touched w.Profile.w_contributing
+        (Profile.waste_ratio w))
+    (Profile.wastes profile)
+
+(* ------------------------------------------------------------------ *)
 (* Profile table                                                      *)
 (* ------------------------------------------------------------------ *)
 

@@ -35,6 +35,36 @@ val metrics_json : Metrics.t -> string
 
 val write_metrics : string -> Metrics.t -> unit
 
+val folded : Span.span list -> string
+(** The spans as collapsed stacks (the flamegraph.pl / speedscope
+    "folded" format): one line per distinct stack — frames root-first
+    joined by [';'], a space, and the stack's summed {e self} time in
+    integer microseconds.  Lines are sorted, so equal recordings fold
+    to byte-identical output. *)
+
+val folded_lanes : Span.span list list -> string
+(** {!folded} over several independent recordings (coordinator + worker
+    lanes): each lane folds on its own nesting, equal stacks merge by
+    summing. *)
+
+val phase_rollup : Span.span list list -> (string * float * float) list
+(** Per-span-name [(name, cumulative_s, self_s)] totals across all
+    lanes, sorted by name — the per-phase envelope a per-method
+    attribution must sum inside. *)
+
+val profile_json : ?phases:(string * float * float) list -> Profile.t -> string
+(** The profiler table as JSON:
+    [{"profile": [{"method", "phase", "time_s", "fuel", "visits",
+    "facts"}], "waste": [{"scope", "touched_methods",
+    "contributing_methods", "waste_ratio"}], "phases": [{"phase",
+    "cum_s", "self_s"}]}] — [phases] is typically {!phase_rollup} of the
+    run's span lanes. *)
+
+val pp_hotspots : ?k:int -> Format.formatter -> Profile.t -> unit
+(** Top-[k] hot-method table (method, phase, self/cumulative time,
+    fuel, visits, facts) followed by one waste line per recorded
+    scope. *)
+
 val pp_profile : Format.formatter -> Span.t -> unit
 (** Per-span profile table: duration, allocation and major-GC deltas,
     indented by nesting depth, in begin order. *)

@@ -1,0 +1,209 @@
+(* Per-method cost accumulator.  The worklist engines and the abstract
+   interpreter attribute their work to the method currently being
+   processed, keyed by (phase, method); the table answers "which methods
+   does the analysis burn time on" at a granularity the phase spans
+   cannot.
+
+   The hot-loop API is a {!cursor}: instead of a hashtable lookup and a
+   clock read per worklist iteration, the cursor caches the slot of the
+   method currently under the engine's hands and only flushes elapsed
+   time when the method changes.  Iterations that stay inside one method
+   — the overwhelmingly common case, since worklists drain per-statement
+   — cost one enabled check, one key comparison and two integer writes.
+
+   Disabled recording is a single [enabled] check, like provenance. *)
+
+type slot = {
+  mutable sl_time_s : float;  (* wall time attributed to the key *)
+  mutable sl_fuel : int;  (* budget steps spent while on the key *)
+  mutable sl_visits : int;  (* worklist visits / statements processed *)
+  mutable sl_facts : int;  (* facts (or artifacts) produced on the key *)
+  mutable sl_tick : int;  (* last {!mark} generation that touched it *)
+}
+
+type waste = {
+  w_scope : string;  (* the app the run analyzed *)
+  w_touched : int;  (* distinct methods the engines worked on *)
+  w_contributing : int;  (* of those, methods behind a reported transaction *)
+}
+
+type t = {
+  mutable enabled : bool;
+  p_clock : Clock.t;
+  slots : (string * string, slot) Hashtbl.t;  (* (phase, method) *)
+  mutable tick : int;
+  mutable wastes : waste list;  (* reverse record order *)
+}
+
+let create ?(clock = Clock.wall) ?(enabled = false) () =
+  { enabled; p_clock = clock; slots = Hashtbl.create 256; tick = 0; wastes = [] }
+
+let default = create ()
+let set_enabled t b = t.enabled <- b
+let is_enabled t = t.enabled
+
+let reset t =
+  Hashtbl.reset t.slots;
+  t.tick <- 0;
+  t.wastes <- []
+
+let slot t key =
+  match Hashtbl.find_opt t.slots key with
+  | Some s -> s
+  | None ->
+      let s =
+        { sl_time_s = 0.0; sl_fuel = 0; sl_visits = 0; sl_facts = 0; sl_tick = 0 }
+      in
+      Hashtbl.replace t.slots key s;
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Hot-loop cursors                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type 'k cursor = {
+  cu_t : t;
+  cu_phase : string;
+  cu_render : 'k -> string;
+  mutable cu_key : 'k option;  (* the method time is currently charged to *)
+  mutable cu_slot : slot option;  (* its slot (cached across iterations) *)
+  mutable cu_since : float;  (* clock reading at the last switch *)
+}
+
+let cursor ?(profile = default) ~phase ~render () =
+  { cu_t = profile; cu_phase = phase; cu_render = render; cu_key = None;
+    cu_slot = None; cu_since = 0.0 }
+
+(* Charge the elapsed wall time to the current slot and move the cursor
+   onto [k].  Only called on method switches, so the render allocation
+   and hashtable probe are per-switch, not per-iteration. *)
+let switch c k =
+  let now = c.cu_t.p_clock () in
+  (match c.cu_slot with
+  | Some s -> s.sl_time_s <- s.sl_time_s +. (now -. c.cu_since)
+  | None -> ());
+  let s = slot c.cu_t (c.cu_phase, c.cu_render k) in
+  s.sl_tick <- c.cu_t.tick;
+  c.cu_key <- Some k;
+  c.cu_slot <- Some s;
+  c.cu_since <- now
+
+let visit c k =
+  if c.cu_t.enabled then begin
+    (match c.cu_key with Some k0 when k0 = k -> () | Some _ | None -> switch c k);
+    match c.cu_slot with
+    | Some s -> s.sl_visits <- s.sl_visits + 1
+    | None -> ()
+  end
+
+let spend c n =
+  if c.cu_t.enabled then
+    match c.cu_slot with
+    | Some s -> s.sl_fuel <- s.sl_fuel + n
+    | None -> ()
+
+let add_facts c n =
+  if c.cu_t.enabled then
+    match c.cu_slot with
+    | Some s -> s.sl_facts <- s.sl_facts + n
+    | None -> ()
+
+let close c =
+  if c.cu_t.enabled then begin
+    (match c.cu_slot with
+    | Some s ->
+        let now = c.cu_t.p_clock () in
+        s.sl_time_s <- s.sl_time_s +. (now -. c.cu_since)
+    | None -> ());
+    c.cu_key <- None;
+    c.cu_slot <- None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Run marks (per-run touched sets)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The table accumulates across a whole --all run; a run marks the table
+   before it starts and asks afterwards which methods were touched since
+   — slots stamp the current generation whenever a cursor lands on
+   them. *)
+let mark t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+module Sset = Set.Make (String)
+
+let methods_since t generation =
+  Hashtbl.fold
+    (fun (_, meth) s acc ->
+      if s.sl_tick >= generation then Sset.add meth acc else acc)
+    t.slots Sset.empty
+  |> Sset.elements
+
+let record_waste t ~scope ~touched ~contributing =
+  if t.enabled then
+    t.wastes <- { w_scope = scope; w_touched = touched; w_contributing = contributing }
+                :: t.wastes
+
+(* Stable-sorted by scope so merged worker deltas render identically no
+   matter the completion order; a scope's own records (retries of one
+   app) keep their record order. *)
+let wastes t =
+  List.stable_sort
+    (fun a b -> compare a.w_scope b.w_scope)
+    (List.rev t.wastes)
+
+let waste_ratio w =
+  if w.w_touched = 0 then 0.0
+  else
+    float_of_int (w.w_touched - w.w_contributing) /. float_of_int w.w_touched
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (export + cross-process shipping)                        *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  e_phase : string;
+  e_meth : string;
+  e_time_s : float;
+  e_fuel : int;
+  e_visits : int;
+  e_facts : int;
+}
+
+type snapshot = { sn_entries : entry list; sn_wastes : waste list }
+
+let entries t =
+  Hashtbl.fold
+    (fun (phase, meth) s acc ->
+      {
+        e_phase = phase;
+        e_meth = meth;
+        e_time_s = s.sl_time_s;
+        e_fuel = s.sl_fuel;
+        e_visits = s.sl_visits;
+        e_facts = s.sl_facts;
+      }
+      :: acc)
+    t.slots []
+  |> List.sort (fun a b ->
+         match compare a.e_phase b.e_phase with
+         | 0 -> compare a.e_meth b.e_meth
+         | c -> c)
+
+let snapshot t = { sn_entries = entries t; sn_wastes = wastes t }
+
+(* Counts add, times add: merging worker deltas in any order yields the
+   same counts, so the aggregated method table under --jobs N matches
+   --jobs 1 exactly on everything except measured wall time (which is
+   summed, not compared). *)
+let merge t (sn : snapshot) =
+  List.iter
+    (fun e ->
+      let s = slot t (e.e_phase, e.e_meth) in
+      s.sl_time_s <- s.sl_time_s +. e.e_time_s;
+      s.sl_fuel <- s.sl_fuel + e.e_fuel;
+      s.sl_visits <- s.sl_visits + e.e_visits;
+      s.sl_facts <- s.sl_facts + e.e_facts)
+    sn.sn_entries;
+  t.wastes <- List.rev_append sn.sn_wastes t.wastes

@@ -1,0 +1,111 @@
+(** Per-method cost profiler: an enabled-gated accumulator keyed by
+    (phase, method id) counting wall time (through the injectable
+    {!Clock.t}), budget fuel spent, worklist visits / statements
+    processed, and facts produced.
+
+    The hot-loop API is the {!cursor}: the worklist engines tell it which
+    method every popped item belongs to, and the cursor charges the wall
+    time between switches to the method the engine was working on — one
+    clock read per method {e switch}, not per iteration.  Disabled
+    recording costs a single [enabled] check, like provenance. *)
+
+type t
+
+val create : ?clock:Clock.t -> ?enabled:bool -> unit -> t
+(** A fresh profiler (default: wall clock, disabled). *)
+
+val default : t
+(** The process-wide profiler the pipeline instrumentation uses. *)
+
+val set_enabled : t -> bool -> unit
+val is_enabled : t -> bool
+
+val reset : t -> unit
+(** Drop all accumulated slots, waste records and run marks. *)
+
+(** {1 Hot-loop cursors} *)
+
+type 'k cursor
+(** A phase-bound attribution point.  ['k] is the caller's method-id
+    type; it is only rendered to a string when the cursor switches
+    methods, so per-iteration calls never allocate. *)
+
+val cursor :
+  ?profile:t -> phase:string -> render:('k -> string) -> unit -> 'k cursor
+(** A cursor charging work to [phase] rows of [profile] (default:
+    {!default}).  Create one per engine run and {!close} it when the
+    loop exits. *)
+
+val visit : 'k cursor -> 'k -> unit
+(** The engine is now working on method [k]: counts one visit and, when
+    [k] differs from the previous visit, flushes the elapsed wall time
+    to the previous method. *)
+
+val spend : 'k cursor -> int -> unit
+(** Charge [n] budget-fuel steps to the method last visited. *)
+
+val add_facts : 'k cursor -> int -> unit
+(** Charge [n] produced facts to the method last visited. *)
+
+val close : 'k cursor -> unit
+(** Flush the outstanding elapsed time and detach the cursor.  The
+    cursor may be reused (the next {!visit} restarts timing). *)
+
+(** {1 Run marks and waste records} *)
+
+val mark : t -> int
+(** Start a new touched-generation and return it: slots a cursor lands
+    on from now on are stamped with it, so a run can ask afterwards
+    which methods it touched even though the table accumulates across a
+    whole corpus run. *)
+
+val methods_since : t -> int -> string list
+(** Distinct (sorted) method ids touched since the given {!mark}. *)
+
+type waste = {
+  w_scope : string;  (** the app the run analyzed *)
+  w_touched : int;  (** distinct methods the engines worked on *)
+  w_contributing : int;
+      (** of those, methods whose statements back a transaction in the
+          final report *)
+}
+
+val record_waste : t -> scope:string -> touched:int -> contributing:int -> unit
+(** Record one run's touched-vs-contributing join (no-op when
+    disabled). *)
+
+val wastes : t -> waste list
+(** All recorded waste rows, stable-sorted by scope so merged worker
+    deltas render identically regardless of completion order. *)
+
+val waste_ratio : waste -> float
+(** [(touched - contributing) / touched], 0 when nothing was touched —
+    the fraction of analyzed methods that never contributed to any
+    reported transaction. *)
+
+(** {1 Snapshots} *)
+
+type entry = {
+  e_phase : string;
+  e_meth : string;
+  e_time_s : float;
+  e_fuel : int;
+  e_visits : int;
+  e_facts : int;
+}
+
+type snapshot = { sn_entries : entry list; sn_wastes : waste list }
+
+val entries : t -> entry list
+(** The accumulated table, sorted by (phase, method). *)
+
+val snapshot : t -> snapshot
+(** {!entries} plus {!wastes} — marshalable, for shipping worker deltas
+    over the pool pipe. *)
+
+val merge : t -> snapshot -> unit
+(** Fold a shipped delta into the table: counts and times add, waste
+    rows append.  Addition is commutative, so merging in any arrival
+    order yields identical counts — the basis of the [--jobs N] ==
+    [--jobs 1] aggregation guarantee (times are summed, never
+    compared). *)

@@ -79,3 +79,50 @@ let spans t =
 let duration_s sp = sp.sp_end_s -. sp.sp_begin_s
 
 let find t name = List.find_opt (fun sp -> sp.sp_name = name) (spans t)
+
+(* Reconstruct the nesting tree from the flat completed-span list.
+   [with_span] records depth and begin order (seq), and spans nest
+   properly, so walking in begin order with an ancestor stack recovers
+   every span's path: a new span at depth d pops everything at depth
+   >= d — whatever remains at depths 0..d-1 is exactly its open
+   ancestor chain.  Self time is the span's duration minus its direct
+   children's durations. *)
+let stacked (spans : span list) =
+  let spans = List.sort (fun a b -> compare a.sp_seq b.sp_seq) spans in
+  let child_sum : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let stack = ref [] in
+  (* First pass: record each span's ancestor path and charge its
+     duration to its direct parent. *)
+  let paths =
+    List.map
+      (fun sp ->
+        stack := List.filter (fun s -> s.sp_depth < sp.sp_depth) !stack;
+        (match !stack with
+        | parent :: _ ->
+            Hashtbl.replace child_sum parent.sp_seq
+              (duration_s sp
+              +. Option.value ~default:0.0
+                   (Hashtbl.find_opt child_sum parent.sp_seq))
+        | [] -> ());
+        (* The stack is innermost-first; the path is root-first. *)
+        let path = List.rev_map (fun s -> s.sp_name) !stack @ [ sp.sp_name ] in
+        stack := sp :: !stack;
+        (path, sp))
+      spans
+  in
+  (* Second pass: child sums are complete only once every span has been
+     visited, so self time resolves here. *)
+  List.map
+    (fun (path, sp) ->
+      let children =
+        Option.value ~default:0.0 (Hashtbl.find_opt child_sum sp.sp_seq)
+      in
+      (path, sp, duration_s sp -. children))
+    paths
+
+let self_s spans sp =
+  match
+    List.find_opt (fun (_, sp', _) -> sp'.sp_seq = sp.sp_seq) (stacked spans)
+  with
+  | Some (_, _, self) -> self
+  | None -> duration_s sp

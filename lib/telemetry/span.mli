@@ -47,3 +47,15 @@ val duration_s : span -> float
 
 val find : t -> string -> span option
 (** First completed span with the given name. *)
+
+val stacked : span list -> (string list * span * float) list
+(** The spans with their nesting reconstructed, in begin order: each
+    span's root-first ancestor path (ending in the span's own name) and
+    its {e self} time — duration minus the summed durations of its
+    direct children, so for any span self + children == cumulative.
+    Input is a complete, properly-nested recording (what {!spans}
+    returns). *)
+
+val self_s : span list -> span -> float
+(** The span's self time within the given recording ([duration_s] if
+    the span is not part of it). *)

@@ -6,7 +6,9 @@
 module Clock = Extr_telemetry.Clock
 module Metrics = Extr_telemetry.Metrics
 module Export = Extr_telemetry.Export
+module Profile = Extr_telemetry.Profile
 module Journal = Extr_resilience.Journal
+module Corpus = Extr_corpus.Corpus
 module Runner = Extr_eval.Runner
 module Stats = Extr_eval.Stats
 module Progress = Extr_eval.Progress
@@ -357,6 +359,63 @@ let test_progress_rate_limit () =
   check Alcotest.bool "final line is complete" true
     (String.length last >= 14 && String.sub last 0 14 = "progress: [5/5")
 
+(* ------------------------------------------------------------------ *)
+(* Profile aggregation across jobs settings                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The pool ships per-task profile deltas and merges them by addition,
+   so a --jobs 4 corpus run must agree with --jobs 1 on every count
+   (phase, method, fuel, visits, facts, waste rows).  Wall times are
+   sums of per-worker measurements — merged, never compared. *)
+let profile_counts jobs =
+  let entries =
+    match Corpus.case_studies () with
+    | a :: b :: c :: d :: _ -> [ a; b; c; d ]
+    | es -> es
+  in
+  Profile.reset Profile.default;
+  Profile.set_enabled Profile.default true;
+  Fun.protect ~finally:(fun () ->
+      Profile.set_enabled Profile.default false;
+      Profile.reset Profile.default)
+  @@ fun () ->
+  let options =
+    {
+      Runner.default_options with
+      Runner.ro_jobs = jobs;
+      ro_sleep = fst (Clock.sleep_recording ());
+    }
+  in
+  (match Runner.run options entries with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let counts =
+    List.map
+      (fun (e : Profile.entry) ->
+        Printf.sprintf "%s %s fuel=%d visits=%d facts=%d" e.Profile.e_phase
+          e.e_meth e.e_fuel e.e_visits e.e_facts)
+      (Profile.entries Profile.default)
+  in
+  let wastes =
+    List.map
+      (fun (w : Profile.waste) ->
+        Printf.sprintf "%s touched=%d contributing=%d" w.Profile.w_scope
+          w.w_touched w.w_contributing)
+      (Profile.wastes Profile.default)
+  in
+  (counts, wastes)
+
+let test_profile_jobs_deterministic () =
+  let c1, w1 = profile_counts 1 in
+  let c4, w4 = profile_counts 4 in
+  check Alcotest.bool "profiler saw methods" true (c1 <> []);
+  check Alcotest.bool "profiler saw waste rows" true (w1 <> []);
+  check
+    Alcotest.(list string)
+    "method counts identical across jobs settings" c1 c4;
+  check Alcotest.(list string) "waste rows identical across jobs settings" w1
+    w4
+
 let () =
   Alcotest.run "observability"
     [
@@ -380,5 +439,10 @@ let () =
           tc "structured lines off-tty" test_progress_lines_mode;
           tc "rewriting line on tty" test_progress_tty_mode;
           tc "rate limiting" test_progress_rate_limit;
+        ] );
+      ( "profile",
+        [
+          tc "jobs 1 and jobs 4 aggregates agree on every count"
+            test_profile_jobs_deterministic;
         ] );
     ]

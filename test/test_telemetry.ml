@@ -253,6 +253,83 @@ let test_percentile () =
       check Alcotest.bool "counter has none" true
         (Metrics.percentile (Option.get (Metrics.find w "n")) 50.0 = None)
 
+let test_percentile_edges () =
+  (* Empty histogram: registered, never observed — no percentile. *)
+  let r = Metrics.create ~enabled:true () in
+  let _ = Metrics.histogram ~registry:r ~buckets:[ 10.0 ] "empty" in
+  (match Metrics.find r "empty" with
+  | None -> ()  (* never observed: the series may not even exist *)
+  | Some s ->
+      check Alcotest.bool "empty histogram has no percentile" true
+        (Metrics.percentile s 50.0 = None));
+  (* Single finite bucket: every rank interpolates inside it. *)
+  let h = Metrics.histogram ~registry:r ~buckets:[ 10.0 ] "one" in
+  Metrics.observe h 5.0;
+  Metrics.observe h 5.0;
+  let s = Option.get (Metrics.find r "one") in
+  check (Alcotest.float 1e-9) "p50 interpolates to mid-bucket" 5.0
+    (Option.get (Metrics.percentile s 50.0));
+  check (Alcotest.float 1e-9) "p100 is the bucket bound" 10.0
+    (Option.get (Metrics.percentile s 100.0));
+  (* Out-of-range quantiles clamp instead of crashing. *)
+  check (Alcotest.float 1e-9) "q < 0 clamps to 0" 0.0
+    (Option.get (Metrics.percentile s (-5.0)));
+  check (Alcotest.float 1e-9) "q > 100 clamps to 100" 10.0
+    (Option.get (Metrics.percentile s 150.0));
+  (* All mass in the overflow bucket of a bucketless histogram: the
+     largest finite bound is vacuously 0 — the estimate degrades to the
+     documented lower bound, it must not raise or go negative. *)
+  let h2 = Metrics.histogram ~registry:r ~buckets:[] "overflow" in
+  Metrics.observe h2 99.0;
+  let s2 = Option.get (Metrics.find r "overflow") in
+  check (Alcotest.float 1e-9) "bucketless overflow clamps to 0" 0.0
+    (Option.get (Metrics.percentile s2 50.0))
+
+(* ------------------------------------------------------------------ *)
+(* Span self time                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_self_time () =
+  (* Fake clock, one tick per read: a@0 { b@1 { c@2..3 } ..4 } ..5 —
+     cumulative c=1, b=3, a=5; self c=1, b=2, a=2. *)
+  let t = Span.create ~clock:(Clock.fake ()) ~enabled:true () in
+  Span.with_span ~tracer:t "a" (fun () ->
+      Span.with_span ~tracer:t "b" (fun () ->
+          Span.with_span ~tracer:t "c" (fun () -> ())));
+  let spans = Span.spans t in
+  let stacked = Span.stacked spans in
+  check Alcotest.int "one row per span" 3 (List.length stacked);
+  List.iter
+    (fun (path, sp, self) ->
+      (* self + direct children's cumulative = own cumulative. *)
+      let expected_path =
+        match sp.Span.sp_name with
+        | "a" -> [ "a" ]
+        | "b" -> [ "a"; "b" ]
+        | _ -> [ "a"; "b"; "c" ]
+      in
+      check Alcotest.(list string)
+        (sp.Span.sp_name ^ " path is root-first")
+        expected_path path;
+      let children =
+        List.filter
+          (fun s -> s.Span.sp_depth = sp.Span.sp_depth + 1)
+          spans
+      in
+      let child_sum =
+        List.fold_left (fun acc s -> acc +. Span.duration_s s) 0.0 children
+      in
+      check (Alcotest.float 1e-9)
+        (sp.Span.sp_name ^ ": self + children = cumulative")
+        (Span.duration_s sp) (self +. child_sum))
+    stacked;
+  check (Alcotest.float 1e-9) "self_s a" 2.0
+    (Span.self_s spans (Option.get (Span.find t "a")));
+  check (Alcotest.float 1e-9) "self_s b" 2.0
+    (Span.self_s spans (Option.get (Span.find t "b")));
+  check (Alcotest.float 1e-9) "self_s c" 1.0
+    (Span.self_s spans (Option.get (Span.find t "c")))
+
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -462,6 +539,181 @@ let test_write_file_atomic () =
   in
   check Alcotest.(list string) "no temp files left" [] leftovers
 
+let test_folded_export () =
+  let t = Span.create ~clock:(Clock.fake ()) ~enabled:true () in
+  Span.with_span ~tracer:t "a" (fun () ->
+      Span.with_span ~tracer:t "b" (fun () ->
+          Span.with_span ~tracer:t "c" (fun () -> ())));
+  (* Self times in µs: a=2s, b=2s, c=1s; lines sorted by stack. *)
+  check Alcotest.string "folded lines"
+    "a 2000000\na;b 2000000\na;b;c 1000000\n"
+    (Export.folded (Span.spans t));
+  (* Two lanes with the same stack fold together by summing. *)
+  let t2 = Span.create ~clock:(Clock.fake ()) ~enabled:true () in
+  Span.with_span ~tracer:t2 "a" (fun () -> ());
+  (* "a" weighs 2s of self time in the first lane + 1s in the second. *)
+  check Alcotest.string "lanes merge by summing"
+    "a 3000000\na;b 2000000\na;b;c 1000000\n"
+    (Export.folded_lanes [ Span.spans t; Span.spans t2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Method-level profiler                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Profile = Extr_telemetry.Profile
+
+let test_profile_disabled_noop () =
+  let p = Profile.create () in
+  let cu = Profile.cursor ~profile:p ~phase:"ph" ~render:Fun.id () in
+  Profile.visit cu "m1";
+  Profile.spend cu 5;
+  Profile.add_facts cu 2;
+  Profile.close cu;
+  Profile.record_waste p ~scope:"app" ~touched:3 ~contributing:1;
+  check Alcotest.int "no entries when disabled" 0
+    (List.length (Profile.entries p));
+  check Alcotest.int "no waste when disabled" 0
+    (List.length (Profile.wastes p))
+
+let test_profile_cursor_accounting () =
+  let clock, advance = Clock.manual ~start:0.0 () in
+  let p = Profile.create ~clock ~enabled:true () in
+  let cu = Profile.cursor ~profile:p ~phase:"ph" ~render:Fun.id () in
+  Profile.visit cu "m1";
+  Profile.spend cu 3;
+  Profile.add_facts cu 1;
+  advance 2.0;
+  (* Same method again: one more visit, no switch, no time flushed yet. *)
+  Profile.visit cu "m1";
+  Profile.spend cu 2;
+  advance 1.0;
+  (* Switch: the 3 elapsed seconds flush to m1. *)
+  Profile.visit cu "m2";
+  advance 4.0;
+  Profile.close cu;
+  match Profile.entries p with
+  | [ e1; e2 ] ->
+      check Alcotest.string "m1 first (sorted)" "m1" e1.Profile.e_meth;
+      check Alcotest.string "phase recorded" "ph" e1.Profile.e_phase;
+      check (Alcotest.float 1e-9) "m1 time spans both visits" 3.0
+        e1.Profile.e_time_s;
+      check Alcotest.int "m1 visits" 2 e1.Profile.e_visits;
+      check Alcotest.int "m1 fuel" 5 e1.Profile.e_fuel;
+      check Alcotest.int "m1 facts" 1 e1.Profile.e_facts;
+      check Alcotest.string "m2 second" "m2" e2.Profile.e_meth;
+      check (Alcotest.float 1e-9) "m2 time flushed on close" 4.0
+        e2.Profile.e_time_s;
+      check Alcotest.int "m2 visits" 1 e2.Profile.e_visits
+  | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es)
+
+let test_profile_merge_commutes () =
+  let mk l =
+    {
+      Profile.sn_entries =
+        List.map
+          (fun (ph, m, t, f, v, fa) ->
+            {
+              Profile.e_phase = ph;
+              e_meth = m;
+              e_time_s = t;
+              e_fuel = f;
+              e_visits = v;
+              e_facts = fa;
+            })
+          l;
+      sn_wastes = [];
+    }
+  in
+  let a = mk [ ("ph", "m1", 1.0, 10, 2, 1); ("ph", "m2", 0.5, 5, 1, 0) ] in
+  let b = mk [ ("ph", "m1", 2.0, 20, 3, 4); ("zz", "m3", 0.1, 1, 1, 0) ] in
+  let p1 = Profile.create ~enabled:true () in
+  Profile.merge p1 a;
+  Profile.merge p1 b;
+  let p2 = Profile.create ~enabled:true () in
+  Profile.merge p2 b;
+  Profile.merge p2 a;
+  check Alcotest.bool "merge order does not change the table" true
+    (Profile.entries p1 = Profile.entries p2);
+  match Profile.entries p1 with
+  | [ m1; m2; m3 ] ->
+      check Alcotest.string "sorted by (phase, meth)" "m1" m1.Profile.e_meth;
+      check Alcotest.int "fuel added" 30 m1.Profile.e_fuel;
+      check Alcotest.int "visits added" 5 m1.Profile.e_visits;
+      check Alcotest.int "facts added" 5 m1.Profile.e_facts;
+      check (Alcotest.float 1e-9) "times added" 3.0 m1.Profile.e_time_s;
+      check Alcotest.string "m2 kept" "m2" m2.Profile.e_meth;
+      check Alcotest.string "other phase last" "zz" m3.Profile.e_phase
+  | es -> Alcotest.failf "expected 3 entries, got %d" (List.length es)
+
+let test_profile_marks_and_waste () =
+  let p = Profile.create ~enabled:true () in
+  let cu = Profile.cursor ~profile:p ~phase:"ph" ~render:Fun.id () in
+  let g1 = Profile.mark p in
+  Profile.visit cu "m1";
+  Profile.close cu;
+  let g2 = Profile.mark p in
+  Profile.visit cu "m2";
+  Profile.close cu;
+  check
+    Alcotest.(list string)
+    "all methods since the first mark" [ "m1"; "m2" ]
+    (Profile.methods_since p g1);
+  check
+    Alcotest.(list string)
+    "only the second run's methods since its mark" [ "m2" ]
+    (Profile.methods_since p g2);
+  Profile.record_waste p ~scope:"b-app" ~touched:4 ~contributing:1;
+  Profile.record_waste p ~scope:"a-app" ~touched:2 ~contributing:2;
+  (match Profile.wastes p with
+  | [ w1; w2 ] ->
+      check Alcotest.string "stable-sorted by scope" "a-app" w1.Profile.w_scope;
+      check (Alcotest.float 1e-9) "fully contributing: no waste" 0.0
+        (Profile.waste_ratio w1);
+      check (Alcotest.float 1e-9) "3 of 4 wasted" 0.75 (Profile.waste_ratio w2)
+  | ws -> Alcotest.failf "expected 2 waste rows, got %d" (List.length ws));
+  check (Alcotest.float 1e-9) "zero touched is not a division" 0.0
+    (Profile.waste_ratio
+       { Profile.w_scope = "z"; w_touched = 0; w_contributing = 0 })
+
+let test_profile_json_shape () =
+  let p = Profile.create ~enabled:true () in
+  Profile.merge p
+    {
+      Profile.sn_entries =
+        [
+          {
+            Profile.e_phase = "ph";
+            e_meth = "m";
+            e_time_s = 0.25;
+            e_fuel = 7;
+            e_visits = 3;
+            e_facts = 1;
+          };
+        ];
+      sn_wastes = [ { Profile.w_scope = "app"; w_touched = 4; w_contributing = 3 } ];
+    };
+  let j = Json.of_string (Export.profile_json ~phases:[ ("pipeline.ph", 0.5, 0.5) ] p) in
+  (match Json.member "profile" j with
+  | Some (Json.List [ row ]) ->
+      check Alcotest.bool "method member" true
+        (Json.member "method" row = Some (Json.Str "m"));
+      check Alcotest.bool "fuel member" true
+        (Json.member "fuel" row = Some (Json.Int 7))
+  | _ -> Alcotest.fail "profile rows missing");
+  (match Json.member "waste" j with
+  | Some (Json.List [ w ]) ->
+      check Alcotest.bool "touched member" true
+        (Json.member "touched_methods" w = Some (Json.Int 4));
+      (match Json.member "waste_ratio" w with
+      | Some (Json.Float r) -> check (Alcotest.float 1e-9) "ratio" 0.25 r
+      | _ -> Alcotest.fail "waste_ratio missing")
+  | _ -> Alcotest.fail "waste rows missing");
+  match Json.member "phases" j with
+  | Some (Json.List [ ph ]) ->
+      check Alcotest.bool "phase member" true
+        (Json.member "phase" ph = Some (Json.Str "pipeline.ph"))
+  | _ -> Alcotest.fail "phases rollup missing"
+
 (* ------------------------------------------------------------------ *)
 (* Log setup                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -576,6 +828,7 @@ let () =
           tc "nesting, order, durations" test_span_nesting;
           tc "recorded on raise, depth restored" test_span_records_on_raise;
           tc "reset clears and restarts seq" test_span_reset;
+          tc "self + children = cumulative" test_span_self_time;
         ] );
       ( "metrics",
         [
@@ -589,6 +842,7 @@ let () =
           tc "worker deltas merge exactly" test_merge_samples;
           tc "gauge merge is order-independent" test_gauge_merge_deterministic;
           tc "histogram percentile estimation" test_percentile;
+          tc "percentile edge cases" test_percentile_edges;
         ] );
       ( "export",
         [
@@ -599,6 +853,17 @@ let () =
           tc "chrome trace escapes arg values" test_chrome_trace_escapes_args;
           tc "raising span still exported" test_chrome_trace_raising_span;
           tc "write_file is atomic" test_write_file_atomic;
+          tc "collapsed-stack folded export" test_folded_export;
+        ] );
+      ( "profile",
+        [
+          tc "disabled profiler is a no-op" test_profile_disabled_noop;
+          tc "cursor time/fuel/visit/fact accounting"
+            test_profile_cursor_accounting;
+          tc "merge is order-independent and additive"
+            test_profile_merge_commutes;
+          tc "run marks and waste accounting" test_profile_marks_and_waste;
+          tc "profile artifact JSON shape" test_profile_json_shape;
         ] );
       ("log-setup", [ tc "level parsing" test_level_of_string ]);
       ( "pipeline",
