@@ -31,6 +31,7 @@ module Fuzz = Extr_fuzz.Fuzz
 module Eval = Extr_eval.Eval
 module Tables = Extr_eval.Tables
 module Runner = Extr_eval.Runner
+module Merge = Extr_eval.Merge
 module Json = Extr_httpmodel.Json
 module Span = Extr_telemetry.Span
 module Metrics = Extr_telemetry.Metrics
@@ -382,6 +383,90 @@ let write_phase_timings path =
         ("speedup", Json.Float (if par_s > 0. then seq_s /. par_s else 0.));
       ]
   in
+  (* Sharded corpus farm: 1000 generated apps split --shard K/4, merged
+     back offline.  max_shard_s approximates the fleet's wall-clock when
+     the shards run on separate machines; merge_s is the reassembly
+     cost; the merged envelope must stay byte-identical to the unsharded
+     run's (asserted here, not just measured). *)
+  let shard =
+    let shards = 4 in
+    let seed = 1 and count = 1000 in
+    let gen_entries = Corpus.generated ~seed ~count in
+    let dir = Filename.temp_file "bench_shard" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    let p name = Filename.concat dir name in
+    let options ?shard tag =
+      {
+        Runner.default_options with
+        Runner.ro_journal = Some (p (tag ^ ".jsonl"));
+        ro_cache_dir = Some (p (tag ^ "-cache"));
+        ro_shard = shard;
+        ro_corpus_tag = Some (Printf.sprintf "gen=%d:%d" seed count);
+      }
+    in
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let run o =
+      match Runner.run o gen_entries with
+      | Ok r -> r
+      | Error e -> Fmt.failwith "shard bench: %s" e
+    in
+    let base_o = options "base" in
+    let base_run, unsharded_s = time (fun () -> run base_o) in
+    let ks = List.init shards (fun i -> i + 1) in
+    let shard_s =
+      List.map
+        (fun k ->
+          snd
+            (time (fun () ->
+                 run (options ~shard:(k, shards) (Printf.sprintf "s%d" k)))))
+        ks
+    in
+    let max_shard_s = List.fold_left max 0. shard_s in
+    let merged, merge_s =
+      time (fun () ->
+          match
+            Merge.merge ~options:base_o ~entries:gen_entries
+              ~journals:(List.map (fun k -> p (Printf.sprintf "s%d.jsonl" k)) ks)
+              ~cache_dirs:
+                (List.map (fun k -> p (Printf.sprintf "s%d-cache" k)) ks)
+              ()
+          with
+          | Ok t -> t
+          | Error e -> Fmt.failwith "shard bench merge: %s" e)
+    in
+    let identical =
+      String.equal
+        (Runner.report_json
+           ~config:(Runner.journal_fingerprint base_o)
+           base_run)
+        (Merge.report_json merged)
+    in
+    if not identical then
+      Fmt.failwith "shard bench: merged envelope differs from unsharded run";
+    let speedup =
+      if max_shard_s +. merge_s > 0. then
+        unsharded_s /. (max_shard_s +. merge_s)
+      else 0.
+    in
+    Fmt.pf fmt
+      "  shard farm: %d generated apps, unsharded %.3fs vs %d shards \
+       (slowest %.3fs) + merge %.3fs (%.1fx fleet speedup, byte-identical)@\n"
+      count unsharded_s shards max_shard_s merge_s speedup;
+    Json.Obj
+      [
+        ("shards", Json.Int shards);
+        ("apps", Json.Int count);
+        ("unsharded_s", Json.Float unsharded_s);
+        ("max_shard_s", Json.Float max_shard_s);
+        ("merge_s", Json.Float merge_s);
+        ("speedup", Json.Float speedup);
+      ]
+  in
   let doc =
     Json.Obj
       [
@@ -390,6 +475,7 @@ let write_phase_timings path =
         ("phase_percentiles", phase_percentiles);
         ("cache", cache);
         ("pool", pool);
+        ("shard", shard);
       ]
   in
   Extr_telemetry.Export.write_file path (Json.to_string doc ^ "\n");

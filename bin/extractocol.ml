@@ -19,6 +19,8 @@ module Runner = Extr_eval.Runner
 module Pool = Extr_eval.Pool
 module Progress = Extr_eval.Progress
 module Stats = Extr_eval.Stats
+module Merge = Extr_eval.Merge
+module Store = Extr_store.Store
 
 open Cmdliner
 
@@ -27,12 +29,15 @@ open Cmdliner
      1   usage error (unknown app, unreadable input, write failure)
      2   an app crashed behind the fault barrier (--all) and was quarantined
      3   analysis completed, but with degradations or unmatched requests
+         (for `merge`: artifacts were quarantined during the merge)
+     4   `merge` only: shards or apps are missing — the merge is partial
      99  an injected --crash-at kill-point fired (test hook)
      130 SIGINT/SIGTERM interrupted a corpus run (partial results printed) *)
 let exit_ok = 0
 let exit_usage = 1
 let exit_crashed = 2
 let exit_degraded = 3
+let exit_partial = 4
 let exit_killed = 99
 let exit_interrupted = 130
 
@@ -286,8 +291,21 @@ let parse_crash_at spec =
       Fmt.epr "invalid --crash-at %S (expected PHASE or PHASE@N)@." spec;
       exit exit_usage
 
+(* The corpus a run (or a merge) covers: Table 1 plus the case studies by
+   default, or --gen COUNT synthetic apps from the seeded parametric
+   generator.  The corpus tag folds the generator's identity into the
+   configuration fingerprint so generated-corpus journals and caches
+   never mingle with the real corpus' under the same pipeline flags. *)
+let corpus_of_flags gen gen_seed =
+  match gen with
+  | Some count ->
+      ( Corpus.generated ~seed:gen_seed ~count,
+        Some (Printf.sprintf "gen=%d:%d" gen_seed count) )
+  | None -> (all_entries (), None)
+
 let run_all limits force_crash journal resume cache_dir report_out crash_at
-    retries jobs metrics_out trace_out hotspots profile_out progress =
+    retries jobs shard gen gen_seed metrics_out trace_out hotspots profile_out
+    progress =
   (* Arm the injected kill-point before anything runs: the Nth entry to
      the named pipeline phase terminates the process with exit 99,
      leaving the journal mid-run — exactly what --resume recovers from. *)
@@ -334,9 +352,11 @@ let run_all limits force_crash journal resume cache_dir report_out crash_at
       ro_cache_dir = cache_dir;
       ro_force_crash = force_crash;
       ro_jobs = (if jobs = 0 then Pool.default_jobs () else jobs);
+      ro_shard = shard;
+      ro_corpus_tag = snd (corpus_of_flags gen gen_seed);
     }
   in
-  let entries = all_entries () in
+  let entries = fst (corpus_of_flags gen gen_seed) in
   (* The heartbeat writes to stderr (a rewriting line on a terminal,
      periodic lines otherwise); the summary table keeps stdout. *)
   let live =
@@ -400,7 +420,10 @@ let run_all limits force_crash journal resume cache_dir report_out crash_at
         (try_write (fun path ->
              Telemetry.Export.write_file path
                (Runner.report_json
-                  ~config:(Runner.config_fingerprint options)
+                  (* A shard's envelope records its shard identity; the
+                     unsharded fingerprint is identical to the base, so
+                     merge and plain runs share one code path. *)
+                  ~config:(Runner.journal_fingerprint options)
                   run)))
         report_out;
       Option.iter
@@ -689,6 +712,54 @@ let jobs_arg =
   in
   Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let shard_conv =
+  let parse s =
+    let bad () =
+      Error (`Msg (Printf.sprintf "invalid shard %S (expected K/N)" s))
+    in
+    match String.index_opt s '/' with
+    | None -> bad ()
+    | Some i -> (
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            int_of_string_opt
+              (String.sub s (i + 1) (String.length s - i - 1)) )
+        with
+        | Some k, Some n -> Ok (k, n)
+        | _ -> bad ())
+  in
+  Arg.conv (parse, fun ppf (k, n) -> Format.fprintf ppf "%d/%d" k n)
+
+let shard_arg =
+  let doc =
+    "Run only the K-th of N deterministic corpus slices under $(b,--all)\n\
+     (1-based).  The partition hashes app names, so every shard computes\n\
+     exactly what the unsharded run would for its apps: cache entries\n\
+     carry the same keys and N shard runs can be folded back into the\n\
+     unsharded report with $(b,extractocol merge).  The journal header\n\
+     records the shard identity — a shard only resumes its own journal."
+  in
+  Arg.(
+    value
+    & opt (some shard_conv) None
+    & info [ "shard" ] ~docv:"K/N" ~doc)
+
+let gen_arg =
+  let doc =
+    "Replace the built-in corpus with COUNT synthetic apps from the\n\
+     seeded parametric generator (sampling sizes, method mixes,\n\
+     open/closed split and obfuscation from Table-1-like distributions).\n\
+     Deterministic: the same $(b,--gen-seed) always produces the same\n\
+     corpus, and the configuration fingerprint records it as\n\
+     $(i,gen=SEED:COUNT) so generated-corpus journals and caches never\n\
+     mix with the real corpus'."
+  in
+  Arg.(value & opt (some int) None & info [ "gen" ] ~docv:"COUNT" ~doc)
+
+let gen_seed_arg =
+  let doc = "Seed for the $(b,--gen) corpus generator." in
+  Arg.(value & opt int 1 & info [ "gen-seed" ] ~docv:"SEED" ~doc)
+
 let exits =
   [
     Cmd.Exit.info exit_ok ~doc:"the analysis completed cleanly.";
@@ -705,7 +776,13 @@ let exits =
       ~doc:
         "the analysis completed but degraded: a budget or deadline tripped \
          (see the report's degradations), or $(b,--trace) left requests \
-         unmatched.";
+         unmatched; for $(b,merge), artifacts (an unreadable journal, a \
+         corrupt cache entry) were quarantined during the merge.";
+    Cmd.Exit.info exit_partial
+      ~doc:
+        "$(b,merge) only: the merge is partial — expected shards or corpus \
+         apps are missing (listed in the envelope's $(i,missing_shards[]) / \
+         $(i,missing_apps[]) members).";
     Cmd.Exit.info exit_killed
       ~doc:"an injected $(b,--crash-at) kill-point fired (test hook).";
     Cmd.Exit.info exit_interrupted
@@ -721,7 +798,8 @@ let analyze_term =
       (fun log_level list name scope async intents obf obf_libs limple json
            dot trace trace_out metrics_out profile hotspots profile_out
            explain provenance_out max_steps max_depth deadline all force_crash
-           journal resume cache_dir report_out crash_at retries jobs progress ->
+           journal resume cache_dir report_out crash_at retries jobs shard gen
+           gen_seed progress ->
         setup_logs log_level;
         let limits =
           {
@@ -733,8 +811,8 @@ let analyze_term =
         if list then list_apps ()
         else if all then
           run_all limits force_crash journal resume cache_dir report_out
-            crash_at retries jobs metrics_out trace_out hotspots profile_out
-            progress
+            crash_at retries jobs shard gen gen_seed metrics_out trace_out
+            hotspots profile_out progress
         else
           analyze_app name scope async intents obf obf_libs limple json dot
             trace trace_out metrics_out profile hotspots profile_out explain
@@ -745,15 +823,16 @@ let analyze_term =
     $ hotspots_arg $ profile_out_arg $ explain_arg $ provenance_out_arg
     $ max_steps_arg $ max_depth_arg $ deadline_arg $ all_flag
     $ force_crash_arg $ journal_arg $ resume_flag $ cache_dir_arg
-    $ report_out_arg $ crash_at_arg $ retries_arg $ jobs_arg $ progress_flag)
+    $ report_out_arg $ crash_at_arg $ retries_arg $ jobs_arg $ shard_arg
+    $ gen_arg $ gen_seed_arg $ progress_flag)
 
 (* ------------------------------------------------------------------ *)
 (* stats: offline run reconstruction from artifacts                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_stats log_level journal cache_dir metrics profile =
+let run_stats log_level journals cache_dir metrics profile =
   setup_logs log_level;
-  match Stats.of_artifacts ~journal ?cache_dir ?metrics ?profile () with
+  match Stats.of_artifacts ~journals ?cache_dir ?metrics ?profile () with
   | Error msg ->
       Fmt.epr "%s@." msg;
       exit_usage
@@ -782,11 +861,15 @@ let stats_cmd =
     ]
   in
   let journal =
-    let doc = "The $(b,--journal) file of the run to reconstruct." in
+    let doc =
+      "The $(b,--journal) file of the run to reconstruct.  Repeatable:\n\
+       several journals (a $(b,--shard) set) pool into one fleet-wide\n\
+       view — shard suffixes are stripped from the configuration\n\
+       fingerprints (which must share a base) and events merge in stamp\n\
+       order."
+    in
     Arg.(
-      required
-      & opt (some string) None
-      & info [ "journal" ] ~docv:"FILE" ~doc)
+      non_empty & opt_all string [] & info [ "journal" ] ~docv:"FILE" ~doc)
   in
   let cache_dir =
     let doc =
@@ -817,11 +900,209 @@ let stats_cmd =
       const run_stats $ log_level_arg $ journal $ cache_dir $ metrics
       $ profile)
 
+(* ------------------------------------------------------------------ *)
+(* merge: union sharded --all artifacts offline                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_merge log_level journals cache_dirs metrics_ins expect_shards
+    max_steps max_depth deadline retries gen gen_seed report_out journal_out
+    cache_out metrics_out =
+  setup_logs log_level;
+  if metrics_out <> None && metrics_ins = [] then begin
+    Fmt.epr "--metrics-out needs at least one --metrics snapshot to merge@.";
+    exit exit_usage
+  end;
+  let limits =
+    {
+      Resilience.Budget.bl_max_steps = max_steps;
+      bl_max_depth = max_depth;
+      bl_deadline_s = deadline;
+    }
+  in
+  let policy =
+    if retries <= 1 then Retry.no_retry
+    else { Retry.default_policy with Retry.rp_max_attempts = retries }
+  in
+  let entries, corpus_tag = corpus_of_flags gen gen_seed in
+  let options =
+    {
+      Runner.default_options with
+      Runner.ro_pipeline =
+        { Pipeline.default_options with Pipeline.op_limits = limits };
+      ro_policy = policy;
+      ro_corpus_tag = corpus_tag;
+    }
+  in
+  match Merge.merge ~options ~entries ~journals ~cache_dirs ?expect_shards ()
+  with
+  | Error msg ->
+      Fmt.epr "%s@." msg;
+      exit_usage
+  | Ok t ->
+      let try_write write path =
+        try write path
+        with Sys_error msg ->
+          Fmt.epr "cannot write merge output: %s@." msg;
+          exit exit_usage
+      in
+      Option.iter
+        (try_write (fun path ->
+             Telemetry.Export.write_file path (Merge.report_json t)))
+        report_out;
+      Option.iter
+        (try_write (fun path ->
+             Telemetry.Export.write_file path (Merge.journal_contents t)))
+        journal_out;
+      Option.iter
+        (try_write (fun dir ->
+             let store = Store.open_ ~dir in
+             List.iter
+               (fun (key, data) ->
+                 match Store.key_of_string key with
+                 | Some k -> Store.store store k data
+                 | None -> ())
+               t.Merge.mg_cache))
+        cache_out;
+      Option.iter
+        (try_write (fun path ->
+             match Merge.merge_metrics metrics_ins with
+             | Ok doc -> Telemetry.Export.write_file path doc
+             | Error msg ->
+                 Fmt.epr "%s@." msg;
+                 exit exit_usage))
+        metrics_out;
+      let results = t.Merge.mg_run.Runner.rn_results in
+      let count st =
+        List.length
+          (List.filter (fun a -> a.Runner.ar_status = st) results)
+      in
+      Fmt.pr "merged %d journal%s: %d/%d apps (%d ok, %d degraded, %d \
+              quarantined)@."
+        (List.length journals)
+        (if List.length journals = 1 then "" else "s")
+        (List.length results) t.Merge.mg_expected (count Runner.Ok)
+        (count Runner.Degraded)
+        (count Runner.Quarantined);
+      if t.Merge.mg_missing_shards <> [] then
+        Fmt.pr "missing shards: %s@."
+          (String.concat ", "
+             (List.map string_of_int t.Merge.mg_missing_shards));
+      if t.Merge.mg_missing_apps <> [] then
+        Fmt.pr "missing apps: %s@."
+          (String.concat ", " t.Merge.mg_missing_apps);
+      List.iter
+        (fun (d : Merge.degradation) ->
+          Fmt.epr "merge degradation: %s%s (%s)@."
+            (if d.Merge.md_app = "" then "" else d.Merge.md_app ^ ": ")
+            d.Merge.md_reason d.Merge.md_detail)
+        t.Merge.mg_degradations;
+      Merge.exit_code t
+
+let merge_cmd =
+  let doc = "union sharded $(b,--all) artifacts into one corpus report" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Folds the journals (and optionally cache directories and metrics \
+         snapshots) that N $(b,--shard K/N) runs left behind into the \
+         artifacts one unsharded run would have produced: the \
+         $(b,--report-out) envelope is byte-identical to $(b,--all --jobs \
+         1)'s when every shard is present and healthy.  The merge is \
+         idempotent — overlapping shards, duplicated work and re-merging \
+         its own outputs resolve newest-finished-wins by journal stamp — \
+         and corruption never aborts it: unreadable journals and \
+         truncated cache entries are quarantined into the envelope's \
+         $(i,merge_degradations[]) (exit 3), while absent shards and \
+         unaccounted apps are listed in $(i,missing_shards[]) / \
+         $(i,missing_apps[]) (exit 4).  Inputs are opened read-only, so \
+         merging a still-running shard's artifacts is safe.  The \
+         pipeline, retry and $(b,--gen) flags must repeat the shard \
+         runs' — a journal written under a different configuration \
+         fingerprint is refused.";
+    ]
+  in
+  let journals =
+    let doc =
+      "A shard's $(b,--journal) file.  Repeatable, one per shard; later \
+       files win stamp ties."
+    in
+    Arg.(
+      non_empty & opt_all string [] & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let cache_dirs =
+    let doc =
+      "A shard's $(b,--cache-dir).  Repeatable; searched in order for \
+       each app's report, skipping corrupt copies."
+    in
+    Arg.(value & opt_all string [] & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let metrics_ins =
+    let doc =
+      "A shard's $(b,--metrics-out) snapshot.  Repeatable; unioned into \
+       $(b,--metrics-out) (counters add, gauges take the max, histogram \
+       buckets add slot-wise)."
+    in
+    Arg.(value & opt_all string [] & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let expect_shards =
+    let doc =
+      "Require journals from all N shards; absent ones are reported as \
+       $(i,missing_shards[]) (exit 4).  Default: the largest N the \
+       journals' own shard identities declare."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "expect-shards" ] ~docv:"N" ~doc)
+  in
+  let report_out =
+    let doc =
+      "Write the merged corpus report envelope to FILE (atomically)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+  in
+  let journal_out =
+    let doc =
+      "Write the merged journal to FILE: readable by $(b,stats), \
+       $(b,--resume) and a further $(b,merge) exactly like a \
+       runner-written journal."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-out" ] ~docv:"FILE" ~doc)
+  in
+  let cache_out =
+    let doc =
+      "Copy the unioned cache entries into DIR (created if needed); keys \
+       are unchanged, so a $(b,--resume) against the merged journal can \
+       restore every report from it."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "cache-out" ] ~docv:"DIR" ~doc)
+  in
+  let metrics_out =
+    let doc = "Write the unioned metrics snapshot to FILE." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "merge" ~doc ~man ~exits)
+    Term.(
+      const run_merge $ log_level_arg $ journals $ cache_dirs $ metrics_ins
+      $ expect_shards $ max_steps_arg $ max_depth_arg $ deadline_arg
+      $ retries_arg $ gen_arg $ gen_seed_arg $ report_out $ journal_out
+      $ cache_out $ metrics_out)
+
 let doc = "reconstruct HTTP transactions from an Android app binary"
 
 let cmd =
   let info = Cmd.info "extractocol" ~version:"1.0" ~doc ~exits in
-  Cmd.group ~default:analyze_term info [ stats_cmd ]
+  Cmd.group ~default:analyze_term info [ stats_cmd; merge_cmd ]
 
 (* A positional that is not a subcommand name is a corpus app:
    [extractocol kayak --hotspots].  Cmd.group would reject it as an
@@ -837,5 +1118,6 @@ let () =
     && String.length Sys.argv.(1) > 0
     && Sys.argv.(1).[0] <> '-'
     && Sys.argv.(1) <> "stats"
+    && Sys.argv.(1) <> "merge"
   in
   exit (Cmd.eval' (if positional_app then analyze_cmd else cmd))

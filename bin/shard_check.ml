@@ -1,0 +1,206 @@
+(* Build-time guard for the sharded corpus farm: drive the real CLI
+   over a generated corpus split into SHARD_N shards and require that
+   `merge` reassembles exactly the unsharded run — including after a
+   shard is killed mid-flight and resumed, and degrading (never
+   aborting) on damaged artifacts.
+
+   1. An unsharded --jobs 1 run over a --gen corpus sets the baseline
+      report envelope.
+   2. Every shard runs with its own journal + cache; one victim shard
+      (the first with work) is killed at an injected kill-point
+      (exit 99) and finished with --resume.
+   3. merge over all N shard artifact sets must exit 0 and write a
+      BYTE-identical envelope — sharding must never leak into the
+      report.
+   4. Re-merging merge's own journal + cache must reproduce the same
+      envelope (idempotency), and `stats` must read the merged journal
+      like a runner-written one.
+   5. A truncated cache entry must quarantine: merge exits 3 and the
+      envelope carries merge_degradations[], with every healthy app
+      still present.
+   6. Withholding the victim's journal under --expect-shards N must
+      exit 4 with missing_shards[]/missing_apps[] in the envelope.
+
+   N comes from SHARD_N (default 3, clamped to 2..8); the generated
+   corpus (24 apps) is large enough that every shard owns work at any
+   sane N.  Invoked from the runtest alias with the extractocol
+   binary's path; all intermediate state lives in a private temp
+   directory. *)
+
+module C = Check_common
+module Runner = Extr_eval.Runner
+module Corpus = Extr_corpus.Corpus
+module Spec = Extr_corpus.Spec
+
+let ck = C.create "shard_check"
+let gen_seed = 5
+let gen_count = 24
+let gen_flags = [ "--gen"; string_of_int gen_count; "--gen-seed"; string_of_int gen_seed ]
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let copy_dir src dst =
+  Sys.mkdir dst 0o755;
+  Array.iter
+    (fun f ->
+      let contents = C.read_file (Filename.concat src f) in
+      Out_channel.with_open_bin (Filename.concat dst f) (fun oc ->
+          Out_channel.output_string oc contents))
+    (Sys.readdir src)
+
+let check exe =
+  let exe =
+    if Filename.is_relative exe then Filename.concat (Sys.getcwd ()) exe
+    else exe
+  in
+  let shards = max 2 (min 8 (C.env_int ck "SHARD_N" ~default:3)) in
+  (* The same partition the runner applies: pick the first shard that
+     owns apps as the kill victim, and size the kill-point so it fires
+     inside that shard's run. *)
+  let per_shard = Array.make shards 0 in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let k = Runner.shard_index ~shards e.Corpus.c_app.Spec.a_name in
+      per_shard.(k) <- per_shard.(k) + 1)
+    (Corpus.generated ~seed:gen_seed ~count:gen_count);
+  let victim =
+    match Array.find_index (fun n -> n > 0) per_shard with
+    | Some i -> i + 1
+    | None -> C.die ck "generated corpus is empty?"
+  in
+  let kill_occurrence = min 2 per_shard.(victim - 1) in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "shard_check.%d" (Unix.getpid ()))
+  in
+  Sys.mkdir tmp 0o755;
+  let p name = Filename.concat tmp name in
+  let journal k = p (Printf.sprintf "s%d.jsonl" k) in
+  let cache k = p (Printf.sprintf "c%d" k) in
+  let run_cli ~expect label args =
+    let out = p (label ^ ".out") in
+    let code =
+      Sys.command (Filename.quote_command exe args ~stdout:out ~stderr:out)
+    in
+    if code <> expect then
+      C.fail ck "%s run exited %d, expected %d (see %s)" label code expect out;
+    C.read_file out
+  in
+  (* 1: the unsharded baseline. *)
+  let _ =
+    run_cli ~expect:0 "base"
+      ([
+         "--all"; "--jobs"; "1"; "--journal"; p "base.jsonl"; "--cache-dir";
+         p "base-cache"; "--report-out"; p "base.json";
+       ]
+      @ gen_flags)
+  in
+  let base = C.read_file (p "base.json") in
+  (* 2: the shard runs; the victim is killed mid-flight and resumed. *)
+  for k = 1 to shards do
+    let spec = Printf.sprintf "%d/%d" k shards in
+    let common =
+      [
+        "--all"; "--jobs"; "1"; "--shard"; spec; "--journal"; journal k;
+        "--cache-dir"; cache k;
+      ]
+      @ gen_flags
+    in
+    if k = victim then begin
+      let _ =
+        run_cli ~expect:99 "killed"
+          (common
+          @ [
+              "--crash-at";
+              Printf.sprintf "pipeline.interpretation@%d" kill_occurrence;
+            ])
+      in
+      ignore (run_cli ~expect:0 "resumed" (common @ [ "--resume" ]))
+    end
+    else ignore (run_cli ~expect:0 (Printf.sprintf "shard%d" k) common)
+  done;
+  let range = List.init shards (fun i -> i + 1) in
+  let jflags ks = List.concat_map (fun k -> [ "--journal"; journal k ]) ks in
+  let cflags ks = List.concat_map (fun k -> [ "--cache-dir"; cache k ]) ks in
+  (* 3: merging every shard must reassemble the unsharded envelope. *)
+  let _ =
+    run_cli ~expect:0 "merge"
+      ([ "merge" ] @ gen_flags @ jflags range @ cflags range
+      @ [
+          "--report-out"; p "merged.json"; "--journal-out"; p "merged.jsonl";
+          "--cache-out"; p "merged-cache";
+        ])
+  in
+  let merged = C.read_file (p "merged.json") in
+  if not (String.equal base merged) then
+    C.fail ck
+      "merged report is not byte-identical to the unsharded run (%s vs %s)"
+      (p "merged.json") (p "base.json");
+  (* 4: re-merging merge's own outputs is a no-op... *)
+  let _ =
+    run_cli ~expect:0 "remerge"
+      ([ "merge" ] @ gen_flags
+      @ [
+          "--journal"; p "merged.jsonl"; "--cache-dir"; p "merged-cache";
+          "--report-out"; p "merged2.json";
+        ])
+  in
+  if not (String.equal merged (C.read_file (p "merged2.json"))) then
+    C.fail ck "re-merging the merged artifacts changed the envelope";
+  (* ...and stats reads the merged journal like a runner-written one. *)
+  let stats_out =
+    run_cli ~expect:0 "stats" [ "stats"; "--journal"; p "merged.jsonl" ]
+  in
+  if not (C.contains ~needle:(Printf.sprintf "%d apps:" gen_count) stats_out)
+  then C.fail ck "stats did not reconstruct the merged journal's summary";
+  (* 5: a truncated cache entry quarantines (exit 3), never aborts. *)
+  let corrupt_dir = p "corrupt-cache" in
+  copy_dir (cache victim) corrupt_dir;
+  (match Sys.readdir corrupt_dir with
+  | [||] -> C.die ck "victim shard %d left an empty cache" victim
+  | entries ->
+      Out_channel.with_open_bin
+        (Filename.concat corrupt_dir entries.(0))
+        (fun oc -> Out_channel.output_string oc "{\"torn"));
+  let other = List.filter (fun k -> k <> victim) range in
+  let _ =
+    run_cli ~expect:3 "corrupt"
+      ([ "merge" ] @ gen_flags @ jflags range
+      @ [ "--cache-dir"; corrupt_dir ]
+      @ cflags other
+      @ [ "--report-out"; p "corrupt.json" ])
+  in
+  let corrupt = C.read_file (p "corrupt.json") in
+  if not (C.contains ~needle:"merge_degradations" corrupt) then
+    C.fail ck "corrupt merge envelope lacks merge_degradations[]";
+  if not (C.contains ~needle:"corrupt cache entry quarantined" corrupt) then
+    C.fail ck "corrupt cache entry was not quarantined";
+  (* 6: a withheld shard is an explicit partial merge (exit 4). *)
+  let _ =
+    run_cli ~expect:4 "partial"
+      ([ "merge" ] @ gen_flags @ jflags other @ cflags other
+      @ [
+          "--expect-shards"; string_of_int shards; "--report-out";
+          p "partial.json";
+        ])
+  in
+  let partial = C.read_file (p "partial.json") in
+  if not (C.contains ~needle:"missing_shards" partial) then
+    C.fail ck "partial merge envelope lacks missing_shards[]";
+  if not (C.contains ~needle:"missing_apps" partial) then
+    C.fail ck "partial merge envelope lacks missing_apps[]";
+  if ck.C.ck_failures = 0 then remove_tree tmp
+  else Fmt.epr "shard_check: intermediate state kept in %s@." tmp
+
+let () =
+  match Sys.argv with
+  | [| _; exe |] ->
+      check exe;
+      C.finish ck
+  | _ -> C.usage ck "EXTRACTOCOL_BINARY"

@@ -17,6 +17,11 @@ val table1 : unit -> entry list
 val case_studies : unit -> entry list
 (** The apps behind Tables 3-6 and Figures 1/3/5. *)
 
+val generated : seed:int -> count:int -> entry list
+(** {!Synth.generate} as corpus entries — the [--gen N] stress corpus.
+    Deterministic in [(seed, count)], so shards rebuilding the corpus
+    independently partition the same entry list. *)
+
 val apk_of_app : Spec.app -> Apk.t
 (** Generate the APK for an arbitrary spec (bypassing the corpus cache). *)
 

@@ -298,7 +298,7 @@ let xml_shape rng ~shape_id =
 (* App synthesis                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let synthesize_app (r : row) : app =
+let synthesize_app ?(filler = 2) (r : row) : app =
   let rng = rng_of_string r.t_name in
   let scheme = if r.t_https then "https" else "http" in
   let host = "api." ^ r.t_package ^ ".com" in
@@ -461,10 +461,90 @@ let synthesize_app (r : row) : app =
     a_closed = r.t_closed;
     a_auto_blocked = false;
     a_shared_fetch = false;
-    a_filler = 2;
+    a_filler = filler;
     a_endpoints = endpoints;
     a_resources = List.rev !resources;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Parametric generation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The ROADMAP's ~1000-app stress corpus: a seeded sampler over
+   Table-1-like distributions.  Each app draws a size class (endpoint
+   count), a method mix, coverage triples shaped like the open- or
+   closed-source blocks above, body-kind counts, and an obfuscation
+   level (package-name style + filler-method load), then goes through
+   the same [synthesize_app] expansion as the real rows — so generated
+   apps exercise exactly the code paths the Table-1 corpus does, only
+   at fleet scale.  Everything is a pure function of [(seed, count)]:
+   the same pair yields byte-identical app specs on every shard. *)
+
+let rng_of_seed seed = { state = (seed lor 1) land 0x3FFFFFFF }
+
+(* (E, M, A) coverage triple for one method's static count [e]. *)
+let gen_triple rng ~closed e =
+  if e = 0 then (0, 0, 0)
+  else if not closed then
+    (* Open block: source truth recovers everything; occasionally one
+       intent-carried dynamic-only request the static side misses. *)
+    let extra = if next rng 10 = 0 then 1 else 0 in
+    (e, e + extra, e)
+  else
+    (* Closed block: manual fuzzing reaches a fraction, automatic less,
+       plus the odd dynamic-only endpoint. *)
+    let m = e * (40 + next rng 60) / 100 in
+    let a = m * next rng 101 / 100 in
+    let m = m + (if next rng 5 = 0 then 1 + next rng 3 else 0) in
+    (e, m, a)
+
+let generate ~seed ~count : Spec.app list =
+  List.init count (fun i ->
+      let rng = rng_of_seed (seed + ((i + 1) * 7919)) in
+      let name = Printf.sprintf "gen%04d" (i + 1) in
+      (* Size classes: mostly small apps with a long tail, like a
+         Play-Store crawl. *)
+      let total =
+        match next rng 100 with
+        | c when c < 55 -> 1 + next rng 4 (* small: 1-4 *)
+        | c when c < 85 -> 5 + next rng 8 (* medium: 5-12 *)
+        | c when c < 97 -> 13 + next rng 18 (* large: 13-30 *)
+        | _ -> 31 + next rng 30 (* huge: 31-60 *)
+      in
+      let g = total * (30 + next rng 41) / 100 in
+      let pd = if total >= 10 then next rng (max 1 ((total - g) / 3)) else 0 in
+      let put_n = pd / 2 in
+      let del_n = pd - put_n in
+      let p = total - g - pd in
+      let closed = next rng 100 < 60 in
+      let https = next rng 100 < 55 in
+      let non_get = p + put_n + del_n in
+      let pairs = max 1 (total * (30 + next rng 70) / 100) in
+      let xml = if (not closed) && next rng 3 = 0 then 1 + next rng 2 else 0 in
+      let json = max 0 (pairs - xml) in
+      let query = non_get * next rng 101 / 100 in
+      (* Obfuscation level: plain / renamed / fully minified — drives the
+         package-name style and the filler-method load the analyzer must
+         wade through. *)
+      let ob =
+        match next rng 100 with c when c < 50 -> 0 | c when c < 85 -> 1 | _ -> 2
+      in
+      let w1 = pick rng word_pool and w2 = pick rng word_pool in
+      let package =
+        match ob with
+        | 0 -> Printf.sprintf "com.%s.%s%d" w1 w2 (i + 1)
+        | 1 -> Printf.sprintf "io.%s.gen%d" w1 (i + 1)
+        | _ -> Printf.sprintf "a%d.b.c" (i + 1)
+      in
+      let r =
+        row name package ~https ~closed
+          ~get:(gen_triple rng ~closed g)
+          ~post:(gen_triple rng ~closed p)
+          ~put:(gen_triple rng ~closed put_n)
+          ~delete:(gen_triple rng ~closed del_n)
+          ~query ~json ~xml ~pairs
+      in
+      synthesize_app ~filler:(1 + ob) r)
 
 (** Rows realized by hand-authored case-study apps rather than synthesis. *)
 let hand_authored = [ "radio reddit"; "Diode" ]

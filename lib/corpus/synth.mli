@@ -75,10 +75,23 @@ val allocate : int * int * int -> alloc
 (** Decompose an (E, M, A) triple into visibility classes whose unions
     reproduce the three counts exactly. *)
 
-val synthesize_app : row -> Spec.app
+val synthesize_app : ?filler:int -> row -> Spec.app
 (** Deterministically expand a row into a full app spec (seeded by the
     app name): endpoint ids, URI templates, value sources, body and
-    response shapes, triggers and stacks. *)
+    response shapes, triggers and stacks.  [filler] (default 2) sets the
+    app's filler-method load — the generator raises it for obfuscated
+    apps. *)
+
+val generate : seed:int -> count:int -> Spec.app list
+(** The parametric stress corpus: [count] apps sampled from
+    Table-1-like distributions — size classes with a long tail, method
+    mixes, open/closed coverage triples, body-kind counts, and
+    obfuscation levels that drive package-name style and filler load.
+    A pure function of [(seed, count)]: every shard regenerating the
+    corpus from the same pair sees byte-identical app specs, which is
+    what lets [--shard]/[merge] treat the generated corpus exactly like
+    the built-in one.  App names are ["gen0001"] … and never collide
+    with Table-1 names. *)
 
 val hand_authored : string list
 (** Rows realized by hand-authored case-study apps rather than

@@ -46,6 +46,8 @@ type options = {
   ro_sleep : Clock.sleep;
   ro_jobs : int;
   ro_worker_kill : string option;
+  ro_shard : (int * int) option;
+  ro_corpus_tag : string option;
 }
 
 let default_options =
@@ -59,6 +61,8 @@ let default_options =
     ro_sleep = Clock.sleep_wall;
     ro_jobs = 1;
     ro_worker_kill = None;
+    ro_shard = None;
+    ro_corpus_tag = None;
   }
 
 (* Everything a cached result's validity depends on.  The analysis
@@ -67,12 +71,58 @@ let default_options =
    bump even when no cache is configured.  ro_jobs is deliberately NOT
    part of the fingerprint: parallelism never changes a result, so a
    run journaled at --jobs 4 must resume cleanly at --jobs 1 and vice
-   versa. *)
+   versa.  ro_shard is likewise excluded — shard K/N computes the same
+   results the unsharded run would, so its cache entries must carry the
+   same keys for merge to union them — but the corpus tag ([--gen]) IS
+   included: a generated corpus must not resume a Table-1 journal. *)
 let config_fingerprint (o : options) =
-  Printf.sprintf "%s;%s;v%d"
+  Printf.sprintf "%s;%s;v%d%s"
     (Pipeline.options_fingerprint o.ro_pipeline)
     (Retry.fingerprint o.ro_policy)
     Store.analysis_version
+    (match o.ro_corpus_tag with None -> "" | Some t -> ";" ^ t)
+
+(* The journal (and shard envelope) identity adds which slice of the
+   corpus this run covers: a shard must only resume its own journal, and
+   merge reads the suffix back to know which shards it has seen.  The
+   suffix is syntactic — [Merge.strip_shard] removes it to recover the
+   base fingerprint that cache keys and the merged envelope use. *)
+let journal_fingerprint (o : options) =
+  config_fingerprint o
+  ^
+  match o.ro_shard with
+  | None -> ""
+  | Some (k, n) -> Printf.sprintf ";shard=%d/%d" k n
+
+(* Deterministic shard assignment, 0-based.  Entries are partitioned by
+   a digest of the app *name* — a proxy for the Store.key cache key that
+   does not require materializing the APK: namesake corpus entries share
+   one spec, hence one APK and one cache key, and hashing the name keeps
+   them on one shard, so the later duplicate is an intra-shard cache hit
+   exactly as in the unsharded run (its "#N" identity and cached flag
+   survive sharding byte-for-byte). *)
+let shard_index ~shards name =
+  let d = Digest.string name in
+  let b i = Char.code d.[i] in
+  ((b 0 lsl 22) lxor (b 1 lsl 14) lxor (b 2 lsl 6) lxor b 3) mod max 1 shards
+
+(* Corpus entries are journaled under a unique id: an app name that
+   appears twice (a case study that is also a Table 1 row) gets "#2",
+   "#3"... suffixes, or one entry's journal record would be replayed for
+   every namesake on resume.  Always computed on the FULL corpus — shard
+   filtering happens after, so an entry's identity is independent of
+   which shard runs it. *)
+let identify entries =
+  let seen = Hashtbl.create 41 in
+  List.map
+    (fun (e : Corpus.entry) ->
+      let name = e.Corpus.c_app.Spec.a_name in
+      let n =
+        (match Hashtbl.find_opt seen name with Some n -> n | None -> 0) + 1
+      in
+      Hashtbl.replace seen name n;
+      ((if n = 1 then name else Printf.sprintf "%s#%d" name n), e))
+    entries
 
 type status = Ok | Degraded | Quarantined
 
@@ -494,14 +544,30 @@ let run ?(on_result = fun (_ : app_result) -> ())
     ?(on_state = fun ~busy:(_ : int) ~idle:(_ : int) ~pending:(_ : int) -> ())
     (o : options) (entries : Corpus.entry list) : (run, string) result =
   let config = config_fingerprint o in
+  (* The journal header carries the shard identity on top of [config]:
+     cache keys stay shard-independent (merge unions them), the journal
+     does not (shard 2 must not resume shard 1's journal). *)
+  let jconfig = journal_fingerprint o in
+  let shard_ok =
+    match o.ro_shard with
+    | None -> Result.Ok ()
+    | Some (k, n) when k >= 1 && k <= n -> Result.Ok ()
+    | Some (k, n) ->
+        Result.Error
+          (Printf.sprintf "--shard %d/%d: K must be between 1 and N" k n)
+  in
   (* Open the cache first: a bad --cache-dir is a usage error, not
      something to discover halfway through the corpus. *)
   let cache =
-    match o.ro_cache_dir with
-    | None -> Result.Ok None
-    | Some dir -> (
-        try Result.Ok (Some (Store.open_ ~dir))
-        with Sys_error msg -> Result.Error (Printf.sprintf "cache directory: %s" msg))
+    match shard_ok with
+    | Result.Error msg -> Result.Error msg
+    | Result.Ok () -> (
+        match o.ro_cache_dir with
+        | None -> Result.Ok None
+        | Some dir -> (
+            try Result.Ok (Some (Store.open_ ~dir))
+            with Sys_error msg ->
+              Result.Error (Printf.sprintf "cache directory: %s" msg)))
   in
   (* The journal: fresh for a new run, replayed for --resume.  Resuming
      yields the map of already-finished apps and the crash each
@@ -510,7 +576,7 @@ let run ?(on_result = fun (_ : app_result) -> ())
     match (o.ro_resume, o.ro_journal) with
     | true, None -> Result.Error "--resume requires --journal PATH"
     | true, Some path -> (
-        match Journal.load ~path ~config () with
+        match Journal.load ~path ~config:jconfig () with
         | Result.Error msg -> Result.Error msg
         | Result.Ok (j, events) ->
             let crashes = Hashtbl.create 8 in
@@ -523,7 +589,8 @@ let run ?(on_result = fun (_ : app_result) -> ())
             Result.Ok (Some j, Journal.finished events, crashes))
     | false, None -> Result.Ok (None, [], Hashtbl.create 0)
     | false, Some path ->
-        Result.Ok (Some (Journal.create ~path ~config ()), [], Hashtbl.create 0)
+        Result.Ok
+          (Some (Journal.create ~path ~config:jconfig ()), [], Hashtbl.create 0)
   in
   match (cache, journal) with
   | Result.Error msg, _ | _, Result.Error msg -> Result.Error msg
@@ -611,22 +678,19 @@ let run ?(on_result = fun (_ : app_result) -> ())
             | None -> None)
         | _ -> None
       in
-      (* Corpus entries are journaled under a unique id: an app name that
-         appears twice (a case study that is also a Table 1 row) gets
-         "#2", "#3"... suffixes, or one entry's journal record would be
-         replayed for every namesake on resume. *)
+      (* Identify on the full corpus, then keep this shard's slice: "#N"
+         identities are shard-independent, and namesakes co-locate (the
+         partition hashes the shared name), so the merged result set is
+         exactly the unsharded one. *)
       let identified =
-        let seen = Hashtbl.create 41 in
-        List.map
-          (fun (e : Corpus.entry) ->
-            let name = e.Corpus.c_app.Spec.a_name in
-            let n =
-              (match Hashtbl.find_opt seen name with Some n -> n | None -> 0)
-              + 1
-            in
-            Hashtbl.replace seen name n;
-            ((if n = 1 then name else Printf.sprintf "%s#%d" name n), e))
-          entries
+        let all = identify entries in
+        match o.ro_shard with
+        | None -> all
+        | Some (k, n) ->
+            List.filter
+              (fun ((_, e) : string * Corpus.entry) ->
+                shard_index ~shards:n e.Corpus.c_app.Spec.a_name = k - 1)
+              all
       in
       let try_restore id =
         if o.ro_resume then Option.bind (List.assoc_opt id done_map) (restore id)
@@ -680,12 +744,21 @@ let run ?(on_result = fun (_ : app_result) -> ())
 
 (* Built by hand so each app's deterministic report string is spliced in
    verbatim: round-tripping through the Json value model would reprint
-   floats and break the byte-identity --resume guarantees. *)
-let report_json ~config (r : run) : string =
+   floats and break the byte-identity --resume guarantees.  [extra]
+   members ([merge]'s missing_shards[] and friends) are spliced between
+   the config and the apps as raw JSON values; an empty [extra] changes
+   nothing, which is what keeps a clean merge byte-identical to the
+   unsharded envelope. *)
+let report_json ?(extra = []) ~config (r : run) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "{\"config\":\"%s\"" (Json.escape_string config));
   if r.rn_interrupted then Buffer.add_string buf ",\"interrupted\":true";
+  List.iter
+    (fun (k, raw) ->
+      Buffer.add_string buf (Printf.sprintf ",\"%s\":" (Json.escape_string k));
+      Buffer.add_string buf raw)
+    extra;
   Buffer.add_string buf ",\"apps\":[";
   List.iteri
     (fun i a ->

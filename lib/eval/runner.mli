@@ -37,6 +37,18 @@ type options = {
   ro_worker_kill : string option;
       (** test hook: a forked worker dispatched this app [_exit]s
           immediately, simulating a worker death mid-app *)
+  ro_shard : (int * int) option;
+      (** [Some (k, n)]: run only the k-th of n deterministic corpus
+          slices (1-based), partitioned by {!shard_index}.  Not part of
+          {!config_fingerprint} — a shard computes exactly what the
+          unsharded run would, so its cache entries carry the same keys
+          and [merge] can union them — but it IS part of
+          {!journal_fingerprint}: a shard only resumes its own journal *)
+  ro_corpus_tag : string option;
+      (** identity of a non-default corpus (the [--gen] generator's
+          ["gen=SEED:COUNT"]); folded into {!config_fingerprint} so a
+          generated-corpus journal or cache never mingles with the
+          Table-1 corpus under the same pipeline options *)
 }
 
 val default_options : options
@@ -45,14 +57,46 @@ val default_options : options
 
 val config_fingerprint : options -> string
 (** The configuration identity a result depends on: pipeline options,
-    retry policy and {!Extr_store.Store.analysis_version}.  Cache keys
-    digest it; journals carry it in their header and [--resume] refuses
-    a journal whose fingerprint differs. *)
+    retry policy, {!Extr_store.Store.analysis_version} and the corpus
+    tag.  Cache keys digest it; journals carry it (extended per
+    {!journal_fingerprint}) in their header and [--resume] refuses a
+    journal whose fingerprint differs. *)
+
+val journal_fingerprint : options -> string
+(** {!config_fingerprint} plus a [";shard=K/N"] suffix when [ro_shard]
+    is set: what the journal header and a shard run's envelope record.
+    [merge] strips the suffix to recover the base fingerprint the
+    merged envelope (and every cache key) uses. *)
+
+val shard_index : shards:int -> string -> int
+(** The 0-based shard owning an app name, for an [n]-way partition.  A
+    digest of the {e name} is a faithful proxy for the [Store.key] cache
+    key here: namesake corpus entries share one spec, hence one APK and
+    one key, and name-hashing keeps them on one shard so the later
+    ["#2"] duplicate stays an intra-shard cache hit exactly as in the
+    unsharded run. *)
+
+val identify : Corpus.entry list -> (string * Corpus.entry) list
+(** The unique journal identities of a corpus, in corpus order: the app
+    name, with ["#2"]-style suffixes for repeated names.  Always
+    computed on the full corpus — [--shard] filters {e after} this, so
+    identities are shard-independent ([merge] recomputes them to know
+    the expected result set). *)
 
 type status = Ok | Degraded | Quarantined
 
 val status_name : status -> string
 (** ["ok"], ["degraded"], ["quarantined"] — the journal/report strings. *)
+
+val status_of_name : string -> status option
+(** Inverse of {!status_name}; [None] for anything else. *)
+
+val inspect_report_json :
+  string -> (status * int * Resilience.Degrade.degradation list) option
+(** Status, transaction count and degradation list of a serialized
+    deterministic report, recovered without trusting anything beyond
+    its shape — [None] when the string is not a report we recognize
+    (callers treat that as a cache miss / corrupt artifact). *)
 
 type app_result = {
   ar_app : string;
@@ -124,8 +168,13 @@ val run :
     app (crash phase ["worker"]) while a replacement worker is
     respawned. *)
 
-val report_json : config:string -> run -> string
+val report_json :
+  ?extra:(string * string) list -> config:string -> run -> string
 (** The corpus report envelope: configuration fingerprint plus one
     member per app — status, attempts, [cached], and the app's
     deterministic report spliced in verbatim (never reparsed, so cached
-    and fresh serializations stay byte-identical). *)
+    and fresh serializations stay byte-identical).  [extra] members
+    (key, raw JSON value) are spliced between the config and the apps;
+    [merge] uses them for [missing_shards[]] and friends, and leaves
+    them empty on a clean merge so the envelope stays byte-identical to
+    the unsharded run's. *)

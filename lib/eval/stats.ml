@@ -300,8 +300,50 @@ let profile_of_json contents =
       in
       Ok (hotspots, wastes)
 
-let of_artifacts ~journal ?cache_dir ?metrics ?profile () =
-  match Journal.read ~path:journal with
+(* Read a journal set: one journal is the classic single-run view; a
+   list is a shard set inspected before (or instead of) running
+   `merge`.  Per-journal shard suffixes are stripped and the bases must
+   agree; events are pooled and stably sorted by stamp (unstamped
+   records first, input order preserved on ties), so the per-app
+   last-record-wins fold sees the fleet's records in wall-clock order.
+   A zero-byte journal — a shard that died between open and header, the
+   stale-lock shape — is an empty run, not an error. *)
+let read_journals paths =
+  let single = match paths with [ _ ] -> true | _ -> false in
+  let rec fold cfg acc = function
+    | [] ->
+        let stamped =
+          List.stable_sort
+            (fun (a, _) (b, _) ->
+              let v = function Some s -> s | None -> neg_infinity in
+              compare (v a) (v b))
+            (List.concat (List.rev acc))
+        in
+        Ok ((match cfg with Some (shown, _) -> shown | None -> "(empty journal)"), stamped)
+    | path :: rest -> (
+        match Journal.read_lenient ~path with
+        | Error msg -> Error msg
+        | Ok (None, _) -> fold cfg acc rest
+        | Ok (Some c, events) -> (
+            let base, _shard = Merge.strip_shard c in
+            (* A single journal keeps its full fingerprint (the shard
+               suffix is informative); a set is reported under the
+               shared base, which every member must agree on. *)
+            let shown = if single then c else base in
+            match cfg with
+            | Some (_, prev) when prev <> base ->
+                Error
+                  (Printf.sprintf
+                     "%s: journal configuration %s does not match the other \
+                      journals' (%s)"
+                     path base prev)
+            | Some _ -> fold cfg (events :: acc) rest
+            | None -> fold (Some (shown, base)) (events :: acc) rest))
+  in
+  fold None [] paths
+
+let of_artifacts ~journals ?cache_dir ?metrics ?profile () =
+  match read_journals journals with
   | Error msg -> Error msg
   | Ok (config, events) -> (
       let ( apps,

@@ -71,15 +71,22 @@ type t = {
 }
 
 val of_artifacts :
-  journal:string ->
+  journals:string list ->
   ?cache_dir:string ->
   ?metrics:string ->
   ?profile:string ->
   unit ->
   (t, string) result
-(** [Error] when the journal is missing/headerless or a given metrics or
-    profile file is unreadable/not JSON.  A missing cache directory
-    yields [rs_cache_entries = None], not an error. *)
+(** One journal reconstructs the classic single-run view; several (a
+    repeated [--journal] on the CLI) pool a shard set without running
+    [merge] first: shard suffixes are stripped from the fingerprints
+    (which must share a base), events merge in stamp order, and the
+    summary covers the whole fleet.  A zero-byte journal — a shard that
+    died before writing its header — counts as an empty run, not an
+    error.  [Error] when a journal file is unreadable, a non-empty one
+    is headerless, the bases disagree, or a given metrics/profile file
+    is unreadable/not JSON.  A missing cache directory yields
+    [rs_cache_entries = None], not an error. *)
 
 val summary_line : t -> string
 (** Exactly the [--all] footer:

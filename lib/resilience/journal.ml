@@ -163,13 +163,16 @@ let reopen_for_append path contents =
   oc
 
 (* Header line + parsed (timestamp, event) records of [path]'s complete
-   lines; shared by the resuming [load] and the read-only [read]. *)
+   lines; shared by the resuming [load] and the read-only [read].
+   [Ok (None, [])] is a zero-byte journal: a run died between opening
+   the file and writing the header (the stale-lock shape) — offline
+   readers classify it as an empty run, not an error. *)
 let parse_journal ~path contents =
   let lines =
     List.filter (fun l -> String.trim l <> "") (split_lines contents)
   in
   match lines with
-  | [] -> Error (path ^ ": empty journal (no header)")
+  | [] -> Ok (None, [])
   | hd :: tl -> (
       match Option.bind (Json.of_string_opt hd) (str "config") with
       | None -> Error (path ^ ": journal header missing or malformed")
@@ -192,12 +195,18 @@ let parse_journal ~path contents =
                     None)
               tl
           in
-          Ok (c, events))
+          Ok (Some c, events))
 
-let read ~path =
+let read_lenient ~path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error msg -> Error msg
   | contents -> parse_journal ~path contents
+
+let read ~path =
+  match read_lenient ~path with
+  | Error msg -> Error msg
+  | Ok (None, _) -> Error (path ^ ": empty journal (no header)")
+  | Ok (Some c, events) -> Ok (c, events)
 
 let load ?(clock = Clock.wall) ~path ~config () =
   match In_channel.with_open_text path In_channel.input_all with
@@ -205,14 +214,15 @@ let load ?(clock = Clock.wall) ~path ~config () =
   | contents -> (
       match parse_journal ~path contents with
       | Error msg -> Error msg
-      | Ok (c, _) when c <> config ->
+      | Ok (None, _) -> Error (path ^ ": empty journal (no header)")
+      | Ok (Some c, _) when c <> config ->
           Error
             (Fmt.str
                "%s: journal was written under a different configuration \
                 (%s, current run %s); results would not match — remove \
                 the journal or rerun without --resume"
                path c config)
-      | Ok (_, timestamped) -> (
+      | Ok (Some _, timestamped) -> (
           match reopen_for_append path contents with
           | exception Unix.Unix_error (e, _, _) ->
               Error (path ^ ": " ^ Unix.error_message e)
@@ -223,6 +233,19 @@ let load ?(clock = Clock.wall) ~path ~config () =
                   List.map snd timestamped )))
 
 let append t ev = write_line t.jn_oc (stamp t (json_of_event ev))
+
+(* Offline serialization, format-identical to the live appender, so the
+   merge subcommand can write a unioned journal that stats / a further
+   merge read back exactly like one the runner wrote. *)
+let with_stamp stamp json =
+  match (stamp, json) with
+  | Some t, Json.Obj fields -> Json.Obj (fields @ [ ("t", Json.Float t) ])
+  | _, other -> other
+
+let header_line ?stamp ~config () =
+  Json.to_string (with_stamp stamp (header config))
+
+let line_of_event ?stamp ev = Json.to_string (with_stamp stamp (json_of_event ev))
 
 let path t = t.jn_path
 

@@ -65,6 +65,25 @@ val read : path:string -> (string * (float option * event) list, string) result
     skipped, so a journal left by a killed (or still-running) run can be
     inspected without touching it. *)
 
+val read_lenient :
+  path:string -> (string option * (float option * event) list, string) result
+(** Like {!read}, but a zero-byte (or whitespace-only) journal — a run
+    that died between opening the file and writing the header, the
+    stale-lock shape — is [Ok (None, [])] rather than an error, so
+    [merge] and [stats] can classify it as an empty shard.  A non-empty
+    file with a malformed header is still an [Error]. *)
+
+val header_line : ?stamp:float -> config:string -> unit -> string
+(** The header record (no trailing newline) exactly as {!create} writes
+    it, with an optional explicit timestamp — for offline writers (the
+    [merge] subcommand) producing a journal the runner's readers accept
+    verbatim. *)
+
+val line_of_event : ?stamp:float -> event -> string
+(** One event record (no trailing newline) exactly as {!append} writes
+    it, with an optional explicit timestamp carried over from the source
+    journal. *)
+
 val append : t -> event -> unit
 (** Record an event: one JSONL line appended and fsync'd before this
     returns, so the event survives any subsequent kill.  O(1) in the

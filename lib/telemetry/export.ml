@@ -146,17 +146,31 @@ let chrome_trace ?(pid = 1) (spans : Span.span list) : string =
    going through [Filename.temp_file]: forked worker processes inherit
    the stdlib's temp-name PRNG state, so siblings writing into a shared
    cache directory would draw identical name sequences and race on the
-   same temp file.  Pid-qualified names cannot collide across
-   processes. *)
+   same temp file.  Pid alone is not enough once shards share an
+   artifact directory across machines (or a pid is reused after a
+   respawn), so each name also carries a random suffix drawn from
+   /dev/urandom-seeded state private to this module. *)
 let temp_counter = ref 0
+
+let temp_rng =
+  (* Seeded independently of the stdlib's default generator so forked
+     workers and [Filename.temp_file] users never share a sequence. *)
+  lazy
+    (Random.State.make
+       [|
+         Unix.getpid ();
+         int_of_float (Unix.gettimeofday () *. 1e6) land 0x3FFFFFFF;
+         Hashtbl.hash (Unix.gethostname ());
+       |])
 
 let write_file path contents =
   let dir = Filename.dirname path in
   incr temp_counter;
   let tmp =
     Filename.concat dir
-      (Printf.sprintf ".%s.%d.%d.tmp" (Filename.basename path)
-         (Unix.getpid ()) !temp_counter)
+      (Printf.sprintf ".%s.%d.%d.%06x.tmp" (Filename.basename path)
+         (Unix.getpid ()) !temp_counter
+         (Random.State.int (Lazy.force temp_rng) 0x1000000))
   in
   (try
      Out_channel.with_open_text tmp (fun oc ->

@@ -4,11 +4,19 @@
 
 val write_file : string -> string -> unit
 (** [write_file path contents] writes atomically: contents go to a temp
-    file in [path]'s directory which is then renamed over [path], so a
-    crash mid-export never leaves a truncated file behind.  Temp names
-    are pid-qualified, so forked workers writing into a shared directory
-    (the result cache under [--jobs N]) never collide.  Used by every
-    exporter here and by the provenance export. *)
+    file in [path]'s directory which is then renamed over [path].
+
+    The atomicity contract: readers of [path] see either the previous
+    complete contents or the new complete contents, never a prefix — a
+    crash mid-export leaves at most an orphaned [.*.tmp] file, never a
+    truncated [path].  The temp file lives in [path]'s own directory
+    because rename is only atomic within one filesystem.  Temp names
+    carry the pid, a per-process counter {e and} a random suffix, so
+    concurrent writers never collide even when they are forked workers
+    (which inherit the stdlib temp-name PRNG state), distinct shard
+    processes on different machines sharing one artifact directory, or
+    a pid reused after a respawn.  Used by every exporter here, by the
+    provenance export, and by the result cache and merge outputs. *)
 
 val chrome_trace : ?pid:int -> Span.span list -> string
 (** The spans as a [{"traceEvents": [...]}] document of complete ("X")

@@ -123,7 +123,7 @@ let write_killed_journal path =
 let test_stats_of_killed_journal () =
   let path = tmp_path "killed.jsonl" in
   write_killed_journal path;
-  (match Stats.of_artifacts ~journal:path () with
+  (match Stats.of_artifacts ~journals:[ path ] () with
   | Error msg -> Alcotest.fail msg
   | Ok t ->
       check Alcotest.string "config" "cfg" t.Stats.rs_config;
@@ -176,7 +176,7 @@ let test_stats_matches_resume_view () =
   let path = tmp_path "agree.jsonl" in
   write_killed_journal path;
   let stats =
-    match Stats.of_artifacts ~journal:path () with
+    match Stats.of_artifacts ~journals:[ path ] () with
     | Ok t -> t
     | Error msg -> Alcotest.fail msg
   in
@@ -215,7 +215,7 @@ let test_stats_restarted_app_in_flight () =
   Journal.append j (started "a");
   Journal.append j (finished "a");
   Journal.append j (started "a");
-  (match Stats.of_artifacts ~journal:path () with
+  (match Stats.of_artifacts ~journals:[ path ] () with
   | Error msg -> Alcotest.fail msg
   | Ok t ->
       check Alcotest.string "re-started app back in flight"
@@ -244,7 +244,7 @@ let test_stats_phase_percentiles_from_metrics () =
   done;
   let mpath = tmp_path "ph-metrics.json" in
   Export.write_metrics mpath r;
-  (match Stats.of_artifacts ~journal:jpath ~metrics:mpath () with
+  (match Stats.of_artifacts ~journals:[ jpath ] ~metrics:mpath () with
   | Error msg -> Alcotest.fail msg
   | Ok t -> (
       match t.Stats.rs_phases with
@@ -260,7 +260,7 @@ let test_stats_phase_percentiles_from_metrics () =
   Sys.remove mpath
 
 let test_stats_missing_journal () =
-  match Stats.of_artifacts ~journal:(tmp_path "nope.jsonl") () with
+  match Stats.of_artifacts ~journals:[ tmp_path "nope.jsonl" ] () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing journal must be an error"
 

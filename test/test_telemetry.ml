@@ -217,6 +217,69 @@ let test_gauge_merge_deterministic () =
   let n1 = snap (-3.0) and n2 = snap (-8.0) in
   check (Alcotest.float 0.0) "negative max" (-3.0) (merge [ n2; n1 ])
 
+let test_merge_samples_edge_cases () =
+  (* An empty snapshot (a worker that measured nothing, a shard that
+     owned no apps) merges as a no-op, in either direction. *)
+  let full = Metrics.create ~enabled:true () in
+  Metrics.incr (Metrics.counter ~registry:full "reqs") ~by:5;
+  let before = render_samples (Metrics.snapshot full) in
+  Metrics.merge_samples full [];
+  check
+    Alcotest.(list string)
+    "empty delta is a no-op" before
+    (render_samples (Metrics.snapshot full));
+  let empty = Metrics.create ~enabled:true () in
+  Metrics.merge_samples empty (Metrics.snapshot full);
+  check
+    Alcotest.(list string)
+    "merge into empty reproduces the source" before
+    (render_samples (Metrics.snapshot empty));
+  (* A zero-bucket histogram (only the +inf overflow slot) still counts
+     and sums across merges. *)
+  let w = Metrics.create ~enabled:true () in
+  let h = Metrics.histogram ~registry:w ~buckets:[] "odd" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0 ];
+  let delta = Metrics.snapshot w in
+  let coord = Metrics.create ~enabled:true () in
+  Metrics.merge_samples coord delta;
+  Metrics.merge_samples coord delta;
+  (match Metrics.find coord "odd" with
+  | Some s ->
+      check Alcotest.int "zero-bucket count adds" 4 s.Metrics.sa_count;
+      check (Alcotest.float 1e-9) "zero-bucket sum adds" 6.0 s.Metrics.sa_sum;
+      check
+        Alcotest.(list int)
+        "only the overflow slot" [ 4 ]
+        (List.map snd s.Metrics.sa_buckets)
+  | None -> Alcotest.fail "zero-bucket histogram missing after merge");
+  (* Three-way associativity: (a+b)+c = a+(b+c) — the shard merge folds
+     snapshots in CLI argument order, so grouping must not matter. *)
+  let shard i =
+    let w = Metrics.create ~enabled:true () in
+    Metrics.incr (Metrics.counter ~registry:w "reqs") ~by:i;
+    Metrics.set (Metrics.gauge ~registry:w "peak") (float_of_int (10 * i));
+    let h = Metrics.histogram ~registry:w ~buckets:[ 1.0; 10.0 ] "lat" in
+    List.iter (Metrics.observe h) [ 0.5 *. float_of_int i; 5.0; 50.0 ];
+    Metrics.snapshot w
+  in
+  let a = shard 1 and b = shard 2 and c = shard 3 in
+  let fold snaps =
+    let r = Metrics.create ~enabled:true () in
+    List.iter (Metrics.merge_samples r) snaps;
+    render_samples (Metrics.snapshot r)
+  in
+  let via l =
+    (* fold the first group into one snapshot, then merge the rest *)
+    let r = Metrics.create ~enabled:true () in
+    List.iter (Metrics.merge_samples r) l;
+    Metrics.snapshot r
+  in
+  check
+    Alcotest.(list string)
+    "(a+b)+c = a+(b+c)"
+    (fold [ via [ a; b ]; c ])
+    (fold [ a; via [ b; c ] ])
+
 let test_percentile () =
   let w = Metrics.create ~enabled:true () in
   let h =
@@ -841,6 +904,8 @@ let () =
           tc "reset keeps registrations" test_metrics_reset;
           tc "worker deltas merge exactly" test_merge_samples;
           tc "gauge merge is order-independent" test_gauge_merge_deterministic;
+          tc "merge edge cases: empty, zero-bucket, associativity"
+            test_merge_samples_edge_cases;
           tc "histogram percentile estimation" test_percentile;
           tc "percentile edge cases" test_percentile_edges;
         ] );
