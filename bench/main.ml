@@ -383,6 +383,97 @@ let write_phase_timings path =
         ("speedup", Json.Float (if par_s > 0. then seq_s /. par_s else 0.));
       ]
   in
+  (* Self-healing overhead: the watchdog heartbeats (one Up_beat frame
+     per phase per app over the result pipe), the journal record
+     checksums and the cache content digests, all on — against the same
+     pooled run with every one of them off.  Min-of-3 each side to shave
+     scheduler noise; the differential must stay under 2% or the bench
+     fails, so the integrity layer can never quietly become a tax. *)
+  let watchdog =
+    let budget = 1.02 in
+    let runs = 5 in
+    let gen_entries = Corpus.generated ~seed:3 ~count:100 in
+    let module Journal = Extr_resilience.Journal in
+    let module Store = Extr_store.Store in
+    let time_once tag ~integrity ~heartbeat =
+      let dir = Filename.temp_file "bench_watchdog" "" in
+      Sys.remove dir;
+      Sys.mkdir dir 0o755;
+      let options =
+        {
+          Runner.default_options with
+          Runner.ro_journal = Some (Filename.concat dir (tag ^ ".jsonl"));
+          ro_cache_dir = Some (Filename.concat dir (tag ^ "-cache"));
+          ro_jobs = 2;
+          ro_corpus_tag = Some "gen=3:100";
+          ro_heartbeat = heartbeat;
+          ro_hang_timeout = (if heartbeat then Some 5.0 else None);
+        }
+      in
+      Journal.set_integrity integrity;
+      Store.set_integrity integrity;
+      let t0 = Unix.gettimeofday () in
+      (match Runner.run options gen_entries with
+      | Ok _ -> ()
+      | Error e -> Fmt.failwith "watchdog bench: %s" e);
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Journal.set_integrity true;
+      Store.set_integrity true;
+      elapsed
+    in
+    (* One untimed warmup, then interleaved off/on pairs with the
+       within-pair order alternating: both sides sample the same
+       allocator and page-cache drift, and neither side systematically
+       runs earlier — scheduler noise at this scale otherwise dwarfs a
+       2% differential.  Min of each side is the floor estimate. *)
+    ignore (time_once "warmup" ~integrity:true ~heartbeat:true);
+    let off_s = ref infinity and on_s = ref infinity in
+    let sample_off i =
+      off_s :=
+        min !off_s
+          (time_once (Printf.sprintf "off%d" i) ~integrity:false
+             ~heartbeat:false)
+    and sample_on i =
+      on_s :=
+        min !on_s
+          (time_once (Printf.sprintf "on%d" i) ~integrity:true
+             ~heartbeat:true)
+    in
+    for i = 0 to runs - 1 do
+      if i mod 2 = 0 then begin
+        sample_off i;
+        sample_on i
+      end
+      else begin
+        sample_on i;
+        sample_off i
+      end
+    done;
+    let off_s = !off_s and on_s = !on_s in
+    let ratio = if off_s > 0. then on_s /. off_s else 1.0 in
+    let pass = ratio < budget in
+    Fmt.pf fmt
+      "  watchdog + integrity: off %.3fs -> on %.3fs over %d apps \
+       (overhead %.2f%%, budget %.0f%%)@\n"
+      off_s on_s (List.length gen_entries)
+      ((ratio -. 1.0) *. 100.0)
+      ((budget -. 1.0) *. 100.0);
+    if not pass then
+      Fmt.failwith
+        "watchdog bench: heartbeat+checksum overhead %.2fx exceeds the %.2fx \
+         budget"
+        ratio budget;
+    Json.Obj
+      [
+        ("apps", Json.Int (List.length gen_entries));
+        ("jobs", Json.Int 2);
+        ("off_s", Json.Float off_s);
+        ("on_s", Json.Float on_s);
+        ("overhead_ratio", Json.Float ratio);
+        ("budget", Json.Float budget);
+        ("pass", Json.Bool pass);
+      ]
+  in
   (* Sharded corpus farm: 1000 generated apps split --shard K/4, merged
      back offline.  max_shard_s approximates the fleet's wall-clock when
      the shards run on separate machines; merge_s is the reassembly
@@ -476,6 +567,7 @@ let write_phase_timings path =
         ("cache", cache);
         ("pool", pool);
         ("shard", shard);
+        ("watchdog", watchdog);
       ]
   in
   Extr_telemetry.Export.write_file path (Json.to_string doc ^ "\n");

@@ -15,6 +15,7 @@ module Provenance = Extr_provenance.Provenance
 module Explain = Extr_extractocol.Explain
 module Resilience = Extr_resilience.Resilience
 module Retry = Extr_resilience.Retry
+module Fault = Extr_resilience.Fault
 module Runner = Extr_eval.Runner
 module Pool = Extr_eval.Pool
 module Progress = Extr_eval.Progress
@@ -305,7 +306,7 @@ let corpus_of_flags gen gen_seed =
 
 let run_all limits force_crash journal resume cache_dir report_out crash_at
     retries jobs shard gen gen_seed metrics_out trace_out hotspots profile_out
-    progress =
+    progress hang_timeout =
   (* Arm the injected kill-point before anything runs: the Nth entry to
      the named pipeline phase terminates the process with exit 99,
      leaving the journal mid-run — exactly what --resume recovers from. *)
@@ -354,6 +355,7 @@ let run_all limits force_crash journal resume cache_dir report_out crash_at
       ro_jobs = (if jobs = 0 then Pool.default_jobs () else jobs);
       ro_shard = shard;
       ro_corpus_tag = snd (corpus_of_flags gen gen_seed);
+      ro_hang_timeout = hang_timeout;
     }
   in
   let entries = fst (corpus_of_flags gen gen_seed) in
@@ -760,6 +762,43 @@ let gen_seed_arg =
   let doc = "Seed for the $(b,--gen) corpus generator." in
   Arg.(value & opt int 1 & info [ "gen-seed" ] ~docv:"SEED" ~doc)
 
+let hang_timeout_arg =
+  let doc =
+    "Arm the hung-worker watchdog for $(b,--all --jobs N): a worker\n\
+     silent (no heartbeat, event or result) for longer than this many\n\
+     seconds is killed, its app retried once on a fresh worker, then\n\
+     quarantined under the $(i,hung\\@PHASE) crash taxonomy.  Off by\n\
+     default."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "hang-timeout" ] ~docv:"SECONDS" ~doc)
+
+let inject_arg =
+  let doc =
+    "Inject an environment fault at a named site (repeatable):\n\
+     $(i,SITE[\\@N][:MODE]) arms the Nth (default first) hit of\n\
+     $(i,SITE) with $(i,MODE) — e.g.\n\
+     $(b,export.write:enospc), $(b,journal.append\\@3:torn),\n\
+     $(b,store.read:bitflip), $(b,pool.frame), or\n\
+     $(b,worker.spin:APP) to wedge the worker analyzing $(i,APP).\n\
+     Test hook; the $(b,EXTRACTOCOL_INJECT) environment variable takes\n\
+     the same comma-separated specs."
+  in
+  Arg.(
+    value & opt_all string [] & info [ "inject" ] ~docv:"SPEC" ~doc)
+
+let arm_injections specs =
+  List.iter
+    (fun spec ->
+      match Fault.arm_spec spec with
+      | Ok () -> ()
+      | Error msg ->
+          Fmt.epr "invalid --inject %S: %s@." spec msg;
+          exit exit_usage)
+    specs
+
 let exits =
   [
     Cmd.Exit.info exit_ok ~doc:"the analysis completed cleanly.";
@@ -799,8 +838,9 @@ let analyze_term =
            dot trace trace_out metrics_out profile hotspots profile_out
            explain provenance_out max_steps max_depth deadline all force_crash
            journal resume cache_dir report_out crash_at retries jobs shard gen
-           gen_seed progress ->
+           gen_seed progress hang_timeout inject ->
         setup_logs log_level;
+        arm_injections inject;
         let limits =
           {
             Resilience.Budget.bl_max_steps = max_steps;
@@ -812,7 +852,7 @@ let analyze_term =
         else if all then
           run_all limits force_crash journal resume cache_dir report_out
             crash_at retries jobs shard gen gen_seed metrics_out trace_out
-            hotspots profile_out progress
+            hotspots profile_out progress hang_timeout
         else
           analyze_app name scope async intents obf obf_libs limple json dot
             trace trace_out metrics_out profile hotspots profile_out explain
@@ -824,21 +864,29 @@ let analyze_term =
     $ max_steps_arg $ max_depth_arg $ deadline_arg $ all_flag
     $ force_crash_arg $ journal_arg $ resume_flag $ cache_dir_arg
     $ report_out_arg $ crash_at_arg $ retries_arg $ jobs_arg $ shard_arg
-    $ gen_arg $ gen_seed_arg $ progress_flag)
+    $ gen_arg $ gen_seed_arg $ progress_flag $ hang_timeout_arg $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats: offline run reconstruction from artifacts                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_stats log_level journals cache_dir metrics profile =
+let run_stats log_level journals cache_dir metrics profile verify =
   setup_logs log_level;
-  match Stats.of_artifacts ~journals ?cache_dir ?metrics ?profile () with
-  | Error msg ->
-      Fmt.epr "%s@." msg;
-      exit_usage
-  | Ok t ->
-      Fmt.pr "%a" Stats.pp t;
-      exit_ok
+  if verify then begin
+    (* Integrity audit, not reconstruction: re-verify every journal
+       record's checksum and every cache entry's content digest. *)
+    let r = Stats.verify ~journals ?cache_dir () in
+    Fmt.pr "%a" Stats.pp_verify r;
+    if Stats.verify_clean r then exit_ok else exit_degraded
+  end
+  else
+    match Stats.of_artifacts ~journals ?cache_dir ?metrics ?profile () with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        exit_usage
+    | Ok t ->
+        Fmt.pr "%a" Stats.pp t;
+        exit_ok
 
 let stats_cmd =
   let doc =
@@ -894,11 +942,20 @@ let stats_cmd =
     Arg.(
       value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
   in
+  let verify =
+    let doc =
+      "Audit artifact integrity instead of reconstructing the run:\n\
+       re-verify every journal record's checksum and (with\n\
+       $(b,--cache-dir)) every cache entry's content digest.  Exits 0\n\
+       when everything checks out, 3 when corruption was found."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "stats" ~doc ~man ~exits)
     Term.(
       const run_stats $ log_level_arg $ journal $ cache_dir $ metrics
-      $ profile)
+      $ profile $ verify)
 
 (* ------------------------------------------------------------------ *)
 (* merge: union sharded --all artifacts offline                        *)
@@ -955,7 +1012,7 @@ let run_merge log_level journals cache_dirs metrics_ins expect_shards
         journal_out;
       Option.iter
         (try_write (fun dir ->
-             let store = Store.open_ ~dir in
+             let store = Store.open_ ~dir () in
              List.iter
                (fun (key, data) ->
                  match Store.key_of_string key with
@@ -1113,6 +1170,10 @@ let analyze_cmd =
   Cmd.v (Cmd.info "extractocol" ~version:"1.0" ~doc ~exits) analyze_term
 
 let () =
+  (* EXTRACTOCOL_INJECT: the fault-injection env channel, so the check
+     binaries can arm faults in a child extractocol without rebuilding
+     its command line. *)
+  Fault.init_from_env ();
   let positional_app =
     Array.length Sys.argv > 1
     && String.length Sys.argv.(1) > 0

@@ -1,0 +1,358 @@
+(* Build-time guard for the self-healing story: sweep the environment
+   fault matrix through the real CLI and assert the run degrades the
+   documented way, never a hang and never a silently wrong report.
+
+   1. A clean corpus run, then [stats --verify] over its artifacts: the
+      integrity audit must pass on an uncorrupted run.
+   2. A worker wedged by the [worker.spin] fault: the watchdog must
+      detect the silence within 2x --hang-timeout, requeue the app once
+      (journaled Retried, reason hung@PHASE), quarantine it on the
+      second hang (Crashed, phase hung@PHASE, surfaced in the report
+      envelope), and leave every other app's envelope entry identical
+      to the clean run's.
+   3. A torn journal record mid-run ([journal.append@N:torn] plus a
+      kill-point): --resume must drop the corrupt record, re-run the
+      affected app, and still produce a report byte-identical to the
+      clean run; [stats --verify] must keep flagging the scar.
+   4. A bit-flipped cache entry: [stats --verify] flags it, a warm
+      re-run treats it as a miss and re-stores (self-heals), and a
+      final audit comes back clean.
+   5. An injected ENOSPC on the report write (via EXTRACTOCOL_INJECT):
+      exit 1, no output file, no orphaned temp.
+   6. A truncated IPC frame ([pool.frame]): the coordinator must treat
+      the partial frame as a worker death and finish the run.
+
+   Everything runs over a --gen corpus: small, uniform apps whose
+   longest silent phase sits far under the 1s --hang-timeout, so the
+   watchdog assertions are about the injected wedge, never about a
+   legitimately slow app (heartbeats are phase-granular — on the real
+   corpus the operator sizes the timeout past the slowest phase).
+
+   Knobs: FAULT_JOBS (pool width for the clean/hang runs, default 2)
+   and FAULT_SEED (seeds the generated corpus and moves the tear). *)
+
+module C = Check_common
+module Json = Extr_httpmodel.Json
+
+let ck = C.create "fault_check"
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let float_member key obj =
+  match Json.member key obj with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* The app the hang scenario wedges: generated names are unique, so
+   the journal holds exactly one Retried/Crashed pair to time. *)
+let victim = "gen0005"
+
+let check exe =
+  let exe =
+    if Filename.is_relative exe then Filename.concat (Sys.getcwd ()) exe
+    else exe
+  in
+  let jobs = C.env_int ck "FAULT_JOBS" ~default:2 in
+  let seed = C.env_int ck "FAULT_SEED" ~default:1 in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fault_check.%d" (Unix.getpid ()))
+  in
+  Sys.mkdir tmp 0o755;
+  let p name = Filename.concat tmp name in
+  (* Run the CLI, demand the expected exit code, return its output.
+     [env] prefixes a shell variable assignment — the EXTRACTOCOL_INJECT
+     channel must work without any command-line flag. *)
+  let run_cli ?(env = "") ~expect label args =
+    let out = p (label ^ ".out") in
+    let cmd = Filename.quote_command exe args ~stdout:out ~stderr:out in
+    let code = Sys.command (if env = "" then cmd else env ^ " " ^ cmd) in
+    if code <> expect then
+      C.fail ck "%s run exited %d, expected %d (see %s)" label code expect out;
+    C.read_file out
+  in
+  let apps_of label path =
+    match C.list_member "apps" (C.load_json ck path) with
+    | Some l -> l
+    | None ->
+        C.fail ck "%s report has no \"apps\" array" label;
+        []
+  in
+  let jobs_s = string_of_int jobs in
+  let gen = [ "--gen"; "16"; "--gen-seed"; string_of_int seed ] in
+
+  (* 1: clean baseline, and the integrity audit over its artifacts. *)
+  let _ =
+    run_cli ~expect:0 "clean"
+      ([
+         "--all"; "--jobs"; jobs_s; "--journal"; p "clean.jsonl";
+         "--cache-dir"; p "cache"; "--report-out"; p "clean.json";
+       ]
+      @ gen)
+  in
+  let clean_verify =
+    run_cli ~expect:0 "clean-verify"
+      [
+        "stats"; "--verify"; "--journal"; p "clean.jsonl"; "--cache-dir";
+        p "cache";
+      ]
+  in
+  if not (C.contains ~needle:"all artifacts verified clean" clean_verify) then
+    C.fail ck "clean audit did not report a clean bill of health";
+  let clean_apps = apps_of "clean" (p "clean.json") in
+
+  (* 2: the hung-worker watchdog.  One app spins forever without
+     heartbeats; a 1s timeout must catch it twice (requeue, then
+     quarantine) without disturbing anyone else. *)
+  let hang_timeout = 1.0 in
+  let hang_out =
+    run_cli ~expect:2 "hang"
+      ([
+         "--all"; "--jobs"; jobs_s; "--hang-timeout";
+         string_of_float hang_timeout; "--inject"; "worker.spin:" ^ victim;
+         "--journal"; p "hang.jsonl"; "--report-out"; p "hang.json";
+       ]
+      @ gen)
+  in
+  if not (C.contains ~needle:("quarantined: " ^ victim) hang_out) then
+    C.fail ck "hung app missing from the quarantine list";
+  let hang_apps = apps_of "hang" (p "hang.json") in
+  if List.length hang_apps <> List.length clean_apps then
+    C.fail ck "hang report covers %d apps, clean run covered %d"
+      (List.length hang_apps) (List.length clean_apps)
+  else
+    List.iter2
+      (fun clean_app hang_app ->
+        let name =
+          Option.value (C.str_member "app" hang_app) ~default:"?"
+        in
+        if name = victim then begin
+          match Json.find_path [ "crash"; "phase" ] hang_app with
+          | Some (Json.Str phase) when has_prefix ~prefix:"hung@" phase -> ()
+          | Some (Json.Str phase) ->
+              C.fail ck "%s quarantined under phase %S, expected hung@..."
+                victim phase
+          | _ -> C.fail ck "%s has no crash phase in the hang report" victim
+        end
+        else if not (Json.equal clean_app hang_app) then
+          C.fail ck
+            "the watchdog changed %s's envelope entry (must match the clean \
+             run byte for byte)"
+            name)
+      clean_apps hang_apps;
+  (* Detection latency, from the journal's own stamps: the requeue
+     (first hang) and the quarantine (second hang) must each land
+     within 2x the timeout, so their gap is bounded by it too. *)
+  let journal_records path =
+    C.read_file path |> String.split_on_char '\n'
+    |> List.filter_map Json.of_string_opt
+  in
+  let stamp_where pred =
+    List.filter_map
+      (fun r -> if pred r then float_member "t" r else None)
+      (journal_records (p "hang.jsonl"))
+  in
+  let hung_member key r =
+    match Json.member key r with
+    | Some (Json.Str s) -> has_prefix ~prefix:"hung@" s
+    | _ -> false
+  in
+  (match
+     ( stamp_where (hung_member "reason"),
+       stamp_where (hung_member "phase") )
+   with
+  | [ retried_t ], [ crashed_t ] ->
+      if crashed_t -. retried_t > 2.0 *. hang_timeout then
+        C.fail ck
+          "watchdog took %.2fs between requeue and quarantine (budget %.2fs)"
+          (crashed_t -. retried_t)
+          (2.0 *. hang_timeout)
+  | retried, crashed ->
+      C.fail ck
+        "expected exactly one hung@ Retried and one hung@ Crashed record, \
+         found %d and %d"
+        (List.length retried) (List.length crashed));
+
+  (* 3: a torn journal record mid-file.  The tear lands on record
+     OCC; the kill-point guarantees later appends glue onto the torn
+     half, so the corruption is mid-file, not a truncated tail.  The
+     resume must drop (and warn about) the corrupt record, restore the
+     intact apps, and recover the torn one from the cache or by
+     re-analysis — never by trusting the damaged line.  The analysis
+     content must come out identical to the clean run's; only the
+     cached/attempts bookkeeping may differ for the recovered app. *)
+  let occ = 2 + (seed mod 3) in
+  let _ =
+    run_cli ~expect:99 "torn"
+      ([
+         "--all"; "--jobs"; "1"; "--journal"; p "torn.jsonl"; "--cache-dir";
+         p "torn-cache"; "--inject";
+         Printf.sprintf "journal.append@%d:torn" occ; "--crash-at";
+         "pipeline.interpretation@4";
+       ]
+      @ gen)
+  in
+  let resumed_out =
+    run_cli ~expect:0 "resumed"
+      ([
+         "--all"; "--jobs"; "1"; "--resume"; "--journal"; p "torn.jsonl";
+         "--cache-dir"; p "torn-cache"; "--report-out"; p "resumed.json";
+       ]
+      @ gen)
+  in
+  if not (C.contains ~needle:"[resumed]" resumed_out) then
+    C.fail ck "resume restored nothing despite a mostly-intact journal";
+  if not (C.contains ~needle:"dropped corrupt journal record" resumed_out)
+  then C.fail ck "resume never reported the corrupt record it dropped";
+  let strip_flags = function
+    | Json.Obj fields ->
+        Json.Obj
+          (List.filter
+             (fun (k, _) -> k <> "cached" && k <> "attempts")
+             fields)
+    | j -> j
+  in
+  let resumed_apps = apps_of "resumed" (p "resumed.json") in
+  if List.length resumed_apps <> List.length clean_apps then
+    C.fail ck "resumed report covers %d apps, clean run covered %d"
+      (List.length resumed_apps) (List.length clean_apps)
+  else
+    List.iter2
+      (fun clean_app resumed_app ->
+        if not (Json.equal (strip_flags clean_app) (strip_flags resumed_app))
+        then
+          C.fail ck
+            "resume over a torn journal changed %s's analysis results"
+            (Option.value (C.str_member "app" resumed_app) ~default:"?"))
+      clean_apps resumed_apps;
+  let torn_verify =
+    run_cli ~expect:3 "torn-verify"
+      [ "stats"; "--verify"; "--journal"; p "torn.jsonl" ]
+  in
+  if not (C.contains ~needle:"CORRUPT" torn_verify) then
+    C.fail ck "the audit passed a journal with a torn mid-file record";
+
+  (* 4: a bit-flipped cache entry self-heals.  Flip one payload byte in
+     the clean cache, watch the audit flag it, then watch a warm run
+     miss, re-analyze and re-store that one entry. *)
+  let entry =
+    match
+      Sys.readdir (p "cache") |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort compare
+    with
+    | f :: _ -> Filename.concat (p "cache") f
+    | [] ->
+        C.die ck "clean run left no cache entries in %s" (p "cache")
+  in
+  let flip path pos =
+    let b = Bytes.of_string (C.read_file path) in
+    if Bytes.length b <= pos then
+      C.die ck "%s too short to corrupt at byte %d" path pos;
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_bytes oc b)
+  in
+  (* Past the "%EXTR1 <md5>\n" seal header, inside the payload. *)
+  flip entry 50;
+  let corrupt_verify =
+    run_cli ~expect:3 "corrupt-verify"
+      [
+        "stats"; "--verify"; "--journal"; p "clean.jsonl"; "--cache-dir";
+        p "cache";
+      ]
+  in
+  if not (C.contains ~needle:"CORRUPT" corrupt_verify) then
+    C.fail ck "the audit passed a cache entry with a flipped payload byte";
+  let _ =
+    run_cli ~expect:0 "healed"
+      ([
+         "--all"; "--jobs"; "1"; "--cache-dir"; p "cache"; "--report-out";
+         p "healed.json"; "--metrics-out"; p "healed-metrics.json";
+       ]
+      @ gen)
+  in
+  let samples =
+    match
+      C.list_member "metrics" (C.load_json ck (p "healed-metrics.json"))
+    with
+    | Some l -> l
+    | None ->
+        C.fail ck "healing run's metrics snapshot has no \"metrics\" array";
+        []
+  in
+  let count name =
+    List.fold_left
+      (fun acc s ->
+        if C.str_member "name" s = Some name then
+          acc + Option.value (C.int_member "count" s) ~default:0
+        else acc)
+      0 samples
+  in
+  if count "cache.corrupt" < 1 then
+    C.fail ck "healing run never counted the corrupt entry (cache.corrupt)";
+  if count "cache.misses" < 1 then
+    C.fail ck "healing run hit %d misses; the corrupt entry must miss"
+      (count "cache.misses");
+  let healed_verify =
+    run_cli ~expect:0 "healed-verify"
+      [
+        "stats"; "--verify"; "--journal"; p "clean.jsonl"; "--cache-dir";
+        p "cache";
+      ]
+  in
+  if not (C.contains ~needle:"all artifacts verified clean" healed_verify)
+  then C.fail ck "cache did not heal: audit still failing after the warm run";
+
+  (* 5: ENOSPC on the report write, armed through the environment
+     channel.  The run itself succeeds (warm cache), the write fails:
+     exit 1, no half-written report, no orphaned temp file. *)
+  let enospc_out =
+    run_cli ~env:"EXTRACTOCOL_INJECT='export.write:enospc'" ~expect:1
+      "enospc"
+      ([
+         "--all"; "--jobs"; "1"; "--cache-dir"; p "cache"; "--report-out";
+         p "enospc.json";
+       ]
+      @ gen)
+  in
+  if not (C.contains ~needle:"cannot write output" enospc_out) then
+    C.fail ck "injected ENOSPC produced no write error";
+  if Sys.file_exists (p "enospc.json") then
+    C.fail ck "a report file exists despite the failed write";
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        C.fail ck "orphaned temp file left behind by the failed write: %s" f)
+    (Sys.readdir tmp);
+
+  (* 6: a truncated IPC frame.  Every worker ships half its first
+     result frame and dies; the coordinator must reap each death,
+     quarantine the in-flight app, and still finish the run. *)
+  let frame_out =
+    run_cli ~expect:2 "frame"
+      ([ "--all"; "--jobs"; "2"; "--inject"; "pool.frame" ] @ gen)
+  in
+  if not (C.contains ~needle:"quarantined:" frame_out) then
+    C.fail ck "truncated frames produced no quarantine";
+
+  if ck.C.ck_failures = 0 then remove_tree tmp
+  else Fmt.epr "fault_check: intermediate state kept in %s@." tmp
+
+let () =
+  match Sys.argv with
+  | [| _; exe |] ->
+      check exe;
+      C.finish ck
+  | _ -> C.usage ck "EXTRACTOCOL_BINARY"

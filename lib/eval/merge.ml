@@ -34,6 +34,7 @@ module Json = Extr_httpmodel.Json
 module Corpus = Extr_corpus.Corpus
 module Metrics = Extr_telemetry.Metrics
 module Export = Extr_telemetry.Export
+module Store = Extr_store.Store
 
 let src = Logs.Src.create "extractocol.merge" ~doc:"Shard artifact merge"
 
@@ -98,12 +99,23 @@ let wins ~cand:(s_new, i_new) ~incumbent:(s_old, i_old) =
   else if v s_new < v s_old then false
   else (i_new : int) >= i_old
 
+type cache_read = Cache_absent | Cache_corrupt | Cache_data of string
+
 let read_cache_entry dir key =
   let path = Filename.concat dir (key ^ ".json") in
   if Sys.file_exists path then
-    try Some (In_channel.with_open_text path In_channel.input_all)
-    with Sys_error _ -> None
-  else None
+    try
+      let raw = In_channel.with_open_text path In_channel.input_all in
+      (* Verify the integrity seal: a corrupt entry is a miss, exactly
+         as [Store.find] treats it, so merge never splices a damaged
+         report into the envelope. *)
+      match Store.decode raw with
+      | Ok payload -> Cache_data payload
+      | Error reason ->
+          Log.warn (fun m -> m "%s: corrupt cache entry (%s)" path reason);
+          Cache_corrupt
+    with Sys_error _ -> Cache_absent
+  else Cache_absent
 
 let merge ~(options : Runner.options) ~(entries : Corpus.entry list)
     ~(journals : string list) ?(cache_dirs = []) ?expect_shards () :
@@ -133,9 +145,17 @@ let merge ~(options : Runner.options) ~(entries : Corpus.entry list)
     (fun idx path ->
       match Journal.read_lenient ~path with
       | Error msg -> degrade "" "journal unreadable" (path ^ ": " ^ msg)
-      | Ok (None, _) ->
+      | Ok (None, _, _) ->
           Log.info (fun m -> m "%s: empty journal, treating as empty shard" path)
-      | Ok (Some cfg, events) ->
+      | Ok (Some cfg, events, anomalies) ->
+          (* Corrupt records are dropped, not trusted: the affected app
+             either has a healthy record elsewhere in the shard set or
+             surfaces as missing — both are honest shapes. *)
+          List.iter
+            (fun a ->
+              degrade "" "journal record dropped"
+                (Fmt.str "%s: %a" path Journal.pp_anomaly a))
+            anomalies;
           let cfg_base, shard = strip_shard cfg in
           if cfg_base <> base then begin
             if !config_error = None then
@@ -198,8 +218,11 @@ let merge ~(options : Runner.options) ~(entries : Corpus.entry list)
                 None
             | dir :: rest -> (
                 match read_cache_entry dir key with
-                | None -> probe rest
-                | Some data -> (
+                | Cache_absent -> probe rest
+                | Cache_corrupt ->
+                    corrupt := dir :: !corrupt;
+                    probe rest
+                | Cache_data data -> (
                     (* Validate before trusting: a torn entry (killed
                        mid-write outside the atomic discipline, disk
                        trouble) must quarantine, not propagate. *)

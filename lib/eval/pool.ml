@@ -3,6 +3,7 @@
    select loop, and careful fd/signal hygiene around fork. *)
 
 module Barrier = Extr_resilience.Resilience.Barrier
+module Fault = Extr_resilience.Fault
 module Metrics = Extr_telemetry.Metrics
 module Clock = Extr_telemetry.Clock
 
@@ -62,6 +63,17 @@ let m_deaths =
 let m_respawns =
   Metrics.counter ~help:"replacement workers forked after a death" "pool.respawns"
 
+let m_hangs =
+  Metrics.counter ~help:"workers SIGKILLed by the hung-worker watchdog"
+    "pool.hangs"
+
+let m_hang_requeues =
+  Metrics.counter ~help:"tasks requeued after their worker hung"
+    "pool.hangs.requeued"
+
+let m_heartbeats =
+  Metrics.counter ~help:"worker heartbeat frames received" "pool.heartbeats"
+
 (* ------------------------------------------------------------------ *)
 (* Framed Marshal IPC                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -109,9 +121,26 @@ let recv fd =
 (* Worker -> coordinator; coordinator -> worker.  [Up_bye] is the
    clean-shutdown leg: the worker's answer to [Down_quit], carrying
    whatever telemetry it buffered since its last result (spans, metric
-   deltas) so nothing recorded between tasks dies with the process. *)
-type ('e, 'r, 'f) up = Up_event of 'e | Up_done of int * 'r | Up_bye of 'f
+   deltas) so nothing recorded between tasks dies with the process.
+   [Up_beat] is a heartbeat: the current pipeline phase, sent by the
+   worker wrapper on every phase transition so the coordinator's
+   watchdog can tell "busy" from "hung" — and attribute a hang to the
+   phase the worker last entered. *)
+type ('e, 'r, 'f) up =
+  | Up_event of 'e
+  | Up_done of int * 'r
+  | Up_bye of 'f
+  | Up_beat of string
+
 type down = Down_task of int | Down_quit
+
+(* Why a worker's death resolved its in-flight task: [Died] is the
+   classic crash (signal, _exit); [Hung] is a watchdog kill — the
+   worker went silent mid-task for longer than the hang timeout and was
+   SIGKILLed after its one requeue was spent. *)
+type death_cause =
+  | Died of string
+  | Hung of { hd_phase : string; hd_silent_s : float }
 
 (* ------------------------------------------------------------------ *)
 (* Worker side                                                        *)
@@ -130,6 +159,7 @@ let worker_main ~task_r ~res_w ~worker ~farewell =
   Sys.set_signal Sys.sigterm Sys.Signal_default;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let emit e = send res_w (Up_event e) in
+  let beat ~phase = send res_w (Up_beat phase) in
   let code =
     try
       let rec loop () =
@@ -137,10 +167,23 @@ let worker_main ~task_r ~res_w ~worker ~farewell =
         | Down_quit ->
             send res_w (Up_bye (farewell ()));
             0
-        | Down_task i ->
-            let r = worker ~emit i in
-            send res_w (Up_done (i, r));
-            loop ()
+        | Down_task i -> (
+            let r = worker ~emit ~beat i in
+            match Fault.fire "pool.frame" with
+            | Some _ ->
+                (* Truncated frame: ship half the result's bytes, then
+                   die — the coordinator must treat the partial frame
+                   as a worker death, never block on its completion. *)
+                let payload = Marshal.to_bytes (Up_done (i, r)) [] in
+                let n = Bytes.length payload in
+                let frame = Bytes.create (4 + n) in
+                Bytes.set_int32_be frame 0 (Int32.of_int n);
+                Bytes.blit payload 0 frame 4 n;
+                write_all res_w frame 0 ((4 + n) / 2);
+                Unix._exit 70
+            | None ->
+                send res_w (Up_done (i, r));
+                loop ())
       in
       loop ()
     with
@@ -166,6 +209,9 @@ type wstate = {
   mutable ws_quit : bool;  (* Down_quit already sent *)
   mutable ws_idle_since : float;  (* spawn or last result arrival *)
   mutable ws_busy_since : float option;  (* dispatch time of ws_task *)
+  mutable ws_seen : float;  (* last bytes received (watchdog liveness) *)
+  mutable ws_phase : string;  (* last heartbeat's pipeline phase *)
+  mutable ws_hung : string option;  (* phase at watchdog kill *)
 }
 
 let spawn ~clock ~next_id ~siblings ~worker ~farewell =
@@ -205,6 +251,9 @@ let spawn ~clock ~next_id ~siblings ~worker ~farewell =
         ws_quit = false;
         ws_idle_since = clock ();
         ws_busy_since = None;
+        ws_seen = clock ();
+        ws_phase = "start";
+        ws_hung = None;
       }
 
 let describe_status = function
@@ -214,6 +263,7 @@ let describe_status = function
 
 let run ?(deps = fun (_ : int) -> []) ?(clock = Clock.wall)
     ?(on_state = fun ~busy:(_ : int) ~idle:(_ : int) ~pending:(_ : int) -> ())
+    ?hang_timeout ?(on_hang = fun ~task:(_ : int) ~phase:(_ : string) -> ())
     ~jobs ~tasks ~worker ~farewell ~on_event ~on_bye ~on_death ~on_result () =
   let ntasks = List.length tasks in
   if ntasks = 0 then Completed
@@ -250,6 +300,21 @@ let run ?(deps = fun (_ : int) -> []) ?(clock = Clock.wall)
     let workers = ref [] in
     let worker_count = ref 0 in
     let kill_code = ref None in
+    (* A task whose worker hangs is requeued once through the retry
+       ladder; a second hang quarantines it — the same
+       escalate-then-give-up shape the in-process ladder applies to
+       crashes. *)
+    let hang_requeued = Hashtbl.create 4 in
+    (* Bounded, EINTR-safe select tick: short enough that a hang is
+       detected well within 2x the timeout (tick = timeout/4, floored
+       so a tiny test timeout cannot busy-spin), long enough that an
+       idle coordinator wakes rarely.  Without a watchdog the tick only
+       bounds how long a wedged select outlives its last live fd. *)
+    let tick =
+      match hang_timeout with
+      | Some t -> Float.max 0.02 (Float.min 0.5 (t /. 4.))
+      | None -> 0.5
+    in
     let observe_queue () =
       let depth = List.length !pending in
       Metrics.set m_queue_depth (float_of_int depth);
@@ -289,6 +354,11 @@ let run ?(deps = fun (_ : int) -> []) ?(clock = Clock.wall)
               let now = clock () in
               let idle_us = 1e6 *. (now -. w.ws_idle_since) in
               w.ws_busy_since <- Some now;
+              (* The watchdog counts silence from dispatch, not from
+                 the worker's last frame — an idle stretch before this
+                 task must not count against it. *)
+              w.ws_seen <- now;
+              w.ws_phase <- "start";
               Metrics.incr m_dispatched;
               Metrics.observe m_dispatch_latency idle_us;
               Metrics.observe m_worker_idle ~labels:(worker_label w) idle_us;
@@ -336,6 +406,9 @@ let run ?(deps = fun (_ : int) -> []) ?(clock = Clock.wall)
            match (Marshal.from_string payload 0 : ('e, 'r, 'f) up) with
            | Up_event e -> on_event e
            | Up_bye f -> on_bye f
+           | Up_beat phase ->
+               w.ws_phase <- phase;
+               Metrics.incr m_heartbeats
            | Up_done (i, r) ->
                w.ws_task <- None;
                let now = clock () in
@@ -361,16 +434,37 @@ let run ?(deps = fun (_ : int) -> []) ?(clock = Clock.wall)
     (* Read [w]'s pipe to EOF, delivering everything still in flight —
        the clean-shutdown path uses this to collect each worker's
        [Up_bye] after the select loop has already seen the last task
-       result. *)
+       result.  Bounded by the same watchdog discipline as the select
+       loop: a worker wedged in its farewell (or anywhere between
+       Down_quit and EOF) is SIGKILLed after the deadline instead of
+       hanging the whole run on its Up_bye. *)
     let drain_until_eof w =
+      let deadline_s =
+        match hang_timeout with Some t -> t | None -> 10.0
+      in
       let chunk = Bytes.create 65536 in
+      let t0 = clock () in
+      let killed = ref false in
       let rec go () =
-        match Unix.read w.ws_res_r chunk 0 (Bytes.length chunk) with
-        | 0 -> ()
-        | k ->
-            Buffer.add_subbytes w.ws_buf chunk 0 k;
-            drain_frames w;
-            go ()
+        if (not !killed) && clock () -. t0 > deadline_s then begin
+          killed := true;
+          Metrics.incr m_hangs;
+          Log.warn (fun m ->
+              m "worker %d (pid %d) silent for %.1fs during shutdown; killing"
+                w.ws_id w.ws_pid deadline_s);
+          try Unix.kill w.ws_pid Sys.sigkill with Unix.Unix_error _ -> ()
+        end;
+        match Unix.select [ w.ws_res_r ] [] [] tick with
+        | [], _, _ -> go ()
+        | _ -> (
+            match Unix.read w.ws_res_r chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | k ->
+                Buffer.add_subbytes w.ws_buf chunk 0 k;
+                drain_frames w;
+                go ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+            | exception Unix.Unix_error _ -> ())
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
         | exception Unix.Unix_error _ -> ()
       in
@@ -389,14 +483,41 @@ let run ?(deps = fun (_ : int) -> []) ?(clock = Clock.wall)
       | Unix.WEXITED 99 -> kill_code := Some 99
       | _ -> ());
       (match w.ws_task with
-      | Some i when !kill_code = None ->
+      | Some i when !kill_code = None -> (
           w.ws_task <- None;
-          decr remaining;
-          Hashtbl.replace resolved i ();
-          Metrics.incr m_deaths;
-          let reason = describe_status st in
-          Log.warn (fun m -> m "task %d: %s" i reason);
-          on_result i (on_death ~task:i ~reason)
+          match w.ws_hung with
+          | Some phase when not (Hashtbl.mem hang_requeued i) ->
+              (* First hang: give the task one more worker.  The fault
+                 that hung it may have been environmental (a wedged
+                 mount, a leaked lock); a deterministic hang will
+                 simply hang the replacement and land in the branch
+                 below. *)
+              Hashtbl.replace hang_requeued i ();
+              Metrics.incr m_hang_requeues;
+              Log.warn (fun m ->
+                  m "task %d: worker hung in %s; requeuing once" i phase);
+              pending := i :: !pending;
+              observe_queue ();
+              on_hang ~task:i ~phase
+          | Some phase ->
+              decr remaining;
+              Hashtbl.replace resolved i ();
+              Metrics.incr m_deaths;
+              let silent_s =
+                match hang_timeout with Some t -> t | None -> 0.0
+              in
+              Log.warn (fun m ->
+                  m "task %d: worker hung in %s again; quarantining" i phase);
+              on_result i
+                (on_death ~task:i
+                   ~cause:(Hung { hd_phase = phase; hd_silent_s = silent_s }))
+          | None ->
+              decr remaining;
+              Hashtbl.replace resolved i ();
+              Metrics.incr m_deaths;
+              let reason = describe_status st in
+              Log.warn (fun m -> m "task %d: %s" i reason);
+              on_result i (on_death ~task:i ~cause:(Died reason)))
       | _ -> ());
       if !kill_code = None && !pending <> [] then begin
         if !respawns > 0 then begin
@@ -413,7 +534,7 @@ let run ?(deps = fun (_ : int) -> []) ?(clock = Clock.wall)
               Hashtbl.replace resolved i ();
               on_result i
                 (on_death ~task:i
-                   ~reason:"worker pool: respawn budget exhausted"))
+                   ~cause:(Died "worker pool: respawn budget exhausted")))
             !pending;
           pending := [];
           observe_queue ()
@@ -444,11 +565,40 @@ let run ?(deps = fun (_ : int) -> []) ?(clock = Clock.wall)
           done;
           notify_state ();
           let chunk = Bytes.create 65536 in
+          (* Watchdog scan, run once per select wake-up (data or tick):
+             any busy worker silent past the timeout is SIGKILLed; the
+             resulting EOF routes through handle_death, which requeues
+             or quarantines its task.  [ws_hung] carries the phase the
+             worker last heartbeat from, so the taxonomy can say
+             hung@PHASE. *)
+          let check_hangs () =
+            match hang_timeout with
+            | None -> ()
+            | Some limit ->
+                let now = clock () in
+                List.iter
+                  (fun w ->
+                    if
+                      w.ws_alive && w.ws_task <> None && w.ws_hung = None
+                      && now -. w.ws_seen > limit
+                    then begin
+                      w.ws_hung <- Some w.ws_phase;
+                      Metrics.incr m_hangs;
+                      Log.warn (fun m ->
+                          m
+                            "worker %d (pid %d) silent for %.1fs in phase %s; \
+                             killing"
+                            w.ws_id w.ws_pid (now -. w.ws_seen) w.ws_phase);
+                      try Unix.kill w.ws_pid Sys.sigkill
+                      with Unix.Unix_error _ -> ()
+                    end)
+                  !workers
+          in
           while !remaining > 0 && !kill_code = None do
             let live = List.filter (fun w -> w.ws_alive) !workers in
             let fds = List.map (fun w -> w.ws_res_r) live in
             let readable, _, _ =
-              try Unix.select fds [] [] (-1.0)
+              try Unix.select fds [] [] tick
               with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
             in
             List.iter
@@ -463,11 +613,13 @@ let run ?(deps = fun (_ : int) -> []) ?(clock = Clock.wall)
                     match Unix.read fd chunk 0 (Bytes.length chunk) with
                     | 0 -> handle_death w
                     | k ->
+                        w.ws_seen <- clock ();
                         Buffer.add_subbytes w.ws_buf chunk 0 k;
                         drain_frames w;
                         if w.ws_alive && w.ws_task = None then dispatch w
                     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
-              readable
+              readable;
+            check_hangs ()
           done
         with
         | () -> (

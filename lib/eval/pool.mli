@@ -37,6 +37,15 @@
 
 type outcome = Completed | Interrupted
 
+type death_cause =
+  | Died of string
+      (** the classic worker death: signal, [_exit], lost pipe —
+          [string] is the reaped wait status, human-readable *)
+  | Hung of { hd_phase : string; hd_silent_s : float }
+      (** the watchdog SIGKILLed the worker after [hd_silent_s] seconds
+          of silence, with [hd_phase] the pipeline phase of its last
+          heartbeat — and the task had already spent its one requeue *)
+
 val default_jobs : unit -> int
 (** The host's recommended parallelism
     ([Domain.recommended_domain_count]), at least 1.  The CLI's
@@ -46,13 +55,15 @@ val run :
   ?deps:(int -> int list) ->
   ?clock:Extr_telemetry.Clock.t ->
   ?on_state:(busy:int -> idle:int -> pending:int -> unit) ->
+  ?hang_timeout:float ->
+  ?on_hang:(task:int -> phase:string -> unit) ->
   jobs:int ->
   tasks:int list ->
-  worker:(emit:('e -> unit) -> int -> 'r) ->
+  worker:(emit:('e -> unit) -> beat:(phase:string -> unit) -> int -> 'r) ->
   farewell:(unit -> 'f) ->
   on_event:('e -> unit) ->
   on_bye:('f -> unit) ->
-  on_death:(task:int -> reason:string -> 'r) ->
+  on_death:(task:int -> cause:death_cause -> 'r) ->
   on_result:(int -> 'r -> unit) ->
   unit ->
   outcome
@@ -86,7 +97,25 @@ val run :
     with the pool's current shape — live workers running a task, live
     workers awaiting one, and tasks not yet dispatched.  Callbacks must
     be fast; they run inside the select loop.  [clock] (default: wall)
-    times the [pool.*] scheduler metrics.
+    times the [pool.*] scheduler metrics and the watchdog.
+
+    {b Watchdog.}  The select loop runs on a bounded, EINTR-safe tick
+    (timeout/4 when a watchdog is armed, clamped to [0.02..0.5]s; 0.5s
+    otherwise), never an unbounded block.  The worker wrapper's [beat]
+    callback ships a heartbeat frame carrying the current pipeline
+    phase; any frame (heartbeat, event, result) refreshes the worker's
+    last-seen stamp.  With [hang_timeout] set, a busy worker silent
+    longer than the timeout is SIGKILLed (counted in ["pool.hangs"])
+    and its task is requeued {e once} ([on_hang ~task ~phase] fires,
+    ["pool.hangs.requeued"] counts); if a replacement worker hangs on
+    the same task, the task resolves through [on_death] with
+    [Hung {hd_phase; hd_silent_s}] so the caller can quarantine it
+    under a [hung\@PHASE] taxonomy distinct from crashes.  Detection
+    latency is at most [hang_timeout + tick], i.e. well within 2x the
+    timeout.  The clean-shutdown [Up_bye] collection honors the same
+    discipline: a worker wedged between [Down_quit] and EOF is killed
+    after the timeout (10s when no watchdog is armed) instead of
+    hanging the run.
 
     A worker death with a task in flight synthesizes that task's result
     via [on_death] (after delivering any events the worker sent first)

@@ -25,6 +25,7 @@ type t = {
   mutable pg_ok : int;
   mutable pg_degraded : int;
   mutable pg_quarantined : int;
+  mutable pg_hung : int;  (* quarantines the watchdog caused (hung@PHASE) *)
   mutable pg_cached : int;
   mutable pg_busy : int;
   mutable pg_idle : int;
@@ -49,6 +50,7 @@ let create ?(clock = Clock.wall) ?(min_interval_s = 2.0) ~mode ~total ~emit ()
     pg_ok = 0;
     pg_degraded = 0;
     pg_quarantined = 0;
+    pg_hung = 0;
     pg_cached = 0;
     pg_busy = 0;
     pg_idle = 0;
@@ -86,9 +88,12 @@ let line t =
         t.pg_pending
     else ""
   in
-  Fmt.str "[%d/%d] %d ok, %d degraded, %d quarantined, %d cached%s | eta %a"
-    t.pg_done t.pg_total t.pg_ok t.pg_degraded t.pg_quarantined t.pg_cached
-    workers pp_eta (eta_s t)
+  (* The hung segment appears only when the watchdog actually fired, so
+     the common line is unchanged. *)
+  let hung = if t.pg_hung > 0 then Fmt.str ", %d hung" t.pg_hung else "" in
+  Fmt.str "[%d/%d] %d ok, %d degraded, %d quarantined%s, %d cached%s | eta %a"
+    t.pg_done t.pg_total t.pg_ok t.pg_degraded t.pg_quarantined hung
+    t.pg_cached workers pp_eta (eta_s t)
 
 let render ?(force = false) t =
   if t.pg_dirty then begin
@@ -122,6 +127,9 @@ let on_journal t ev =
           t.pg_durations_sum <- t.pg_durations_sum +. (t.pg_clock () -. t0);
           t.pg_durations_n <- t.pg_durations_n + 1
       | None -> ())
+  | Journal.Crashed { ev_phase; _ }
+    when String.length ev_phase >= 5 && String.sub ev_phase 0 5 = "hung@" ->
+      t.pg_hung <- t.pg_hung + 1
   | Journal.Started _ | Journal.Retried _ | Journal.Crashed _ -> ());
   t.pg_dirty <- true;
   render t

@@ -11,6 +11,7 @@ module Spec = Extr_corpus.Spec
 module Resilience = Extr_resilience.Resilience
 module Retry = Extr_resilience.Retry
 module Journal = Extr_resilience.Journal
+module Fault = Extr_resilience.Fault
 module Barrier = Resilience.Barrier
 module Store = Extr_store.Store
 module Clock = Extr_telemetry.Clock
@@ -36,6 +37,11 @@ let m_restored =
   Metrics.counter ~help:"apps restored from the journal on --resume"
     "runner.resume.restored"
 
+let m_journal_dropped =
+  Metrics.counter
+    ~help:"corrupt journal records dropped (and re-run) on --resume"
+    "journal.records.dropped"
+
 type options = {
   ro_pipeline : Pipeline.options;
   ro_policy : Retry.policy;
@@ -48,6 +54,8 @@ type options = {
   ro_worker_kill : string option;
   ro_shard : (int * int) option;
   ro_corpus_tag : string option;
+  ro_hang_timeout : float option;  (* pool watchdog; None = off *)
+  ro_heartbeat : bool;  (* worker phase heartbeats (bench knob) *)
 }
 
 let default_options =
@@ -63,6 +71,8 @@ let default_options =
     ro_worker_kill = None;
     ro_shard = None;
     ro_corpus_tag = None;
+    ro_hang_timeout = None;
+    ro_heartbeat = true;
   }
 
 (* Everything a cached result's validity depends on.  The analysis
@@ -455,13 +465,30 @@ let run_pooled ~jot ~try_restore ~cache ~config ~on_result ~on_state
       Pool.run
         ~deps:(fun i -> dep.(i))
         ~on_state
+        ?hang_timeout:o.ro_hang_timeout
+        ~on_hang:(fun ~task:i ~phase ->
+          let id, _ = entries.(i) in
+          jot
+            (Journal.Retried
+               { ev_app = id; ev_attempt = 2; ev_reason = "hung@" ^ phase }))
         ~jobs:(min o.ro_jobs (List.length tasks))
         ~tasks
-        ~worker:(fun ~emit i ->
+        ~worker:(fun ~emit ~beat i ->
           let id, e = entries.(i) in
+          if o.ro_heartbeat then
+            Barrier.set_observer (fun p -> beat ~phase:p);
           (match o.ro_worker_kill with
           | Some k when k = id -> Unix._exit 86
           | _ -> ());
+          (* Injected wedge: spin without heartbeats so the watchdog has
+             something to catch.  The mode string targets one app. *)
+          (match Fault.fire ~arg:id "worker.spin" with
+          | Some _ ->
+              Barrier.set_phase "spin";
+              while true do
+                Unix.sleepf 0.01
+              done
+          | None -> ());
           (* The registry and tracer were inherited from the coordinator
              (or hold the previous task's residue before the first
              take_telemetry); reset so the shipment is exactly this
@@ -480,11 +507,19 @@ let run_pooled ~jot ~try_restore ~cache ~config ~on_result ~on_state
           Metrics.merge_samples Metrics.default samples;
           Profile.merge Profile.default profile;
           add_spans pid spans)
-        ~on_death:(fun ~task:i ~reason ->
+        ~on_death:(fun ~task:i ~cause ->
           let id, _ = entries.(i) in
+          let phase, reason =
+            match cause with
+            | Pool.Died reason -> ("worker", reason)
+            | Pool.Hung { hd_phase; hd_silent_s } ->
+                ( "hung@" ^ hd_phase,
+                  Printf.sprintf "no heartbeat for %.1fs; killed by watchdog"
+                    hd_silent_s )
+          in
           jot
             (Journal.Crashed
-               { ev_app = id; ev_phase = "worker"; ev_exn = reason });
+               { ev_app = id; ev_phase = phase; ev_exn = reason });
           jot
             (Journal.Finished
                {
@@ -509,7 +544,7 @@ let run_pooled ~jot ~try_restore ~cache ~config ~on_result ~on_state
                   {
                     Barrier.cr_app = id;
                     cr_exn = reason;
-                    cr_phase = "worker";
+                    cr_phase = phase;
                     cr_backtrace = "";
                   };
               ar_report_json = None;
@@ -565,7 +600,7 @@ let run ?(on_result = fun (_ : app_result) -> ())
         match o.ro_cache_dir with
         | None -> Result.Ok None
         | Some dir -> (
-            try Result.Ok (Some (Store.open_ ~dir))
+            try Result.Ok (Some (Store.open_ ~dir ()))
             with Sys_error msg ->
               Result.Error (Printf.sprintf "cache directory: %s" msg)))
   in
@@ -578,7 +613,18 @@ let run ?(on_result = fun (_ : app_result) -> ())
     | true, Some path -> (
         match Journal.load ~path ~config:jconfig () with
         | Result.Error msg -> Result.Error msg
-        | Result.Ok (j, events) ->
+        | Result.Ok (j, events, anomalies) ->
+            (* Dropped records mean the affected apps simply re-run —
+               resume degrades to recomputation, never trusts a corrupt
+               artifact. *)
+            List.iter
+              (fun a ->
+                Log.warn (fun m ->
+                    m "%s: dropped corrupt journal record (%a)" path
+                      Journal.pp_anomaly a))
+              anomalies;
+            if anomalies <> [] then
+              Metrics.incr ~by:(List.length anomalies) m_journal_dropped;
             let crashes = Hashtbl.create 8 in
             List.iter
               (function

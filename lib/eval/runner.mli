@@ -49,6 +49,17 @@ type options = {
           ["gen=SEED:COUNT"]); folded into {!config_fingerprint} so a
           generated-corpus journal or cache never mingles with the
           Table-1 corpus under the same pipeline options *)
+  ro_hang_timeout : float option;
+      (** arm the pool's hung-worker watchdog ({!Pool.run}): a busy
+          worker silent longer than this many wall-clock seconds is
+          SIGKILLed, its app requeued once, then quarantined under the
+          [hung\@PHASE] taxonomy.  [None] (the default) disables the
+          watchdog.  Not part of the configuration fingerprint — like
+          [ro_jobs], it changes scheduling, never results *)
+  ro_heartbeat : bool;
+      (** ship a heartbeat frame on every pipeline phase transition
+          (workers only).  Default [true]; the bench harness turns it
+          off to measure heartbeat + checksum overhead differentially *)
 }
 
 val default_options : options
@@ -166,7 +177,11 @@ val run :
     their tracer's spans back over pipes (plus a farewell shipment on
     clean shutdown), and a worker death quarantines only its in-flight
     app (crash phase ["worker"]) while a replacement worker is
-    respawned. *)
+    respawned.  With [ro_hang_timeout] set, a worker the watchdog had
+    to kill quarantines its app under crash phase ["hung@PHASE"]
+    instead (after one free requeue, journaled as a [Retried] event
+    with reason ["hung@PHASE"]) — the taxonomy keeps silent wedges
+    distinct from crashes in every downstream report. *)
 
 val report_json :
   ?extra:(string * string) list -> config:string -> run -> string

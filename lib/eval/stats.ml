@@ -6,6 +6,7 @@
 
 module Journal = Extr_resilience.Journal
 module Json = Extr_httpmodel.Json
+module Store = Extr_store.Store
 
 type app = {
   st_app : string;
@@ -52,6 +53,7 @@ type t = {
   rs_retries : (string * int) list;  (* reason -> count, by count desc *)
   rs_crashes : (string * int) list;  (* phase -> count, by count desc *)
   rs_wall_s : float option;  (* first stamp -> last stamp *)
+  rs_dropped : int;  (* corrupt journal records dropped by the reader *)
   rs_cache_entries : int option;  (* entries on disk under --cache-dir *)
   rs_phases : phase list;  (* pipeline.phase_us series from --metrics *)
   rs_hotspots : hotspot list;  (* profile rows from --profile, time desc *)
@@ -310,6 +312,7 @@ let profile_of_json contents =
    stale-lock shape — is an empty run, not an error. *)
 let read_journals paths =
   let single = match paths with [ _ ] -> true | _ -> false in
+  let dropped = ref 0 in
   let rec fold cfg acc = function
     | [] ->
         let stamped =
@@ -319,12 +322,15 @@ let read_journals paths =
               compare (v a) (v b))
             (List.concat (List.rev acc))
         in
-        Ok ((match cfg with Some (shown, _) -> shown | None -> "(empty journal)"), stamped)
+        Ok ((match cfg with Some (shown, _) -> shown | None -> "(empty journal)"), stamped, !dropped)
     | path :: rest -> (
         match Journal.read_lenient ~path with
         | Error msg -> Error msg
-        | Ok (None, _) -> fold cfg acc rest
-        | Ok (Some c, events) -> (
+        | Ok (None, _, anomalies) ->
+            dropped := !dropped + List.length anomalies;
+            fold cfg acc rest
+        | Ok (Some c, events, anomalies) -> (
+            dropped := !dropped + List.length anomalies;
             let base, _shard = Merge.strip_shard c in
             (* A single journal keeps its full fingerprint (the shard
                suffix is informative); a set is reported under the
@@ -345,7 +351,7 @@ let read_journals paths =
 let of_artifacts ~journals ?cache_dir ?metrics ?profile () =
   match read_journals journals with
   | Error msg -> Error msg
-  | Ok (config, events) -> (
+  | Ok (config, events, dropped) -> (
       let ( apps,
             finished,
             ok,
@@ -388,6 +394,7 @@ let of_artifacts ~journals ?cache_dir ?metrics ?profile () =
               rs_retries = retries;
               rs_crashes = crashes;
               rs_wall_s = wall;
+              rs_dropped = dropped;
               rs_cache_entries = Option.bind cache_dir cache_entries;
               rs_phases = phases;
               rs_hotspots = hotspots;
@@ -420,6 +427,8 @@ let pp fmt t =
   if in_flight <> [] then
     Fmt.pf fmt "  in flight at journal end: %s@."
       (String.concat ", " (List.map (fun a -> a.st_app) in_flight));
+  if t.rs_dropped > 0 then
+    Fmt.pf fmt "  corrupt journal records dropped: %d@." t.rs_dropped;
   (match slowest t with
   | [] -> ()
   | slow ->
@@ -480,3 +489,64 @@ let pp fmt t =
           w.ws_scope w.ws_touched w.ws_contributing (100.0 *. w.ws_ratio))
       t.rs_wastes
   end
+
+(* ------------------------------------------------------------------ *)
+(* Offline integrity audit (stats --verify)                            *)
+(* ------------------------------------------------------------------ *)
+
+type verify_report = {
+  vr_journal_anomalies : (string * Journal.anomaly list) list;
+      (* journals with corrupt records, journal order; lists non-empty *)
+  vr_journal_errors : (string * string) list;  (* unreadable journals *)
+  vr_cache_checked : int;  (* cache entries whose seal was verified *)
+  vr_cache_corrupt : (string * string) list;  (* entry file -> reason *)
+}
+
+let verify ~journals ?cache_dir () =
+  let anomalies = ref [] in
+  let errors = ref [] in
+  List.iter
+    (fun path ->
+      match Journal.read_lenient ~path with
+      | Error msg -> errors := (path, msg) :: !errors
+      | Ok (_, _, a) -> if a <> [] then anomalies := (path, a) :: !anomalies)
+    journals;
+  let checked, corrupt =
+    match cache_dir with None -> (0, []) | Some dir -> Store.audit ~dir
+  in
+  {
+    vr_journal_anomalies = List.rev !anomalies;
+    vr_journal_errors = List.rev !errors;
+    vr_cache_checked = checked;
+    vr_cache_corrupt = corrupt;
+  }
+
+let verify_clean r =
+  r.vr_journal_anomalies = [] && r.vr_journal_errors = []
+  && r.vr_cache_corrupt = []
+
+let pp_verify fmt r =
+  Fmt.pf fmt "artifact integrity audit@.";
+  List.iter
+    (fun (path, msg) -> Fmt.pf fmt "  UNREADABLE %s: %s@." path msg)
+    r.vr_journal_errors;
+  List.iter
+    (fun (path, anomalies) ->
+      List.iter
+        (fun a -> Fmt.pf fmt "  CORRUPT %s: %a@." path Journal.pp_anomaly a)
+        anomalies)
+    r.vr_journal_anomalies;
+  List.iter
+    (fun (file, reason) -> Fmt.pf fmt "  CORRUPT %s: %s@." file reason)
+    r.vr_cache_corrupt;
+  if r.vr_cache_checked > 0 then
+    Fmt.pf fmt "  cache entries verified: %d (%d corrupt)@." r.vr_cache_checked
+      (List.length r.vr_cache_corrupt);
+  if verify_clean r then Fmt.pf fmt "  all artifacts verified clean@."
+  else
+    Fmt.pf fmt "  integrity violations found: %d@."
+      (List.length r.vr_journal_errors
+      + List.fold_left
+          (fun n (_, a) -> n + List.length a)
+          0 r.vr_journal_anomalies
+      + List.length r.vr_cache_corrupt)

@@ -63,6 +63,9 @@ type t = {
   rs_retries : (string * int) list;  (** retry reason → count, desc *)
   rs_crashes : (string * int) list;  (** crash phase → count, desc *)
   rs_wall_s : float option;  (** first to last record stamp *)
+  rs_dropped : int;
+      (** corrupt journal records the lenient reader dropped — non-zero
+          means the numbers below may undercount a damaged run *)
   rs_cache_entries : int option;  (** results on disk under the cache dir *)
   rs_phases : phase list;  (** [pipeline.phase_us] series, if metrics given *)
   rs_hotspots : hotspot list;
@@ -101,3 +104,30 @@ val pp : Format.formatter -> t -> unit
     crash taxonomy, cache hit rate, per-phase percentile table, and —
     when a profile artifact was given — the hot-method table and the
     per-app waste summary. *)
+
+(** {1 Offline integrity audit ([stats --verify])} *)
+
+type verify_report = {
+  vr_journal_anomalies : (string * Extr_resilience.Journal.anomaly list) list;
+      (** journals containing corrupt records (checksum failures,
+          unparseable lines), in input order; the lists are non-empty *)
+  vr_journal_errors : (string * string) list;
+      (** journals that could not be read at all *)
+  vr_cache_checked : int;  (** cache entries whose content digest was checked *)
+  vr_cache_corrupt : (string * string) list;  (** entry file → reason *)
+}
+
+val verify :
+  journals:string list -> ?cache_dir:string -> unit -> verify_report
+(** Audit a shard set's artifacts without reconstructing the run: every
+    journal record's checksum is re-verified ({!Extr_resilience.Journal.read_lenient})
+    and every cache entry's content digest re-computed
+    ({!Extr_store.Store.audit}).  Read-only and crash-tolerant like the
+    rest of this module.  A torn final record (no trailing newline) is
+    the normal kill shape, not corruption, and does not appear here. *)
+
+val verify_clean : verify_report -> bool
+(** No anomalies, no unreadable journals, no corrupt cache entries —
+    the CLI exits 0 on [true] and 3 otherwise. *)
+
+val pp_verify : Format.formatter -> verify_report -> unit

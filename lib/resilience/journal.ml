@@ -123,6 +123,56 @@ let header config =
   Json.Obj [ ("event", Json.Str "run-started"); ("config", Json.Str config) ]
 
 (* ------------------------------------------------------------------ *)
+(* Record integrity                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every line is sealed with a short content checksum appended as a
+   final "c" member: {...,"t":...} becomes {...,"t":...,"c":"xxxxxxxx"}
+   where the digest covers the unsealed line bytes.  The scheme is
+   purely textual — sealing and verification never round-trip through
+   the Json value model, so float reprinting can neither weaken nor
+   break it.  Unsealed lines (journals from before integrity existed)
+   are accepted unverified. *)
+
+let integrity = ref true
+let set_integrity b = integrity := b
+
+let checksum s = String.sub (Digest.to_hex (Digest.string s)) 0 8
+
+let seal_line s =
+  let n = String.length s in
+  if (not !integrity) || n < 2 || s.[n - 1] <> '}' then s
+  else String.sub s 0 (n - 1) ^ ",\"c\":\"" ^ checksum s ^ "\"}"
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+type seal_verdict = Sealed of string | Unsealed | Corrupt
+
+(* The seal suffix is [,"c":"XXXXXXXX"}] — 16 bytes.  A line carrying it
+   either verifies (recover the unsealed payload) or is corrupt; a line
+   without it is legacy.  No schema field ends an event record with that
+   shape, so legacy lines cannot be misclassified. *)
+let unseal line =
+  let n = String.length line in
+  let suffix = 16 in
+  if
+    n > suffix
+    && String.sub line (n - suffix) 6 = ",\"c\":\""
+    && line.[n - 2] = '"'
+    && line.[n - 1] = '}'
+  then
+    let digest = String.sub line (n - suffix + 6) 8 in
+    let payload = String.sub line 0 (n - suffix) ^ "}" in
+    if String.for_all is_hex digest && checksum payload = digest then
+      Sealed payload
+    else Corrupt
+  else Unsealed
+
+type anomaly = { an_line : int; an_reason : string }
+
+let pp_anomaly fmt a = Fmt.pf fmt "line %d: %s" a.an_line a.an_reason
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -133,15 +183,15 @@ let sync oc =
   Out_channel.flush oc;
   try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
 
-let write_line oc json =
-  Out_channel.output_string oc (Json.to_string json);
+let write_line oc line =
+  Out_channel.output_string oc line;
   Out_channel.output_char oc '\n';
   sync oc
 
 let create ?(clock = Clock.wall) ~path ~config () =
   let oc = Out_channel.open_text path in
   let t = { jn_path = path; jn_config = config; jn_oc = oc; jn_clock = clock } in
-  write_line oc (stamp t (header config));
+  write_line oc (seal_line (Json.to_string (stamp t (header config))));
   t
 
 let split_lines s = String.split_on_char '\n' s
@@ -164,38 +214,80 @@ let reopen_for_append path contents =
 
 (* Header line + parsed (timestamp, event) records of [path]'s complete
    lines; shared by the resuming [load] and the read-only [read].
-   [Ok (None, [])] is a zero-byte journal: a run died between opening
-   the file and writing the header (the stale-lock shape) — offline
-   readers classify it as an empty run, not an error. *)
+   [Ok (None, [], [])] is a zero-byte journal: a run died between
+   opening the file and writing the header (the stale-lock shape) —
+   offline readers classify it as an empty run, not an error.
+
+   Corruption never raises and never silently passes: a mid-file record
+   that fails its checksum or does not parse is dropped AND reported as
+   an anomaly, so callers can degrade ([merge]), warn ([--resume]) or
+   audit ([stats --verify]).  The single exception is a torn tail — a
+   final line the writer never finished (no trailing newline): that is
+   the documented benign kill shape, dropped silently exactly as
+   before. *)
 let parse_journal ~path contents =
-  let lines =
-    List.filter (fun l -> String.trim l <> "") (split_lines contents)
+  let len = String.length contents in
+  let ends_nl = len = 0 || contents.[len - 1] = '\n' in
+  let raw = split_lines contents in
+  let nlines = List.length raw in
+  let numbered =
+    List.filter (fun (_, l) -> String.trim l <> "")
+      (List.mapi (fun i l -> (i + 1, l)) raw)
   in
-  match lines with
-  | [] -> Ok (None, [])
-  | hd :: tl -> (
-      match Option.bind (Json.of_string_opt hd) (str "config") with
-      | None -> Error (path ^ ": journal header missing or malformed")
+  match numbered with
+  | [] -> Ok (None, [], [])
+  | (hn, hd) :: tl -> (
+      let torn_tail ln = (not ends_nl) && ln = nlines in
+      let header_payload =
+        match unseal hd with
+        | Sealed p -> Some p
+        | Unsealed -> Some hd
+        | Corrupt -> None
+      in
+      match
+        Option.bind header_payload (fun p ->
+            Option.bind (Json.of_string_opt p) (str "config"))
+      with
+      | None ->
+          if header_payload = None && not (torn_tail hn) then
+            Error (path ^ ": journal header failed its checksum")
+          else Error (path ^ ": journal header missing or malformed")
       | Some c ->
+          let anomalies = ref [] in
+          let note ln reason =
+            Log.warn (fun m -> m "%s: dropping journal line %d: %s" path ln reason);
+            anomalies := { an_line = ln; an_reason = reason } :: !anomalies
+          in
           let events =
             List.filter_map
-              (fun line ->
-                match Json.of_string_opt line with
-                | Some j -> (
-                    match event_of_json j with
-                    | Some ev -> Some (timestamp_of_json j, ev)
+              (fun (ln, line) ->
+                let payload =
+                  match unseal line with
+                  | Sealed p -> Some p
+                  | Unsealed -> Some line
+                  | Corrupt ->
+                      if not (torn_tail ln) then
+                        note ln "record failed its checksum";
+                      None
+                in
+                match payload with
+                | None -> None
+                | Some p -> (
+                    match Json.of_string_opt p with
+                    | Some j -> (
+                        match event_of_json j with
+                        | Some ev -> Some (timestamp_of_json j, ev)
+                        | None ->
+                            if not (torn_tail ln) then
+                              note ln "unrecognized record";
+                            None)
                     | None ->
-                        Log.warn (fun m ->
-                            m "%s: skipping malformed journal line %S" path
-                              line);
-                        None)
-                | None ->
-                    Log.warn (fun m ->
-                        m "%s: skipping malformed journal line %S" path line);
-                    None)
+                        if not (torn_tail ln) then
+                          note ln "unparseable record";
+                        None))
               tl
           in
-          Ok (Some c, events))
+          Ok (Some c, events, List.rev !anomalies))
 
 let read_lenient ~path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -205,8 +297,8 @@ let read_lenient ~path =
 let read ~path =
   match read_lenient ~path with
   | Error msg -> Error msg
-  | Ok (None, _) -> Error (path ^ ": empty journal (no header)")
-  | Ok (Some c, events) -> Ok (c, events)
+  | Ok (None, _, _) -> Error (path ^ ": empty journal (no header)")
+  | Ok (Some c, events, anomalies) -> Ok (c, events, anomalies)
 
 let load ?(clock = Clock.wall) ~path ~config () =
   match In_channel.with_open_text path In_channel.input_all with
@@ -214,15 +306,15 @@ let load ?(clock = Clock.wall) ~path ~config () =
   | contents -> (
       match parse_journal ~path contents with
       | Error msg -> Error msg
-      | Ok (None, _) -> Error (path ^ ": empty journal (no header)")
-      | Ok (Some c, _) when c <> config ->
+      | Ok (None, _, _) -> Error (path ^ ": empty journal (no header)")
+      | Ok (Some c, _, _) when c <> config ->
           Error
             (Fmt.str
                "%s: journal was written under a different configuration \
                 (%s, current run %s); results would not match — remove \
                 the journal or rerun without --resume"
                path c config)
-      | Ok (Some _, timestamped) -> (
+      | Ok (Some _, timestamped, anomalies) -> (
           match reopen_for_append path contents with
           | exception Unix.Unix_error (e, _, _) ->
               Error (path ^ ": " ^ Unix.error_message e)
@@ -230,9 +322,26 @@ let load ?(clock = Clock.wall) ~path ~config () =
               Ok
                 ( { jn_path = path; jn_config = config; jn_oc = oc;
                     jn_clock = clock },
-                  List.map snd timestamped )))
+                  List.map snd timestamped,
+                  anomalies )))
 
-let append t ev = write_line t.jn_oc (stamp t (json_of_event ev))
+let append t ev =
+  let line = seal_line (Json.to_string (stamp t (json_of_event ev))) in
+  match Fault.fire "journal.append" with
+  | Some "torn" ->
+      (* Half a record and no newline: once later appends land after
+         it, the tear sits mid-file glued to the next record — the
+         checksum is what catches it. *)
+      Out_channel.output_string t.jn_oc
+        (String.sub line 0 (String.length line / 2));
+      sync t.jn_oc
+  | Some "bitflip" ->
+      let b = Bytes.of_string line in
+      let i = Bytes.length b / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+      write_line t.jn_oc (Bytes.to_string b)
+  | Some "drop" -> ()
+  | Some _ | None -> write_line t.jn_oc line
 
 (* Offline serialization, format-identical to the live appender, so the
    merge subcommand can write a unioned journal that stats / a further
@@ -243,9 +352,10 @@ let with_stamp stamp json =
   | _, other -> other
 
 let header_line ?stamp ~config () =
-  Json.to_string (with_stamp stamp (header config))
+  seal_line (Json.to_string (with_stamp stamp (header config)))
 
-let line_of_event ?stamp ev = Json.to_string (with_stamp stamp (json_of_event ev))
+let line_of_event ?stamp ev =
+  seal_line (Json.to_string (with_stamp stamp (json_of_event ev)))
 
 let path t = t.jn_path
 

@@ -14,7 +14,14 @@
     event is one line written at end-of-file and fsync'd before the
     append returns.  A kill mid-append can leave at most one torn
     trailing line, which {!load} tolerates (the partial line is dropped
-    and the file truncated back to the last complete record). *)
+    and the file truncated back to the last complete record).
+
+    Every line additionally carries a content checksum (a final ["c"]
+    member covering the rest of the line), so {e mid-file} corruption —
+    bit rot, a tear glued to the next record, an interleaved partial
+    write — is detected on every read: the corrupt record is dropped
+    and reported as an {!anomaly}, never trusted and never fatal.
+    Journals written before checksums existed load unverified. *)
 
 type event =
   | Started of { ev_app : string; ev_key : string; ev_attempt : int }
@@ -34,6 +41,19 @@ type event =
 
 type t
 
+type anomaly = { an_line : int;  (** 1-based line number in the file *)
+                 an_reason : string }
+(** One dropped record: a line that failed its checksum, did not parse,
+    or carried an unrecognized event.  The benign torn {e tail} (a
+    final line with no newline — a mid-append kill) is not an anomaly. *)
+
+val pp_anomaly : Format.formatter -> anomaly -> unit
+
+val set_integrity : bool -> unit
+(** Benchmark knob: [false] writes unsealed (legacy) lines, so the
+    checksum overhead can be measured differentially.  Readers accept
+    both.  Default [true]. *)
+
 val create :
   ?clock:Extr_telemetry.Clock.t -> path:string -> config:string -> unit -> t
 (** Start a fresh journal at [path] (truncating any previous one) whose
@@ -47,29 +67,35 @@ val load :
   path:string ->
   config:string ->
   unit ->
-  (t * event list, string) result
+  (t * event list * anomaly list, string) result
 (** Re-open an existing journal for [--resume].  [Error] when the file
-    is missing or unreadable, the header is absent, or the header's
-    configuration fingerprint differs from [config].  A truncated
-    trailing line (a mid-append kill) is dropped and the file truncated
-    back to the last complete record; malformed interior lines are
-    skipped with a warning, not fatal.  The returned journal is
-    positioned to append after the surviving records. *)
+    is missing or unreadable, the header is absent or fails its
+    checksum, or the header's configuration fingerprint differs from
+    [config].  A truncated trailing line (a mid-append kill) is dropped
+    and the file truncated back to the last complete record; corrupt or
+    malformed interior lines are dropped and returned as anomalies —
+    the affected apps simply re-run, so a resumed run never trusts a
+    corrupt record.  The returned journal is positioned to append after
+    the surviving records. *)
 
-val read : path:string -> (string * (float option * event) list, string) result
+val read :
+  path:string ->
+  (string * (float option * event) list * anomaly list, string) result
 (** Read-only load for offline inspection ([extractocol stats]): the
     header's configuration fingerprint and every complete record with
-    its timestamp ([None] for records written before stamping existed).
-    Unlike {!load}, the file is not opened for appending, not truncated,
-    and no configuration is required — a torn trailing line is simply
-    skipped, so a journal left by a killed (or still-running) run can be
+    its timestamp ([None] for records written before stamping existed),
+    plus the anomalies for dropped mid-file records.  Unlike {!load},
+    the file is not opened for appending, not truncated, and no
+    configuration is required — a torn trailing line is simply skipped,
+    so a journal left by a killed (or still-running) run can be
     inspected without touching it. *)
 
 val read_lenient :
-  path:string -> (string option * (float option * event) list, string) result
+  path:string ->
+  (string option * (float option * event) list * anomaly list, string) result
 (** Like {!read}, but a zero-byte (or whitespace-only) journal — a run
     that died between opening the file and writing the header, the
-    stale-lock shape — is [Ok (None, [])] rather than an error, so
+    stale-lock shape — is [Ok (None, [], [])] rather than an error, so
     [merge] and [stats] can classify it as an empty shard.  A non-empty
     file with a malformed header is still an [Error]. *)
 
@@ -85,9 +111,11 @@ val line_of_event : ?stamp:float -> event -> string
     journal. *)
 
 val append : t -> event -> unit
-(** Record an event: one JSONL line appended and fsync'd before this
-    returns, so the event survives any subsequent kill.  O(1) in the
-    journal size. *)
+(** Record an event: one sealed JSONL line appended and fsync'd before
+    this returns, so the event survives any subsequent kill.  O(1) in
+    the journal size.  Consults the {!Fault} site ["journal.append"]
+    (modes [torn], [bitflip], [drop]) so environment faults can be
+    injected between the event and the disk. *)
 
 val path : t -> string
 

@@ -205,8 +205,16 @@ module Barrier = struct
 
   let clear_kill_point () = kill_point := None
 
+  (* Phase observer: the pool's worker wrapper registers a heartbeat
+     sender here, so every phase transition doubles as a liveness
+     signal without threading a callback through the pipeline. *)
+  let observer : (string -> unit) ref = ref (fun _ -> ())
+  let set_observer f = observer := f
+  let clear_observer () = observer := fun _ -> ()
+
   let set_phase p =
     current_phase := p;
+    !observer p;
     match !kill_point with
     | Some (kp, n, action) when kp = p ->
         if n <= 1 then begin

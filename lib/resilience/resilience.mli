@@ -104,7 +104,16 @@ module Barrier : sig
 
   val set_phase : string -> unit
   (** Stamp the currently-running pipeline phase (crash attribution).
-      Fires the kill-point when one is armed for this phase. *)
+      Notifies the {!set_observer} callback, then fires the kill-point
+      when one is armed for this phase. *)
+
+  val set_observer : (string -> unit) -> unit
+  (** Register a phase-transition observer (at most one).  The pool's
+      worker wrapper uses it to send a heartbeat frame on every
+      {!set_phase}, making phase transitions double as liveness
+      signals for the coordinator's hung-worker watchdog. *)
+
+  val clear_observer : unit -> unit
 
   val set_kill_point :
     phase:string -> occurrence:int -> (unit -> unit) -> unit

@@ -14,6 +14,7 @@ module Pp = Extr_ir.Pp
 module Apk = Extr_apk.Apk
 module Export = Extr_telemetry.Export
 module Metrics = Extr_telemetry.Metrics
+module Fault = Extr_resilience.Fault
 
 let src = Logs.Src.create "extractocol.store" ~doc:"Content-addressed result cache"
 
@@ -57,10 +58,23 @@ let rec mkdir_p dir =
     with Sys_error _ when Sys.is_directory dir -> ()
   end
 
-let open_ ~dir =
+let m_temps_swept =
+  Metrics.counter ~help:"orphaned temp files removed on cache open"
+    "cache.temps.swept"
+
+let open_ ?(sweep_age_s = 3600.) ~dir () =
   mkdir_p dir;
   if not (Sys.is_directory dir) then
     raise (Sys_error (dir ^ ": not a directory"));
+  (* A writer SIGKILLed between temp and rename leaves an orphan; the
+     cache directory is the long-lived artifact directory those
+     accumulate in, so runner/merge startup is the natural GC point. *)
+  let swept = Export.sweep_temps ~max_age_s:sweep_age_s ~dir () in
+  if swept > 0 then begin
+    if Metrics.is_enabled Metrics.default then
+      Metrics.incr ~by:swept m_temps_swept;
+    Log.info (fun m -> m "%s: swept %d orphaned temp file(s)" dir swept)
+  end;
   { st_dir = dir }
 
 let dir t = t.st_dir
@@ -74,9 +88,56 @@ let m_misses =
   Metrics.counter ~help:"result-cache lookups that found nothing"
     "cache.misses"
 
+let m_corrupt =
+  Metrics.counter
+    ~help:"cache entries that failed their content digest (served as misses)"
+    "cache.corrupt"
+
+(* ------------------------------------------------------------------ *)
+(* Entry integrity                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Entries are sealed with a one-line header ["%EXTR1 <md5hex>\n"]
+   covering the payload, verified on every read.  A mismatch — bit rot,
+   a torn write from a lying filesystem — makes the entry a miss (plus
+   a warning and the cache.corrupt counter), never a wrong answer: the
+   app simply re-runs and the fresh store heals the entry.  Headerless
+   entries (caches from before integrity existed) are served as-is. *)
+
+let integrity = ref true
+let set_integrity b = integrity := b
+
+let magic = "%EXTR1 "
+let header_len = String.length magic + 32 + 1  (* digest hex + '\n' *)
+
+let seal contents = magic ^ Digest.to_hex (Digest.string contents) ^ "\n" ^ contents
+
+let decode raw =
+  let n = String.length raw in
+  if n < String.length magic || String.sub raw 0 (String.length magic) <> magic
+  then Result.Ok raw
+  else if n < header_len || raw.[header_len - 1] <> '\n' then
+    Result.Error "malformed integrity header"
+  else
+    let digest = String.sub raw (String.length magic) 32 in
+    let payload = String.sub raw header_len (n - header_len) in
+    if String.for_all is_hex digest
+       && Digest.to_hex (Digest.string payload) = digest
+    then Result.Ok payload
+    else Result.Error "content digest mismatch"
+
+let flip_byte s =
+  if s = "" then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Bytes.length b - 1 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    Bytes.to_string b
+  end
+
 let find t k =
   let path = entry_path t k in
-  let hit =
+  let raw =
     if Sys.file_exists path then
       try Some (In_channel.with_open_text path In_channel.input_all)
       with Sys_error msg ->
@@ -84,8 +145,54 @@ let find t k =
         None
     else None
   in
+  let raw =
+    match Fault.fire "store.read" with
+    | Some "miss" -> None
+    | Some "bitflip" -> Option.map flip_byte raw
+    | Some _ | None -> raw
+  in
+  let hit =
+    match raw with
+    | None -> None
+    | Some raw -> (
+        match decode raw with
+        | Result.Ok payload -> Some payload
+        | Result.Error reason ->
+            Log.warn (fun m ->
+                m "corrupt cache entry %s (%s); treating as a miss" path reason);
+            if Metrics.is_enabled Metrics.default then Metrics.incr m_corrupt;
+            None)
+  in
   if Metrics.is_enabled Metrics.default then
     Metrics.incr (match hit with Some _ -> m_hits | None -> m_misses);
   hit
 
-let store t k contents = Export.write_file (entry_path t k) contents
+let store t k contents =
+  let data = if !integrity then seal contents else contents in
+  let data =
+    match Fault.fire "store.write" with
+    | Some "bitflip" -> Some (flip_byte data)
+    | Some "drop" -> None
+    | Some _ | None -> Some data
+  in
+  match data with
+  | Some data -> Export.write_file (entry_path t k) data
+  | None -> ()
+
+(* Offline integrity audit for [stats --verify]: decode every entry in
+   a cache directory without serving it. *)
+let audit ~dir =
+  let names = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.fold_left
+    (fun (total, corrupt) name ->
+      if Filename.check_suffix name ".json" && name.[0] <> '.' then
+        let path = Filename.concat dir name in
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error msg -> (total + 1, (name, msg) :: corrupt)
+        | raw -> (
+            match decode raw with
+            | Result.Ok _ -> (total + 1, corrupt)
+            | Result.Error reason -> (total + 1, (name, reason) :: corrupt))
+      else (total, corrupt))
+    (0, []) names
+  |> fun (total, corrupt) -> (total, List.rev corrupt)

@@ -35,8 +35,12 @@ val key_of_string : string -> key option
 type t
 (** An open cache rooted at a directory. *)
 
-val open_ : dir:string -> t
-(** Open (creating the directory if needed).
+val open_ : ?sweep_age_s:float -> dir:string -> unit -> t
+(** Open (creating the directory if needed), garbage-collecting
+    orphaned write temps older than [sweep_age_s] (default one hour;
+    see {!Extr_telemetry.Export.sweep_temps}) — the startup sweep that
+    keeps a long-lived artifact directory free of dead writers'
+    leftovers.  Swept files count into ["cache.temps.swept"].
     @raise Sys_error when the directory cannot be created. *)
 
 val dir : t -> string
@@ -44,8 +48,34 @@ val dir : t -> string
 val find : t -> key -> string option
 (** The stored contents, or [None].  Bumps ["cache.hits"] or
     ["cache.misses"] when the metrics registry is enabled.  An
-    unreadable entry is a miss, never an error. *)
+    unreadable entry is a miss, never an error — and so is an entry
+    that fails its content digest (["cache.corrupt"] counts it): a
+    corrupt artifact is never served, the app re-runs, and the fresh
+    {!store} heals the entry.  Consults the {!Extr_resilience.Fault}
+    site ["store.read"] (modes [bitflip], [miss]). *)
 
 val store : t -> key -> string -> unit
-(** Atomically write the entry (temp file + rename).
+(** Atomically write the entry (temp file + rename), sealed with a
+    content digest ({!decode} strips and verifies it).  Consults the
+    {!Extr_resilience.Fault} site ["store.write"] (modes [bitflip],
+    [drop]).
     @raise Sys_error when the cache directory is not writable. *)
+
+val seal : string -> string
+(** Prefix the integrity header (["%EXTR1 <md5hex>\n"]) covering the
+    payload — what {!store} writes. *)
+
+val decode : string -> (string, string) result
+(** Verify and strip a sealed entry back to its payload.  Headerless
+    contents (entries from before integrity existed) pass through
+    unverified; [Error reason] is a digest mismatch or a malformed
+    header — the caller must treat the entry as missing. *)
+
+val set_integrity : bool -> unit
+(** Benchmark knob: [false] stores unsealed (legacy) entries so the
+    digest overhead can be measured differentially.  Default [true]. *)
+
+val audit : dir:string -> int * (string * string) list
+(** Offline integrity audit ([stats --verify]): decode every [*.json]
+    entry under [dir]; returns the entry count and the corrupt ones as
+    [(filename, reason)]. *)

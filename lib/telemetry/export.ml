@@ -163,6 +163,15 @@ let temp_rng =
          Hashtbl.hash (Unix.gethostname ());
        |])
 
+(* Injectable write fault (installed by the resilience layer's fault
+   plan, which lives above this library): consulted once per write with
+   the destination path; the returned mode selects the failure.  The
+   default hook injects nothing. *)
+let write_fault : (string -> string option) ref = ref (fun _ -> None)
+let set_write_fault f = write_fault := f
+
+exception Orphaned_temp of string
+
 let write_file path contents =
   let dir = Filename.dirname path in
   incr temp_counter;
@@ -172,13 +181,74 @@ let write_file path contents =
          (Unix.getpid ()) !temp_counter
          (Random.State.int (Lazy.force temp_rng) 0x1000000))
   in
+  let fault = !write_fault path in
   (try
      Out_channel.with_open_text tmp (fun oc ->
-         Out_channel.output_string oc contents)
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
+         match fault with
+         | Some "enospc" ->
+             (* A partial write followed by the errno a full disk
+                raises; the cleanup below removes the temp, exactly as
+                on a real ENOSPC. *)
+             Out_channel.output_string oc
+               (String.sub contents 0 (String.length contents / 2));
+             raise (Sys_error (path ^ ": No space left on device (injected)"))
+         | Some "orphan" ->
+             (* Simulate SIGKILL mid-write: the temp file survives
+                because the process never reached its cleanup — the
+                shape the startup sweep exists for. *)
+             Out_channel.output_string oc
+               (String.sub contents 0 (String.length contents / 2));
+             raise (Orphaned_temp tmp)
+         | Some "short" ->
+             (* A filesystem that lied about durability: the write
+                "succeeds" but the renamed target is truncated.
+                Downstream integrity checks must catch it. *)
+             Out_channel.output_string oc
+               (String.sub contents 0 (String.length contents / 2))
+         | _ -> Out_channel.output_string oc contents)
+   with
+  | Orphaned_temp _ ->
+      raise (Sys_error (path ^ ": writer killed mid-write (injected)"))
+  | e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
   Sys.rename tmp path
+
+(* Temp-file garbage collection: a process SIGKILLed between writing its
+   temp and renaming it leaves an orphan behind (the atomicity contract
+   above trades a possible orphan for never leaving a torn target).
+   Orphans match the name shape written above and are only ever interim
+   files, so any that have outlived a generous age are dead writers'
+   leftovers, safe to unlink.  The age floor protects concurrent live
+   writers in a shared artifact directory: their temps exist for
+   milliseconds. *)
+let is_temp_name name =
+  String.length name > 5
+  && name.[0] = '.'
+  && Filename.check_suffix name ".tmp"
+
+let sweep_temps ?(max_age_s = 3600.) ~dir () =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      let now = Unix.gettimeofday () in
+      Array.fold_left
+        (fun swept name ->
+          if not (is_temp_name name) then swept
+          else
+            let path = Filename.concat dir name in
+            match Unix.stat path with
+            | exception Unix.Unix_error _ -> swept
+            | st ->
+                if
+                  st.Unix.st_kind = Unix.S_REG
+                  && now -. st.Unix.st_mtime > max_age_s
+                then (
+                  match Sys.remove path with
+                  | () -> swept + 1
+                  | exception Sys_error _ -> swept)
+                else swept)
+        0 names
 
 let write_chrome_trace ?pid path tracer =
   write_file path (chrome_trace ?pid (Span.spans tracer))

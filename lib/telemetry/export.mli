@@ -18,6 +18,25 @@ val write_file : string -> string -> unit
     a pid reused after a respawn.  Used by every exporter here, by the
     provenance export, and by the result cache and merge outputs. *)
 
+val set_write_fault : (string -> string option) -> unit
+(** Install the write-fault hook ({!Extr_resilience.Fault} arms it; this
+    library sits below the fault plan, so injection reaches it by
+    inversion).  The hook is consulted once per {!write_file} with the
+    destination path; returning [Some mode] injects: ["enospc"] (partial
+    temp write, then [Sys_error], temp cleaned up), ["orphan"] (partial
+    temp write, then [Sys_error] {e without} cleanup — a simulated
+    SIGKILL mid-write), ["short"] (the write "succeeds" but the renamed
+    target is truncated to half the contents).  Unknown modes write
+    normally. *)
+
+val sweep_temps : ?max_age_s:float -> dir:string -> unit -> int
+(** Remove orphaned {!write_file} temp files ([.*.tmp]) in [dir] older
+    than [max_age_s] (default one hour — far beyond any live writer's
+    temp lifetime, so concurrent shards sharing the directory are never
+    disturbed), returning how many were removed.  A missing or
+    unreadable directory sweeps nothing.  Run by the result cache on
+    open, i.e. on runner and merge startup. *)
+
 val chrome_trace : ?pid:int -> Span.span list -> string
 (** The spans as a [{"traceEvents": [...]}] document of complete ("X")
     events; timestamps and durations in microseconds, GC deltas in each

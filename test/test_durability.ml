@@ -16,6 +16,7 @@ module Store = Extr_store.Store
 module Runner = Extr_eval.Runner
 module Clock = Extr_telemetry.Clock
 module Metrics = Extr_telemetry.Metrics
+module Export = Extr_telemetry.Export
 module Json = Extr_httpmodel.Json
 
 let check = Alcotest.check
@@ -171,7 +172,7 @@ let test_journal_round_trip () =
   List.iter (Journal.append j) events;
   match Journal.load ~path ~config:"cfg-1" () with
   | Error e -> Alcotest.fail e
-  | Ok (_, loaded) ->
+  | Ok (_, loaded, _) ->
       check
         Alcotest.(list string)
         "events survive the round trip" (List.map render events)
@@ -205,7 +206,7 @@ let test_journal_skips_torn_trailing_line () =
   close_out oc;
   match Journal.load ~path ~config:"cfg-1" () with
   | Error e -> Alcotest.fail e
-  | Ok (_, loaded) ->
+  | Ok (_, loaded, _) ->
       check Alcotest.int "valid records kept, torn ones skipped" 2
         (List.length loaded)
 
@@ -222,17 +223,111 @@ let test_journal_append_after_load () =
   close_out oc;
   (match Journal.load ~path ~config:"cfg-1" () with
   | Error e -> Alcotest.fail e
-  | Ok (j2, loaded) ->
+  | Ok (j2, loaded, _) ->
       check Alcotest.int "torn tail dropped" 2 (List.length loaded);
       Journal.append j2 (ev_started "app-b"));
   match Journal.load ~path ~config:"cfg-1" () with
   | Error e -> Alcotest.fail e
-  | Ok (_, loaded) ->
+  | Ok (_, loaded, _) ->
       check
         Alcotest.(list string)
         "append lands after the surviving records"
         (List.map render [ ev_started "app-a"; ev_finished "app-a"; ev_started "app-b" ])
         (List.map render loaded)
+
+(* Mid-file corruption: unlike a torn tail (the normal kill shape,
+   silently dropped), a record damaged in the middle of the file is
+   reported as an anomaly — and never raises. *)
+
+let file_lines path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+
+let write_lines path lines =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun l ->
+          Out_channel.output_string oc l;
+          Out_channel.output_char oc '\n')
+        lines)
+
+let four_record_journal path =
+  let j = Journal.create ~path ~config:"cfg-1" () in
+  List.iter (Journal.append j)
+    [ ev_started "a"; ev_finished "a"; ev_started "b"; ev_finished "b" ]
+
+let flip_byte_mid s =
+  let b = Bytes.of_string s in
+  let i = String.length s / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  Bytes.to_string b
+
+let test_journal_midfile_bitflip_reported () =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  four_record_journal path;
+  (match file_lines path with
+  | header :: r1 :: rest -> write_lines path (header :: flip_byte_mid r1 :: rest)
+  | _ -> Alcotest.fail "journal too short");
+  (match Journal.read ~path with
+  | Error e -> Alcotest.fail e
+  | Ok (_, events, anomalies) ->
+      check Alcotest.int "corrupt record dropped, rest kept" 3
+        (List.length events);
+      check Alcotest.int "one anomaly reported" 1 (List.length anomalies));
+  (* load agrees: report-and-continue, never refuse the journal. *)
+  match Journal.load ~path ~config:"cfg-1" () with
+  | Error e -> Alcotest.fail e
+  | Ok (_, loaded, anomalies) ->
+      check Alcotest.int "load drops the same record" 3 (List.length loaded);
+      check Alcotest.int "load reports the same anomaly" 1
+        (List.length anomalies)
+
+let test_journal_duplicated_line_tolerated () =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  four_record_journal path;
+  (match file_lines path with
+  | header :: r1 :: rest -> write_lines path (header :: r1 :: r1 :: rest)
+  | _ -> Alcotest.fail "journal too short");
+  match Journal.read ~path with
+  | Error e -> Alcotest.fail e
+  | Ok (_, events, anomalies) ->
+      (* The duplicate is a valid sealed record: it replays (last record
+         wins downstream) without counting as corruption. *)
+      check Alcotest.int "all records incl. duplicate load" 5
+        (List.length events);
+      check Alcotest.int "no anomaly" 0 (List.length anomalies)
+
+let test_journal_interleaved_partial_record () =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  four_record_journal path;
+  (match file_lines path with
+  | header :: r1 :: rest ->
+      (* A partial record WITH its newline in the middle of the file:
+         not the torn-tail shape, so it must be reported. *)
+      write_lines path (header :: r1 :: "{\"event\":\"finis" :: rest)
+  | _ -> Alcotest.fail "journal too short");
+  (match Journal.read ~path with
+  | Error e -> Alcotest.fail e
+  | Ok (_, events, anomalies) ->
+      check Alcotest.int "surrounding records survive" 4 (List.length events);
+      check Alcotest.int "partial record reported" 1 (List.length anomalies));
+  match Journal.load ~path ~config:"cfg-1" () with
+  | Error e -> Alcotest.fail e
+  | Ok (j2, _, _) -> Journal.append j2 (ev_started "c")
+
+let test_journal_legacy_unsealed_accepted () =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  Journal.set_integrity false;
+  four_record_journal path;
+  Journal.set_integrity true;
+  match Journal.read ~path with
+  | Error e -> Alcotest.fail e
+  | Ok (config, events, anomalies) ->
+      check Alcotest.string "header config" "cfg-1" config;
+      check Alcotest.int "unsealed records accepted" 4 (List.length events);
+      check Alcotest.int "no anomaly for legacy records" 0
+        (List.length anomalies)
 
 let test_journal_finished_excludes_restarted () =
   let events =
@@ -273,7 +368,7 @@ let test_key_of_string () =
     (Store.key_of_string (String.make 32 'z') = None)
 
 let test_store_round_trip_and_metrics () =
-  let t = Store.open_ ~dir:(Filename.concat (tmp_dir ()) "cache") in
+  let t = Store.open_ ~dir:(Filename.concat (tmp_dir ()) "cache") () in
   let k = Store.key ~config:"c" (corpus_apk 0) in
   Metrics.set_enabled Metrics.default true;
   Metrics.reset Metrics.default;
@@ -292,6 +387,85 @@ let test_store_round_trip_and_metrics () =
   check Alcotest.int "one miss counted" 1 (count "cache.misses");
   check Alcotest.int "one hit counted" 1 (count "cache.hits");
   Metrics.set_enabled Metrics.default false
+
+let test_store_seal_round_trip () =
+  check (Alcotest.result Alcotest.string Alcotest.string) "seal round-trips"
+    (Ok "{\"payload\":1}")
+    (Store.decode (Store.seal "{\"payload\":1}"));
+  check (Alcotest.result Alcotest.string Alcotest.string)
+    "headerless legacy entry passes through" (Ok "{\"legacy\":true}")
+    (Store.decode "{\"legacy\":true}");
+  match Store.decode (flip_byte_mid (Store.seal "{\"payload\":1}")) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a flipped sealed entry must not decode"
+
+let test_store_corrupt_entry_heals () =
+  let dir = Filename.concat (tmp_dir ()) "cache" in
+  let t = Store.open_ ~dir () in
+  let k = Store.key ~config:"c" (corpus_apk 0) in
+  Store.store t k "{\"payload\":1}";
+  (* Rot the entry on disk: the next read must degrade to a miss, and
+     re-storing must heal it. *)
+  let path = Filename.concat dir (Store.key_to_string k ^ ".json") in
+  let raw = In_channel.with_open_text path In_channel.input_all in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (flip_byte_mid raw));
+  check Alcotest.(option string) "corrupt entry reads as a miss" None
+    (Store.find t k);
+  Store.store t k "{\"payload\":1}";
+  check
+    Alcotest.(option string)
+    "re-store heals the entry" (Some "{\"payload\":1}") (Store.find t k)
+
+let test_store_audit () =
+  let dir = Filename.concat (tmp_dir ()) "cache" in
+  let t = Store.open_ ~dir () in
+  let k1 = Store.key ~config:"c" (corpus_apk 0) in
+  let k2 = Store.key ~config:"c" (corpus_apk 1) in
+  Store.store t k1 "{\"payload\":1}";
+  Store.store t k2 "{\"payload\":2}";
+  check (Alcotest.pair Alcotest.int (Alcotest.list Alcotest.(pair string string)))
+    "clean cache audits clean" (2, [])
+    (Store.audit ~dir);
+  let victim = Filename.concat dir (Store.key_to_string k1 ^ ".json") in
+  let raw = In_channel.with_open_text victim In_channel.input_all in
+  Out_channel.with_open_text victim (fun oc ->
+      Out_channel.output_string oc (flip_byte_mid raw));
+  let total, corrupt = Store.audit ~dir in
+  check Alcotest.int "all entries checked" 2 total;
+  match corrupt with
+  | [ (name, _) ] ->
+      check Alcotest.string "the rotted entry is named"
+        (Store.key_to_string k1 ^ ".json")
+        name
+  | l -> Alcotest.failf "expected 1 corrupt entry, got %d" (List.length l)
+
+let test_sweep_orphaned_temps () =
+  let dir = tmp_dir () in
+  let write name contents =
+    Out_channel.with_open_text (Filename.concat dir name) (fun oc ->
+        Out_channel.output_string oc contents)
+  in
+  write ".orphan.json.123.1.abc123.tmp" "{\"half";
+  write ".fresh.json.124.2.def456.tmp" "{\"half";
+  write "keep.json" "{}";
+  (* Age the orphan past the sweep floor; the fresh temp stays young
+     (a live writer's interim file must survive the sweep). *)
+  let old = Unix.gettimeofday () -. 7200.0 in
+  Unix.utimes (Filename.concat dir ".orphan.json.123.1.abc123.tmp") old old;
+  let swept = Export.sweep_temps ~dir () in
+  check Alcotest.int "one orphan swept" 1 swept;
+  check Alcotest.bool "stale orphan removed" false
+    (Sys.file_exists (Filename.concat dir ".orphan.json.123.1.abc123.tmp"));
+  check Alcotest.bool "fresh temp kept" true
+    (Sys.file_exists (Filename.concat dir ".fresh.json.124.2.def456.tmp"));
+  check Alcotest.bool "real artifact kept" true
+    (Sys.file_exists (Filename.concat dir "keep.json"));
+  (* Store.open_ runs the same sweep on startup. *)
+  Unix.utimes (Filename.concat dir ".fresh.json.124.2.def456.tmp") old old;
+  ignore (Store.open_ ~dir ());
+  check Alcotest.bool "open_ sweeps aged temps" false
+    (Sys.file_exists (Filename.concat dir ".fresh.json.124.2.def456.tmp"))
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                             *)
@@ -615,6 +789,13 @@ let () =
           tc "torn trailing lines skipped"
             test_journal_skips_torn_trailing_line;
           tc "append lands after a torn tail" test_journal_append_after_load;
+          tc "mid-file bit flip reported and dropped"
+            test_journal_midfile_bitflip_reported;
+          tc "duplicated line tolerated" test_journal_duplicated_line_tolerated;
+          tc "interleaved partial record reported"
+            test_journal_interleaved_partial_record;
+          tc "legacy unsealed journal accepted"
+            test_journal_legacy_unsealed_accepted;
           tc "finished excludes restarted apps"
             test_journal_finished_excludes_restarted;
         ] );
@@ -622,6 +803,11 @@ let () =
         [
           tc "key sensitivity" test_key_sensitivity;
           tc "key validation" test_key_of_string;
+          tc "integrity seal round-trips" test_store_seal_round_trip;
+          tc "corrupt entry degrades to a miss and heals"
+            test_store_corrupt_entry_heals;
+          tc "audit names rotted entries" test_store_audit;
+          tc "startup sweep removes orphaned temps" test_sweep_orphaned_temps;
           tc "round trip and hit/miss metrics"
             test_store_round_trip_and_metrics;
         ] );

@@ -47,7 +47,7 @@ let test_journal_stamps () =
   Journal.append j (finished "a");
   match Journal.read ~path with
   | Error msg -> Alcotest.fail msg
-  | Ok (config, events) ->
+  | Ok (config, events, _) ->
       check Alcotest.string "header config" "cfg" config;
       let stamps = List.map fst events in
       (* The header consumed clock tick 1000; records get 1010, 1020. *)
@@ -74,7 +74,7 @@ let test_read_tolerates_torn_tail_without_truncating () =
   let before = size () in
   (match Journal.read ~path with
   | Error msg -> Alcotest.fail msg
-  | Ok (_, events) ->
+  | Ok (_, events, _) ->
       check Alcotest.int "torn tail skipped" 2 (List.length events));
   (* Unlike load, read must not repair the file. *)
   check Alcotest.int "file untouched by read" before (size ());
@@ -82,7 +82,7 @@ let test_read_tolerates_torn_tail_without_truncating () =
      the surviving records. *)
   (match Journal.load ~path ~config:"cfg" () with
   | Error msg -> Alcotest.fail msg
-  | Ok (_, events) ->
+  | Ok (_, events, _) ->
       check Alcotest.int "load sees the same records" 2 (List.length events);
       check Alcotest.bool "load truncates the tear" true (size () < before));
   Sys.remove path
@@ -182,7 +182,7 @@ let test_stats_matches_resume_view () =
   in
   (match Journal.load ~path ~config:"cfg" () with
   | Error msg -> Alcotest.fail msg
-  | Ok (_, events) ->
+  | Ok (_, events, _) ->
       let resume_finished =
         Journal.finished events
         |> List.map (fun (app, ev) ->
