@@ -1,0 +1,108 @@
+(* Build-time guard for demand-driven slicing: drive the real CLI over a
+   generated 100-app corpus in both call-graph modes and require
+   bit-for-bit agreement.
+
+   1. The default (demand-driven) run writes the baseline report
+      envelope and a metrics snapshot.
+   2. An --eager-callgraph run with its own cache must write a
+      BYTE-identical envelope — laziness must never leak into results.
+   3. The demand run's metrics must record callgraph.methods_skipped > 0
+      (the corpus always carries unreachable helpers), and the eager
+      run's must record exactly 0 — otherwise the "demand" mode silently
+      resolved everything and the 5x speedup claim is vacuous.
+
+   Invoked from the runtest alias with the extractocol binary's path;
+   all intermediate state lives in a private temp directory.  DEMAND_N
+   overrides the generated-corpus size (default 100). *)
+
+module C = Check_common
+module Json = Extr_httpmodel.Json
+
+let ck = C.create "demand_check"
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* Pull the count of a counter series out of a --metrics-out snapshot:
+   {"metrics":[{"name":...,"kind":...,"labels":{...},"count":N,...},...]} *)
+let counter_count t path name =
+  let doc = C.load_json t path in
+  match C.list_member "metrics" doc with
+  | None -> C.die t "%s has no \"metrics\" array" path
+  | Some series -> (
+      let hit =
+        List.find_opt
+          (fun s -> C.str_member "name" s = Some name)
+          series
+      in
+      match hit with
+      | None -> C.die t "%s has no %s series" path name
+      | Some s -> (
+          match C.int_member "count" s with
+          | Some n -> n
+          | None -> C.die t "%s series %s has no integer count" path name))
+
+let check exe =
+  let exe =
+    if Filename.is_relative exe then Filename.concat (Sys.getcwd ()) exe
+    else exe
+  in
+  let n = C.env_int ck "DEMAND_N" ~default:100 in
+  let n_s = string_of_int n in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "demand_check.%d" (Unix.getpid ()))
+  in
+  Sys.mkdir tmp 0o755;
+  let p name = Filename.concat tmp name in
+  let run_cli label args =
+    let out = p (label ^ ".out") in
+    let code =
+      Sys.command (Filename.quote_command exe args ~stdout:out ~stderr:out)
+    in
+    if code <> 0 then
+      C.fail ck "%s run exited %d, expected 0 (see %s)" label code out
+  in
+  (* 1: demand-driven (the default) sets the baseline. *)
+  run_cli "demand"
+    [
+      "--all"; "--gen"; n_s; "--cache-dir"; p "demand-cache";
+      "--report-out"; p "demand.json"; "--metrics-out"; p "demand-metrics.json";
+    ];
+  (* 2: the eager escape hatch must reproduce it exactly. *)
+  run_cli "eager"
+    [
+      "--all"; "--gen"; n_s; "--eager-callgraph"; "--cache-dir"; p "eager-cache";
+      "--report-out"; p "eager.json"; "--metrics-out"; p "eager-metrics.json";
+    ];
+  let demand = C.read_file (p "demand.json") in
+  if not (String.equal demand (C.read_file (p "eager.json"))) then
+    C.fail ck
+      "--eager-callgraph report is not byte-identical to demand-driven (%s vs %s)"
+      (p "eager.json") (p "demand.json");
+  (* 3: laziness must actually skip something — and only when on. *)
+  let skipped = counter_count ck (p "demand-metrics.json") "callgraph.methods_skipped" in
+  if skipped <= 0 then
+    C.fail ck
+      "demand-driven run resolved every method (callgraph.methods_skipped = %d)"
+      skipped;
+  let eager_skipped =
+    counter_count ck (p "eager-metrics.json") "callgraph.methods_skipped"
+  in
+  if eager_skipped <> 0 then
+    C.fail ck "--eager-callgraph reported %d skipped methods, expected 0"
+      eager_skipped;
+  if ck.C.ck_failures = 0 then remove_tree tmp
+  else Fmt.epr "demand_check: intermediate state kept in %s@." tmp
+
+let () =
+  match Sys.argv with
+  | [| _; exe |] ->
+      check exe;
+      C.finish ck
+  | _ -> C.usage ck "EXTRACTOCOL_BINARY"

@@ -2,22 +2,39 @@
    plus pluggable implicit-callback resolution.  Implicit call flows through
    thread/HTTP libraries (AsyncTask, Volley, Retrofit — §3.4) are injected
    by the semantics layer through [callback_resolver], mirroring how the
-   paper adds EDGEMINER-style callback edges that FlowDroid misses. *)
+   paper adds EDGEMINER-style callback edges that FlowDroid misses.
+
+   Two construction modes share one per-method resolution function:
+
+   - [build] resolves every application method up front (the historical
+     whole-program construction);
+   - [lazy_build] resolves methods only on first visit, seeded by the
+     slicer from the method index (ROADMAP item 1, after BackDroid's
+     index-then-explore design).  Caller lookups go through the index:
+     every direct callee of an invoke shares the invoke's method name, so
+     the index's per-name site list plus the registered callback-trigger
+     names over-approximate any method's caller set; resolving just those
+     candidate sites confirms it.
+
+   Both modes produce identical call-site records, caller lists and
+   reachability sets — the demand-driven pipeline must stay byte-identical
+   with the eager escape hatch, including worklist visit order in the
+   taint engines downstream. *)
 
 module Ir = Extr_ir.Types
 module Prog = Extr_ir.Prog
+module Index = Extr_ir.Index
+module Metrics = Extr_telemetry.Metrics
+
+let m_resolved =
+  Metrics.counter ~help:"methods whose call sites were resolved (CHA + callbacks)"
+    "callgraph.methods_resolved"
 
 type callsite = {
   cs_stmt : Ir.stmt_id;
   cs_invoke : Ir.invoke;
   cs_callees : Ir.method_id list;  (** resolved application-method targets *)
   cs_implicit : bool;  (** true when the edge comes from a callback model *)
-}
-
-type t = {
-  prog : Prog.t;
-  sites_by_caller : callsite list Ir.Method_map.t;
-  callers_of : Ir.stmt_id list Ir.Method_map.t;  (** callee → call sites *)
 }
 
 (** [callback_resolver prog invoke] returns the application methods that
@@ -27,8 +44,105 @@ type callback_resolver = Prog.t -> Ir.invoke -> Ir.method_id list
 
 let no_callbacks : callback_resolver = fun _ _ -> []
 
+(* Per-method resolution result: the record list in scan order, plus the
+   same records bucketed by statement index for O(1) [callsite_at]. *)
+type resolved = {
+  rs_sites : callsite list;
+  rs_by_idx : callsite list array;
+}
+
+let empty_resolved = { rs_sites = []; rs_by_idx = [||] }
+
+type mode =
+  | Eager of { callers_of : Ir.stmt_id list Ir.Method_map.t }
+  | Demand of {
+      index : Index.t;
+      trigger_names : string list;
+          (** invoke names the callback resolver can answer for; candidate
+              implicit-caller sites are found through these *)
+      callers_memo : (Ir.method_id, Ir.stmt_id list) Hashtbl.t;
+      mutable trigger_map : (Ir.method_id, (int * Ir.stmt_id) list) Hashtbl.t option;
+          (** callee → caller sites among the trigger-name call sites, in
+              scan order — built once on the first caller query.  Trigger
+              names include ["<init>"], so rescanning every trigger site
+              per query made caller lookups quadratic in practice. *)
+    }
+
+type t = {
+  prog : Prog.t;
+  resolver : callback_resolver;
+  resolved_tbl : (Ir.method_id, resolved) Hashtbl.t;
+  mode : mode;
+  (* Statement-level flow arrays, shared by every taint engine of the run
+     (they used to be rebuilt per engine, for all methods, per slice). *)
+  preds_memo : (Ir.method_id, int list array) Hashtbl.t;
+  succs_memo : (Ir.method_id, int list array) Hashtbl.t;
+}
+
+(* One method's call-site records, exactly as the historical eager scan
+   produced them: statements in order, the direct (CHA) record before the
+   implicit (callback) record at the same statement. *)
+let resolve_method t (mid : Ir.method_id) : resolved =
+  match Hashtbl.find_opt t.resolved_tbl mid with
+  | Some r -> r
+  | None -> (
+      match Prog.find_method t.prog mid with
+      | None -> empty_resolved
+      | Some m ->
+          let n = Array.length m.Ir.m_body in
+          let by_idx = Array.make n [] in
+          let sites = ref [] in
+          Array.iteri
+            (fun idx stmt ->
+              match Ir.stmt_invoke stmt with
+              | None -> ()
+              | Some invoke ->
+                  let sid = { Ir.sid_meth = mid; sid_idx = idx } in
+                  let direct =
+                    Prog.callees t.prog invoke |> List.map Ir.method_id_of_meth
+                  in
+                  let implicit = t.resolver t.prog invoke in
+                  (* Keep only callbacks that exist as application methods. *)
+                  let implicit =
+                    List.filter
+                      (fun id ->
+                        match Prog.find_method t.prog id with
+                        | Some _ -> not (List.mem id direct)
+                        | None -> false)
+                      implicit
+                  in
+                  let records = ref [] in
+                  if direct <> [] then
+                    records :=
+                      { cs_stmt = sid; cs_invoke = invoke; cs_callees = direct;
+                        cs_implicit = false }
+                      :: !records;
+                  if implicit <> [] then
+                    records :=
+                      { cs_stmt = sid; cs_invoke = invoke; cs_callees = implicit;
+                        cs_implicit = true }
+                      :: !records;
+                  let records = List.rev !records in
+                  by_idx.(idx) <- records;
+                  sites := List.rev_append records !sites)
+            m.Ir.m_body;
+          let r = { rs_sites = List.rev !sites; rs_by_idx = by_idx } in
+          Hashtbl.replace t.resolved_tbl mid r;
+          Metrics.incr m_resolved;
+          r)
+
+let make ~resolver ~mode prog =
+  {
+    prog;
+    resolver;
+    resolved_tbl = Hashtbl.create 256;
+    mode;
+    preds_memo = Hashtbl.create 256;
+    succs_memo = Hashtbl.create 256;
+  }
+
 let build ?(callback_resolver = no_callbacks) (prog : Prog.t) : t =
-  let sites_by_caller = ref Ir.Method_map.empty in
+  let t = make ~resolver:callback_resolver ~mode:(Eager { callers_of = Ir.Method_map.empty }) prog in
   let callers_of = ref Ir.Method_map.empty in
   let add_caller callee sid =
     callers_of :=
@@ -39,64 +153,172 @@ let build ?(callback_resolver = no_callbacks) (prog : Prog.t) : t =
   List.iter
     (fun (m : Ir.meth) ->
       let mid = Ir.method_id_of_meth m in
-      let sites = ref [] in
-      Array.iteri
-        (fun idx stmt ->
-          match Ir.stmt_invoke stmt with
-          | None -> ()
-          | Some invoke ->
-              let sid = { Ir.sid_meth = mid; sid_idx = idx } in
-              let direct =
-                Prog.callees prog invoke |> List.map Ir.method_id_of_meth
-              in
-              let implicit = callback_resolver prog invoke in
-              (* Keep only callbacks that exist as application methods. *)
-              let implicit =
-                List.filter
-                  (fun id ->
-                    match Prog.find_method prog id with
-                    | Some _ -> not (List.mem id direct)
-                    | None -> false)
-                  implicit
-              in
-              if direct <> [] then begin
-                sites :=
-                  { cs_stmt = sid; cs_invoke = invoke; cs_callees = direct; cs_implicit = false }
-                  :: !sites;
-                List.iter (fun c -> add_caller c sid) direct
-              end;
-              if implicit <> [] then begin
-                sites :=
-                  { cs_stmt = sid; cs_invoke = invoke; cs_callees = implicit; cs_implicit = true }
-                  :: !sites;
-                List.iter (fun c -> add_caller c sid) implicit
-              end)
-        m.Ir.m_body;
-      sites_by_caller := Ir.Method_map.add mid (List.rev !sites) !sites_by_caller)
+      let r = resolve_method t mid in
+      List.iter
+        (fun cs -> List.iter (fun c -> add_caller c cs.cs_stmt) cs.cs_callees)
+        r.rs_sites)
     (Prog.app_methods prog);
-  { prog; sites_by_caller = !sites_by_caller; callers_of = !callers_of }
+  { t with mode = Eager { callers_of = !callers_of } }
 
-let callsites t mid =
-  Option.value (Ir.Method_map.find_opt mid t.sites_by_caller) ~default:[]
+let lazy_build ?(callback_resolver = no_callbacks) ?(callback_triggers = [])
+    (prog : Prog.t) : t =
+  make ~resolver:callback_resolver
+    ~mode:
+      (Demand
+         {
+           index = Index.build prog;
+           trigger_names = callback_triggers;
+           callers_memo = Hashtbl.create 64;
+           trigger_map = None;
+         })
+    prog
+
+let callsites t mid = (resolve_method t mid).rs_sites
 
 let callsite_at t (sid : Ir.stmt_id) =
-  callsites t sid.Ir.sid_meth
-  |> List.filter (fun cs -> cs.cs_stmt.Ir.sid_idx = sid.Ir.sid_idx)
+  let r = resolve_method t sid.Ir.sid_meth in
+  if sid.Ir.sid_idx >= 0 && sid.Ir.sid_idx < Array.length r.rs_by_idx then
+    r.rs_by_idx.(sid.Ir.sid_idx)
+  else []
+
+(* Demand-driven caller lookup.  Direct edges to a callee can only come
+   from sites invoking the callee's own name; implicit edges only from
+   sites invoking a registered trigger name.  All trigger-name sites are
+   resolved once into a callee-keyed map ([trigger_map]) — the trigger
+   registry includes ["<init>"], so the per-query rescans this replaces
+   walked most constructor sites of the program on every lookup.  The
+   result replicates the eager construction exactly: the eager map conses
+   sids during the forward scan, so its lists are in reverse scan order,
+   with one entry per occurrence of the callee in a record's target list;
+   here the two ord-ascending hit streams are merged then reversed. *)
+let trigger_map_of t ~index ~trigger_names (d : mode) =
+  match d with
+  | Eager _ -> assert false
+  | Demand dm -> (
+      match dm.trigger_map with
+      | Some m -> m
+      | None ->
+          let sites =
+            List.concat_map
+              (Index.sites_invoking index)
+              (List.sort_uniq String.compare trigger_names)
+            |> List.sort (fun (a : Index.site) b ->
+                   Int.compare a.Index.st_ord b.Index.st_ord)
+          in
+          let map = Hashtbl.create 64 in
+          List.iter
+            (fun (s : Index.site) ->
+              List.iter
+                (fun cs ->
+                  List.iter
+                    (fun c ->
+                      let prev =
+                        Option.value (Hashtbl.find_opt map c) ~default:[]
+                      in
+                      Hashtbl.replace map c ((s.Index.st_ord, s.Index.st_stmt) :: prev))
+                    cs.cs_callees)
+                (callsite_at t s.Index.st_stmt))
+            sites;
+          (* Consed while walking ascending ords: flip back to scan order. *)
+          Hashtbl.iter (fun k v -> Hashtbl.replace map k (List.rev v))
+            (Hashtbl.copy map);
+          dm.trigger_map <- Some map;
+          map)
+
+let demand_callers t ~index ~trigger_names ~callers_memo mode callee =
+  match Hashtbl.find_opt callers_memo callee with
+  | Some l -> l
+  | None ->
+      let tmap = trigger_map_of t ~index ~trigger_names mode in
+      let implicit = Option.value (Hashtbl.find_opt tmap callee) ~default:[] in
+      let result =
+        if List.exists (String.equal callee.Ir.id_name) trigger_names then
+          (* The callee's own name is a trigger, so its name sites are
+             already covered by the map. *)
+          List.rev_map snd implicit
+        else begin
+          let name_hits =
+            List.concat_map
+              (fun (s : Index.site) ->
+                List.concat_map
+                  (fun cs ->
+                    List.filter_map
+                      (fun c ->
+                        if Ir.Method_id.equal c callee then
+                          Some (s.Index.st_ord, s.Index.st_stmt)
+                        else None)
+                      cs.cs_callees)
+                  (callsite_at t s.Index.st_stmt))
+              (Index.sites_invoking index callee.Ir.id_name)
+          in
+          (* Merge the ord-ascending streams; consing as we go leaves the
+             final list in the eager map's reverse scan order. *)
+          let rec merge acc a b =
+            match (a, b) with
+            | [], rest | rest, [] ->
+                List.fold_left (fun acc (_, sid) -> sid :: acc) acc rest
+            | (o1, s1) :: ta, (o2, _) :: _ when o1 < o2 -> merge (s1 :: acc) ta b
+            | _, (_, s2) :: tb -> merge (s2 :: acc) a tb
+          in
+          merge [] name_hits implicit
+        end
+      in
+      Hashtbl.replace callers_memo callee result;
+      result
 
 let callers t callee =
-  Option.value (Ir.Method_map.find_opt callee t.callers_of) ~default:[]
+  match t.mode with
+  | Eager { callers_of } ->
+      Option.value (Ir.Method_map.find_opt callee callers_of) ~default:[]
+  | Demand { index; trigger_names; callers_memo; _ } ->
+      demand_callers t ~index ~trigger_names ~callers_memo t.mode callee
+
+let index t = match t.mode with Eager _ -> None | Demand d -> Some d.index
+
+let resolved_count t = Hashtbl.length t.resolved_tbl
 
 (** All application methods transitively reachable from the entry points,
-    following both explicit and implicit edges. *)
+    following both explicit and implicit edges.  Explicit work-stack: deep
+    synthetic call chains (--gen corpora) used to blow the OCaml stack
+    here and surface as a spurious [crashed] quarantine. *)
 let reachable_from t (entries : Ir.method_id list) =
   let seen = ref Ir.Method_set.empty in
-  let rec visit mid =
-    if not (Ir.Method_set.mem mid !seen) then begin
-      seen := Ir.Method_set.add mid !seen;
-      List.iter
-        (fun cs -> List.iter visit cs.cs_callees)
-        (callsites t mid)
-    end
+  let stack = ref entries in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | mid :: rest ->
+        stack := rest;
+        if not (Ir.Method_set.mem mid !seen) then begin
+          seen := Ir.Method_set.add mid !seen;
+          List.iter
+            (fun cs ->
+              List.iter (fun c -> stack := c :: !stack) cs.cs_callees)
+            (callsites t mid)
+        end;
+        drain ()
   in
-  List.iter visit entries;
+  drain ();
   !seen
+
+let stmt_preds t (mid : Ir.method_id) =
+  match Hashtbl.find_opt t.preds_memo mid with
+  | Some a -> Some a
+  | None -> (
+      match Prog.find_method t.prog mid with
+      | None -> None
+      | Some m ->
+          let a = Cfg.stmt_predecessors m in
+          Hashtbl.replace t.preds_memo mid a;
+          Some a)
+
+let stmt_succs t (mid : Ir.method_id) =
+  match Hashtbl.find_opt t.succs_memo mid with
+  | Some a -> Some a
+  | None -> (
+      match Prog.find_method t.prog mid with
+      | None -> None
+      | Some m ->
+          let a = Cfg.stmt_successors m in
+          Hashtbl.replace t.succs_memo mid a;
+          Some a)

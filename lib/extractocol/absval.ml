@@ -224,15 +224,37 @@ let equal_val (ha : heap) (hb : heap) a b =
 (* Merge (confluence) and widening (loop headers)                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Provenance merge runs at every confluence point; membership through a
+   hash set keeps it O(|a|+|b|) where the old List.mem filter was
+   O(|a|·|b|) — superlinear on loop-heavy apps.  Semantics (and therefore
+   the report JSON) are unchanged: [a]'s elements first, then the
+   elements of [b] not already in [a], in [b]'s order — including any
+   duplicates internal to [b], exactly as the List.mem version kept. *)
 let merge_strinfo combine_sig (a : strinfo) (b : strinfo) =
+  let prov =
+    if b.prov = [] then a.prov
+    else begin
+      let seen = Hashtbl.create (2 * List.length a.prov + 1) in
+      List.iter (fun p -> Hashtbl.replace seen p ()) a.prov;
+      a.prov @ List.filter (fun p -> not (Hashtbl.mem seen p)) b.prov
+    end
+  in
+  let kprov =
+    if b.kprov = [] then a.kprov
+    else begin
+      let seen = Hashtbl.create (2 * List.length a.kprov + 1) in
+      List.iter (fun (k, _) -> Hashtbl.replace seen k ()) a.kprov;
+      a.kprov @ List.filter (fun (k, _) -> not (Hashtbl.mem seen k)) b.kprov
+    end
+  in
   {
     sg = combine_sig a.sg b.sg;
-    prov = a.prov @ List.filter (fun p -> not (List.mem p a.prov)) b.prov;
+    prov;
     srcs = List.sort_uniq String.compare (a.srcs @ b.srcs);
     structured = (match (a.structured, b.structured) with
       | Some x, Some y when x = y -> Some x
       | _, _ -> None);
-    kprov = a.kprov @ List.filter (fun (k, _) -> not (List.mem_assoc k a.kprov)) b.kprov;
+    kprov;
   }
 
 (** Merge two values from two states into a result heap (mutated through

@@ -137,14 +137,26 @@ let relevant_methods ?(intents = false) prog (cg : Callgraph.t)
       (slices.Slicer.r_request @ slices.Slicer.r_response)
   in
   let result = ref base in
-  let rec pull mid =
-    List.iter
-      (fun (sid : Ir.stmt_id) ->
-        if not (Ir.Method_set.mem sid.Ir.sid_meth !result) then begin
-          result := Ir.Method_set.add sid.Ir.sid_meth !result;
-          pull sid.Ir.sid_meth
-        end)
-      (Callgraph.callers cg mid)
+  (* Explicit work-stack (deep caller chains must not blow the stack);
+     callers are pulled through the lazy call-graph view, so only methods
+     around the slices are ever resolved. *)
+  let pull mid =
+    let stack = ref [ mid ] in
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | m :: rest ->
+          stack := rest;
+          List.iter
+            (fun (sid : Ir.stmt_id) ->
+              if not (Ir.Method_set.mem sid.Ir.sid_meth !result) then begin
+                result := Ir.Method_set.add sid.Ir.sid_meth !result;
+                stack := sid.Ir.sid_meth :: !stack
+              end)
+            (Callgraph.callers cg m);
+          drain ()
+    in
+    drain ()
   in
   Ir.Method_set.iter pull base;
   (* Intent extension: startService is implicit control flow the call

@@ -33,19 +33,9 @@ type pair = {
 }
 
 (** Methods transitively reachable from [root] through the call graph
-    (inclusive). *)
-let reach_down cg root =
-  let seen = ref Ir.Method_set.empty in
-  let rec visit mid =
-    if not (Ir.Method_set.mem mid !seen) then begin
-      seen := Ir.Method_set.add mid !seen;
-      List.iter
-        (fun cs -> List.iter visit cs.Callgraph.cs_callees)
-        (Callgraph.callsites cg mid)
-    end
-  in
-  visit root;
-  !seen
+    (inclusive).  Explicit work-stack like [Callgraph.reachable_from]:
+    deep generated call chains must not blow the OCaml stack. *)
+let reach_down cg root = Callgraph.reachable_from cg [ root ]
 
 (** Divergence heads for a demarcation point: walk the caller chain upward
     from the DP's method while it is unique; when a method has several

@@ -71,6 +71,18 @@ let m_waste =
     ~help:"fraction of touched methods contributing to no reported transaction (app)"
     "profile.waste_ratio"
 
+(* Demand-driven slicing coverage: how much of the program the lazy call
+   graph never had to resolve.  Zero skipped under --eager-callgraph. *)
+let m_cg_skipped =
+  Metrics.counter
+    ~help:"app methods never resolved by the demand-driven callgraph (run)"
+    "callgraph.methods_skipped"
+
+let m_skipped_ratio =
+  Metrics.gauge
+    ~help:"fraction of app methods the slicer never pulled through the callgraph (app)"
+    "slicer.skipped_method_ratio"
+
 type options = {
   op_async_heuristic : bool;  (** §3.4 heuristic: on for closed-source apps *)
   op_async_iterations : int;  (** heap-carrier hops (1 = paper default) *)
@@ -81,6 +93,10 @@ type options = {
   op_intents : bool;
       (** resolve intent-service dispatch (extension; off reproduces the
           paper's §4 limitation and Table 1's deliberate misses) *)
+  op_eager_callgraph : bool;
+      (** escape hatch: resolve the whole call graph up front instead of
+          demand-driven from the method index (ROADMAP item 1).  Both
+          modes produce byte-identical reports. *)
   op_limits : Resilience.Budget.limits;
       (** resource-governance limits for the per-run budget shared by the
           taint engines and the interpreter *)
@@ -95,6 +111,7 @@ let default_options =
     op_context_sensitive = true;
     op_restrict_to_slices = true;
     op_intents = false;
+    op_eager_callgraph = false;
     op_limits = Resilience.Budget.default_limits;
   }
 
@@ -106,7 +123,10 @@ let open_source_options = { default_options with op_async_heuristic = false }
    change the analysis result — the configuration half of the result
    cache key, and the fingerprint --resume checks the journal against.
    Any new option field must be added here or cached results go stale
-   silently. *)
+   silently.  [op_eager_callgraph] is deliberately NOT part of the
+   fingerprint: like ro_jobs/ro_shard in the runner, it cannot change the
+   analysis result (demand_check enforces byte-identity), so cached
+   results stay valid across the two modes. *)
 let options_fingerprint (o : options) =
   Printf.sprintf
     "async=%b;aiter=%d;aug=%b;scope=%s;ctx=%b;restrict=%b;intents=%b;steps=%d;depth=%d;deadline=%s"
@@ -178,7 +198,14 @@ let analyze ?(options = default_options) (apk : Apk.t) : analysis =
   in
   let cg =
     phase "callgraph" @@ fun () ->
-    Callgraph.build ~callback_resolver:Callbacks.resolve prog
+    if options.op_eager_callgraph then
+      Callgraph.build ~callback_resolver:Callbacks.resolve prog
+    else
+      (* Demand-driven (ROADMAP item 1): only the method index is built
+         here; edges are resolved per-method on first visit, seeded from
+         the demarcation points the slicer finds through the index. *)
+      Callgraph.lazy_build ~callback_resolver:Callbacks.resolve
+        ~callback_triggers:Callbacks.trigger_names prog
   in
   let slicer_options =
     {
@@ -243,7 +270,14 @@ let analyze ?(options = default_options) (apk : Apk.t) : analysis =
   if Metrics.is_enabled Metrics.default then begin
     Metrics.set m_elapsed ~labels:[ ("app", app) ] elapsed;
     Metrics.incr m_transactions ~labels:[ ("app", app) ]
-      ~by:(List.length report.Report.rp_transactions)
+      ~by:(List.length report.Report.rp_transactions);
+    (* Demand-driven coverage: methods the run never needed to resolve. *)
+    let total_methods = List.length (Prog.app_methods prog) in
+    let skipped = max 0 (total_methods - Callgraph.resolved_count cg) in
+    Metrics.incr m_cg_skipped ~by:skipped;
+    Metrics.set m_skipped_ratio ~labels:[ ("app", app) ]
+      (if total_methods = 0 then 0.0
+       else float_of_int skipped /. float_of_int total_methods)
   end;
   (* Waste join: of the methods the engines touched this run, which back
      a transaction in the final report?  A method contributes when it

@@ -7,6 +7,9 @@ type t = {
   program : program;
   classes : (string, cls) Hashtbl.t;
   methods : meth Method_map.t;
+  subclasses_memo : (string, string list) Hashtbl.t;
+      (** receiver class → CHA candidate set; computing it walks the whole
+          class table, and [callees] asks for it on every virtual invoke *)
 }
 
 let of_program (p : program) =
@@ -20,7 +23,7 @@ let of_program (p : program) =
           acc c.c_methods)
       Method_map.empty p.p_classes
   in
-  { program = p; classes; methods }
+  { program = p; classes; methods; subclasses_memo = Hashtbl.create 64 }
 
 let find_class t name = Hashtbl.find_opt t.classes name
 
@@ -60,11 +63,21 @@ let resolve_virtual t ~cls ~mname =
   walk (ancestry t cls)
 
 (** All subclasses of [cls] present in the program (inclusive), used for
-    CHA-style call-graph construction. *)
+    CHA-style call-graph construction.  Memoized per receiver class: the
+    walk over the whole class table ran on every virtual invoke and
+    dominated call-graph resolution. *)
 let subclasses t cls =
-  Hashtbl.fold
-    (fun name _ acc -> if is_subclass t ~sub:name ~super:cls then name :: acc else acc)
-    t.classes []
+  match Hashtbl.find_opt t.subclasses_memo cls with
+  | Some l -> l
+  | None ->
+      let l =
+        Hashtbl.fold
+          (fun name _ acc ->
+            if is_subclass t ~sub:name ~super:cls then name :: acc else acc)
+          t.classes []
+      in
+      Hashtbl.add t.subclasses_memo cls l;
+      l
 
 (** CHA resolution of an invoke: the set of concrete methods it may reach.
     Virtual calls consider every subclass override; static and special calls

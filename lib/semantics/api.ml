@@ -180,8 +180,16 @@ let library_classes : Ir.cls list =
 let library_class_names =
   List.map (fun c -> c.Ir.c_name) library_classes
 
+(* Hash set over the names: [is_library_class] runs on hot interpreter and
+   taint paths, where a linear scan of the registry adds up. *)
+let library_class_set =
+  lazy
+    (let h = Hashtbl.create 64 in
+     List.iter (fun n -> Hashtbl.replace h n ()) library_class_names;
+     h)
+
 (** Is [name] one of the modelled library classes (by exact name)? *)
-let is_library_class name = List.mem name library_class_names
+let is_library_class name = Hashtbl.mem (Lazy.force library_class_set) name
 
 (** Superclass of a library class inside the static library hierarchy. *)
 let library_super name =

@@ -30,6 +30,21 @@ let callbacks_on_arg prog (value : Ir.value) names =
       | None -> [])
   | Ir.Const _ -> []
 
+(* Every invoke name [resolve] can answer for.  The demand-driven call
+   graph finds candidate implicit-caller sites by looking these names up
+   in the method index, so a new [resolve] arm MUST register its trigger
+   here or its edges become invisible to caller queries in lazy mode. *)
+let trigger_names =
+  [
+    "execute";
+    "schedule";
+    "setOnClickListener";
+    "add";
+    "<init>";
+    "requestLocationUpdates";
+    "subscribe";
+  ]
+
 let resolve : Extr_cfg.Callgraph.callback_resolver =
  fun prog invoke ->
   let arg i = List.nth_opt invoke.Ir.iargs i in

@@ -10,6 +10,11 @@ module Prog = Extr_ir.Prog
 val resolve : Extr_cfg.Callgraph.callback_resolver
 (** The callback resolver wired into call-graph construction. *)
 
+val trigger_names : string list
+(** Invoke names [resolve] can return callbacks for — the
+    [callback_triggers] the demand-driven call graph needs to find
+    candidate implicit-edge sites through the method index. *)
+
 val listener_of_request :
   Prog.t -> Ir.meth -> Ir.var -> Ir.method_id list
 (** The [onResponse] method(s) of the listener a Volley-style request

@@ -95,6 +95,11 @@ let registry : t list =
     };
   ]
 
+(** Invoked-method names appearing in the registry — the index keys the
+    demand-driven slicer scans for demarcation-point candidates. *)
+let method_names =
+  List.sort_uniq String.compare (List.map (fun d -> d.dp_meth) registry)
+
 (** Find the demarcation point matching an invoke, if any. *)
 let find (i : Ir.invoke) : t option =
   List.find_opt (fun dp -> Api.invoke_is i ~cls:dp.dp_cls ~name:dp.dp_meth) registry

@@ -32,6 +32,10 @@ val registry : t list
     (HttpURLConnection and the §4 raw-socket extension), volley, okhttp
     and android.media. *)
 
+val method_names : string list
+(** Distinct invoked-method names of the registry, sorted — the index
+    keys demand-driven demarcation discovery scans. *)
+
 val find : Ir.invoke -> t option
 val is_demarcation : Ir.invoke -> bool
 

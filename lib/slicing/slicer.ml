@@ -66,42 +66,65 @@ and stats = {
 (* Demarcation point discovery                                        *)
 (* ------------------------------------------------------------------ *)
 
-(** Scan all application methods for demarcation-point invokes.  [scope]
-    optionally restricts discovery to classes with the given prefix (the
-    Kayak analysis scopes to com.kayak classes, §5.3). *)
-let find_demarcation_points ?scope (prog : Prog.t) : dp_site list =
-  let in_scope (m : Ir.meth) =
+(** Scan for demarcation-point invokes.  [scope] optionally restricts
+    discovery to classes with the given prefix (the Kayak analysis scopes
+    to com.kayak classes, §5.3).  With an [index] (demand-driven mode)
+    only the call sites whose invoked name matches a registry entry are
+    examined — BackDroid's bytecode-search step — instead of every
+    statement of every method; candidate sites are replayed in global
+    scan order so the discovered list is identical to the full scan's. *)
+let find_demarcation_points ?scope ?index (prog : Prog.t) : dp_site list =
+  let in_scope_cls cls =
     match scope with
     | None -> true
     | Some prefix ->
-        String.length m.Ir.m_cls >= String.length prefix
-        && String.sub m.Ir.m_cls 0 (String.length prefix) = prefix
+        String.length cls >= String.length prefix
+        && String.sub cls 0 (String.length prefix) = prefix
   in
-  List.concat_map
-    (fun (m : Ir.meth) ->
-      if not (in_scope m) then []
-      else begin
-        let mid = Ir.method_id_of_meth m in
-        let acc = ref [] in
-        Array.iteri
-          (fun idx stmt ->
-            match Ir.stmt_invoke stmt with
-            | Some invoke -> (
-                match Demarcation.find invoke with
-                | Some info ->
-                    acc :=
-                      {
-                        dp_stmt = { Ir.sid_meth = mid; sid_idx = idx };
-                        dp_invoke = invoke;
-                        dp_info = info;
-                      }
-                      :: !acc
+  match index with
+  | Some ix ->
+      List.concat_map (Extr_ir.Index.sites_invoking ix) Demarcation.method_names
+      |> List.sort (fun (a : Extr_ir.Index.site) b ->
+             compare a.Extr_ir.Index.st_ord b.Extr_ir.Index.st_ord)
+      |> List.filter_map (fun (s : Extr_ir.Index.site) ->
+             if not (in_scope_cls s.Extr_ir.Index.st_stmt.Ir.sid_meth.Ir.id_cls)
+             then None
+             else
+               match Demarcation.find s.Extr_ir.Index.st_invoke with
+               | Some info ->
+                   Some
+                     {
+                       dp_stmt = s.Extr_ir.Index.st_stmt;
+                       dp_invoke = s.Extr_ir.Index.st_invoke;
+                       dp_info = info;
+                     }
+               | None -> None)
+  | None ->
+      List.concat_map
+        (fun (m : Ir.meth) ->
+          if not (in_scope_cls m.Ir.m_cls) then []
+          else begin
+            let mid = Ir.method_id_of_meth m in
+            let acc = ref [] in
+            Array.iteri
+              (fun idx stmt ->
+                match Ir.stmt_invoke stmt with
+                | Some invoke -> (
+                    match Demarcation.find invoke with
+                    | Some info ->
+                        acc :=
+                          {
+                            dp_stmt = { Ir.sid_meth = mid; sid_idx = idx };
+                            dp_invoke = invoke;
+                            dp_info = info;
+                          }
+                          :: !acc
+                    | None -> ())
                 | None -> ())
-            | None -> ())
-          m.Ir.m_body;
-        List.rev !acc
-      end)
-    (Prog.app_methods prog)
+              m.Ir.m_body;
+            List.rev !acc
+          end)
+        (Prog.app_methods prog)
 
 (* ------------------------------------------------------------------ *)
 (* Request (backward) slices                                          *)
@@ -116,59 +139,76 @@ let request_root (dp : dp_site) : Ir.var option =
   | Demarcation.Recv -> dp.dp_invoke.Ir.ibase
 
 (** Statements storing to one of the given instance fields, anywhere in the
-    program — the setter statements the async heuristic restarts from. *)
-let field_store_sites (prog : Prog.t) (fields : (string * string) list) =
-  List.concat_map
-    (fun (m : Ir.meth) ->
-      let mid = Ir.method_id_of_meth m in
-      let acc = ref [] in
-      Array.iteri
-        (fun idx stmt ->
-          match stmt with
-          | Ir.Assign (Ir.Lfield (x, f), _)
-            when List.mem (f.Ir.fcls, f.Ir.fname) fields ->
-              acc :=
-                ({ Ir.sid_meth = mid; sid_idx = idx }, Fact.local_path mid x f.Ir.fname)
-                :: !acc
-          | _ -> ())
-        m.Ir.m_body;
-      List.rev !acc)
-    (Prog.app_methods prog)
+    program — the setter statements the async heuristic restarts from.
+    With an [index], only the per-field store lists are consulted (merged
+    back into global scan order). *)
+let field_store_sites ?index (prog : Prog.t) (fields : (string * string) list) =
+  match index with
+  | Some ix ->
+      List.concat_map (Extr_ir.Index.field_stores ix) fields
+      |> List.sort (fun (a : Extr_ir.Index.store) b ->
+             compare a.Extr_ir.Index.fs_ord b.Extr_ir.Index.fs_ord)
+      |> List.map (fun (s : Extr_ir.Index.store) ->
+             let mid = s.Extr_ir.Index.fs_stmt.Ir.sid_meth in
+             ( s.Extr_ir.Index.fs_stmt,
+               Fact.local_path mid s.Extr_ir.Index.fs_var
+                 s.Extr_ir.Index.fs_field.Ir.fname ))
+  | None ->
+      List.concat_map
+        (fun (m : Ir.meth) ->
+          let mid = Ir.method_id_of_meth m in
+          let acc = ref [] in
+          Array.iteri
+            (fun idx stmt ->
+              match stmt with
+              | Ir.Assign (Ir.Lfield (x, f), _)
+                when List.mem (f.Ir.fcls, f.Ir.fname) fields ->
+                  acc :=
+                    ({ Ir.sid_meth = mid; sid_idx = idx }, Fact.local_path mid x f.Ir.fname)
+                    :: !acc
+              | _ -> ())
+            m.Ir.m_body;
+          List.rev !acc)
+        (Prog.app_methods prog)
 
 let request_slice ?budget ~async_heuristic ~async_iterations prog cg
     (dp : dp_site) : slice =
-  let run_with_setters setters =
-    let engine = Backward.create prog cg in
-    (match request_root dp with
-    | Some v ->
-        Backward.inject_at engine dp.dp_stmt
-          [ Fact.local dp.dp_stmt.Ir.sid_meth v ]
-    | None -> ());
-    List.iter (fun (sid, fact) -> Backward.inject_at engine sid [ fact ]) setters;
-    Backward.run ?budget engine;
-    engine
-  in
-  let engine = run_with_setters [] in
+  let engine = Backward.create prog cg in
+  (match request_root dp with
+  | Some v ->
+      Backward.inject_at engine dp.dp_stmt
+        [ Fact.local dp.dp_stmt.Ir.sid_meth v ]
+  | None -> ());
+  Backward.run ?budget engine;
   let stmts, async_setters =
     if not async_heuristic then (Backward.touched_stmts engine, [])
     else begin
       (* §3.4: for each heap object carrying request parts, restart
          backward propagation from its setter statements.  The default is
          one hop; the paper's multiple-iterations variant repeats until no
-         new heap carriers appear (bounded by [async_iterations]). *)
-      let rec iterate k engine setters known_fields =
+         new heap carriers appear (bounded by [async_iterations]).  The
+         engine is resumed, not rebuilt: the fixpoint already reached is a
+         sound intermediate point of the extended one (injections only
+         grow), so resuming converges to the identical fixpoint without
+         re-deriving the whole first round. *)
+      let rec iterate k setters known_fields =
         let fields =
           List.sort_uniq compare (Fact.field_facts (Backward.all_facts engine))
         in
         if k <= 0 || fields = known_fields then
           (Backward.touched_stmts engine, setters)
         else begin
-          let setters' = field_store_sites prog fields in
-          let engine' = run_with_setters setters' in
-          iterate (k - 1) engine' setters' fields
+          let setters' =
+            field_store_sites ?index:(Callgraph.index cg) prog fields
+          in
+          List.iter
+            (fun (sid, fact) -> Backward.inject_at engine sid [ fact ])
+            setters';
+          Backward.run ?budget engine;
+          iterate (k - 1) setters' fields
         end
       in
-      iterate (max 1 async_iterations) engine [] []
+      iterate (max 1 async_iterations) [] []
     end
   in
   if Provenance.is_enabled Provenance.default then begin
@@ -181,9 +221,12 @@ let request_slice ?budget ~async_heuristic ~async_iterations prog cg
         Provenance.record_slice_step Provenance.default ~dp:dp_sid ~stmt:sid
           Provenance.Async_setter)
       setter_sids;
+    (* Set membership, not List.mem: the touched set times the setter list
+       made this loop quadratic with --explain on. *)
+    let setter_set = Ir.Stmt_set.of_list setter_sids in
     Ir.Stmt_set.iter
       (fun sid ->
-        if (not (Ir.Stmt_id.equal sid dp_sid)) && not (List.mem sid setter_sids)
+        if (not (Ir.Stmt_id.equal sid dp_sid)) && not (Ir.Stmt_set.mem sid setter_set)
         then
           Provenance.record_slice_step Provenance.default ~dp:dp_sid ~stmt:sid
             Provenance.Backward_taint)
@@ -265,15 +308,20 @@ let augment_response_slice prog (sl : slice) : slice =
   let prof =
     Profile.cursor ~phase:"slicing.augment" ~render:Ir.Method_id.to_string ()
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Ir.Method_set.iter
-      (fun mid ->
-        Profile.visit prof mid;
-        match Prog.find_method prog mid with
-        | None -> ()
-        | Some m ->
+  (* Augmentation never crosses a method boundary (uses and the defining
+     statements added for them live in the same body), so each method
+     closes independently — a local fixpoint per method reaches the same
+     closure as the old global re-scan-everything loop, without rescanning
+     stable methods every time any method grows. *)
+  Ir.Method_set.iter
+    (fun mid ->
+      Profile.visit prof mid;
+      match Prog.find_method prog mid with
+      | None -> ()
+      | Some m ->
+          let changed = ref true in
+          while !changed do
+            changed := false;
             (* Variables and fields read by included statements of m. *)
             let used_vars = Hashtbl.create 16 in
             let used_fields = Hashtbl.create 16 in
@@ -314,9 +362,9 @@ let augment_response_slice prog (sl : slice) : slice =
                     changed := true
                   end
                 end)
-              m.Ir.m_body)
-      methods
-  done;
+              m.Ir.m_body
+          done)
+    methods;
   Profile.close prof;
   if Provenance.is_enabled Provenance.default then
     Ir.Stmt_set.iter
@@ -354,7 +402,10 @@ let default_options =
 
 let run ?(options = default_options) (prog : Prog.t) (cg : Callgraph.t) : result =
   let telemetry = Metrics.is_enabled Metrics.default in
-  let dps = find_demarcation_points ?scope:options.opt_scope prog in
+  let dps =
+    find_demarcation_points ?scope:options.opt_scope
+      ?index:(Callgraph.index cg) prog
+  in
   Metrics.incr m_dps ~by:(List.length dps);
   let observe_size kind sl =
     if telemetry then

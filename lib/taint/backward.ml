@@ -3,7 +3,16 @@
    left-hand side taints the right-hand side, and the taint information of
    callee arguments propagates to caller arguments.  Starting from the
    request object at a demarcation point, this computes the backward
-   (request) slice: all statements contributing to the request. *)
+   (request) slice: all statements contributing to the request.
+
+   The fixpoint state lives in hash tables and the worklist is
+   deduplicated (a statement whose after-set grows while it is already
+   queued is transferred once, against the merged set).  Chaotic
+   iteration over monotone transfers reaches the same fixpoint in any
+   order, so the touched set and fact sets are unchanged — only the
+   step count drops.  Engines are created per demarcation point and per
+   async-heuristic iteration, so constant factors here dominate the
+   slicing phase. *)
 
 module Ir = Extr_ir.Types
 module Prog = Extr_ir.Prog
@@ -36,64 +45,122 @@ let m_facts =
 type t = {
   prog : Prog.t;
   cg : Callgraph.t;
-  mutable after : Fact.Set.t array Ir.Method_map.t;
+  after : (Ir.method_id, Fact.Set.t array) Hashtbl.t;
       (** facts relevant after each statement (reverse-flow entry set) *)
-  mutable param_relevant : (Ir.method_id * string) list;
+  param_relevant : (Ir.method_id * string, unit) Hashtbl.t;
       (** callee parameters (or "this") found relevant at method entry *)
-  mutable entry_globals : Fact.Set.t Ir.Method_map.t;
+  entry_globals : (Ir.method_id, Fact.Set.t) Hashtbl.t;
       (** global facts alive at method entries, flowing back to callers *)
-  mutable touched : Ir.Stmt_set.t;
-  worklist : (Ir.method_id * int) Queue.t;
-  preds : int list array Ir.Method_map.t;
+  touched : (Ir.stmt_id, unit) Hashtbl.t;
+  queue : Ir.method_id Queue.t;  (** methods with pending statements *)
+  pending : (Ir.method_id, bool array) Hashtbl.t;
+      (** per-statement pending flags (the deduplicated worklist) *)
+  pending_count : (Ir.method_id, int ref) Hashtbl.t;
+  mutable facts_acc : Fact.Set.t;
+      (** running union of every fact ever merged anywhere — keeps
+          [all_facts] O(1) for the async heuristic, which polls it per
+          iteration per demarcation point *)
+  meths : (Ir.method_id, Ir.meth option) Hashtbl.t;
+      (** [Prog.find_method] memo — hit on every worklist step *)
+  returns : (Ir.method_id, int list) Hashtbl.t;
+      (** [Cfg.return_indices] memo — hit per app-callee invoke transfer *)
+  transparent : (Ir.method_id, bool) Hashtbl.t;
+      (** methods that pure-global injections pass through unchanged —
+          see [globals_transparent] *)
   prof : Ir.method_id Profile.cursor;
       (** per-method cost attribution for the fixpoint loop *)
 }
 
+(* Predecessor arrays come from the call graph's shared per-method memo:
+   engines are created per demarcation point (and per async iteration), so
+   the old whole-program map here was rebuilt many times per app. *)
 let create prog cg =
-  let preds =
-    List.fold_left
-      (fun acc (m : Ir.meth) ->
-        Ir.Method_map.add (Ir.method_id_of_meth m) (Extr_cfg.Cfg.stmt_predecessors m) acc)
-      Ir.Method_map.empty (Prog.app_methods prog)
-  in
   {
     prog;
     cg;
-    after = Ir.Method_map.empty;
-    param_relevant = [];
-    entry_globals = Ir.Method_map.empty;
-    touched = Ir.Stmt_set.empty;
-    worklist = Queue.create ();
-    preds;
+    after = Hashtbl.create 64;
+    param_relevant = Hashtbl.create 32;
+    entry_globals = Hashtbl.create 32;
+    touched = Hashtbl.create 128;
+    queue = Queue.create ();
+    facts_acc = Fact.Set.empty;
+    pending = Hashtbl.create 64;
+    pending_count = Hashtbl.create 64;
+    meths = Hashtbl.create 64;
+    returns = Hashtbl.create 32;
+    transparent = Hashtbl.create 64;
     prof =
       Profile.cursor ~phase:"slicing.backward" ~render:Ir.Method_id.to_string
         ();
   }
 
+let meth_of t mid =
+  match Hashtbl.find_opt t.meths mid with
+  | Some m -> m
+  | None ->
+      let m = Prog.find_method t.prog mid in
+      Hashtbl.add t.meths mid m;
+      m
+
 let body_of t mid =
-  match Prog.find_method t.prog mid with
-  | Some m -> m.Ir.m_body
-  | None -> [||]
+  match meth_of t mid with Some m -> m.Ir.m_body | None -> [||]
+
+let returns_of t mid (m : Ir.meth) =
+  match Hashtbl.find_opt t.returns mid with
+  | Some r -> r
+  | None ->
+      let r = Extr_cfg.Cfg.return_indices m in
+      Hashtbl.add t.returns mid r;
+      r
 
 let after_array t mid =
-  match Ir.Method_map.find_opt mid t.after with
+  match Hashtbl.find_opt t.after mid with
   | Some arr -> arr
   | None ->
       let arr = Array.make (max 1 (Array.length (body_of t mid))) Fact.Set.empty in
-      t.after <- Ir.Method_map.add mid arr t.after;
+      Hashtbl.add t.after mid arr;
       arr
+
+(* The worklist is a queue of methods, each with per-statement pending
+   flags.  Draining a method sweeps its flags from the highest index down
+   — the direction reverse flow moves — so a fact wave crosses the whole
+   body in one pass instead of one growth-requeue cycle per statement. *)
+let enqueue t mid idx =
+  let flags =
+    match Hashtbl.find_opt t.pending mid with
+    | Some f -> f
+    | None ->
+        let f = Array.make (max 1 (Array.length (body_of t mid))) false in
+        Hashtbl.add t.pending mid f;
+        f
+  in
+  if idx < Array.length flags && not flags.(idx) then begin
+    flags.(idx) <- true;
+    let count =
+      match Hashtbl.find_opt t.pending_count mid with
+      | Some c -> c
+      | None ->
+          let c = ref 0 in
+          Hashtbl.add t.pending_count mid c;
+          c
+    in
+    if !count = 0 then Queue.add mid t.queue;
+    incr count
+  end
 
 let merge_at t mid idx facts =
   let body = body_of t mid in
   if idx >= 0 && idx < Array.length body && not (Fact.Set.is_empty facts) then begin
     let arr = after_array t mid in
-    let merged = Fact.Set.union arr.(idx) facts in
-    if not (Fact.Set.equal merged arr.(idx)) then begin
-      arr.(idx) <- merged;
+    (* Subset test first: at fixpoint most merges are no-ops, and the
+       union + equality pair allocated on every one of them. *)
+    if not (Fact.Set.subset facts arr.(idx)) then begin
+      arr.(idx) <- Fact.Set.union arr.(idx) facts;
+      t.facts_acc <- Fact.Set.union t.facts_acc facts;
       (* A fact-set growth event, charged to the method the engine is
          currently transferring (the producer). *)
       Profile.add_facts t.prof 1;
-      Queue.add (mid, idx) t.worklist
+      enqueue t mid idx
     end
   end
 
@@ -104,17 +171,47 @@ let inject_at t (sid : Ir.stmt_id) facts =
 (** Inject the given facts at every return statement of a method (the
     reverse-flow entry points). *)
 let inject_at_returns t mid facts =
-  match Prog.find_method t.prog mid with
+  match meth_of t mid with
   | None -> ()
   | Some m ->
       List.iter
         (fun r -> merge_at t mid r (Fact.Set.of_list facts))
-        (Extr_cfg.Cfg.return_indices m)
+        (returns_of t mid m)
 
-let globals_of set =
-  Fact.Set.filter
-    (function Fact.Ffield _ | Fact.Fstatic _ | Fact.Fdb _ -> true | Fact.Flocal _ -> false)
-    set
+let globals_of = Fact.globals
+
+(* A method is transparent to pure-global injections when propagating
+   Ffield/Fstatic/Fdb facts through it provably changes nothing: globals
+   survive its body unchanged (no instance/static field stores kill or
+   touch on them), no SQLite call can consume an Fdb fact, and no app
+   callee can carry the injection deeper.  For such a method the injected
+   globals flow straight back out as its (already-known) entry globals —
+   zero touched statements, zero new facts — so the injection is skipped.
+   Both construction modes share this test, keeping them byte-identical;
+   it is what makes the filler bulk of an app (inert UI helpers) cost
+   nothing during slicing. *)
+let globals_transparent t callee =
+  match Hashtbl.find_opt t.transparent callee with
+  | Some b -> b
+  | None ->
+      let b =
+        match meth_of t callee with
+        | None -> true
+        | Some m ->
+            Callgraph.callsites t.cg callee = []
+            && Array.for_all
+                 (fun stmt ->
+                   match stmt with
+                   | Ir.Assign ((Ir.Lfield _ | Ir.Lsfield _), _) -> false
+                   | _ -> (
+                       match Ir.stmt_invoke stmt with
+                       | Some i ->
+                           not (String.equal i.Ir.iref.Ir.mcls Api.sqlite_database)
+                       | None -> true))
+                 m.Ir.m_body
+      in
+      Hashtbl.add t.transparent callee b;
+      b
 
 let value_fact mid = function
   | Ir.Const _ -> []
@@ -198,7 +295,7 @@ let handle_invoke t mid set (sid : Ir.stmt_id) (i : Ir.invoke) ~def_relevant :
         (* A relevant call result pulls the callee's returned values into
            the backward flow; relevant globals travel with it. *)
         (if def_relevant then
-           match Prog.find_method t.prog callee_id with
+           match meth_of t callee_id with
            | None -> ()
            | Some callee ->
                touched := true;
@@ -210,17 +307,20 @@ let handle_invoke t mid set (sid : Ir.stmt_id) (i : Ir.invoke) ~def_relevant :
                          (Fact.Set.add (Fact.local callee_id rv) globals)
                    | Ir.Return _ -> merge_at t callee_id r globals
                    | _ -> ())
-                 (Extr_cfg.Cfg.return_indices callee));
-        if (not def_relevant) && not (Fact.Set.is_empty globals) then
-          inject_at_returns t callee_id (Fact.Set.elements globals);
+                 (returns_of t callee_id callee));
+        if
+          (not def_relevant)
+          && (not (Fact.Set.is_empty globals))
+          && not (globals_transparent t callee_id)
+        then inject_at_returns t callee_id (Fact.Set.elements globals);
         (* Parameters already known relevant in the callee make the
            corresponding caller arguments relevant. *)
-        (match Prog.find_method t.prog callee_id with
+        (match meth_of t callee_id with
         | None -> ()
         | Some callee ->
             List.iteri
               (fun k (p : Ir.var) ->
-                if List.mem (callee_id, p.Ir.vname) t.param_relevant then begin
+                if Hashtbl.mem t.param_relevant (callee_id, p.Ir.vname) then begin
                   touched := true;
                   match List.nth_opt i.Ir.iargs k with
                   | Some v ->
@@ -228,14 +328,14 @@ let handle_invoke t mid set (sid : Ir.stmt_id) (i : Ir.invoke) ~def_relevant :
                   | None -> ()
                 end)
               callee.Ir.m_params;
-            if List.mem (callee_id, "this") t.param_relevant then begin
+            if Hashtbl.mem t.param_relevant (callee_id, "this") then begin
               touched := true;
               match i.Ir.ibase with
               | Some b -> gen := Fact.Set.add (Fact.local mid b) !gen
               | None -> ()
             end);
         (* Globals alive at the callee entry flow back to before the call. *)
-        match Ir.Method_map.find_opt callee_id t.entry_globals with
+        match Hashtbl.find_opt t.entry_globals callee_id with
         | Some g -> gen := Fact.Set.union g !gen
         | None -> ())
       app_callees
@@ -246,11 +346,9 @@ let handle_invoke t mid set (sid : Ir.stmt_id) (i : Ir.invoke) ~def_relevant :
 (* Statement transfer (reverse)                                       *)
 (* ------------------------------------------------------------------ *)
 
-let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
-  let body = body_of t mid in
-  let stmt = body.(idx) in
+let transfer t mid idx (stmt : Ir.stmt) (set : Fact.Set.t) : Fact.Set.t =
   let sid = { Ir.sid_meth = mid; sid_idx = idx } in
-  let touch () = t.touched <- Ir.Stmt_set.add sid t.touched in
+  let touch () = Hashtbl.replace t.touched sid () in
   match stmt with
   | Ir.Assign (lhs, rhs) -> (
       match lhs with
@@ -340,7 +438,7 @@ let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
 let record_entry t mid (out : Fact.Set.t) =
   (* Reverse flow reached the method entry: record relevant parameters and
      globals, notify callers. *)
-  match Prog.find_method t.prog mid with
+  match meth_of t mid with
   | None -> ()
   | Some m ->
       let changed = ref false in
@@ -351,44 +449,35 @@ let record_entry t mid (out : Fact.Set.t) =
       List.iter
         (fun p ->
           if
-            Fact.Set.exists
-              (function
-                | Fact.Flocal (m', v, _) -> Ir.Method_id.equal m' mid && v = p
-                | Fact.Ffield _ | Fact.Fstatic _ | Fact.Fdb _ -> false)
-              out
-            && not (List.mem (mid, p) t.param_relevant)
+            Fact.root_tainted out mid p
+            && not (Hashtbl.mem t.param_relevant (mid, p))
           then begin
-            t.param_relevant <- (mid, p) :: t.param_relevant;
+            Hashtbl.add t.param_relevant (mid, p) ();
             changed := true
           end)
         params;
       let globals = globals_of out in
       let prev =
-        Option.value (Ir.Method_map.find_opt mid t.entry_globals) ~default:Fact.Set.empty
+        Option.value (Hashtbl.find_opt t.entry_globals mid) ~default:Fact.Set.empty
       in
-      let merged = Fact.Set.union prev globals in
-      if not (Fact.Set.equal merged prev) then begin
-        t.entry_globals <- Ir.Method_map.add mid merged t.entry_globals;
+      if not (Fact.Set.subset globals prev) then begin
+        Hashtbl.replace t.entry_globals mid (Fact.Set.union prev globals);
+        (* Entry globals derive from a transfer's output, whose generated
+           facts may never be merged into any statement (entry statements
+           have no predecessors) — fold them into the running union here. *)
+        t.facts_acc <- Fact.Set.union t.facts_acc globals;
         changed := true
       end;
       if !changed then
         List.iter
-          (fun sid -> Queue.add (sid.Ir.sid_meth, sid.Ir.sid_idx) t.worklist)
+          (fun sid -> enqueue t sid.Ir.sid_meth sid.Ir.sid_idx)
           (Callgraph.callers t.cg mid)
 
 (** Union of all facts seen anywhere — used by the asynchronous-event
     heuristic to discover the heap objects that carry request parts.
-    Includes the global facts that reached method entries (they have no
-    predecessor statement to live at). *)
-let all_facts t =
-  let in_flows =
-    Ir.Method_map.fold
-      (fun _ arr acc -> Array.fold_left Fact.Set.union acc arr)
-      t.after Fact.Set.empty
-  in
-  Ir.Method_map.fold
-    (fun _ globals acc -> Fact.Set.union acc globals)
-    t.entry_globals in_flows
+    Maintained incrementally at merge time (state only ever grows), so
+    polling it per async iteration no longer refolds the whole state. *)
+let all_facts t = t.facts_acc
 
 (* Standalone engines (tests, direct API use) get a private fuel-only
    budget matching the historical bound; the pipeline passes its shared
@@ -402,35 +491,61 @@ let standalone_budget () =
       }
     ()
 
+let pending_total t =
+  Hashtbl.fold (fun _ c acc -> acc + !c) t.pending_count 0
+
 let run ?budget t =
   let budget =
     match budget with Some b -> b | None -> standalone_budget ()
   in
   let steps = ref 0 in
-  while
-    (not (Queue.is_empty t.worklist)) && Resilience.Budget.spend budget
-  do
-    incr steps;
-    let mid, idx = Queue.pop t.worklist in
-    Profile.visit t.prof mid;
-    Profile.spend t.prof 1;
-    let body = body_of t mid in
-    if idx < Array.length body then begin
-      let arr = after_array t mid in
-      let out = transfer t mid idx arr.(idx) in
-      match Ir.Method_map.find_opt mid t.preds with
-      | None -> ()
-      | Some pred_arr ->
-          if pred_arr.(idx) = [] || idx = 0 then record_entry t mid out;
-          List.iter (fun p -> merge_at t mid p out) pred_arr.(idx)
-    end
+  let stopped = ref false in
+  let drain mid =
+    match
+      (Hashtbl.find_opt t.pending mid, Hashtbl.find_opt t.pending_count mid)
+    with
+    | Some flags, Some count when !count > 0 ->
+        let body = body_of t mid in
+        let arr = after_array t mid in
+        let preds = Callgraph.stmt_preds t.cg mid in
+        while !count > 0 && not !stopped do
+          (* One downward sweep; facts merged below the cursor are caught
+             in the same pass, merges above it start the next wave. *)
+          let idx = ref (Array.length flags - 1) in
+          while !idx >= 0 && not !stopped do
+            (if flags.(!idx) then
+               if Resilience.Budget.spend budget then begin
+                 flags.(!idx) <- false;
+                 decr count;
+                 incr steps;
+                 Profile.visit t.prof mid;
+                 Profile.spend t.prof 1;
+                 if !idx < Array.length body then begin
+                   let out = transfer t mid !idx body.(!idx) arr.(!idx) in
+                   match preds with
+                   | None -> ()
+                   | Some pred_arr ->
+                       if pred_arr.(!idx) = [] || !idx = 0 then
+                         record_entry t mid out;
+                       List.iter (fun p -> merge_at t mid p out) pred_arr.(!idx)
+                 end
+               end
+               else stopped := true);
+            decr idx
+          done
+        done
+    | _ -> ()
+  in
+  while (not (Queue.is_empty t.queue)) && not !stopped do
+    drain (Queue.pop t.queue)
   done;
   Profile.close t.prof;
   (* Exhausting the budget with work still queued used to silently
      truncate the slice; now it is a recorded degradation. *)
-  if not (Queue.is_empty t.worklist) then
+  let left = pending_total t in
+  if left > 0 then
     Resilience.Degrade.record_exhaustion ~phase:"slicing.backward"
-      ~work_left:(Queue.length t.worklist) budget
+      ~work_left:left budget
       "backward taint fixpoint stopped before the worklist drained; the \
        request slice is under-approximate";
   Metrics.incr m_steps ~by:!steps;
@@ -438,9 +553,11 @@ let run ?budget t =
   if Metrics.is_enabled Metrics.default then
     Metrics.incr m_facts ~by:(Fact.Set.cardinal (all_facts t))
 
-let touched_stmts t = t.touched
+let touched_stmts t =
+  Hashtbl.fold (fun sid () acc -> Ir.Stmt_set.add sid acc) t.touched
+    Ir.Stmt_set.empty
 
 let facts_at t (sid : Ir.stmt_id) =
-  match Ir.Method_map.find_opt sid.Ir.sid_meth t.after with
+  match Hashtbl.find_opt t.after sid.Ir.sid_meth with
   | Some arr when sid.Ir.sid_idx < Array.length arr -> arr.(sid.Ir.sid_idx)
   | Some _ | None -> Fact.Set.empty

@@ -14,7 +14,32 @@ type t =
   | Fstatic of string * string  (** static field *)
   | Fdb of string  (** SQLite table pseudo-store *)
 
-let compare = Stdlib.compare
+(* Monomorphic comparison in the same order [Stdlib.compare] induces
+   (constructor tag, then fields left to right; [[]] sorts before any
+   cons, as immediates do before blocks) — every set operation in both
+   propagation engines funnels through this, and the generic structural
+   walk was a measurable constant on large fact sets. *)
+let compare a b =
+  match (a, b) with
+  | Flocal (m1, v1, p1), Flocal (m2, v2, p2) ->
+      let c = Ir.Method_id.compare m1 m2 in
+      if c <> 0 then c
+      else
+        let c = String.compare v1 v2 in
+        if c <> 0 then c else List.compare String.compare p1 p2
+  | Flocal _, (Ffield _ | Fstatic _ | Fdb _) -> -1
+  | (Ffield _ | Fstatic _ | Fdb _), Flocal _ -> 1
+  | Ffield (c1, f1), Ffield (c2, f2) ->
+      let c = String.compare c1 c2 in
+      if c <> 0 then c else String.compare f1 f2
+  | Ffield _, (Fstatic _ | Fdb _) -> -1
+  | (Fstatic _ | Fdb _), Ffield _ -> 1
+  | Fstatic (c1, f1), Fstatic (c2, f2) ->
+      let c = String.compare c1 c2 in
+      if c <> 0 then c else String.compare f1 f2
+  | Fstatic _, Fdb _ -> -1
+  | Fdb _, Fstatic _ -> 1
+  | Fdb t1, Fdb t2 -> String.compare t1 t2
 
 let pp fmt = function
   | Flocal (m, v, []) -> Format.fprintf fmt "%a:%s" Ir.Method_id.pp m v
@@ -33,30 +58,54 @@ end)
 let local mid v = Flocal (mid, v.Ir.vname, [])
 let local_path mid v fname = Flocal (mid, v.Ir.vname, [ fname ])
 
+(** Is any access path rooted at (method, variable name) tainted?  Facts
+    sharing a root are contiguous in the set order and the bare root
+    [Flocal (mid, name, [])] is their minimum, so one ordered lookup
+    replaces a whole-set scan — this predicate runs on every statement
+    visit of both propagation engines. *)
+let root_tainted s mid name =
+  let root = Flocal (mid, name, []) in
+  match Set.find_first_opt (fun f -> compare f root >= 0) s with
+  | Some (Flocal (m, n, _)) -> Ir.Method_id.equal m mid && n = name
+  | Some _ | None -> false
+
 (** Is the plain local [v] (whole object) tainted in [s]? *)
 let local_tainted s mid (v : Ir.var) = Set.mem (local mid v) s
 
 (** Is any access path rooted at local [v] tainted (the object itself or
     one of its fields)? *)
-let local_or_path_tainted s mid (v : Ir.var) =
-  Set.exists
-    (function
-      | Flocal (m, name, _) -> Ir.Method_id.equal m mid && name = v.Ir.vname
-      | Ffield _ | Fstatic _ | Fdb _ -> false)
-    s
+let local_or_path_tainted s mid (v : Ir.var) = root_tainted s mid v.Ir.vname
+
+(** The global (field/static/db) facts of a set.  Globals sort after
+    every [Flocal], so this is an ordered split, not a filter scan. *)
+let globals s =
+  match Set.max_elt_opt s with
+  | None | Some (Flocal _) -> Set.empty
+  | Some _ ->
+      let _, present, above = Set.split (Ffield ("", "")) s in
+      if present then Set.add (Ffield ("", "")) above else above
 
 (** Is the value tainted (constants never are)? *)
 let value_tainted s mid = function
   | Ir.Const _ -> false
   | Ir.Local v -> local_tainted s mid v
 
-(** All facts rooted at local [v], for kill sets. *)
+(** Remove every fact rooted at local [v] (strong update on redefinition).
+    Facts sharing a root are contiguous in the set order, so instead of a
+    whole-set filter (which reallocates the set on every assignment visit)
+    we fast-path the common nothing-to-kill case — returning [s] itself, so
+    physical equality survives for downstream subset checks — and otherwise
+    strip the at-most-handful of matching facts with ordered lookups. *)
 let kill_local s mid (v : Ir.var) =
-  Set.filter
-    (function
-      | Flocal (m, name, _) -> not (Ir.Method_id.equal m mid && name = v.Ir.vname)
-      | Ffield _ | Fstatic _ | Fdb _ -> true)
-    s
+  let name = v.Ir.vname in
+  let root = Flocal (mid, name, []) in
+  let rec strip s =
+    match Set.find_first_opt (fun f -> compare f root >= 0) s with
+    | Some (Flocal (m, n, _) as f) when Ir.Method_id.equal m mid && n = name ->
+        strip (Set.remove f s)
+    | Some _ | None -> s
+  in
+  if root_tainted s mid name then strip s else s
 
 (** Instance-field facts present in a set (used by the async heuristic to
     find heap objects that carry request parts). *)

@@ -31,6 +31,13 @@ val local_tainted : Set.t -> Ir.method_id -> Ir.var -> bool
 val local_or_path_tainted : Set.t -> Ir.method_id -> Ir.var -> bool
 (** Is any access path rooted at the local tainted? *)
 
+val root_tainted : Set.t -> Ir.method_id -> string -> bool
+(** Same, by variable name — one ordered lookup, not a set scan. *)
+
+val globals : Set.t -> Set.t
+(** The global (field/static/db) facts — an ordered split, not a filter
+    scan; both engines call this on every method-boundary transfer. *)
+
 val value_tainted : Set.t -> Ir.method_id -> Ir.value -> bool
 (** Values: constants are never tainted. *)
 

@@ -2,7 +2,12 @@
    inter-procedural.  Starting facts are injected at demarcation points
    (response objects) and the engine tracks every statement that touches a
    tainted object — the forward (response) slice.  Handled by FlowDroid's
-   default tainting rules in the paper; reimplemented here over Limple. *)
+   default tainting rules in the paper; reimplemented here over Limple.
+
+   Like the backward engine, the fixpoint state lives in hash tables and
+   the worklist is deduplicated: chaotic iteration over monotone
+   transfers reaches the same fixpoint in any order, so only the step
+   count changes. *)
 
 module Ir = Extr_ir.Types
 module Prog = Extr_ir.Prog
@@ -43,70 +48,109 @@ let m_facts =
 type t = {
   prog : Prog.t;
   cg : Callgraph.t;
-  mutable before : Fact.Set.t array Ir.Method_map.t;
+  before : (Ir.method_id, Fact.Set.t array) Hashtbl.t;
       (** facts holding before each statement *)
-  mutable ret_tainted : Ir.Method_set.t;  (** methods returning tainted data *)
-  mutable exit_globals : Fact.Set.t Ir.Method_map.t;
+  ret_tainted : (Ir.method_id, unit) Hashtbl.t;
+      (** methods returning tainted data *)
+  exit_globals : (Ir.method_id, Fact.Set.t) Hashtbl.t;
       (** global (field/static/db) facts holding at method exits *)
-  mutable touched : Ir.Stmt_set.t;  (** statements touching tainted data *)
-  worklist : (Ir.method_id * int) Queue.t;
-  succs : int list array Ir.Method_map.t;
+  touched : (Ir.stmt_id, unit) Hashtbl.t;
+      (** statements touching tainted data *)
+  queue : Ir.method_id Queue.t;  (** methods with pending statements *)
+  pending : (Ir.method_id, bool array) Hashtbl.t;
+      (** per-statement pending flags (the deduplicated worklist) *)
+  pending_count : (Ir.method_id, int ref) Hashtbl.t;
+  meths : (Ir.method_id, Ir.meth option) Hashtbl.t;
+      (** [Prog.find_method] memo — hit on every worklist step *)
   prof : Ir.method_id Profile.cursor;
       (** per-method cost attribution for the fixpoint loop *)
 }
 
+(* Successor arrays come from the call graph's shared per-method memo:
+   engines are created per demarcation point, so the old whole-program map
+   here was rebuilt many times per app. *)
 let create prog cg =
-  let succs =
-    List.fold_left
-      (fun acc (m : Ir.meth) ->
-        Ir.Method_map.add (Ir.method_id_of_meth m) (Extr_cfg.Cfg.stmt_successors m) acc)
-      Ir.Method_map.empty (Prog.app_methods prog)
-  in
   {
     prog;
     cg;
-    before = Ir.Method_map.empty;
-    ret_tainted = Ir.Method_set.empty;
-    exit_globals = Ir.Method_map.empty;
-    touched = Ir.Stmt_set.empty;
-    worklist = Queue.create ();
-    succs;
+    before = Hashtbl.create 64;
+    ret_tainted = Hashtbl.create 16;
+    exit_globals = Hashtbl.create 16;
+    touched = Hashtbl.create 128;
+    queue = Queue.create ();
+    pending = Hashtbl.create 64;
+    pending_count = Hashtbl.create 64;
+    meths = Hashtbl.create 64;
     prof =
       Profile.cursor ~phase:"slicing.forward" ~render:Ir.Method_id.to_string ();
   }
 
+let meth_of t mid =
+  match Hashtbl.find_opt t.meths mid with
+  | Some m -> m
+  | None ->
+      let m = Prog.find_method t.prog mid in
+      Hashtbl.add t.meths mid m;
+      m
+
 let body_of t mid =
-  match Prog.find_method t.prog mid with
-  | Some m -> m.Ir.m_body
-  | None -> [||]
+  match meth_of t mid with Some m -> m.Ir.m_body | None -> [||]
 
 let before_array t mid =
-  match Ir.Method_map.find_opt mid t.before with
+  match Hashtbl.find_opt t.before mid with
   | Some arr -> arr
   | None ->
       let arr = Array.make (max 1 (Array.length (body_of t mid))) Fact.Set.empty in
-      t.before <- Ir.Method_map.add mid arr t.before;
+      Hashtbl.add t.before mid arr;
       arr
+
+(* The worklist is a queue of methods, each with per-statement pending
+   flags.  Draining a method sweeps its flags from index 0 upward — the
+   direction forward flow moves — so a fact wave crosses the whole body
+   in one pass instead of one growth-requeue cycle per statement. *)
+let enqueue t mid idx =
+  let flags =
+    match Hashtbl.find_opt t.pending mid with
+    | Some f -> f
+    | None ->
+        let f = Array.make (max 1 (Array.length (body_of t mid))) false in
+        Hashtbl.add t.pending mid f;
+        f
+  in
+  if idx < Array.length flags && not flags.(idx) then begin
+    flags.(idx) <- true;
+    let count =
+      match Hashtbl.find_opt t.pending_count mid with
+      | Some c -> c
+      | None ->
+          let c = ref 0 in
+          Hashtbl.add t.pending_count mid c;
+          c
+    in
+    if !count = 0 then Queue.add mid t.queue;
+    incr count
+  end
 
 (** Merge facts into the before-set of (mid, idx); enqueue on growth. *)
 let merge_at t mid idx facts =
   let body = body_of t mid in
   if idx < Array.length body && not (Fact.Set.is_empty facts) then begin
     let arr = before_array t mid in
-    let merged = Fact.Set.union arr.(idx) facts in
-    if not (Fact.Set.equal merged arr.(idx)) then begin
-      arr.(idx) <- merged;
+    (* Subset test first: at fixpoint most merges are no-ops, and the
+       union + equality pair allocated on every one of them. *)
+    if not (Fact.Set.subset facts arr.(idx)) then begin
+      arr.(idx) <- Fact.Set.union arr.(idx) facts;
       (* A fact-set growth event, charged to the method the engine is
          currently transferring (the producer). *)
       Profile.add_facts t.prof 1;
-      Queue.add (mid, idx) t.worklist
+      enqueue t mid idx
     end
   end
 
 let inject_at_entry t mid facts = merge_at t mid 0 (Fact.Set.of_list facts)
 
 let inject_after t (sid : Ir.stmt_id) facts =
-  match Ir.Method_map.find_opt sid.Ir.sid_meth t.succs with
+  match Callgraph.stmt_succs t.cg sid.Ir.sid_meth with
   | None -> ()
   | Some succ_arr ->
       if sid.Ir.sid_idx < Array.length succ_arr then
@@ -114,10 +158,7 @@ let inject_after t (sid : Ir.stmt_id) facts =
           (fun s -> merge_at t sid.Ir.sid_meth s (Fact.Set.of_list facts))
           succ_arr.(sid.Ir.sid_idx)
 
-let globals_of set =
-  Fact.Set.filter
-    (function Fact.Ffield _ | Fact.Fstatic _ | Fact.Fdb _ -> true | Fact.Flocal _ -> false)
-    set
+let globals_of = Fact.globals
 
 (* ------------------------------------------------------------------ *)
 (* Expression taint                                                   *)
@@ -180,7 +221,7 @@ let handle_invoke t mid set (sid : Ir.stmt_id) (i : Ir.invoke) =
     let implicit_names = List.map (fun c -> c.Ir.id_name) app_callees in
     List.iter
       (fun callee_id ->
-        match Prog.find_method t.prog callee_id with
+        match meth_of t callee_id with
         | None -> ()
         | Some callee ->
             let entry = ref [] in
@@ -216,7 +257,7 @@ let handle_invoke t mid set (sid : Ir.stmt_id) (i : Ir.invoke) =
                && List.mem "doInBackground" implicit_names
             then
                let dib = { callee_id with Ir.id_name = "doInBackground" } in
-               if Ir.Method_set.mem dib t.ret_tainted then
+               if Hashtbl.mem t.ret_tainted dib then
                  match callee.Ir.m_params with
                  | p :: _ -> entry := Fact.local callee_id p :: !entry
                  | [] -> ());
@@ -226,12 +267,12 @@ let handle_invoke t mid set (sid : Ir.stmt_id) (i : Ir.invoke) =
       app_callees;
     (* Return taint and global facts flowing back from callees. *)
     let ret_tainted =
-      List.exists (fun c -> Ir.Method_set.mem c t.ret_tainted) app_callees
+      List.exists (fun c -> Hashtbl.mem t.ret_tainted c) app_callees
     in
     let back_globals =
       List.fold_left
         (fun acc c ->
-          match Ir.Method_map.find_opt c t.exit_globals with
+          match Hashtbl.find_opt t.exit_globals c with
           | Some g -> Fact.Set.union acc g
           | None -> acc)
         Fact.Set.empty app_callees
@@ -243,11 +284,9 @@ let handle_invoke t mid set (sid : Ir.stmt_id) (i : Ir.invoke) =
 (* Statement transfer                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
-  let body = body_of t mid in
-  let stmt = body.(idx) in
+let transfer t mid idx (stmt : Ir.stmt) (set : Fact.Set.t) : Fact.Set.t =
   let sid = { Ir.sid_meth = mid; sid_idx = idx } in
-  let touch () = t.touched <- Ir.Stmt_set.add sid t.touched in
+  let touch () = Hashtbl.replace t.touched sid () in
   match stmt with
   | Ir.Assign (lhs, rhs) ->
       let rhs_tainted, extra =
@@ -317,26 +356,23 @@ let transfer t mid idx (set : Fact.Set.t) : Fact.Set.t =
       (match v with
       | Some value when Fact.value_tainted set mid value ->
           touch ();
-          if not (Ir.Method_set.mem mid t.ret_tainted) then begin
-            t.ret_tainted <- Ir.Method_set.add mid t.ret_tainted;
+          if not (Hashtbl.mem t.ret_tainted mid) then begin
+            Hashtbl.add t.ret_tainted mid ();
             (* Re-examine all call sites of this method. *)
             List.iter
-              (fun sid -> Queue.add (sid.Ir.sid_meth, sid.Ir.sid_idx) t.worklist)
+              (fun sid -> enqueue t sid.Ir.sid_meth sid.Ir.sid_idx)
               (Callgraph.callers t.cg mid)
           end
       | Some _ | None -> ());
       (* Record exiting globals. *)
       let globals = globals_of set in
       let prev =
-        Option.value
-          (Ir.Method_map.find_opt mid t.exit_globals)
-          ~default:Fact.Set.empty
+        Option.value (Hashtbl.find_opt t.exit_globals mid) ~default:Fact.Set.empty
       in
-      let merged = Fact.Set.union prev globals in
-      if not (Fact.Set.equal merged prev) then begin
-        t.exit_globals <- Ir.Method_map.add mid merged t.exit_globals;
+      if not (Fact.Set.subset globals prev) then begin
+        Hashtbl.replace t.exit_globals mid (Fact.Set.union prev globals);
         List.iter
-          (fun sid -> Queue.add (sid.Ir.sid_meth, sid.Ir.sid_idx) t.worklist)
+          (fun sid -> enqueue t sid.Ir.sid_meth sid.Ir.sid_idx)
           (Callgraph.callers t.cg mid)
       end;
       set
@@ -361,55 +397,82 @@ let standalone_budget () =
       }
     ()
 
+let pending_total t =
+  Hashtbl.fold (fun _ c acc -> acc + !c) t.pending_count 0
+
 let run ?budget t =
   let budget =
     match budget with Some b -> b | None -> standalone_budget ()
   in
   let steps = ref 0 in
-  while
-    (not (Queue.is_empty t.worklist)) && Resilience.Budget.spend budget
-  do
-    incr steps;
-    let mid, idx = Queue.pop t.worklist in
-    Profile.visit t.prof mid;
-    Profile.spend t.prof 1;
-    let body = body_of t mid in
-    if idx < Array.length body then begin
-      let arr = before_array t mid in
-      let out = transfer t mid idx arr.(idx) in
-      match Ir.Method_map.find_opt mid t.succs with
-      | None -> ()
-      | Some succ_arr ->
-          List.iter (fun s -> merge_at t mid s out) succ_arr.(idx)
-    end
+  let stopped = ref false in
+  let drain mid =
+    match
+      (Hashtbl.find_opt t.pending mid, Hashtbl.find_opt t.pending_count mid)
+    with
+    | Some flags, Some count when !count > 0 ->
+        let body = body_of t mid in
+        let arr = before_array t mid in
+        let succs = Callgraph.stmt_succs t.cg mid in
+        while !count > 0 && not !stopped do
+          (* One upward sweep; facts merged above the cursor are caught
+             in the same pass, merges below it start the next wave. *)
+          let idx = ref 0 in
+          while !idx < Array.length flags && not !stopped do
+            (if flags.(!idx) then
+               if Resilience.Budget.spend budget then begin
+                 flags.(!idx) <- false;
+                 decr count;
+                 incr steps;
+                 Profile.visit t.prof mid;
+                 Profile.spend t.prof 1;
+                 if !idx < Array.length body then begin
+                   let out = transfer t mid !idx body.(!idx) arr.(!idx) in
+                   match succs with
+                   | None -> ()
+                   | Some succ_arr ->
+                       List.iter (fun s -> merge_at t mid s out) succ_arr.(!idx)
+                 end
+               end
+               else stopped := true);
+            incr idx
+          done
+        done
+    | _ -> ()
+  in
+  while (not (Queue.is_empty t.queue)) && not !stopped do
+    drain (Queue.pop t.queue)
   done;
   Profile.close t.prof;
   (* Exhausting the budget with work still queued used to silently
      truncate the slice; now it is a recorded degradation. *)
-  if not (Queue.is_empty t.worklist) then
+  let left = pending_total t in
+  if left > 0 then
     Resilience.Degrade.record_exhaustion ~phase:"slicing.forward"
-      ~work_left:(Queue.length t.worklist) budget
+      ~work_left:left budget
       "forward taint fixpoint stopped before the worklist drained; the \
        response slice is under-approximate";
   Metrics.incr m_steps ~by:!steps;
   (* The fact union is not free: compute it only when telemetry is on. *)
   if Metrics.is_enabled Metrics.default then begin
     let facts =
-      Ir.Method_map.fold
+      Hashtbl.fold
         (fun _ arr acc -> Array.fold_left Fact.Set.union acc arr)
         t.before
-        (Ir.Method_map.fold
+        (Hashtbl.fold
            (fun _ globals acc -> Fact.Set.union acc globals)
            t.exit_globals Fact.Set.empty)
     in
     Metrics.incr m_facts ~by:(Fact.Set.cardinal facts)
   end
 
-let tainted_stmts t = t.touched
+let tainted_stmts t =
+  Hashtbl.fold (fun sid () acc -> Ir.Stmt_set.add sid acc) t.touched
+    Ir.Stmt_set.empty
 
 (** Facts holding before a given statement (empty if never reached). *)
 let facts_before t (sid : Ir.stmt_id) =
-  match Ir.Method_map.find_opt sid.Ir.sid_meth t.before with
+  match Hashtbl.find_opt t.before sid.Ir.sid_meth with
   | Some arr when sid.Ir.sid_idx < Array.length arr -> arr.(sid.Ir.sid_idx)
   | Some _ | None -> Fact.Set.empty
 
@@ -417,5 +480,7 @@ let facts_before t (sid : Ir.stmt_id) =
 let facts_after t (sid : Ir.stmt_id) =
   let body = body_of t sid.Ir.sid_meth in
   if sid.Ir.sid_idx < Array.length body then
-    transfer t sid.Ir.sid_meth sid.Ir.sid_idx (facts_before t sid)
+    transfer t sid.Ir.sid_meth sid.Ir.sid_idx
+      body.(sid.Ir.sid_idx)
+      (facts_before t sid)
   else Fact.Set.empty
